@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Section 5 reproduction/ablation: the bottleneck study behind the
+ * semi-parallel design. First the stall attribution of the
+ * byte-serial pipeline (the paper found 72% of stalls were EX
+ * structural hazards), then a bandwidth sweep over RF/ALU/D$ widths
+ * showing why 3-byte fetch / 2-byte RF+ALU / 1-byte D$ is the
+ * balanced point.
+ */
+
+#include <cmath>
+
+#include "analysis/experiments.h"
+#include "bench/bench_util.h"
+
+using namespace sigcomp;
+using namespace sigcomp::pipeline;
+
+namespace
+{
+
+/**
+ * Semi-parallel pipeline generalised over per-stage byte widths
+ * (the design space the paper's balance analysis explores),
+ * including the I-fetch width ("Using a three byte wide instruction
+ * cache stage is a departure from the strictly byte serial
+ * implementation ... otherwise, every instruction would incur at
+ * least two stall cycles", section 4).
+ */
+class WidthSweepPipeline : public InOrderPipeline
+{
+  public:
+    WidthSweepPipeline(unsigned if_w, unsigned rf_w, unsigned ex_w,
+                       unsigned mem_w, PipelineConfig cfg)
+        : InOrderPipeline("sweep-" + std::to_string(if_w) +
+                              std::to_string(rf_w) +
+                              std::to_string(ex_w) +
+                              std::to_string(mem_w),
+                          std::move(cfg)),
+          ifW_(if_w), rfW_(rf_w), exW_(ex_w), memW_(mem_w)
+    {
+    }
+
+  protected:
+    TimingPlan
+    plan(const cpu::DynInstr &di, const InstrQuanta &q) override
+    {
+        (void)di;
+        TimingPlan p;
+        p.numStages = 5;
+        p.dur[0] = (ifW_ >= 3 ? 1 + (q.fetchBytes > 3 ? 1 : 0)
+                              : divCeil(q.fetchBytes, ifW_)) +
+                   q.pcRippleExtra + static_cast<unsigned>(q.ifExtra);
+        p.lead[0] = p.dur[0];
+        p.dur[1] = divCeil(std::max(1u, q.srcChunks), rfW_);
+        p.lead[1] = 1;
+        if (q.isMult) {
+            p.dur[2] = config().multCycles;
+            p.lead[2] = p.dur[2];
+        } else if (q.isDiv) {
+            p.dur[2] = config().divCycles;
+            p.lead[2] = p.dur[2];
+        } else {
+            p.dur[2] = divCeil(std::max(1u, q.exChunks), exW_);
+            p.lead[2] = 1;
+        }
+        p.dur[3] = static_cast<unsigned>(q.memExtra) +
+                   divCeil(std::max(1u, q.memChunks), memW_);
+        p.lead[3] = static_cast<unsigned>(q.memExtra) +
+                    (q.memChunks > memW_ ? 2 : 1);
+        p.dur[4] = divCeil(std::max(1u, q.resChunks), rfW_);
+        p.lead[4] = 1;
+        p.consumeStage = 2;
+        p.resolveStage = 2;
+        p.readyStage = 2;
+        p.loadReadyStage = 3;
+        p.streamForward = true;
+        p.latchBoundaries = 4;
+        return p;
+    }
+
+  private:
+    unsigned ifW_;
+    unsigned rfW_;
+    unsigned exW_;
+    unsigned memW_;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 5 ablation: byte-serial bottlenecks and "
+                  "bandwidth balance",
+                  "Canal/Gonzalez/Smith MICRO-33, section 5 (paper: "
+                  "72% of byte-serial stalls are EX structural; "
+                  "balanced widths 3/2/2/1)");
+
+    // Part 1: stall attribution of the byte-serial design.
+    const auto rows = analysis::runCpiStudy({Design::ByteSerial},
+                                            analysis::suiteConfig());
+    Count control = 0, hazard = 0, structural = 0, imiss = 0, dmiss = 0;
+    for (const auto &row : rows) {
+        const StallBreakdown &st = row.stalls.at(Design::ByteSerial);
+        control += st.controlCycles;
+        hazard += st.dataHazardCycles;
+        structural += st.structuralCycles;
+        imiss += st.icacheMissCycles;
+        dmiss += st.dcacheMissCycles;
+    }
+    const double total = static_cast<double>(
+        control + hazard + structural + imiss + dmiss);
+    TextTable t({"stall source", "cycles", "share %"});
+    auto add = [&](const char *n, Count c) {
+        t.beginRow()
+            .cell(n)
+            .cell(static_cast<std::uint64_t>(c))
+            .cell(100.0 * static_cast<double>(c) / total, 1)
+            .endRow();
+    };
+    add("structural (stage busy)", structural);
+    add("control (branch resolve)", control);
+    add("data hazard (operands)", hazard);
+    add("I-cache misses", imiss);
+    add("D-cache misses", dmiss);
+    bench::printTable("byte-serial stall attribution (suite)", t);
+    bench::note("paper: 'the ALU is the most important bottleneck, "
+                "72% of the stalls were caused by structural hazards "
+                "in the EX stage'. Our structural share counts all "
+                "stages, with EX dominating it.");
+
+    // Part 2: width sweep around the balanced point (the first two
+    // rows show why even the "byte-serial" design fetches 3 bytes:
+    // a 1- or 2-byte I-fetch stalls every instruction).
+    struct Point { unsigned ifw, rf, ex, mem; };
+    const Point points[] = {{1, 1, 1, 1}, {2, 1, 1, 1}, {3, 1, 1, 1},
+                            {3, 1, 2, 1}, {3, 2, 1, 1}, {3, 2, 2, 1},
+                            {3, 2, 2, 2}, {3, 4, 2, 1}, {3, 2, 4, 1},
+                            {3, 4, 4, 2}, {3, 4, 4, 4}};
+    TextTable sweep({"if width", "rf width", "alu width", "d$ width",
+                     "geomean CPI", "vs baseline %"});
+
+    // Baseline for reference.
+    const auto base_rows = analysis::runCpiStudy(
+        {Design::Baseline32}, analysis::suiteConfig());
+    const double base = analysis::meanCpi(base_rows,
+                                          Design::Baseline32);
+
+    for (const Point &pt : points) {
+        double log_sum = 0.0;
+        unsigned n = 0;
+        for (const std::string &name : workloads::Suite::names()) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            WidthSweepPipeline pipe(pt.ifw, pt.rf, pt.ex, pt.mem,
+                                    analysis::suiteConfig());
+            runPipelines(w.program, {&pipe});
+            log_sum += std::log(pipe.result().cpi());
+            ++n;
+        }
+        const double cpi = std::exp(log_sum / n);
+        sweep.beginRow()
+            .cell(static_cast<std::uint64_t>(pt.ifw))
+            .cell(static_cast<std::uint64_t>(pt.rf))
+            .cell(static_cast<std::uint64_t>(pt.ex))
+            .cell(static_cast<std::uint64_t>(pt.mem))
+            .cell(cpi, 3)
+            .cell(100.0 * (cpi / base - 1.0), 1)
+            .endRow();
+    }
+    bench::printTable("bandwidth sweep (baseline32 geomean " +
+                      formatFixed(base, 3) + ")", sweep);
+    bench::note("expected shape: a sub-3-byte I-fetch cripples every "
+                "design (the paper's section-4 rationale); widening "
+                "the ALU path buys the most (it is the bottleneck); "
+                "3/2/2/1 sits near the knee, matching the paper's "
+                "balance; widening the D-cache beyond 1 byte buys "
+                "little.");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Robustness ablation: rerun the headline experiments on two
+ * held-out kernels (`mesa`, a fixed-point 3D transform, and `huff`,
+ * a Huffman-style bit packer) that are not in the paper's table and
+ * were not used to tune anything — including the funct recoding,
+ * which stays profiled on the original suite. The paper's
+ * conclusions should transfer.
+ */
+
+#include "analysis/experiments.h"
+#include "bench/bench_util.h"
+#include "pipeline/runner.h"
+
+using namespace sigcomp;
+using namespace sigcomp::pipeline;
+
+int
+main()
+{
+    bench::banner("Ablation: held-out workloads (mesa, huff)",
+                  "robustness check of all headline results on "
+                  "kernels outside the paper's suite");
+
+    TextTable t({"benchmark", "design", "CPI", "uplift %",
+                 "RFread save %", "ALU save %", "latch save %"});
+    for (const std::string &name : workloads::Suite::extraNames()) {
+        const workloads::Workload w = workloads::Suite::build(name);
+        const auto results =
+            runDesigns(w.program, allDesigns(), analysis::suiteConfig());
+        const double base = results[0].cpi();
+        for (const auto &r : results) {
+            t.beginRow()
+                .cell(name)
+                .cell(r.name)
+                .cell(r.cpi(), 3)
+                .cell(100.0 * (r.cpi() / base - 1.0), 1)
+                .cell(r.activity.rfRead.saving(), 1)
+                .cell(r.activity.alu.saving(), 1)
+                .cell(r.activity.latch.saving(), 1)
+                .endRow();
+        }
+    }
+    bench::printTable("held-out kernels across the design space", t);
+    bench::note("expected: same ordering as the main suite — "
+                "byte-serial slowest, skewed-bypass cheapest of the "
+                "significance designs, activity savings in the same "
+                "bands. mesa's wide Q12 products lower the ALU "
+                "saving; huff's narrow symbols raise it.");
+    return 0;
+}

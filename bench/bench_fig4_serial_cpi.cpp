@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig 4 reproduction: CPI of the byte-serial implementation (and the
+ * 16-bit variant discussed alongside it) against the 32-bit
+ * baseline.
+ */
+
+#include "bench/bench_cpi_common.h"
+
+using namespace sigcomp;
+using pipeline::Design;
+
+int
+main()
+{
+    bench::banner("Fig 4: performance of the byte-serial "
+                  "implementation",
+                  "Canal/Gonzalez/Smith MICRO-33, Fig 4 (paper: "
+                  "byte-serial CPI +79% avg; halfword-serial avg "
+                  "1.96)");
+    bench::cpiFigure({Design::Baseline32, Design::ByteSerial,
+                      Design::HalfwordSerial});
+    bench::note("expected shape: byte-serial is the slowest design "
+                "everywhere; widening to 16 bits recovers most of "
+                "the loss (paper: CPI 1.96).");
+    return 0;
+}

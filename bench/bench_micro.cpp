@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * significance classification, serial-ALU modelling, instruction
+ * permutation, cache access, functional execution, and full pipeline
+ * simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cpu/functional_core.h"
+#include "mem/cache.h"
+#include "pipeline/runner.h"
+#include "sigcomp/compressed_word.h"
+#include "sigcomp/instr_compress.h"
+#include "sigcomp/serial_alu.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace sigcomp;
+
+void
+BM_ClassifyExt3(benchmark::State &state)
+{
+    Rng rng(1);
+    Word v = rng.next32();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyExt3(v));
+        v = v * 1664525u + 1013904223u;
+    }
+}
+BENCHMARK(BM_ClassifyExt3);
+
+void
+BM_CompressRoundTrip(benchmark::State &state)
+{
+    Word v = 0x12345678;
+    for (auto _ : state) {
+        const auto cw =
+            sig::CompressedWord::compress(v, sig::Encoding::Ext3);
+        benchmark::DoNotOptimize(cw.decompress());
+        v = v * 1664525u + 1013904223u;
+    }
+}
+BENCHMARK(BM_CompressRoundTrip);
+
+void
+BM_SerialAluAdd(benchmark::State &state)
+{
+    const sig::SerialAlu alu(sig::Encoding::Ext3);
+    Word a = 0x10000009, b = 0xfffff504;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(alu.add(a, b));
+        a = a * 1664525u + 1013904223u;
+        b ^= a >> 7;
+    }
+}
+BENCHMARK(BM_SerialAluAdd);
+
+void
+BM_InstrCompress(benchmark::State &state)
+{
+    const auto comp = sig::InstrCompressor::withDefaultRanking();
+    const isa::Instruction inst = isa::Instruction::makeR(
+        isa::Funct::Addu, isa::reg::t0, isa::reg::t1, isa::reg::t2);
+    for (auto _ : state) {
+        const auto st = comp.compress(inst);
+        benchmark::DoNotOptimize(comp.decompress(st));
+    }
+}
+BENCHMARK(BM_InstrCompress);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache(mem::CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false));
+        a = (a + 68) & 0xffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    for (auto _ : state) {
+        const cpu::RunResult r = cpu::runToCompletion(w.program);
+        benchmark::DoNotOptimize(r.instructions);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    for (auto _ : state) {
+        auto pipe = pipeline::makePipeline(
+            pipeline::Design::ByteSerial, pipeline::PipelineConfig());
+        pipeline::runPipelines(w.program, {pipe.get()});
+        benchmark::DoNotOptimize(pipe->result().cycles);
+    }
+}
+BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef SIGCOMP_BENCH_BENCH_UTIL_H_
+#define SIGCOMP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace sigcomp::bench
+{
+
+/** Print a banner naming the experiment and its paper reference. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================="
+                "=============================\n");
+}
+
+/** Print one table with a caption. */
+inline void
+printTable(const std::string &caption, const TextTable &t)
+{
+    std::printf("\n-- %s --\n", caption.c_str());
+    std::cout << t.toString();
+}
+
+/** Print a paper-vs-measured note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace sigcomp::bench
+
+#endif // SIGCOMP_BENCH_BENCH_UTIL_H_

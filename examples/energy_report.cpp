@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Energy report: per-structure dynamic energy of a workload on a
+ * chosen design, using the Wattch-style model — the circuit-level
+ * step the paper's conclusion defers.
+ *
+ * Usage: energy_report [workload] [design] [vdd]
+ * Defaults: rawcaudio byte-serial 1.8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiments.h"
+#include "common/table.h"
+#include "pipeline/runner.h"
+#include "power/energy_model.h"
+#include "workloads/workload.h"
+
+using namespace sigcomp;
+using pipeline::Design;
+
+int
+main(int argc, char **argv)
+{
+    const std::string wl = argc > 1 ? argv[1] : "rawcaudio";
+    const std::string ds = argc > 2 ? argv[2] : "byte-serial";
+
+    power::TechParams tech;
+    if (argc > 3)
+        tech.vdd = std::atof(argv[3]);
+
+    Design design = Design::ByteSerial;
+    for (Design d : pipeline::allDesigns())
+        if (pipeline::designName(d) == ds)
+            design = d;
+
+    const workloads::Workload w = workloads::Suite::build(wl);
+    auto pipe = pipeline::makePipeline(design, analysis::suiteConfig());
+    pipeline::runPipelines(w.program, {pipe.get()});
+    const pipeline::PipelineResult r = pipe->result();
+    const power::EnergyReport rep =
+        power::buildEnergyReport(r.activity, tech);
+
+    std::printf("workload: %s   design: %s   Vdd: %.2f V\n", wl.c_str(),
+                pipe->name().c_str(), tech.vdd);
+    std::printf("instructions: %llu\n\n",
+                static_cast<unsigned long long>(r.instructions));
+
+    TextTable t({"structure", "compressed nJ", "baseline nJ",
+                 "saving %"});
+    for (const power::StructureEnergy &se : rep.structures) {
+        t.beginRow()
+            .cell(se.structure)
+            .cell(se.compressedPj / 1000.0, 2)
+            .cell(se.baselinePj / 1000.0, 2)
+            .cell(se.savingPercent(), 1)
+            .endRow();
+    }
+    t.beginRow()
+        .cell("TOTAL")
+        .cell(rep.totalCompressedPj / 1000.0, 2)
+        .cell(rep.totalBaselinePj / 1000.0, 2)
+        .cell(rep.savingPercent(), 1)
+        .endRow();
+    std::printf("%s", t.toString().c_str());
+
+    std::printf("\nper-instruction: %.2f pJ compressed vs %.2f pJ "
+                "baseline\n",
+                rep.totalCompressedPj /
+                    static_cast<double>(r.instructions),
+                rep.totalBaselinePj /
+                    static_cast<double>(r.instructions));
+    std::printf("bank-split ratio (section 2.4): %.3f\n",
+                power::bankSplitEnergyRatio(tech, 32, 32, 4));
+    return 0;
+}

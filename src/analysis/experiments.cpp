@@ -1,0 +1,106 @@
+#include "analysis/experiments.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "cpu/functional_core.h"
+
+namespace sigcomp::analysis
+{
+
+using pipeline::Design;
+using pipeline::PipelineConfig;
+
+void
+profileSuite(const std::vector<cpu::TraceSink *> &sinks)
+{
+    for (const std::string &name : workloads::Suite::names()) {
+        const workloads::Workload w = workloads::Suite::build(name);
+        mem::MainMemory memory;
+        cpu::FunctionalCore core(w.program, memory);
+        pipeline::FanoutSink fan(sinks);
+        const cpu::RunResult r = core.run(&fan);
+        SC_ASSERT(r.reason == cpu::StopReason::Exited,
+                  "workload ", name, " did not exit cleanly");
+    }
+}
+
+const sig::InstrCompressor &
+suiteCompressor()
+{
+    static const sig::InstrCompressor compressor = [] {
+        InstrMixProfiler mix;
+        profileSuite({&mix});
+        return mix.buildCompressor();
+    }();
+    return compressor;
+}
+
+PipelineConfig
+suiteConfig(sig::Encoding enc)
+{
+    PipelineConfig cfg;
+    cfg.encoding = enc;
+    cfg.compressor = suiteCompressor();
+    return cfg;
+}
+
+std::vector<ActivityRow>
+runActivityStudy(sig::Encoding enc)
+{
+    const Design design = (enc == sig::Encoding::Half1)
+                              ? Design::HalfwordSerial
+                              : Design::ByteSerial;
+    std::vector<ActivityRow> rows;
+    for (const std::string &name : workloads::Suite::names()) {
+        const workloads::Workload w = workloads::Suite::build(name);
+        auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
+        pipeline::runPipelines(w.program, {pipe.get()});
+        rows.push_back({name, pipe->result().activity});
+    }
+    return rows;
+}
+
+pipeline::ActivityTotals
+sumActivity(const std::vector<ActivityRow> &rows)
+{
+    pipeline::ActivityTotals total;
+    for (const ActivityRow &r : rows)
+        total += r.activity;
+    return total;
+}
+
+std::vector<CpiRow>
+runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg)
+{
+    std::vector<CpiRow> rows;
+    for (const std::string &name : workloads::Suite::names()) {
+        const workloads::Workload w = workloads::Suite::build(name);
+        const std::vector<pipeline::PipelineResult> rs =
+            pipeline::runDesigns(w.program, ds, cfg);
+        CpiRow row;
+        row.benchmark = name;
+        for (std::size_t i = 0; i < ds.size(); ++i) {
+            row.cpi[ds[i]] = rs[i].cpi();
+            row.stalls[ds[i]] = rs[i].stalls;
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+meanCpi(const std::vector<CpiRow> &rows, Design d)
+{
+    if (rows.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const CpiRow &r : rows) {
+        auto it = r.cpi.find(d);
+        SC_ASSERT(it != r.cpi.end(), "design missing from study");
+        log_sum += std::log(it->second);
+    }
+    return std::exp(log_sum / static_cast<double>(rows.size()));
+}
+
+} // namespace sigcomp::analysis

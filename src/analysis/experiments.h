@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Suite-level experiment drivers: everything the per-table/figure
+ * bench binaries need, factored so tests can exercise the same
+ * paths.
+ */
+
+#ifndef SIGCOMP_ANALYSIS_EXPERIMENTS_H_
+#define SIGCOMP_ANALYSIS_EXPERIMENTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/profilers.h"
+#include "pipeline/runner.h"
+#include "workloads/workload.h"
+
+namespace sigcomp::analysis
+{
+
+/**
+ * Profile the whole suite once and build the funct-ranked
+ * instruction compressor (the paper's Table 3 step). Cached after
+ * the first call.
+ */
+const sig::InstrCompressor &suiteCompressor();
+
+/** Pipeline config with the suite-profiled compressor installed. */
+pipeline::PipelineConfig suiteConfig(
+    sig::Encoding enc = sig::Encoding::Ext3);
+
+/** One per-benchmark row of an activity study (Table 5/6). */
+struct ActivityRow
+{
+    std::string benchmark;
+    pipeline::ActivityTotals activity;
+};
+
+/**
+ * Tables 5/6: run every workload through the serial pipeline at the
+ * given granularity and collect per-stage activity.
+ */
+std::vector<ActivityRow> runActivityStudy(sig::Encoding enc);
+
+/** Average savings across rows (the tables' AVG line). */
+pipeline::ActivityTotals sumActivity(const std::vector<ActivityRow> &rows);
+
+/** One per-benchmark row of a CPI study (Figs 4/6/8/10). */
+struct CpiRow
+{
+    std::string benchmark;
+    std::map<pipeline::Design, double> cpi;
+    std::map<pipeline::Design, pipeline::StallBreakdown> stalls;
+};
+
+/**
+ * Run every workload through the given designs (one functional pass
+ * per workload, all designs fanned out).
+ */
+std::vector<CpiRow> runCpiStudy(const std::vector<pipeline::Design> &ds,
+                                const pipeline::PipelineConfig &cfg);
+
+/** Geometric-mean CPI of one design over a study. */
+double meanCpi(const std::vector<CpiRow> &rows, pipeline::Design d);
+
+/** Run all suite workloads through profiler sinks only. */
+void profileSuite(const std::vector<cpu::TraceSink *> &sinks);
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_EXPERIMENTS_H_

@@ -1,0 +1,125 @@
+#include "analysis/profilers.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::analysis
+{
+
+using isa::InstrClass;
+
+void
+PatternProfiler::record(Word value)
+{
+    const sig::ByteMask m = sig::classifyExt3(value);
+    patterns_.record(m);
+    totalBytes_ += sig::maskBytes(m);
+}
+
+void
+PatternProfiler::retire(const cpu::DynInstr &di)
+{
+    if (di.dec->readsRs)
+        record(di.srcRs);
+    if (di.dec->readsRt)
+        record(di.srcRt);
+    if (di.dec->writesDest && di.dec->dest != isa::reg::zero)
+        record(di.result);
+    if (di.dec->isLoad || di.dec->isStore)
+        record(di.memData);
+}
+
+double
+PatternProfiler::ext2Coverage() const
+{
+    double cover = 0.0;
+    for (sig::ByteMask m : sig::allBytePatterns())
+        if (sig::isExt2Representable(m))
+            cover += patterns_.fraction(m);
+    return cover;
+}
+
+double
+PatternProfiler::meanSignificantBytes() const
+{
+    return patterns_.total()
+               ? static_cast<double>(totalBytes_) /
+                     static_cast<double>(patterns_.total())
+               : 0.0;
+}
+
+InstrMixProfiler::InstrMixProfiler(sig::InstrCompressor compressor)
+    : compressor_(std::move(compressor))
+{
+}
+
+void
+InstrMixProfiler::retire(const cpu::DynInstr &di)
+{
+    ++total_;
+    const isa::DecodedInstr &dec = *di.dec;
+
+    switch (dec.format) {
+      case isa::Format::R:
+        ++rFormat_;
+        functs_.record(di.inst().functField());
+        break;
+      case isa::Format::J:
+        ++jFormat_;
+        break;
+      case isa::Format::I:
+        ++iFormat_;
+        break;
+    }
+
+    if (dec.usesImmediate) {
+        ++hasImm_;
+        const Half imm = di.inst().imm16();
+        const Byte high = static_cast<Byte>(imm >> 8);
+        const Byte low = static_cast<Byte>(imm & 0xff);
+        const bool zero_ext = di.inst().opcode() == isa::Opcode::Andi ||
+                              di.inst().opcode() == isa::Opcode::Ori ||
+                              di.inst().opcode() == isa::Opcode::Xori ||
+                              di.inst().opcode() == isa::Opcode::Lui;
+        if (high == (zero_ext ? Byte{0} : signFill(low)))
+            ++shortImm_;
+    }
+
+    fetchBytes_ += compressor_.fetchBytes(di.inst());
+
+    // "additions/subtractions, memory instructions, and branches all
+    // require an addition" (section 2.5).
+    const bool add_like =
+        dec.isLoad || dec.isStore || dec.isCondBranch ||
+        (dec.cls == InstrClass::IntAlu &&
+         (dec.name == "addu" || dec.name == "add" || dec.name == "subu" ||
+          dec.name == "sub" || dec.name == "addiu" ||
+          dec.name == "addi" || dec.name == "slt" || dec.name == "sltu" ||
+          dec.name == "slti" || dec.name == "sltiu"));
+    if (add_like)
+        ++addLike_;
+}
+
+PcProfiler::PcProfiler()
+    : accs_{sig::PcActivityAccumulator(1), sig::PcActivityAccumulator(2),
+            sig::PcActivityAccumulator(3), sig::PcActivityAccumulator(4),
+            sig::PcActivityAccumulator(5), sig::PcActivityAccumulator(6),
+            sig::PcActivityAccumulator(7), sig::PcActivityAccumulator(8)}
+{
+}
+
+void
+PcProfiler::retire(const cpu::DynInstr &di)
+{
+    const bool redirect = di.dec->isControl && di.nextPc != di.pc + 4;
+    for (auto &acc : accs_)
+        acc.update(di.pc, di.nextPc, redirect);
+}
+
+const sig::PcActivityAccumulator &
+PcProfiler::forBlockBits(unsigned bits) const
+{
+    SC_ASSERT(bits >= 1 && bits <= 8, "block size out of range");
+    return accs_[bits - 1];
+}
+
+} // namespace sigcomp::analysis

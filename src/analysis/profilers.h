@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Trace profilers backing the paper's characterisation tables:
+ * significant-byte pattern frequencies (Table 1), dynamic function
+ * code frequencies and instruction-format statistics (Table 3 and
+ * the section 2.3 text numbers), and empirical PC-update behaviour
+ * (Table 2).
+ */
+
+#ifndef SIGCOMP_ANALYSIS_PROFILERS_H_
+#define SIGCOMP_ANALYSIS_PROFILERS_H_
+
+#include <array>
+
+#include "common/stats.h"
+#include "cpu/trace.h"
+#include "sigcomp/byte_pattern.h"
+#include "sigcomp/instr_compress.h"
+#include "sigcomp/pc_increment.h"
+
+namespace sigcomp::analysis
+{
+
+/**
+ * Table 1: distribution of the eight significant-byte patterns over
+ * dynamic operand values (register sources, results, and memory
+ * data).
+ */
+class PatternProfiler : public cpu::TraceSink
+{
+  public:
+    void retire(const cpu::DynInstr &di) override;
+
+    const Distribution<sig::ByteMask> &patterns() const
+    {
+        return patterns_;
+    }
+
+    /** Fraction of operands covered by the 2-bit-encodable set. */
+    double ext2Coverage() const;
+
+    /** Mean significant bytes per operand value. */
+    double meanSignificantBytes() const;
+
+  private:
+    void record(Word value);
+
+    Distribution<sig::ByteMask> patterns_;
+    Count totalBytes_ = 0;
+};
+
+/**
+ * Table 3 + section 2.3: dynamic funct frequencies, format mix,
+ * immediate sizes, and compressed fetch widths.
+ */
+class InstrMixProfiler : public cpu::TraceSink
+{
+  public:
+    explicit InstrMixProfiler(
+        sig::InstrCompressor compressor =
+            sig::InstrCompressor::withDefaultRanking());
+
+    void retire(const cpu::DynInstr &di) override;
+
+    const Distribution<std::uint8_t> &functFreq() const
+    {
+        return functs_;
+    }
+
+    Count total() const { return total_; }
+    double rFormatFraction() const { return frac(rFormat_); }
+    double iFormatFraction() const { return frac(iFormat_); }
+    double jFormatFraction() const { return frac(jFormat_); }
+    /** Fraction of instructions with a 16-bit immediate field. */
+    double immediateFraction() const { return frac(hasImm_); }
+    /** Of those, fraction whose immediate fits in 8 bits. */
+    double
+    shortImmediateFraction() const
+    {
+        return hasImm_ ? static_cast<double>(shortImm_) /
+                             static_cast<double>(hasImm_)
+                       : 0.0;
+    }
+    /** Mean compressed instruction bytes fetched (paper: ~3.17). */
+    double
+    meanFetchBytes() const
+    {
+        return total_ ? static_cast<double>(fetchBytes_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+    /** Fraction of instructions performing an addition (paper ~70%). */
+    double additionFraction() const { return frac(addLike_); }
+
+    /** Build a compressor from the measured funct ranking. */
+    sig::InstrCompressor
+    buildCompressor() const
+    {
+        return sig::InstrCompressor::fromProfile(functs_);
+    }
+
+  private:
+    double
+    frac(Count c) const
+    {
+        return total_ ? static_cast<double>(c) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
+
+    sig::InstrCompressor compressor_;
+    Distribution<std::uint8_t> functs_;
+    Count total_ = 0;
+    Count rFormat_ = 0;
+    Count iFormat_ = 0;
+    Count jFormat_ = 0;
+    Count hasImm_ = 0;
+    Count shortImm_ = 0;
+    Count fetchBytes_ = 0;
+    Count addLike_ = 0;
+};
+
+/**
+ * Table 2 (empirical side): PC-update activity and latency per
+ * block size, fed with the real dynamic PC stream.
+ */
+class PcProfiler : public cpu::TraceSink
+{
+  public:
+    PcProfiler();
+
+    void retire(const cpu::DynInstr &di) override;
+
+    /** Accumulator for block size @p bits (1..8). */
+    const sig::PcActivityAccumulator &forBlockBits(unsigned bits) const;
+
+  private:
+    std::array<sig::PcActivityAccumulator, 8> accs_;
+};
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_PROFILERS_H_

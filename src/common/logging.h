@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts so a debugger/core dump can inspect the state.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, malformed program); exits cleanly.
+ * warn()   — something works but not as well as it should.
+ * inform() — neutral status for the user.
+ */
+
+#ifndef SIGCOMP_COMMON_LOGGING_H_
+#define SIGCOMP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sigcomp
+{
+
+namespace detail
+{
+
+/** Format the variadic message parts into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message: only for internal simulator bugs. */
+#define SC_PANIC(...) \
+    ::sigcomp::detail::panicImpl(__FILE__, __LINE__, \
+        ::sigcomp::detail::formatMessage(__VA_ARGS__))
+
+/** Exit with a message: for unrecoverable user/configuration errors. */
+#define SC_FATAL(...) \
+    ::sigcomp::detail::fatalImpl(__FILE__, __LINE__, \
+        ::sigcomp::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define SC_WARN(...) \
+    ::sigcomp::detail::warnImpl(::sigcomp::detail::formatMessage(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define SC_INFORM(...) \
+    ::sigcomp::detail::informImpl( \
+        ::sigcomp::detail::formatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define SC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SC_PANIC("assertion '" #cond "' failed: ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace sigcomp
+
+#endif // SIGCOMP_COMMON_LOGGING_H_

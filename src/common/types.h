@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental fixed-width type aliases used across the simulator.
+ */
+
+#ifndef SIGCOMP_COMMON_TYPES_H_
+#define SIGCOMP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sigcomp
+{
+
+/** 32-bit machine word (register width of the simulated ISA). */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = std::int32_t;
+
+/** 64-bit quantity (HI:LO pairs, counters). */
+using DWord = std::uint64_t;
+
+/** Byte within a word. */
+using Byte = std::uint8_t;
+
+/** Halfword within a word. */
+using Half = std::uint16_t;
+
+/** Virtual/physical address in the simulated machine. */
+using Addr = std::uint32_t;
+
+/** Simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Large event/bit counters for activity statistics. */
+using Count = std::uint64_t;
+
+/** Number of bytes in a simulated machine word. */
+constexpr unsigned wordBytes = 4;
+
+/** Number of bits in a simulated machine word. */
+constexpr unsigned wordBits = 32;
+
+} // namespace sigcomp
+
+#endif // SIGCOMP_COMMON_TYPES_H_

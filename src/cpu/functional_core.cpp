@@ -1,0 +1,388 @@
+#include "cpu/functional_core.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::cpu
+{
+
+using isa::Funct;
+using isa::Opcode;
+using isa::InstrClass;
+
+FunctionalCore::FunctionalCore(const isa::Program &program,
+                               mem::MainMemory &memory)
+    : program_(program), memory_(memory), pc_(program.entry())
+{
+    decoded_.reserve(program.text().size());
+    for (const isa::Instruction &inst : program.text())
+        decoded_.push_back(isa::decode(inst));
+
+    const isa::DataSegment &data = program.data();
+    if (!data.bytes.empty())
+        memory_.writeBlock(data.base, data.bytes.data(), data.bytes.size());
+
+    regs_.fill(0);
+    regs_[isa::reg::sp] = isa::stackTop;
+}
+
+void
+FunctionalCore::setReg(isa::Reg r, Word v)
+{
+    if (r != isa::reg::zero)
+        regs_[r] = v;
+}
+
+bool
+FunctionalCore::doSyscall()
+{
+    const auto code = static_cast<isa::SyscallCode>(regs_[isa::reg::v0]);
+    const Word a0 = regs_[isa::reg::a0];
+    const Word a1 = regs_[isa::reg::a1];
+
+    switch (code) {
+      case isa::SyscallCode::PrintInt:
+        printed_.push_back(static_cast<SWord>(a0));
+        return false;
+      case isa::SyscallCode::PutChar:
+        output_.push_back(static_cast<char>(a0));
+        return false;
+      case isa::SyscallCode::Exit:
+        pendingResult_.reason = StopReason::Exited;
+        pendingResult_.exitCode = a0;
+        return true;
+      case isa::SyscallCode::AssertEq:
+        if (a0 != a1) {
+            pendingResult_.reason = StopReason::AssertFailed;
+            pendingResult_.assertActual = a0;
+            pendingResult_.assertExpected = a1;
+            return true;
+        }
+        return false;
+    }
+    SC_FATAL("unknown syscall code ", regs_[isa::reg::v0], " at pc=0x",
+             std::hex, pc_);
+}
+
+bool
+FunctionalCore::step(DynInstr &out)
+{
+    SC_ASSERT(!stopped_, "step() after stop");
+    SC_ASSERT(pc_ >= isa::textBase && pc_ < program_.textEnd(),
+              "pc outside text: 0x", std::hex, pc_);
+
+    const std::size_t index = (pc_ - isa::textBase) / wordBytes;
+    const isa::DecodedInstr &dec = decoded_[index];
+    const isa::Instruction inst = dec.inst;
+
+    out = DynInstr();
+    out.pc = pc_;
+    out.dec = &dec;
+
+    const Word rs_v = regs_[inst.rs()];
+    const Word rt_v = regs_[inst.rt()];
+    if (dec.readsRs)
+        out.srcRs = rs_v;
+    if (dec.readsRt)
+        out.srcRt = rt_v;
+
+    Addr next_pc = pc_ + 4;
+    Word result = 0;
+    bool stop = false;
+
+    switch (dec.cls) {
+      case InstrClass::Nop:
+        if (dec.name == "unknown")
+            SC_FATAL("executed unknown instruction 0x", std::hex,
+                     inst.raw(), " at pc=0x", pc_);
+        break;
+
+      case InstrClass::Shift: {
+        const unsigned amount =
+            (inst.funct() == Funct::Sll || inst.funct() == Funct::Srl ||
+             inst.funct() == Funct::Sra)
+                ? inst.shamt()
+                : (rs_v & 31);
+        switch (inst.funct()) {
+          case Funct::Sll:
+          case Funct::Sllv:
+            result = rt_v << amount;
+            break;
+          case Funct::Srl:
+          case Funct::Srlv:
+            result = rt_v >> amount;
+            break;
+          default:
+            result = static_cast<Word>(static_cast<SWord>(rt_v) >>
+                                       amount);
+            break;
+        }
+        break;
+      }
+
+      case InstrClass::IntAlu:
+        if (dec.format == isa::Format::R) {
+            switch (inst.funct()) {
+              case Funct::Add:
+              case Funct::Addu:
+                result = rs_v + rt_v;
+                break;
+              case Funct::Sub:
+              case Funct::Subu:
+                result = rs_v - rt_v;
+                break;
+              case Funct::And:
+                result = rs_v & rt_v;
+                break;
+              case Funct::Or:
+                result = rs_v | rt_v;
+                break;
+              case Funct::Xor:
+                result = rs_v ^ rt_v;
+                break;
+              case Funct::Nor:
+                result = ~(rs_v | rt_v);
+                break;
+              case Funct::Slt:
+                result = static_cast<SWord>(rs_v) <
+                                 static_cast<SWord>(rt_v)
+                             ? 1 : 0;
+                break;
+              case Funct::Sltu:
+                result = rs_v < rt_v ? 1 : 0;
+                break;
+              case Funct::Mfhi:
+                result = hi_;
+                break;
+              case Funct::Mflo:
+                result = lo_;
+                break;
+              case Funct::Mthi:
+                hi_ = rs_v;
+                break;
+              case Funct::Mtlo:
+                lo_ = rs_v;
+                break;
+              default:
+                SC_PANIC("unhandled R-format IntAlu funct");
+            }
+        } else {
+            switch (inst.opcode()) {
+              case Opcode::Addi:
+              case Opcode::Addiu:
+                result = rs_v + static_cast<Word>(inst.simm16());
+                break;
+              case Opcode::Slti:
+                result = static_cast<SWord>(rs_v) < inst.simm16() ? 1 : 0;
+                break;
+              case Opcode::Sltiu:
+                result = rs_v < static_cast<Word>(inst.simm16()) ? 1 : 0;
+                break;
+              case Opcode::Andi:
+                result = rs_v & inst.imm16();
+                break;
+              case Opcode::Ori:
+                result = rs_v | inst.imm16();
+                break;
+              case Opcode::Xori:
+                result = rs_v ^ inst.imm16();
+                break;
+              case Opcode::Lui:
+                result = Word{inst.imm16()} << 16;
+                break;
+              default:
+                SC_PANIC("unhandled I-format IntAlu opcode");
+            }
+        }
+        break;
+
+      case InstrClass::Mult: {
+        if (inst.funct() == Funct::Mult) {
+            const std::int64_t p =
+                static_cast<std::int64_t>(static_cast<SWord>(rs_v)) *
+                static_cast<std::int64_t>(static_cast<SWord>(rt_v));
+            lo_ = static_cast<Word>(p);
+            hi_ = static_cast<Word>(static_cast<std::uint64_t>(p) >> 32);
+        } else {
+            const std::uint64_t p =
+                static_cast<std::uint64_t>(rs_v) * rt_v;
+            lo_ = static_cast<Word>(p);
+            hi_ = static_cast<Word>(p >> 32);
+        }
+        break;
+      }
+
+      case InstrClass::Div:
+        if (inst.funct() == Funct::Div) {
+            const SWord a = static_cast<SWord>(rs_v);
+            const SWord b = static_cast<SWord>(rt_v);
+            if (b == 0) {
+                lo_ = 0;
+                hi_ = 0;
+            } else if (a == INT32_MIN && b == -1) {
+                lo_ = static_cast<Word>(INT32_MIN);
+                hi_ = 0;
+            } else {
+                lo_ = static_cast<Word>(a / b);
+                hi_ = static_cast<Word>(a % b);
+            }
+        } else {
+            if (rt_v == 0) {
+                lo_ = 0;
+                hi_ = 0;
+            } else {
+                lo_ = rs_v / rt_v;
+                hi_ = rs_v % rt_v;
+            }
+        }
+        break;
+
+      case InstrClass::Load: {
+        const Addr ea = rs_v + static_cast<Word>(inst.simm16());
+        out.memAddr = ea;
+        switch (inst.opcode()) {
+          case Opcode::Lb:
+            out.memData = memory_.readByte(ea);
+            result = signExtend(out.memData, 8);
+            break;
+          case Opcode::Lbu:
+            out.memData = memory_.readByte(ea);
+            result = out.memData;
+            break;
+          case Opcode::Lh:
+            out.memData = memory_.readHalf(ea);
+            result = signExtend(out.memData, 16);
+            break;
+          case Opcode::Lhu:
+            out.memData = memory_.readHalf(ea);
+            result = out.memData;
+            break;
+          default:
+            out.memData = memory_.readWord(ea);
+            result = out.memData;
+            break;
+        }
+        break;
+      }
+
+      case InstrClass::Store: {
+        const Addr ea = rs_v + static_cast<Word>(inst.simm16());
+        out.memAddr = ea;
+        switch (inst.opcode()) {
+          case Opcode::Sb:
+            out.memData = rt_v & 0xff;
+            memory_.writeByte(ea, static_cast<Byte>(rt_v));
+            break;
+          case Opcode::Sh:
+            out.memData = rt_v & 0xffff;
+            memory_.writeHalf(ea, static_cast<Half>(rt_v));
+            break;
+          default:
+            out.memData = rt_v;
+            memory_.writeWord(ea, rt_v);
+            break;
+        }
+        break;
+      }
+
+      case InstrClass::Branch: {
+        bool taken = false;
+        switch (inst.opcode()) {
+          case Opcode::Beq:
+            taken = rs_v == rt_v;
+            break;
+          case Opcode::Bne:
+            taken = rs_v != rt_v;
+            break;
+          case Opcode::Blez:
+            taken = static_cast<SWord>(rs_v) <= 0;
+            break;
+          case Opcode::Bgtz:
+            taken = static_cast<SWord>(rs_v) > 0;
+            break;
+          case Opcode::RegImm:
+            taken = (static_cast<isa::RegImmRt>(inst.rt()) ==
+                     isa::RegImmRt::Bgez)
+                        ? static_cast<SWord>(rs_v) >= 0
+                        : static_cast<SWord>(rs_v) < 0;
+            break;
+          default:
+            SC_PANIC("unhandled branch opcode");
+        }
+        out.taken = taken;
+        if (taken)
+            next_pc = pc_ + 4 +
+                      (static_cast<Word>(inst.simm16()) << 2);
+        break;
+      }
+
+      case InstrClass::Jump:
+        next_pc = (pc_ & 0xf0000000) | (inst.target26() << 2);
+        if (inst.opcode() == Opcode::Jal)
+            result = pc_ + 4; // link address
+        out.taken = true;
+        break;
+
+      case InstrClass::JumpReg:
+        next_pc = rs_v;
+        if (inst.funct() == Funct::Jalr)
+            result = pc_ + 4;
+        out.taken = true;
+        break;
+
+      case InstrClass::Syscall:
+        stop = doSyscall();
+        break;
+    }
+
+    if (dec.writesDest) {
+        setReg(dec.dest, result);
+        out.result = (dec.dest == isa::reg::zero) ? 0 : result;
+    }
+
+    out.nextPc = next_pc;
+    pc_ = next_pc;
+    if (stop)
+        stopped_ = true;
+    return !stop;
+}
+
+RunResult
+FunctionalCore::run(TraceSink *sink, DWord max_instrs)
+{
+    DWord count = 0;
+    DynInstr di;
+    while (count < max_instrs) {
+        const bool more = step(di);
+        ++count;
+        if (sink)
+            sink->retire(di);
+        if (!more) {
+            pendingResult_.instructions = count;
+            return pendingResult_;
+        }
+    }
+    pendingResult_.reason = StopReason::InstrLimit;
+    pendingResult_.instructions = count;
+    stopped_ = true;
+    return pendingResult_;
+}
+
+RunResult
+runToCompletion(const isa::Program &program, TraceSink *sink,
+                DWord max_instrs)
+{
+    mem::MainMemory memory;
+    FunctionalCore core(program, memory);
+    const RunResult r = core.run(sink, max_instrs);
+    if (r.reason == StopReason::AssertFailed) {
+        SC_FATAL("program '", program.name(), "' assert failed: got ",
+                 r.assertActual, ", expected ", r.assertExpected);
+    }
+    if (r.reason == StopReason::InstrLimit) {
+        SC_FATAL("program '", program.name(),
+                 "' hit the instruction limit (", max_instrs, ")");
+    }
+    return r;
+}
+
+} // namespace sigcomp::cpu

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dynamic-instruction trace record and sink interface connecting the
+ * functional core to the pipeline/activity models.
+ */
+
+#ifndef SIGCOMP_CPU_TRACE_H_
+#define SIGCOMP_CPU_TRACE_H_
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace sigcomp::cpu
+{
+
+/**
+ * One retired instruction with everything the timing and activity
+ * models need: operand values, result, memory behaviour, and control
+ * flow outcome.
+ */
+struct DynInstr
+{
+    Addr pc = 0;
+    /** Pre-decoded static instruction (owned by the core's cache). */
+    const isa::DecodedInstr *dec = nullptr;
+
+    /** Value of rs when dec->readsRs. */
+    Word srcRs = 0;
+    /** Value of rt when dec->readsRt. */
+    Word srcRt = 0;
+    /** Value written to dec->dest when dec->writesDest. */
+    Word result = 0;
+
+    /** Effective address for loads/stores. */
+    Addr memAddr = 0;
+    /**
+     * Raw datum moved to/from memory (zero-extended to 32 bits):
+     * the stored value for stores, the unconverted loaded bytes for
+     * loads. Width is dec->memBytes.
+     */
+    Word memData = 0;
+
+    /** Conditional branch outcome. */
+    bool taken = false;
+    /** Address of the next dynamic instruction. */
+    Addr nextPc = 0;
+
+    const isa::Instruction &inst() const { return dec->inst; }
+};
+
+/**
+ * Consumer of retired instructions. run() drives one sink; use a
+ * fan-out sink to feed several models in one functional pass.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once per retired instruction, in program order. */
+    virtual void retire(const DynInstr &di) = 0;
+};
+
+} // namespace sigcomp::cpu
+
+#endif // SIGCOMP_CPU_TRACE_H_

@@ -1,0 +1,397 @@
+#include "isa/assembler.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::isa
+{
+
+void
+Assembler::emit(Instruction inst)
+{
+    SC_ASSERT(!finished_, "emit after finish()");
+    text_.push_back(inst);
+}
+
+Addr
+Assembler::addrOfIndex(std::size_t index) const
+{
+    return textBase + static_cast<Addr>(index * wordBytes);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (symbols_.count(name))
+        SC_FATAL("duplicate label '", name, "'");
+    symbols_[name] = addrOfIndex(text_.size());
+}
+
+void
+Assembler::dataLabel(const std::string &name)
+{
+    if (symbols_.count(name))
+        SC_FATAL("duplicate label '", name, "'");
+    symbols_[name] = dataCursor();
+}
+
+// ---- R-format -----------------------------------------------------------
+
+void Assembler::sll(Reg rd, Reg rt, unsigned shamt)
+{ emit(Instruction::makeR(Funct::Sll, rd, reg::zero, rt, shamt)); }
+void Assembler::srl(Reg rd, Reg rt, unsigned shamt)
+{ emit(Instruction::makeR(Funct::Srl, rd, reg::zero, rt, shamt)); }
+void Assembler::sra(Reg rd, Reg rt, unsigned shamt)
+{ emit(Instruction::makeR(Funct::Sra, rd, reg::zero, rt, shamt)); }
+void Assembler::sllv(Reg rd, Reg rt, Reg rs)
+{ emit(Instruction::makeR(Funct::Sllv, rd, rs, rt)); }
+void Assembler::srlv(Reg rd, Reg rt, Reg rs)
+{ emit(Instruction::makeR(Funct::Srlv, rd, rs, rt)); }
+void Assembler::srav(Reg rd, Reg rt, Reg rs)
+{ emit(Instruction::makeR(Funct::Srav, rd, rs, rt)); }
+void Assembler::jr(Reg rs)
+{ emit(Instruction::makeR(Funct::Jr, reg::zero, rs, reg::zero)); }
+void Assembler::jalr(Reg rd, Reg rs)
+{ emit(Instruction::makeR(Funct::Jalr, rd, rs, reg::zero)); }
+void Assembler::syscall()
+{ emit(Instruction::makeR(Funct::Syscall, 0, 0, 0)); }
+void Assembler::mfhi(Reg rd)
+{ emit(Instruction::makeR(Funct::Mfhi, rd, reg::zero, reg::zero)); }
+void Assembler::mflo(Reg rd)
+{ emit(Instruction::makeR(Funct::Mflo, rd, reg::zero, reg::zero)); }
+void Assembler::mthi(Reg rs)
+{ emit(Instruction::makeR(Funct::Mthi, reg::zero, rs, reg::zero)); }
+void Assembler::mtlo(Reg rs)
+{ emit(Instruction::makeR(Funct::Mtlo, reg::zero, rs, reg::zero)); }
+void Assembler::mult(Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Mult, reg::zero, rs, rt)); }
+void Assembler::multu(Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Multu, reg::zero, rs, rt)); }
+void Assembler::div(Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Div, reg::zero, rs, rt)); }
+void Assembler::divu(Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Divu, reg::zero, rs, rt)); }
+void Assembler::add(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Add, rd, rs, rt)); }
+void Assembler::addu(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Addu, rd, rs, rt)); }
+void Assembler::sub(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Sub, rd, rs, rt)); }
+void Assembler::subu(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Subu, rd, rs, rt)); }
+void Assembler::and_(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::And, rd, rs, rt)); }
+void Assembler::or_(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Or, rd, rs, rt)); }
+void Assembler::xor_(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Xor, rd, rs, rt)); }
+void Assembler::nor(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Nor, rd, rs, rt)); }
+void Assembler::slt(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Slt, rd, rs, rt)); }
+void Assembler::sltu(Reg rd, Reg rs, Reg rt)
+{ emit(Instruction::makeR(Funct::Sltu, rd, rs, rt)); }
+
+// ---- I-format -------------------------------------------------------------
+
+void
+Assembler::addi(Reg rt, Reg rs, std::int16_t imm)
+{
+    emit(Instruction::makeI(Opcode::Addi, rt, rs,
+                            static_cast<Half>(imm)));
+}
+void
+Assembler::addiu(Reg rt, Reg rs, std::int16_t imm)
+{
+    emit(Instruction::makeI(Opcode::Addiu, rt, rs,
+                            static_cast<Half>(imm)));
+}
+void
+Assembler::slti(Reg rt, Reg rs, std::int16_t imm)
+{
+    emit(Instruction::makeI(Opcode::Slti, rt, rs,
+                            static_cast<Half>(imm)));
+}
+void
+Assembler::sltiu(Reg rt, Reg rs, std::int16_t imm)
+{
+    emit(Instruction::makeI(Opcode::Sltiu, rt, rs,
+                            static_cast<Half>(imm)));
+}
+void Assembler::andi(Reg rt, Reg rs, std::uint16_t imm)
+{ emit(Instruction::makeI(Opcode::Andi, rt, rs, imm)); }
+void Assembler::ori(Reg rt, Reg rs, std::uint16_t imm)
+{ emit(Instruction::makeI(Opcode::Ori, rt, rs, imm)); }
+void Assembler::xori(Reg rt, Reg rs, std::uint16_t imm)
+{ emit(Instruction::makeI(Opcode::Xori, rt, rs, imm)); }
+void Assembler::lui(Reg rt, std::uint16_t imm)
+{ emit(Instruction::makeI(Opcode::Lui, rt, reg::zero, imm)); }
+void Assembler::lb(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Lb, rt, base, static_cast<Half>(off))); }
+void Assembler::lh(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Lh, rt, base, static_cast<Half>(off))); }
+void Assembler::lw(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Lw, rt, base, static_cast<Half>(off))); }
+void Assembler::lbu(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Lbu, rt, base, static_cast<Half>(off))); }
+void Assembler::lhu(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Lhu, rt, base, static_cast<Half>(off))); }
+void Assembler::sb(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Sb, rt, base, static_cast<Half>(off))); }
+void Assembler::sh(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Sh, rt, base, static_cast<Half>(off))); }
+void Assembler::sw(Reg rt, std::int16_t off, Reg base)
+{ emit(Instruction::makeI(Opcode::Sw, rt, base, static_cast<Half>(off))); }
+
+// ---- control flow ----------------------------------------------------------
+
+void
+Assembler::emitBranch(Instruction inst, const std::string &target)
+{
+    fixups_.push_back({text_.size(), FixupKind::BranchRel16, target});
+    emit(inst);
+}
+
+void
+Assembler::beq(Reg rs, Reg rt, const std::string &target)
+{ emitBranch(Instruction::makeI(Opcode::Beq, rt, rs, 0), target); }
+
+void
+Assembler::bne(Reg rs, Reg rt, const std::string &target)
+{ emitBranch(Instruction::makeI(Opcode::Bne, rt, rs, 0), target); }
+
+void
+Assembler::blez(Reg rs, const std::string &target)
+{ emitBranch(Instruction::makeI(Opcode::Blez, reg::zero, rs, 0), target); }
+
+void
+Assembler::bgtz(Reg rs, const std::string &target)
+{ emitBranch(Instruction::makeI(Opcode::Bgtz, reg::zero, rs, 0), target); }
+
+void
+Assembler::bltz(Reg rs, const std::string &target)
+{ emitBranch(Instruction::makeRegImm(RegImmRt::Bltz, rs, 0), target); }
+
+void
+Assembler::bgez(Reg rs, const std::string &target)
+{ emitBranch(Instruction::makeRegImm(RegImmRt::Bgez, rs, 0), target); }
+
+void
+Assembler::j(const std::string &target)
+{
+    fixups_.push_back({text_.size(), FixupKind::Jump26, target});
+    emit(Instruction::makeJ(Opcode::J, 0));
+}
+
+void
+Assembler::jal(const std::string &target)
+{
+    fixups_.push_back({text_.size(), FixupKind::Jump26, target});
+    emit(Instruction::makeJ(Opcode::Jal, 0));
+}
+
+// ---- pseudo-instructions ---------------------------------------------------
+
+void
+Assembler::li(Reg rd, SWord imm)
+{
+    if (imm >= -32768 && imm <= 32767) {
+        addiu(rd, reg::zero, static_cast<std::int16_t>(imm));
+    } else if (imm >= 0 && imm <= 0xffff) {
+        ori(rd, reg::zero, static_cast<std::uint16_t>(imm));
+    } else {
+        const Word u = static_cast<Word>(imm);
+        lui(rd, static_cast<std::uint16_t>(u >> 16));
+        if ((u & 0xffff) != 0)
+            ori(rd, rd, static_cast<std::uint16_t>(u & 0xffff));
+    }
+}
+
+void
+Assembler::la(Reg rd, const std::string &sym)
+{
+    fixups_.push_back({text_.size(), FixupKind::Hi16, sym});
+    lui(rd, 0);
+    fixups_.push_back({text_.size(), FixupKind::Lo16, sym});
+    ori(rd, rd, 0);
+}
+
+void Assembler::move(Reg rd, Reg rs) { addu(rd, rs, reg::zero); }
+void Assembler::neg(Reg rd, Reg rs) { subu(rd, reg::zero, rs); }
+void Assembler::b(const std::string &target)
+{ beq(reg::zero, reg::zero, target); }
+
+void
+Assembler::mul(Reg rd, Reg rs, Reg rt)
+{
+    mult(rs, rt);
+    mflo(rd);
+}
+
+void
+Assembler::blt(Reg rs, Reg rt, const std::string &target)
+{
+    slt(reg::at, rs, rt);
+    bne(reg::at, reg::zero, target);
+}
+
+void
+Assembler::bge(Reg rs, Reg rt, const std::string &target)
+{
+    slt(reg::at, rs, rt);
+    beq(reg::at, reg::zero, target);
+}
+
+void
+Assembler::bgt(Reg rs, Reg rt, const std::string &target)
+{
+    slt(reg::at, rt, rs);
+    bne(reg::at, reg::zero, target);
+}
+
+void
+Assembler::ble(Reg rs, Reg rt, const std::string &target)
+{
+    slt(reg::at, rt, rs);
+    beq(reg::at, reg::zero, target);
+}
+
+void Assembler::nop() { emit(Instruction::nop()); }
+
+void
+Assembler::exitProgram()
+{
+    li(reg::v0, static_cast<SWord>(SyscallCode::Exit));
+    syscall();
+}
+
+void
+Assembler::assertEq()
+{
+    li(reg::v0, static_cast<SWord>(SyscallCode::AssertEq));
+    syscall();
+}
+
+void
+Assembler::printInt()
+{
+    li(reg::v0, static_cast<SWord>(SyscallCode::PrintInt));
+    syscall();
+}
+
+// ---- data directives -------------------------------------------------------
+
+Addr
+Assembler::dataCursor() const
+{
+    return dataBase + static_cast<Addr>(data_.size());
+}
+
+void
+Assembler::dataAlign(unsigned alignment)
+{
+    SC_ASSERT(alignment && (alignment & (alignment - 1)) == 0,
+              "alignment must be a power of two");
+    while (data_.size() % alignment)
+        data_.push_back(0);
+}
+
+Addr
+Assembler::dataWord(Word value)
+{
+    dataAlign(4);
+    const Addr at = dataCursor();
+    for (unsigned i = 0; i < 4; ++i)
+        data_.push_back(wordByte(value, i));
+    return at;
+}
+
+Addr
+Assembler::dataWords(std::span<const Word> values)
+{
+    dataAlign(4);
+    const Addr at = dataCursor();
+    for (Word v : values)
+        dataWord(v);
+    return at;
+}
+
+Addr
+Assembler::dataHalves(std::span<const std::int16_t> values)
+{
+    dataAlign(2);
+    const Addr at = dataCursor();
+    for (std::int16_t v : values) {
+        const auto u = static_cast<std::uint16_t>(v);
+        data_.push_back(static_cast<Byte>(u & 0xff));
+        data_.push_back(static_cast<Byte>(u >> 8));
+    }
+    return at;
+}
+
+Addr
+Assembler::dataBytes(std::span<const Byte> values)
+{
+    const Addr at = dataCursor();
+    data_.insert(data_.end(), values.begin(), values.end());
+    return at;
+}
+
+Addr
+Assembler::dataSpace(std::size_t n)
+{
+    const Addr at = dataCursor();
+    data_.insert(data_.end(), n, 0);
+    return at;
+}
+
+// ---- linking ---------------------------------------------------------------
+
+Program
+Assembler::finish(const std::string &program_name)
+{
+    SC_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+
+    for (const Fixup &fx : fixups_) {
+        auto it = symbols_.find(fx.label);
+        if (it == symbols_.end())
+            SC_FATAL("undefined label '", fx.label, "' in '",
+                     program_name, "'");
+        const Addr target = it->second;
+        Word w = text_[fx.index].raw();
+        switch (fx.kind) {
+          case FixupKind::BranchRel16: {
+            const Addr pc = addrOfIndex(fx.index);
+            const SWord delta =
+                (static_cast<SWord>(target) - static_cast<SWord>(pc + 4)) / 4;
+            if (delta < -32768 || delta > 32767)
+                SC_FATAL("branch to '", fx.label, "' out of range");
+            w = setBitField(w, 0, 16, static_cast<Word>(delta) & 0xffff);
+            break;
+          }
+          case FixupKind::Jump26:
+            w = setBitField(w, 0, 26, (target >> 2) & 0x03ffffff);
+            break;
+          case FixupKind::Hi16:
+            w = setBitField(w, 0, 16, target >> 16);
+            break;
+          case FixupKind::Lo16:
+            w = setBitField(w, 0, 16, target & 0xffff);
+            break;
+        }
+        text_[fx.index] = Instruction(w);
+    }
+
+    DataSegment seg;
+    seg.base = dataBase;
+    seg.bytes = std::move(data_);
+
+    Addr entry = textBase;
+    if (auto it = symbols_.find("main"); it != symbols_.end())
+        entry = it->second;
+
+    return Program(program_name, std::move(text_), std::move(seg), entry,
+                   std::move(symbols_));
+}
+
+} // namespace sigcomp::isa

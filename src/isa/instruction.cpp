@@ -1,0 +1,348 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sigcomp::isa
+{
+
+Instruction
+Instruction::makeR(Funct f, Reg rd, Reg rs, Reg rt, unsigned shamt)
+{
+    SC_ASSERT(rd < 32 && rs < 32 && rt < 32 && shamt < 32,
+              "R-format field out of range");
+    Word w = 0;
+    w = setBitField(w, 26, 6, static_cast<Word>(Opcode::Special));
+    w = setBitField(w, 21, 5, rs);
+    w = setBitField(w, 16, 5, rt);
+    w = setBitField(w, 11, 5, rd);
+    w = setBitField(w, 6, 5, shamt);
+    w = setBitField(w, 0, 6, static_cast<Word>(f));
+    return Instruction(w);
+}
+
+Instruction
+Instruction::makeI(Opcode op, Reg rt, Reg rs, Half imm)
+{
+    SC_ASSERT(op != Opcode::Special && op != Opcode::J && op != Opcode::Jal,
+              "makeI with non I-format opcode");
+    Word w = 0;
+    w = setBitField(w, 26, 6, static_cast<Word>(op));
+    w = setBitField(w, 21, 5, rs);
+    w = setBitField(w, 16, 5, rt);
+    w = setBitField(w, 0, 16, imm);
+    return Instruction(w);
+}
+
+Instruction
+Instruction::makeRegImm(RegImmRt sel, Reg rs, Half imm)
+{
+    Word w = 0;
+    w = setBitField(w, 26, 6, static_cast<Word>(Opcode::RegImm));
+    w = setBitField(w, 21, 5, rs);
+    w = setBitField(w, 16, 5, static_cast<Word>(sel));
+    w = setBitField(w, 0, 16, imm);
+    return Instruction(w);
+}
+
+Instruction
+Instruction::makeJ(Opcode op, Word target26)
+{
+    SC_ASSERT(op == Opcode::J || op == Opcode::Jal,
+              "makeJ with non J-format opcode");
+    Word w = 0;
+    w = setBitField(w, 26, 6, static_cast<Word>(op));
+    w = setBitField(w, 0, 26, target26);
+    return Instruction(w);
+}
+
+namespace
+{
+
+/** Decode the R-format (Opcode::Special) space. */
+void
+decodeSpecial(DecodedInstr &d)
+{
+    const Instruction inst = d.inst;
+    d.format = Format::R;
+    d.usesFunct = true;
+    d.name = functName(inst.funct());
+
+    switch (inst.funct()) {
+      case Funct::Sll:
+      case Funct::Srl:
+      case Funct::Sra:
+        // NOP is sll $zero,$zero,0.
+        if (inst.raw() == 0) {
+            d.cls = InstrClass::Nop;
+            d.name = "nop";
+            return;
+        }
+        d.cls = InstrClass::Shift;
+        d.readsRt = true;
+        d.dest = inst.rd();
+        d.writesDest = true;
+        return;
+      case Funct::Sllv:
+      case Funct::Srlv:
+      case Funct::Srav:
+        d.cls = InstrClass::Shift;
+        d.readsRs = true;
+        d.readsRt = true;
+        d.dest = inst.rd();
+        d.writesDest = true;
+        return;
+      case Funct::Jr:
+        d.cls = InstrClass::JumpReg;
+        d.readsRs = true;
+        d.isControl = true;
+        return;
+      case Funct::Jalr:
+        d.cls = InstrClass::JumpReg;
+        d.readsRs = true;
+        d.dest = inst.rd();
+        d.writesDest = true;
+        d.isControl = true;
+        return;
+      case Funct::Syscall:
+      case Funct::Break:
+        d.cls = InstrClass::Syscall;
+        return;
+      case Funct::Mfhi:
+      case Funct::Mflo:
+        d.cls = InstrClass::IntAlu;
+        d.dest = inst.rd();
+        d.writesDest = true;
+        return;
+      case Funct::Mthi:
+      case Funct::Mtlo:
+        d.cls = InstrClass::IntAlu;
+        d.readsRs = true;
+        return;
+      case Funct::Mult:
+      case Funct::Multu:
+        d.cls = InstrClass::Mult;
+        d.readsRs = true;
+        d.readsRt = true;
+        return;
+      case Funct::Div:
+      case Funct::Divu:
+        d.cls = InstrClass::Div;
+        d.readsRs = true;
+        d.readsRt = true;
+        return;
+      case Funct::Add:
+      case Funct::Addu:
+      case Funct::Sub:
+      case Funct::Subu:
+      case Funct::And:
+      case Funct::Or:
+      case Funct::Xor:
+      case Funct::Nor:
+      case Funct::Slt:
+      case Funct::Sltu:
+        d.cls = InstrClass::IntAlu;
+        d.readsRs = true;
+        d.readsRt = true;
+        d.dest = inst.rd();
+        d.writesDest = true;
+        return;
+    }
+    d.cls = InstrClass::Nop;
+    d.name = "unknown";
+}
+
+} // namespace
+
+DecodedInstr
+decode(Instruction inst)
+{
+    DecodedInstr d;
+    d.inst = inst;
+
+    const Opcode op = inst.opcode();
+    switch (op) {
+      case Opcode::Special:
+        decodeSpecial(d);
+        return d;
+
+      case Opcode::RegImm:
+        d.format = Format::I;
+        d.cls = InstrClass::Branch;
+        d.readsRs = true;
+        d.usesImmediate = true;
+        d.isControl = true;
+        d.isCondBranch = true;
+        d.name = (static_cast<RegImmRt>(inst.rt()) == RegImmRt::Bgez)
+                     ? "bgez" : "bltz";
+        return d;
+
+      case Opcode::J:
+      case Opcode::Jal:
+        d.format = Format::J;
+        d.cls = InstrClass::Jump;
+        d.isControl = true;
+        d.name = opcodeName(op);
+        if (op == Opcode::Jal) {
+            d.dest = reg::ra;
+            d.writesDest = true;
+        }
+        return d;
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+        d.cls = InstrClass::Branch;
+        d.readsRs = true;
+        d.readsRt = true;
+        d.usesImmediate = true;
+        d.isControl = true;
+        d.isCondBranch = true;
+        d.name = opcodeName(op);
+        return d;
+
+      case Opcode::Blez:
+      case Opcode::Bgtz:
+        d.cls = InstrClass::Branch;
+        d.readsRs = true;
+        d.usesImmediate = true;
+        d.isControl = true;
+        d.isCondBranch = true;
+        d.name = opcodeName(op);
+        return d;
+
+      case Opcode::Addi:
+      case Opcode::Addiu:
+      case Opcode::Slti:
+      case Opcode::Sltiu:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+        d.cls = InstrClass::IntAlu;
+        d.readsRs = true;
+        d.usesImmediate = true;
+        d.dest = inst.rt();
+        d.writesDest = true;
+        d.name = opcodeName(op);
+        return d;
+
+      case Opcode::Lui:
+        d.cls = InstrClass::IntAlu;
+        d.usesImmediate = true;
+        d.dest = inst.rt();
+        d.writesDest = true;
+        d.name = opcodeName(op);
+        return d;
+
+      case Opcode::Lb:
+      case Opcode::Lh:
+      case Opcode::Lw:
+      case Opcode::Lbu:
+      case Opcode::Lhu:
+        d.cls = InstrClass::Load;
+        d.readsRs = true;
+        d.usesImmediate = true;
+        d.dest = inst.rt();
+        d.writesDest = true;
+        d.isLoad = true;
+        d.memBytes = (op == Opcode::Lw) ? 4
+                   : (op == Opcode::Lh || op == Opcode::Lhu) ? 2 : 1;
+        d.memSigned = (op == Opcode::Lb || op == Opcode::Lh);
+        d.name = opcodeName(op);
+        return d;
+
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+        d.cls = InstrClass::Store;
+        d.readsRs = true;
+        d.readsRt = true;
+        d.usesImmediate = true;
+        d.isStore = true;
+        d.memBytes = (op == Opcode::Sw) ? 4 : (op == Opcode::Sh) ? 2 : 1;
+        d.name = opcodeName(op);
+        return d;
+    }
+
+    d.cls = InstrClass::Nop;
+    d.name = "unknown";
+    return d;
+}
+
+std::string
+disassemble(Instruction inst)
+{
+    const DecodedInstr d = decode(inst);
+    std::ostringstream os;
+    os << d.name;
+
+    auto hex = [](Word v) {
+        std::ostringstream h;
+        h << "0x" << std::hex << v;
+        return h.str();
+    };
+
+    switch (d.cls) {
+      case InstrClass::Nop:
+        break;
+      case InstrClass::Shift:
+        if (inst.funct() == Funct::Sll || inst.funct() == Funct::Srl ||
+            inst.funct() == Funct::Sra) {
+            os << ' ' << regName(inst.rd()) << ", " << regName(inst.rt())
+               << ", " << inst.shamt();
+        } else {
+            os << ' ' << regName(inst.rd()) << ", " << regName(inst.rt())
+               << ", " << regName(inst.rs());
+        }
+        break;
+      case InstrClass::IntAlu:
+        if (d.format == Format::R) {
+            if (inst.funct() == Funct::Mfhi || inst.funct() == Funct::Mflo) {
+                os << ' ' << regName(inst.rd());
+            } else if (inst.funct() == Funct::Mthi ||
+                       inst.funct() == Funct::Mtlo) {
+                os << ' ' << regName(inst.rs());
+            } else {
+                os << ' ' << regName(inst.rd()) << ", "
+                   << regName(inst.rs()) << ", " << regName(inst.rt());
+            }
+        } else if (inst.opcode() == Opcode::Lui) {
+            os << ' ' << regName(inst.rt()) << ", " << hex(inst.imm16());
+        } else {
+            os << ' ' << regName(inst.rt()) << ", " << regName(inst.rs())
+               << ", " << inst.simm16();
+        }
+        break;
+      case InstrClass::Mult:
+      case InstrClass::Div:
+        os << ' ' << regName(inst.rs()) << ", " << regName(inst.rt());
+        break;
+      case InstrClass::Load:
+      case InstrClass::Store:
+        os << ' ' << regName(inst.rt()) << ", " << inst.simm16() << '('
+           << regName(inst.rs()) << ')';
+        break;
+      case InstrClass::Branch:
+        if (inst.opcode() == Opcode::Beq || inst.opcode() == Opcode::Bne) {
+            os << ' ' << regName(inst.rs()) << ", " << regName(inst.rt())
+               << ", " << inst.simm16();
+        } else {
+            os << ' ' << regName(inst.rs()) << ", " << inst.simm16();
+        }
+        break;
+      case InstrClass::Jump:
+        os << ' ' << hex(inst.target26() << 2);
+        break;
+      case InstrClass::JumpReg:
+        if (inst.funct() == Funct::Jalr)
+            os << ' ' << regName(inst.rd()) << ", " << regName(inst.rs());
+        else
+            os << ' ' << regName(inst.rs());
+        break;
+      case InstrClass::Syscall:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace sigcomp::isa

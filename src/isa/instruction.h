@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Instruction word wrapper: field extraction, encoding helpers,
+ * decoded classification, and disassembly.
+ */
+
+#ifndef SIGCOMP_ISA_INSTRUCTION_H_
+#define SIGCOMP_ISA_INSTRUCTION_H_
+
+#include <string>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+#include "isa/opcodes.h"
+
+namespace sigcomp::isa
+{
+
+/** Broad execution class of a decoded instruction. */
+enum class InstrClass
+{
+    IntAlu,    ///< single-cycle integer ALU operation
+    Shift,     ///< shifter operation
+    Mult,      ///< multi-cycle multiply
+    Div,       ///< multi-cycle divide
+    Load,
+    Store,
+    Branch,    ///< conditional branch (resolved in EX)
+    Jump,      ///< unconditional PC-relative/absolute jump
+    JumpReg,   ///< jump through register
+    Syscall,
+    Nop,
+};
+
+/** Instruction encoding format. */
+enum class Format
+{
+    R,
+    I,
+    J,
+};
+
+/**
+ * A 32-bit instruction word plus field accessors.
+ *
+ * The class is a thin value wrapper: decode work that is needed
+ * repeatedly (classification, register usage) lives in the
+ * DecodedInstr produced by decode().
+ */
+class Instruction
+{
+  public:
+    Instruction() : raw_(0) {}
+    explicit Instruction(Word raw) : raw_(raw) {}
+
+    Word raw() const { return raw_; }
+
+    // Field accessors (MIPS bit layout).
+    std::uint8_t opcodeField() const
+    {
+        return static_cast<std::uint8_t>(bitField(raw_, 26, 6));
+    }
+    Opcode opcode() const { return static_cast<Opcode>(opcodeField()); }
+    Reg rs() const { return static_cast<Reg>(bitField(raw_, 21, 5)); }
+    Reg rt() const { return static_cast<Reg>(bitField(raw_, 16, 5)); }
+    Reg rd() const { return static_cast<Reg>(bitField(raw_, 11, 5)); }
+    unsigned shamt() const { return bitField(raw_, 6, 5); }
+    std::uint8_t functField() const
+    {
+        return static_cast<std::uint8_t>(bitField(raw_, 0, 6));
+    }
+    Funct funct() const { return static_cast<Funct>(functField()); }
+    Half imm16() const { return static_cast<Half>(bitField(raw_, 0, 16)); }
+    /** Sign-extended 16-bit immediate. */
+    SWord simm16() const { return static_cast<std::int16_t>(imm16()); }
+    /** 26-bit jump target field. */
+    Word target26() const { return bitField(raw_, 0, 26); }
+
+    bool operator==(const Instruction &o) const { return raw_ == o.raw_; }
+
+    // Encoding helpers.
+
+    /** Encode an R-format instruction. */
+    static Instruction makeR(Funct f, Reg rd, Reg rs, Reg rt,
+                             unsigned shamt = 0);
+
+    /** Encode an I-format instruction. */
+    static Instruction makeI(Opcode op, Reg rt, Reg rs, Half imm);
+
+    /** Encode a REGIMM branch (BLTZ/BGEZ). */
+    static Instruction makeRegImm(RegImmRt sel, Reg rs, Half imm);
+
+    /** Encode a J-format instruction. */
+    static Instruction makeJ(Opcode op, Word target26);
+
+    /** The canonical NOP (sll $zero,$zero,0). */
+    static Instruction nop() { return Instruction(0); }
+
+  private:
+    Word raw_;
+};
+
+/**
+ * Fully decoded instruction metadata used by the functional core and
+ * the pipeline models.
+ */
+struct DecodedInstr
+{
+    Instruction inst;
+    Format format = Format::I;
+    InstrClass cls = InstrClass::IntAlu;
+
+    bool readsRs = false;
+    bool readsRt = false;
+    /** Destination register, or reg::zero when none. */
+    Reg dest = reg::zero;
+    bool writesDest = false;
+
+    bool usesImmediate = false;
+    /** Memory access size in bytes (loads/stores), else 0. */
+    unsigned memBytes = 0;
+    bool memSigned = false;
+    bool isLoad = false;
+    bool isStore = false;
+    /** Any control transfer (branch, jump, jump-register). */
+    bool isControl = false;
+    /** Conditional branch specifically. */
+    bool isCondBranch = false;
+    /** R-format instruction whose funct field selects the op. */
+    bool usesFunct = false;
+
+    /** Mnemonic, e.g. "addu". */
+    std::string name;
+};
+
+/**
+ * Decode an instruction word.
+ *
+ * Unknown encodings decode as InstrClass::Nop with name "unknown";
+ * the functional core treats executing one as fatal, but the decoder
+ * itself never fails (hardware would not either).
+ */
+DecodedInstr decode(Instruction inst);
+
+/** Render "mnemonic operands" assembly text for an instruction. */
+std::string disassemble(Instruction inst);
+
+} // namespace sigcomp::isa
+
+#endif // SIGCOMP_ISA_INSTRUCTION_H_

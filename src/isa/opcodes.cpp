@@ -1,0 +1,159 @@
+#include "isa/opcodes.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::isa
+{
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Special: return "special";
+      case Opcode::RegImm:  return "regimm";
+      case Opcode::J:       return "j";
+      case Opcode::Jal:     return "jal";
+      case Opcode::Beq:     return "beq";
+      case Opcode::Bne:     return "bne";
+      case Opcode::Blez:    return "blez";
+      case Opcode::Bgtz:    return "bgtz";
+      case Opcode::Addi:    return "addi";
+      case Opcode::Addiu:   return "addiu";
+      case Opcode::Slti:    return "slti";
+      case Opcode::Sltiu:   return "sltiu";
+      case Opcode::Andi:    return "andi";
+      case Opcode::Ori:     return "ori";
+      case Opcode::Xori:    return "xori";
+      case Opcode::Lui:     return "lui";
+      case Opcode::Lb:      return "lb";
+      case Opcode::Lh:      return "lh";
+      case Opcode::Lw:      return "lw";
+      case Opcode::Lbu:     return "lbu";
+      case Opcode::Lhu:     return "lhu";
+      case Opcode::Sb:      return "sb";
+      case Opcode::Sh:      return "sh";
+      case Opcode::Sw:      return "sw";
+    }
+    return "op?" + std::to_string(static_cast<unsigned>(op));
+}
+
+std::string
+functName(Funct f)
+{
+    switch (f) {
+      case Funct::Sll:     return "sll";
+      case Funct::Srl:     return "srl";
+      case Funct::Sra:     return "sra";
+      case Funct::Sllv:    return "sllv";
+      case Funct::Srlv:    return "srlv";
+      case Funct::Srav:    return "srav";
+      case Funct::Jr:      return "jr";
+      case Funct::Jalr:    return "jalr";
+      case Funct::Syscall: return "syscall";
+      case Funct::Break:   return "break";
+      case Funct::Mfhi:    return "mfhi";
+      case Funct::Mthi:    return "mthi";
+      case Funct::Mflo:    return "mflo";
+      case Funct::Mtlo:    return "mtlo";
+      case Funct::Mult:    return "mult";
+      case Funct::Multu:   return "multu";
+      case Funct::Div:     return "div";
+      case Funct::Divu:    return "divu";
+      case Funct::Add:     return "add";
+      case Funct::Addu:    return "addu";
+      case Funct::Sub:     return "sub";
+      case Funct::Subu:    return "subu";
+      case Funct::And:     return "and";
+      case Funct::Or:      return "or";
+      case Funct::Xor:     return "xor";
+      case Funct::Nor:     return "nor";
+      case Funct::Slt:     return "slt";
+      case Funct::Sltu:    return "sltu";
+    }
+    return "funct?" + std::to_string(static_cast<unsigned>(f));
+}
+
+std::string
+regName(Reg r)
+{
+    static const char *names[32] = {
+        "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+        "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+        "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+    };
+    SC_ASSERT(r < 32, "register index out of range: ", unsigned{r});
+    return names[r];
+}
+
+bool
+opcodeValid(std::uint8_t raw)
+{
+    switch (static_cast<Opcode>(raw)) {
+      case Opcode::Special:
+      case Opcode::RegImm:
+      case Opcode::J:
+      case Opcode::Jal:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blez:
+      case Opcode::Bgtz:
+      case Opcode::Addi:
+      case Opcode::Addiu:
+      case Opcode::Slti:
+      case Opcode::Sltiu:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Lui:
+      case Opcode::Lb:
+      case Opcode::Lh:
+      case Opcode::Lw:
+      case Opcode::Lbu:
+      case Opcode::Lhu:
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+        return true;
+    }
+    return false;
+}
+
+bool
+functValid(std::uint8_t raw)
+{
+    switch (static_cast<Funct>(raw)) {
+      case Funct::Sll:
+      case Funct::Srl:
+      case Funct::Sra:
+      case Funct::Sllv:
+      case Funct::Srlv:
+      case Funct::Srav:
+      case Funct::Jr:
+      case Funct::Jalr:
+      case Funct::Syscall:
+      case Funct::Break:
+      case Funct::Mfhi:
+      case Funct::Mthi:
+      case Funct::Mflo:
+      case Funct::Mtlo:
+      case Funct::Mult:
+      case Funct::Multu:
+      case Funct::Div:
+      case Funct::Divu:
+      case Funct::Add:
+      case Funct::Addu:
+      case Funct::Sub:
+      case Funct::Subu:
+      case Funct::And:
+      case Funct::Or:
+      case Funct::Xor:
+      case Funct::Nor:
+      case Funct::Slt:
+      case Funct::Sltu:
+        return true;
+    }
+    return false;
+}
+
+} // namespace sigcomp::isa

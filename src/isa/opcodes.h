@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Opcode, function-code and register definitions for the simulated
+ * MIPS-like 32-bit ISA.
+ *
+ * The ISA mirrors MIPS-I integer semantics (the paper compiles
+ * Mediabench "into a MIPS-like ISA") with one simplification that is
+ * irrelevant to this paper's pipelines: there are no branch delay
+ * slots. The modelled pipelines stall fetch on every control
+ * transfer until it resolves, so delay-slot scheduling would change
+ * neither CPI nor activity.
+ */
+
+#ifndef SIGCOMP_ISA_OPCODES_H_
+#define SIGCOMP_ISA_OPCODES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace sigcomp::isa
+{
+
+/** Primary 6-bit opcode field values. */
+enum class Opcode : std::uint8_t
+{
+    Special = 0x00, ///< R-format; operation selected by funct
+    RegImm  = 0x01, ///< BLTZ/BGEZ (rt field selects)
+    J       = 0x02,
+    Jal     = 0x03,
+    Beq     = 0x04,
+    Bne     = 0x05,
+    Blez    = 0x06,
+    Bgtz    = 0x07,
+    Addi    = 0x08,
+    Addiu   = 0x09,
+    Slti    = 0x0a,
+    Sltiu   = 0x0b,
+    Andi    = 0x0c,
+    Ori     = 0x0d,
+    Xori    = 0x0e,
+    Lui     = 0x0f,
+    Lb      = 0x20,
+    Lh      = 0x21,
+    Lw      = 0x23,
+    Lbu     = 0x24,
+    Lhu     = 0x25,
+    Sb      = 0x28,
+    Sh      = 0x29,
+    Sw      = 0x2b,
+};
+
+/** R-format 6-bit function codes. */
+enum class Funct : std::uint8_t
+{
+    Sll     = 0x00,
+    Srl     = 0x02,
+    Sra     = 0x03,
+    Sllv    = 0x04,
+    Srlv    = 0x06,
+    Srav    = 0x07,
+    Jr      = 0x08,
+    Jalr    = 0x09,
+    Syscall = 0x0c,
+    Break   = 0x0d,
+    Mfhi    = 0x10,
+    Mthi    = 0x11,
+    Mflo    = 0x12,
+    Mtlo    = 0x13,
+    Mult    = 0x18,
+    Multu   = 0x19,
+    Div     = 0x1a,
+    Divu    = 0x1b,
+    Add     = 0x20,
+    Addu    = 0x21,
+    Sub     = 0x22,
+    Subu    = 0x23,
+    And     = 0x24,
+    Or      = 0x25,
+    Xor     = 0x26,
+    Nor     = 0x27,
+    Slt     = 0x2a,
+    Sltu    = 0x2b,
+};
+
+/** rt-field selectors under Opcode::RegImm. */
+enum class RegImmRt : std::uint8_t
+{
+    Bltz = 0x00,
+    Bgez = 0x01,
+};
+
+/** Architectural register index. */
+using Reg = std::uint8_t;
+
+/** Conventional MIPS register names. */
+namespace reg
+{
+constexpr Reg zero = 0;
+constexpr Reg at = 1;
+constexpr Reg v0 = 2;
+constexpr Reg v1 = 3;
+constexpr Reg a0 = 4;
+constexpr Reg a1 = 5;
+constexpr Reg a2 = 6;
+constexpr Reg a3 = 7;
+constexpr Reg t0 = 8;
+constexpr Reg t1 = 9;
+constexpr Reg t2 = 10;
+constexpr Reg t3 = 11;
+constexpr Reg t4 = 12;
+constexpr Reg t5 = 13;
+constexpr Reg t6 = 14;
+constexpr Reg t7 = 15;
+constexpr Reg s0 = 16;
+constexpr Reg s1 = 17;
+constexpr Reg s2 = 18;
+constexpr Reg s3 = 19;
+constexpr Reg s4 = 20;
+constexpr Reg s5 = 21;
+constexpr Reg s6 = 22;
+constexpr Reg s7 = 23;
+constexpr Reg t8 = 24;
+constexpr Reg t9 = 25;
+constexpr Reg k0 = 26;
+constexpr Reg k1 = 27;
+constexpr Reg gp = 28;
+constexpr Reg sp = 29;
+constexpr Reg fp = 30;
+constexpr Reg ra = 31;
+} // namespace reg
+
+/** Number of architectural integer registers. */
+constexpr unsigned numRegs = 32;
+
+/** Syscall codes understood by the functional core (in $v0). */
+enum class SyscallCode : Word
+{
+    PrintInt = 1,
+    Exit = 10,
+    PutChar = 11,
+    AssertEq = 93,
+};
+
+/** Human-readable mnemonic of an opcode ("lw", "addiu", ...). */
+std::string opcodeName(Opcode op);
+
+/** Human-readable mnemonic of a function code ("addu", ...). */
+std::string functName(Funct f);
+
+/** Canonical "$t0"-style name of a register. */
+std::string regName(Reg r);
+
+/** True iff the value is one of the defined Opcode enumerators. */
+bool opcodeValid(std::uint8_t raw);
+
+/** True iff the value is one of the defined Funct enumerators. */
+bool functValid(std::uint8_t raw);
+
+} // namespace sigcomp::isa
+
+#endif // SIGCOMP_ISA_OPCODES_H_

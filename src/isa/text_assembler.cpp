@@ -1,0 +1,342 @@
+#include "isa/text_assembler.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "isa/assembler.h"
+
+namespace sigcomp::isa
+{
+
+namespace
+{
+
+/** Tokenized line: mnemonic plus comma-separated operand strings. */
+struct Line
+{
+    int number = 0;
+    std::string label;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+syntaxError(int line, const std::string &what)
+{
+    SC_FATAL("asm syntax error at line ", line, ": ", what);
+}
+
+/** Parse "$t0" / "$zero" / "$5" into a register number. */
+Reg
+parseReg(const std::string &tok, int line)
+{
+    if (tok.empty() || tok[0] != '$')
+        syntaxError(line, "expected register, got '" + tok + "'");
+    const std::string body = tok.substr(1);
+    static const std::pair<const char *, Reg> names[] = {
+        {"zero", 0}, {"at", 1}, {"v0", 2}, {"v1", 3},
+        {"a0", 4}, {"a1", 5}, {"a2", 6}, {"a3", 7},
+        {"t0", 8}, {"t1", 9}, {"t2", 10}, {"t3", 11},
+        {"t4", 12}, {"t5", 13}, {"t6", 14}, {"t7", 15},
+        {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19},
+        {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"t8", 24}, {"t9", 25}, {"k0", 26}, {"k1", 27},
+        {"gp", 28}, {"sp", 29}, {"fp", 30}, {"ra", 31},
+    };
+    for (const auto &[n, r] : names)
+        if (body == n)
+            return r;
+    if (!body.empty() && std::isdigit(static_cast<unsigned char>(body[0]))) {
+        const int r = std::stoi(body);
+        if (r >= 0 && r < 32)
+            return static_cast<Reg>(r);
+    }
+    syntaxError(line, "bad register '" + tok + "'");
+}
+
+/** Parse a decimal / 0x-hex / negative integer literal. */
+std::optional<long long>
+parseIntOpt(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::size_t pos = 0;
+    try {
+        const long long v = std::stoll(tok, &pos, 0);
+        if (pos != tok.size())
+            return std::nullopt;
+        return v;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+long long
+parseInt(const std::string &tok, int line)
+{
+    auto v = parseIntOpt(tok);
+    if (!v)
+        syntaxError(line, "bad integer '" + tok + "'");
+    return *v;
+}
+
+/** Parse "off($base)" memory operand. */
+std::pair<std::int16_t, Reg>
+parseMem(const std::string &tok, int line)
+{
+    const std::size_t open = tok.find('(');
+    const std::size_t close = tok.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        syntaxError(line, "bad memory operand '" + tok + "'");
+    }
+    const std::string off_s = trim(tok.substr(0, open));
+    const std::string reg_s = trim(tok.substr(open + 1, close - open - 1));
+    const long long off = off_s.empty() ? 0 : parseInt(off_s, line);
+    if (off < -32768 || off > 32767)
+        syntaxError(line, "offset out of range");
+    return {static_cast<std::int16_t>(off), parseReg(reg_s, line)};
+}
+
+Line
+tokenize(const std::string &raw, int number)
+{
+    Line out;
+    out.number = number;
+
+    std::string s = raw;
+    if (const auto hash = s.find('#'); hash != std::string::npos)
+        s = s.substr(0, hash);
+    s = trim(s);
+    if (s.empty())
+        return out;
+
+    if (const auto colon = s.find(':'); colon != std::string::npos) {
+        out.label = trim(s.substr(0, colon));
+        if (out.label.empty())
+            syntaxError(number, "empty label");
+        s = trim(s.substr(colon + 1));
+    }
+    if (s.empty())
+        return out;
+
+    const std::size_t sp = s.find_first_of(" \t");
+    out.mnemonic = (sp == std::string::npos) ? s : s.substr(0, sp);
+    if (sp != std::string::npos) {
+        std::string rest = trim(s.substr(sp));
+        std::string cur;
+        for (char c : rest) {
+            if (c == ',') {
+                out.operands.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!trim(cur).empty())
+            out.operands.push_back(trim(cur));
+    }
+    return out;
+}
+
+} // namespace
+
+Program
+assembleText(const std::string &source, const std::string &name)
+{
+    Assembler as;
+    bool in_data = false;
+
+    std::istringstream is(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(is, raw)) {
+        ++line_no;
+        const Line ln = tokenize(raw, line_no);
+
+        if (!ln.label.empty()) {
+            if (in_data)
+                as.dataLabel(ln.label);
+            else
+                as.label(ln.label);
+        }
+        if (ln.mnemonic.empty())
+            continue;
+
+        const std::string &m = ln.mnemonic;
+        const auto &ops = ln.operands;
+        const int n = line_no;
+
+        auto need = [&](std::size_t k) {
+            if (ops.size() != k) {
+                syntaxError(n, m + " expects " + std::to_string(k) +
+                                   " operands, got " +
+                                   std::to_string(ops.size()));
+            }
+        };
+        auto r = [&](std::size_t i) { return parseReg(ops[i], n); };
+        auto i16 = [&](std::size_t i) {
+            const long long v = parseInt(ops[i], n);
+            if (v < -32768 || v > 65535)
+                syntaxError(n, "immediate out of range");
+            return static_cast<std::int16_t>(v);
+        };
+        auto u16 = [&](std::size_t i) {
+            const long long v = parseInt(ops[i], n);
+            if (v < 0 || v > 0xffff)
+                syntaxError(n, "immediate out of range");
+            return static_cast<std::uint16_t>(v);
+        };
+
+        // Directives -----------------------------------------------------
+        if (m == ".text") { in_data = false; continue; }
+        if (m == ".data") { in_data = true; continue; }
+        if (m == ".word" || m == ".half" || m == ".byte") {
+            if (!in_data)
+                syntaxError(n, m + " outside .data");
+            for (const auto &op : ops) {
+                const long long v = parseInt(op, n);
+                if (m == ".word") {
+                    as.dataWord(static_cast<Word>(v));
+                } else if (m == ".half") {
+                    const std::int16_t h = static_cast<std::int16_t>(v);
+                    as.dataHalves(std::span(&h, 1));
+                } else {
+                    const Byte b = static_cast<Byte>(v);
+                    as.dataBytes(std::span(&b, 1));
+                }
+            }
+            continue;
+        }
+        if (m == ".space") {
+            need(1);
+            as.dataSpace(static_cast<std::size_t>(parseInt(ops[0], n)));
+            continue;
+        }
+        if (m == ".align") {
+            need(1);
+            as.dataAlign(static_cast<unsigned>(parseInt(ops[0], n)));
+            continue;
+        }
+        if (m[0] == '.')
+            syntaxError(n, "unknown directive " + m);
+
+        // Instructions -----------------------------------------------------
+        if (m == "nop") { need(0); as.nop(); continue; }
+        if (m == "syscall") { need(0); as.syscall(); continue; }
+
+        if (m == "sll" || m == "srl" || m == "sra") {
+            need(3);
+            const unsigned sh = static_cast<unsigned>(parseInt(ops[2], n));
+            if (sh > 31)
+                syntaxError(n, "shift amount out of range");
+            if (m == "sll") as.sll(r(0), r(1), sh);
+            else if (m == "srl") as.srl(r(0), r(1), sh);
+            else as.sra(r(0), r(1), sh);
+            continue;
+        }
+        if (m == "sllv") { need(3); as.sllv(r(0), r(1), r(2)); continue; }
+        if (m == "srlv") { need(3); as.srlv(r(0), r(1), r(2)); continue; }
+        if (m == "srav") { need(3); as.srav(r(0), r(1), r(2)); continue; }
+
+        if (m == "add" || m == "addu" || m == "sub" || m == "subu" ||
+            m == "and" || m == "or" || m == "xor" || m == "nor" ||
+            m == "slt" || m == "sltu" || m == "mul") {
+            need(3);
+            if (m == "add") as.add(r(0), r(1), r(2));
+            else if (m == "addu") as.addu(r(0), r(1), r(2));
+            else if (m == "sub") as.sub(r(0), r(1), r(2));
+            else if (m == "subu") as.subu(r(0), r(1), r(2));
+            else if (m == "and") as.and_(r(0), r(1), r(2));
+            else if (m == "or") as.or_(r(0), r(1), r(2));
+            else if (m == "xor") as.xor_(r(0), r(1), r(2));
+            else if (m == "nor") as.nor(r(0), r(1), r(2));
+            else if (m == "slt") as.slt(r(0), r(1), r(2));
+            else if (m == "sltu") as.sltu(r(0), r(1), r(2));
+            else as.mul(r(0), r(1), r(2));
+            continue;
+        }
+
+        if (m == "mult") { need(2); as.mult(r(0), r(1)); continue; }
+        if (m == "multu") { need(2); as.multu(r(0), r(1)); continue; }
+        if (m == "div") { need(2); as.div(r(0), r(1)); continue; }
+        if (m == "divu") { need(2); as.divu(r(0), r(1)); continue; }
+        if (m == "mfhi") { need(1); as.mfhi(r(0)); continue; }
+        if (m == "mflo") { need(1); as.mflo(r(0)); continue; }
+        if (m == "mthi") { need(1); as.mthi(r(0)); continue; }
+        if (m == "mtlo") { need(1); as.mtlo(r(0)); continue; }
+
+        if (m == "addi") { need(3); as.addi(r(0), r(1), i16(2)); continue; }
+        if (m == "addiu") { need(3); as.addiu(r(0), r(1), i16(2)); continue; }
+        if (m == "slti") { need(3); as.slti(r(0), r(1), i16(2)); continue; }
+        if (m == "sltiu") { need(3); as.sltiu(r(0), r(1), i16(2)); continue; }
+        if (m == "andi") { need(3); as.andi(r(0), r(1), u16(2)); continue; }
+        if (m == "ori") { need(3); as.ori(r(0), r(1), u16(2)); continue; }
+        if (m == "xori") { need(3); as.xori(r(0), r(1), u16(2)); continue; }
+        if (m == "lui") { need(2); as.lui(r(0), u16(1)); continue; }
+
+        if (m == "lb" || m == "lh" || m == "lw" || m == "lbu" ||
+            m == "lhu" || m == "sb" || m == "sh" || m == "sw") {
+            need(2);
+            const auto [off, base] = parseMem(ops[1], n);
+            if (m == "lb") as.lb(r(0), off, base);
+            else if (m == "lh") as.lh(r(0), off, base);
+            else if (m == "lw") as.lw(r(0), off, base);
+            else if (m == "lbu") as.lbu(r(0), off, base);
+            else if (m == "lhu") as.lhu(r(0), off, base);
+            else if (m == "sb") as.sb(r(0), off, base);
+            else if (m == "sh") as.sh(r(0), off, base);
+            else as.sw(r(0), off, base);
+            continue;
+        }
+
+        if (m == "beq" || m == "bne" || m == "blt" || m == "bge" ||
+            m == "bgt" || m == "ble") {
+            need(3);
+            if (m == "beq") as.beq(r(0), r(1), ops[2]);
+            else if (m == "bne") as.bne(r(0), r(1), ops[2]);
+            else if (m == "blt") as.blt(r(0), r(1), ops[2]);
+            else if (m == "bge") as.bge(r(0), r(1), ops[2]);
+            else if (m == "bgt") as.bgt(r(0), r(1), ops[2]);
+            else as.ble(r(0), r(1), ops[2]);
+            continue;
+        }
+        if (m == "blez") { need(2); as.blez(r(0), ops[1]); continue; }
+        if (m == "bgtz") { need(2); as.bgtz(r(0), ops[1]); continue; }
+        if (m == "bltz") { need(2); as.bltz(r(0), ops[1]); continue; }
+        if (m == "bgez") { need(2); as.bgez(r(0), ops[1]); continue; }
+        if (m == "b") { need(1); as.b(ops[0]); continue; }
+        if (m == "j") { need(1); as.j(ops[0]); continue; }
+        if (m == "jal") { need(1); as.jal(ops[0]); continue; }
+        if (m == "jr") { need(1); as.jr(r(0)); continue; }
+        if (m == "jalr") { need(2); as.jalr(r(0), r(1)); continue; }
+
+        if (m == "li") {
+            need(2);
+            as.li(r(0), static_cast<SWord>(parseInt(ops[1], n)));
+            continue;
+        }
+        if (m == "la") { need(2); as.la(r(0), ops[1]); continue; }
+        if (m == "move") { need(2); as.move(r(0), r(1)); continue; }
+        if (m == "neg") { need(2); as.neg(r(0), r(1)); continue; }
+
+        syntaxError(n, "unknown mnemonic '" + m + "'");
+    }
+
+    return as.finish(name);
+}
+
+} // namespace sigcomp::isa

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Text-form assembler: parses a small MIPS-style assembly dialect
+ * into a Program, so users can supply kernels without writing C++.
+ *
+ * Supported syntax:
+ *   .text / .data            section switch
+ *   label:                   label binding (either section)
+ *   .word  v, v, ...         32-bit values (decimal or 0x hex)
+ *   .half  v, v, ...         16-bit values
+ *   .byte  v, v, ...         8-bit values
+ *   .space n                 n zero bytes
+ *   .align n                 align to n bytes
+ *   # comment                to end of line
+ *   all real instructions of the ISA plus the pseudo-instructions
+ *   li, la, move, neg, b, mul, blt, bge, bgt, ble, nop.
+ */
+
+#ifndef SIGCOMP_ISA_TEXT_ASSEMBLER_H_
+#define SIGCOMP_ISA_TEXT_ASSEMBLER_H_
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace sigcomp::isa
+{
+
+/**
+ * Assemble @p source into a Program named @p name.
+ * Fatal (user error) on any syntax problem, reporting the line.
+ */
+Program assembleText(const std::string &source, const std::string &name);
+
+} // namespace sigcomp::isa
+
+#endif // SIGCOMP_ISA_TEXT_ASSEMBLER_H_

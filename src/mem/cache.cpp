@@ -1,0 +1,122 @@
+#include "mem/cache.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace sigcomp::mem
+{
+
+Cache::Cache(CacheParams params) : params_(std::move(params))
+{
+    SC_ASSERT(std::has_single_bit(params_.lineBytes),
+              "line size must be a power of two");
+    SC_ASSERT(params_.assoc >= 1, "associativity must be >= 1");
+    SC_ASSERT(params_.sizeBytes % (params_.lineBytes * params_.assoc) == 0,
+              "cache size not divisible by line*assoc");
+
+    numSets_ = params_.sizeBytes / (params_.lineBytes * params_.assoc);
+    SC_ASSERT(std::has_single_bit(numSets_),
+              "number of sets must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(params_.lineBytes));
+
+    const unsigned index_bits =
+        static_cast<unsigned>(std::countr_zero(numSets_));
+    // Address tag plus the valid bit, as the paper counts tag bank bits.
+    tagBits_ = 32 - index_bits - lineShift_ + 1;
+
+    lines_.resize(static_cast<std::size_t>(numSets_) * params_.assoc);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+CacheAccess
+Cache::access(Addr addr, bool is_write)
+{
+    ++tick_;
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    CacheAccess out;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = tick_;
+            line.dirty = line.dirty || is_write;
+            out.hit = true;
+            return out;
+        }
+    }
+
+    // Miss: allocate (write-allocate for stores too).
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    Line *victim = base;
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim->valid)
+            break;
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    if (victim->valid && victim->dirty) {
+        out.writeback = true;
+        out.victimLine = victim->tag << lineShift_;
+        ++stats_.writebacks;
+    }
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = tick_;
+
+    out.fillLine = lineAddr(addr);
+    ++stats_.fills;
+    return out;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line = Line();
+    tick_ = 0;
+}
+
+} // namespace sigcomp::mem

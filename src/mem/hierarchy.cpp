@@ -1,0 +1,69 @@
+#include "mem/hierarchy.h"
+
+namespace sigcomp::mem
+{
+
+MemoryHierarchy::MemoryHierarchy(HierarchyParams params)
+    : params_(std::move(params)), l1i_(params_.l1i), l1d_(params_.l1d),
+      l2_(params_.l2), itlb_(params_.itlb), dtlb_(params_.dtlb)
+{
+}
+
+MemOutcome
+MemoryHierarchy::accessThrough(Cache &l1, Tlb &tlb, Addr addr, bool is_write)
+{
+    MemOutcome out;
+
+    out.tlbHit = tlb.access(addr);
+    if (!out.tlbHit)
+        out.extraLatency += tlb.params().missPenalty;
+
+    const CacheAccess a1 = l1.access(addr, is_write);
+    out.l1Hit = a1.hit;
+    if (a1.hit)
+        return out;
+
+    out.l1Fill = true;
+    out.fillLine = a1.fillLine;
+    out.writeback = a1.writeback;
+    out.victimLine = a1.victimLine;
+
+    // L1 write-back lands in L2 (write traffic, no extra latency).
+    if (a1.writeback)
+        l2_.access(a1.victimLine, true);
+
+    const CacheAccess a2 = l2_.access(addr, false);
+    out.l2Hit = a2.hit;
+    out.extraLatency +=
+        a2.hit ? l2_.params().hitLatency : params_.memoryPenalty;
+    return out;
+}
+
+MemOutcome
+MemoryHierarchy::instrFetch(Addr pc)
+{
+    return accessThrough(l1i_, itlb_, pc, false);
+}
+
+MemOutcome
+MemoryHierarchy::dataAccess(Addr addr, bool is_write)
+{
+    return accessThrough(l1d_, dtlb_, addr, is_write);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i_.flush();
+    l1d_.flush();
+    l2_.flush();
+    itlb_.flush();
+    dtlb_.flush();
+    l1i_.clearStats();
+    l1d_.clearStats();
+    l2_.clearStats();
+    itlb_.clearStats();
+    dtlb_.clearStats();
+}
+
+} // namespace sigcomp::mem

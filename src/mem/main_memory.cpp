@@ -1,0 +1,88 @@
+#include "mem/main_memory.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::mem
+{
+
+const MainMemory::Page MainMemory::zeroPage_ = {};
+
+const MainMemory::Page *
+MainMemory::readPage(Addr a) const
+{
+    const Addr key = a >> pageBits;
+    auto it = pages_.find(key);
+    return it == pages_.end() ? &zeroPage_ : it->second.get();
+}
+
+MainMemory::Page *
+MainMemory::writePage(Addr a)
+{
+    const Addr key = a >> pageBits;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        it = pages_.emplace(key, std::make_unique<Page>()).first;
+    return it->second.get();
+}
+
+Byte
+MainMemory::readByte(Addr a) const
+{
+    return (*readPage(a))[a & (pageSize - 1)];
+}
+
+Half
+MainMemory::readHalf(Addr a) const
+{
+    SC_ASSERT(a % 2 == 0, "unaligned halfword read at 0x", std::hex, a);
+    const Page &p = *readPage(a);
+    const Addr off = a & (pageSize - 1);
+    return static_cast<Half>(p[off] | (Half{p[off + 1]} << 8));
+}
+
+Word
+MainMemory::readWord(Addr a) const
+{
+    SC_ASSERT(a % 4 == 0, "unaligned word read at 0x", std::hex, a);
+    const Page &p = *readPage(a);
+    const Addr off = a & (pageSize - 1);
+    return Word{p[off]} | (Word{p[off + 1]} << 8) |
+           (Word{p[off + 2]} << 16) | (Word{p[off + 3]} << 24);
+}
+
+void
+MainMemory::writeByte(Addr a, Byte v)
+{
+    (*writePage(a))[a & (pageSize - 1)] = v;
+}
+
+void
+MainMemory::writeHalf(Addr a, Half v)
+{
+    SC_ASSERT(a % 2 == 0, "unaligned halfword write at 0x", std::hex, a);
+    Page &p = *writePage(a);
+    const Addr off = a & (pageSize - 1);
+    p[off] = static_cast<Byte>(v);
+    p[off + 1] = static_cast<Byte>(v >> 8);
+}
+
+void
+MainMemory::writeWord(Addr a, Word v)
+{
+    SC_ASSERT(a % 4 == 0, "unaligned word write at 0x", std::hex, a);
+    Page &p = *writePage(a);
+    const Addr off = a & (pageSize - 1);
+    p[off] = static_cast<Byte>(v);
+    p[off + 1] = static_cast<Byte>(v >> 8);
+    p[off + 2] = static_cast<Byte>(v >> 16);
+    p[off + 3] = static_cast<Byte>(v >> 24);
+}
+
+void
+MainMemory::writeBlock(Addr a, const Byte *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        writeByte(a + static_cast<Addr>(i), src[i]);
+}
+
+} // namespace sigcomp::mem

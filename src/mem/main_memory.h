@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse byte-addressable main memory for the simulated machine.
+ */
+
+#ifndef SIGCOMP_MEM_MAIN_MEMORY_H_
+#define SIGCOMP_MEM_MAIN_MEMORY_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace sigcomp::mem
+{
+
+/**
+ * Little-endian sparse memory. Pages are allocated (zero-filled) on
+ * first touch, so stack and bss "just work" without explicit
+ * mapping. All accesses must be naturally aligned.
+ */
+class MainMemory
+{
+  public:
+    static constexpr unsigned pageBits = 12;
+    static constexpr Addr pageSize = Addr{1} << pageBits;
+
+    MainMemory() = default;
+
+    // Non-copyable (pages can be large); movable.
+    MainMemory(const MainMemory &) = delete;
+    MainMemory &operator=(const MainMemory &) = delete;
+    MainMemory(MainMemory &&) = default;
+    MainMemory &operator=(MainMemory &&) = default;
+
+    Byte readByte(Addr a) const;
+    Half readHalf(Addr a) const;
+    Word readWord(Addr a) const;
+
+    void writeByte(Addr a, Byte v);
+    void writeHalf(Addr a, Half v);
+    void writeWord(Addr a, Word v);
+
+    /** Copy a block of bytes into memory. */
+    void writeBlock(Addr a, const Byte *src, std::size_t n);
+
+    /** Number of pages currently allocated (for tests/diagnostics). */
+    std::size_t pagesAllocated() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<Byte, pageSize>;
+
+    /** Page for reading: shared zero page when untouched. */
+    const Page *readPage(Addr a) const;
+
+    /** Page for writing: allocates on demand. */
+    Page *writePage(Addr a);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    static const Page zeroPage_;
+};
+
+} // namespace sigcomp::mem
+
+#endif // SIGCOMP_MEM_MAIN_MEMORY_H_

@@ -1,0 +1,65 @@
+#include "mem/tlb.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace sigcomp::mem
+{
+
+Tlb::Tlb(TlbParams params) : params_(std::move(params))
+{
+    SC_ASSERT(params_.assoc >= 1 && params_.entries >= params_.assoc,
+              "bad TLB geometry");
+    SC_ASSERT(params_.entries % params_.assoc == 0,
+              "TLB entries not divisible by associativity");
+    numSets_ = params_.entries / params_.assoc;
+    SC_ASSERT(std::has_single_bit(numSets_),
+              "TLB set count must be a power of two");
+    entries_.resize(params_.entries);
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    ++tick_;
+    ++stats_.accesses;
+
+    const Addr vpn = addr >> params_.pageBits;
+    const unsigned set = vpn & (numSets_ - 1);
+    Entry *base = &entries_[static_cast<std::size_t>(set) * params_.assoc];
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lruStamp = tick_;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    Entry *victim = base;
+    for (unsigned w = 1; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim->valid)
+            break;
+        if (base[w].lruStamp < victim->lruStamp)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = tick_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : entries_)
+        e = Entry();
+    tick_ = 0;
+}
+
+} // namespace sigcomp::mem

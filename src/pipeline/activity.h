@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bit-level activity accounting (paper sections 2.2-2.9).
+ *
+ * For every dynamic instruction we count the bits that switch in
+ * each pipeline structure twice: once for the significance-
+ * compressed design and once for the conventional 32-bit baseline
+ * executing the same instruction. Percent savings per stage
+ * (Tables 5 and 6 of the paper) fall out as
+ * 1 - compressed/baseline.
+ */
+
+#ifndef SIGCOMP_PIPELINE_ACTIVITY_H_
+#define SIGCOMP_PIPELINE_ACTIVITY_H_
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace sigcomp::pipeline
+{
+
+/** One structure's compressed/baseline bit counters. */
+struct BitPair
+{
+    Count compressed = 0;
+    Count baseline = 0;
+
+    void
+    add(Count c, Count b)
+    {
+        compressed += c;
+        baseline += b;
+    }
+
+    /** Percent activity saving, the paper's table metric. */
+    double saving() const { return percentSaving(compressed, baseline); }
+
+    BitPair &
+    operator+=(const BitPair &o)
+    {
+        compressed += o.compressed;
+        baseline += o.baseline;
+        return *this;
+    }
+};
+
+/** Per-stage activity totals (one row of Table 5/6). */
+struct ActivityTotals
+{
+    BitPair fetch;    ///< I-cache read + fill bits
+    BitPair rfRead;   ///< register file read bits
+    BitPair rfWrite;  ///< register file write bits
+    BitPair alu;      ///< execute-stage datapath bits
+    BitPair dcData;   ///< D-cache data array bits
+    BitPair dcTag;    ///< D-cache tag array bits
+    BitPair pcInc;    ///< PC increment bits
+    BitPair latch;    ///< inter-stage latch bits
+
+    ActivityTotals &
+    operator+=(const ActivityTotals &o)
+    {
+        fetch += o.fetch;
+        rfRead += o.rfRead;
+        rfWrite += o.rfWrite;
+        alu += o.alu;
+        dcData += o.dcData;
+        dcTag += o.dcTag;
+        pcInc += o.pcInc;
+        latch += o.latch;
+        return *this;
+    }
+};
+
+/** Control bits latched per pipeline boundary (both designs). */
+constexpr unsigned latchCtrlBits = 12;
+
+/**
+ * Baseline 32-bit 5-stage latch widths per instruction:
+ * IF/ID instr+pc, ID/EX two operands + immediate, EX/MEM result +
+ * store data, MEM/WB result (plus control each).
+ */
+constexpr unsigned baselineLatchBits =
+    (32 + 32) + (32 + 32 + 16) + (32 + 32) + 32 + 4 * latchCtrlBits;
+
+/** Extension-bit write overhead of one I-cache fill word: 1 fetch
+ * extension bit plus a small constant for the permute/recode logic. */
+constexpr unsigned ifillPermuteBits = 6;
+
+} // namespace sigcomp::pipeline
+
+#endif // SIGCOMP_PIPELINE_ACTIVITY_H_

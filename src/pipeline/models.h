@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The paper's pipeline implementations (sections 3-6):
+ *
+ *  - Baseline32            conventional 32-bit 5-stage pipeline
+ *  - ByteSerial            1-byte datapath, 3-byte I-fetch (Fig 3)
+ *  - HalfwordSerial        16-bit granularity variant (Fig 4)
+ *  - ByteSemiParallel      3B IF / 2B RF+ALU / 1B D$ (Fig 5)
+ *  - ByteParallelSkewed    full-width skewed 7-stage (Fig 7)
+ *  - ByteParallelCompressed full-width 5-stage, variable occupancy
+ *                          (Fig 9)
+ *  - SkewedBypass          skewed + short-operand stage skipping
+ *                          (Fig 10)
+ */
+
+#ifndef SIGCOMP_PIPELINE_MODELS_H_
+#define SIGCOMP_PIPELINE_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+
+namespace sigcomp::pipeline
+{
+
+/** Enumeration of all modelled designs. */
+enum class Design
+{
+    Baseline32,
+    ByteSerial,
+    HalfwordSerial,
+    ByteSemiParallel,
+    ByteParallelSkewed,
+    ByteParallelCompressed,
+    SkewedBypass,
+};
+
+/** Canonical short name ("baseline32", "byte-serial", ...). */
+std::string designName(Design d);
+
+/** All designs in presentation order. */
+std::vector<Design> allDesigns();
+
+/**
+ * Construct a pipeline model. HalfwordSerial overrides the
+ * configured encoding with Half1; all other designs use
+ * config.encoding (Ext3 unless an ablation asks otherwise).
+ */
+std::unique_ptr<InOrderPipeline> makePipeline(Design d,
+                                              PipelineConfig config);
+
+/** The conventional 32-bit in-order 5-stage pipeline. */
+class Baseline32 : public InOrderPipeline
+{
+  public:
+    explicit Baseline32(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+};
+
+/** Fig 3: byte-serial datapath. */
+class ByteSerial : public InOrderPipeline
+{
+  public:
+    explicit ByteSerial(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+};
+
+/** Byte-serial at halfword granularity. */
+class HalfwordSerial : public InOrderPipeline
+{
+  public:
+    explicit HalfwordSerial(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+};
+
+/** Fig 5: 3-byte fetch, 2-byte RF/ALU, 1-byte data cache. */
+class ByteSemiParallel : public InOrderPipeline
+{
+  public:
+    explicit ByteSemiParallel(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+};
+
+/** Fig 7: full-width skewed pipeline (7 stages). */
+class ByteParallelSkewed : public InOrderPipeline
+{
+  public:
+    explicit ByteParallelSkewed(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+    unsigned latchBoundaries(const InstrQuanta &q) const override;
+};
+
+/** Fig 9: full-width five-stage pipeline, compressed occupancy. */
+class ByteParallelCompressed : public InOrderPipeline
+{
+  public:
+    explicit ByteParallelCompressed(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+};
+
+/** Fig 10: skewed pipeline with short-operand bypasses. */
+class SkewedBypass : public InOrderPipeline
+{
+  public:
+    explicit SkewedBypass(PipelineConfig config);
+
+  protected:
+    TimingPlan plan(const cpu::DynInstr &di,
+                    const InstrQuanta &q) override;
+    unsigned latchBoundaries(const InstrQuanta &q) const override;
+};
+
+} // namespace sigcomp::pipeline
+
+#endif // SIGCOMP_PIPELINE_MODELS_H_

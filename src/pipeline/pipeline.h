@@ -1,0 +1,264 @@
+/**
+ * @file
+ * In-order pipeline timing framework.
+ *
+ * All of the paper's implementations are in-order pipelines whose
+ * stages have *variable, data-dependent occupancy* (number of
+ * significant chunks to fetch/read/operate/access/write). Timing
+ * follows the classic reservation recurrence
+ *
+ *   start[i][s] = max(start[i][s-1] + lead[i][s-1],
+ *                     end[i-1][s],            // in-order structural
+ *                     hazard constraints)
+ *   end[i][s]   = start[i][s] + dur[i][s]
+ *
+ * where lead < dur models *operand streaming*: a byte-serial stage
+ * hands its first chunk downstream after one cycle while it keeps
+ * producing the rest ("while the next byte is being accessed, the EX
+ * unit can perform on the first data byte", section 4).
+ *
+ * Concrete designs override plan() to supply per-instruction stage
+ * occupancies and the stage roles (where operands are consumed,
+ * where branches resolve, where results become forwardable).
+ */
+
+#ifndef SIGCOMP_PIPELINE_PIPELINE_H_
+#define SIGCOMP_PIPELINE_PIPELINE_H_
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cpu/trace.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "mem/main_memory.h"
+#include "pipeline/activity.h"
+#include "pipeline/predictor.h"
+#include "sigcomp/compressed_word.h"
+#include "sigcomp/instr_compress.h"
+#include "sigcomp/pc_increment.h"
+#include "sigcomp/serial_alu.h"
+
+namespace sigcomp::pipeline
+{
+
+/** Maximum pipeline depth across all implementations. */
+constexpr unsigned maxStages = 8;
+
+/** Shared configuration for all pipeline models. */
+struct PipelineConfig
+{
+    sig::Encoding encoding = sig::Encoding::Ext3;
+    mem::HierarchyParams memory{};
+    /** Blocking EX occupancy of multiplies/divides (all designs). */
+    unsigned multCycles = 4;
+    unsigned divCycles = 12;
+    /** Instruction compressor (funct ranking); profiled per suite. */
+    sig::InstrCompressor compressor =
+        sig::InstrCompressor::withDefaultRanking();
+    /** Front-end branch prediction (paper future work; default off:
+     * the paper's machines stall on every control transfer). */
+    PredictorKind predictor = PredictorKind::None;
+    unsigned phtEntries = 512;
+    unsigned btbEntries = 128;
+};
+
+/**
+ * Stall-cycle attribution (drives the section-5 bottleneck study).
+ *
+ * Counts are per-stage wait cycles: one instruction can wait at
+ * several stages, and waits can overlap across instructions in
+ * flight, so the total is an attribution measure — it can exceed
+ * the end-to-end cycle difference from an ideal pipeline.
+ */
+struct StallBreakdown
+{
+    Count controlCycles = 0;    ///< fetch waiting on branch/jump resolve
+    Count dataHazardCycles = 0; ///< operand (incl. load-use) waits
+    Count structuralCycles = 0; ///< stage busy with previous instruction
+    Count icacheMissCycles = 0; ///< extra fetch latency
+    Count dcacheMissCycles = 0; ///< extra memory latency
+
+    Count
+    total() const
+    {
+        return controlCycles + dataHazardCycles + structuralCycles +
+               icacheMissCycles + dcacheMissCycles;
+    }
+};
+
+/** Final metrics of one pipeline run. */
+struct PipelineResult
+{
+    std::string name;
+    DWord instructions = 0;
+    Cycle cycles = 0;
+    StallBreakdown stalls;
+    ActivityTotals activity;
+    PredictorStats predictor;
+    mem::CacheStats l1i;
+    mem::CacheStats l1d;
+    mem::CacheStats l2;
+
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/**
+ * Per-instruction, per-design stage schedule produced by plan().
+ */
+struct TimingPlan
+{
+    unsigned numStages = 5;
+    /** Occupancy per stage (cycles), >= 1. */
+    std::array<unsigned, maxStages> dur{};
+    /** Cycles until the first chunk is available downstream. */
+    std::array<unsigned, maxStages> lead{};
+    /** Stage whose START waits for source operands. */
+    unsigned consumeStage = 2;
+    /** Control transfers redirect fetch after the END of this stage. */
+    unsigned resolveStage = 2;
+    /** ALU/other results are forwardable from this stage. */
+    unsigned readyStage = 2;
+    /** Load results are forwardable from this stage. */
+    unsigned loadReadyStage = 3;
+    /** Streamed forwarding: consumers may start one cycle after the
+     * producing stage starts (chunkwise); otherwise they wait for its
+     * end. */
+    bool streamForward = false;
+    /** Latch boundaries this instruction actually traverses. */
+    unsigned latchBoundaries = 4;
+};
+
+/**
+ * Encoding-dependent per-instruction quantities shared by the
+ * concrete designs' plan() implementations and by the activity
+ * accounting.
+ */
+struct InstrQuanta
+{
+    unsigned fetchBytes = 4;   ///< compressed instruction bytes (3/4)
+    unsigned srcChunks = 0;    ///< max significant chunks over sources
+    unsigned numSrcRegs = 0;
+    unsigned exChunks = 0;     ///< ALU work chunks (0 = no ALU use)
+    unsigned exWorkBytes = 0;  ///< ALU activity bytes
+    unsigned memChunks = 0;    ///< data chunks moved by a load/store
+    unsigned memAccessBytes = 0; ///< architectural access size
+    unsigned resChunks = 0;    ///< significant chunks of the result
+    bool usesAlu = false;
+    bool isMult = false;
+    bool isDiv = false;
+    Cycle ifExtra = 0;         ///< I-side miss/TLB extra cycles
+    Cycle memExtra = 0;        ///< D-side miss/TLB extra cycles
+    unsigned pcChangedBlocks = 1;
+    unsigned pcRippleExtra = 0; ///< serial PC increment overflow cycles
+    bool redirect = false;      ///< control transfer
+};
+
+/**
+ * Base class: drives the recurrence, the memory hierarchy, and the
+ * activity accounting; concrete designs provide plan().
+ *
+ * Feed it a dynamic trace through the TraceSink interface (one
+ * functional-simulation pass can fan out to many models), then call
+ * result().
+ */
+class InOrderPipeline : public cpu::TraceSink
+{
+  public:
+    InOrderPipeline(std::string name, PipelineConfig config);
+
+    /**
+     * Bind the program/memory image used to sample cache-fill
+     * contents for activity accounting. Must be called before the
+     * first retire(); the memory must be the one the functional core
+     * mutates.
+     */
+    void bind(const isa::Program &program, const mem::MainMemory &memory);
+
+    void retire(const cpu::DynInstr &di) override;
+
+    /** Finalize and fetch results (idempotent). */
+    PipelineResult result();
+
+    const std::string &name() const { return name_; }
+    const PipelineConfig &config() const { return config_; }
+
+    /**
+     * Per-instruction schedule callback: invoked after each
+     * instruction is scheduled with its per-stage start/end cycles
+     * (pipeline-diagram tooling and white-box tests).
+     */
+    using ScheduleObserver = std::function<void(
+        const cpu::DynInstr &di, const TimingPlan &plan,
+        const std::array<Cycle, maxStages> &start,
+        const std::array<Cycle, maxStages> &end)>;
+
+    void
+    setScheduleObserver(ScheduleObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
+
+  protected:
+    /** Per-instruction schedule for this design. */
+    virtual TimingPlan plan(const cpu::DynInstr &di,
+                            const InstrQuanta &q) = 0;
+
+    /** Latch boundaries this instruction traverses in this design. */
+    virtual unsigned
+    latchBoundaries(const InstrQuanta &q) const
+    {
+        (void)q;
+        return 4;
+    }
+
+  private:
+    InstrQuanta computeQuanta(const cpu::DynInstr &di);
+    void accountActivity(const cpu::DynInstr &di, const InstrQuanta &q,
+                         const sig::AluReport &alu,
+                         const mem::MemOutcome &ifetch,
+                         const mem::MemOutcome &daccess, bool has_mem);
+    void schedule(const cpu::DynInstr &di, const InstrQuanta &q,
+                  const TimingPlan &plan);
+
+    std::string name_;
+    PipelineConfig config_;
+    sig::SerialAlu alu_;
+    mem::MemoryHierarchy hierarchy_;
+    BranchPredictor predictor_;
+    ScheduleObserver observer_;
+
+    const isa::Program *program_ = nullptr;
+    const mem::MainMemory *memory_ = nullptr;
+
+    // Scheduler state.
+    std::array<Cycle, maxStages> prevEnd_{};
+    std::array<Cycle, isa::numRegs> regReady_{};
+    Cycle hiloReady_ = 0;
+    Cycle redirectReady_ = 0;
+    Cycle lastCycle_ = 0;
+    Addr lastPc_ = 0;
+    bool lastWasRedirect_ = false;
+    bool first_ = true;
+
+    DWord instructions_ = 0;
+    StallBreakdown stalls_;
+    ActivityTotals activity_;
+
+    // Scratch for plan(): AluReport of the current instruction.
+    sig::AluReport curAlu_;
+
+    friend struct PipelineTestPeek;
+};
+
+} // namespace sigcomp::pipeline
+
+#endif // SIGCOMP_PIPELINE_PIPELINE_H_

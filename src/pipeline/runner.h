@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Convenience driver: run one program's dynamic trace through any
+ * number of pipeline models in a single functional-simulation pass.
+ */
+
+#ifndef SIGCOMP_PIPELINE_RUNNER_H_
+#define SIGCOMP_PIPELINE_RUNNER_H_
+
+#include <vector>
+
+#include "cpu/functional_core.h"
+#include "pipeline/models.h"
+
+namespace sigcomp::pipeline
+{
+
+/** Fan one trace out to several sinks in order. */
+class FanoutSink : public cpu::TraceSink
+{
+  public:
+    explicit FanoutSink(std::vector<cpu::TraceSink *> sinks)
+        : sinks_(std::move(sinks))
+    {}
+
+    void
+    retire(const cpu::DynInstr &di) override
+    {
+        for (cpu::TraceSink *s : sinks_)
+            s->retire(di);
+    }
+
+  private:
+    std::vector<cpu::TraceSink *> sinks_;
+};
+
+/**
+ * Execute @p program once, feeding every pipeline (and any extra
+ * sinks such as profilers). Binds each pipeline to the program and
+ * live memory image for activity sampling. Fatal if the program
+ * fails its self-check.
+ *
+ * @return the functional run result (instruction count etc.).
+ */
+cpu::RunResult
+runPipelines(const isa::Program &program,
+             const std::vector<InOrderPipeline *> &pipes,
+             const std::vector<cpu::TraceSink *> &extra_sinks = {});
+
+/**
+ * Build the given designs with a shared config, run @p program, and
+ * return their results in order.
+ */
+std::vector<PipelineResult>
+runDesigns(const isa::Program &program, const std::vector<Design> &designs,
+           const PipelineConfig &config);
+
+} // namespace sigcomp::pipeline
+
+#endif // SIGCOMP_PIPELINE_RUNNER_H_

@@ -1,0 +1,45 @@
+#include "sigcomp/byte_pattern.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::sig
+{
+
+std::string
+patternName(ByteMask mask)
+{
+    SC_ASSERT((mask & 0x1) && mask < 16, "malformed byte mask ",
+              unsigned{mask});
+    std::string s;
+    for (int i = 3; i >= 0; --i)
+        s += (mask & (1u << i)) ? 's' : 'e';
+    return s;
+}
+
+ByteMask
+patternFromName(const std::string &name)
+{
+    SC_ASSERT(name.size() == 4, "pattern name must have 4 chars");
+    ByteMask mask = 0;
+    for (int i = 0; i < 4; ++i) {
+        const char c = name[static_cast<std::size_t>(3 - i)];
+        if (c == 's')
+            mask |= static_cast<ByteMask>(1u << i);
+        else
+            SC_ASSERT(c == 'e', "pattern char must be 's' or 'e'");
+    }
+    SC_ASSERT(mask & 0x1, "low byte must be significant in '", name, "'");
+    return mask;
+}
+
+std::array<ByteMask, numBytePatterns>
+allBytePatterns()
+{
+    std::array<ByteMask, numBytePatterns> out{};
+    unsigned n = 0;
+    for (ByteMask m = 1; m < 16; m = static_cast<ByteMask>(m + 2))
+        out[n++] = m;
+    return out;
+}
+
+} // namespace sigcomp::sig

@@ -1,0 +1,17 @@
+#include "sigcomp/compressed_word.h"
+
+namespace sigcomp::sig
+{
+
+std::string
+encodingName(Encoding enc)
+{
+    switch (enc) {
+      case Encoding::Ext2:  return "ext2";
+      case Encoding::Ext3:  return "ext3";
+      case Encoding::Half1: return "half1";
+    }
+    return "?";
+}
+
+} // namespace sigcomp::sig

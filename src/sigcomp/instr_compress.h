@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Instruction significance compression (paper section 2.3).
+ *
+ * Instructions are stored in the I-cache in a *permuted* form so
+ * that, for common instructions, the low-order stored byte carries
+ * no information and only three bytes (plus one extension bit) need
+ * to be read, written and latched:
+ *
+ *  - R-format: the 6-bit function code is recoded so the eight most
+ *    frequent functions get codes whose low three bits (f1) are
+ *    zero; the field order becomes
+ *        opcode rs rt rd f2 f1 shamt
+ *    putting f1 and shamt in the low byte. Plain shifts (sll/srl/
+ *    sra), which do not use rs, have shamt moved into the rs slot so
+ *    the low byte is still zero.
+ *  - I-format: the immediate's two bytes are swapped so the high
+ *    (usually sign-fill) half lands in the low stored byte; ~80% of
+ *    immediates fit in 8 bits, making the low byte reconstructible.
+ *  - J-format: stored unchanged, always four bytes (2.2% of
+ *    instructions).
+ *
+ * One extension bit per I-cache word records whether the low byte
+ * must be fetched. Its meaning depends on the opcode, exactly as in
+ * the paper ("only one bit is used and it serves multiple purposes").
+ */
+
+#ifndef SIGCOMP_SIGCOMP_INSTR_COMPRESS_H_
+#define SIGCOMP_SIGCOMP_INSTR_COMPRESS_H_
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/instruction.h"
+
+namespace sigcomp::sig
+{
+
+/**
+ * Stored (permuted) form of one instruction word plus its fetch
+ * extension bit.
+ */
+struct StoredInstr
+{
+    Word permuted = 0;
+    /** True when all four bytes must be fetched. */
+    bool fourBytes = true;
+};
+
+/**
+ * Permutes/recodes instructions for compressed storage and undoes
+ * the transform at fetch. Construct from a dynamic funct-frequency
+ * ranking (the paper's Table 3 profile step).
+ */
+class InstrCompressor
+{
+  public:
+    /**
+     * @param ranked_functs raw funct values, most frequent first;
+     * the first eight receive the three-byte encodings. Fewer than
+     * eight is allowed.
+     */
+    explicit InstrCompressor(const std::vector<std::uint8_t> &ranked_functs);
+
+    /** A sensible static ranking for media-style integer code. */
+    static InstrCompressor withDefaultRanking();
+
+    /** Build from a measured funct distribution (profiling pass). */
+    static InstrCompressor
+    fromProfile(const Distribution<std::uint8_t> &funct_freq);
+
+    /** Permute and classify one instruction. */
+    StoredInstr compress(isa::Instruction inst) const;
+
+    /**
+     * Reconstruct the original instruction from the stored form.
+     * When @p st.fourBytes is false the low stored byte is ignored
+     * (it is not fetched by the hardware) and reconstructed from
+     * the opcode-specific rule.
+     */
+    isa::Instruction decompress(const StoredInstr &st) const;
+
+    /** Bytes that must be fetched for @p inst: 3 or 4. */
+    unsigned
+    fetchBytes(isa::Instruction inst) const
+    {
+        return compress(inst).fourBytes ? 4 : 3;
+    }
+
+    /** Recoded 6-bit function code of a raw funct value. */
+    std::uint8_t recodeFunct(std::uint8_t raw) const;
+
+    /** Inverse of recodeFunct(). */
+    std::uint8_t decodeFunct(std::uint8_t recoded) const;
+
+    /** The ranking used (for reporting). */
+    const std::vector<std::uint8_t> &ranking() const { return ranking_; }
+
+  private:
+    static bool isShamtShift(std::uint8_t raw_funct);
+    static bool zeroExtendsImm(isa::Opcode op);
+
+    /** Reconstructed low byte of a 3-byte I-format fetch. */
+    static Byte iFormatFillByte(isa::Opcode op, Byte imm_low);
+
+    std::vector<std::uint8_t> ranking_;
+    std::array<std::uint8_t, 64> recode_{};
+    std::array<std::uint8_t, 64> decode_{};
+};
+
+} // namespace sigcomp::sig
+
+#endif // SIGCOMP_SIGCOMP_INSTR_COMPRESS_H_

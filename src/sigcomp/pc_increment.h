@@ -1,0 +1,151 @@
+/**
+ * @file
+ * PC-update activity/latency model (paper section 2.2, Table 2).
+ *
+ * A serial incrementer processes the PC in blocks of b bits, low
+ * block first, continuing into the next block only while a carry
+ * propagates. For a +1-per-step counter the expected number of
+ * blocks touched is the geometric sum
+ *
+ *     E[blocks] = 1 / (1 - 2^-b)
+ *
+ * so expected latency is E[blocks] cycles and expected activity is
+ * b * E[blocks] bits — exactly the paper's Table 2. The PC itself
+ * advances by 4, which shifts the counter up two bits but leaves the
+ * distribution of byte-level carries identical (bits [1:0] never
+ * change), and control transfers load arbitrary targets; the
+ * empirical accumulator below measures both effects on real
+ * instruction streams.
+ */
+
+#ifndef SIGCOMP_SIGCOMP_PC_INCREMENT_H_
+#define SIGCOMP_SIGCOMP_PC_INCREMENT_H_
+
+#include "common/bitutil.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace sigcomp::sig
+{
+
+/** Expected blocks touched per +1 update for @p block_bits-bit blocks. */
+constexpr double
+pcAnalyticLatency(unsigned block_bits)
+{
+    const double p = 1.0 / static_cast<double>(1ull << block_bits);
+    return 1.0 / (1.0 - p);
+}
+
+/** Expected bits operated on per +1 update (Table 2, left column). */
+constexpr double
+pcAnalyticActivityBits(unsigned block_bits)
+{
+    return static_cast<double>(block_bits) * pcAnalyticLatency(block_bits);
+}
+
+/** Number of b-bit blocks in which @p a and @p b differ. */
+constexpr unsigned
+changedBlocks(Word a, Word b, unsigned block_bits)
+{
+    unsigned n = 0;
+    const unsigned blocks = (32 + block_bits - 1) / block_bits;
+    for (unsigned i = 0; i < blocks; ++i) {
+        const unsigned lo = i * block_bits;
+        const unsigned len = (lo + block_bits <= 32) ? block_bits
+                                                     : 32 - lo;
+        if (bitField(a, lo, len) != bitField(b, lo, len))
+            ++n;
+    }
+    return n;
+}
+
+/** Index (0-based) of the highest differing block, or -1 if equal. */
+constexpr int
+highestChangedBlock(Word a, Word b, unsigned block_bits)
+{
+    const unsigned blocks = (32 + block_bits - 1) / block_bits;
+    for (int i = static_cast<int>(blocks) - 1; i >= 0; --i) {
+        const unsigned lo = static_cast<unsigned>(i) * block_bits;
+        const unsigned len = (lo + block_bits <= 32) ? block_bits
+                                                     : 32 - lo;
+        if (bitField(a, lo, len) != bitField(b, lo, len))
+            return i;
+    }
+    return -1;
+}
+
+/**
+ * Accumulates PC-update activity over a dynamic instruction stream.
+ *
+ * Sequential updates ripple serially: latency = index of the highest
+ * changed block + 1. Redirects (branch/jump targets) load the new PC
+ * in parallel from the datapath: latency 1, activity = changed
+ * blocks only (latches are gated per block).
+ */
+class PcActivityAccumulator
+{
+  public:
+    explicit PcActivityAccumulator(unsigned block_bits = 8)
+        : blockBits_(block_bits)
+    {}
+
+    /** Record one PC update. @p redirect = control transfer target. */
+    void
+    update(Word old_pc, Word new_pc, bool redirect)
+    {
+        ++updates_;
+        const unsigned changed = changedBlocks(old_pc, new_pc, blockBits_);
+        blocksChanged_ += changed;
+        if (redirect) {
+            cycles_ += 1;
+        } else {
+            const int hi = highestChangedBlock(old_pc, new_pc, blockBits_);
+            cycles_ += static_cast<Count>(hi < 0 ? 1 : hi + 1);
+        }
+    }
+
+    unsigned blockBits() const { return blockBits_; }
+    Count updates() const { return updates_; }
+
+    /** Total bits operated on. */
+    Count activityBits() const { return blocksChanged_ * blockBits_; }
+
+    /** Total serial-incrementer cycles. */
+    Count cycles() const { return cycles_; }
+
+    /** Mean bits per update. */
+    double
+    meanActivityBits() const
+    {
+        return updates_ ? static_cast<double>(activityBits()) /
+                              static_cast<double>(updates_)
+                        : 0.0;
+    }
+
+    /** Mean cycles per update. */
+    double
+    meanCycles() const
+    {
+        return updates_ ? static_cast<double>(cycles_) /
+                              static_cast<double>(updates_)
+                        : 0.0;
+    }
+
+    void
+    reset()
+    {
+        updates_ = 0;
+        blocksChanged_ = 0;
+        cycles_ = 0;
+    }
+
+  private:
+    unsigned blockBits_;
+    Count updates_ = 0;
+    Count blocksChanged_ = 0;
+    Count cycles_ = 0;
+};
+
+} // namespace sigcomp::sig
+
+#endif // SIGCOMP_SIGCOMP_PC_INCREMENT_H_

@@ -1,0 +1,189 @@
+#include "sigcomp/serial_alu.h"
+
+#include "common/logging.h"
+
+namespace sigcomp::sig
+{
+
+namespace
+{
+
+/** Chunk i of @p w (byte or halfword granularity). */
+Word
+chunkOf(Word w, unsigned i, unsigned chunk_bytes)
+{
+    const unsigned bits = chunk_bytes * 8;
+    return (w >> (i * bits)) & ((bits >= 32) ? ~Word{0}
+                                             : ((Word{1} << bits) - 1));
+}
+
+/** Sign fill chunk implied by the chunk below. */
+Word
+chunkFill(Word below, unsigned chunk_bytes)
+{
+    const unsigned bits = chunk_bytes * 8;
+    const bool msb = (below >> (bits - 1)) & 1;
+    return msb ? ((bits >= 32) ? ~Word{0} : ((Word{1} << bits) - 1)) : 0;
+}
+
+} // namespace
+
+AluReport
+SerialAlu::additive(Word a, Word b, Word result) const
+{
+    const unsigned n = chunksPerWord(enc_);
+    const unsigned cb = chunkBytes(enc_);
+    const std::uint8_t mask_a = maskUnder(a, enc_);
+    const std::uint8_t mask_b = maskUnder(b, enc_);
+
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = 0;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const bool sig_a = mask_a & (1u << i);
+        const bool sig_b = mask_b & (1u << i);
+        ByteCase c;
+        if (sig_a && sig_b) {
+            c = ByteCase::BothSig;
+        } else if (sig_a || sig_b) {
+            c = ByteCase::OneSig;
+        } else {
+            // Neither significant: does sign-fill prediction hold?
+            SC_ASSERT(i > 0, "chunk 0 is always significant");
+            const Word predicted =
+                chunkFill(chunkOf(result, i - 1, cb), cb);
+            c = (chunkOf(result, i, cb) == predicted)
+                    ? ByteCase::ExtOnly
+                    : ByteCase::ExtException;
+        }
+        rep.cases[i] = c;
+        if (c != ByteCase::ExtOnly) {
+            rep.workMask |= static_cast<std::uint8_t>(1u << i);
+            rep.workBytes += cb;
+        }
+        if (c == ByteCase::ExtException)
+            rep.sawException = true;
+    }
+    return rep;
+}
+
+AluReport
+SerialAlu::add(Word a, Word b) const
+{
+    return additive(a, b, a + b);
+}
+
+AluReport
+SerialAlu::sub(Word a, Word b) const
+{
+    return additive(a, b, a - b);
+}
+
+AluReport
+SerialAlu::logic(Word a, Word b, LogicOp op) const
+{
+    Word result = 0;
+    switch (op) {
+      case LogicOp::And: result = a & b; break;
+      case LogicOp::Or:  result = a | b; break;
+      case LogicOp::Xor: result = a ^ b; break;
+      case LogicOp::Nor: result = ~(a | b); break;
+    }
+
+    const unsigned n = chunksPerWord(enc_);
+    const unsigned cb = chunkBytes(enc_);
+    const std::uint8_t mask_a = maskUnder(a, enc_);
+    const std::uint8_t mask_b = maskUnder(b, enc_);
+
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = 0;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const bool sig_a = mask_a & (1u << i);
+        const bool sig_b = mask_b & (1u << i);
+        // Bitwise ops on two fill chunks always yield the fill chunk
+        // of the result below, so the exception path cannot occur.
+        ByteCase c = ByteCase::ExtOnly;
+        if (sig_a && sig_b)
+            c = ByteCase::BothSig;
+        else if (sig_a || sig_b)
+            c = ByteCase::OneSig;
+        rep.cases[i] = c;
+        if (c != ByteCase::ExtOnly) {
+            rep.workMask |= static_cast<std::uint8_t>(1u << i);
+            rep.workBytes += cb;
+        }
+    }
+    return rep;
+}
+
+AluReport
+SerialAlu::slt(Word a, Word b, bool is_unsigned) const
+{
+    AluReport rep = additive(a, b, a - b);
+    const bool lt = is_unsigned
+                        ? a < b
+                        : static_cast<SWord>(a) < static_cast<SWord>(b);
+    rep.result = lt ? 1 : 0;
+    rep.resultMask = 0x1;
+    return rep;
+}
+
+AluReport
+SerialAlu::shift(Word src, Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = static_cast<std::uint8_t>(maskUnder(src, enc_) |
+                                             rep.resultMask);
+    rep.workBytes = static_cast<unsigned>(std::popcount(rep.workMask)) *
+                    chunkBytes(enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::OneSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+AluReport
+SerialAlu::multDiv(Word a, Word b, Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = static_cast<std::uint8_t>(maskUnder(a, enc_) |
+                                             maskUnder(b, enc_));
+    rep.workBytes = significantBytesUnder(a, enc_) +
+                    significantBytesUnder(b, enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::BothSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+AluReport
+SerialAlu::passThrough(Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = rep.resultMask;
+    rep.workBytes = static_cast<unsigned>(std::popcount(rep.workMask)) *
+                    chunkBytes(enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::OneSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+} // namespace sigcomp::sig

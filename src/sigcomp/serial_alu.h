@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Byte/halfword-serial ALU model (paper section 2.5).
+ *
+ * For additive operations each chunk position falls into one of the
+ * paper's cases:
+ *   Case 1 (BothSig)     — both operand chunks significant: real add.
+ *   Case 2 (OneSig)      — one significant: result is that chunk
+ *                          (+/- carry). The paper counts this as
+ *                          performed activity, and so do we.
+ *   Case 3 (ExtOnly)     — neither significant and the result chunk
+ *                          is the sign fill of the chunk below: only
+ *                          extension bits are produced, no datapath
+ *                          activity.
+ *   Case 3' (ExtException) — neither significant but sign-fill
+ *                          prediction fails (Table 4 of the paper):
+ *                          the full chunk must be generated.
+ *
+ * The model computes the exact 32-bit result and derives the case of
+ * every chunk from it, which is equivalent to (and cross-checked
+ * against) the paper's Table 4 bit-pattern rules.
+ */
+
+#ifndef SIGCOMP_SIGCOMP_SERIAL_ALU_H_
+#define SIGCOMP_SIGCOMP_SERIAL_ALU_H_
+
+#include <array>
+
+#include "sigcomp/compressed_word.h"
+
+namespace sigcomp::sig
+{
+
+/** Per-chunk execution case (see file comment). */
+enum class ByteCase
+{
+    BothSig,
+    OneSig,
+    ExtOnly,
+    ExtException,
+};
+
+/** Bitwise operations supported by logic(). */
+enum class LogicOp
+{
+    And,
+    Or,
+    Xor,
+    Nor,
+};
+
+/**
+ * Outcome of one ALU operation: the architectural result plus the
+ * activity/significance bookkeeping the pipelines consume.
+ */
+struct AluReport
+{
+    Word result = 0;
+    /** Chunk positions the datapath actually processed. */
+    std::uint8_t workMask = 0x1;
+    /** Significance mask of the result under the ALU's encoding. */
+    std::uint8_t resultMask = 0x1;
+    /** Bytes of datapath activity (8*popcount for byte encodings). */
+    unsigned workBytes = 0;
+    /** Per-chunk case; entries beyond chunksPerWord are ExtOnly. */
+    std::array<ByteCase, 4> cases{ByteCase::ExtOnly, ByteCase::ExtOnly,
+                                  ByteCase::ExtOnly, ByteCase::ExtOnly};
+    /** Any chunk hit the Table-4 exception path. */
+    bool sawException = false;
+
+    /** Chunks processed (serial-stage occupancy contribution). */
+    unsigned
+    workChunks() const
+    {
+        return static_cast<unsigned>(std::popcount(workMask));
+    }
+};
+
+/**
+ * Significance-aware ALU for one encoding scheme. Stateless; all
+ * methods are const and return both the result and the activity.
+ */
+class SerialAlu
+{
+  public:
+    explicit SerialAlu(Encoding enc) : enc_(enc) {}
+
+    Encoding encoding() const { return enc_; }
+
+    /** a + b. */
+    AluReport add(Word a, Word b) const;
+
+    /** a - b. */
+    AluReport sub(Word a, Word b) const;
+
+    /** Bitwise op; never takes the exception path (provable). */
+    AluReport logic(Word a, Word b, LogicOp op) const;
+
+    /**
+     * Set-less-than: datapath work of a subtraction, result 0/1.
+     */
+    AluReport slt(Word a, Word b, bool is_unsigned) const;
+
+    /**
+     * Shift: activity covers source and result chunks moving
+     * through the shifter.
+     */
+    AluReport shift(Word src, Word result) const;
+
+    /**
+     * Multiply/divide step activity: proportional to both operands'
+     * significant bytes (the iterative unit is separate from the
+     * byte ALUs; only activity is reported, result via @p result).
+     */
+    AluReport multDiv(Word a, Word b, Word result) const;
+
+    /**
+     * Value produced without both-operand arithmetic (LUI, MFHI,
+     * jump link): activity equals the result's significant chunks.
+     */
+    AluReport passThrough(Word result) const;
+
+  private:
+    AluReport additive(Word a, Word b, Word result) const;
+
+    Encoding enc_;
+};
+
+} // namespace sigcomp::sig
+
+#endif // SIGCOMP_SIGCOMP_SERIAL_ALU_H_

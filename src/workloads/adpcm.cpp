@@ -1,0 +1,336 @@
+/**
+ * @file
+ * IMA ADPCM voice codec kernels — the suite's stand-ins for the
+ * Mediabench rawcaudio/rawdaudio programs. The in-simulator assembly
+ * mirrors the host reference step for step; both checksum their
+ * outputs and the program asserts equality before exiting.
+ */
+
+#include "workloads/workload.h"
+
+#include <array>
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr std::array<int, 89> stepTable = {
+    7,     8,     9,     10,    11,    12,    13,    14,    16,
+    17,    19,    21,    23,    25,    28,    31,    34,    37,
+    41,    45,    50,    55,    60,    66,    73,    80,    88,
+    97,    107,   118,   130,   143,   157,   173,   190,   209,
+    230,   253,   279,   307,   337,   371,   408,   449,   494,
+    544,   598,   658,   724,   796,   876,   963,   1060,  1166,
+    1282,  1411,  1552,  1707,  1878,  2066,  2272,  2499,  2749,
+    3024,  3327,  3660,  4026,  4428,  4871,  5358,  5894,  6484,
+    7132,  7845,  8630,  9493,  10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767};
+
+constexpr std::array<int, 8> indexTable = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+/** One host-side encoder step (mirrored by the assembly). */
+std::uint8_t
+encodeStep(int &predicted, int &index, int sample)
+{
+    int step = stepTable[static_cast<std::size_t>(index)];
+    int diff = sample - predicted;
+    int sign = 0;
+    if (diff < 0) {
+        sign = 8;
+        diff = -diff;
+    }
+    int vpdiff = step >> 3;
+    int delta = 0;
+    if (diff >= step) {
+        delta = 4;
+        diff -= step;
+        vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+        delta |= 2;
+        diff -= step;
+        vpdiff += step;
+    }
+    step >>= 1;
+    if (diff >= step) {
+        delta |= 1;
+        vpdiff += step;
+    }
+    predicted += sign ? -vpdiff : vpdiff;
+    if (predicted > 32767)
+        predicted = 32767;
+    if (predicted < -32768)
+        predicted = -32768;
+    delta |= sign;
+    index += indexTable[static_cast<std::size_t>(delta & 7)];
+    if (index < 0)
+        index = 0;
+    if (index > 88)
+        index = 88;
+    return static_cast<std::uint8_t>(delta);
+}
+
+/** One host-side decoder step (mirrored by the assembly). */
+int
+decodeStep(int &predicted, int &index, std::uint8_t delta)
+{
+    const int step = stepTable[static_cast<std::size_t>(index)];
+    int vpdiff = step >> 3;
+    if (delta & 4)
+        vpdiff += step;
+    if (delta & 2)
+        vpdiff += step >> 1;
+    if (delta & 1)
+        vpdiff += step >> 2;
+    predicted += (delta & 8) ? -vpdiff : vpdiff;
+    if (predicted > 32767)
+        predicted = 32767;
+    if (predicted < -32768)
+        predicted = -32768;
+    index += indexTable[static_cast<std::size_t>(delta & 7)];
+    if (index < 0)
+        index = 0;
+    if (index > 88)
+        index = 88;
+    return predicted;
+}
+
+/** Emit the two step/index tables into the data segment. */
+void
+emitTables(Assembler &a)
+{
+    a.dataAlign(4);
+    a.dataLabel("steptab");
+    for (int s : stepTable)
+        a.dataWord(static_cast<Word>(s));
+    a.dataLabel("indextab");
+    for (int d : indexTable)
+        a.dataWord(static_cast<Word>(d));
+}
+
+/**
+ * Shared clamp-predicted / update-index assembly tail used by both
+ * codec directions. Expects: s3 = predicted, s4 = index,
+ * s6 = indextab base, t5 = 4-bit code. Clobbers t6-t8.
+ */
+void
+emitClampAndIndexUpdate(Assembler &a, const std::string &uniq)
+{
+    a.li(reg::t6, 32767);
+    a.slt(reg::t7, reg::t6, reg::s3);
+    a.beq(reg::t7, reg::zero, "ncl_hi_" + uniq);
+    a.move(reg::s3, reg::t6);
+    a.label("ncl_hi_" + uniq);
+    a.li(reg::t6, -32768);
+    a.slt(reg::t7, reg::s3, reg::t6);
+    a.beq(reg::t7, reg::zero, "ncl_lo_" + uniq);
+    a.move(reg::s3, reg::t6);
+    a.label("ncl_lo_" + uniq);
+
+    a.andi(reg::t8, reg::t5, 7);
+    a.sll(reg::t8, reg::t8, 2);
+    a.addu(reg::t8, reg::s6, reg::t8);
+    a.lw(reg::t8, 0, reg::t8);
+    a.addu(reg::s4, reg::s4, reg::t8);
+    a.bgez(reg::s4, "nidx_lo_" + uniq);
+    a.li(reg::s4, 0);
+    a.label("nidx_lo_" + uniq);
+    a.li(reg::t6, 88);
+    a.slt(reg::t7, reg::t6, reg::s4);
+    a.beq(reg::t7, reg::zero, "nidx_hi_" + uniq);
+    a.move(reg::s4, reg::t6);
+    a.label("nidx_hi_" + uniq);
+}
+
+/** Emit chk = rot1(chk) ^ value with chk in s7. */
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t6, reg::s7, 1);
+    a.srl(reg::t7, reg::s7, 31);
+    a.or_(reg::s7, reg::t6, reg::t7);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+} // namespace
+
+Workload
+makeRawCAudio()
+{
+    constexpr std::size_t n = 2048;
+    const std::vector<std::int16_t> samples = makeSpeech(n);
+
+    // Host reference pass: expected checksum of the code stream.
+    Word expected = 0;
+    {
+        int predicted = 0, index = 0;
+        for (std::int16_t s : samples)
+            expected = checksumStep(
+                expected, encodeStep(predicted, index, s));
+    }
+
+    Assembler a;
+    emitTables(a);
+    a.dataLabel("samples");
+    a.dataHalves(samples);
+    a.dataLabel("codes");
+    a.dataSpace(n);
+
+    a.label("main");
+    a.la(reg::s0, "samples");
+    a.la(reg::s1, "codes");
+    a.li(reg::s2, static_cast<SWord>(n));
+    a.li(reg::s3, 0); // predicted
+    a.li(reg::s4, 0); // index
+    a.la(reg::s5, "steptab");
+    a.la(reg::s6, "indextab");
+    a.li(reg::s7, 0); // checksum
+
+    a.label("loop");
+    a.lh(reg::t0, 0, reg::s0);       // sample
+    a.sll(reg::t9, reg::s4, 2);
+    a.addu(reg::t9, reg::s5, reg::t9);
+    a.lw(reg::t1, 0, reg::t9);       // step
+    a.subu(reg::t2, reg::t0, reg::s3); // diff
+    a.li(reg::t3, 0);                // sign
+    a.bgez(reg::t2, "pos");
+    a.li(reg::t3, 8);
+    a.subu(reg::t2, reg::zero, reg::t2);
+    a.label("pos");
+    a.srl(reg::t4, reg::t1, 3);      // vpdiff = step >> 3
+    a.li(reg::t5, 0);                // delta
+    a.slt(reg::t6, reg::t2, reg::t1);
+    a.bne(reg::t6, reg::zero, "q2");
+    a.li(reg::t5, 4);
+    a.subu(reg::t2, reg::t2, reg::t1);
+    a.addu(reg::t4, reg::t4, reg::t1);
+    a.label("q2");
+    a.srl(reg::t1, reg::t1, 1);
+    a.slt(reg::t6, reg::t2, reg::t1);
+    a.bne(reg::t6, reg::zero, "q3");
+    a.ori(reg::t5, reg::t5, 2);
+    a.subu(reg::t2, reg::t2, reg::t1);
+    a.addu(reg::t4, reg::t4, reg::t1);
+    a.label("q3");
+    a.srl(reg::t1, reg::t1, 1);
+    a.slt(reg::t6, reg::t2, reg::t1);
+    a.bne(reg::t6, reg::zero, "q4");
+    a.ori(reg::t5, reg::t5, 1);
+    a.addu(reg::t4, reg::t4, reg::t1);
+    a.label("q4");
+    a.beq(reg::t3, reg::zero, "padd");
+    a.subu(reg::s3, reg::s3, reg::t4);
+    a.b("pclamp");
+    a.label("padd");
+    a.addu(reg::s3, reg::s3, reg::t4);
+    a.label("pclamp");
+    a.or_(reg::t5, reg::t5, reg::t3); // delta |= sign
+    emitClampAndIndexUpdate(a, "enc");
+    a.sb(reg::t5, 0, reg::s1);
+    emitChecksum(a, reg::t5);
+    a.addiu(reg::s0, reg::s0, 2);
+    a.addiu(reg::s1, reg::s1, 1);
+    a.addiu(reg::s2, reg::s2, -1);
+    a.bgtz(reg::s2, "loop");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"rawcaudio", a.finish("rawcaudio")};
+}
+
+Workload
+makeRawDAudio()
+{
+    constexpr std::size_t n = 2048;
+    const std::vector<std::int16_t> samples = makeSpeech(n, 0xdeed);
+
+    // Host: encode to produce the input code stream, then decode to
+    // derive the expected PCM checksum.
+    std::vector<Byte> codes(n);
+    {
+        int predicted = 0, index = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            codes[i] = encodeStep(predicted, index, samples[i]);
+    }
+    Word expected = 0;
+    {
+        int predicted = 0, index = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const int pcm = decodeStep(predicted, index, codes[i]);
+            expected = checksumStep(expected,
+                                    static_cast<Word>(pcm) & 0xffff);
+        }
+    }
+
+    Assembler a;
+    emitTables(a);
+    a.dataLabel("codes");
+    a.dataBytes(codes);
+    a.dataLabel("pcmout");
+    a.dataSpace(2 * n);
+
+    a.label("main");
+    a.la(reg::s0, "codes");
+    a.la(reg::s1, "pcmout");
+    a.li(reg::s2, static_cast<SWord>(n));
+    a.li(reg::s3, 0); // predicted
+    a.li(reg::s4, 0); // index
+    a.la(reg::s5, "steptab");
+    a.la(reg::s6, "indextab");
+    a.li(reg::s7, 0); // checksum
+
+    a.label("loop");
+    a.lbu(reg::t5, 0, reg::s0);      // delta
+    a.sll(reg::t9, reg::s4, 2);
+    a.addu(reg::t9, reg::s5, reg::t9);
+    a.lw(reg::t1, 0, reg::t9);       // step
+    a.srl(reg::t4, reg::t1, 3);      // vpdiff = step >> 3
+    a.andi(reg::t6, reg::t5, 4);
+    a.beq(reg::t6, reg::zero, "d2");
+    a.addu(reg::t4, reg::t4, reg::t1);
+    a.label("d2");
+    a.andi(reg::t6, reg::t5, 2);
+    a.beq(reg::t6, reg::zero, "d3");
+    a.srl(reg::t7, reg::t1, 1);
+    a.addu(reg::t4, reg::t4, reg::t7);
+    a.label("d3");
+    a.andi(reg::t6, reg::t5, 1);
+    a.beq(reg::t6, reg::zero, "d4");
+    a.srl(reg::t7, reg::t1, 2);
+    a.addu(reg::t4, reg::t4, reg::t7);
+    a.label("d4");
+    a.andi(reg::t6, reg::t5, 8);
+    a.beq(reg::t6, reg::zero, "dadd");
+    a.subu(reg::s3, reg::s3, reg::t4);
+    a.b("dclamp");
+    a.label("dadd");
+    a.addu(reg::s3, reg::s3, reg::t4);
+    a.label("dclamp");
+    emitClampAndIndexUpdate(a, "dec");
+    a.sh(reg::s3, 0, reg::s1);
+    a.andi(reg::t9, reg::s3, 0xffff);
+    emitChecksum(a, reg::t9);
+    a.addiu(reg::s0, reg::s0, 1);
+    a.addiu(reg::s1, reg::s1, 2);
+    a.addiu(reg::s2, reg::s2, -1);
+    a.bgtz(reg::s2, "loop");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"rawdaudio", a.finish("rawdaudio")};
+}
+
+} // namespace sigcomp::workloads

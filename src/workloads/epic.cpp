@@ -1,0 +1,260 @@
+/**
+ * @file
+ * EPIC-style image pyramid kernels. `epic` runs a two-level analysis
+ * pass (3-tap low-pass + Haar-like high-pass with coefficient
+ * quantisation); `unepic` runs the matching synthesis/clamp pass.
+ * Both operate on a synthetic natural image and self-check a
+ * checksum of their outputs.
+ */
+
+#include "workloads/workload.h"
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr unsigned imageW = 64;
+constexpr unsigned imageH = 64;
+constexpr std::size_t imageN = static_cast<std::size_t>(imageW) * imageH;
+
+/** Host analysis pass, mirrored by the "analyze" subroutine. */
+void
+analyzeHost(const std::vector<std::uint8_t> &in,
+            std::vector<std::uint8_t> &lo, std::vector<std::int8_t> &q,
+            Word &chk)
+{
+    const std::size_t half = in.size() / 2;
+    lo.assign(half, 0);
+    q.assign(half, 0);
+    for (std::size_t i = 1; i < half; ++i) {
+        const int xm1 = in[2 * i - 1];
+        const int x0 = in[2 * i];
+        const int x1 = in[2 * i + 1];
+        const int l = (xm1 + 2 * x0 + x1) >> 2;
+        const int h = x0 - x1;
+        const int qq = h >> 2; // arithmetic (C++20)
+        lo[i] = static_cast<std::uint8_t>(l);
+        q[i] = static_cast<std::int8_t>(qq);
+        chk = checksumStep(chk, static_cast<Word>(l));
+        chk = checksumStep(chk, static_cast<Word>(qq) & 0xff);
+    }
+}
+
+/** Host synthesis pass, mirrored by the "synth" subroutine. */
+void
+synthHost(const std::vector<std::uint8_t> &lo,
+          const std::vector<std::int8_t> &q, Word &chk)
+{
+    for (std::size_t i = 0; i < lo.size(); ++i) {
+        const int l = lo[i];
+        const int d = static_cast<int>(q[i]) << 2;
+        int x0 = l + (d >> 1);
+        int x1 = x0 - d;
+        if (x0 < 0) x0 = 0;
+        if (x0 > 255) x0 = 255;
+        if (x1 < 0) x1 = 0;
+        if (x1 > 255) x1 = 255;
+        chk = checksumStep(chk, static_cast<Word>(x0));
+        chk = checksumStep(chk, static_cast<Word>(x1));
+    }
+}
+
+/** chk(s7) = rot1(chk) ^ value, clobbers t8/t9. */
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+/**
+ * Emit the analysis subroutine:
+ *   a0 = input bytes, a1 = lo output, a2 = q output,
+ *   a3 = half-length. Iterates i = 1 .. a3-1. Updates s7 checksum.
+ */
+void
+emitAnalyze(Assembler &a)
+{
+    a.label("analyze");
+    a.li(reg::t0, 1); // i
+    a.label("an_loop");
+    a.sll(reg::t1, reg::t0, 1);
+    a.addu(reg::t1, reg::a0, reg::t1);  // &in[2i]
+    a.lbu(reg::t2, -1, reg::t1);        // xm1
+    a.lbu(reg::t3, 0, reg::t1);         // x0
+    a.lbu(reg::t4, 1, reg::t1);         // x1
+    a.sll(reg::t5, reg::t3, 1);
+    a.addu(reg::t5, reg::t5, reg::t2);
+    a.addu(reg::t5, reg::t5, reg::t4);
+    a.srl(reg::t5, reg::t5, 2);         // lo
+    a.subu(reg::t6, reg::t3, reg::t4);  // hi
+    a.sra(reg::t6, reg::t6, 2);         // q
+    a.addu(reg::t7, reg::a1, reg::t0);
+    a.sb(reg::t5, 0, reg::t7);
+    a.addu(reg::t7, reg::a2, reg::t0);
+    a.sb(reg::t6, 0, reg::t7);
+    emitChecksum(a, reg::t5);
+    a.andi(reg::t6, reg::t6, 0xff);
+    emitChecksum(a, reg::t6);
+    a.addiu(reg::t0, reg::t0, 1);
+    a.bne(reg::t0, reg::a3, "an_loop");
+    a.jr(reg::ra);
+}
+
+/**
+ * Emit the synthesis subroutine:
+ *   a0 = lo bytes, a1 = q bytes, a2 = output, a3 = count.
+ * Iterates i = 0 .. a3-1. Updates s7 checksum.
+ */
+void
+emitSynth(Assembler &a)
+{
+    a.label("synth");
+    a.li(reg::t0, 0); // i
+    a.label("sy_loop");
+    a.addu(reg::t1, reg::a0, reg::t0);
+    a.lbu(reg::t2, 0, reg::t1);         // lo
+    a.addu(reg::t1, reg::a1, reg::t0);
+    a.lb(reg::t3, 0, reg::t1);          // q (signed)
+    a.sll(reg::t3, reg::t3, 2);         // d
+    a.sra(reg::t4, reg::t3, 1);
+    a.addu(reg::t4, reg::t2, reg::t4);  // x0
+    a.subu(reg::t5, reg::t4, reg::t3);  // x1
+    // clamp x0
+    a.bgez(reg::t4, "sy_c1");
+    a.li(reg::t4, 0);
+    a.label("sy_c1");
+    a.slti(reg::t6, reg::t4, 256);
+    a.bne(reg::t6, reg::zero, "sy_c2");
+    a.li(reg::t4, 255);
+    a.label("sy_c2");
+    // clamp x1
+    a.bgez(reg::t5, "sy_c3");
+    a.li(reg::t5, 0);
+    a.label("sy_c3");
+    a.slti(reg::t6, reg::t5, 256);
+    a.bne(reg::t6, reg::zero, "sy_c4");
+    a.li(reg::t5, 255);
+    a.label("sy_c4");
+    a.sll(reg::t1, reg::t0, 1);
+    a.addu(reg::t1, reg::a2, reg::t1);
+    a.sb(reg::t4, 0, reg::t1);
+    a.sb(reg::t5, 1, reg::t1);
+    emitChecksum(a, reg::t4);
+    emitChecksum(a, reg::t5);
+    a.addiu(reg::t0, reg::t0, 1);
+    a.bne(reg::t0, reg::a3, "sy_loop");
+    a.jr(reg::ra);
+}
+
+} // namespace
+
+Workload
+makeEpic()
+{
+    const std::vector<std::uint8_t> image = makeImage(imageW, imageH);
+
+    // Host reference: two analysis levels.
+    Word expected = 0;
+    std::vector<std::uint8_t> lo1, lo2;
+    std::vector<std::int8_t> q1, q2;
+    analyzeHost(image, lo1, q1, expected);
+    analyzeHost(lo1, lo2, q2, expected);
+
+    Assembler a;
+    a.dataLabel("image");
+    a.dataBytes(image);
+    a.dataLabel("lo1");
+    a.dataSpace(imageN / 2);
+    a.dataLabel("q1");
+    a.dataSpace(imageN / 2);
+    a.dataLabel("lo2");
+    a.dataSpace(imageN / 4);
+    a.dataLabel("q2");
+    a.dataSpace(imageN / 4);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.la(reg::a0, "image");
+    a.la(reg::a1, "lo1");
+    a.la(reg::a2, "q1");
+    a.li(reg::a3, static_cast<SWord>(imageN / 2));
+    a.jal("analyze");
+    a.la(reg::a0, "lo1");
+    a.la(reg::a1, "lo2");
+    a.la(reg::a2, "q2");
+    a.li(reg::a3, static_cast<SWord>(imageN / 4));
+    a.jal("analyze");
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    emitAnalyze(a);
+    return Workload{"epic", a.finish("epic")};
+}
+
+Workload
+makeUnepic()
+{
+    const std::vector<std::uint8_t> image =
+        makeImage(imageW, imageH, 0xf00d);
+
+    // Host: produce the coefficient planes with the analysis pass,
+    // then reference-run two synthesis levels.
+    Word scratch = 0;
+    std::vector<std::uint8_t> lo1, lo2;
+    std::vector<std::int8_t> q1, q2;
+    analyzeHost(image, lo1, q1, scratch);
+    analyzeHost(lo1, lo2, q2, scratch);
+
+    Word expected = 0;
+    synthHost(lo2, q2, expected);
+    synthHost(lo1, q1, expected);
+
+    Assembler a;
+    a.dataLabel("lo1");
+    a.dataBytes(lo1);
+    a.dataLabel("q1");
+    a.dataBytes(std::span(
+        reinterpret_cast<const Byte *>(q1.data()), q1.size()));
+    a.dataLabel("lo2");
+    a.dataBytes(lo2);
+    a.dataLabel("q2");
+    a.dataBytes(std::span(
+        reinterpret_cast<const Byte *>(q2.data()), q2.size()));
+    a.dataLabel("out1");
+    a.dataSpace(imageN);
+    a.dataLabel("out2");
+    a.dataSpace(imageN / 2);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.la(reg::a0, "lo2");
+    a.la(reg::a1, "q2");
+    a.la(reg::a2, "out2");
+    a.li(reg::a3, static_cast<SWord>(lo2.size()));
+    a.jal("synth");
+    a.la(reg::a0, "lo1");
+    a.la(reg::a1, "q1");
+    a.la(reg::a2, "out1");
+    a.li(reg::a3, static_cast<SWord>(lo1.size()));
+    a.jal("synth");
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    emitSynth(a);
+    return Workload{"unepic", a.finish("unepic")};
+}
+
+} // namespace sigcomp::workloads

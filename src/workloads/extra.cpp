@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Extra kernels beyond the paper's Mediabench set, used by the
+ * robustness ablation (do the paper's conclusions transfer to
+ * kernels the models were not tuned on?):
+ *
+ *  - `mesa`: fixed-point 3D vertex transform (Mediabench's mesa/
+ *    osdemo hot loop): Q16 4x4 matrix x vec4 products with clamping,
+ *    multiply-heavy with wide intermediates.
+ *  - `huff`: Huffman-style bit packing (the entropy-coder loop of
+ *    image/video codecs): table-driven variable-length codes ORed
+ *    into a bit buffer — shift/mask-heavy with narrow values.
+ */
+
+#include "workloads/workload.h"
+
+#include <array>
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+} // namespace
+
+Workload
+makeMesaXform()
+{
+    constexpr unsigned numVerts = 512;
+
+    // Q12 rotation-ish matrix with small translation (fits int16
+    // immediates when loaded from memory as words).
+    constexpr std::array<int, 16> matrix = {
+        3547,  -2048, 0,     128,   // row 0
+        2048,  3547,  0,     -64,   //
+        0,     0,     4096,  32,    //
+        0,     0,     0,     4096,  // row 3 (homogeneous)
+    };
+
+    // Vertices: Q4 coordinates in a +/-2048 box, w = 16 (1.0 in Q4).
+    Rng rng(0x3e5a);
+    std::vector<SWord> verts(numVerts * 4);
+    for (unsigned v = 0; v < numVerts; ++v) {
+        verts[v * 4 + 0] = rng.range(-2048, 2048);
+        verts[v * 4 + 1] = rng.range(-2048, 2048);
+        verts[v * 4 + 2] = rng.range(-2048, 2048);
+        verts[v * 4 + 3] = 16;
+    }
+
+    // Host reference, mirrored by the assembly.
+    Word expected = 0;
+    for (unsigned v = 0; v < numVerts; ++v) {
+        for (int row = 0; row < 4; ++row) {
+            int acc = 0;
+            for (int k = 0; k < 4; ++k)
+                acc += matrix[static_cast<std::size_t>(row * 4 + k)] *
+                       verts[v * 4 + static_cast<unsigned>(k)];
+            int out = acc >> 12; // back to Q4
+            if (out > 32767)
+                out = 32767;
+            if (out < -32768)
+                out = -32768;
+            expected =
+                checksumStep(expected, static_cast<Word>(out) & 0xffff);
+        }
+    }
+
+    Assembler a;
+    a.dataLabel("matrix");
+    for (int m : matrix)
+        a.dataWord(static_cast<Word>(m));
+    a.dataLabel("verts");
+    for (SWord v : verts)
+        a.dataWord(static_cast<Word>(v));
+    a.dataLabel("out");
+    a.dataSpace(numVerts * 4 * 2);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.la(reg::s0, "verts");
+    a.la(reg::s1, "out");
+    a.li(reg::s2, numVerts);
+    a.label("vert");
+    a.la(reg::s3, "matrix");
+    a.li(reg::s4, 4); // row counter
+    a.label("row");
+    a.li(reg::t0, 0); // acc
+    a.li(reg::t1, 0); // k
+    a.label("dot");
+    a.sll(reg::t2, reg::t1, 2);
+    a.addu(reg::t3, reg::s3, reg::t2);
+    a.lw(reg::t3, 0, reg::t3);        // matrix[row][k]
+    a.addu(reg::t4, reg::s0, reg::t2);
+    a.lw(reg::t4, 0, reg::t4);        // vert[k]
+    a.mult(reg::t3, reg::t4);
+    a.mflo(reg::t3);
+    a.addu(reg::t0, reg::t0, reg::t3);
+    a.addiu(reg::t1, reg::t1, 1);
+    a.slti(reg::t2, reg::t1, 4);
+    a.bne(reg::t2, reg::zero, "dot");
+    a.sra(reg::t0, reg::t0, 12);
+    // Clamp to int16.
+    a.li(reg::t2, 32767);
+    a.slt(reg::t3, reg::t2, reg::t0);
+    a.beq(reg::t3, reg::zero, "c1");
+    a.move(reg::t0, reg::t2);
+    a.label("c1");
+    a.li(reg::t2, -32768);
+    a.slt(reg::t3, reg::t0, reg::t2);
+    a.beq(reg::t3, reg::zero, "c2");
+    a.move(reg::t0, reg::t2);
+    a.label("c2");
+    a.sh(reg::t0, 0, reg::s1);
+    a.addiu(reg::s1, reg::s1, 2);
+    a.andi(reg::t0, reg::t0, 0xffff);
+    emitChecksum(a, reg::t0);
+    a.addiu(reg::s3, reg::s3, 16); // next matrix row
+    a.addiu(reg::s4, reg::s4, -1);
+    a.bgtz(reg::s4, "row");
+    a.addiu(reg::s0, reg::s0, 16); // next vertex
+    a.addiu(reg::s2, reg::s2, -1);
+    a.bgtz(reg::s2, "vert");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"mesa", a.finish("mesa")};
+}
+
+Workload
+makeHuffPack()
+{
+    constexpr unsigned numSymbols = 4096;
+
+    // Canonical-ish VLC table over 16 symbols: short codes for
+    // frequent small symbols.
+    constexpr std::array<Word, 16> codes = {
+        0b0,      0b10,      0b110,      0b1110,
+        0b11110,  0b111110,  0b1111110,  0b11111110,
+        0b111111110, 0b1111111110, 0b11111111110, 0b111111111100,
+        0b111111111101, 0b111111111110, 0b1111111111110,
+        0b1111111111111,
+    };
+    constexpr std::array<Word, 16> lengths = {1, 2,  3,  4,  5,  6,
+                                              7, 8,  9,  10, 11, 12,
+                                              12, 12, 13, 13};
+
+    // Geometric-ish symbol stream (small symbols dominate, as DCT
+    // coefficient magnitudes do).
+    Rng rng(0x4aff);
+    std::vector<Byte> symbols(numSymbols);
+    for (auto &s : symbols) {
+        const double u = rng.uniform();
+        unsigned v = 0;
+        double p = 0.42;
+        double acc = p;
+        while (v < 15 && u > acc) {
+            ++v;
+            p *= 0.62;
+            acc += p;
+        }
+        s = static_cast<Byte>(v);
+    }
+
+    // Host reference bit packer (32-bit buffer, flush words).
+    Word expected = 0;
+    {
+        Word buffer = 0;
+        unsigned filled = 0;
+        for (Byte s : symbols) {
+            const Word code = codes[s];
+            const unsigned len = lengths[s];
+            for (unsigned b = len; b-- > 0;) {
+                buffer = (buffer << 1) | ((code >> b) & 1);
+                if (++filled == 32) {
+                    expected = checksumStep(expected, buffer);
+                    buffer = 0;
+                    filled = 0;
+                }
+            }
+        }
+        expected = checksumStep(expected, buffer);
+    }
+
+    Assembler a;
+    a.dataLabel("codes");
+    for (Word c : codes)
+        a.dataWord(c);
+    a.dataLabel("lengths");
+    for (Word l : lengths)
+        a.dataWord(l);
+    a.dataLabel("symbols");
+    a.dataBytes(symbols);
+
+    a.label("main");
+    a.li(reg::s7, 0);               // checksum
+    a.la(reg::s0, "symbols");
+    a.li(reg::s1, numSymbols);
+    a.li(reg::s2, 0);               // buffer
+    a.li(reg::s3, 0);               // filled
+    a.la(reg::s4, "codes");
+    a.la(reg::s5, "lengths");
+    a.label("sym");
+    a.lbu(reg::t0, 0, reg::s0);
+    a.sll(reg::t1, reg::t0, 2);
+    a.addu(reg::t2, reg::s4, reg::t1);
+    a.lw(reg::t2, 0, reg::t2);      // code
+    a.addu(reg::t3, reg::s5, reg::t1);
+    a.lw(reg::t3, 0, reg::t3);      // len (bit counter)
+    a.label("bit");
+    a.addiu(reg::t3, reg::t3, -1);
+    a.srlv(reg::t4, reg::t2, reg::t3);
+    a.andi(reg::t4, reg::t4, 1);
+    a.sll(reg::s2, reg::s2, 1);
+    a.or_(reg::s2, reg::s2, reg::t4);
+    a.addiu(reg::s3, reg::s3, 1);
+    a.li(reg::t5, 32);
+    a.bne(reg::s3, reg::t5, "nofl");
+    emitChecksum(a, reg::s2);
+    a.li(reg::s2, 0);
+    a.li(reg::s3, 0);
+    a.label("nofl");
+    a.bgtz(reg::t3, "bit");
+    a.addiu(reg::s0, reg::s0, 1);
+    a.addiu(reg::s1, reg::s1, -1);
+    a.bgtz(reg::s1, "sym");
+    emitChecksum(a, reg::s2);
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"huff", a.finish("huff")};
+}
+
+} // namespace sigcomp::workloads

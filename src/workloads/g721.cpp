@@ -1,0 +1,337 @@
+/**
+ * @file
+ * G.721-style ADPCM kernels: a two-tap adaptive (sign-LMS) predictor
+ * with an adaptive uniform quantiser. Encoder and decoder share the
+ * reconstruction/adaptation path, as in real ADPCM, so the decoder
+ * tracks the encoder exactly. Heavy on multiplies and data-dependent
+ * branches — the instruction mix of the Mediabench g721 codec.
+ */
+
+#include "workloads/workload.h"
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr std::size_t numSamples = 1536;
+
+/** Codec state shared by host encoder/decoder. */
+struct State
+{
+    int sr1 = 0;   ///< last reconstructed sample
+    int sr2 = 0;   ///< reconstructed sample before that
+    int a1 = 8192; ///< predictor coefficient (Q14)
+    int a2 = 0;    ///< predictor coefficient (Q14)
+    int shift = 6; ///< quantiser step (power of two)
+};
+
+int
+predict(const State &st)
+{
+    return (st.a1 * st.sr1 + st.a2 * st.sr2) >> 14;
+}
+
+/** Common reconstruction + adaptation given a quantised code. */
+int
+update(State &st, int q)
+{
+    const int dq = q << st.shift;
+    int rec = predict(st) + dq;
+    if (rec > 32767)
+        rec = 32767;
+    if (rec < -32768)
+        rec = -32768;
+
+    // Sign-LMS coefficient adaptation.
+    const int s1 = ((dq ^ st.sr1) < 0) ? -32 : 32;
+    st.a1 += s1;
+    if (st.a1 > 24576)
+        st.a1 = 24576;
+    if (st.a1 < -24576)
+        st.a1 = -24576;
+    const int s2 = ((dq ^ st.sr2) < 0) ? -16 : 16;
+    st.a2 += s2;
+    if (st.a2 > 12288)
+        st.a2 = 12288;
+    if (st.a2 < -12288)
+        st.a2 = -12288;
+
+    // Step-size adaptation.
+    if (q >= 6 || q <= -6) {
+        if (st.shift < 10)
+            ++st.shift;
+    } else if (q >= -1 && q <= 1) {
+        if (st.shift > 1)
+            --st.shift;
+    }
+
+    st.sr2 = st.sr1;
+    st.sr1 = rec;
+    return rec;
+}
+
+int
+encodeStep(State &st, int sample)
+{
+    const int diff = sample - predict(st);
+    int q = diff >> st.shift;
+    if (q > 7)
+        q = 7;
+    if (q < -8)
+        q = -8;
+    update(st, q);
+    return q;
+}
+
+/** chk(s7) update; clobbers t8/t9. */
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+/**
+ * Emit `pred = (a1*sr1 + a2*sr2) >> 14` into @p dst.
+ * Register map: s1=sr1, s2=sr2, s3=a1, s4=a2. Clobbers t8, t9.
+ */
+void
+emitPredict(Assembler &a, isa::Reg dst)
+{
+    a.mult(reg::s3, reg::s1);
+    a.mflo(reg::t8);
+    a.mult(reg::s4, reg::s2);
+    a.mflo(reg::t9);
+    a.addu(reg::t8, reg::t8, reg::t9);
+    a.sra(dst, reg::t8, 14);
+}
+
+/**
+ * Emit the shared update path. Expects q in t0 (signed), pred in
+ * t1. Register map: s1=sr1, s2=sr2, s3=a1, s4=a2, s5=shift.
+ * Leaves rec in t2. Clobbers t3-t7.
+ *
+ * @p u uniquifies labels between encoder and decoder bodies.
+ */
+void
+emitUpdate(Assembler &a, const std::string &u)
+{
+    a.sllv(reg::t3, reg::t0, reg::s5); // dq = q << shift
+    a.addu(reg::t2, reg::t1, reg::t3); // rec = pred + dq
+    a.li(reg::t4, 32767);
+    a.slt(reg::t5, reg::t4, reg::t2);
+    a.beq(reg::t5, reg::zero, "ur1_" + u);
+    a.move(reg::t2, reg::t4);
+    a.label("ur1_" + u);
+    a.li(reg::t4, -32768);
+    a.slt(reg::t5, reg::t2, reg::t4);
+    a.beq(reg::t5, reg::zero, "ur2_" + u);
+    a.move(reg::t2, reg::t4);
+    a.label("ur2_" + u);
+
+    // a1 += sign(dq*sr1)*32, clamp +/-24576.
+    a.xor_(reg::t4, reg::t3, reg::s1);
+    a.li(reg::t5, 32);
+    a.bgez(reg::t4, "ua1_" + u);
+    a.li(reg::t5, -32);
+    a.label("ua1_" + u);
+    a.addu(reg::s3, reg::s3, reg::t5);
+    a.li(reg::t4, 24576);
+    a.slt(reg::t5, reg::t4, reg::s3);
+    a.beq(reg::t5, reg::zero, "ua2_" + u);
+    a.move(reg::s3, reg::t4);
+    a.label("ua2_" + u);
+    a.li(reg::t4, -24576);
+    a.slt(reg::t5, reg::s3, reg::t4);
+    a.beq(reg::t5, reg::zero, "ua3_" + u);
+    a.move(reg::s3, reg::t4);
+    a.label("ua3_" + u);
+
+    // a2 += sign(dq*sr2)*16, clamp +/-12288.
+    a.xor_(reg::t4, reg::t3, reg::s2);
+    a.li(reg::t5, 16);
+    a.bgez(reg::t4, "ub1_" + u);
+    a.li(reg::t5, -16);
+    a.label("ub1_" + u);
+    a.addu(reg::s4, reg::s4, reg::t5);
+    a.li(reg::t4, 12288);
+    a.slt(reg::t5, reg::t4, reg::s4);
+    a.beq(reg::t5, reg::zero, "ub2_" + u);
+    a.move(reg::s4, reg::t4);
+    a.label("ub2_" + u);
+    a.li(reg::t4, -12288);
+    a.slt(reg::t5, reg::s4, reg::t4);
+    a.beq(reg::t5, reg::zero, "ub3_" + u);
+    a.move(reg::s4, reg::t4);
+    a.label("ub3_" + u);
+
+    // Step adaptation: |q| >= 6 widens, |q| <= 1 narrows.
+    a.li(reg::t4, 6);
+    a.slt(reg::t5, reg::t0, reg::t4);  // q < 6 ?
+    a.beq(reg::t5, reg::zero, "uw_" + u);
+    a.li(reg::t4, -5);
+    a.slt(reg::t5, reg::t0, reg::t4);  // q < -5 (i.e. <= -6) ?
+    a.bne(reg::t5, reg::zero, "uw_" + u);
+    // narrow band: -1 <= q <= 1 ?
+    a.li(reg::t4, 2);
+    a.slt(reg::t5, reg::t0, reg::t4);
+    a.beq(reg::t5, reg::zero, "ud_" + u);
+    a.li(reg::t4, -2);
+    a.slt(reg::t5, reg::t4, reg::t0);
+    a.beq(reg::t5, reg::zero, "ud_" + u);
+    a.slti(reg::t5, reg::s5, 2);      // shift > 1 ?
+    a.bne(reg::t5, reg::zero, "ud_" + u);
+    a.addiu(reg::s5, reg::s5, -1);
+    a.b("ud_" + u);
+    a.label("uw_" + u);
+    a.slti(reg::t5, reg::s5, 10);
+    a.beq(reg::t5, reg::zero, "ud_" + u);
+    a.addiu(reg::s5, reg::s5, 1);
+    a.label("ud_" + u);
+
+    a.move(reg::s2, reg::s1);
+    a.move(reg::s1, reg::t2);
+}
+
+} // namespace
+
+Workload
+makeG721Encode()
+{
+    const std::vector<std::int16_t> speech =
+        makeSpeech(numSamples, 0x9721);
+
+    Word expected = 0;
+    {
+        State st;
+        for (std::int16_t s : speech)
+            expected = checksumStep(
+                expected,
+                static_cast<Word>(encodeStep(st, s)) & 0xf);
+    }
+
+    Assembler a;
+    a.dataLabel("speech");
+    a.dataHalves(speech);
+    a.dataLabel("codes_out");
+    a.dataSpace(numSamples);
+
+    a.label("main");
+    a.la(reg::gp, "codes_out");
+    a.la(reg::s0, "speech");
+    a.li(reg::s1, 0);    // sr1
+    a.li(reg::s2, 0);    // sr2
+    a.li(reg::s3, 8192); // a1
+    a.li(reg::s4, 0);    // a2
+    a.li(reg::s5, 6);    // shift
+    a.li(reg::s6, static_cast<SWord>(numSamples));
+    a.li(reg::s7, 0);    // checksum
+
+    a.label("loop");
+    a.lh(reg::t6, 0, reg::s0);
+    emitPredict(a, reg::t1);
+    a.subu(reg::t0, reg::t6, reg::t1); // diff
+    a.srav(reg::t0, reg::t0, reg::s5); // q = diff >> shift
+    a.li(reg::t4, 7);
+    a.slt(reg::t5, reg::t4, reg::t0);
+    a.beq(reg::t5, reg::zero, "qc1");
+    a.move(reg::t0, reg::t4);
+    a.label("qc1");
+    a.li(reg::t4, -8);
+    a.slt(reg::t5, reg::t0, reg::t4);
+    a.beq(reg::t5, reg::zero, "qc2");
+    a.move(reg::t0, reg::t4);
+    a.label("qc2");
+    emitUpdate(a, "enc");
+    a.andi(reg::t4, reg::t0, 0xf);
+    a.sb(reg::t4, 0, reg::gp);
+    a.addiu(reg::gp, reg::gp, 1);
+    emitChecksum(a, reg::t4);
+    a.addiu(reg::s0, reg::s0, 2);
+    a.addiu(reg::s6, reg::s6, -1);
+    a.bgtz(reg::s6, "loop");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"g721enc", a.finish("g721enc")};
+}
+
+Workload
+makeG721Decode()
+{
+    const std::vector<std::int16_t> speech =
+        makeSpeech(numSamples, 0x1721);
+
+    // Host: encode to produce the code stream, then reference-decode.
+    std::vector<Byte> codes(numSamples);
+    {
+        State st;
+        for (std::size_t i = 0; i < numSamples; ++i)
+            codes[i] = static_cast<Byte>(
+                encodeStep(st, speech[i]) & 0xf);
+    }
+    Word expected = 0;
+    {
+        State st;
+        for (std::size_t i = 0; i < numSamples; ++i) {
+            // Sign-extend the 4-bit code.
+            const int q = (static_cast<int>(codes[i]) << 28) >> 28;
+            const int pred = predict(st);
+            const int rec = update(st, q) - 0; // rec
+            (void)pred;
+            expected = checksumStep(expected,
+                                    static_cast<Word>(rec) & 0xffff);
+        }
+    }
+
+    Assembler a;
+    a.dataLabel("codes");
+    a.dataBytes(codes);
+    a.dataLabel("pcm_out");
+    a.dataSpace(2 * numSamples);
+
+    a.label("main");
+    a.la(reg::gp, "pcm_out");
+    a.la(reg::s0, "codes");
+    a.li(reg::s1, 0);
+    a.li(reg::s2, 0);
+    a.li(reg::s3, 8192);
+    a.li(reg::s4, 0);
+    a.li(reg::s5, 6);
+    a.li(reg::s6, static_cast<SWord>(numSamples));
+    a.li(reg::s7, 0);
+
+    a.label("loop");
+    a.lbu(reg::t0, 0, reg::s0);
+    a.sll(reg::t0, reg::t0, 28); // sign-extend 4-bit code
+    a.sra(reg::t0, reg::t0, 28);
+    emitPredict(a, reg::t1);
+    emitUpdate(a, "dec");
+    a.sh(reg::t2, 0, reg::gp);
+    a.addiu(reg::gp, reg::gp, 2);
+    a.andi(reg::t4, reg::t2, 0xffff);
+    emitChecksum(a, reg::t4);
+    a.addiu(reg::s0, reg::s0, 1);
+    a.addiu(reg::s6, reg::s6, -1);
+    a.bgtz(reg::s6, "loop");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"g721dec", a.finish("g721dec")};
+}
+
+} // namespace sigcomp::workloads

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * GSM-style long-term prediction kernels. `gsmenc` is the LTP lag
+ * search: per 40-sample subframe it cross-correlates the residual
+ * with 81 candidate history lags and quantises a gain — the
+ * multiply-accumulate hot loop of the Mediabench GSM encoder.
+ * `gsmdec` is the long-term synthesis filter.
+ */
+
+#include "workloads/workload.h"
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr int subLen = 40;    ///< samples per subframe
+constexpr int minLag = 40;
+constexpr int maxLag = 120;
+constexpr int numSub = 8;     ///< subframes processed
+constexpr int histLen = maxLag + numSub * subLen;
+
+/** Input residual/history, scaled to 14 bits so MACs fit in 32. */
+std::vector<std::int16_t>
+makeResidual(DWord seed)
+{
+    std::vector<std::int16_t> s = makeSpeech(histLen, seed);
+    for (auto &v : s)
+        v = static_cast<std::int16_t>(v / 4);
+    return s;
+}
+
+/** Host lag search for one subframe, mirrored by the assembly. */
+void
+searchHost(const std::vector<std::int16_t> &sig, int base, int &best_lag,
+           int &gain)
+{
+    long long best = -1;
+    best_lag = minLag;
+    for (int lag = minLag; lag <= maxLag; ++lag) {
+        int corr = 0;
+        for (int i = 0; i < subLen; ++i)
+            corr += sig[static_cast<std::size_t>(base + i)] *
+                    sig[static_cast<std::size_t>(base + i - lag)];
+        if (corr > best) {
+            best = corr;
+            best_lag = lag;
+        }
+    }
+    int power = 0;
+    for (int i = 0; i < subLen; ++i) {
+        const int h = sig[static_cast<std::size_t>(base + i - best_lag)];
+        power += h * h;
+    }
+    const int c = static_cast<int>(best);
+    if (c <= 0)
+        gain = 0;
+    else if (c >= power)
+        gain = 3;
+    else if (c >= (power >> 1))
+        gain = 2;
+    else if (c >= (power >> 2))
+        gain = 1;
+    else
+        gain = 0;
+}
+
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+} // namespace
+
+Workload
+makeGsmEncode()
+{
+    const std::vector<std::int16_t> sig = makeResidual(0x95a1);
+
+    Word expected = 0;
+    for (int f = 0; f < numSub; ++f) {
+        int lag = 0, gain = 0;
+        searchHost(sig, maxLag + f * subLen, lag, gain);
+        expected = checksumStep(expected, static_cast<Word>(lag));
+        expected = checksumStep(expected, static_cast<Word>(gain));
+    }
+
+    Assembler a;
+    a.dataLabel("sig");
+    a.dataHalves(sig);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.li(reg::s0, 0); // subframe index
+    a.label("frame");
+    // s1 = &sig[maxLag + f*subLen] (byte address)
+    a.li(reg::t0, subLen * 2);
+    a.mult(reg::s0, reg::t0);
+    a.mflo(reg::t0);
+    a.la(reg::t1, "sig");
+    a.addu(reg::t1, reg::t1, reg::t0);
+    a.addiu(reg::s1, reg::t1, maxLag * 2);
+
+    a.li(reg::s2, -1);        // best corr (so corr > best at start)
+    a.li(reg::s3, minLag);    // best lag
+    a.li(reg::s4, minLag);    // lag iterator
+    a.label("lags");
+    // t2 = &sig[base - lag]
+    a.sll(reg::t0, reg::s4, 1);
+    a.subu(reg::t2, reg::s1, reg::t0);
+    a.move(reg::t3, reg::s1); // &sig[base]
+    a.li(reg::t4, 0);         // corr
+    a.li(reg::t5, subLen);
+    a.label("mac");
+    a.lh(reg::t6, 0, reg::t3);
+    a.lh(reg::t7, 0, reg::t2);
+    a.mult(reg::t6, reg::t7);
+    a.mflo(reg::t6);
+    a.addu(reg::t4, reg::t4, reg::t6);
+    a.addiu(reg::t3, reg::t3, 2);
+    a.addiu(reg::t2, reg::t2, 2);
+    a.addiu(reg::t5, reg::t5, -1);
+    a.bgtz(reg::t5, "mac");
+    // corr > best ?
+    a.slt(reg::t6, reg::s2, reg::t4);
+    a.beq(reg::t6, reg::zero, "nlag");
+    a.move(reg::s2, reg::t4);
+    a.move(reg::s3, reg::s4);
+    a.label("nlag");
+    a.addiu(reg::s4, reg::s4, 1);
+    a.li(reg::t6, maxLag + 1);
+    a.bne(reg::s4, reg::t6, "lags");
+
+    // Power at the best lag.
+    a.sll(reg::t0, reg::s3, 1);
+    a.subu(reg::t2, reg::s1, reg::t0);
+    a.li(reg::t4, 0); // power
+    a.li(reg::t5, subLen);
+    a.label("pow");
+    a.lh(reg::t6, 0, reg::t2);
+    a.mult(reg::t6, reg::t6);
+    a.mflo(reg::t6);
+    a.addu(reg::t4, reg::t4, reg::t6);
+    a.addiu(reg::t2, reg::t2, 2);
+    a.addiu(reg::t5, reg::t5, -1);
+    a.bgtz(reg::t5, "pow");
+
+    // Gain quantisation against power thresholds.
+    a.li(reg::s5, 0);
+    a.blez(reg::s2, "gdone");
+    a.slt(reg::t6, reg::s2, reg::t4); // corr < power ?
+    a.li(reg::s5, 3);
+    a.beq(reg::t6, reg::zero, "gdone");
+    a.srl(reg::t7, reg::t4, 1);
+    a.slt(reg::t6, reg::s2, reg::t7);
+    a.li(reg::s5, 2);
+    a.beq(reg::t6, reg::zero, "gdone");
+    a.srl(reg::t7, reg::t4, 2);
+    a.slt(reg::t6, reg::s2, reg::t7);
+    a.li(reg::s5, 1);
+    a.beq(reg::t6, reg::zero, "gdone");
+    a.li(reg::s5, 0);
+    a.label("gdone");
+
+    emitChecksum(a, reg::s3);
+    emitChecksum(a, reg::s5);
+    a.addiu(reg::s0, reg::s0, 1);
+    a.li(reg::t6, numSub);
+    a.bne(reg::s0, reg::t6, "frame");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"gsmenc", a.finish("gsmenc")};
+}
+
+Workload
+makeGsmDecode()
+{
+    const std::vector<std::int16_t> sig = makeResidual(0xd5a1);
+
+    // Host: run the encoder search to get (lag, gain) per subframe.
+    std::vector<int> lags(numSub), gains(numSub);
+    for (int f = 0; f < numSub; ++f)
+        searchHost(sig, maxLag + f * subLen, lags[static_cast<std::size_t>(f)],
+                   gains[static_cast<std::size_t>(f)]);
+
+    // Host synthesis: s[i] = e[i] + (num[gain] * s[i-lag]) >> 2,
+    // applied in place over several passes (as the decoder's
+    // post-filter chain would).
+    constexpr int numPasses = 4;
+    static constexpr int gainNum[4] = {0, 1, 2, 4};
+    std::vector<int> synth(sig.begin(), sig.end());
+    Word expected = 0;
+    for (int pass = 0; pass < numPasses; ++pass) {
+        for (int f = 0; f < numSub; ++f) {
+            const int base = maxLag + f * subLen;
+            const int lag = lags[static_cast<std::size_t>(f)];
+            const int num = gainNum[static_cast<std::size_t>(
+                gains[static_cast<std::size_t>(f)])];
+            for (int i = 0; i < subLen; ++i) {
+                const std::size_t k = static_cast<std::size_t>(base + i);
+                int v = synth[k] +
+                        ((num *
+                          synth[k - static_cast<std::size_t>(lag)]) >> 2);
+                if (v > 32767)
+                    v = 32767;
+                if (v < -32768)
+                    v = -32768;
+                synth[k] = v;
+                expected = checksumStep(expected,
+                                        static_cast<Word>(v) & 0xffff);
+            }
+        }
+    }
+
+    Assembler a;
+    a.dataLabel("gain_num");
+    for (int g : gainNum)
+        a.dataWord(static_cast<Word>(g));
+    a.dataLabel("lags");
+    for (int v : lags)
+        a.dataWord(static_cast<Word>(v));
+    a.dataLabel("gains");
+    for (int v : gains)
+        a.dataWord(static_cast<Word>(v));
+    a.dataLabel("sig");
+    a.dataHalves(sig);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.li(reg::s6, 0); // pass
+    a.label("pass");
+    a.li(reg::s0, 0); // subframe
+    a.label("frame");
+    // s1 = &sig[base], t0 = f*subLen*2
+    a.li(reg::t0, subLen * 2);
+    a.mult(reg::s0, reg::t0);
+    a.mflo(reg::t0);
+    a.la(reg::t1, "sig");
+    a.addu(reg::t1, reg::t1, reg::t0);
+    a.addiu(reg::s1, reg::t1, maxLag * 2);
+    // s2 = lag (bytes), s3 = gain numerator
+    a.sll(reg::t2, reg::s0, 2);
+    a.la(reg::t3, "lags");
+    a.addu(reg::t3, reg::t3, reg::t2);
+    a.lw(reg::s2, 0, reg::t3);
+    a.sll(reg::s2, reg::s2, 1);
+    a.la(reg::t3, "gains");
+    a.addu(reg::t3, reg::t3, reg::t2);
+    a.lw(reg::t4, 0, reg::t3);
+    a.sll(reg::t4, reg::t4, 2);
+    a.la(reg::t3, "gain_num");
+    a.addu(reg::t3, reg::t3, reg::t4);
+    a.lw(reg::s3, 0, reg::t3);
+
+    a.li(reg::s4, subLen);
+    a.label("syn");
+    a.subu(reg::t2, reg::s1, reg::s2); // &s[i-lag]
+    a.lh(reg::t5, 0, reg::t2);
+    a.mult(reg::s3, reg::t5);
+    a.mflo(reg::t5);
+    a.sra(reg::t5, reg::t5, 2);
+    a.lh(reg::t6, 0, reg::s1);
+    a.addu(reg::t6, reg::t6, reg::t5);
+    a.li(reg::t7, 32767);
+    a.slt(reg::t5, reg::t7, reg::t6);
+    a.beq(reg::t5, reg::zero, "sc1");
+    a.move(reg::t6, reg::t7);
+    a.label("sc1");
+    a.li(reg::t7, -32768);
+    a.slt(reg::t5, reg::t6, reg::t7);
+    a.beq(reg::t5, reg::zero, "sc2");
+    a.move(reg::t6, reg::t7);
+    a.label("sc2");
+    a.sh(reg::t6, 0, reg::s1);
+    a.andi(reg::t6, reg::t6, 0xffff);
+    emitChecksum(a, reg::t6);
+    a.addiu(reg::s1, reg::s1, 2);
+    a.addiu(reg::s4, reg::s4, -1);
+    a.bgtz(reg::s4, "syn");
+
+    a.addiu(reg::s0, reg::s0, 1);
+    a.li(reg::t6, numSub);
+    a.bne(reg::s0, reg::t6, "frame");
+    a.addiu(reg::s6, reg::s6, 1);
+    a.li(reg::t6, numPasses);
+    a.bne(reg::s6, reg::t6, "pass");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"gsmdec", a.finish("gsmdec")};
+}
+
+} // namespace sigcomp::workloads

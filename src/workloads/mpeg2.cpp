@@ -1,0 +1,202 @@
+/**
+ * @file
+ * MPEG-2-style motion compensation kernel: half-pel bilinear
+ * prediction from a reference frame plus residual add and clamp —
+ * the byte-oriented hot loop of the Mediabench mpeg2 decoder.
+ */
+
+#include "workloads/workload.h"
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr unsigned refW = 64;
+constexpr unsigned refH = 64;
+constexpr unsigned numBlocks = 24;
+constexpr unsigned blockSize = 8;
+
+struct MotionVector
+{
+    int x;      ///< integer pel x of the prediction block origin
+    int y;      ///< integer pel y
+    int halfX;  ///< 0/1 half-pel flags
+    int halfY;
+};
+
+/** Deterministic motion vectors staying inside the frame. */
+std::vector<MotionVector>
+makeVectors(DWord seed)
+{
+    Rng rng(seed);
+    std::vector<MotionVector> v(numBlocks);
+    for (auto &mv : v) {
+        mv.x = static_cast<int>(rng.below(refW - blockSize - 1));
+        mv.y = static_cast<int>(rng.below(refH - blockSize - 1));
+        mv.halfX = static_cast<int>(rng.below(2));
+        mv.halfY = static_cast<int>(rng.below(2));
+    }
+    return v;
+}
+
+/** Small signed residuals (what an IDCT emits for coded blocks). */
+std::vector<std::int8_t>
+makeResiduals(DWord seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> r(numBlocks * blockSize * blockSize);
+    for (auto &v : r)
+        v = static_cast<std::int8_t>(rng.range(-24, 24));
+    return r;
+}
+
+/** Host motion compensation, mirrored by the assembly. */
+Word
+motionCompHost(const std::vector<std::uint8_t> &ref,
+               const std::vector<MotionVector> &mvs,
+               const std::vector<std::int8_t> &res)
+{
+    Word chk = 0;
+    for (unsigned b = 0; b < numBlocks; ++b) {
+        const MotionVector &mv = mvs[b];
+        for (unsigned y = 0; y < blockSize; ++y) {
+            for (unsigned x = 0; x < blockSize; ++x) {
+                const std::size_t p =
+                    static_cast<std::size_t>(mv.y + static_cast<int>(y)) *
+                        refW +
+                    static_cast<std::size_t>(mv.x + static_cast<int>(x));
+                const int p00 = ref[p];
+                const int p01 = ref[p + static_cast<std::size_t>(mv.halfX)];
+                const int p10 =
+                    ref[p + static_cast<std::size_t>(mv.halfY) * refW];
+                const int p11 =
+                    ref[p + static_cast<std::size_t>(mv.halfY) * refW +
+                        static_cast<std::size_t>(mv.halfX)];
+                int v = (p00 + p01 + p10 + p11 + 2) >> 2;
+                v += res[b * blockSize * blockSize + y * blockSize + x];
+                if (v < 0)
+                    v = 0;
+                if (v > 255)
+                    v = 255;
+                chk = checksumStep(chk, static_cast<Word>(v));
+            }
+        }
+    }
+    return chk;
+}
+
+void
+emitChecksum(Assembler &a, isa::Reg value)
+{
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, value);
+}
+
+} // namespace
+
+Workload
+makeMpeg2()
+{
+    const std::vector<std::uint8_t> ref = makeImage(refW, refH, 0x39e6);
+    const std::vector<MotionVector> mvs = makeVectors(0x3333);
+    const std::vector<std::int8_t> res = makeResiduals(0x4444);
+
+    const Word expected = motionCompHost(ref, mvs, res);
+
+    Assembler a;
+    a.dataLabel("ref");
+    a.dataBytes(ref);
+    // Motion vectors flattened as words: x, y, halfX, halfY*refW.
+    a.dataLabel("mvs");
+    for (const MotionVector &mv : mvs) {
+        a.dataWord(static_cast<Word>(mv.x));
+        a.dataWord(static_cast<Word>(mv.y));
+        a.dataWord(static_cast<Word>(mv.halfX));
+        a.dataWord(static_cast<Word>(mv.halfY * static_cast<int>(refW)));
+    }
+    a.dataLabel("res");
+    a.dataBytes(std::span(
+        reinterpret_cast<const Byte *>(res.data()), res.size()));
+    a.dataLabel("out");
+    a.dataSpace(numBlocks * blockSize * blockSize);
+
+    a.label("main");
+    a.li(reg::s7, 0);
+    a.li(reg::s0, 0); // block
+    a.la(reg::s1, "res");
+    a.la(reg::s2, "out");
+    a.label("blk");
+    // Load the 4-word motion record into s3=x, s4=y, s5=hx, s6=hyw.
+    a.sll(reg::t0, reg::s0, 4);
+    a.la(reg::t1, "mvs");
+    a.addu(reg::t0, reg::t1, reg::t0);
+    a.lw(reg::s3, 0, reg::t0);
+    a.lw(reg::s4, 4, reg::t0);
+    a.lw(reg::s5, 8, reg::t0);
+    a.lw(reg::s6, 12, reg::t0);
+
+    a.li(reg::t0, 0); // y
+    a.label("my");
+    a.li(reg::t1, 0); // x
+    a.label("mx");
+    // p = ref + (mv.y + y)*64 + mv.x + x
+    a.addu(reg::t2, reg::s4, reg::t0);
+    a.sll(reg::t2, reg::t2, 6);
+    a.addu(reg::t2, reg::t2, reg::s3);
+    a.addu(reg::t2, reg::t2, reg::t1);
+    a.la(reg::t3, "ref");
+    a.addu(reg::t2, reg::t3, reg::t2);
+    a.lbu(reg::t3, 0, reg::t2);        // p00
+    a.addu(reg::t4, reg::t2, reg::s5);
+    a.lbu(reg::t4, 0, reg::t4);        // p01
+    a.addu(reg::t5, reg::t2, reg::s6);
+    a.lbu(reg::t6, 0, reg::t5);        // p10
+    a.addu(reg::t5, reg::t5, reg::s5);
+    a.lbu(reg::t5, 0, reg::t5);        // p11
+    a.addu(reg::t3, reg::t3, reg::t4);
+    a.addu(reg::t3, reg::t3, reg::t6);
+    a.addu(reg::t3, reg::t3, reg::t5);
+    a.addiu(reg::t3, reg::t3, 2);
+    a.srl(reg::t3, reg::t3, 2);        // bilinear average
+    a.lb(reg::t4, 0, reg::s1);         // residual
+    a.addu(reg::t3, reg::t3, reg::t4);
+    a.bgez(reg::t3, "mc1");
+    a.li(reg::t3, 0);
+    a.label("mc1");
+    a.slti(reg::t6, reg::t3, 256);
+    a.bne(reg::t6, reg::zero, "mc2");
+    a.li(reg::t3, 255);
+    a.label("mc2");
+    a.sb(reg::t3, 0, reg::s2);
+    emitChecksum(a, reg::t3);
+    a.addiu(reg::s1, reg::s1, 1);
+    a.addiu(reg::s2, reg::s2, 1);
+    a.addiu(reg::t1, reg::t1, 1);
+    a.slti(reg::t6, reg::t1, static_cast<std::int16_t>(blockSize));
+    a.bne(reg::t6, reg::zero, "mx");
+    a.addiu(reg::t0, reg::t0, 1);
+    a.slti(reg::t6, reg::t0, static_cast<std::int16_t>(blockSize));
+    a.bne(reg::t6, reg::zero, "my");
+
+    a.addiu(reg::s0, reg::s0, 1);
+    a.li(reg::t6, static_cast<SWord>(numBlocks));
+    a.bne(reg::s0, reg::t6, "blk");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"mpeg2", a.finish("mpeg2")};
+}
+
+} // namespace sigcomp::workloads

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Pegwit-style multiprecision kernel: 256-bit (8-limb) modular-style
+ * arithmetic — r = r * a + b (mod 2^256), iterated. Public-key code
+ * is the suite's wide-operand outlier: almost every limb is a full
+ * 32-bit random value, so significance compression gains little
+ * here, which stresses the pipelines' long-operand paths (exactly
+ * why the paper includes pegwit).
+ */
+
+#include "workloads/workload.h"
+
+#include <array>
+
+#include "isa/assembler.h"
+#include "workloads/synth.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using isa::Assembler;
+namespace reg = isa::reg;
+
+constexpr unsigned limbs = 8;
+constexpr unsigned rounds = 40;
+
+} // namespace
+
+Workload
+makePegwit()
+{
+    const std::vector<Word> seed_a = makeLimbs(limbs, 0xa5a5);
+    const std::vector<Word> seed_b = makeLimbs(limbs, 0xb6b6);
+    const std::vector<Word> seed_r = makeLimbs(limbs, 0xc7c7);
+
+    std::array<Word, limbs> a_v{}, b_v{}, r_v{};
+    for (unsigned i = 0; i < limbs; ++i) {
+        a_v[i] = seed_a[i];
+        b_v[i] = seed_b[i];
+        r_v[i] = seed_r[i];
+    }
+
+    // Host reference: rounds of r = r*a + b mod 2^256 using a
+    // straightforward 64-bit-accumulator schoolbook multiply that
+    // the assembly mirrors limb-for-limb.
+    auto mul_add = [&](std::array<Word, limbs> &r,
+                       const std::array<Word, limbs> &aa,
+                       const std::array<Word, limbs> &bb) {
+        std::array<Word, limbs> acc{};
+        for (unsigned i = 0; i < limbs; ++i) {
+            Word carry = 0;
+            for (unsigned j = 0; i + j < limbs; ++j) {
+                const DWord p = static_cast<DWord>(r[i]) * aa[j];
+                const Word lo = static_cast<Word>(p);
+                const Word hi = static_cast<Word>(p >> 32);
+                const unsigned k = i + j;
+                // acc[k] += lo  (c1 = wrap)
+                const Word s1 = acc[k] + lo;
+                const Word c1 = (s1 < lo) ? 1 : 0;
+                acc[k] = s1;
+                // acc[k] += carry (c2 = wrap)
+                const Word s2 = acc[k] + carry;
+                const Word c2 = (s2 < carry) ? 1 : 0;
+                acc[k] = s2;
+                // carry out for limb k+1.
+                carry = hi + c1 + c2;
+            }
+        }
+        Word carry = 0;
+        for (unsigned k = 0; k < limbs; ++k) {
+            const Word s1 = acc[k] + bb[k];
+            const Word c1 = (s1 < bb[k]) ? 1 : 0;
+            const Word s2 = s1 + carry;
+            const Word c2 = (s2 < carry) ? 1 : 0;
+            acc[k] = s2;
+            carry = c1 | c2;
+        }
+        r = acc;
+    };
+
+    std::array<Word, limbs> r_ref = r_v;
+    for (unsigned it = 0; it < rounds; ++it)
+        mul_add(r_ref, a_v, b_v);
+    Word expected = 0;
+    for (unsigned i = 0; i < limbs; ++i)
+        expected = checksumStep(expected, r_ref[i]);
+
+    Assembler a;
+    a.dataLabel("op_a");
+    a.dataWords(std::span(seed_a.data(), seed_a.size()));
+    a.dataLabel("op_b");
+    a.dataWords(std::span(seed_b.data(), seed_b.size()));
+    a.dataLabel("val_r");
+    a.dataWords(std::span(seed_r.data(), seed_r.size()));
+    a.dataLabel("acc");
+    a.dataSpace(limbs * 4);
+
+    a.label("main");
+    a.li(reg::s7, 0);           // round counter
+    a.la(reg::s0, "val_r");
+    a.la(reg::s1, "op_a");
+    a.la(reg::s2, "op_b");
+    a.la(reg::s3, "acc");
+
+    a.label("round");
+    // Zero the accumulator.
+    a.li(reg::t0, 0);
+    a.label("z");
+    a.sll(reg::t1, reg::t0, 2);
+    a.addu(reg::t1, reg::s3, reg::t1);
+    a.sw(reg::zero, 0, reg::t1);
+    a.addiu(reg::t0, reg::t0, 1);
+    a.slti(reg::t1, reg::t0, static_cast<std::int16_t>(limbs));
+    a.bne(reg::t1, reg::zero, "z");
+
+    // Schoolbook multiply: i in s4, j in s5, carry in s6.
+    a.li(reg::s4, 0);
+    a.label("mi");
+    a.li(reg::s5, 0);
+    a.li(reg::s6, 0); // carry
+    a.label("mj");
+    // t0 = r[i], t1 = a[j]
+    a.sll(reg::t0, reg::s4, 2);
+    a.addu(reg::t0, reg::s0, reg::t0);
+    a.lw(reg::t0, 0, reg::t0);
+    a.sll(reg::t1, reg::s5, 2);
+    a.addu(reg::t1, reg::s1, reg::t1);
+    a.lw(reg::t1, 0, reg::t1);
+    a.multu(reg::t0, reg::t1);
+    a.mflo(reg::t2); // lo
+    a.mfhi(reg::t3); // hi
+    // k = i + j; t4 = &acc[k]
+    a.addu(reg::t4, reg::s4, reg::s5);
+    a.sll(reg::t4, reg::t4, 2);
+    a.addu(reg::t4, reg::s3, reg::t4);
+    a.lw(reg::t5, 0, reg::t4);
+    // acc[k] += lo (c1 in t6)
+    a.addu(reg::t5, reg::t5, reg::t2);
+    a.sltu(reg::t6, reg::t5, reg::t2);
+    // acc[k] += carry (c2 in t7)
+    a.addu(reg::t5, reg::t5, reg::s6);
+    a.sltu(reg::t7, reg::t5, reg::s6);
+    a.sw(reg::t5, 0, reg::t4);
+    // carry = hi + c1 + c2
+    a.addu(reg::s6, reg::t3, reg::t6);
+    a.addu(reg::s6, reg::s6, reg::t7);
+    // next j while i + j < limbs
+    a.addiu(reg::s5, reg::s5, 1);
+    a.addu(reg::t6, reg::s4, reg::s5);
+    a.slti(reg::t6, reg::t6, static_cast<std::int16_t>(limbs));
+    a.bne(reg::t6, reg::zero, "mj");
+    a.addiu(reg::s4, reg::s4, 1);
+    a.slti(reg::t6, reg::s4, static_cast<std::int16_t>(limbs));
+    a.bne(reg::t6, reg::zero, "mi");
+
+    // acc += b, ripple carry, and copy back into r.
+    a.li(reg::t0, 0);  // k
+    a.li(reg::s6, 0);  // carry
+    a.label("ab");
+    a.sll(reg::t1, reg::t0, 2);
+    a.addu(reg::t2, reg::s3, reg::t1); // &acc[k]
+    a.addu(reg::t3, reg::s2, reg::t1); // &b[k]
+    a.lw(reg::t4, 0, reg::t2);
+    a.lw(reg::t5, 0, reg::t3);
+    a.addu(reg::t4, reg::t4, reg::t5);
+    a.sltu(reg::t6, reg::t4, reg::t5); // c1
+    a.addu(reg::t4, reg::t4, reg::s6);
+    a.sltu(reg::t7, reg::t4, reg::s6); // c2
+    a.or_(reg::s6, reg::t6, reg::t7);
+    a.sw(reg::t4, 0, reg::t2);
+    a.addu(reg::t9, reg::s0, reg::t1); // &r[k]
+    a.sw(reg::t4, 0, reg::t9);
+    a.addiu(reg::t0, reg::t0, 1);
+    a.slti(reg::t6, reg::t0, static_cast<std::int16_t>(limbs));
+    a.bne(reg::t6, reg::zero, "ab");
+
+    a.addiu(reg::s7, reg::s7, 1);
+    a.li(reg::t6, static_cast<SWord>(rounds));
+    a.bne(reg::s7, reg::t6, "round");
+
+    // Checksum r.
+    a.li(reg::s7, 0);
+    a.li(reg::t0, 0);
+    a.label("ck");
+    a.sll(reg::t1, reg::t0, 2);
+    a.addu(reg::t1, reg::s0, reg::t1);
+    a.lw(reg::t2, 0, reg::t1);
+    a.sll(reg::t8, reg::s7, 1);
+    a.srl(reg::t9, reg::s7, 31);
+    a.or_(reg::s7, reg::t8, reg::t9);
+    a.xor_(reg::s7, reg::s7, reg::t2);
+    a.addiu(reg::t0, reg::t0, 1);
+    a.slti(reg::t6, reg::t0, static_cast<std::int16_t>(limbs));
+    a.bne(reg::t6, reg::zero, "ck");
+
+    a.move(reg::a0, reg::s7);
+    a.li(reg::a1, static_cast<SWord>(expected));
+    a.assertEq();
+    a.exitProgram();
+    return Workload{"pegwit", a.finish("pegwit")};
+}
+
+} // namespace sigcomp::workloads

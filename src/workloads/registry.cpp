@@ -1,0 +1,70 @@
+#include "workloads/workload.h"
+
+#include <functional>
+#include <map>
+
+#include "common/logging.h"
+
+namespace sigcomp::workloads
+{
+
+namespace
+{
+
+using Factory = Workload (*)();
+
+const std::map<std::string, Factory> &
+factories()
+{
+    static const std::map<std::string, Factory> table = {
+        {"rawcaudio", &makeRawCAudio}, {"rawdaudio", &makeRawDAudio},
+        {"epic", &makeEpic},           {"unepic", &makeUnepic},
+        {"g721enc", &makeG721Encode},  {"g721dec", &makeG721Decode},
+        {"gsmenc", &makeGsmEncode},    {"gsmdec", &makeGsmDecode},
+        {"cjpeg", &makeJpegEncode},    {"djpeg", &makeJpegDecode},
+        {"mpeg2", &makeMpeg2},         {"pegwit", &makePegwit},
+        {"mesa", &makeMesaXform},      {"huff", &makeHuffPack},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+Suite::names()
+{
+    static const std::vector<std::string> order = {
+        "rawcaudio", "rawdaudio", "epic",  "unepic",
+        "g721enc",   "g721dec",   "gsmenc", "gsmdec",
+        "cjpeg",     "djpeg",     "mpeg2", "pegwit",
+    };
+    return order;
+}
+
+const std::vector<std::string> &
+Suite::extraNames()
+{
+    static const std::vector<std::string> extra = {"mesa", "huff"};
+    return extra;
+}
+
+Workload
+Suite::build(const std::string &name)
+{
+    auto it = factories().find(name);
+    if (it == factories().end())
+        SC_FATAL("unknown workload '", name, "'");
+    return it->second();
+}
+
+std::vector<Workload>
+Suite::buildAll()
+{
+    std::vector<Workload> out;
+    out.reserve(names().size());
+    for (const std::string &n : names())
+        out.push_back(build(n));
+    return out;
+}
+
+} // namespace sigcomp::workloads

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic synthetic media-data generators shared by the
+ * workload kernels. Everything is integer arithmetic so host
+ * reference computations are bit-exact across platforms.
+ */
+
+#ifndef SIGCOMP_WORKLOADS_SYNTH_H_
+#define SIGCOMP_WORKLOADS_SYNTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace sigcomp::workloads
+{
+
+/**
+ * Speech-like 16-bit PCM: a triangle carrier whose amplitude swells
+ * and decays per "syllable", plus small noise. Mostly-small samples
+ * with occasional loud stretches — the operand distribution ADPCM
+ * codecs actually see.
+ */
+inline std::vector<std::int16_t>
+makeSpeech(std::size_t n, DWord seed = 0x5eed)
+{
+    Rng rng(seed);
+    std::vector<std::int16_t> out(n);
+    int amp = 600;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 256 == 0)
+            amp = 200 + static_cast<int>(rng.below(6000));
+        const int phase = static_cast<int>(i % 64);
+        const int tri = (phase < 32) ? (phase - 16) : (48 - phase);
+        const int noise = rng.range(-64, 64);
+        int v = tri * amp / 16 + noise;
+        if (v > 32767)
+            v = 32767;
+        if (v < -32768)
+            v = -32768;
+        out[i] = static_cast<std::int16_t>(v);
+    }
+    return out;
+}
+
+/**
+ * Natural-image-like 8-bit plane: smooth gradients with edges and
+ * texture noise (neighbouring pixels correlate, so filter outputs
+ * are small — exactly why significance compression works on image
+ * code).
+ */
+inline std::vector<std::uint8_t>
+makeImage(unsigned width, unsigned height, DWord seed = 0x1ace)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> img(static_cast<std::size_t>(width) *
+                                  height);
+    int base = 96;
+    for (unsigned y = 0; y < height; ++y) {
+        if (y % 16 == 0)
+            base = 32 + static_cast<int>(rng.below(160));
+        for (unsigned x = 0; x < width; ++x) {
+            int v = base + static_cast<int>(x) / 2 +
+                    ((x / 16 + y / 16) % 2 ? 24 : 0) +
+                    rng.range(-6, 6);
+            if (v < 0)
+                v = 0;
+            if (v > 255)
+                v = 255;
+            img[static_cast<std::size_t>(y) * width + x] =
+                static_cast<std::uint8_t>(v);
+        }
+    }
+    return img;
+}
+
+/** Uniform random 32-bit limbs for multiprecision kernels. */
+inline std::vector<Word>
+makeLimbs(std::size_t n, DWord seed = 0xbee5)
+{
+    Rng rng(seed);
+    std::vector<Word> out(n);
+    for (auto &w : out)
+        w = rng.next32();
+    return out;
+}
+
+} // namespace sigcomp::workloads
+
+#endif // SIGCOMP_WORKLOADS_SYNTH_H_

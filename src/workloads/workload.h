@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Workload suite interface.
+ *
+ * The paper evaluates on Mediabench compiled to a MIPS-like ISA.
+ * Mediabench binaries and inputs are not redistributable here, so
+ * each suite entry is a hand-written kernel of the corresponding
+ * application's hot loop, assembled for our ISA and run on synthetic
+ * media data (see DESIGN.md section 2 for the substitution
+ * argument). Every kernel is *self-checking*: it computes a checksum
+ * of its outputs inside the simulated program and asserts it against
+ * a host-computed reference, so a workload that silently mis-executes
+ * fails loudly.
+ */
+
+#ifndef SIGCOMP_WORKLOADS_WORKLOAD_H_
+#define SIGCOMP_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace sigcomp::workloads
+{
+
+/** A named, ready-to-run benchmark program. */
+struct Workload
+{
+    std::string name;
+    isa::Program program;
+};
+
+/** Checksum accumulator mirrored by the in-simulator code. */
+constexpr Word
+checksumStep(Word chk, Word value)
+{
+    return ((chk << 1) | (chk >> 31)) ^ value;
+}
+
+// One factory per Mediabench-style kernel.
+Workload makeRawCAudio();   ///< adpcm voice encoder
+Workload makeRawDAudio();   ///< adpcm voice decoder
+Workload makeEpic();        ///< pyramid image analysis filter
+Workload makeUnepic();      ///< pyramid image synthesis filter
+Workload makeG721Encode();  ///< adaptive-predictor speech encoder
+Workload makeG721Decode();  ///< adaptive-predictor speech decoder
+Workload makeGsmEncode();   ///< long-term-prediction lag search
+Workload makeGsmDecode();   ///< long-term synthesis filter
+Workload makeJpegEncode();  ///< 8x8 forward DCT + quantisation
+Workload makeJpegDecode();  ///< dequantisation + inverse DCT
+Workload makeMpeg2();       ///< half-pel motion compensation
+Workload makePegwit();      ///< multiprecision public-key arithmetic
+
+// Extra kernels beyond the paper's table (robustness checks).
+Workload makeMesaXform();   ///< fixed-point 3D vertex transform
+Workload makeHuffPack();    ///< Huffman-style bit packing
+
+/** Registry over all kernels. */
+class Suite
+{
+  public:
+    /** Names in canonical (paper-table) order. */
+    static const std::vector<std::string> &names();
+
+    /**
+     * Held-out kernels that are *not* part of the paper's table;
+     * the robustness ablation checks the conclusions transfer.
+     */
+    static const std::vector<std::string> &extraNames();
+
+    /** Build one workload by name; fatal on unknown names. */
+    static Workload build(const std::string &name);
+
+    /** Build the full suite. */
+    static std::vector<Workload> buildAll();
+};
+
+} // namespace sigcomp::workloads
+
+#endif // SIGCOMP_WORKLOADS_WORKLOAD_H_

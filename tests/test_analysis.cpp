@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Analysis-layer tests: profilers reproduce the paper's
+ * characterisation shapes on our suite, and the experiment drivers
+ * produce consistent studies. These are the integration tests for
+ * the whole stack (workloads -> functional core -> profilers ->
+ * pipelines).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiments.h"
+#include "analysis/profilers.h"
+#include "cpu/functional_core.h"
+
+namespace sigcomp::analysis
+{
+namespace
+{
+
+using pipeline::Design;
+
+TEST(PatternProfiler, SuiteShapeMatchesTable1)
+{
+    PatternProfiler pat;
+    profileSuite({&pat});
+
+    // The low-byte-only pattern dominates (paper: ~61%).
+    const double eees = pat.patterns().fraction(0b0001);
+    EXPECT_GT(eees, 0.30);
+    // Top-4 (2-bit-encodable) patterns cover the large majority of
+    // operands (paper: ~94%; our suite keeps more upper-memory
+    // pointers live in registers, so "sees"-style patterns are a
+    // little more common).
+    EXPECT_GT(pat.ext2Coverage(), 0.70);
+    EXPECT_LE(pat.ext2Coverage(), 1.0);
+    // Mean significant bytes per operand is well under the full 4
+    // (paper's compression premise).
+    EXPECT_LT(pat.meanSignificantBytes(), 2.6);
+    EXPECT_GT(pat.meanSignificantBytes(), 1.2);
+}
+
+TEST(InstrMixProfiler, SuiteShapeMatchesSection23)
+{
+    InstrMixProfiler mix;
+    profileSuite({&mix});
+
+    // Format mix: I-format dominates (paper: 56.9% I, ~41% R, 2.2% J).
+    EXPECT_GT(mix.iFormatFraction(), 0.35);
+    EXPECT_GT(mix.rFormatFraction(), 0.15);
+    EXPECT_LT(mix.jFormatFraction(), 0.10);
+    const double sum = mix.iFormatFraction() + mix.rFormatFraction() +
+                       mix.jFormatFraction();
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Immediates are frequent and usually short (paper: 59.1% of
+    // instructions, 80% of immediates fit 8 bits).
+    EXPECT_GT(mix.immediateFraction(), 0.30);
+    EXPECT_GT(mix.shortImmediateFraction(), 0.60);
+
+    // Most instructions perform an addition (paper: 70.7%).
+    EXPECT_GT(mix.additionFraction(), 0.45);
+
+    // Compressed fetch width (paper: ~3.17 bytes/instr).
+    EXPECT_GT(mix.meanFetchBytes(), 3.0);
+    EXPECT_LT(mix.meanFetchBytes(), 3.6);
+}
+
+TEST(InstrMixProfiler, Top8FunctsCoverMostRFormat)
+{
+    InstrMixProfiler mix;
+    profileSuite({&mix});
+    const auto ranked = mix.functFreq().ranked();
+    ASSERT_GE(ranked.size(), 4u);
+    Count top8 = 0;
+    for (std::size_t i = 0; i < ranked.size() && i < 8; ++i)
+        top8 += ranked[i].second;
+    const double coverage = static_cast<double>(top8) /
+                            static_cast<double>(mix.functFreq().total());
+    // Paper Table 3: ~87% cumulative for the top 8.
+    EXPECT_GT(coverage, 0.75);
+}
+
+TEST(PcProfiler, EmpiricalMatchesAnalyticShape)
+{
+    PcProfiler pc;
+    profileSuite({&pc});
+    // Bigger blocks -> fewer cycles, more bits (Table 2 trend), with
+    // branch redirects adding a little over the pure counter.
+    double prev_cycles = 1e30;
+    for (unsigned b = 1; b <= 8; ++b) {
+        const auto &acc = pc.forBlockBits(b);
+        EXPECT_GT(acc.updates(), 0u);
+        EXPECT_LT(acc.meanCycles(), prev_cycles + 1e-12);
+        prev_cycles = acc.meanCycles();
+        EXPECT_GE(acc.meanActivityBits(),
+                  sig::pcAnalyticActivityBits(b) * 0.8);
+    }
+    // Byte blocks: ~73% saving vs a 32-bit incrementer (Table 5).
+    const double saving =
+        100.0 * (1.0 - pc.forBlockBits(8).meanActivityBits() / 32.0);
+    EXPECT_GT(saving, 60.0);
+    EXPECT_LT(saving, 80.0);
+}
+
+TEST(SuiteCompressor, ImprovesFetchWidthOverDefault)
+{
+    InstrMixProfiler def{sig::InstrCompressor::withDefaultRanking()};
+    InstrMixProfiler tuned{suiteCompressor()};
+    profileSuite({&def, &tuned});
+    EXPECT_LE(tuned.meanFetchBytes(), def.meanFetchBytes() + 1e-9);
+}
+
+TEST(ActivityStudy, ByteGranularityBands)
+{
+    const auto rows = runActivityStudy(sig::Encoding::Ext3);
+    ASSERT_EQ(rows.size(), workloads::Suite::names().size());
+    const pipeline::ActivityTotals avg = sumActivity(rows);
+
+    // Paper Table 5 AVG: fetch 18.2, rfRead 46.5, rfWrite 42.1,
+    // alu 33.2, dcData ~30, dcTag ~1, pcInc 73.3, latch 42.2.
+    EXPECT_NEAR(avg.fetch.saving(), 18.2, 10.0);
+    EXPECT_NEAR(avg.rfRead.saving(), 46.5, 15.0);
+    EXPECT_NEAR(avg.rfWrite.saving(), 42.1, 17.0);
+    EXPECT_NEAR(avg.alu.saving(), 33.2, 15.0);
+    // Our synthetic media arrays are narrower than Mediabench heap
+    // data, so D-cache savings run above the paper's 31% average
+    // (still inside its 1-57% per-benchmark range).
+    EXPECT_GT(avg.dcData.saving(), 20.0);
+    EXPECT_LT(avg.dcData.saving(), 60.0);
+    EXPECT_LT(avg.dcTag.saving(), 2.0);
+    EXPECT_NEAR(avg.pcInc.saving(), 73.3, 8.0);
+    EXPECT_NEAR(avg.latch.saving(), 42.2, 18.0);
+}
+
+TEST(ActivityStudy, HalfwordSavingsSmallerButSubstantial)
+{
+    const auto byte_rows = runActivityStudy(sig::Encoding::Ext3);
+    const auto half_rows = runActivityStudy(sig::Encoding::Half1);
+    const auto byte_avg = sumActivity(byte_rows);
+    const auto half_avg = sumActivity(half_rows);
+
+    // Paper Table 6 vs Table 5: every stage saves less at halfword
+    // granularity but the savings remain substantial.
+    EXPECT_LT(half_avg.rfRead.saving(), byte_avg.rfRead.saving());
+    EXPECT_LT(half_avg.alu.saving(), byte_avg.alu.saving());
+    EXPECT_LT(half_avg.pcInc.saving(), byte_avg.pcInc.saving());
+    EXPECT_LT(half_avg.latch.saving(), byte_avg.latch.saving());
+    EXPECT_GT(half_avg.rfRead.saving(), 10.0);
+    EXPECT_GT(half_avg.pcInc.saving(), 30.0);
+}
+
+TEST(CpiStudy, PaperOrderingAcrossSuite)
+{
+    const auto designs = pipeline::allDesigns();
+    const auto rows = runCpiStudy(designs, suiteConfig());
+    ASSERT_EQ(rows.size(), workloads::Suite::names().size());
+
+    const double base = meanCpi(rows, Design::Baseline32);
+    const double serial = meanCpi(rows, Design::ByteSerial);
+    const double half = meanCpi(rows, Design::HalfwordSerial);
+    const double semi = meanCpi(rows, Design::ByteSemiParallel);
+    const double skew = meanCpi(rows, Design::ByteParallelSkewed);
+    const double comp = meanCpi(rows, Design::ByteParallelCompressed);
+    const double byp = meanCpi(rows, Design::SkewedBypass);
+
+    // Paper: baseline < {skewed family, compressed} < semi < half
+    // < serial; byte-serial ~ +79%, semi ~ +24%, parallel within
+    // a few percent.
+    EXPECT_LT(base, byp);
+    EXPECT_LT(byp, semi);
+    EXPECT_LT(comp, semi);
+    EXPECT_LT(skew, semi);
+    EXPECT_LT(semi, half);
+    EXPECT_LT(half, serial);
+
+    const double serial_up = serial / base - 1.0;
+    EXPECT_GT(serial_up, 0.45);
+    EXPECT_LT(serial_up, 1.10);
+    const double semi_up = semi / base - 1.0;
+    EXPECT_GT(semi_up, 0.10);
+    EXPECT_LT(semi_up, 0.45);
+    const double byp_up = byp / base - 1.0;
+    EXPECT_LT(byp_up, 0.15);
+}
+
+TEST(CpiStudy, ExStructuralStallsDominateByteSerial)
+{
+    // Section 5's bottleneck study: most byte-serial stalls are EX
+    // structural hazards, motivating the 3/2/2/1 bandwidth split.
+    const auto rows =
+        runCpiStudy({Design::ByteSerial}, suiteConfig());
+    Count structural = 0, total = 0;
+    for (const auto &row : rows) {
+        const auto &st = row.stalls.at(Design::ByteSerial);
+        structural += st.structuralCycles;
+        total += st.total();
+    }
+    EXPECT_GT(static_cast<double>(structural) /
+                  static_cast<double>(total),
+              0.35);
+}
+
+} // namespace
+} // namespace sigcomp::analysis

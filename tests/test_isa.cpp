@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Unit tests for the ISA library: encode/decode round trips,
+ * classification, assembler linking, disassembly, text assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+#include "isa/text_assembler.h"
+
+namespace sigcomp::isa
+{
+namespace
+{
+
+TEST(Instruction, RFormatFieldRoundTrip)
+{
+    const Instruction i =
+        Instruction::makeR(Funct::Addu, reg::t0, reg::s1, reg::a2);
+    EXPECT_EQ(i.opcode(), Opcode::Special);
+    EXPECT_EQ(i.funct(), Funct::Addu);
+    EXPECT_EQ(i.rd(), reg::t0);
+    EXPECT_EQ(i.rs(), reg::s1);
+    EXPECT_EQ(i.rt(), reg::a2);
+    EXPECT_EQ(i.shamt(), 0u);
+}
+
+TEST(Instruction, IFormatFieldRoundTrip)
+{
+    const Instruction i =
+        Instruction::makeI(Opcode::Addiu, reg::t1, reg::sp, 0xfffc);
+    EXPECT_EQ(i.opcode(), Opcode::Addiu);
+    EXPECT_EQ(i.rt(), reg::t1);
+    EXPECT_EQ(i.rs(), reg::sp);
+    EXPECT_EQ(i.simm16(), -4);
+}
+
+TEST(Instruction, JFormatFieldRoundTrip)
+{
+    const Instruction i = Instruction::makeJ(Opcode::Jal, 0x0123456);
+    EXPECT_EQ(i.opcode(), Opcode::Jal);
+    EXPECT_EQ(i.target26(), 0x0123456u);
+}
+
+TEST(Decode, AluClassification)
+{
+    const auto d = decode(Instruction::makeR(Funct::Subu, reg::v0,
+                                             reg::a0, reg::a1));
+    EXPECT_EQ(d.cls, InstrClass::IntAlu);
+    EXPECT_TRUE(d.readsRs);
+    EXPECT_TRUE(d.readsRt);
+    EXPECT_TRUE(d.writesDest);
+    EXPECT_EQ(d.dest, reg::v0);
+    EXPECT_TRUE(d.usesFunct);
+    EXPECT_EQ(d.name, "subu");
+}
+
+TEST(Decode, LoadClassification)
+{
+    const auto d = decode(Instruction::makeI(Opcode::Lh, reg::t0,
+                                             reg::s0, 8));
+    EXPECT_EQ(d.cls, InstrClass::Load);
+    EXPECT_TRUE(d.isLoad);
+    EXPECT_EQ(d.memBytes, 2u);
+    EXPECT_TRUE(d.memSigned);
+    EXPECT_TRUE(d.readsRs);
+    EXPECT_FALSE(d.readsRt);
+    EXPECT_EQ(d.dest, reg::t0);
+}
+
+TEST(Decode, StoreClassification)
+{
+    const auto d = decode(Instruction::makeI(Opcode::Sb, reg::t3,
+                                             reg::s2, -1));
+    EXPECT_EQ(d.cls, InstrClass::Store);
+    EXPECT_TRUE(d.isStore);
+    EXPECT_EQ(d.memBytes, 1u);
+    EXPECT_TRUE(d.readsRs);
+    EXPECT_TRUE(d.readsRt);
+    EXPECT_FALSE(d.writesDest);
+}
+
+TEST(Decode, BranchClassification)
+{
+    const auto d = decode(Instruction::makeI(Opcode::Bne, reg::t0,
+                                             reg::t1, 16));
+    EXPECT_EQ(d.cls, InstrClass::Branch);
+    EXPECT_TRUE(d.isControl);
+    EXPECT_TRUE(d.isCondBranch);
+    EXPECT_FALSE(d.writesDest);
+}
+
+TEST(Decode, JalWritesRa)
+{
+    const auto d = decode(Instruction::makeJ(Opcode::Jal, 4));
+    EXPECT_EQ(d.cls, InstrClass::Jump);
+    EXPECT_TRUE(d.writesDest);
+    EXPECT_EQ(d.dest, reg::ra);
+    EXPECT_TRUE(d.isControl);
+    EXPECT_FALSE(d.isCondBranch);
+}
+
+TEST(Decode, NopIsRecognised)
+{
+    const auto d = decode(Instruction::nop());
+    EXPECT_EQ(d.cls, InstrClass::Nop);
+    EXPECT_EQ(d.name, "nop");
+}
+
+TEST(Decode, ShiftByImmediateReadsOnlyRt)
+{
+    const auto d = decode(Instruction::makeR(Funct::Sll, reg::t0,
+                                             reg::zero, reg::t1, 4));
+    EXPECT_EQ(d.cls, InstrClass::Shift);
+    EXPECT_FALSE(d.readsRs);
+    EXPECT_TRUE(d.readsRt);
+}
+
+TEST(Decode, RegImmVariants)
+{
+    const auto bltz = decode(Instruction::makeRegImm(RegImmRt::Bltz,
+                                                     reg::a0, 4));
+    EXPECT_EQ(bltz.name, "bltz");
+    EXPECT_TRUE(bltz.isCondBranch);
+    const auto bgez = decode(Instruction::makeRegImm(RegImmRt::Bgez,
+                                                     reg::a0, 4));
+    EXPECT_EQ(bgez.name, "bgez");
+}
+
+/** Property: decode never crashes and classifies nonsense as safe. */
+TEST(Decode, RandomWordsNeverCrash)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        const auto d = decode(Instruction(rng.next32()));
+        // Loads/stores must have a size; others must not.
+        if (d.isLoad || d.isStore)
+            EXPECT_GT(d.memBytes, 0u);
+        else
+            EXPECT_EQ(d.memBytes, 0u);
+    }
+}
+
+TEST(Disassemble, RepresentativeForms)
+{
+    EXPECT_EQ(disassemble(Instruction::makeR(Funct::Addu, reg::v0,
+                                             reg::a0, reg::a1)),
+              "addu $v0, $a0, $a1");
+    EXPECT_EQ(disassemble(Instruction::makeI(Opcode::Lw, reg::t0,
+                                             reg::sp, 4)),
+              "lw $t0, 4($sp)");
+    EXPECT_EQ(disassemble(Instruction::makeI(Opcode::Addiu, reg::t0,
+                                             reg::t0, 0xffff)),
+              "addiu $t0, $t0, -1");
+    EXPECT_EQ(disassemble(Instruction::makeR(Funct::Sll, reg::t0,
+                                             reg::zero, reg::t1, 2)),
+              "sll $t0, $t1, 2");
+    EXPECT_EQ(disassemble(Instruction::nop()), "nop");
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Assembler a;
+    a.label("main");
+    a.li(reg::t0, 3);
+    a.label("loop");                       // backward target
+    a.addiu(reg::t0, reg::t0, -1);
+    a.bne(reg::t0, reg::zero, "loop");
+    a.beq(reg::zero, reg::zero, "done");   // forward target
+    a.addiu(reg::t1, reg::t1, 99);
+    a.label("done");
+    a.exitProgram();
+    const Program p = a.finish("branches");
+
+    // bne at index 2 targets index 1: offset = (1 - 3) = -2.
+    const Instruction bne = p.text()[2];
+    EXPECT_EQ(bne.opcode(), Opcode::Bne);
+    EXPECT_EQ(bne.simm16(), -2);
+
+    // beq at index 3 targets index 5: offset = (5 - 4) = +1.
+    const Instruction beq = p.text()[3];
+    EXPECT_EQ(beq.simm16(), 1);
+}
+
+TEST(Assembler, LaProducesAbsoluteAddress)
+{
+    Assembler a;
+    a.dataLabel("table");
+    a.dataWord(0x11223344);
+    a.label("main");
+    a.la(reg::s0, "table");
+    a.exitProgram();
+    const Program p = a.finish("la");
+
+    EXPECT_EQ(p.symbol("table"), dataBase);
+    const Instruction lui = p.text()[0];
+    const Instruction ori = p.text()[1];
+    EXPECT_EQ(lui.opcode(), Opcode::Lui);
+    EXPECT_EQ(lui.imm16(), dataBase >> 16);
+    EXPECT_EQ(ori.opcode(), Opcode::Ori);
+    EXPECT_EQ(ori.imm16(), dataBase & 0xffff);
+}
+
+TEST(Assembler, LiSelectsShortestForm)
+{
+    Assembler a;
+    a.label("main");
+    a.li(reg::t0, 5);          // addiu
+    a.li(reg::t1, -5);         // addiu
+    a.li(reg::t2, 0x8000);     // ori (fits unsigned)
+    a.li(reg::t3, 0x12340000); // lui only
+    a.li(reg::t4, 0x12345678); // lui + ori
+    const Program p = a.finish("li");
+    ASSERT_EQ(p.text().size(), 6u);
+    EXPECT_EQ(p.text()[0].opcode(), Opcode::Addiu);
+    EXPECT_EQ(p.text()[1].opcode(), Opcode::Addiu);
+    EXPECT_EQ(p.text()[2].opcode(), Opcode::Ori);
+    EXPECT_EQ(p.text()[3].opcode(), Opcode::Lui);
+    EXPECT_EQ(p.text()[4].opcode(), Opcode::Lui);
+    EXPECT_EQ(p.text()[5].opcode(), Opcode::Ori);
+}
+
+TEST(Assembler, DataDirectivesAndAlignment)
+{
+    Assembler a;
+    const Addr b0 = a.dataBytes(std::array<Byte, 3>{1, 2, 3});
+    const Addr w0 = a.dataWord(0xcafebabe); // must align to 4
+    a.label("main");
+    a.exitProgram();
+    const Program p = a.finish("data");
+
+    EXPECT_EQ(b0, dataBase);
+    EXPECT_EQ(w0, dataBase + 4);
+    ASSERT_EQ(p.data().bytes.size(), 8u);
+    EXPECT_EQ(p.data().bytes[3], 0); // alignment padding
+    EXPECT_EQ(p.data().bytes[4], 0xbe);
+    EXPECT_EQ(p.data().bytes[7], 0xca);
+}
+
+TEST(Assembler, EntryDefaultsToMain)
+{
+    Assembler a;
+    a.nop();
+    a.label("main");
+    a.exitProgram();
+    const Program p = a.finish("entry");
+    EXPECT_EQ(p.entry(), textBase + 4);
+}
+
+TEST(Program, FetchInRange)
+{
+    Assembler a;
+    a.label("main");
+    a.nop();
+    a.exitProgram();
+    const Program p = a.finish("fetch");
+    EXPECT_EQ(p.fetch(textBase).raw(), Instruction::nop().raw());
+    EXPECT_EQ(p.textEnd(), textBase + 4 * p.text().size());
+}
+
+TEST(TextAssembler, EndToEndProgram)
+{
+    const char *src = R"(
+        .data
+        arr: .word 10, 20, 30
+        .text
+        main:
+            la $s0, arr
+            lw $t0, 0($s0)
+            lw $t1, 4($s0)
+            addu $a0, $t0, $t1   # 30
+            li $a1, 30
+            li $v0, 93           # AssertEq
+            syscall
+            li $v0, 10
+            syscall
+    )";
+    const Program p = assembleText(src, "txt");
+    EXPECT_EQ(p.symbol("arr"), dataBase);
+    EXPECT_GT(p.text().size(), 5u);
+}
+
+TEST(TextAssembler, MemOperandsAndShifts)
+{
+    const char *src = R"(
+        .text
+        main:
+            li $t0, 1
+            sll $t1, $t0, 4
+            sw $t1, -8($sp)
+            lw $t2, -8($sp)
+            jr $ra
+    )";
+    const Program p = assembleText(src, "ops");
+    const Instruction sw = p.text()[2];
+    EXPECT_EQ(sw.opcode(), Opcode::Sw);
+    EXPECT_EQ(sw.simm16(), -8);
+}
+
+TEST(Names, RegisterNames)
+{
+    EXPECT_EQ(regName(reg::zero), "$zero");
+    EXPECT_EQ(regName(reg::sp), "$sp");
+    EXPECT_EQ(regName(reg::t7), "$t7");
+}
+
+TEST(Names, ValidityPredicates)
+{
+    EXPECT_TRUE(opcodeValid(static_cast<std::uint8_t>(Opcode::Lw)));
+    EXPECT_FALSE(opcodeValid(0x3f));
+    EXPECT_TRUE(functValid(static_cast<std::uint8_t>(Funct::Addu)));
+    EXPECT_FALSE(functValid(0x3f));
+}
+
+} // namespace
+} // namespace sigcomp::isa
+
+namespace sigcomp::isa
+{
+namespace
+{
+
+TEST(TextAssembler, NumericRegistersAndHexImmediates)
+{
+    const char *src = R"(
+        .text
+        main:
+            li $8, 0x1F          # $8 == $t0
+            addiu $9, $8, -0x10
+            jr $ra
+    )";
+    const Program p = assembleText(src, "numeric");
+    EXPECT_EQ(p.text()[0].rt(), reg::t0);
+    EXPECT_EQ(p.text()[0].imm16(), 0x1f);
+    EXPECT_EQ(p.text()[1].rt(), reg::t1);
+    EXPECT_EQ(p.text()[1].simm16(), -16);
+}
+
+TEST(TextAssembler, HalfAndByteDataLists)
+{
+    const char *src = R"(
+        .data
+        h: .half -1, 2
+        b: .byte 0xff, 1
+        .align 4
+        w: .word 7
+        .text
+        main: jr $ra
+    )";
+    const Program p = assembleText(src, "data");
+    const auto &bytes = p.data().bytes;
+    EXPECT_EQ(bytes[0], 0xff); // -1 little endian
+    EXPECT_EQ(bytes[1], 0xff);
+    EXPECT_EQ(bytes[2], 0x02);
+    EXPECT_EQ(p.symbol("b"), dataBase + 4);
+    EXPECT_EQ(p.symbol("w") % 4, 0u);
+}
+
+TEST(TextAssembler, JalrAndPseudoOps)
+{
+    const char *src = R"(
+        .text
+        main:
+            la $t9, main
+            jalr $ra, $t9
+            move $t0, $v0
+            neg $t1, $t0
+            b out
+            nop
+        out:
+            jr $ra
+    )";
+    const Program p = assembleText(src, "ops");
+    const auto jalr = decode(p.text()[2]);
+    EXPECT_EQ(jalr.cls, InstrClass::JumpReg);
+    EXPECT_TRUE(jalr.writesDest);
+}
+
+TEST(Assembler, BgtBleBltBgeExpandToSltPairs)
+{
+    Assembler a;
+    a.label("main");
+    a.blt(reg::t0, reg::t1, "main");
+    a.bge(reg::t0, reg::t1, "main");
+    a.bgt(reg::t0, reg::t1, "main");
+    a.ble(reg::t0, reg::t1, "main");
+    const Program p = a.finish("cmp");
+    ASSERT_EQ(p.text().size(), 8u);
+    for (std::size_t i = 0; i < 8; i += 2) {
+        EXPECT_EQ(p.text()[i].opcode(), Opcode::Special);
+        EXPECT_EQ(p.text()[i].funct(), Funct::Slt);
+        const Opcode br = p.text()[i + 1].opcode();
+        EXPECT_TRUE(br == Opcode::Beq || br == Opcode::Bne);
+    }
+}
+
+} // namespace
+} // namespace sigcomp::isa

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the memory subsystem: sparse memory, caches, TLB,
+ * hierarchy timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "mem/main_memory.h"
+#include "mem/tlb.h"
+
+namespace sigcomp::mem
+{
+namespace
+{
+
+TEST(MainMemory, ZeroInitialised)
+{
+    MainMemory m;
+    EXPECT_EQ(m.readWord(0x10000000), 0u);
+    EXPECT_EQ(m.readByte(0x7ffffffc), 0);
+    EXPECT_EQ(m.pagesAllocated(), 0u); // reads must not allocate
+}
+
+TEST(MainMemory, ByteHalfWordRoundTrip)
+{
+    MainMemory m;
+    m.writeWord(0x1000, 0xdeadbeef);
+    EXPECT_EQ(m.readWord(0x1000), 0xdeadbeefu);
+    EXPECT_EQ(m.readByte(0x1000), 0xef);     // little endian
+    EXPECT_EQ(m.readByte(0x1003), 0xde);
+    EXPECT_EQ(m.readHalf(0x1000), 0xbeef);
+    EXPECT_EQ(m.readHalf(0x1002), 0xdead);
+
+    m.writeByte(0x1001, 0x55);
+    EXPECT_EQ(m.readWord(0x1000), 0xdead55efu);
+    m.writeHalf(0x1002, 0x1234);
+    EXPECT_EQ(m.readWord(0x1000), 0x123455efu);
+}
+
+TEST(MainMemory, CrossPageBlockWrite)
+{
+    MainMemory m;
+    const Addr near_end = MainMemory::pageSize - 2;
+    const Byte buf[4] = {1, 2, 3, 4};
+    m.writeBlock(near_end, buf, 4);
+    EXPECT_EQ(m.readByte(near_end), 1);
+    EXPECT_EQ(m.readByte(near_end + 3), 4);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    EXPECT_EQ(c.numSets(), 256u);
+    // 32 - 8 (index) - 5 (offset) + 1 (valid) = 20
+    EXPECT_EQ(c.tagBits(), 20u);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    const CacheAccess first = c.access(0x1000, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.fillLine, 0x1000u);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x101c, false).hit); // same 32B line
+    EXPECT_FALSE(c.access(0x1020, false).hit); // next line
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x0000, false);
+    c.access(0x2000, false); // same set (8 KB apart), evicts
+    EXPECT_FALSE(c.access(0x0000, false).hit);
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x0000, true); // dirty
+    const CacheAccess a = c.access(0x2000, false);
+    EXPECT_FALSE(a.hit);
+    EXPECT_TRUE(a.writeback);
+    EXPECT_EQ(a.victimLine, 0x0000u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x0000, false);
+    const CacheAccess a = c.access(0x2000, false);
+    EXPECT_FALSE(a.writeback);
+}
+
+TEST(Cache, LruReplacementInSetAssociative)
+{
+    // 4-way, 4 sets: size = 4 sets * 4 ways * 32 B = 512 B.
+    Cache c(CacheParams{"l2", 512, 4, 32, 6});
+    // Four lines mapping to set 0 (stride = 4 sets * 32 B = 128).
+    c.access(0 * 128, false);
+    c.access(1 * 128, false);
+    c.access(2 * 128, false);
+    c.access(3 * 128, false);
+    // Touch line 0 so line 1 becomes LRU.
+    c.access(0 * 128, false);
+    // New line evicts line 1.
+    c.access(4 * 128, false);
+    EXPECT_TRUE(c.contains(0 * 128));
+    EXPECT_FALSE(c.contains(1 * 128));
+    EXPECT_TRUE(c.contains(2 * 128));
+    EXPECT_TRUE(c.contains(3 * 128));
+    EXPECT_TRUE(c.contains(4 * 128));
+}
+
+TEST(Cache, StatsAccumulate)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x0000, false);
+    c.access(0x0004, false);
+    c.access(0x0008, true);
+    c.access(0x4000, true); // write miss
+    EXPECT_EQ(c.stats().reads, 2u);
+    EXPECT_EQ(c.stats().writes, 2u);
+    EXPECT_EQ(c.stats().readMisses, 1u);
+    EXPECT_EQ(c.stats().writeMisses, 1u);
+    EXPECT_EQ(c.stats().fills, 2u);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.5);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x0000, false);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x0000));
+}
+
+TEST(Tlb, HitAfterMiss)
+{
+    Tlb t(TlbParams{"itlb", 16, 4, 12, 30});
+    EXPECT_FALSE(t.access(0x00400000));
+    EXPECT_TRUE(t.access(0x00400ffc)); // same 4K page
+    EXPECT_FALSE(t.access(0x00401000)); // next page
+    EXPECT_EQ(t.stats().misses, 2u);
+    EXPECT_EQ(t.stats().accesses, 3u);
+}
+
+TEST(Tlb, LruWithinSet)
+{
+    // 4 entries, 4-way = 1 set.
+    Tlb t(TlbParams{"t", 4, 4, 12, 30});
+    for (Addr p = 0; p < 4; ++p)
+        t.access(p << 12);
+    t.access(0u << 12);       // refresh page 0
+    t.access(Addr{4} << 12);  // evicts page 1
+    EXPECT_TRUE(t.access(0u << 12));
+    EXPECT_FALSE(t.access(Addr{1} << 12));
+}
+
+TEST(Hierarchy, L1HitHasNoExtraLatency)
+{
+    MemoryHierarchy h;
+    h.instrFetch(0x00400000);           // cold
+    const MemOutcome o = h.instrFetch(0x00400004);
+    EXPECT_TRUE(o.l1Hit);
+    EXPECT_TRUE(o.tlbHit);
+    EXPECT_EQ(o.extraLatency, 0u);
+}
+
+TEST(Hierarchy, ColdMissPaysTlbL2AndMemory)
+{
+    MemoryHierarchy h;
+    const MemOutcome o = h.dataAccess(0x10000000, false);
+    EXPECT_FALSE(o.l1Hit);
+    EXPECT_FALSE(o.l2Hit);
+    EXPECT_FALSE(o.tlbHit);
+    // 30 (TLB) + 30 (memory).
+    EXPECT_EQ(o.extraLatency, 60u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemoryHierarchy h;
+    h.dataAccess(0x10000000, false); // cold fill into L1+L2
+    h.dataAccess(0x10002000, false); // evicts L1 line (same L1 set)
+    const MemOutcome o = h.dataAccess(0x10000000, false);
+    EXPECT_FALSE(o.l1Hit);
+    EXPECT_TRUE(o.l2Hit);
+    EXPECT_TRUE(o.tlbHit);
+    EXPECT_EQ(o.extraLatency, 6u);
+}
+
+TEST(Hierarchy, DirtyL1EvictionWritesToL2)
+{
+    MemoryHierarchy h;
+    h.dataAccess(0x10000000, true);
+    const Count l2_writes_before = h.l2().stats().writes;
+    h.dataAccess(0x10002000, false); // evict dirty line
+    EXPECT_EQ(h.l2().stats().writes, l2_writes_before + 1);
+}
+
+TEST(Hierarchy, ResetClearsStateAndStats)
+{
+    MemoryHierarchy h;
+    h.dataAccess(0x10000000, false);
+    h.reset();
+    EXPECT_EQ(h.l1d().stats().accesses(), 0u);
+    const MemOutcome o = h.dataAccess(0x10000000, false);
+    EXPECT_FALSE(o.l1Hit);
+}
+
+TEST(Hierarchy, PaperParameterDefaults)
+{
+    MemoryHierarchy h;
+    EXPECT_EQ(h.l1i().params().sizeBytes, 8u * 1024);
+    EXPECT_EQ(h.l1i().params().assoc, 1u);
+    EXPECT_EQ(h.l1d().params().lineBytes, 32u);
+    EXPECT_EQ(h.l2().params().sizeBytes, 64u * 1024);
+    EXPECT_EQ(h.l2().params().assoc, 4u);
+    EXPECT_EQ(h.l2().params().hitLatency, 6u);
+    EXPECT_EQ(h.params().memoryPenalty, 30u);
+    EXPECT_EQ(h.itlb().params().entries, 16u);
+    EXPECT_EQ(h.dtlb().params().entries, 32u);
+}
+
+} // namespace
+} // namespace sigcomp::mem
+
+namespace sigcomp::mem
+{
+namespace
+{
+
+TEST(Hierarchy, InstructionAndDataSidesAreIndependent)
+{
+    MemoryHierarchy h;
+    h.instrFetch(0x00400000);
+    // Same address on the data side still misses L1D (split caches)
+    // but hits the unified L2, and uses the separate D-TLB.
+    const MemOutcome o = h.dataAccess(0x00400000, false);
+    EXPECT_FALSE(o.l1Hit);
+    EXPECT_TRUE(o.l2Hit);
+    EXPECT_FALSE(o.tlbHit);
+    EXPECT_EQ(h.itlb().stats().accesses, 1u);
+    EXPECT_EQ(h.dtlb().stats().accesses, 1u);
+}
+
+TEST(Hierarchy, L2RetainsLinesAcrossL1Evictions)
+{
+    MemoryHierarchy h;
+    // Walk 3 conflicting L1 lines (8 KB apart): all land in L2.
+    h.dataAccess(0x10000000, false);
+    h.dataAccess(0x10002000, false);
+    h.dataAccess(0x10004000, false);
+    // Re-touch each: L1 misses, L2 hits (4-way set keeps all 3).
+    for (Addr a : {0x10000000u, 0x10002000u}) {
+        const MemOutcome o = h.dataAccess(a, false);
+        EXPECT_FALSE(o.l1Hit) << std::hex << a;
+        EXPECT_TRUE(o.l2Hit) << std::hex << a;
+    }
+}
+
+TEST(Cache, WriteKeepsLineDirtyAcrossReads)
+{
+    Cache c(CacheParams{"l1", 8 * 1024, 1, 32, 1});
+    c.access(0x100, true);  // dirty
+    c.access(0x104, false); // read hit must not clean it
+    const CacheAccess ev = c.access(0x2100, false);
+    EXPECT_TRUE(ev.writeback);
+}
+
+TEST(Cache, TagBitsScaleWithGeometry)
+{
+    // Bigger cache -> more index bits -> fewer tag bits.
+    Cache small(CacheParams{"s", 1024, 1, 32, 1});
+    Cache big(CacheParams{"b", 64 * 1024, 1, 32, 1});
+    EXPECT_GT(small.tagBits(), big.tagBits());
+    // Associativity shrinks the index, growing the tag.
+    Cache assoc(CacheParams{"a", 64 * 1024, 4, 32, 1});
+    EXPECT_GT(assoc.tagBits(), big.tagBits());
+}
+
+TEST(MainMemory, WritesAllocatePagesSparsely)
+{
+    MainMemory m;
+    m.writeWord(0x00000000, 1);
+    m.writeWord(0x70000000, 2);
+    EXPECT_EQ(m.pagesAllocated(), 2u);
+    EXPECT_EQ(m.readWord(0x00000000), 1u);
+    EXPECT_EQ(m.readWord(0x70000000), 2u);
+}
+
+} // namespace
+} // namespace sigcomp::mem

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Workload suite tests. Every kernel is self-checking (it asserts
+ * its own output checksum in-simulator), so running each to
+ * completion validates functional correctness of kernel + assembler
+ * + functional core together. Additional tests pin down dynamic
+ * properties the activity study relies on (instruction mix shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cpu/functional_core.h"
+#include "workloads/workload.h"
+
+namespace sigcomp::workloads
+{
+namespace
+{
+
+using cpu::DynInstr;
+using cpu::RunResult;
+using cpu::StopReason;
+using cpu::TraceSink;
+
+/** Instruction-mix profiler. */
+class MixSink : public TraceSink
+{
+  public:
+    void
+    retire(const DynInstr &di) override
+    {
+        ++total;
+        if (di.dec->isLoad)
+            ++loads;
+        if (di.dec->isStore)
+            ++stores;
+        if (di.dec->isCondBranch)
+            ++branches;
+        if (di.dec->cls == isa::InstrClass::Mult ||
+            di.dec->cls == isa::InstrClass::Div) {
+            ++multdiv;
+        }
+    }
+
+    double frac(Count c) const
+    {
+        return total ? double(c) / double(total) : 0.0;
+    }
+
+    Count total = 0;
+    Count loads = 0;
+    Count stores = 0;
+    Count branches = 0;
+    Count multdiv = 0;
+};
+
+class WorkloadRun : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadRun, SelfCheckPasses)
+{
+    const Workload w = Suite::build(GetParam());
+    EXPECT_EQ(w.name, GetParam());
+
+    MixSink mix;
+    const RunResult r = cpu::runToCompletion(w.program, &mix);
+    EXPECT_EQ(r.reason, StopReason::Exited);
+
+    // Each kernel must be big enough to be a meaningful sample but
+    // small enough to keep the full-suite benches fast.
+    EXPECT_GT(r.instructions, 10'000u) << w.name;
+    EXPECT_LT(r.instructions, 3'000'000u) << w.name;
+
+    // Media kernels touch memory and branch regularly (thresholds
+    // are loose: g721 is compute-dominated by design).
+    EXPECT_GT(mix.frac(mix.loads + mix.stores), 0.01) << w.name;
+    EXPECT_GT(mix.frac(mix.branches), 0.02) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadRun,
+                         ::testing::ValuesIn(Suite::names()),
+                         [](const auto &info) { return info.param; });
+
+INSTANTIATE_TEST_SUITE_P(HeldOut, WorkloadRun,
+                         ::testing::ValuesIn(Suite::extraNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Suite, ExtraNamesAreNotInPaperTable)
+{
+    for (const std::string &extra : Suite::extraNames()) {
+        for (const std::string &core : Suite::names())
+            EXPECT_NE(extra, core);
+        const Workload w = Suite::build(extra);
+        EXPECT_EQ(w.name, extra);
+    }
+}
+
+TEST(Suite, NamesAndFactoriesAgree)
+{
+    const auto &names = Suite::names();
+    EXPECT_EQ(names.size(), 12u);
+    for (const std::string &n : names) {
+        const Workload w = Suite::build(n);
+        EXPECT_EQ(w.name, n);
+        EXPECT_FALSE(w.program.text().empty());
+    }
+}
+
+TEST(Suite, BuildAllReturnsAllInOrder)
+{
+    const std::vector<Workload> all = Suite::buildAll();
+    ASSERT_EQ(all.size(), Suite::names().size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].name, Suite::names()[i]);
+}
+
+TEST(Suite, KernelsAreDeterministic)
+{
+    // Building the same workload twice gives identical programs.
+    const Workload a = Suite::build("rawcaudio");
+    const Workload b = Suite::build("rawcaudio");
+    ASSERT_EQ(a.program.text().size(), b.program.text().size());
+    for (std::size_t i = 0; i < a.program.text().size(); ++i)
+        EXPECT_EQ(a.program.text()[i].raw(), b.program.text()[i].raw());
+    EXPECT_EQ(a.program.data().bytes, b.program.data().bytes);
+}
+
+TEST(Suite, PegwitIsTheWideOperandOutlier)
+{
+    // Pegwit's operands are ~uniform 32-bit values, so the average
+    // significant-byte count of its register results must exceed the
+    // narrow media kernels' by a wide margin.
+    struct WidthSink : TraceSink
+    {
+        void
+        retire(const DynInstr &di) override
+        {
+            if (di.dec->writesDest) {
+                bytes += significantBytes(di.result);
+                ++n;
+            }
+        }
+        double mean() const { return n ? double(bytes) / double(n) : 0; }
+        Count bytes = 0, n = 0;
+    };
+
+    WidthSink peg, adp;
+    cpu::runToCompletion(Suite::build("pegwit").program, &peg);
+    cpu::runToCompletion(Suite::build("rawcaudio").program, &adp);
+    EXPECT_GT(peg.mean(), adp.mean() + 0.5);
+}
+
+TEST(Suite, MixMatchesPaperShape)
+{
+    // Across the whole suite the paper-relevant aggregates must
+    // hold: most instructions perform an addition (ALU ops, loads,
+    // stores, branches), a healthy fraction access memory, and
+    // branches are frequent (media code is loop-dominated).
+    MixSink mix;
+    for (const std::string &n : Suite::names())
+        cpu::runToCompletion(Suite::build(n).program, &mix);
+
+    const double mem_frac = mix.frac(mix.loads + mix.stores);
+    EXPECT_GT(mem_frac, 0.10);
+    EXPECT_LT(mem_frac, 0.50);
+    const double br_frac = mix.frac(mix.branches);
+    EXPECT_GT(br_frac, 0.05);
+    EXPECT_LT(br_frac, 0.35);
+}
+
+} // namespace
+} // namespace sigcomp::workloads
