@@ -1,8 +1,11 @@
 #include "analysis/experiments.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "cpu/functional_core.h"
 
 namespace sigcomp::analysis
@@ -11,17 +14,111 @@ namespace sigcomp::analysis
 using pipeline::Design;
 using pipeline::PipelineConfig;
 
-void
-profileSuite(const std::vector<cpu::TraceSink *> &sinks)
+namespace
 {
-    for (const std::string &name : workloads::Suite::names()) {
-        const workloads::Workload w = workloads::Suite::build(name);
-        mem::MainMemory memory;
-        cpu::FunctionalCore core(w.program, memory);
-        pipeline::FanoutSink fan(sinks);
-        const cpu::RunResult r = core.run(&fan);
-        SC_ASSERT(r.reason == cpu::StopReason::Exited,
-                  "workload ", name, " did not exit cleanly");
+
+/**
+ * Resolve a driver's threads parameter to an executor. A value of 0
+ * routes to the shared pool; any other count gets a dedicated
+ * (cheap: threads-1 spawned) executor so callers can pin a study to
+ * a serial reference run.
+ */
+class ExecutorHandle
+{
+  public:
+    explicit ExecutorHandle(unsigned threads)
+        : owned_(threads == 0 ? nullptr
+                              : std::make_unique<ParallelExecutor>(threads))
+    {}
+
+    ParallelExecutor &
+    get()
+    {
+        return owned_ ? *owned_ : ParallelExecutor::global();
+    }
+
+  private:
+    std::unique_ptr<ParallelExecutor> owned_;
+};
+
+/** Buffer one workload's full dynamic trace for ordered replay. */
+class TraceBufferSink : public cpu::TraceSink
+{
+  public:
+    void
+    retire(const cpu::DynInstr &di) override
+    {
+        trace_.push_back(di);
+    }
+
+    std::vector<cpu::DynInstr> &&takeTrace() { return std::move(trace_); }
+
+  private:
+    std::vector<cpu::DynInstr> trace_;
+};
+
+/**
+ * One workload's buffered run. DynInstr records point into the
+ * core's decode cache and the program, so both stay alive alongside
+ * the trace.
+ */
+struct WorkloadTrace
+{
+    workloads::Workload workload;
+    std::unique_ptr<mem::MainMemory> memory;
+    std::unique_ptr<cpu::FunctionalCore> core;
+    std::vector<cpu::DynInstr> trace;
+};
+
+} // namespace
+
+void
+profileSuite(const std::vector<cpu::TraceSink *> &sinks, unsigned threads)
+{
+    const std::vector<std::string> &names = workloads::Suite::names();
+    ExecutorHandle exec(threads);
+
+    if (exec.get().threadCount() <= 1) {
+        // Serial reference path: feed the sinks directly during
+        // simulation; no trace buffering overhead.
+        for (const std::string &name : names) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            mem::MainMemory memory;
+            cpu::FunctionalCore core(w.program, memory);
+            pipeline::FanoutSink fan(sinks);
+            const cpu::RunResult r = core.run(&fan);
+            SC_ASSERT(r.reason == cpu::StopReason::Exited, "workload ",
+                      name, " did not exit cleanly");
+        }
+        return;
+    }
+
+    // Phase 1: simulate all workloads concurrently, each buffering
+    // its retirement stream.
+    std::vector<WorkloadTrace> traces(names.size());
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        WorkloadTrace &wt = traces[i];
+        wt.workload = workloads::Suite::build(names[i]);
+        wt.memory = std::make_unique<mem::MainMemory>();
+        wt.core = std::make_unique<cpu::FunctionalCore>(
+            wt.workload.program, *wt.memory);
+        TraceBufferSink buffer;
+        const cpu::RunResult r = wt.core->run(&buffer);
+        SC_ASSERT(r.reason == cpu::StopReason::Exited, "workload ",
+                  names[i], " did not exit cleanly");
+        wt.trace = buffer.takeTrace();
+    });
+
+    // Phase 2: replay into the (shared, not thread-safe) sinks
+    // sequentially in canonical suite order — the exact stream a
+    // serial profileSuite produced. Each workload's buffers are
+    // released right after its replay so peak memory tails off at
+    // one workload's footprint instead of the whole suite's.
+    for (WorkloadTrace &wt : traces) {
+        for (const cpu::DynInstr &di : wt.trace)
+            for (cpu::TraceSink *s : sinks)
+                s->retire(di);
+        wt = WorkloadTrace{};
     }
 }
 
@@ -46,18 +143,25 @@ suiteConfig(sig::Encoding enc)
 }
 
 std::vector<ActivityRow>
-runActivityStudy(sig::Encoding enc)
+runActivityStudy(sig::Encoding enc, unsigned threads)
 {
     const Design design = (enc == sig::Encoding::Half1)
                               ? Design::HalfwordSerial
                               : Design::ByteSerial;
-    std::vector<ActivityRow> rows;
-    for (const std::string &name : workloads::Suite::names()) {
-        const workloads::Workload w = workloads::Suite::build(name);
+    // Force the one-time suite profiling pass before fanning out so
+    // the function-local static's construction isn't serialised
+    // inside (or timed as part of) the parallel region.
+    suiteCompressor();
+
+    const std::vector<std::string> &names = workloads::Suite::names();
+    std::vector<ActivityRow> rows(names.size());
+    ExecutorHandle exec(threads);
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        const workloads::Workload w = workloads::Suite::build(names[i]);
         auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
         pipeline::runPipelines(w.program, {pipe.get()});
-        rows.push_back({name, pipe->result().activity});
-    }
+        rows[i] = {names[i], pipe->result().activity};
+    });
     return rows;
 }
 
@@ -71,21 +175,24 @@ sumActivity(const std::vector<ActivityRow> &rows)
 }
 
 std::vector<CpiRow>
-runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg)
+runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
+            unsigned threads)
 {
-    std::vector<CpiRow> rows;
-    for (const std::string &name : workloads::Suite::names()) {
-        const workloads::Workload w = workloads::Suite::build(name);
+    const std::vector<std::string> &names = workloads::Suite::names();
+    std::vector<CpiRow> rows(names.size());
+    ExecutorHandle exec(threads);
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        const workloads::Workload w = workloads::Suite::build(names[i]);
         const std::vector<pipeline::PipelineResult> rs =
             pipeline::runDesigns(w.program, ds, cfg);
         CpiRow row;
-        row.benchmark = name;
-        for (std::size_t i = 0; i < ds.size(); ++i) {
-            row.cpi[ds[i]] = rs[i].cpi();
-            row.stalls[ds[i]] = rs[i].stalls;
+        row.benchmark = names[i];
+        for (std::size_t d = 0; d < ds.size(); ++d) {
+            row.cpi[ds[d]] = rs[d].cpi();
+            row.stalls[ds[d]] = rs[d].stalls;
         }
-        rows.push_back(std::move(row));
-    }
+        rows[i] = std::move(row);
+    });
     return rows;
 }
 

@@ -3,6 +3,13 @@
  * Suite-level experiment drivers: everything the per-table/figure
  * bench binaries need, factored so tests can exercise the same
  * paths.
+ *
+ * Each driver fans the suite's workloads out across cores with
+ * ParallelExecutor (every workload owns its FunctionalCore and
+ * memory image, so runs are independent) and assembles results in
+ * canonical suite order. Output is bit-identical to a serial run:
+ * pass threads == 1 to get the serial reference implementation,
+ * threads == 0 for the shared process-wide pool.
  */
 
 #ifndef SIGCOMP_ANALYSIS_EXPERIMENTS_H_
@@ -39,9 +46,13 @@ struct ActivityRow
 
 /**
  * Tables 5/6: run every workload through the serial pipeline at the
- * given granularity and collect per-stage activity.
+ * given granularity and collect per-stage activity. Workloads run
+ * concurrently on @p threads threads (0 = shared pool, 1 = serial);
+ * rows come back in suite order with values independent of the
+ * thread count.
  */
-std::vector<ActivityRow> runActivityStudy(sig::Encoding enc);
+std::vector<ActivityRow> runActivityStudy(sig::Encoding enc,
+                                          unsigned threads = 0);
 
 /** Average savings across rows (the tables' AVG line). */
 pipeline::ActivityTotals sumActivity(const std::vector<ActivityRow> &rows);
@@ -56,16 +67,27 @@ struct CpiRow
 
 /**
  * Run every workload through the given designs (one functional pass
- * per workload, all designs fanned out).
+ * per workload, all designs fanned out). Workloads run concurrently
+ * on @p threads threads (0 = shared pool, 1 = serial); rows come
+ * back in suite order with values independent of the thread count.
  */
 std::vector<CpiRow> runCpiStudy(const std::vector<pipeline::Design> &ds,
-                                const pipeline::PipelineConfig &cfg);
+                                const pipeline::PipelineConfig &cfg,
+                                unsigned threads = 0);
 
 /** Geometric-mean CPI of one design over a study. */
 double meanCpi(const std::vector<CpiRow> &rows, pipeline::Design d);
 
-/** Run all suite workloads through profiler sinks only. */
-void profileSuite(const std::vector<cpu::TraceSink *> &sinks);
+/**
+ * Run all suite workloads through profiler sinks only. The sinks are
+ * shared and need not be thread-safe: workloads simulate
+ * concurrently into per-workload trace buffers (@p threads as
+ * above), then the buffers replay into the sinks sequentially in
+ * suite order — the sinks observe exactly the serial retirement
+ * stream.
+ */
+void profileSuite(const std::vector<cpu::TraceSink *> &sinks,
+                  unsigned threads = 0);
 
 } // namespace sigcomp::analysis
 

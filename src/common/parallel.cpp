@@ -1,0 +1,230 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace sigcomp
+{
+
+namespace detail
+{
+
+/**
+ * One in-flight parallelFor. Indices are self-scheduled off an
+ * atomic counter, so load imbalance between workloads evens out.
+ * Shared ownership (submitter + every worker that saw the job) keeps
+ * the object alive until the last straggler is done touching it.
+ */
+struct Job
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    void
+    recordError(std::size_t index, std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < error_index) {
+            error_index = index;
+            error = std::move(e);
+        }
+    }
+};
+
+struct ExecutorState
+{
+    std::mutex mutex;
+    /** Signals workers that a job was published (or shutdown). */
+    std::condition_variable work_ready;
+    /** Signals job completion / retirement / slot-free transitions. */
+    std::condition_variable work_done;
+    std::shared_ptr<Job> job;
+    bool shutdown = false;
+    std::vector<std::thread> workers;
+};
+
+namespace
+{
+
+/** True on pool-owned threads: nested fan-outs run inline. */
+thread_local bool inside_worker = false;
+
+/** Claim and run indices until the job's index space is exhausted. */
+void
+drainJob(Job &job)
+{
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return;
+        try {
+            (*job.body)(i);
+        } catch (...) {
+            job.recordError(i, std::current_exception());
+        }
+        job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+workerLoop(ExecutorState *state)
+{
+    inside_worker = true;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->work_ready.wait(lock, [&] {
+                return state->shutdown || state->job != nullptr;
+            });
+            if (state->shutdown)
+                return;
+            job = state->job;
+        }
+        drainJob(*job);
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            // Wake the submitter (it waits for done == n). Notifying
+            // with the mutex held pairs with its locked predicate
+            // check, so the final done increment is never missed.
+            state->work_done.notify_all();
+            // Park until this job is retired so we never drain the
+            // same job twice. Pointer comparison only; the submitter
+            // may already have returned.
+            state->work_done.wait(lock, [&] {
+                return state->shutdown || state->job != job;
+            });
+            if (state->shutdown)
+                return;
+        }
+    }
+}
+
+} // namespace
+} // namespace detail
+
+ParallelExecutor::ParallelExecutor(unsigned threads)
+    : thread_count_(threads == 0 ? defaultThreadCount() : threads),
+      state_(new detail::ExecutorState)
+{
+    for (unsigned i = 1; i < thread_count_; ++i)
+        state_->workers.emplace_back(detail::workerLoop, state_);
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->shutdown = true;
+    }
+    state_->work_ready.notify_all();
+    state_->work_done.notify_all();
+    for (std::thread &t : state_->workers)
+        t.join();
+    delete state_;
+}
+
+ParallelExecutor &
+ParallelExecutor::global()
+{
+    static ParallelExecutor pool(0);
+    return pool;
+}
+
+unsigned
+ParallelExecutor::defaultThreadCount()
+{
+    if (const char *env = std::getenv("SIGCOMP_THREADS")) {
+        // Cap well above any real machine: a mistyped huge value
+        // must not translate into billions of std::thread spawns.
+        constexpr long max_threads = 1024;
+        char *end = nullptr;
+        errno = 0;
+        const long v = std::strtol(env, &end, 10);
+        if (errno == 0 && end != env && *end == '\0' && v > 0 &&
+            v <= max_threads) {
+            return static_cast<unsigned>(v);
+        }
+        SC_WARN("ignoring SIGCOMP_THREADS='", env,
+                "' (want an integer in [1, ", max_threads, "])");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ParallelExecutor::run(std::size_t n,
+                      const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    // Serial fast paths: single-thread executors, single-element
+    // jobs, and nested calls from inside a pool worker all run
+    // inline on the calling thread. Exceptions propagate directly,
+    // satisfying the lowest-index guarantee trivially.
+    if (thread_count_ <= 1 || n == 1 || detail::inside_worker) {
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return;
+    }
+
+    auto job = std::make_shared<detail::Job>();
+    job->n = n;
+    job->body = &body;
+
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        // Serialise external submitters: one published job at a time.
+        state_->work_done.wait(
+            lock, [&] { return state_->job == nullptr; });
+        state_->job = job;
+    }
+    // A worker parked on work_done (waiting for the *previous* job's
+    // retirement) re-checks its predicate on work_done; one parked
+    // idle waits on work_ready. Poke both.
+    state_->work_ready.notify_all();
+    state_->work_done.notify_all();
+
+    // The submitter is one of the threadCount() participants.
+    detail::drainJob(*job);
+
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->work_done.wait(lock, [&] {
+            return job->done.load(std::memory_order_acquire) == n;
+        });
+        state_->job = nullptr; // retire: workers may re-arm
+    }
+    state_->work_done.notify_all();
+
+    if (job->error)
+        std::rethrow_exception(job->error);
+}
+
+} // namespace sigcomp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bounded thread-pool executor for the suite-experiment fan-outs.
+ *
+ * The experiment drivers (analysis/experiments.h) run one independent
+ * simulation per workload; ParallelExecutor spreads those across
+ * cores while keeping results order-stable: parallelFor(n, f) invokes
+ * f(0) .. f(n-1) exactly once each, callers write results into
+ * pre-sized slot i, and the assembled output is byte-for-byte the
+ * same as a serial loop regardless of scheduling.
+ */
+
+#ifndef SIGCOMP_COMMON_PARALLEL_H_
+#define SIGCOMP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace sigcomp
+{
+
+namespace detail
+{
+struct ExecutorState;
+} // namespace detail
+
+/**
+ * Fixed-size pool of worker threads executing index-space jobs.
+ *
+ * Semantics:
+ *  - `threads` is the total parallelism, caller included: an
+ *    executor built with threads == 1 spawns no workers and
+ *    degenerates to a plain serial loop on the calling thread.
+ *    threads == 0 resolves to defaultThreadCount().
+ *  - parallelFor blocks until every index has been processed; the
+ *    calling thread participates in the work.
+ *  - If one or more invocations throw, every remaining index still
+ *    runs (no holes in result slots), and the exception thrown by
+ *    the *lowest* index is rethrown on the calling thread — the same
+ *    exception a serial loop would surface first.
+ *  - A parallelFor issued from inside a worker (nested parallelism)
+ *    runs inline and serially on that worker; no deadlock.
+ *  - One job runs at a time per executor; concurrent external
+ *    callers are serialised.
+ */
+class ParallelExecutor
+{
+  public:
+    explicit ParallelExecutor(unsigned threads = 0);
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    /** Total parallelism (workers + the participating caller). */
+    unsigned threadCount() const { return thread_count_; }
+
+    /**
+     * Process-wide shared pool sized to defaultThreadCount().
+     * Prefer this over ad-hoc executors so nested fan-outs share one
+     * bounded set of threads.
+     */
+    static ParallelExecutor &global();
+
+    /**
+     * Resolution of threads == 0: the SIGCOMP_THREADS environment
+     * variable when set to a positive integer, otherwise
+     * std::thread::hardware_concurrency(), never less than 1.
+     */
+    static unsigned defaultThreadCount();
+
+    /** Invoke fn(i) for i in [0, n), blocking until all complete. */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        std::function<void(std::size_t)> body(std::ref(fn));
+        run(n, body);
+    }
+
+    /**
+     * Order-stable map: out[i] = fn(items[i]). The result type must
+     * be default-constructible (slots are pre-sized).
+     */
+    template <typename T, typename Fn>
+    auto
+    parallelMap(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, const T &>>
+    {
+        std::vector<std::invoke_result_t<Fn &, const T &>> out(
+            items.size());
+        parallelFor(items.size(),
+                    [&](std::size_t i) { out[i] = fn(items[i]); });
+        return out;
+    }
+
+  private:
+    void run(std::size_t n, const std::function<void(std::size_t)> &body);
+
+    unsigned thread_count_;
+    detail::ExecutorState *state_;
+};
+
+} // namespace sigcomp
+
+#endif // SIGCOMP_COMMON_PARALLEL_H_

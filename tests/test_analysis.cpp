@@ -9,8 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "analysis/experiments.h"
 #include "analysis/profilers.h"
+#include "common/parallel.h"
 #include "cpu/functional_core.h"
 
 namespace sigcomp::analysis
@@ -182,6 +186,132 @@ TEST(CpiStudy, PaperOrderingAcrossSuite)
     EXPECT_LT(semi_up, 0.45);
     const double byp_up = byp / base - 1.0;
     EXPECT_LT(byp_up, 0.15);
+}
+
+// ---- parallel experiment engine vs. serial reference ----------------
+//
+// The drivers fan workloads across a thread pool; these tests pin
+// the guarantee that the parallel path is *bit-identical* to the
+// serial implementation (threads == 1), and log the wall-clock
+// ratio. A fixed thread count > 1 is used so the pool and the
+// trace-buffer replay path are exercised even on single-core hosts.
+
+constexpr unsigned kParallelThreads = 4;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+void
+expectSameBits(const pipeline::BitPair &a, const pipeline::BitPair &b,
+               const char *what)
+{
+    EXPECT_EQ(a.compressed, b.compressed) << what;
+    EXPECT_EQ(a.baseline, b.baseline) << what;
+}
+
+void
+expectSameActivity(const pipeline::ActivityTotals &a,
+                   const pipeline::ActivityTotals &b)
+{
+    expectSameBits(a.fetch, b.fetch, "fetch");
+    expectSameBits(a.rfRead, b.rfRead, "rfRead");
+    expectSameBits(a.rfWrite, b.rfWrite, "rfWrite");
+    expectSameBits(a.alu, b.alu, "alu");
+    expectSameBits(a.dcData, b.dcData, "dcData");
+    expectSameBits(a.dcTag, b.dcTag, "dcTag");
+    expectSameBits(a.pcInc, b.pcInc, "pcInc");
+    expectSameBits(a.latch, b.latch, "latch");
+}
+
+TEST(ParallelStudies, ActivityStudyBitIdenticalToSerial)
+{
+    suiteCompressor(); // exclude the one-time profiling pass from timing
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = runActivityStudy(sig::Encoding::Ext3, 1);
+    const double serial_s = secondsSince(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto parallel =
+        runActivityStudy(sig::Encoding::Ext3, kParallelThreads);
+    const double parallel_s = secondsSince(t1);
+
+    std::printf("[ timing   ] activity study: serial %.3fs, "
+                "parallel(%u) %.3fs, speedup %.2fx on %u hw threads\n",
+                serial_s, kParallelThreads, parallel_s,
+                serial_s / parallel_s,
+                ParallelExecutor::defaultThreadCount());
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].benchmark, serial[i].benchmark);
+        expectSameActivity(parallel[i].activity, serial[i].activity);
+    }
+}
+
+TEST(ParallelStudies, CpiStudyBitIdenticalToSerial)
+{
+    const auto designs = pipeline::allDesigns();
+    const auto cfg = suiteConfig();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto serial = runCpiStudy(designs, cfg, 1);
+    const double serial_s = secondsSince(t0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto parallel = runCpiStudy(designs, cfg, kParallelThreads);
+    const double parallel_s = secondsSince(t1);
+
+    std::printf("[ timing   ] CPI study: serial %.3fs, parallel(%u) "
+                "%.3fs, speedup %.2fx on %u hw threads\n",
+                serial_s, kParallelThreads, parallel_s,
+                serial_s / parallel_s,
+                ParallelExecutor::defaultThreadCount());
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].benchmark, serial[i].benchmark);
+        // Exact double equality: identical inputs through identical
+        // per-workload arithmetic must produce identical bits.
+        EXPECT_EQ(parallel[i].cpi, serial[i].cpi);
+        ASSERT_EQ(parallel[i].stalls.size(), serial[i].stalls.size());
+        for (const auto &[design, st] : serial[i].stalls) {
+            const auto &pst = parallel[i].stalls.at(design);
+            EXPECT_EQ(pst.controlCycles, st.controlCycles);
+            EXPECT_EQ(pst.dataHazardCycles, st.dataHazardCycles);
+            EXPECT_EQ(pst.structuralCycles, st.structuralCycles);
+            EXPECT_EQ(pst.icacheMissCycles, st.icacheMissCycles);
+            EXPECT_EQ(pst.dcacheMissCycles, st.dcacheMissCycles);
+        }
+    }
+}
+
+TEST(ParallelStudies, ProfileSuiteReplayMatchesDirectSinking)
+{
+    // Shared profiler sinks fed by buffered parallel replay must end
+    // in exactly the state the direct serial stream produces.
+    InstrMixProfiler serial_mix;
+    PatternProfiler serial_pat;
+    profileSuite({&serial_mix, &serial_pat}, 1);
+
+    InstrMixProfiler par_mix;
+    PatternProfiler par_pat;
+    profileSuite({&par_mix, &par_pat}, kParallelThreads);
+
+    EXPECT_EQ(par_mix.iFormatFraction(), serial_mix.iFormatFraction());
+    EXPECT_EQ(par_mix.rFormatFraction(), serial_mix.rFormatFraction());
+    EXPECT_EQ(par_mix.jFormatFraction(), serial_mix.jFormatFraction());
+    EXPECT_EQ(par_mix.immediateFraction(),
+              serial_mix.immediateFraction());
+    EXPECT_EQ(par_mix.meanFetchBytes(), serial_mix.meanFetchBytes());
+    EXPECT_EQ(par_pat.ext2Coverage(), serial_pat.ext2Coverage());
+    EXPECT_EQ(par_pat.meanSignificantBytes(),
+              serial_pat.meanSignificantBytes());
 }
 
 TEST(CpiStudy, ExStructuralStallsDominateByteSerial)

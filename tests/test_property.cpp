@@ -274,7 +274,10 @@ randomProgram(DWord seed, int length)
           case 10: {
             // Forward branch over one instruction: terminates
             // whichever way it goes.
-            const std::string lab = "f" + std::to_string(label_id++);
+            // Built with += rather than operator+ to dodge GCC 12's
+            // bogus -Wrestrict on string concatenation (PR 105651).
+            std::string lab = "f";
+            lab += std::to_string(label_id++);
             a.beq(t(), t(), lab);
             a.addu(t(), t(), t());
             a.label(lab);
