@@ -34,6 +34,136 @@ BM_ClassifyExt3(benchmark::State &state)
 }
 BENCHMARK(BM_ClassifyExt3);
 
+/**
+ * Operand stream with the paper's Table-1 significance mix (~60%
+ * 1-byte, ~20% 2-byte, rest wide/pointers/negatives, interleaved
+ * unpredictably) — the distribution the classifiers actually see,
+ * and the one where the scalar reference's data-dependent branches
+ * mispredict.
+ */
+std::vector<Word>
+operandMix()
+{
+    Rng rng(42);
+    std::vector<Word> vs(4096);
+    for (Word &v : vs) {
+        const Word r = rng.next32();
+        const unsigned sel = r & 15;
+        if (sel < 9)
+            v = r & 0x7f; // small positive
+        else if (sel < 11)
+            v = static_cast<Word>(-static_cast<SWord>(r & 0xff));
+        else if (sel < 13)
+            v = r & 0x7fff; // halfword-ish
+        else if (sel < 14)
+            v = 0x10000000u | (r & 0xffffff); // pointer-like
+        else
+            v = r; // wide
+    }
+    return vs;
+}
+
+// Scalar reference classifiers vs the branchless production versions
+// (same operand stream, so the ratio is the per-call saving).
+void
+BM_ClassifyExt3Mix(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyExt3(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyExt3Mix);
+
+void
+BM_ClassifyExt3MixReference(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyExt3Reference(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyExt3MixReference);
+
+void
+BM_ClassifyExt2Mix(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyExt2(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyExt2Mix);
+
+void
+BM_ClassifyExt2MixReference(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyExt2Reference(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyExt2MixReference);
+
+void
+BM_ClassifyHalfMix(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyHalf(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyHalfMix);
+
+void
+BM_ClassifyHalfMixReference(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sig::classifyHalfReference(vs[i]));
+        i = (i + 1) & 4095;
+    }
+}
+BENCHMARK(BM_ClassifyHalfMixReference);
+
+void
+BM_ChangedBlocks(benchmark::State &state)
+{
+    Rng rng(7);
+    Word pc = 0x00400000;
+    for (auto _ : state) {
+        const Word next = pc + 4 * (1 + (rng.next32() & 7));
+        benchmark::DoNotOptimize(sig::changedBlocks(pc, next, 8));
+        pc = next;
+    }
+}
+BENCHMARK(BM_ChangedBlocks);
+
+void
+BM_ChangedBlocksReference(benchmark::State &state)
+{
+    Rng rng(7);
+    Word pc = 0x00400000;
+    for (auto _ : state) {
+        const Word next = pc + 4 * (1 + (rng.next32() & 7));
+        benchmark::DoNotOptimize(
+            sig::changedBlocksReference(pc, next, 8));
+        pc = next;
+    }
+}
+BENCHMARK(BM_ChangedBlocksReference);
+
 void
 BM_CompressRoundTrip(benchmark::State &state)
 {
@@ -110,6 +240,32 @@ BM_PipelineSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PipelineSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceCapture(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    for (auto _ : state) {
+        const cpu::TraceBuffer trace =
+            cpu::TraceBuffer::capture(w.program);
+        benchmark::DoNotOptimize(trace.size());
+    }
+}
+BENCHMARK(BM_TraceCapture)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceReplayPipeline(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer trace = cpu::TraceBuffer::capture(w.program);
+    for (auto _ : state) {
+        auto pipe = pipeline::makePipeline(
+            pipeline::Design::ByteSerial, pipeline::PipelineConfig());
+        pipeline::replayPipelines(trace, {pipe.get()});
+        benchmark::DoNotOptimize(pipe->result().cycles);
+    }
+}
+BENCHMARK(BM_TraceReplayPipeline)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Suite-level performance baseline for the trace capture/replay
+ * engine: times capture vs cached replay and the full multi-study
+ * driver against the pre-cache (re-simulate-per-study) engine, and
+ * writes BENCH_suite.json so the perf trajectory is tracked across
+ * PRs (schema documented in README "Benchmarking the engine").
+ *
+ * Usage:
+ *   bench_suite_timing [--threads N] [--max-instrs N]
+ *                      [--out PATH] [--check]
+ *
+ *   --threads N     workload-level parallelism (default 1: stable,
+ *                   comparable numbers; 0 = all cores)
+ *   --max-instrs N  cap each workload's capture at N instructions
+ *                   (CI smoke mode; truncated traces replay fine,
+ *                   but the multi-study phases need full traces and
+ *                   are skipped)
+ *   --out PATH      where to write the JSON (default
+ *                   BENCH_suite.json in the working directory)
+ *   --check         exit non-zero unless cached replay beats
+ *                   recapture (the CI regression gate)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/profilers.h"
+#include "analysis/trace_cache.h"
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace sigcomp;
+using analysis::StudyOptions;
+using analysis::TraceCache;
+using pipeline::Design;
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Phase
+{
+    std::string name;
+    double wallMs = 0.0;
+    DWord instructions = 0;
+
+    double
+    mips() const
+    {
+        return wallMs > 0.0
+                   ? static_cast<double>(instructions) / (wallMs * 1e3)
+                   : 0.0;
+    }
+};
+
+/** Total instructions currently cached (one full suite pass). */
+DWord
+cachedSuiteInstructions()
+{
+    DWord total = 0;
+    for (const std::string &name : workloads::Suite::names())
+        total += TraceCache::global().get(name)->runResult().instructions;
+    return total;
+}
+
+/**
+ * Wall-clock of @p fn: minimum over @p reps repetitions (noise
+ * rejection on shared hosts), with @p setup re-run untimed before
+ * each repetition so every repetition measures the same cold/warm
+ * state.
+ */
+template <typename Setup, typename Fn>
+Phase
+timePhase(const std::string &name, DWord instructions, int reps,
+          Setup &&setup, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        setup();
+        const double t0 = nowSeconds();
+        fn();
+        best = std::min(best, (nowSeconds() - t0) * 1e3);
+    }
+    Phase p;
+    p.name = name;
+    p.wallMs = best;
+    p.instructions = instructions;
+    std::printf("  %-28s %8.1f ms  %8.1f Minstr/s  (min of %d)\n",
+                name.c_str(), p.wallMs, p.mips(), reps);
+    return p;
+}
+
+/**
+ * The acceptance driver: CPI study over the paper's full design
+ * space + activity study + profiling pass, in one process. The CPI
+ * study runs first so its shared-quanta record is already on the
+ * traces when the activity study replays (later studies ride
+ * earlier studies' records).
+ */
+void
+runMultiStudy(const StudyOptions &opt)
+{
+    (void)analysis::runCpiStudy(pipeline::allDesigns(),
+                                analysis::suiteConfig(), opt);
+    (void)analysis::runActivityStudy(sig::Encoding::Ext3, opt);
+    analysis::PatternProfiler pat;
+    analysis::InstrMixProfiler mix;
+    analysis::PcProfiler pc;
+    analysis::profileSuite({&pat, &mix, &pc}, opt);
+}
+
+void
+writeJson(const std::string &path, unsigned threads, DWord max_instrs,
+          DWord suite_instrs, const std::vector<Phase> &phases,
+          double multi_speedup, bool replay_faster)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v1\",\n");
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"max_instrs\": %llu,\n",
+                 static_cast<unsigned long long>(max_instrs));
+    std::fprintf(f, "  \"suite_instructions\": %llu,\n",
+                 static_cast<unsigned long long>(suite_instrs));
+    std::fprintf(f, "  \"phases\": [\n");
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const Phase &p = phases[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                     "\"instructions\": %llu, "
+                     "\"instr_per_sec\": %.0f}%s\n",
+                     p.name.c_str(), p.wallMs,
+                     static_cast<unsigned long long>(p.instructions),
+                     p.mips() * 1e6, i + 1 < phases.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    if (multi_speedup > 0.0) {
+        std::fprintf(f, "  \"multi_study_speedup\": %.2f,\n",
+                     multi_speedup);
+    }
+    std::fprintf(f, "  \"cached_replay_faster\": %s\n",
+                 replay_faster ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = 1;
+    DWord max_instrs = 0; // 0 = uncapped
+    std::string out = "BENCH_suite.json";
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads")
+            threads = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--max-instrs")
+            max_instrs = static_cast<DWord>(std::atoll(next()));
+        else if (arg == "--out")
+            out = next();
+        else if (arg == "--check")
+            check = true;
+        else {
+            std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    bench::banner("suite timing: trace capture vs cached replay",
+                  "engine baseline (no paper figure); "
+                  "simulate-once architecture");
+
+    TraceCache &cache = TraceCache::global();
+    if (max_instrs != 0)
+        cache.setCaptureLimit(max_instrs);
+
+    // Build the suite-profiled compressor up front from throwaway
+    // captures so no phase below times its one-off construction.
+    analysis::suiteCompressor();
+    cache.clear();
+
+    const std::vector<std::string> &names = workloads::Suite::names();
+    ParallelExecutor exec(threads == 0 ? 0 : threads);
+    std::vector<Phase> phases;
+    std::printf("\nthreads=%u%s\n\n", exec.threadCount(),
+                max_instrs ? " (capped capture)" : "");
+
+    constexpr int kReps = 3;
+
+    // Phase 1: cold capture — one functional pass per workload,
+    // fanned out across the executor.
+    Phase capture = timePhase(
+        "capture", 0, kReps, [&] { cache.clear(); },
+        [&] { cache.prewarm(names, exec); });
+    const DWord suite_instrs = cachedSuiteInstructions();
+    capture.instructions = suite_instrs;
+    phases.push_back(capture);
+
+    // Phase 2: cached replay — the suite's whole retirement stream
+    // through the three characterisation profilers, no simulation.
+    Phase replay = timePhase(
+        "cached_replay_profilers", suite_instrs, kReps, [] {},
+        [&] {
+            analysis::PatternProfiler pat;
+            analysis::InstrMixProfiler mix;
+            analysis::PcProfiler pc;
+            analysis::profileSuite({&pat, &mix, &pc},
+                                   StudyOptions{.threads = threads});
+        });
+    phases.push_back(replay);
+
+    // Phase 3: recapture — what the same profiling pass costs when
+    // the trace has to be captured again (cache cold).
+    Phase recapture = timePhase(
+        "recapture_profilers", suite_instrs, kReps,
+        [&] { cache.clear(); },
+        [&] {
+            analysis::PatternProfiler pat;
+            analysis::InstrMixProfiler mix;
+            analysis::PcProfiler pc;
+            analysis::profileSuite({&pat, &mix, &pc},
+                                   StudyOptions{.threads = threads});
+        });
+    phases.push_back(recapture);
+
+    // Phases 4/5: the acceptance driver — activity study + CPI study
+    // + profiling pass in one process, pre-cache engine (re-simulate
+    // per study) vs trace-cache engine (capture once, replay). Both
+    // start from a cold cache every repetition. Needs full traces:
+    // skipped in capped smoke runs.
+    double multi_speedup = 0.0;
+    if (max_instrs == 0) {
+        constexpr int kStudyReps = 5;
+        Phase precache = timePhase(
+            "multi_study_precache", 3 * suite_instrs, kStudyReps, [] {},
+            [&] {
+                runMultiStudy(
+                    StudyOptions{.threads = threads, .useCache = false});
+            });
+        phases.push_back(precache);
+
+        Phase cached = timePhase(
+            "multi_study_cached", suite_instrs, kStudyReps,
+            [&] { cache.clear(); },
+            [&] {
+                runMultiStudy(
+                    StudyOptions{.threads = threads, .useCache = true});
+            });
+        phases.push_back(cached);
+
+        multi_speedup = precache.wallMs / cached.wallMs;
+        std::printf("\n  multi-study speedup: %.2fx "
+                    "(one functional pass instead of three, "
+                    "shared-quanta batched replay)\n",
+                    multi_speedup);
+    }
+
+    const bool replay_faster = replay.wallMs < recapture.wallMs;
+    std::printf("  cached replay vs recapture: %.1f ms vs %.1f ms (%s)\n",
+                replay.wallMs, recapture.wallMs,
+                replay_faster ? "faster" : "SLOWER");
+
+    writeJson(out, exec.threadCount(), max_instrs, suite_instrs, phases,
+              multi_speedup, replay_faster);
+
+    if (check && !replay_faster) {
+        std::fprintf(stderr,
+                     "FAIL: cached replay (%.1f ms) is not faster than "
+                     "recapture (%.1f ms)\n",
+                     replay.wallMs, recapture.wallMs);
+        return 1;
+    }
+    return 0;
+}

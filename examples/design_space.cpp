@@ -33,21 +33,24 @@ main(int argc, char **argv)
             wl = argv[i];
     }
 
-    const workloads::Workload w = workloads::Suite::build(wl);
     const power::TechParams tech;
 
     pipeline::PipelineConfig cfg = analysis::suiteConfig();
     if (predict)
         cfg.predictor = pipeline::PredictorKind::Bimodal;
 
-    // One functional pass feeds every design.
+    // One cached trace feeds every design (captured at most once per
+    // process by the TraceCache; same-config designs share one
+    // quanta record during the replay).
+    const analysis::TraceCache::TracePtr trace =
+        analysis::TraceCache::global().get(wl);
     std::vector<std::unique_ptr<pipeline::InOrderPipeline>> pipes;
     std::vector<pipeline::InOrderPipeline *> raw;
     for (Design d : pipeline::allDesigns()) {
         pipes.push_back(pipeline::makePipeline(d, cfg));
         raw.push_back(pipes.back().get());
     }
-    pipeline::runPipelines(w.program, raw);
+    pipeline::replayPipelines(*trace, raw);
 
     std::printf("workload: %s   branch prediction: %s\n\n", wl.c_str(),
                 predict ? "bimodal" : "off (paper machines)");

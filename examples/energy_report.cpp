@@ -36,9 +36,12 @@ main(int argc, char **argv)
         if (pipeline::designName(d) == ds)
             design = d;
 
-    const workloads::Workload w = workloads::Suite::build(wl);
+    // Replay the cached trace (captured once per process) instead of
+    // re-running functional simulation.
+    const analysis::TraceCache::TracePtr trace =
+        analysis::TraceCache::global().get(wl);
     auto pipe = pipeline::makePipeline(design, analysis::suiteConfig());
-    pipeline::runPipelines(w.program, {pipe.get()});
+    pipeline::replayPipelines(*trace, {pipe.get()});
     const pipeline::PipelineResult r = pipe->result();
     const power::EnergyReport rep =
         power::buildEnergyReport(r.activity, tech);

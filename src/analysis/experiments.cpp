@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "cpu/functional_core.h"
+#include "cpu/trace_buffer.h"
 
 namespace sigcomp::analysis
 {
@@ -41,46 +42,43 @@ class ExecutorHandle
     std::unique_ptr<ParallelExecutor> owned_;
 };
 
-/** Buffer one workload's full dynamic trace for ordered replay. */
-class TraceBufferSink : public cpu::TraceSink
+/** Capture all suite traces concurrently when fanning out helps. */
+void
+prewarmIfParallel(ParallelExecutor &exec,
+                  const std::vector<std::string> &names)
 {
-  public:
-    void
-    retire(const cpu::DynInstr &di) override
-    {
-        trace_.push_back(di);
-    }
-
-    std::vector<cpu::DynInstr> &&takeTrace() { return std::move(trace_); }
-
-  private:
-    std::vector<cpu::DynInstr> trace_;
-};
-
-/**
- * One workload's buffered run. DynInstr records point into the
- * core's decode cache and the program, so both stay alive alongside
- * the trace.
- */
-struct WorkloadTrace
-{
-    workloads::Workload workload;
-    std::unique_ptr<mem::MainMemory> memory;
-    std::unique_ptr<cpu::FunctionalCore> core;
-    std::vector<cpu::DynInstr> trace;
-};
+    if (exec.threadCount() > 1)
+        TraceCache::global().prewarm(names, exec);
+}
 
 } // namespace
 
 void
-profileSuite(const std::vector<cpu::TraceSink *> &sinks, unsigned threads)
+profileSuite(const std::vector<cpu::TraceSink *> &sinks,
+             const StudyOptions &opt)
 {
     const std::vector<std::string> &names = workloads::Suite::names();
-    ExecutorHandle exec(threads);
+    ExecutorHandle exec(opt.threads);
+
+    if (opt.useCache) {
+        // Simulate-once path: capture on first touch (fanned out
+        // across cores when parallel), then replay sequentially in
+        // canonical suite order — the sinks observe exactly the
+        // serial retirement stream.
+        prewarmIfParallel(exec.get(), names);
+        for (const std::string &name : names) {
+            const TraceCache::TracePtr trace =
+                TraceCache::global().get(name);
+            cpu::TraceView(*trace).replay(sinks);
+            if (opt.evictAfterReplay)
+                TraceCache::global().evict(name);
+        }
+        return;
+    }
 
     if (exec.get().threadCount() <= 1) {
-        // Serial reference path: feed the sinks directly during
-        // simulation; no trace buffering overhead.
+        // Direct-execution reference path: feed the sinks during
+        // simulation, no buffering — the original engine.
         for (const std::string &name : names) {
             const workloads::Workload w = workloads::Suite::build(name);
             mem::MainMemory memory;
@@ -93,32 +91,20 @@ profileSuite(const std::vector<cpu::TraceSink *> &sinks, unsigned threads)
         return;
     }
 
-    // Phase 1: simulate all workloads concurrently, each buffering
-    // its retirement stream.
-    std::vector<WorkloadTrace> traces(names.size());
-    exec.get().parallelFor(names.size(), [&](std::size_t i) {
-        WorkloadTrace &wt = traces[i];
-        wt.workload = workloads::Suite::build(names[i]);
-        wt.memory = std::make_unique<mem::MainMemory>();
-        wt.core = std::make_unique<cpu::FunctionalCore>(
-            wt.workload.program, *wt.memory);
-        TraceBufferSink buffer;
-        const cpu::RunResult r = wt.core->run(&buffer);
-        SC_ASSERT(r.reason == cpu::StopReason::Exited, "workload ",
-                  names[i], " did not exit cleanly");
-        wt.trace = buffer.takeTrace();
-    });
-
-    // Phase 2: replay into the (shared, not thread-safe) sinks
-    // sequentially in canonical suite order — the exact stream a
-    // serial profileSuite produced. Each workload's buffers are
+    // Uncached parallel path: simulate all workloads concurrently
+    // into private trace buffers, then replay into the (shared, not
+    // thread-safe) sinks sequentially in suite order. Each buffer is
     // released right after its replay so peak memory tails off at
     // one workload's footprint instead of the whole suite's.
-    for (WorkloadTrace &wt : traces) {
-        for (const cpu::DynInstr &di : wt.trace)
-            for (cpu::TraceSink *s : sinks)
-                s->retire(di);
-        wt = WorkloadTrace{};
+    std::vector<std::unique_ptr<cpu::TraceBuffer>> traces(names.size());
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        const workloads::Workload w = workloads::Suite::build(names[i]);
+        traces[i] = std::make_unique<cpu::TraceBuffer>(
+            cpu::TraceBuffer::capture(w.program));
+    });
+    for (std::unique_ptr<cpu::TraceBuffer> &trace : traces) {
+        cpu::TraceView(*trace).replay(sinks);
+        trace.reset();
     }
 }
 
@@ -143,7 +129,7 @@ suiteConfig(sig::Encoding enc)
 }
 
 std::vector<ActivityRow>
-runActivityStudy(sig::Encoding enc, unsigned threads)
+runActivityStudy(sig::Encoding enc, const StudyOptions &opt)
 {
     const Design design = (enc == sig::Encoding::Half1)
                               ? Design::HalfwordSerial
@@ -155,7 +141,20 @@ runActivityStudy(sig::Encoding enc, unsigned threads)
 
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<ActivityRow> rows(names.size());
-    ExecutorHandle exec(threads);
+    ExecutorHandle exec(opt.threads);
+
+    if (opt.useCache) {
+        prewarmIfParallel(exec.get(), names);
+        exec.get().parallelFor(names.size(), [&](std::size_t i) {
+            const TraceCache::TracePtr trace =
+                TraceCache::global().get(names[i]);
+            auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
+            pipeline::replayPipelines(*trace, {pipe.get()});
+            rows[i] = {names[i], pipe->result().activity};
+        });
+        return rows;
+    }
+
     exec.get().parallelFor(names.size(), [&](std::size_t i) {
         const workloads::Workload w = workloads::Suite::build(names[i]);
         auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
@@ -176,15 +175,14 @@ sumActivity(const std::vector<ActivityRow> &rows)
 
 std::vector<CpiRow>
 runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
-            unsigned threads)
+            const StudyOptions &opt)
 {
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<CpiRow> rows(names.size());
-    ExecutorHandle exec(threads);
-    exec.get().parallelFor(names.size(), [&](std::size_t i) {
-        const workloads::Workload w = workloads::Suite::build(names[i]);
-        const std::vector<pipeline::PipelineResult> rs =
-            pipeline::runDesigns(w.program, ds, cfg);
+    ExecutorHandle exec(opt.threads);
+
+    auto assemble = [&](std::size_t i,
+                        const std::vector<pipeline::PipelineResult> &rs) {
         CpiRow row;
         row.benchmark = names[i];
         for (std::size_t d = 0; d < ds.size(); ++d) {
@@ -192,6 +190,21 @@ runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
             row.stalls[ds[d]] = rs[d].stalls;
         }
         rows[i] = std::move(row);
+    };
+
+    if (opt.useCache) {
+        prewarmIfParallel(exec.get(), names);
+        exec.get().parallelFor(names.size(), [&](std::size_t i) {
+            const TraceCache::TracePtr trace =
+                TraceCache::global().get(names[i]);
+            assemble(i, pipeline::replayDesigns(*trace, ds, cfg));
+        });
+        return rows;
+    }
+
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        const workloads::Workload w = workloads::Suite::build(names[i]);
+        assemble(i, pipeline::runDesigns(w.program, ds, cfg));
     });
     return rows;
 }
@@ -203,9 +216,8 @@ meanCpi(const std::vector<CpiRow> &rows, Design d)
         return 0.0;
     double log_sum = 0.0;
     for (const CpiRow &r : rows) {
-        auto it = r.cpi.find(d);
-        SC_ASSERT(it != r.cpi.end(), "design missing from study");
-        log_sum += std::log(it->second);
+        // DesignTable::at() fatals with context when d is absent.
+        log_sum += std::log(r.cpi.at(d));
     }
     return std::exp(log_sum / static_cast<double>(rows.size()));
 }

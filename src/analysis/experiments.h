@@ -4,32 +4,58 @@
  * bench binaries need, factored so tests can exercise the same
  * paths.
  *
- * Each driver fans the suite's workloads out across cores with
- * ParallelExecutor (every workload owns its FunctionalCore and
- * memory image, so runs are independent) and assembles results in
- * canonical suite order. Output is bit-identical to a serial run:
- * pass threads == 1 to get the serial reference implementation,
- * threads == 0 for the shared process-wide pool.
+ * All drivers are fed from the process-wide TraceCache by default:
+ * each workload is functionally simulated exactly once per process
+ * and every study — activity, CPI, profiling, any design, any
+ * encoding — replays the shared immutable trace in batches (see
+ * cpu/trace_buffer.h). Workload-level parallelism fans out across
+ * cores with ParallelExecutor and results assemble in canonical
+ * suite order, bit-identical to the direct-execution reference path
+ * (StudyOptions{.threads = 1, .useCache = false}), which re-runs
+ * functional simulation per study exactly as the original engine
+ * did.
  */
 
 #ifndef SIGCOMP_ANALYSIS_EXPERIMENTS_H_
 #define SIGCOMP_ANALYSIS_EXPERIMENTS_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/profilers.h"
+#include "analysis/trace_cache.h"
 #include "pipeline/runner.h"
 #include "workloads/workload.h"
 
 namespace sigcomp::analysis
 {
 
+/** How a suite study acquires and consumes its dynamic traces. */
+struct StudyOptions
+{
+    /** Workload-level parallelism: 0 = shared pool, 1 = serial. */
+    unsigned threads = 0;
+    /**
+     * Feed the study from the process-wide TraceCache (capture each
+     * workload at most once per process, replay thereafter). When
+     * false the driver re-runs functional simulation itself — the
+     * bit-identity reference and the pre-cache engine's behaviour.
+     */
+    bool useCache = true;
+    /**
+     * profileSuite only: drop each workload's cached trace right
+     * after replaying it, so peak memory tails off at one workload's
+     * footprint (the pre-cache engine's buffer behaviour) instead of
+     * retaining the whole suite for later studies.
+     */
+    bool evictAfterReplay = false;
+};
+
 /**
  * Profile the whole suite once and build the funct-ranked
  * instruction compressor (the paper's Table 3 step). Cached after
- * the first call.
+ * the first call; the underlying traces land in the TraceCache and
+ * are shared with every subsequent study.
  */
 const sig::InstrCompressor &suiteCompressor();
 
@@ -47,47 +73,71 @@ struct ActivityRow
 /**
  * Tables 5/6: run every workload through the serial pipeline at the
  * given granularity and collect per-stage activity. Workloads run
- * concurrently on @p threads threads (0 = shared pool, 1 = serial);
- * rows come back in suite order with values independent of the
- * thread count.
+ * concurrently on opt.threads threads; rows come back in suite
+ * order with values independent of thread count and cache mode.
  */
 std::vector<ActivityRow> runActivityStudy(sig::Encoding enc,
-                                          unsigned threads = 0);
+                                          const StudyOptions &opt);
+
+/** Convenience overload preserving the original (enc, threads) API. */
+inline std::vector<ActivityRow>
+runActivityStudy(sig::Encoding enc, unsigned threads = 0)
+{
+    return runActivityStudy(enc, StudyOptions{.threads = threads});
+}
 
 /** Average savings across rows (the tables' AVG line). */
 pipeline::ActivityTotals sumActivity(const std::vector<ActivityRow> &rows);
 
-/** One per-benchmark row of a CPI study (Figs 4/6/8/10). */
+/**
+ * One per-benchmark row of a CPI study (Figs 4/6/8/10). Dense
+ * array-indexed per-design storage (pipeline::DesignTable).
+ */
 struct CpiRow
 {
     std::string benchmark;
-    std::map<pipeline::Design, double> cpi;
-    std::map<pipeline::Design, pipeline::StallBreakdown> stalls;
+    pipeline::DesignTable<double> cpi;
+    pipeline::DesignTable<pipeline::StallBreakdown> stalls;
 };
 
 /**
- * Run every workload through the given designs (one functional pass
- * per workload, all designs fanned out). Workloads run concurrently
- * on @p threads threads (0 = shared pool, 1 = serial); rows come
- * back in suite order with values independent of the thread count.
+ * Run every workload through the given designs (one shared trace per
+ * workload, all designs fanned out over it). Threads/cache semantics
+ * as in runActivityStudy().
  */
 std::vector<CpiRow> runCpiStudy(const std::vector<pipeline::Design> &ds,
                                 const pipeline::PipelineConfig &cfg,
-                                unsigned threads = 0);
+                                const StudyOptions &opt);
+
+/** Convenience overload preserving the original (ds, cfg, threads) API. */
+inline std::vector<CpiRow>
+runCpiStudy(const std::vector<pipeline::Design> &ds,
+            const pipeline::PipelineConfig &cfg, unsigned threads = 0)
+{
+    return runCpiStudy(ds, cfg, StudyOptions{.threads = threads});
+}
 
 /** Geometric-mean CPI of one design over a study. */
 double meanCpi(const std::vector<CpiRow> &rows, pipeline::Design d);
 
 /**
  * Run all suite workloads through profiler sinks only. The sinks are
- * shared and need not be thread-safe: workloads simulate
- * concurrently into per-workload trace buffers (@p threads as
- * above), then the buffers replay into the sinks sequentially in
- * suite order — the sinks observe exactly the serial retirement
- * stream.
+ * shared and need not be thread-safe: traces replay into them
+ * sequentially in suite order — exactly the serial retirement
+ * stream. With the cache enabled (default) capture happens at most
+ * once per workload per process; opt.evictAfterReplay restores the
+ * pre-cache tail-off of peak memory.
  */
 void profileSuite(const std::vector<cpu::TraceSink *> &sinks,
-                  unsigned threads = 0);
+                  const StudyOptions &opt);
+
+/** Convenience overload preserving the original (sinks, threads) API. */
+inline void
+profileSuite(const std::vector<cpu::TraceSink *> &sinks,
+             unsigned threads = 0)
+{
+    profileSuite(sinks, StudyOptions{.threads = threads});
+}
 
 } // namespace sigcomp::analysis
 

@@ -28,6 +28,37 @@ PatternProfiler::retire(const cpu::DynInstr &di)
         record(di.memData);
 }
 
+void
+PatternProfiler::retireBlock(std::span<const cpu::DynInstr> block)
+{
+    // Flat tallies for the block, merged into the Distribution once:
+    // the per-operand map walks disappear from the hot loop while
+    // the final counts — and therefore every accessor — are exactly
+    // what per-instruction record() calls produce.
+    Count counts[16] = {};
+    Count bytes = 0;
+    for (const cpu::DynInstr &di : block) {
+        const auto tally = [&](Word v) {
+            const sig::ByteMask m = sig::classifyExt3(v);
+            ++counts[m];
+            bytes += sig::maskBytes(m);
+        };
+        const isa::DecodedInstr &dec = *di.dec;
+        if (dec.readsRs)
+            tally(di.srcRs);
+        if (dec.readsRt)
+            tally(di.srcRt);
+        if (dec.writesDest && dec.dest != isa::reg::zero)
+            tally(di.result);
+        if (dec.isLoad || dec.isStore)
+            tally(di.memData);
+    }
+    for (sig::ByteMask m = 1; m < 16; m = static_cast<sig::ByteMask>(m + 2))
+        if (counts[m] != 0)
+            patterns_.record(m, counts[m]);
+    totalBytes_ += bytes;
+}
+
 double
 PatternProfiler::ext2Coverage() const
 {
@@ -52,6 +83,36 @@ InstrMixProfiler::InstrMixProfiler(sig::InstrCompressor compressor)
 {
 }
 
+InstrMixProfiler::InstrFacts
+InstrMixProfiler::computeFacts(const isa::DecodedInstr &dec) const
+{
+    InstrFacts f;
+    f.fetchBytes =
+        static_cast<std::uint8_t>(compressor_.fetchBytes(dec.inst));
+
+    if (dec.usesImmediate) {
+        const Half imm = dec.inst.imm16();
+        const Byte high = static_cast<Byte>(imm >> 8);
+        const Byte low = static_cast<Byte>(imm & 0xff);
+        const bool zero_ext = dec.inst.opcode() == isa::Opcode::Andi ||
+                              dec.inst.opcode() == isa::Opcode::Ori ||
+                              dec.inst.opcode() == isa::Opcode::Xori ||
+                              dec.inst.opcode() == isa::Opcode::Lui;
+        f.shortImm = high == (zero_ext ? Byte{0} : signFill(low));
+    }
+
+    // "additions/subtractions, memory instructions, and branches all
+    // require an addition" (section 2.5).
+    f.addLike =
+        dec.isLoad || dec.isStore || dec.isCondBranch ||
+        (dec.cls == InstrClass::IntAlu &&
+         (dec.name == "addu" || dec.name == "add" || dec.name == "subu" ||
+          dec.name == "sub" || dec.name == "addiu" ||
+          dec.name == "addi" || dec.name == "slt" || dec.name == "sltu" ||
+          dec.name == "slti" || dec.name == "sltiu"));
+    return f;
+}
+
 void
 InstrMixProfiler::retire(const cpu::DynInstr &di)
 {
@@ -71,32 +132,71 @@ InstrMixProfiler::retire(const cpu::DynInstr &di)
         break;
     }
 
+    const InstrFacts f = computeFacts(dec);
     if (dec.usesImmediate) {
         ++hasImm_;
-        const Half imm = di.inst().imm16();
-        const Byte high = static_cast<Byte>(imm >> 8);
-        const Byte low = static_cast<Byte>(imm & 0xff);
-        const bool zero_ext = di.inst().opcode() == isa::Opcode::Andi ||
-                              di.inst().opcode() == isa::Opcode::Ori ||
-                              di.inst().opcode() == isa::Opcode::Xori ||
-                              di.inst().opcode() == isa::Opcode::Lui;
-        if (high == (zero_ext ? Byte{0} : signFill(low)))
+        if (f.shortImm)
             ++shortImm_;
     }
-
-    fetchBytes_ += compressor_.fetchBytes(di.inst());
-
-    // "additions/subtractions, memory instructions, and branches all
-    // require an addition" (section 2.5).
-    const bool add_like =
-        dec.isLoad || dec.isStore || dec.isCondBranch ||
-        (dec.cls == InstrClass::IntAlu &&
-         (dec.name == "addu" || dec.name == "add" || dec.name == "subu" ||
-          dec.name == "sub" || dec.name == "addiu" ||
-          dec.name == "addi" || dec.name == "slt" || dec.name == "sltu" ||
-          dec.name == "slti" || dec.name == "sltiu"));
-    if (add_like)
+    fetchBytes_ += f.fetchBytes;
+    if (f.addLike)
         ++addLike_;
+}
+
+void
+InstrMixProfiler::retireBlock(std::span<const cpu::DynInstr> block)
+{
+    Count total = 0, r_fmt = 0, i_fmt = 0, j_fmt = 0;
+    Count has_imm = 0, short_imm = 0, fetch_bytes = 0, add_like = 0;
+    Count functs[64] = {};
+
+    for (const cpu::DynInstr &di : block) {
+        const isa::DecodedInstr &dec = *di.dec;
+        ++total;
+        switch (dec.format) {
+          case isa::Format::R:
+            ++r_fmt;
+            ++functs[dec.inst.functField()];
+            break;
+          case isa::Format::J:
+            ++j_fmt;
+            break;
+          case isa::Format::I:
+            ++i_fmt;
+            break;
+        }
+
+        // Per-word facts through the direct-mapped memo: dynamic
+        // streams revisit a small static working set, so this hits
+        // nearly always and skips the compressor's permute/recode.
+        const Word raw = dec.inst.raw();
+        MemoEntry &e = memo_[(raw * 0x9E3779B9u) >> 23 & (memoSize - 1)];
+        if (!e.valid || e.raw != raw) {
+            e.raw = raw;
+            e.facts = computeFacts(dec);
+            e.valid = true;
+        }
+        if (dec.usesImmediate) {
+            ++has_imm;
+            if (e.facts.shortImm)
+                ++short_imm;
+        }
+        fetch_bytes += e.facts.fetchBytes;
+        if (e.facts.addLike)
+            ++add_like;
+    }
+
+    total_ += total;
+    rFormat_ += r_fmt;
+    iFormat_ += i_fmt;
+    jFormat_ += j_fmt;
+    hasImm_ += has_imm;
+    shortImm_ += short_imm;
+    fetchBytes_ += fetch_bytes;
+    addLike_ += add_like;
+    for (unsigned code = 0; code < 64; ++code)
+        if (functs[code] != 0)
+            functs_.record(static_cast<std::uint8_t>(code), functs[code]);
 }
 
 PcProfiler::PcProfiler()
@@ -113,6 +213,34 @@ PcProfiler::retire(const cpu::DynInstr &di)
     const bool redirect = di.dec->isControl && di.nextPc != di.pc + 4;
     for (auto &acc : accs_)
         acc.update(di.pc, di.nextPc, redirect);
+}
+
+void
+PcProfiler::retireBlock(std::span<const cpu::DynInstr> block)
+{
+    for (const cpu::DynInstr &di : block) {
+        const bool redirect =
+            di.dec->isControl && di.nextPc != di.pc + 4;
+        const Word x = di.pc ^ di.nextPc;
+
+        // Sequential flow produces a handful of distinct difference
+        // words and branch targets repeat (loops), so the pure parts
+        // of the update hit this memo nearly always.
+        PcMemoEntry &e = memo_[(x * 0x9E3779B9u) >> 23 & 511u];
+        if (!e.valid || e.x != x) {
+            e.x = x;
+            e.valid = true;
+            for (unsigned b = 1; b <= 8; ++b) {
+                e.changed[b - 1] = static_cast<std::uint8_t>(
+                    sig::changedBlocksXor(x, b));
+                e.cycles[b - 1] = static_cast<std::uint8_t>(
+                    sig::PcActivityAccumulator::serialCyclesXor(x, b));
+            }
+        }
+        for (unsigned i = 0; i < 8; ++i)
+            accs_[i].applyUpdate(e.changed[i],
+                                 redirect ? 1 : e.cycles[i]);
+    }
 }
 
 const sig::PcActivityAccumulator &

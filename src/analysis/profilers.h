@@ -31,6 +31,9 @@ class PatternProfiler : public cpu::TraceSink
   public:
     void retire(const cpu::DynInstr &di) override;
 
+    /** Batched path: flat per-pattern tallies merged per block. */
+    void retireBlock(std::span<const cpu::DynInstr> block) override;
+
     const Distribution<sig::ByteMask> &patterns() const
     {
         return patterns_;
@@ -61,6 +64,15 @@ class InstrMixProfiler : public cpu::TraceSink
             sig::InstrCompressor::withDefaultRanking());
 
     void retire(const cpu::DynInstr &di) override;
+
+    /**
+     * Batched path: per-static-instruction facts (fetch width,
+     * format, add-likeness, immediate shape) are pure functions of
+     * the instruction word, so a small direct-mapped memo keyed on
+     * the raw word serves repeated dynamic instances; tallies are
+     * flat counters merged per block.
+     */
+    void retireBlock(std::span<const cpu::DynInstr> block) override;
 
     const Distribution<std::uint8_t> &functFreq() const
     {
@@ -108,6 +120,25 @@ class InstrMixProfiler : public cpu::TraceSink
                       : 0.0;
     }
 
+    /** Pure per-instruction-word facts shared by both retire paths. */
+    struct InstrFacts
+    {
+        std::uint8_t fetchBytes = 0;
+        bool addLike = false;
+        bool shortImm = false;
+    };
+    InstrFacts computeFacts(const isa::DecodedInstr &dec) const;
+
+    /** Direct-mapped memo over raw instruction words (block path). */
+    static constexpr std::size_t memoSize = 512;
+    struct MemoEntry
+    {
+        Word raw = 0;
+        InstrFacts facts{};
+        bool valid = false;
+    };
+    std::array<MemoEntry, memoSize> memo_{};
+
     sig::InstrCompressor compressor_;
     Distribution<std::uint8_t> functs_;
     Count total_ = 0;
@@ -131,11 +162,27 @@ class PcProfiler : public cpu::TraceSink
 
     void retire(const cpu::DynInstr &di) override;
 
+    /** Batched path: monomorphic loop over the accumulators. */
+    void retireBlock(std::span<const cpu::DynInstr> block) override;
+
     /** Accumulator for block size @p bits (1..8). */
     const sig::PcActivityAccumulator &forBlockBits(unsigned bits) const;
 
   private:
     std::array<sig::PcActivityAccumulator, 8> accs_;
+
+    /**
+     * Direct-mapped memo of the pure per-difference-word update
+     * quantities for all eight block sizes (block path only).
+     */
+    struct PcMemoEntry
+    {
+        Word x = 0;
+        bool valid = false;
+        std::array<std::uint8_t, 8> changed{};
+        std::array<std::uint8_t, 8> cycles{};
+    };
+    std::array<PcMemoEntry, 512> memo_{};
 };
 
 } // namespace sigcomp::analysis

@@ -1,0 +1,114 @@
+#include "analysis/trace_cache.h"
+
+#include <chrono>
+#include <utility>
+
+#include "workloads/workload.h"
+
+namespace sigcomp::analysis
+{
+
+TraceCache &
+TraceCache::global()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+TraceCache::TracePtr
+TraceCache::get(const std::string &workload)
+{
+    std::shared_future<TracePtr> future;
+    std::promise<TracePtr> promise;
+    bool capture_here = false;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(workload);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(workload, future);
+            capture_here = true;
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (capture_here) {
+        TracePtr trace;
+        try {
+            const DWord limit = limit_.load();
+            const bool capped =
+                limit != cpu::TraceBuffer::defaultMaxInstrs;
+            const workloads::Workload w =
+                workloads::Suite::build(workload);
+            trace = std::make_shared<cpu::TraceBuffer>(
+                cpu::TraceBuffer::capture(w.program, limit, capped));
+        } catch (...) {
+            // Don't poison the slot with a broken future: drop the
+            // entry so a later get() can retry, unblock any waiters
+            // with the exception, and rethrow.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                entries_.erase(workload);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+        captures_.fetch_add(1);
+        promise.set_value(trace);
+        return trace;
+    }
+    return future.get();
+}
+
+void
+TraceCache::prewarm(const std::vector<std::string> &names,
+                    ParallelExecutor &exec)
+{
+    exec.parallelFor(names.size(),
+                     [&](std::size_t i) { get(names[i]); });
+}
+
+bool
+TraceCache::contains(const std::string &workload) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.find(workload) != entries_.end();
+}
+
+void
+TraceCache::evict(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.erase(workload);
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+}
+
+std::size_t
+TraceCache::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t total = 0;
+    for (const auto &[name, future] : entries_) {
+        if (future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            total += future.get()->memoryBytes();
+        }
+    }
+    return total;
+}
+
+void
+TraceCache::setCaptureLimit(DWord max_instrs)
+{
+    limit_.store(max_instrs);
+}
+
+} // namespace sigcomp::analysis

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Process-wide cache of captured workload traces.
+ *
+ * Every study in this repository is a pure function of one dynamic
+ * trace per benchmark (the paper derives all of Tables 3-6 and
+ * Figs 4-10 from a single SimpleScalar trace per workload), so
+ * functional simulation is a once-per-process cost: the first study
+ * to touch a workload captures its retirement stream into a
+ * TraceBuffer, and every later study — activity, CPI, profiling,
+ * any design, any encoding — replays the shared immutable buffer.
+ *
+ * Thread-safety: get() performs exactly one capture per workload no
+ * matter how many threads race on the first touch (later callers
+ * block on the winner's shared_future); different workloads capture
+ * concurrently. captures() counts functional passes so tests can
+ * assert the simulate-once property.
+ */
+
+#ifndef SIGCOMP_ANALYSIS_TRACE_CACHE_H_
+#define SIGCOMP_ANALYSIS_TRACE_CACHE_H_
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "cpu/trace_buffer.h"
+
+namespace sigcomp::analysis
+{
+
+class TraceCache
+{
+  public:
+    using TracePtr = std::shared_ptr<const cpu::TraceBuffer>;
+
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /** The shared process-wide instance the experiment drivers use. */
+    static TraceCache &global();
+
+    /**
+     * The workload's trace, capturing it on first touch. @p workload
+     * must be a name workloads::Suite::build() accepts.
+     */
+    TracePtr get(const std::string &workload);
+
+    /**
+     * Capture every listed workload that is not already cached,
+     * fanned out across @p exec. Returns once all are available.
+     */
+    void prewarm(const std::vector<std::string> &names,
+                 ParallelExecutor &exec);
+
+    /** True when the workload's trace is cached (or being captured). */
+    bool contains(const std::string &workload) const;
+
+    /**
+     * Drop one workload's trace. Outstanding TracePtrs stay valid
+     * (shared ownership); the next get() recaptures. This is how
+     * profileSuite's opt-in evictAfterReplay keeps peak memory at
+     * one workload's footprint.
+     */
+    void evict(const std::string &workload);
+
+    /** Drop everything (tests and benchmarks). */
+    void clear();
+
+    /** Functional capture passes performed over this cache's life. */
+    std::uint64_t captures() const { return captures_.load(); }
+
+    /** Total heap footprint of the cached traces, in bytes. */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Per-workload capture cap. The default (TraceBuffer's
+     * defaultMaxInstrs) treats hitting the limit as fatal; any other
+     * value allows truncated captures — the benchmark smoke mode.
+     */
+    void setCaptureLimit(DWord max_instrs);
+    DWord captureLimit() const { return limit_.load(); }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<TracePtr>> entries_;
+    std::atomic<std::uint64_t> captures_{0};
+    std::atomic<DWord> limit_{cpu::TraceBuffer::defaultMaxInstrs};
+};
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_TRACE_CACHE_H_

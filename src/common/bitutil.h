@@ -83,23 +83,25 @@ hammingDistance(Word a, Word b)
  * Number of low-order bytes that must be kept so that sign-extending
  * them reproduces @p v exactly (the 2-bit "Ext2" significance count).
  *
+ * Branchless: the set of widths that reproduce @p v is an up-set
+ * (if k bytes suffice, so do k+1), so the count is one plus the
+ * number of widths that fail.
+ *
  * @return a value in [1, 4].
  */
 constexpr unsigned
 significantBytes(Word v)
 {
-    for (unsigned k = 1; k < 4; ++k) {
-        if (signExtend(v, 8 * k) == v)
-            return k;
-    }
-    return 4;
+    return 1u + unsigned{signExtend(v, 8) != v} +
+           unsigned{signExtend(v, 16) != v} +
+           unsigned{signExtend(v, 24) != v};
 }
 
 /** Halfword analogue of significantBytes(): 1 or 2 halfwords. */
 constexpr unsigned
 significantHalves(Word v)
 {
-    return (signExtend(v, 16) == v) ? 1 : 2;
+    return 1u + unsigned{signExtend(v, 16) != v};
 }
 
 /** Round-up integer division. */

@@ -7,6 +7,8 @@
 #ifndef SIGCOMP_CPU_TRACE_H_
 #define SIGCOMP_CPU_TRACE_H_
 
+#include <span>
+
 #include "common/types.h"
 #include "isa/instruction.h"
 
@@ -59,6 +61,23 @@ class TraceSink
 
     /** Called once per retired instruction, in program order. */
     virtual void retire(const DynInstr &di) = 0;
+
+    /**
+     * Batched retirement: consume a contiguous run of the stream in
+     * one call. Trace replay (cpu/trace_buffer.h) feeds sinks this
+     * way so the per-instruction virtual dispatch disappears from
+     * the hot loop; sinks with a tight inner loop override it (the
+     * pipeline models and profilers do). The default preserves
+     * per-instruction semantics exactly, so overriding is optional
+     * and any interleaving of retire()/retireBlock() calls covering
+     * the same stream leaves a sink in the same state.
+     */
+    virtual void
+    retireBlock(std::span<const DynInstr> block)
+    {
+        for (const DynInstr &di : block)
+            retire(di);
+    }
 };
 
 } // namespace sigcomp::cpu

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Compact capture/replay representation of a dynamic instruction
+ * trace.
+ *
+ * All of the paper's studies are functions of one retirement stream
+ * per benchmark, so functional simulation only needs to happen once:
+ * TraceBuffer records the stream in structure-of-arrays form and
+ * TraceView replays it — into any number of sinks, any number of
+ * times — in cache-friendly blocks through the batched
+ * TraceSink::retireBlock() interface.
+ *
+ * Compactness comes from the static structure of the stream rather
+ * than general-purpose compression:
+ *  - the PC is not stored: a 32-bit decode index both names the
+ *    pre-decoded static instruction and reconstructs pc/nextPc
+ *    (nextPc of instruction i is the pc of instruction i+1);
+ *  - memory address/data are stored only for loads and stores, which
+ *    appear in stream order, so replay walks them with a cursor;
+ *  - branch outcomes are one bit each, packed 64 per word.
+ *
+ * Replay is bit-exact: the DynInstr records a TraceView materialises
+ * are field-for-field identical to the ones the functional core
+ * produced during capture (asserted in test_trace.cpp). Sinks that
+ * sample the memory image (the pipeline activity models) re-apply
+ * the trace's stores themselves — see InOrderPipeline::bindReplay().
+ */
+
+#ifndef SIGCOMP_CPU_TRACE_BUFFER_H_
+#define SIGCOMP_CPU_TRACE_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/functional_core.h"
+#include "cpu/trace.h"
+#include "isa/program.h"
+
+namespace sigcomp::cpu
+{
+
+class TraceView;
+
+/** One workload's full retirement stream in structure-of-arrays form. */
+class TraceBuffer
+{
+  public:
+    static constexpr DWord defaultMaxInstrs = 100'000'000;
+
+    /**
+     * Functionally simulate @p program once on a fresh memory image
+     * and record every retired instruction.
+     *
+     * Fatal if the program fails its self-check; also fatal on
+     * hitting @p max_instrs unless @p allow_truncation is set
+     * (truncated traces replay fine and are used by the capped
+     * benchmark smoke runs).
+     */
+    static TraceBuffer capture(const isa::Program &program,
+                               DWord max_instrs = defaultMaxInstrs,
+                               bool allow_truncation = false);
+
+    /** Number of retired instructions recorded. */
+    std::size_t size() const { return decIdx_.size(); }
+
+    /** The program this trace was captured from (owned copy). */
+    const isa::Program &program() const { return program_; }
+
+    /** Functional run result of the capture (instruction count etc.). */
+    const RunResult &runResult() const { return result_; }
+
+    /** True when capture stopped at the instruction cap. */
+    bool
+    truncated() const
+    {
+        return result_.reason == StopReason::InstrLimit;
+    }
+
+    /** Approximate heap footprint of the recorded arrays, in bytes. */
+    std::size_t memoryBytes() const;
+
+    /** PC of retired instruction @p i. */
+    Addr
+    pcAt(std::size_t i) const
+    {
+        return isa::textBase + static_cast<Addr>(4 * decIdx_[i]);
+    }
+
+    /** Pre-decoded static instruction of retired instruction @p i. */
+    const isa::DecodedInstr &
+    decodedAt(std::size_t i) const
+    {
+        return decoded_[decIdx_[i]];
+    }
+
+    // ---- consumer annexes ------------------------------------------
+    //
+    // Replay consumers can derive expensive pure functions of the
+    // trace (e.g. the pipelines' design-independent quanta record)
+    // and cache them here, keyed by a consumer-chosen fingerprint,
+    // so the derivation also happens once per process and dies with
+    // the trace on eviction. Type-erased to keep the cpu layer
+    // ignorant of consumer types.
+
+    /** The annex stored under @p key, or nullptr. Thread-safe. */
+    std::shared_ptr<void> annexGet(const std::string &key) const;
+
+    /**
+     * Store @p value (approx @p bytes heap use) under @p key unless
+     * one is already present; returns the winning annex. Thread-safe.
+     */
+    std::shared_ptr<void> annexStoreIfAbsent(const std::string &key,
+                                             std::shared_ptr<void> value,
+                                             std::size_t bytes) const;
+
+  private:
+    friend class TraceView;
+
+    TraceBuffer() = default;
+
+    /** Program copy: keeps decode cache and data segment alive. */
+    isa::Program program_;
+    /** Decode cache, indexed by text word offset. */
+    std::vector<isa::DecodedInstr> decoded_;
+
+    // -- per retired instruction (dense) ------------------------------
+    std::vector<std::uint32_t> decIdx_;
+    std::vector<Word> srcRs_;
+    std::vector<Word> srcRt_;
+    std::vector<Word> result_v_;
+    /** Branch/jump outcome bits, 64 per word. */
+    std::vector<std::uint64_t> taken_;
+
+    // -- loads/stores only, in stream order (sparse) ------------------
+    std::vector<Addr> memAddr_;
+    std::vector<Word> memData_;
+
+    /** nextPc of the final instruction (others derive from decIdx_). */
+    Addr lastNextPc_ = 0;
+
+    RunResult result_;
+
+    /** Annex store behind a pointer so the buffer stays movable. */
+    struct AnnexStore;
+    std::shared_ptr<AnnexStore> annexes_;
+};
+
+/**
+ * Replay cursor over a TraceBuffer.
+ *
+ * Views are cheap value types over a shared immutable buffer: many
+ * studies (and many threads, each with its own sinks) can replay the
+ * same capture concurrently.
+ */
+class TraceView
+{
+  public:
+    /** Instructions materialised per retireBlock() call. */
+    static constexpr std::size_t defaultBlockSize = 1024;
+
+    explicit TraceView(const TraceBuffer &buffer) : buf_(&buffer) {}
+
+    std::size_t size() const { return buf_->size(); }
+    const TraceBuffer &buffer() const { return *buf_; }
+
+    /**
+     * Feed the whole trace to every sink, in order, in blocks of up
+     * to @p block_size instructions. Each block is materialised once
+     * and handed to every sink's retireBlock() before the next block
+     * is built, so one materialisation amortises over all sinks (a
+     * seven-design CPI study decodes the stream once, not seven
+     * times).
+     */
+    void replay(const std::vector<TraceSink *> &sinks,
+                std::size_t block_size = defaultBlockSize) const;
+
+    /** Convenience: replay into a single sink. */
+    void
+    replay(TraceSink &sink, std::size_t block_size = defaultBlockSize) const
+    {
+        replay(std::vector<TraceSink *>{&sink}, block_size);
+    }
+
+  private:
+    const TraceBuffer *buf_;
+};
+
+} // namespace sigcomp::cpu
+
+#endif // SIGCOMP_CPU_TRACE_BUFFER_H_

@@ -95,7 +95,7 @@ makePipeline(Design d, PipelineConfig config)
 // --------------------------------------------------------------- Baseline32
 
 Baseline32::Baseline32(PipelineConfig config)
-    : InOrderPipeline("baseline32", std::move(config))
+    : SharedReplayModel("baseline32", std::move(config))
 {
 }
 
@@ -122,7 +122,7 @@ Baseline32::plan(const cpu::DynInstr &di, const InstrQuanta &q)
 // --------------------------------------------------------------- ByteSerial
 
 ByteSerial::ByteSerial(PipelineConfig config)
-    : InOrderPipeline("byte-serial", std::move(config))
+    : SharedReplayModel("byte-serial", std::move(config))
 {
 }
 
@@ -160,7 +160,7 @@ ByteSerial::plan(const cpu::DynInstr &di, const InstrQuanta &q)
 // ----------------------------------------------------------- HalfwordSerial
 
 HalfwordSerial::HalfwordSerial(PipelineConfig config)
-    : InOrderPipeline("halfword-serial",
+    : SharedReplayModel("halfword-serial",
                       [](PipelineConfig c) {
                           c.encoding = sig::Encoding::Half1;
                           return c;
@@ -198,7 +198,7 @@ HalfwordSerial::plan(const cpu::DynInstr &di, const InstrQuanta &q)
 // --------------------------------------------------------- ByteSemiParallel
 
 ByteSemiParallel::ByteSemiParallel(PipelineConfig config)
-    : InOrderPipeline("byte-semi-parallel", std::move(config))
+    : SharedReplayModel("byte-semi-parallel", std::move(config))
 {
 }
 
@@ -235,7 +235,7 @@ ByteSemiParallel::plan(const cpu::DynInstr &di, const InstrQuanta &q)
 // ------------------------------------------------------- ByteParallelSkewed
 
 ByteParallelSkewed::ByteParallelSkewed(PipelineConfig config)
-    : InOrderPipeline("byte-parallel-skewed", std::move(config))
+    : SharedReplayModel("byte-parallel-skewed", std::move(config))
 {
 }
 
@@ -278,7 +278,7 @@ ByteParallelSkewed::latchBoundaries(const InstrQuanta &q) const
 // --------------------------------------------------- ByteParallelCompressed
 
 ByteParallelCompressed::ByteParallelCompressed(PipelineConfig config)
-    : InOrderPipeline("byte-parallel-compressed", std::move(config))
+    : SharedReplayModel("byte-parallel-compressed", std::move(config))
 {
 }
 
@@ -319,7 +319,7 @@ ByteParallelCompressed::plan(const cpu::DynInstr &di, const InstrQuanta &q)
 // -------------------------------------------------------------- SkewedBypass
 
 SkewedBypass::SkewedBypass(PipelineConfig config)
-    : InOrderPipeline("skewed-bypass", std::move(config))
+    : SharedReplayModel("skewed-bypass", std::move(config))
 {
 }
 

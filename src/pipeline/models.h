@@ -16,9 +16,13 @@
 #ifndef SIGCOMP_PIPELINE_MODELS_H_
 #define SIGCOMP_PIPELINE_MODELS_H_
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "pipeline/pipeline.h"
 
 namespace sigcomp::pipeline
@@ -36,11 +40,90 @@ enum class Design
     SkewedBypass,
 };
 
+/** Number of modelled designs (dense index domain of DesignTable). */
+constexpr std::size_t numDesigns = 7;
+
+/** Dense array index of a design. */
+constexpr std::size_t
+designIndex(Design d)
+{
+    return static_cast<std::size_t>(d);
+}
+
 /** Canonical short name ("baseline32", "byte-serial", ...). */
 std::string designName(Design d);
 
 /** All designs in presentation order. */
 std::vector<Design> allDesigns();
+
+/**
+ * Dense Design-indexed map: a fixed array plus a presence bitmask.
+ * Replaces std::map<Design, T> in the per-benchmark study rows —
+ * indexing is O(1) array arithmetic instead of a red-black-tree
+ * walk, and a row is one contiguous allocation. Only entries marked
+ * present (by operator[]) participate in at()/size()/equality, so
+ * value semantics match the map it replaces.
+ */
+template <typename T>
+class DesignTable
+{
+  public:
+    /** Entry for @p d, marking it present. */
+    T &
+    operator[](Design d)
+    {
+        present_ |= bit(d);
+        return v_[designIndex(d)];
+    }
+
+    /** Entry for @p d; fatal when absent (parallels map::at). */
+    const T &
+    at(Design d) const
+    {
+        SC_ASSERT(contains(d), "design '", designName(d),
+                  "' missing from study row");
+        return v_[designIndex(d)];
+    }
+
+    bool
+    contains(Design d) const
+    {
+        return (present_ & bit(d)) != 0;
+    }
+
+    /** Number of present entries. */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(std::popcount(present_));
+    }
+
+    bool empty() const { return present_ == 0; }
+
+    friend bool
+    operator==(const DesignTable &a, const DesignTable &b)
+    {
+        if (a.present_ != b.present_)
+            return false;
+        for (std::size_t i = 0; i < numDesigns; ++i) {
+            if ((a.present_ >> i) & 1) {
+                if (!(a.v_[i] == b.v_[i]))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::uint8_t
+    bit(Design d)
+    {
+        return static_cast<std::uint8_t>(1u << designIndex(d));
+    }
+
+    std::array<T, numDesigns> v_{};
+    std::uint8_t present_ = 0;
+};
 
 /**
  * Construct a pipeline model. HalfwordSerial overrides the
@@ -51,8 +134,10 @@ std::unique_ptr<InOrderPipeline> makePipeline(Design d,
                                               PipelineConfig config);
 
 /** The conventional 32-bit in-order 5-stage pipeline. */
-class Baseline32 : public InOrderPipeline
+class Baseline32 : public SharedReplayModel<Baseline32>
 {
+    friend SharedReplayModel<Baseline32>;
+
   public:
     explicit Baseline32(PipelineConfig config);
 
@@ -62,8 +147,10 @@ class Baseline32 : public InOrderPipeline
 };
 
 /** Fig 3: byte-serial datapath. */
-class ByteSerial : public InOrderPipeline
+class ByteSerial : public SharedReplayModel<ByteSerial>
 {
+    friend SharedReplayModel<ByteSerial>;
+
   public:
     explicit ByteSerial(PipelineConfig config);
 
@@ -73,8 +160,10 @@ class ByteSerial : public InOrderPipeline
 };
 
 /** Byte-serial at halfword granularity. */
-class HalfwordSerial : public InOrderPipeline
+class HalfwordSerial : public SharedReplayModel<HalfwordSerial>
 {
+    friend SharedReplayModel<HalfwordSerial>;
+
   public:
     explicit HalfwordSerial(PipelineConfig config);
 
@@ -84,8 +173,10 @@ class HalfwordSerial : public InOrderPipeline
 };
 
 /** Fig 5: 3-byte fetch, 2-byte RF/ALU, 1-byte data cache. */
-class ByteSemiParallel : public InOrderPipeline
+class ByteSemiParallel : public SharedReplayModel<ByteSemiParallel>
 {
+    friend SharedReplayModel<ByteSemiParallel>;
+
   public:
     explicit ByteSemiParallel(PipelineConfig config);
 
@@ -95,8 +186,10 @@ class ByteSemiParallel : public InOrderPipeline
 };
 
 /** Fig 7: full-width skewed pipeline (7 stages). */
-class ByteParallelSkewed : public InOrderPipeline
+class ByteParallelSkewed : public SharedReplayModel<ByteParallelSkewed>
 {
+    friend SharedReplayModel<ByteParallelSkewed>;
+
   public:
     explicit ByteParallelSkewed(PipelineConfig config);
 
@@ -107,8 +200,10 @@ class ByteParallelSkewed : public InOrderPipeline
 };
 
 /** Fig 9: full-width five-stage pipeline, compressed occupancy. */
-class ByteParallelCompressed : public InOrderPipeline
+class ByteParallelCompressed : public SharedReplayModel<ByteParallelCompressed>
 {
+    friend SharedReplayModel<ByteParallelCompressed>;
+
   public:
     explicit ByteParallelCompressed(PipelineConfig config);
 
@@ -118,8 +213,10 @@ class ByteParallelCompressed : public InOrderPipeline
 };
 
 /** Fig 10: skewed pipeline with short-operand bypasses. */
-class SkewedBypass : public InOrderPipeline
+class SkewedBypass : public SharedReplayModel<SkewedBypass>
 {
+    friend SharedReplayModel<SkewedBypass>;
+
   public:
     explicit SkewedBypass(PipelineConfig config);
 

@@ -26,6 +26,46 @@ InOrderPipeline::bind(const isa::Program &program,
 {
     program_ = &program;
     memory_ = &memory;
+
+    // Memoise the compressed fetch width of every static
+    // instruction: it is a pure function of the word under this
+    // pipeline's compressor, and the hot path needs it for every
+    // dynamic instance and every I-cache fill word.
+    fetchWidth_.resize(program.text().size());
+    for (std::size_t i = 0; i < fetchWidth_.size(); ++i) {
+        fetchWidth_[i] = static_cast<std::uint8_t>(
+            config_.compressor.fetchBytes(program.text()[i]));
+    }
+}
+
+void
+InOrderPipeline::bindReplay(const isa::Program &program)
+{
+    replayMemory_ = std::make_unique<mem::MainMemory>();
+    const isa::DataSegment &data = program.data();
+    if (!data.bytes.empty()) {
+        replayMemory_->writeBlock(data.base, data.bytes.data(),
+                                  data.bytes.size());
+    }
+    bind(program, *replayMemory_);
+}
+
+void
+InOrderPipeline::applyStore(const cpu::DynInstr &di)
+{
+    switch (di.dec->memBytes) {
+      case 1:
+        replayMemory_->writeByte(di.memAddr,
+                                 static_cast<Byte>(di.memData));
+        break;
+      case 2:
+        replayMemory_->writeHalf(di.memAddr,
+                                 static_cast<Half>(di.memData));
+        break;
+      default:
+        replayMemory_->writeWord(di.memAddr, di.memData);
+        break;
+    }
 }
 
 namespace
@@ -64,7 +104,7 @@ InOrderPipeline::computeQuanta(const DynInstr &di)
     InstrQuanta q;
 
     // ---- fetch side -----------------------------------------------------
-    q.fetchBytes = config_.compressor.fetchBytes(di.inst());
+    q.fetchBytes = fetchWidthAt(di.pc);
     const mem::MemOutcome ifo = hierarchy_.instrFetch(di.pc);
     q.ifExtra = ifo.extraLatency;
 
@@ -202,10 +242,12 @@ InOrderPipeline::computeQuanta(const DynInstr &di)
         q.memAccessBytes = dec.memBytes;
         q.memChunks = memChunksOf(di.memData, dec.memBytes,
                                   config_.encoding);
-        accountActivity(di, q, curAlu_, ifo, dout, true);
+        curLatchBase_ = accountActivity(di, q, curAlu_, ifo, dout, true);
     } else {
-        accountActivity(di, q, curAlu_, ifo, mem::MemOutcome{}, false);
+        curLatchBase_ = accountActivity(di, q, curAlu_, ifo,
+                                        mem::MemOutcome{}, false);
     }
+    addLatch(curLatchBase_, latchBoundaries(q));
 
     // ---- result ------------------------------------------------------------
     if (dec.writesDest && dec.dest != isa::reg::zero)
@@ -214,7 +256,7 @@ InOrderPipeline::computeQuanta(const DynInstr &di)
     return q;
 }
 
-void
+Count
 InOrderPipeline::accountActivity(const DynInstr &di, const InstrQuanta &q,
                                  const sig::AluReport &alu,
                                  const mem::MemOutcome &ifetch,
@@ -236,7 +278,7 @@ InOrderPipeline::accountActivity(const DynInstr &di, const InstrQuanta &q,
                 ifetch.fillLine + static_cast<Addr>(w * wordBytes);
             unsigned fb = 4;
             if (a >= program_->textStart() && a < program_->textEnd())
-                fb = config_.compressor.fetchBytes(program_->fetch(a));
+                fb = fetchWidthAt(a);
             activity_.fetch.add(8 * fb + 1 + ifillPermuteBits, 32);
         }
     }
@@ -291,9 +333,9 @@ InOrderPipeline::accountActivity(const DynInstr &di, const InstrQuanta &q,
     activity_.pcInc.add(q.pcChangedBlocks * block_bits, 32);
 
     // Latches: instruction + PC, operands, result/store data, and
-    // write-back value, scaled to the boundaries the instruction
-    // traverses in this design; the reference is the fixed-width
-    // 5-stage baseline.
+    // write-back value; returned unscaled — the caller applies the
+    // design-specific boundary scaling (addLatch), which is the only
+    // design-dependent piece of the whole accounting.
     Count latch_c = 8 * q.fetchBytes + 1 +
                     q.pcChangedBlocks * block_bits;
     if (dec.readsRs)
@@ -303,10 +345,7 @@ InOrderPipeline::accountActivity(const DynInstr &di, const InstrQuanta &q,
     latch_c += 2 * (8 * res_bytes + eb * (res_bytes ? 1 : 0));
     if (dec.isStore)
         latch_c += 8 * q.memChunks * cb + eb;
-    const unsigned boundaries = latchBoundaries(q);
-    latch_c += latchCtrlBits * boundaries;
-    latch_c = latch_c * boundaries / 4;
-    activity_.latch.add(latch_c, baselineLatchBits);
+    return latch_c;
 }
 
 void
@@ -388,12 +427,30 @@ InOrderPipeline::retire(const DynInstr &di)
 {
     SC_ASSERT(program_ != nullptr,
               "pipeline '", name_, "' not bound to a program");
+    if (replayMemory_ && di.dec->isStore)
+        applyStore(di);
     const InstrQuanta q = computeQuanta(di);
     const TimingPlan p = plan(di, q);
     SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
               "bad stage count");
     schedule(di, q, p);
-    first_ = false;
+}
+
+void
+InOrderPipeline::retireBlock(std::span<const cpu::DynInstr> block)
+{
+    SC_ASSERT(program_ != nullptr,
+              "pipeline '", name_, "' not bound to a program");
+    const bool apply_stores = replayMemory_ != nullptr;
+    for (const DynInstr &di : block) {
+        if (apply_stores && di.dec->isStore)
+            applyStore(di);
+        const InstrQuanta q = computeQuanta(di);
+        const TimingPlan p = plan(di, q);
+        SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
+                  "bad stage count");
+        schedule(di, q, p);
+    }
 }
 
 PipelineResult
@@ -406,10 +463,120 @@ InOrderPipeline::result()
     r.stalls = stalls_;
     r.activity = activity_;
     r.predictor = predictor_.stats();
-    r.l1i = hierarchy_.l1i().stats();
-    r.l1d = hierarchy_.l1d().stats();
-    r.l2 = hierarchy_.l2().stats();
+    if (adoptedStats_.valid) {
+        r.l1i = adoptedStats_.l1i;
+        r.l1d = adoptedStats_.l1d;
+        r.l2 = adoptedStats_.l2;
+    } else {
+        r.l1i = hierarchy_.l1i().stats();
+        r.l1d = hierarchy_.l1d().stats();
+        r.l2 = hierarchy_.l2().stats();
+    }
     return r;
+}
+
+// ---- shared-quanta replay plumbing -----------------------------------
+
+std::string
+InOrderPipeline::quantaKey() const
+{
+    std::string key = "quanta:" + sig::encodingName(config_.encoding);
+    auto num = [&](DWord v) { key += ':' + std::to_string(v); };
+    auto cache = [&](const mem::CacheParams &c) {
+        num(c.sizeBytes);
+        num(c.assoc);
+        num(c.lineBytes);
+        num(c.hitLatency);
+    };
+    auto tlb = [&](const mem::TlbParams &t) {
+        num(t.entries);
+        num(t.assoc);
+        num(t.pageBits);
+        num(t.missPenalty);
+    };
+    cache(config_.memory.l1i);
+    cache(config_.memory.l1d);
+    cache(config_.memory.l2);
+    num(config_.memory.memoryPenalty);
+    tlb(config_.memory.itlb);
+    tlb(config_.memory.dtlb);
+    key += ":r";
+    for (std::uint8_t f : config_.compressor.ranking())
+        num(f);
+    return key;
+}
+
+namespace
+{
+
+/** a - b per category (activity accumulates monotonically). */
+ActivityTotals
+activityDelta(const ActivityTotals &a, const ActivityTotals &b)
+{
+    auto sub = [](const BitPair &x, const BitPair &y) {
+        BitPair d;
+        d.compressed = x.compressed - y.compressed;
+        d.baseline = x.baseline - y.baseline;
+        return d;
+    };
+    ActivityTotals d;
+    d.fetch = sub(a.fetch, b.fetch);
+    d.rfRead = sub(a.rfRead, b.rfRead);
+    d.rfWrite = sub(a.rfWrite, b.rfWrite);
+    d.alu = sub(a.alu, b.alu);
+    d.dcData = sub(a.dcData, b.dcData);
+    d.dcTag = sub(a.dcTag, b.dcTag);
+    d.pcInc = sub(a.pcInc, b.pcInc);
+    d.latch = BitPair{}; // design-dependent: consumers compute it
+    return d;
+}
+
+} // namespace
+
+void
+InOrderPipeline::retireBlockRecord(std::span<const cpu::DynInstr> block,
+                                   SharedQuanta &rec)
+{
+    SC_ASSERT(program_ != nullptr,
+              "pipeline '", name_, "' not bound to a program");
+    const ActivityTotals before = activity_;
+    const bool apply_stores = replayMemory_ != nullptr;
+    for (const DynInstr &di : block) {
+        if (apply_stores && di.dec->isStore)
+            applyStore(di);
+        const InstrQuanta q = computeQuanta(di);
+        rec.q.push_back(SharedQuanta::pack(q, curLatchBase_));
+        const TimingPlan p = plan(di, q);
+        SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
+                  "bad stage count");
+        schedule(di, q, p);
+    }
+    rec.blockDelta.push_back(activityDelta(activity_, before));
+}
+
+void
+InOrderPipeline::retireBlockShared(std::span<const cpu::DynInstr> block,
+                                   const SharedQuanta &rec,
+                                   std::size_t base,
+                                   std::size_t block_index)
+{
+    // Generic fallback: same body as the designs' devirtualised
+    // overrides, with the hooks dispatched virtually.
+    retireBlockSharedWith(
+        block, rec, base, block_index,
+        [this](const cpu::DynInstr &di, const InstrQuanta &q) {
+            return plan(di, q);
+        },
+        [this](const InstrQuanta &q) { return latchBoundaries(q); });
+}
+
+void
+InOrderPipeline::adoptSharedStats(const SharedQuanta &rec)
+{
+    adoptedStats_.valid = true;
+    adoptedStats_.l1i = rec.l1i;
+    adoptedStats_.l1d = rec.l1d;
+    adoptedStats_.l2 = rec.l2;
 }
 
 } // namespace sigcomp::pipeline

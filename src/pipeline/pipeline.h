@@ -26,10 +26,13 @@
 #define SIGCOMP_PIPELINE_PIPELINE_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/logging.h"
 #include "cpu/trace.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
@@ -87,6 +90,8 @@ struct StallBreakdown
         return controlCycles + dataHazardCycles + structuralCycles +
                icacheMissCycles + dcacheMissCycles;
     }
+
+    bool operator==(const StallBreakdown &) const = default;
 };
 
 /** Final metrics of one pipeline run. */
@@ -163,6 +168,112 @@ struct InstrQuanta
 };
 
 /**
+ * Design-independent per-instruction replay record.
+ *
+ * Everything computeQuanta() produces — hierarchy outcomes, ALU
+ * occupancy, significance classification, the non-latch activity
+ * accounting, and the pre-scaling latch bit count — depends only on
+ * the trace, the encoding, the memory geometry, and the instruction
+ * compressor, not on the concrete design. During trace replay the
+ * first pipeline with a given configuration records this front half
+ * once (retireBlockRecord), and every other same-configuration
+ * pipeline — in this study or any later one, the record is cached
+ * on the TraceBuffer — replays as a consumer (retireBlockShared)
+ * that only runs the per-design back half: latch scaling, plan(),
+ * and schedule(). A seven-design CPI study does the quanta work
+ * once, not seven times.
+ */
+class SharedQuanta
+{
+  public:
+    /** Packed InstrQuanta + latch base; 24 bytes per instruction. */
+    struct Packed
+    {
+        std::uint8_t fetchBytes;
+        std::uint8_t srcChunks;
+        std::uint8_t numSrcRegs;
+        std::uint8_t exChunks;
+        std::uint8_t exWorkBytes;
+        std::uint8_t memChunks;
+        std::uint8_t memAccessBytes;
+        std::uint8_t resChunks;
+        /** usesAlu | isMult<<1 | isDiv<<2 | redirect<<3. */
+        std::uint8_t flags;
+        std::uint8_t pcChangedBlocks;
+        std::uint8_t pcRippleExtra;
+        std::uint8_t pad = 0;
+        std::uint32_t ifExtra;
+        std::uint32_t memExtra;
+        std::uint32_t latchBase;
+    };
+
+    static Packed
+    pack(const InstrQuanta &q, Count latch_base)
+    {
+        Packed p;
+        p.fetchBytes = static_cast<std::uint8_t>(q.fetchBytes);
+        p.srcChunks = static_cast<std::uint8_t>(q.srcChunks);
+        p.numSrcRegs = static_cast<std::uint8_t>(q.numSrcRegs);
+        p.exChunks = static_cast<std::uint8_t>(q.exChunks);
+        p.exWorkBytes = static_cast<std::uint8_t>(q.exWorkBytes);
+        p.memChunks = static_cast<std::uint8_t>(q.memChunks);
+        p.memAccessBytes = static_cast<std::uint8_t>(q.memAccessBytes);
+        p.resChunks = static_cast<std::uint8_t>(q.resChunks);
+        p.flags = static_cast<std::uint8_t>(
+            (q.usesAlu ? 1u : 0u) | (q.isMult ? 2u : 0u) |
+            (q.isDiv ? 4u : 0u) | (q.redirect ? 8u : 0u));
+        p.pcChangedBlocks = static_cast<std::uint8_t>(q.pcChangedBlocks);
+        p.pcRippleExtra = static_cast<std::uint8_t>(q.pcRippleExtra);
+        p.ifExtra = static_cast<std::uint32_t>(q.ifExtra);
+        p.memExtra = static_cast<std::uint32_t>(q.memExtra);
+        p.latchBase = static_cast<std::uint32_t>(latch_base);
+        return p;
+    }
+
+    static InstrQuanta
+    unpack(const Packed &p)
+    {
+        InstrQuanta q;
+        q.fetchBytes = p.fetchBytes;
+        q.srcChunks = p.srcChunks;
+        q.numSrcRegs = p.numSrcRegs;
+        q.exChunks = p.exChunks;
+        q.exWorkBytes = p.exWorkBytes;
+        q.memChunks = p.memChunks;
+        q.memAccessBytes = p.memAccessBytes;
+        q.resChunks = p.resChunks;
+        q.usesAlu = (p.flags & 1u) != 0;
+        q.isMult = (p.flags & 2u) != 0;
+        q.isDiv = (p.flags & 4u) != 0;
+        q.redirect = (p.flags & 8u) != 0;
+        q.pcChangedBlocks = p.pcChangedBlocks;
+        q.pcRippleExtra = p.pcRippleExtra;
+        q.ifExtra = p.ifExtra;
+        q.memExtra = p.memExtra;
+        return q;
+    }
+
+    /** Per-instruction packed quanta, in stream order. */
+    std::vector<Packed> q;
+    /**
+     * Shared (non-latch) activity delta per replay block; the latch
+     * category stays zero — it is design-dependent and consumers
+     * compute it per instruction.
+     */
+    std::vector<ActivityTotals> blockDelta;
+    /** Final hierarchy statistics of the recording pass. */
+    mem::CacheStats l1i, l1d, l2;
+
+    /** Approximate heap footprint in bytes. */
+    std::size_t
+    bytes() const
+    {
+        return q.capacity() * sizeof(Packed) +
+               blockDelta.capacity() * sizeof(ActivityTotals);
+    }
+};
+
+/**
  * Base class: drives the recurrence, the memory hierarchy, and the
  * activity accounting; concrete designs provide plan().
  *
@@ -183,7 +294,69 @@ class InOrderPipeline : public cpu::TraceSink
      */
     void bind(const isa::Program &program, const mem::MainMemory &memory);
 
+    /**
+     * Bind for trace replay: the pipeline owns a private memory
+     * image initialised from the program's data segment and applies
+     * the trace's stores itself (capture applied them while
+     * executing), so activity sampling on cache fills/writebacks
+     * sees exactly the bytes the live run saw at that point in the
+     * stream. Every replaying pipeline has its own image, so several
+     * models can consume one shared trace concurrently.
+     */
+    void bindReplay(const isa::Program &program);
+
     void retire(const cpu::DynInstr &di) override;
+
+    /**
+     * Batched retirement: one virtual call per block instead of one
+     * per instruction, with the scheduling loop kept monomorphic.
+     * State after any block split is identical to per-instruction
+     * retire() calls.
+     */
+    void retireBlock(std::span<const cpu::DynInstr> block) override;
+
+    // ---- shared-quanta replay plumbing (used by replayPipelines) --
+
+    /**
+     * Fingerprint of everything the design-independent quanta depend
+     * on: encoding, memory geometry, and compressor ranking. Two
+     * pipelines with equal keys may share one SharedQuanta record.
+     */
+    std::string quantaKey() const;
+
+    /**
+     * Full retirement of @p block (identical to retireBlock()) that
+     * additionally appends the design-independent front half to
+     * @p rec: one Packed entry per instruction plus one shared
+     * activity delta for the block.
+     */
+    void retireBlockRecord(std::span<const cpu::DynInstr> block,
+                           SharedQuanta &rec);
+
+    /**
+     * Consumer retirement from a SharedQuanta record produced by a
+     * same-key pipeline over the same block structure: skips
+     * hierarchy/ALU/classification entirely and runs only latch
+     * scaling, plan() and schedule(). @p base is the record index of
+     * block[0], @p block_index the block's delta index. Final state
+     * is bit-identical to the full path. Concrete designs override
+     * this with the devirtualised retireBlockSharedAs() so plan()
+     * inlines into the consumer loop.
+     */
+    virtual void retireBlockShared(std::span<const cpu::DynInstr> block,
+                                   const SharedQuanta &rec,
+                                   std::size_t base,
+                                   std::size_t block_index);
+
+    /**
+     * Adopt the recording pass's hierarchy statistics so result()
+     * reports real cache behaviour for shared-quanta consumers
+     * (their own hierarchy was never driven).
+     */
+    void adoptSharedStats(const SharedQuanta &rec);
+
+    /** This pipeline's hierarchy (recording side of shared stats). */
+    const mem::MemoryHierarchy &hierarchy() const { return hierarchy_; }
 
     /** Finalize and fetch results (idempotent). */
     PipelineResult result();
@@ -220,14 +393,77 @@ class InOrderPipeline : public cpu::TraceSink
         return 4;
     }
 
+    /**
+     * The one shared-quanta consumer body, parameterised over how
+     * plan()/latchBoundaries() are invoked: the virtual default
+     * passes virtual-dispatch callables, SharedReplayModel passes
+     * statically-bound ones so the hooks inline into the loop. Keeps
+     * the load-bearing subtlety below in exactly one place.
+     */
+    template <typename PlanFn, typename LatchFn>
+    void
+    retireBlockSharedWith(std::span<const cpu::DynInstr> block,
+                          const SharedQuanta &rec, std::size_t base,
+                          std::size_t block_index, PlanFn &&plan_fn,
+                          LatchFn &&latch_fn)
+    {
+        SC_ASSERT(program_ != nullptr,
+                  "pipeline '", name_, "' not bound to a program");
+        SC_ASSERT(base + block.size() <= rec.q.size() &&
+                      block_index < rec.blockDelta.size(),
+                  "shared quanta record does not cover this block");
+        activity_ += rec.blockDelta[block_index];
+        for (std::size_t j = 0; j < block.size(); ++j) {
+            const cpu::DynInstr &di = block[j];
+            const SharedQuanta::Packed &p = rec.q[base + j];
+            InstrQuanta q = SharedQuanta::unpack(p);
+
+            // Match the canonical path: latchBoundaries() runs
+            // before resChunks is filled in (see computeQuanta).
+            const unsigned res_chunks = q.resChunks;
+            q.resChunks = 0;
+            addLatch(p.latchBase, latch_fn(q));
+            q.resChunks = res_chunks;
+
+            const TimingPlan tp = plan_fn(di, q);
+            schedule(di, q, tp);
+        }
+    }
+
   private:
     InstrQuanta computeQuanta(const cpu::DynInstr &di);
-    void accountActivity(const cpu::DynInstr &di, const InstrQuanta &q,
-                         const sig::AluReport &alu,
-                         const mem::MemOutcome &ifetch,
-                         const mem::MemOutcome &daccess, bool has_mem);
+
+    /**
+     * Account every activity category except latches; returns the
+     * instruction's latch bit count before control/boundary scaling
+     * (the design-independent part of the latch formula).
+     */
+    Count accountActivity(const cpu::DynInstr &di, const InstrQuanta &q,
+                          const sig::AluReport &alu,
+                          const mem::MemOutcome &ifetch,
+                          const mem::MemOutcome &daccess, bool has_mem);
+
+    /** Scale and account the latch activity of one instruction. */
+    void
+    addLatch(Count base, unsigned boundaries)
+    {
+        Count latch_c = base + latchCtrlBits * boundaries;
+        latch_c = latch_c * boundaries / 4;
+        activity_.latch.add(latch_c, baselineLatchBits);
+    }
+
     void schedule(const cpu::DynInstr &di, const InstrQuanta &q,
                   const TimingPlan &plan);
+
+    /** Re-apply one trace store to the replay memory image. */
+    void applyStore(const cpu::DynInstr &di);
+
+    /** Compressed fetch width of the text word at @p addr (memo). */
+    unsigned
+    fetchWidthAt(Addr addr) const
+    {
+        return fetchWidth_[(addr - program_->textStart()) / wordBytes];
+    }
 
     std::string name_;
     PipelineConfig config_;
@@ -238,6 +474,14 @@ class InOrderPipeline : public cpu::TraceSink
 
     const isa::Program *program_ = nullptr;
     const mem::MainMemory *memory_ = nullptr;
+    /** Owned evolving memory image when bound via bindReplay(). */
+    std::unique_ptr<mem::MainMemory> replayMemory_;
+    /**
+     * Per-static-instruction compressed fetch width, memoised at
+     * bind time (fetchBytes() permutes/recodes the whole word, far
+     * too much work to redo for every dynamic instance).
+     */
+    std::vector<std::uint8_t> fetchWidth_;
 
     // Scheduler state.
     std::array<Cycle, maxStages> prevEnd_{};
@@ -247,7 +491,6 @@ class InOrderPipeline : public cpu::TraceSink
     Cycle lastCycle_ = 0;
     Addr lastPc_ = 0;
     bool lastWasRedirect_ = false;
-    bool first_ = true;
 
     DWord instructions_ = 0;
     StallBreakdown stalls_;
@@ -255,8 +498,49 @@ class InOrderPipeline : public cpu::TraceSink
 
     // Scratch for plan(): AluReport of the current instruction.
     sig::AluReport curAlu_;
+    // Scratch: latch base bits of the current instruction.
+    Count curLatchBase_ = 0;
+    // Hierarchy stats adopted from a SharedQuanta record, if any.
+    struct AdoptedStats
+    {
+        bool valid = false;
+        mem::CacheStats l1i, l1d, l2;
+    };
+    AdoptedStats adoptedStats_;
 
     friend struct PipelineTestPeek;
+};
+
+/**
+ * CRTP intermediary between InOrderPipeline and the concrete
+ * designs: supplies the devirtualised shared-quanta consumer
+ * override exactly once. D's plan()/latchBoundaries() bind
+ * statically inside retireBlockSharedWith(), so they inline into the
+ * consumer loop; designs stay `class X : public SharedReplayModel<X>`
+ * with a `friend SharedReplayModel<X>` so the hooks remain
+ * protected.
+ */
+template <typename D>
+class SharedReplayModel : public InOrderPipeline
+{
+  public:
+    using InOrderPipeline::InOrderPipeline;
+
+    void
+    retireBlockShared(std::span<const cpu::DynInstr> block,
+                      const SharedQuanta &rec, std::size_t base,
+                      std::size_t block_index) override
+    {
+        D *self = static_cast<D *>(this);
+        retireBlockSharedWith(
+            block, rec, base, block_index,
+            [self](const cpu::DynInstr &di, const InstrQuanta &q) {
+                return self->D::plan(di, q);
+            },
+            [self](const InstrQuanta &q) {
+                return self->D::latchBoundaries(q);
+            });
+    }
 };
 
 } // namespace sigcomp::pipeline

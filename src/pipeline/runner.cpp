@@ -50,4 +50,173 @@ runDesigns(const isa::Program &program, const std::vector<Design> &designs,
     return out;
 }
 
+namespace
+{
+
+/**
+ * Orchestrates one same-key group of pipelines over a replay: the
+ * first pipeline records the design-independent quanta (or, when a
+ * previous replay of this trace already recorded them, everyone
+ * consumes the cached record) and the rest run as shared-quanta
+ * consumers. See SharedQuanta in pipeline.h.
+ */
+class GroupReplaySink : public cpu::TraceSink
+{
+  public:
+    GroupReplaySink(std::vector<InOrderPipeline *> pipes,
+                    std::shared_ptr<const SharedQuanta> cached,
+                    std::size_t trace_size)
+        : pipes_(std::move(pipes)), cached_(std::move(cached))
+    {
+        if (!cached_) {
+            recording_ = std::make_shared<SharedQuanta>();
+            recording_->q.reserve(trace_size);
+            recording_->blockDelta.reserve(
+                trace_size / cpu::TraceView::defaultBlockSize + 2);
+        }
+    }
+
+    void
+    retire(const cpu::DynInstr &di) override
+    {
+        retireBlock(std::span<const cpu::DynInstr>(&di, 1));
+    }
+
+    void
+    retireBlock(std::span<const cpu::DynInstr> block) override
+    {
+        // A record is only reusable by future replays if its block
+        // deltas line up with TraceView's canonical block structure
+        // (every block full-sized except possibly the last).
+        if (saw_partial_)
+            canonical_ = false;
+        if (block.size() != cpu::TraceView::defaultBlockSize)
+            saw_partial_ = true;
+
+        if (cached_) {
+            for (InOrderPipeline *p : pipes_)
+                p->retireBlockShared(block, *cached_, base_, blockIndex_);
+        } else {
+            pipes_.front()->retireBlockRecord(block, *recording_);
+            for (std::size_t i = 1; i < pipes_.size(); ++i) {
+                pipes_[i]->retireBlockShared(block, *recording_, base_,
+                                             blockIndex_);
+            }
+        }
+        base_ += block.size();
+        ++blockIndex_;
+    }
+
+    /**
+     * After the replay: fill in the record's final hierarchy stats,
+     * publish it on the trace (first writer wins), and hand every
+     * consumer its cache statistics.
+     */
+    void
+    finish(const cpu::TraceBuffer &trace)
+    {
+        std::shared_ptr<const SharedQuanta> rec = cached_;
+        if (recording_) {
+            recording_->l1i =
+                pipes_.front()->hierarchy().l1i().stats();
+            recording_->l1d =
+                pipes_.front()->hierarchy().l1d().stats();
+            recording_->l2 = pipes_.front()->hierarchy().l2().stats();
+            // Publish for future replays of this trace (first writer
+            // wins; a racing recording is identical by determinism).
+            if (canonical_) {
+                trace.annexStoreIfAbsent(
+                    pipes_.front()->quantaKey(),
+                    std::static_pointer_cast<void>(recording_),
+                    recording_->bytes());
+            }
+            rec = recording_; // this replay's consumers used ours
+        }
+        const std::size_t first_consumer = recording_ ? 1 : 0;
+        for (std::size_t i = first_consumer; i < pipes_.size(); ++i)
+            pipes_[i]->adoptSharedStats(*rec);
+    }
+
+  private:
+    std::vector<InOrderPipeline *> pipes_;
+    std::shared_ptr<const SharedQuanta> cached_;
+    std::shared_ptr<SharedQuanta> recording_;
+    std::size_t base_ = 0;
+    std::size_t blockIndex_ = 0;
+    bool saw_partial_ = false;
+    bool canonical_ = true;
+};
+
+} // namespace
+
+cpu::RunResult
+replayPipelines(const cpu::TraceBuffer &trace,
+                const std::vector<InOrderPipeline *> &pipes,
+                const std::vector<cpu::TraceSink *> &extra_sinks)
+{
+    // Partition the pipelines into same-quanta-key groups, each fed
+    // through one GroupReplaySink so the design-independent front
+    // half runs once per group (and once per process per trace, via
+    // the annex cache) instead of once per pipeline.
+    std::vector<std::string> group_keys;
+    std::vector<std::vector<InOrderPipeline *>> groups;
+    for (InOrderPipeline *p : pipes) {
+        p->bindReplay(trace.program());
+        const std::string key = p->quantaKey();
+        bool placed = false;
+        for (std::size_t g = 0; g < group_keys.size(); ++g) {
+            if (group_keys[g] == key) {
+                groups[g].push_back(p);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            group_keys.push_back(key);
+            groups.push_back({p});
+        }
+    }
+
+    std::vector<std::unique_ptr<GroupReplaySink>> group_sinks;
+    std::vector<cpu::TraceSink *> sinks;
+    sinks.reserve(groups.size() + extra_sinks.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        auto cached = std::static_pointer_cast<const SharedQuanta>(
+            trace.annexGet(group_keys[g]));
+        group_sinks.push_back(std::make_unique<GroupReplaySink>(
+            std::move(groups[g]), std::move(cached), trace.size()));
+        sinks.push_back(group_sinks.back().get());
+    }
+    sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
+
+    cpu::TraceView(trace).replay(sinks);
+    for (auto &gs : group_sinks)
+        gs->finish(trace);
+
+    // Self-check/limit failures were already fatal at capture time
+    // (deliberately truncated traces excepted), so the recorded
+    // result can be returned as-is.
+    return trace.runResult();
+}
+
+std::vector<PipelineResult>
+replayDesigns(const cpu::TraceBuffer &trace,
+              const std::vector<Design> &designs,
+              const PipelineConfig &config)
+{
+    std::vector<std::unique_ptr<InOrderPipeline>> owned;
+    std::vector<InOrderPipeline *> raw;
+    for (Design d : designs) {
+        owned.push_back(makePipeline(d, config));
+        raw.push_back(owned.back().get());
+    }
+    replayPipelines(trace, raw);
+
+    std::vector<PipelineResult> out;
+    out.reserve(owned.size());
+    for (auto &p : owned)
+        out.push_back(p->result());
+    return out;
+}
+
 } // namespace sigcomp::pipeline

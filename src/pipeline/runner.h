@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cpu/functional_core.h"
+#include "cpu/trace_buffer.h"
 #include "pipeline/models.h"
 
 namespace sigcomp::pipeline
@@ -28,6 +29,13 @@ class FanoutSink : public cpu::TraceSink
     {
         for (cpu::TraceSink *s : sinks_)
             s->retire(di);
+    }
+
+    void
+    retireBlock(std::span<const cpu::DynInstr> block) override
+    {
+        for (cpu::TraceSink *s : sinks_)
+            s->retireBlock(block);
     }
 
   private:
@@ -54,6 +62,27 @@ runPipelines(const isa::Program &program,
 std::vector<PipelineResult>
 runDesigns(const isa::Program &program, const std::vector<Design> &designs,
            const PipelineConfig &config);
+
+/**
+ * Replay a captured trace through pipelines (and any extra sinks)
+ * instead of re-running functional simulation: the batched
+ * equivalent of runPipelines(). Each pipeline is bound in replay
+ * mode (own evolving memory image, see InOrderPipeline::bindReplay),
+ * so results are bit-identical to a live run of the same program.
+ * The trace must outlive the pipelines' result() calls.
+ *
+ * @return the functional run result recorded at capture.
+ */
+cpu::RunResult
+replayPipelines(const cpu::TraceBuffer &trace,
+                const std::vector<InOrderPipeline *> &pipes,
+                const std::vector<cpu::TraceSink *> &extra_sinks = {});
+
+/** Replay equivalent of runDesigns(): one trace, many designs. */
+std::vector<PipelineResult>
+replayDesigns(const cpu::TraceBuffer &trace,
+              const std::vector<Design> &designs,
+              const PipelineConfig &config);
 
 } // namespace sigcomp::pipeline
 

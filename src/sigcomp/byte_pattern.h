@@ -33,20 +33,13 @@ using HalfMask = std::uint8_t;
 constexpr unsigned numBytePatterns = 8;
 
 /**
- * Classify @p v under the 3-bit per-byte scheme (Ext3).
- *
- * Extension bit i (i = 1..3) is set iff byte i equals the sign fill
- * implied by byte i-1's MSB; such a byte need not be stored. The
- * returned mask has a 1 for every byte that must be stored.
- *
- * Examples from the paper:
- *   0x00000004 -> 0b0001 ("eees")
- *   0xFFFFF504 -> 0b0011 ("eess")
- *   0x10000009 -> 0b1001 ("sees")
- *   0xFFE70004 -> 0b0101 ("eses")
+ * Scalar reference classifier for the 3-bit per-byte scheme (Ext3):
+ * the specification the branchless classifyExt3() is verified
+ * against (equivalence tests in test_sigcomp, side-by-side entries
+ * in bench_micro). Walks the bytes exactly as section 2.1 describes.
  */
 constexpr ByteMask
-classifyExt3(Word v)
+classifyExt3Reference(Word v)
 {
     ByteMask mask = 0x1;
     for (unsigned i = 1; i < 4; ++i) {
@@ -59,9 +52,59 @@ classifyExt3(Word v)
 }
 
 /**
+ * Classify @p v under the 3-bit per-byte scheme (Ext3).
+ *
+ * Extension bit i (i = 1..3) is set iff byte i equals the sign fill
+ * implied by byte i-1's MSB; such a byte need not be stored. The
+ * returned mask has a 1 for every byte that must be stored.
+ *
+ * Branchless, bit-parallel: build the word whose bytes 1..3 are the
+ * sign fills implied by the byte below (MSBs isolated, smeared
+ * across each byte by a 0xFF multiply, shifted up one byte), XOR
+ * against @p v, and collapse each non-zero difference byte to its
+ * MSB with the carry-out trick. This runs on every operand of every
+ * retired instruction, so it is the hottest few instructions in the
+ * whole simulator.
+ *
+ * Examples from the paper:
+ *   0x00000004 -> 0b0001 ("eees")
+ *   0xFFFFF504 -> 0b0011 ("eess")
+ *   0x10000009 -> 0b1001 ("sees")
+ *   0xFFE70004 -> 0b0101 ("eses")
+ */
+constexpr ByteMask
+classifyExt3(Word v)
+{
+    // Byte i of `fill` (i = 1..3) is signFill(byte i-1 of v).
+    const Word fill = (((v & 0x00808080u) >> 7) * 0xFFu) << 8;
+    const Word diff = (v ^ fill) & 0xFFFFFF00u;
+    // MSB of each byte of `nz` set iff that byte of `diff` is non-zero.
+    const Word nz =
+        (((diff & 0x7F7F7F7Fu) + 0x7F7F7F7Fu) | diff) & 0x80808080u;
+    return static_cast<ByteMask>(0x1u | ((nz >> 14) & 0x2u) |
+                                 ((nz >> 21) & 0x4u) |
+                                 ((nz >> 28) & 0x8u));
+}
+
+/** Scalar reference for classifyExt2() (see classifyExt3Reference). */
+constexpr ByteMask
+classifyExt2Reference(Word v)
+{
+    unsigned k = 4;
+    for (unsigned i = 1; i < 4; ++i) {
+        if (signExtend(v, 8 * i) == v) {
+            k = i;
+            break;
+        }
+    }
+    return static_cast<ByteMask>((1u << k) - 1);
+}
+
+/**
  * Classify @p v under the 2-bit scheme (Ext2): only a contiguous
  * run of high-order sign-extension bytes can be dropped, so the mask
  * is always a low-order prefix (0b0001/0b0011/0b0111/0b1111).
+ * Branchless via the branchless significantBytes().
  */
 constexpr ByteMask
 classifyExt2(Word v)
@@ -70,15 +113,24 @@ classifyExt2(Word v)
     return static_cast<ByteMask>((1u << k) - 1);
 }
 
+/** Scalar reference for classifyHalf() (see classifyExt3Reference). */
+constexpr HalfMask
+classifyHalfReference(Word v)
+{
+    return static_cast<HalfMask>((signExtend(v, 16) == v) ? 0b01 : 0b11);
+}
+
 /**
  * Classify @p v at halfword granularity (1 extension bit): bit 1 of
  * the result is set iff the upper halfword is *not* the sign
- * extension of the lower one.
+ * extension of the lower one. Branchless (compiles to a single
+ * compare-and-set).
  */
 constexpr HalfMask
 classifyHalf(Word v)
 {
-    return static_cast<HalfMask>((significantHalves(v) == 2) ? 0b11 : 0b01);
+    return static_cast<HalfMask>(
+        0b01u | (unsigned{signExtend(v, 16) != v} << 1));
 }
 
 /** Number of represented bytes in a byte mask. */

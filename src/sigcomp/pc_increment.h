@@ -43,9 +43,13 @@ pcAnalyticActivityBits(unsigned block_bits)
     return static_cast<double>(block_bits) * pcAnalyticLatency(block_bits);
 }
 
-/** Number of b-bit blocks in which @p a and @p b differ. */
+/**
+ * Reference implementation of changedBlocks(): walks every block and
+ * compares the extracted fields. Kept as the specification for the
+ * sparse implementation below (equivalence-tested in test_sigcomp).
+ */
 constexpr unsigned
-changedBlocks(Word a, Word b, unsigned block_bits)
+changedBlocksReference(Word a, Word b, unsigned block_bits)
 {
     unsigned n = 0;
     const unsigned blocks = (32 + block_bits - 1) / block_bits;
@@ -59,9 +63,41 @@ changedBlocks(Word a, Word b, unsigned block_bits)
     return n;
 }
 
-/** Index (0-based) of the highest differing block, or -1 if equal. */
+/**
+ * Number of b-bit blocks with a set bit in the difference word @p x.
+ *
+ * Sparse: clears one whole changed block per loop iteration
+ * (countr_zero finds it). PC updates usually change a single low
+ * block, so this runs one or two iterations instead of scanning all
+ * ceil(32/b) blocks — and it executes 8 times per retired
+ * instruction in the PC profiler.
+ */
+constexpr unsigned
+changedBlocksXor(Word x, unsigned block_bits)
+{
+    unsigned n = 0;
+    while (x != 0) {
+        const unsigned lo =
+            (static_cast<unsigned>(std::countr_zero(x)) / block_bits) *
+            block_bits;
+        const unsigned len = (lo + block_bits <= 32) ? block_bits
+                                                     : 32 - lo;
+        x &= ~(((len >= 32) ? ~Word{0} : ((Word{1} << len) - 1)) << lo);
+        ++n;
+    }
+    return n;
+}
+
+/** Number of b-bit blocks in which @p a and @p b differ. */
+constexpr unsigned
+changedBlocks(Word a, Word b, unsigned block_bits)
+{
+    return changedBlocksXor(a ^ b, block_bits);
+}
+
+/** Reference implementation of highestChangedBlock() (see above). */
 constexpr int
-highestChangedBlock(Word a, Word b, unsigned block_bits)
+highestChangedBlockReference(Word a, Word b, unsigned block_bits)
 {
     const unsigned blocks = (32 + block_bits - 1) / block_bits;
     for (int i = static_cast<int>(blocks) - 1; i >= 0; --i) {
@@ -72,6 +108,20 @@ highestChangedBlock(Word a, Word b, unsigned block_bits)
             return i;
     }
     return -1;
+}
+
+/**
+ * Index (0-based) of the highest differing block, or -1 if equal.
+ * O(1): the highest differing bit's position names the block.
+ */
+constexpr int
+highestChangedBlock(Word a, Word b, unsigned block_bits)
+{
+    const Word x = a ^ b;
+    if (x == 0)
+        return -1;
+    return static_cast<int>(
+        static_cast<unsigned>(std::bit_width(x) - 1) / block_bits);
 }
 
 /**
@@ -93,15 +143,43 @@ class PcActivityAccumulator
     void
     update(Word old_pc, Word new_pc, bool redirect)
     {
+        updateXor(old_pc ^ new_pc, redirect);
+    }
+
+    /**
+     * update() with the pc difference word precomputed — the batched
+     * PC profiler computes it once per instruction and feeds all
+     * eight block-size accumulators from it.
+     */
+    void
+    updateXor(Word x, bool redirect)
+    {
+        applyUpdate(changedBlocksXor(x, blockBits_),
+                    redirect ? 1 : serialCyclesXor(x, blockBits_));
+    }
+
+    /** Serial-increment cycles for difference word @p x (pure). */
+    static constexpr Count
+    serialCyclesXor(Word x, unsigned block_bits)
+    {
+        if (x == 0)
+            return 1;
+        const unsigned hi =
+            static_cast<unsigned>(std::bit_width(x) - 1) / block_bits;
+        return static_cast<Count>(hi + 1);
+    }
+
+    /**
+     * updateXor() with its pure parts precomputed: the batched PC
+     * profiler memoises (changed blocks, cycles) per difference word
+     * — dynamic streams revisit very few distinct PC deltas.
+     */
+    void
+    applyUpdate(unsigned changed_blocks, Count cycles)
+    {
         ++updates_;
-        const unsigned changed = changedBlocks(old_pc, new_pc, blockBits_);
-        blocksChanged_ += changed;
-        if (redirect) {
-            cycles_ += 1;
-        } else {
-            const int hi = highestChangedBlock(old_pc, new_pc, blockBits_);
-            cycles_ += static_cast<Count>(hi < 0 ? 1 : hi + 1);
-        }
+        blocksChanged_ += changed_blocks;
+        cycles_ += cycles;
     }
 
     unsigned blockBits() const { return blockBits_; }

@@ -233,7 +233,9 @@ TEST(ParallelStudies, ActivityStudyBitIdenticalToSerial)
     suiteCompressor(); // exclude the one-time profiling pass from timing
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto serial = runActivityStudy(sig::Encoding::Ext3, 1);
+    const auto serial = runActivityStudy(
+        sig::Encoding::Ext3,
+        StudyOptions{.threads = 1, .useCache = false});
     const double serial_s = secondsSince(t0);
 
     const auto t1 = std::chrono::steady_clock::now();
@@ -260,7 +262,8 @@ TEST(ParallelStudies, CpiStudyBitIdenticalToSerial)
     const auto cfg = suiteConfig();
 
     const auto t0 = std::chrono::steady_clock::now();
-    const auto serial = runCpiStudy(designs, cfg, 1);
+    const auto serial = runCpiStudy(
+        designs, cfg, StudyOptions{.threads = 1, .useCache = false});
     const double serial_s = secondsSince(t0);
 
     const auto t1 = std::chrono::steady_clock::now();
@@ -280,7 +283,9 @@ TEST(ParallelStudies, CpiStudyBitIdenticalToSerial)
         // per-workload arithmetic must produce identical bits.
         EXPECT_EQ(parallel[i].cpi, serial[i].cpi);
         ASSERT_EQ(parallel[i].stalls.size(), serial[i].stalls.size());
-        for (const auto &[design, st] : serial[i].stalls) {
+        for (Design design : designs) {
+            ASSERT_TRUE(serial[i].stalls.contains(design));
+            const auto &st = serial[i].stalls.at(design);
             const auto &pst = parallel[i].stalls.at(design);
             EXPECT_EQ(pst.controlCycles, st.controlCycles);
             EXPECT_EQ(pst.dataHazardCycles, st.dataHazardCycles);
@@ -297,7 +302,8 @@ TEST(ParallelStudies, ProfileSuiteReplayMatchesDirectSinking)
     // in exactly the state the direct serial stream produces.
     InstrMixProfiler serial_mix;
     PatternProfiler serial_pat;
-    profileSuite({&serial_mix, &serial_pat}, 1);
+    profileSuite({&serial_mix, &serial_pat},
+                 StudyOptions{.threads = 1, .useCache = false});
 
     InstrMixProfiler par_mix;
     PatternProfiler par_pat;

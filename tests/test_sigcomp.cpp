@@ -605,5 +605,99 @@ TEST(PcIncrement, SequentialPcSavingIsLarge)
     EXPECT_LT(saving, 76.0);
 }
 
+// ------------------------- branchless classification equivalence ------
+//
+// The classifiers run on every operand of every retired instruction,
+// so they are bit-parallel/branchless; the scalar reference
+// implementations are the specification. Exhaustive over a byte
+// alphabet chosen to cover every sign-fill boundary case (all
+// 16^4 = 65536 byte combinations), plus a large randomized sweep.
+
+/** Bytes covering sign-fill edges: 0x00/0xFF fills, MSB boundaries. */
+constexpr std::array<Byte, 16> kEdgeBytes = {
+    0x00, 0x01, 0x02, 0x7e, 0x7f, 0x80, 0x81, 0xaa,
+    0x55, 0xc0, 0xe7, 0xf5, 0xfe, 0xff, 0x10, 0x08};
+
+template <typename Fn>
+void
+forEachEdgeWord(Fn &&fn)
+{
+    for (Byte b3 : kEdgeBytes)
+        for (Byte b2 : kEdgeBytes)
+            for (Byte b1 : kEdgeBytes)
+                for (Byte b0 : kEdgeBytes) {
+                    const Word v = (Word{b3} << 24) | (Word{b2} << 16) |
+                                   (Word{b1} << 8) | Word{b0};
+                    fn(v);
+                }
+}
+
+void
+expectAllClassifiersMatch(Word v)
+{
+    ASSERT_EQ(classifyExt3(v), classifyExt3Reference(v))
+        << std::hex << v;
+    ASSERT_EQ(classifyExt2(v), classifyExt2Reference(v))
+        << std::hex << v;
+    ASSERT_EQ(classifyHalf(v), classifyHalfReference(v))
+        << std::hex << v;
+}
+
+TEST(BranchlessClassify, ExhaustiveOverSignFillEdgeBytes)
+{
+    forEachEdgeWord([](Word v) { expectAllClassifiersMatch(v); });
+}
+
+TEST(BranchlessClassify, RandomizedSweepMatchesReference)
+{
+    Rng rng(0xc1a551f7u);
+    for (int i = 0; i < 2'000'000; ++i)
+        expectAllClassifiersMatch(rng.next32());
+}
+
+TEST(BranchlessClassify, ConstexprAndKnownValues)
+{
+    // The branchless forms stay constexpr (compile-time evaluated).
+    static_assert(classifyExt3(0x00000004) == 0b0001);
+    static_assert(classifyExt3(0xfffff504) == 0b0011);
+    static_assert(classifyExt3(0x10000009) == 0b1001);
+    static_assert(classifyExt3(0xffe70004) == 0b0101);
+    static_assert(classifyExt2(0xffffff80) == 0b0001);
+    static_assert(classifyExt2(0x00008000) == 0b0111);
+    static_assert(classifyHalf(0x00007fff) == 0b01);
+    static_assert(classifyHalf(0x00008000) == 0b11);
+    static_assert(significantBytes(0xffffffff) == 1);
+    static_assert(significantBytes(0x00000080) == 2);
+    static_assert(significantHalves(0xffff8000) == 1);
+    SUCCEED();
+}
+
+TEST(BranchlessPcBlocks, ChangedBlocksMatchesReference)
+{
+    Rng rng(0xb10c5);
+    for (int i = 0; i < 200'000; ++i) {
+        // Mix far-apart pairs with near pairs (the common PC case).
+        const Word a = rng.next32();
+        const Word b = (i % 3 == 0) ? rng.next32()
+                                    : a + 4 * (rng.next32() % 64);
+        for (unsigned bits = 1; bits <= 8; ++bits) {
+            ASSERT_EQ(changedBlocks(a, b, bits),
+                      changedBlocksReference(a, b, bits))
+                << std::hex << a << " " << b << " bits " << bits;
+            ASSERT_EQ(highestChangedBlock(a, b, bits),
+                      highestChangedBlockReference(a, b, bits))
+                << std::hex << a << " " << b << " bits " << bits;
+        }
+    }
+    // Odd block sizes that do not divide 32 get a short top block.
+    for (unsigned bits : {3u, 5u, 6u, 7u, 12u, 31u}) {
+        EXPECT_EQ(changedBlocks(0, 0x80000000u, bits),
+                  changedBlocksReference(0, 0x80000000u, bits)) << bits;
+        EXPECT_EQ(highestChangedBlock(0, 0x80000000u, bits),
+                  highestChangedBlockReference(0, 0x80000000u, bits))
+            << bits;
+    }
+}
+
 } // namespace
 } // namespace sigcomp::sig

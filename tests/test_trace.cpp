@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Trace capture/replay engine tests: the TraceBuffer SoA round-trip
+ * is field-exact, the TraceCache captures each workload exactly once
+ * under concurrency, and cached batched replay is bit-identical to
+ * direct execution for every study type across all three encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/profilers.h"
+#include "analysis/trace_cache.h"
+#include "cpu/functional_core.h"
+#include "cpu/trace_buffer.h"
+#include "pipeline/runner.h"
+#include "workloads/workload.h"
+
+namespace sigcomp
+{
+namespace
+{
+
+using analysis::StudyOptions;
+using analysis::TraceCache;
+using pipeline::Design;
+
+/** Collect every retired instruction by value (fields, not pointers). */
+class CollectSink : public cpu::TraceSink
+{
+  public:
+    void
+    retire(const cpu::DynInstr &di) override
+    {
+        instrs.push_back(di);
+    }
+
+    std::vector<cpu::DynInstr> instrs;
+};
+
+void
+expectSameDynInstr(const cpu::DynInstr &a, const cpu::DynInstr &b,
+                   std::size_t i)
+{
+    ASSERT_NE(a.dec, nullptr);
+    ASSERT_NE(b.dec, nullptr);
+    EXPECT_EQ(a.pc, b.pc) << "instr " << i;
+    // dec pointers differ (core's cache vs buffer's cache) but must
+    // name the same static instruction.
+    EXPECT_EQ(a.dec->inst.raw(), b.dec->inst.raw()) << "instr " << i;
+    EXPECT_EQ(a.srcRs, b.srcRs) << "instr " << i;
+    EXPECT_EQ(a.srcRt, b.srcRt) << "instr " << i;
+    EXPECT_EQ(a.result, b.result) << "instr " << i;
+    EXPECT_EQ(a.memAddr, b.memAddr) << "instr " << i;
+    EXPECT_EQ(a.memData, b.memData) << "instr " << i;
+    EXPECT_EQ(a.taken, b.taken) << "instr " << i;
+    EXPECT_EQ(a.nextPc, b.nextPc) << "instr " << i;
+}
+
+TEST(TraceBuffer, ReplayIsFieldExact)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+
+    // Keep the core alive while comparing: the collected DynInstrs
+    // point into its decode cache.
+    mem::MainMemory memory;
+    cpu::FunctionalCore core(w.program, memory);
+    CollectSink direct;
+    core.run(&direct);
+
+    const cpu::TraceBuffer trace = cpu::TraceBuffer::capture(w.program);
+    ASSERT_EQ(trace.size(), direct.instrs.size());
+    EXPECT_EQ(trace.runResult().instructions, direct.instrs.size());
+
+    CollectSink replayed;
+    cpu::TraceView(trace).replay(replayed);
+    ASSERT_EQ(replayed.instrs.size(), direct.instrs.size());
+    for (std::size_t i = 0; i < direct.instrs.size(); ++i)
+        expectSameDynInstr(replayed.instrs[i], direct.instrs[i], i);
+}
+
+TEST(TraceBuffer, BlockSizeDoesNotChangeTheStream)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer trace = cpu::TraceBuffer::capture(w.program);
+
+    CollectSink big;
+    cpu::TraceView(trace).replay(big, 1u << 20);
+    CollectSink tiny;
+    cpu::TraceView(trace).replay(tiny, 7);
+
+    ASSERT_EQ(big.instrs.size(), tiny.instrs.size());
+    for (std::size_t i = 0; i < big.instrs.size(); ++i)
+        expectSameDynInstr(tiny.instrs[i], big.instrs[i], i);
+}
+
+TEST(TraceBuffer, TruncatedCaptureReplaysThatManyInstructions)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer trace =
+        cpu::TraceBuffer::capture(w.program, 1000, true);
+    EXPECT_TRUE(trace.truncated());
+    EXPECT_EQ(trace.size(), 1000u);
+
+    CollectSink sink;
+    cpu::TraceView(trace).replay(sink);
+    EXPECT_EQ(sink.instrs.size(), 1000u);
+}
+
+TEST(TraceBuffer, SoAIsSmallerThanArrayOfStructs)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer trace = cpu::TraceBuffer::capture(w.program);
+    // The packed arrays must undercut a plain vector<DynInstr> by a
+    // wide margin (that is the point of the SoA layout).
+    EXPECT_LT(trace.memoryBytes(),
+              trace.size() * sizeof(cpu::DynInstr) * 3 / 4);
+}
+
+TEST(TraceBuffer, ReplayedPipelineMatchesLiveRun)
+{
+    // One pipeline fed live vs one fed from the trace with its own
+    // replayed memory image: every result field must match bit for
+    // bit, including the activity bits sampled from memory at cache
+    // fill time (the evolving-memory reconstruction).
+    const workloads::Workload w = workloads::Suite::build("cjpeg");
+    const auto cfg = analysis::suiteConfig();
+
+    auto live = pipeline::makePipeline(Design::ByteSerial, cfg);
+    pipeline::runPipelines(w.program, {live.get()});
+    const pipeline::PipelineResult lr = live->result();
+
+    const cpu::TraceBuffer trace = cpu::TraceBuffer::capture(w.program);
+    auto replay = pipeline::makePipeline(Design::ByteSerial, cfg);
+    pipeline::replayPipelines(trace, {replay.get()});
+    const pipeline::PipelineResult rr = replay->result();
+
+    EXPECT_EQ(rr.instructions, lr.instructions);
+    EXPECT_EQ(rr.cycles, lr.cycles);
+    EXPECT_EQ(rr.stalls, lr.stalls);
+    EXPECT_EQ(rr.activity.dcData.compressed, lr.activity.dcData.compressed);
+    EXPECT_EQ(rr.activity.dcData.baseline, lr.activity.dcData.baseline);
+    EXPECT_EQ(rr.activity.fetch.compressed, lr.activity.fetch.compressed);
+    EXPECT_EQ(rr.activity.latch.compressed, lr.activity.latch.compressed);
+    EXPECT_EQ(rr.l1d.misses(), lr.l1d.misses());
+    EXPECT_EQ(rr.l2.misses(), lr.l2.misses());
+}
+
+// ---- TraceCache ------------------------------------------------------
+
+TEST(TraceCache, ConcurrentFirstTouchCapturesOnce)
+{
+    TraceCache cache;
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic"};
+    constexpr unsigned kThreads = 8;
+
+    std::vector<std::thread> threads;
+    std::vector<TraceCache::TracePtr> seen(kThreads * names.size());
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (std::size_t n = 0; n < names.size(); ++n)
+                seen[t * names.size() + n] = cache.get(names[n]);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    // Exactly one functional pass per workload, all callers sharing
+    // the same buffer.
+    EXPECT_EQ(cache.captures(), names.size());
+    for (unsigned t = 1; t < kThreads; ++t) {
+        for (std::size_t n = 0; n < names.size(); ++n)
+            EXPECT_EQ(seen[t * names.size() + n], seen[n]);
+    }
+}
+
+TEST(TraceCache, EvictForcesRecaptureButKeepsSharedBuffersAlive)
+{
+    TraceCache cache;
+    const TraceCache::TracePtr first = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_TRUE(cache.contains("rawcaudio"));
+
+    cache.evict("rawcaudio");
+    EXPECT_FALSE(cache.contains("rawcaudio"));
+    // The evicted buffer stays valid for holders.
+    EXPECT_GT(first->size(), 0u);
+
+    const TraceCache::TracePtr second = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 2u);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(first->size(), second->size());
+}
+
+TEST(TraceCache, CaptureLimitProducesTruncatedTraces)
+{
+    TraceCache cache;
+    cache.setCaptureLimit(500);
+    const TraceCache::TracePtr t = cache.get("rawcaudio");
+    EXPECT_TRUE(t->truncated());
+    EXPECT_EQ(t->size(), 500u);
+}
+
+TEST(TraceCache, MemoryBytesTracksCachedTraces)
+{
+    TraceCache cache;
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+    cache.get("rawcaudio");
+    const std::size_t one = cache.memoryBytes();
+    EXPECT_GT(one, 0u);
+    cache.get("rawdaudio");
+    EXPECT_GT(cache.memoryBytes(), one);
+    cache.clear();
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+}
+
+// ---- simulate-once across whole studies ------------------------------
+
+TEST(SimulateOnce, ThreeStudiesShareOneFunctionalPassPerWorkload)
+{
+    // The acceptance property: a process running an activity study,
+    // a CPI study, and a profiling pass performs exactly one
+    // functional simulation per workload.
+    analysis::suiteCompressor(); // profiling pass (captures on miss)
+    TraceCache &cache = TraceCache::global();
+    cache.clear();
+    const std::uint64_t before = cache.captures();
+
+    const auto activity = analysis::runActivityStudy(sig::Encoding::Ext3);
+    const auto cpi = analysis::runCpiStudy(
+        {Design::Baseline32, Design::ByteSerial}, analysis::suiteConfig());
+    analysis::PatternProfiler pat;
+    analysis::profileSuite({&pat});
+
+    EXPECT_EQ(cache.captures() - before,
+              workloads::Suite::names().size());
+    EXPECT_EQ(activity.size(), workloads::Suite::names().size());
+    EXPECT_EQ(cpi.size(), workloads::Suite::names().size());
+    EXPECT_GT(pat.patterns().total(), 0u);
+}
+
+TEST(SimulateOnce, EvictAfterReplayRestoresTailOffBehaviour)
+{
+    TraceCache &cache = TraceCache::global();
+    cache.clear();
+    const std::uint64_t before = cache.captures();
+
+    analysis::InstrMixProfiler mix;
+    analysis::profileSuite({&mix},
+                           StudyOptions{.evictAfterReplay = true});
+    // One capture each, nothing retained afterwards.
+    EXPECT_EQ(cache.captures() - before,
+              workloads::Suite::names().size());
+    for (const std::string &name : workloads::Suite::names())
+        EXPECT_FALSE(cache.contains(name)) << name;
+    EXPECT_EQ(cache.memoryBytes(), 0u);
+
+    // A later study recaptures from scratch.
+    analysis::InstrMixProfiler mix2;
+    analysis::profileSuite({&mix2});
+    EXPECT_EQ(cache.captures() - before,
+              2 * workloads::Suite::names().size());
+    EXPECT_EQ(mix2.meanFetchBytes(), mix.meanFetchBytes());
+}
+
+// ---- bit-identity: cached replay vs direct execution -----------------
+
+void
+expectSameBits(const pipeline::BitPair &a, const pipeline::BitPair &b,
+               const char *what)
+{
+    EXPECT_EQ(a.compressed, b.compressed) << what;
+    EXPECT_EQ(a.baseline, b.baseline) << what;
+}
+
+void
+expectSameActivity(const pipeline::ActivityTotals &a,
+                   const pipeline::ActivityTotals &b)
+{
+    expectSameBits(a.fetch, b.fetch, "fetch");
+    expectSameBits(a.rfRead, b.rfRead, "rfRead");
+    expectSameBits(a.rfWrite, b.rfWrite, "rfWrite");
+    expectSameBits(a.alu, b.alu, "alu");
+    expectSameBits(a.dcData, b.dcData, "dcData");
+    expectSameBits(a.dcTag, b.dcTag, "dcTag");
+    expectSameBits(a.pcInc, b.pcInc, "pcInc");
+    expectSameBits(a.latch, b.latch, "latch");
+}
+
+class BitIdentityAcrossEncodings
+    : public ::testing::TestWithParam<sig::Encoding>
+{
+};
+
+TEST_P(BitIdentityAcrossEncodings, ActivityStudy)
+{
+    const sig::Encoding enc = GetParam();
+    const auto direct = analysis::runActivityStudy(
+        enc, StudyOptions{.threads = 1, .useCache = false});
+    const auto cached_serial = analysis::runActivityStudy(
+        enc, StudyOptions{.threads = 1, .useCache = true});
+    const auto cached_parallel = analysis::runActivityStudy(
+        enc, StudyOptions{.threads = 4, .useCache = true});
+
+    ASSERT_EQ(cached_serial.size(), direct.size());
+    ASSERT_EQ(cached_parallel.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(cached_serial[i].benchmark, direct[i].benchmark);
+        expectSameActivity(cached_serial[i].activity, direct[i].activity);
+        expectSameActivity(cached_parallel[i].activity,
+                           direct[i].activity);
+    }
+}
+
+TEST_P(BitIdentityAcrossEncodings, CpiStudy)
+{
+    const sig::Encoding enc = GetParam();
+    const auto designs = pipeline::allDesigns();
+    const auto cfg = analysis::suiteConfig(enc);
+
+    const auto direct = analysis::runCpiStudy(
+        designs, cfg, StudyOptions{.threads = 1, .useCache = false});
+    const auto cached = analysis::runCpiStudy(
+        designs, cfg, StudyOptions{.threads = 4, .useCache = true});
+
+    ASSERT_EQ(cached.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(cached[i].benchmark, direct[i].benchmark);
+        EXPECT_TRUE(cached[i].cpi == direct[i].cpi) << direct[i].benchmark;
+        EXPECT_TRUE(cached[i].stalls == direct[i].stalls)
+            << direct[i].benchmark;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, BitIdentityAcrossEncodings,
+                         ::testing::Values(sig::Encoding::Ext2,
+                                           sig::Encoding::Ext3,
+                                           sig::Encoding::Half1),
+                         [](const auto &info) {
+                             return sig::encodingName(info.param);
+                         });
+
+TEST(BitIdentity, ProfilersMatchDirectExecution)
+{
+    analysis::PatternProfiler d_pat;
+    analysis::InstrMixProfiler d_mix;
+    analysis::PcProfiler d_pc;
+    analysis::profileSuite({&d_pat, &d_mix, &d_pc},
+                           StudyOptions{.threads = 1, .useCache = false});
+
+    analysis::PatternProfiler c_pat;
+    analysis::InstrMixProfiler c_mix;
+    analysis::PcProfiler c_pc;
+    analysis::profileSuite({&c_pat, &c_mix, &c_pc});
+
+    EXPECT_EQ(c_pat.patterns().raw(), d_pat.patterns().raw());
+    EXPECT_EQ(c_pat.meanSignificantBytes(), d_pat.meanSignificantBytes());
+    EXPECT_EQ(c_mix.functFreq().raw(), d_mix.functFreq().raw());
+    EXPECT_EQ(c_mix.total(), d_mix.total());
+    EXPECT_EQ(c_mix.meanFetchBytes(), d_mix.meanFetchBytes());
+    EXPECT_EQ(c_mix.shortImmediateFraction(),
+              d_mix.shortImmediateFraction());
+    EXPECT_EQ(c_mix.additionFraction(), d_mix.additionFraction());
+    for (unsigned b = 1; b <= 8; ++b) {
+        EXPECT_EQ(c_pc.forBlockBits(b).activityBits(),
+                  d_pc.forBlockBits(b).activityBits());
+        EXPECT_EQ(c_pc.forBlockBits(b).cycles(),
+                  d_pc.forBlockBits(b).cycles());
+        EXPECT_EQ(c_pc.forBlockBits(b).updates(),
+                  d_pc.forBlockBits(b).updates());
+    }
+}
+
+} // namespace
+} // namespace sigcomp
