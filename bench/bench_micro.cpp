@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "cpu/functional_core.h"
 #include "mem/cache.h"
+#include "mem/hierarchy.h"
 #include "pipeline/runner.h"
 #include "sigcomp/compressed_word.h"
 #include "sigcomp/instr_compress.h"
@@ -214,6 +215,39 @@ BM_CacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccess);
+
+/**
+ * Sequential instruction fetch: 8 word fetches per 32-byte line, so
+ * ~87% of calls take MemoryHierarchy's same-line fast path (memoized
+ * line/TLB slots, no set scans). Contrast with the strided variant
+ * below, which changes line every fetch and never takes it — the
+ * per-call gap is the fast path's win on the fetch-dominated replay
+ * loop.
+ */
+void
+BM_InstrFetchSequential(benchmark::State &state)
+{
+    mem::MemoryHierarchy h;
+    Addr pc = 0x00400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.instrFetch(pc));
+        pc = 0x00400000 + ((pc + 4) & 0x1fff);
+    }
+}
+BENCHMARK(BM_InstrFetchSequential);
+
+/** Line-crossing fetch stream: defeats the same-line memo. */
+void
+BM_InstrFetchStrided(benchmark::State &state)
+{
+    mem::MemoryHierarchy h;
+    Addr pc = 0x00400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.instrFetch(pc));
+        pc = 0x00400000 + ((pc + 32) & 0x1fff);
+    }
+}
+BENCHMARK(BM_InstrFetchStrided);
 
 void
 BM_FunctionalExecution(benchmark::State &state)

@@ -1,25 +1,36 @@
 /**
  * @file
  * Suite-level performance baseline for the trace capture/replay
- * engine: times capture vs cached replay and the full multi-study
- * driver against the pre-cache (re-simulate-per-study) engine, and
- * writes BENCH_suite.json so the perf trajectory is tracked across
- * PRs (schema documented in README "Benchmarking the engine").
+ * engine and its persistent store tier: times capture vs cached
+ * replay vs store replay and the full multi-study driver against the
+ * pre-cache (re-simulate-per-study) engine, and writes
+ * BENCH_suite.json so the perf trajectory is tracked across PRs
+ * (schema documented in README "Benchmarking the engine").
  *
  * Usage:
- *   bench_suite_timing [--threads N] [--max-instrs N]
- *                      [--out PATH] [--check]
+ *   bench_suite_timing [--threads N[,N...]] [--max-instrs N]
+ *                      [--out PATH] [--store DIR] [--no-store]
+ *                      [--check]
  *
- *   --threads N     workload-level parallelism (default 1: stable,
- *                   comparable numbers; 0 = all cores)
+ *   --threads N[,N...] workload-level parallelism; a comma list
+ *                   sweeps thread counts, emitting one record per
+ *                   count (default 1: stable, comparable numbers;
+ *                   0 = all cores)
  *   --max-instrs N  cap each workload's capture at N instructions
  *                   (CI smoke mode; truncated traces replay fine,
  *                   but the multi-study phases need full traces and
  *                   are skipped)
  *   --out PATH      where to write the JSON (default
  *                   BENCH_suite.json in the working directory)
+ *   --store DIR     store directory for the cold-store vs warm-store
+ *                   phases (default `bench-store`, a scratch dir —
+ *                   its segments are WIPED each cold repetition, so
+ *                   never point it at a prewarmed persistent store
+ *                   you want to keep)
+ *   --no-store      skip the store phases entirely
  *   --check         exit non-zero unless cached replay beats
- *                   recapture (the CI regression gate)
+ *                   recapture AND warm-store replay beats recapture
+ *                   (the CI regression gates)
  */
 
 #include <chrono>
@@ -34,6 +45,7 @@
 #include "analysis/trace_cache.h"
 #include "bench/bench_util.h"
 #include "common/parallel.h"
+#include "store/trace_store.h"
 #include "workloads/workload.h"
 
 namespace
@@ -64,6 +76,26 @@ struct Phase
         return wallMs > 0.0
                    ? static_cast<double>(instructions) / (wallMs * 1e3)
                    : 0.0;
+    }
+};
+
+/** One record of the sweep: all phases at one thread count. */
+struct Run
+{
+    unsigned threads = 0;
+    std::vector<Phase> phases;
+    double multiSpeedup = 0.0;
+    bool replayFaster = false;
+    bool storeReplayFaster = false;
+    bool hasStore = false;
+
+    const Phase *
+    find(const std::string &name) const
+    {
+        for (const Phase &p : phases)
+            if (p.name == name)
+                return &p;
+        return nullptr;
     }
 };
 
@@ -124,9 +156,131 @@ runMultiStudy(const StudyOptions &opt)
 }
 
 void
-writeJson(const std::string &path, unsigned threads, DWord max_instrs,
-          DWord suite_instrs, const std::vector<Phase> &phases,
-          double multi_speedup, bool replay_faster)
+runProfilers(const StudyOptions &opt)
+{
+    analysis::PatternProfiler pat;
+    analysis::InstrMixProfiler mix;
+    analysis::PcProfiler pc;
+    analysis::profileSuite({&pat, &mix, &pc}, opt);
+}
+
+/** One thread-count's worth of phases. */
+Run
+runAtThreads(unsigned threads, DWord max_instrs,
+             const std::string &store_dir)
+{
+    TraceCache &cache = TraceCache::global();
+    const std::vector<std::string> &names = workloads::Suite::names();
+    ParallelExecutor exec(threads == 0 ? 0 : threads);
+
+    Run run;
+    run.threads = exec.threadCount();
+    std::printf("\nthreads=%u%s\n\n", exec.threadCount(),
+                max_instrs ? " (capped capture)" : "");
+
+    constexpr int kReps = 3;
+
+    // Phase 1: cold capture — one functional pass per workload,
+    // fanned out across the executor.
+    Phase capture = timePhase(
+        "capture", 0, kReps, [&] { cache.clear(); },
+        [&] { cache.prewarm(names, exec); });
+    const DWord suite_instrs = cachedSuiteInstructions();
+    capture.instructions = suite_instrs;
+    run.phases.push_back(capture);
+
+    // Phase 2: cached replay — the suite's whole retirement stream
+    // through the three characterisation profilers, no simulation.
+    run.phases.push_back(timePhase(
+        "cached_replay_profilers", suite_instrs, kReps, [] {},
+        [&] { runProfilers(StudyOptions{.threads = threads}); }));
+
+    // Phase 3: recapture — what the same profiling pass costs when
+    // the trace has to be captured again (cache cold).
+    run.phases.push_back(timePhase(
+        "recapture_profilers", suite_instrs, kReps,
+        [&] { cache.clear(); },
+        [&] { runProfilers(StudyOptions{.threads = threads}); }));
+
+    // Phases 4/5: the persistent store tier. Cold store = capture
+    // plus significance-compressed write-through; warm store = a
+    // cold *process* riding the segments (RAM tier dropped, every
+    // trace streamed back off disk, zero functional simulation).
+    if (!store_dir.empty()) {
+        run.hasStore = true;
+        StudyOptions store_opt;
+        store_opt.threads = threads;
+        store_opt.storeDir = store_dir;
+
+        run.phases.push_back(timePhase(
+            "store_cold_capture_save", suite_instrs, kReps,
+            [&] {
+                cache.clear();
+                const store::TraceStore ts(store_dir);
+                for (const std::string &name : ts.list())
+                    ts.remove(name);
+            },
+            [&] { runProfilers(store_opt); }));
+
+        run.phases.push_back(timePhase(
+            "store_warm_load_replay", suite_instrs, kReps,
+            [&] { cache.clear(); },
+            [&] { runProfilers(store_opt); }));
+
+        // Detach so later phases/records measure the RAM-only tiers.
+        cache.configureStore({});
+    }
+
+    // Phases 6/7: the acceptance driver — activity study + CPI study
+    // + profiling pass in one process, pre-cache engine (re-simulate
+    // per study) vs trace-cache engine (capture once, replay). Both
+    // start from a cold cache every repetition. Needs full traces:
+    // skipped in capped smoke runs.
+    if (max_instrs == 0) {
+        constexpr int kStudyReps = 5;
+        const Phase precache = timePhase(
+            "multi_study_precache", 3 * suite_instrs, kStudyReps, [] {},
+            [&] {
+                runMultiStudy(
+                    StudyOptions{.threads = threads, .useCache = false});
+            });
+        run.phases.push_back(precache);
+
+        const Phase cached = timePhase(
+            "multi_study_cached", suite_instrs, kStudyReps,
+            [&] { cache.clear(); },
+            [&] {
+                runMultiStudy(
+                    StudyOptions{.threads = threads, .useCache = true});
+            });
+        run.phases.push_back(cached);
+
+        run.multiSpeedup = precache.wallMs / cached.wallMs;
+        std::printf("\n  multi-study speedup: %.2fx "
+                    "(one functional pass instead of three, "
+                    "shared-quanta batched replay)\n",
+                    run.multiSpeedup);
+    }
+
+    const Phase *replay = run.find("cached_replay_profilers");
+    const Phase *recap = run.find("recapture_profilers");
+    run.replayFaster = replay->wallMs < recap->wallMs;
+    std::printf("  cached replay vs recapture: %.1f ms vs %.1f ms (%s)\n",
+                replay->wallMs, recap->wallMs,
+                run.replayFaster ? "faster" : "SLOWER");
+    if (const Phase *warm = run.find("store_warm_load_replay")) {
+        run.storeReplayFaster = warm->wallMs < recap->wallMs;
+        std::printf("  warm-store replay vs recapture: %.1f ms vs "
+                    "%.1f ms (%s)\n",
+                    warm->wallMs, recap->wallMs,
+                    run.storeReplayFaster ? "faster" : "SLOWER");
+    }
+    return run;
+}
+
+void
+writeJson(const std::string &path, DWord max_instrs, DWord suite_instrs,
+          const std::string &store_dir, const std::vector<Run> &runs)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -134,33 +288,82 @@ writeJson(const std::string &path, unsigned threads, DWord max_instrs,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v1\",\n");
-    std::fprintf(f, "  \"threads\": %u,\n", threads);
+    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v2\",\n");
     std::fprintf(f, "  \"max_instrs\": %llu,\n",
                  static_cast<unsigned long long>(max_instrs));
     std::fprintf(f, "  \"suite_instructions\": %llu,\n",
                  static_cast<unsigned long long>(suite_instrs));
-    std::fprintf(f, "  \"phases\": [\n");
-    for (std::size_t i = 0; i < phases.size(); ++i) {
-        const Phase &p = phases[i];
-        std::fprintf(f,
-                     "    {\"name\": \"%s\", \"wall_ms\": %.3f, "
-                     "\"instructions\": %llu, "
-                     "\"instr_per_sec\": %.0f}%s\n",
-                     p.name.c_str(), p.wallMs,
-                     static_cast<unsigned long long>(p.instructions),
-                     p.mips() * 1e6, i + 1 < phases.size() ? "," : "");
+
+    // Per-column compression ratios of the store the runs populated.
+    if (!store_dir.empty()) {
+        const store::StoreStats stats = store::aggregateStats(
+            store::TraceStore(store_dir, /*read_only=*/true));
+        std::fprintf(f, "  \"store\": {\n");
+        std::fprintf(f, "    \"dir\": \"%s\",\n", store_dir.c_str());
+        std::fprintf(f, "    \"segments\": %zu,\n", stats.segments);
+        std::fprintf(f, "    \"file_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(stats.fileBytes));
+        std::fprintf(f, "    \"total_ratio\": %.3f,\n",
+                     stats.totalRatio());
+        std::fprintf(f, "    \"columns\": [\n");
+        store::writeColumnsJson(f, stats.columns, "      ");
+        std::fprintf(f, "    ]\n  },\n");
     }
-    std::fprintf(f, "  ],\n");
-    if (multi_speedup > 0.0) {
-        std::fprintf(f, "  \"multi_study_speedup\": %.2f,\n",
-                     multi_speedup);
+
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const Run &run = runs[r];
+        std::fprintf(f, "    {\n      \"threads\": %u,\n", run.threads);
+        std::fprintf(f, "      \"phases\": [\n");
+        for (std::size_t i = 0; i < run.phases.size(); ++i) {
+            const Phase &p = run.phases[i];
+            std::fprintf(f,
+                         "        {\"name\": \"%s\", \"wall_ms\": %.3f, "
+                         "\"instructions\": %llu, "
+                         "\"instr_per_sec\": %.0f}%s\n",
+                         p.name.c_str(), p.wallMs,
+                         static_cast<unsigned long long>(p.instructions),
+                         p.mips() * 1e6,
+                         i + 1 < run.phases.size() ? "," : "");
+        }
+        std::fprintf(f, "      ],\n");
+        if (run.multiSpeedup > 0.0) {
+            std::fprintf(f, "      \"multi_study_speedup\": %.2f,\n",
+                         run.multiSpeedup);
+        }
+        if (run.hasStore) {
+            std::fprintf(f, "      \"store_replay_faster\": %s,\n",
+                         run.storeReplayFaster ? "true" : "false");
+        }
+        std::fprintf(f, "      \"cached_replay_faster\": %s\n    }%s\n",
+                     run.replayFaster ? "true" : "false",
+                     r + 1 < runs.size() ? "," : "");
     }
-    std::fprintf(f, "  \"cached_replay_faster\": %s\n",
-                 replay_faster ? "true" : "false");
-    std::fprintf(f, "}\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());
+}
+
+std::vector<unsigned>
+parseThreadList(const char *arg)
+{
+    std::vector<unsigned> out;
+    std::string cur;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(
+                    static_cast<unsigned>(std::atoi(cur.c_str())));
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur.push_back(*p);
+        }
+    }
+    if (out.empty())
+        out.push_back(1);
+    return out;
 }
 
 } // namespace
@@ -168,9 +371,14 @@ writeJson(const std::string &path, unsigned threads, DWord max_instrs,
 int
 main(int argc, char **argv)
 {
-    unsigned threads = 1;
+    std::vector<unsigned> thread_list = {1};
     DWord max_instrs = 0; // 0 = uncapped
     std::string out = "BENCH_suite.json";
+    // Scratch directory by default: the cold-store phase deletes
+    // every segment in it each repetition, which must never destroy
+    // a prewarmed persistent store (point --store at one only to
+    // deliberately rebenchmark it).
+    std::string store_dir = "bench-store";
     bool check = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -184,11 +392,15 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--threads")
-            threads = static_cast<unsigned>(std::atoi(next()));
+            thread_list = parseThreadList(next());
         else if (arg == "--max-instrs")
             max_instrs = static_cast<DWord>(std::atoll(next()));
         else if (arg == "--out")
             out = next();
+        else if (arg == "--store")
+            store_dir = next();
+        else if (arg == "--no-store")
+            store_dir.clear();
         else if (arg == "--check")
             check = true;
         else {
@@ -197,9 +409,9 @@ main(int argc, char **argv)
         }
     }
 
-    bench::banner("suite timing: trace capture vs cached replay",
+    bench::banner("suite timing: capture vs cached replay vs trace store",
                   "engine baseline (no paper figure); "
-                  "simulate-once architecture");
+                  "simulate-once architecture + persistent store tier");
 
     TraceCache &cache = TraceCache::global();
     if (max_instrs != 0)
@@ -210,96 +422,30 @@ main(int argc, char **argv)
     analysis::suiteCompressor();
     cache.clear();
 
-    const std::vector<std::string> &names = workloads::Suite::names();
-    ParallelExecutor exec(threads == 0 ? 0 : threads);
-    std::vector<Phase> phases;
-    std::printf("\nthreads=%u%s\n\n", exec.threadCount(),
-                max_instrs ? " (capped capture)" : "");
+    std::vector<Run> runs;
+    for (const unsigned threads : thread_list)
+        runs.push_back(runAtThreads(threads, max_instrs, store_dir));
 
-    constexpr int kReps = 3;
+    const DWord suite_instrs = runs.front().phases.front().instructions;
+    writeJson(out, max_instrs, suite_instrs, store_dir, runs);
 
-    // Phase 1: cold capture — one functional pass per workload,
-    // fanned out across the executor.
-    Phase capture = timePhase(
-        "capture", 0, kReps, [&] { cache.clear(); },
-        [&] { cache.prewarm(names, exec); });
-    const DWord suite_instrs = cachedSuiteInstructions();
-    capture.instructions = suite_instrs;
-    phases.push_back(capture);
-
-    // Phase 2: cached replay — the suite's whole retirement stream
-    // through the three characterisation profilers, no simulation.
-    Phase replay = timePhase(
-        "cached_replay_profilers", suite_instrs, kReps, [] {},
-        [&] {
-            analysis::PatternProfiler pat;
-            analysis::InstrMixProfiler mix;
-            analysis::PcProfiler pc;
-            analysis::profileSuite({&pat, &mix, &pc},
-                                   StudyOptions{.threads = threads});
-        });
-    phases.push_back(replay);
-
-    // Phase 3: recapture — what the same profiling pass costs when
-    // the trace has to be captured again (cache cold).
-    Phase recapture = timePhase(
-        "recapture_profilers", suite_instrs, kReps,
-        [&] { cache.clear(); },
-        [&] {
-            analysis::PatternProfiler pat;
-            analysis::InstrMixProfiler mix;
-            analysis::PcProfiler pc;
-            analysis::profileSuite({&pat, &mix, &pc},
-                                   StudyOptions{.threads = threads});
-        });
-    phases.push_back(recapture);
-
-    // Phases 4/5: the acceptance driver — activity study + CPI study
-    // + profiling pass in one process, pre-cache engine (re-simulate
-    // per study) vs trace-cache engine (capture once, replay). Both
-    // start from a cold cache every repetition. Needs full traces:
-    // skipped in capped smoke runs.
-    double multi_speedup = 0.0;
-    if (max_instrs == 0) {
-        constexpr int kStudyReps = 5;
-        Phase precache = timePhase(
-            "multi_study_precache", 3 * suite_instrs, kStudyReps, [] {},
-            [&] {
-                runMultiStudy(
-                    StudyOptions{.threads = threads, .useCache = false});
-            });
-        phases.push_back(precache);
-
-        Phase cached = timePhase(
-            "multi_study_cached", suite_instrs, kStudyReps,
-            [&] { cache.clear(); },
-            [&] {
-                runMultiStudy(
-                    StudyOptions{.threads = threads, .useCache = true});
-            });
-        phases.push_back(cached);
-
-        multi_speedup = precache.wallMs / cached.wallMs;
-        std::printf("\n  multi-study speedup: %.2fx "
-                    "(one functional pass instead of three, "
-                    "shared-quanta batched replay)\n",
-                    multi_speedup);
-    }
-
-    const bool replay_faster = replay.wallMs < recapture.wallMs;
-    std::printf("  cached replay vs recapture: %.1f ms vs %.1f ms (%s)\n",
-                replay.wallMs, recapture.wallMs,
-                replay_faster ? "faster" : "SLOWER");
-
-    writeJson(out, exec.threadCount(), max_instrs, suite_instrs, phases,
-              multi_speedup, replay_faster);
-
-    if (check && !replay_faster) {
-        std::fprintf(stderr,
-                     "FAIL: cached replay (%.1f ms) is not faster than "
-                     "recapture (%.1f ms)\n",
-                     replay.wallMs, recapture.wallMs);
-        return 1;
+    if (check) {
+        for (const Run &run : runs) {
+            if (!run.replayFaster) {
+                std::fprintf(stderr,
+                             "FAIL (threads=%u): cached replay is not "
+                             "faster than recapture\n",
+                             run.threads);
+                return 1;
+            }
+            if (run.hasStore && !run.storeReplayFaster) {
+                std::fprintf(stderr,
+                             "FAIL (threads=%u): warm-store replay is "
+                             "not faster than recapture\n",
+                             run.threads);
+                return 1;
+            }
+        }
     }
     return 0;
 }

@@ -5,7 +5,13 @@
  * performance/energy trade-off — the view a low-power SoC architect
  * would actually use to pick a point.
  *
- * Usage: design_space [workload] [--predict]
+ * Usage: design_space [workload] [--predict] [--store DIR]
+ *
+ * With --store, the workload's trace is loaded from (or on first run
+ * saved to) the persistent trace store, so repeated explorer
+ * invocations — a different workload flag, a different predictor —
+ * skip functional simulation entirely: exactly the cold-process
+ * reuse the store exists for.
  */
 
 #include <cstdio>
@@ -26,12 +32,18 @@ main(int argc, char **argv)
 {
     std::string wl = "rawcaudio";
     bool predict = false;
+    std::string store_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--predict") == 0)
             predict = true;
+        else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)
+            store_dir = argv[++i];
         else
             wl = argv[i];
     }
+    if (!store_dir.empty())
+        analysis::TraceCache::global().configureStore(
+            {store_dir, 0, false});
 
     const power::TechParams tech;
 

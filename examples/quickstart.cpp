@@ -6,21 +6,32 @@
  *  2. Model a byte-serial addition with the paper's case semantics.
  *  3. Assemble a tiny program, run it on the 32-bit baseline and the
  *     byte-serial pipeline, and compare CPI and activity.
+ *  4. (with `quickstart --store DIR`) Ride the persistent trace
+ *     store: the first run captures and saves a workload's trace,
+ *     every later process loads it instead of re-simulating.
  */
 
 #include <cstdio>
+#include <cstring>
 
+#include "analysis/trace_cache.h"
 #include "isa/assembler.h"
 #include "pipeline/runner.h"
 #include "sigcomp/compressed_word.h"
 #include "sigcomp/serial_alu.h"
+#include "store/trace_store.h"
 
 using namespace sigcomp;
 namespace reg = isa::reg;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string store_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc)
+            store_dir = argv[++i];
+    }
     // --- 1. significance compression of values -----------------------
     std::printf("== significance compression ==\n");
     for (Word v : {0x00000004u, 0xfffff504u, 0x10000009u, 0xffe70004u}) {
@@ -78,6 +89,30 @@ main()
                 "ALU %.1f%%, PC %.1f%%, latches %.1f%%\n",
                 rs.activity.rfRead.saving(), rs.activity.alu.saving(),
                 rs.activity.pcInc.saving(), rs.activity.latch.saving());
+
+    // --- 4. persistent trace store (opt-in) ---------------------------
+    if (!store_dir.empty()) {
+        std::printf("\n== trace store (%s) ==\n", store_dir.c_str());
+        analysis::TraceCache &cache = analysis::TraceCache::global();
+        cache.configureStore({store_dir, 0, false});
+        const auto trace = cache.get("rawcaudio");
+        const bool from_disk = cache.storeLoads() > 0;
+        std::printf("  rawcaudio: %llu instructions, %s\n",
+                    static_cast<unsigned long long>(trace->size()),
+                    from_disk
+                        ? "loaded from the store (no simulation!)"
+                        : "captured and saved — rerun me to see the "
+                          "cold-process load");
+        store::SegmentInfo info;
+        if (store::TraceStore(store_dir, true)
+                .info("rawcaudio", info, nullptr)) {
+            std::printf("  segment: %.2f MB on disk, stored columns "
+                        "compressed %.2fx\n",
+                        static_cast<double>(info.fileBytes) / 1048576.0,
+                        static_cast<double>(info.rawBytes()) /
+                            static_cast<double>(info.encodedBytes()));
+        }
+    }
     std::printf("\nok\n");
     return 0;
 }

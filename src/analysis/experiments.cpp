@@ -51,6 +51,25 @@ prewarmIfParallel(ParallelExecutor &exec,
         TraceCache::global().prewarm(names, exec);
 }
 
+/**
+ * Bind the study's disk-tier options to the process-wide cache
+ * before it is touched. configureStore() is idempotent, so every
+ * driver applies its options unconditionally; an empty storeDir
+ * leaves the current binding alone.
+ */
+void
+applyStoreOptions(const StudyOptions &opt)
+{
+    if (!opt.useCache)
+        return;
+    if (!opt.storeDir.empty()) {
+        TraceCache::global().configureStore(
+            {opt.storeDir, opt.spillBudgetBytes, opt.readOnly});
+    } else if (opt.spillBudgetBytes != 0) {
+        TraceCache::global().setSpillBudget(opt.spillBudgetBytes);
+    }
+}
+
 } // namespace
 
 void
@@ -59,6 +78,7 @@ profileSuite(const std::vector<cpu::TraceSink *> &sinks,
 {
     const std::vector<std::string> &names = workloads::Suite::names();
     ExecutorHandle exec(opt.threads);
+    applyStoreOptions(opt);
 
     if (opt.useCache) {
         // Simulate-once path: capture on first touch (fanned out
@@ -142,6 +162,7 @@ runActivityStudy(sig::Encoding enc, const StudyOptions &opt)
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<ActivityRow> rows(names.size());
     ExecutorHandle exec(opt.threads);
+    applyStoreOptions(opt);
 
     if (opt.useCache) {
         prewarmIfParallel(exec.get(), names);
@@ -180,6 +201,7 @@ runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<CpiRow> rows(names.size());
     ExecutorHandle exec(opt.threads);
+    applyStoreOptions(opt);
 
     auto assemble = [&](std::size_t i,
                         const std::vector<pipeline::PipelineResult> &rs) {

@@ -49,6 +49,24 @@ struct StudyOptions
      * retaining the whole suite for later studies.
      */
     bool evictAfterReplay = false;
+    /**
+     * Persistent trace store directory (see store/trace_store.h).
+     * Non-empty attaches the disk tier to the process-wide
+     * TraceCache before the study runs: cold processes load
+     * significance-compressed segments instead of recapturing, and
+     * fresh captures are written through. Empty (default) leaves the
+     * cache's current store binding untouched.
+     */
+    std::string storeDir = {};
+    /**
+     * Soft cap on the RAM tier in bytes (0 = unlimited): above it,
+     * least-recently-used traces spill out of RAM and are reloaded
+     * from the store on demand — suites far larger than memory.
+     * Applied whenever storeDir is set (or on its own when non-zero).
+     */
+    std::size_t spillBudgetBytes = 0;
+    /** With storeDir: never write segments (shared/CI-cached store). */
+    bool readOnly = false;
 };
 
 /**
@@ -83,7 +101,9 @@ std::vector<ActivityRow> runActivityStudy(sig::Encoding enc,
 inline std::vector<ActivityRow>
 runActivityStudy(sig::Encoding enc, unsigned threads = 0)
 {
-    return runActivityStudy(enc, StudyOptions{.threads = threads});
+    StudyOptions opt;
+    opt.threads = threads;
+    return runActivityStudy(enc, opt);
 }
 
 /** Average savings across rows (the tables' AVG line). */
@@ -114,7 +134,9 @@ inline std::vector<CpiRow>
 runCpiStudy(const std::vector<pipeline::Design> &ds,
             const pipeline::PipelineConfig &cfg, unsigned threads = 0)
 {
-    return runCpiStudy(ds, cfg, StudyOptions{.threads = threads});
+    StudyOptions opt;
+    opt.threads = threads;
+    return runCpiStudy(ds, cfg, opt);
 }
 
 /** Geometric-mean CPI of one design over a study. */
@@ -136,7 +158,9 @@ inline void
 profileSuite(const std::vector<cpu::TraceSink *> &sinks,
              unsigned threads = 0)
 {
-    profileSuite(sinks, StudyOptions{.threads = threads});
+    StudyOptions opt;
+    opt.threads = threads;
+    profileSuite(sinks, opt);
 }
 
 } // namespace sigcomp::analysis

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/logging.h"
 #include "workloads/workload.h"
 
 namespace sigcomp::analysis
@@ -21,16 +22,19 @@ TraceCache::get(const std::string &workload)
     std::shared_future<TracePtr> future;
     std::promise<TracePtr> promise;
     bool capture_here = false;
+    std::shared_ptr<store::TraceStore> store;
 
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(workload);
         if (it == entries_.end()) {
             future = promise.get_future().share();
-            entries_.emplace(workload, future);
+            entries_.emplace(workload, Entry{future, ++useTick_});
             capture_here = true;
+            store = store_;
         } else {
-            future = it->second;
+            it->second.lastUse = ++useTick_;
+            future = it->second.future;
         }
     }
 
@@ -42,8 +46,31 @@ TraceCache::get(const std::string &workload)
                 limit != cpu::TraceBuffer::defaultMaxInstrs;
             const workloads::Workload w =
                 workloads::Suite::build(workload);
-            trace = std::make_shared<cpu::TraceBuffer>(
-                cpu::TraceBuffer::capture(w.program, limit, capped));
+
+            // Disk tier first: a hit skips functional capture. Any
+            // load failure — missing, stale, corrupt — silently
+            // falls through to recapture (the store is a cache, not
+            // a source of truth).
+            if (store != nullptr)
+                trace = store->load(workload, w.program, limit);
+            if (trace != nullptr) {
+                storeLoads_.fetch_add(1);
+            } else {
+                trace = std::make_shared<cpu::TraceBuffer>(
+                    cpu::TraceBuffer::capture(w.program, limit, capped));
+                captures_.fetch_add(1);
+                // Write-through so the *next* process skips capture.
+                // A failed save (full disk, races) costs nothing but
+                // a later recapture.
+                if (store != nullptr && !store->readOnly()) {
+                    std::string why;
+                    if (store->save(workload, *trace, limit, &why))
+                        storeSaves_.fetch_add(1);
+                    else
+                        SC_WARN("trace store: cannot save '", workload,
+                                "': ", why);
+                }
+            }
         } catch (...) {
             // Don't poison the slot with a broken future: drop the
             // entry so a later get() can retry, unblock any waiters
@@ -55,8 +82,8 @@ TraceCache::get(const std::string &workload)
             promise.set_exception(std::current_exception());
             throw;
         }
-        captures_.fetch_add(1);
         promise.set_value(trace);
+        enforceBudget(workload);
         return trace;
     }
     return future.get();
@@ -78,6 +105,36 @@ TraceCache::contains(const std::string &workload) const
 }
 
 void
+TraceCache::configureStore(const StoreConfig &config)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spillBudget_ = config.spillBudgetBytes;
+    if (config.dir.empty()) {
+        store_.reset();
+        return;
+    }
+    if (store_ != nullptr && store_->dir() == config.dir &&
+        store_->readOnly() == config.readOnly)
+        return;
+    store_ =
+        std::make_shared<store::TraceStore>(config.dir, config.readOnly);
+}
+
+void
+TraceCache::setSpillBudget(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    spillBudget_ = bytes;
+}
+
+std::shared_ptr<const store::TraceStore>
+TraceCache::store() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_;
+}
+
+void
 TraceCache::evict(const std::string &workload)
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -92,23 +149,71 @@ TraceCache::clear()
 }
 
 std::size_t
-TraceCache::memoryBytes() const
+TraceCache::memoryBytesLocked() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
     std::size_t total = 0;
-    for (const auto &[name, future] : entries_) {
-        if (future.wait_for(std::chrono::seconds(0)) ==
+    for (const auto &[name, entry] : entries_) {
+        if (entry.future.wait_for(std::chrono::seconds(0)) ==
             std::future_status::ready) {
-            total += future.get()->memoryBytes();
+            total += entry.future.get()->memoryBytes();
         }
     }
     return total;
 }
 
+std::size_t
+TraceCache::memoryBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return memoryBytesLocked();
+}
+
+void
+TraceCache::enforceBudget(const std::string &keep)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spillBudget_ == 0)
+        return;
+    // Spill = drop from RAM. Everything that reaches the RAM tier
+    // was already written through to (or loaded from) the store, so
+    // no data is lost; without a store the next get() recaptures.
+    // Size the tier once and subtract per victim: rescanning every
+    // entry (future.get() + annex mutex each) per eviction would
+    // make a k-entry spill O(k*n) while holding mu_.
+    std::size_t total = memoryBytesLocked();
+    while (total > spillBudget_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first == keep)
+                continue; // never spill the entry just touched
+            if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue; // capture in flight: holders are waiting
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return; // nothing spillable left: budget degrades softly
+        const std::size_t bytes =
+            victim->second.future.get()->memoryBytes();
+        total -= std::min(bytes, total);
+        entries_.erase(victim);
+    }
+}
+
 void
 TraceCache::setCaptureLimit(DWord max_instrs)
 {
-    limit_.store(max_instrs);
+    const DWord previous = limit_.exchange(max_instrs);
+    if (previous != max_instrs) {
+        // RAM entries are keyed by workload only, so traces captured
+        // under the old limit must not satisfy gets under the new
+        // one (the store tier already rejects them by its header's
+        // capture-limit field).
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.clear();
+    }
 }
 
 } // namespace sigcomp::analysis

@@ -1,6 +1,6 @@
 /**
  * @file
- * Process-wide cache of captured workload traces.
+ * Process-wide two-tier cache of captured workload traces.
  *
  * Every study in this repository is a pure function of one dynamic
  * trace per benchmark (the paper derives all of Tables 3-6 and
@@ -10,11 +10,23 @@
  * TraceBuffer, and every later study — activity, CPI, profiling,
  * any design, any encoding — replays the shared immutable buffer.
  *
+ * Two tiers: the RAM map is the hot tier; an optional
+ * store::TraceStore directory (configureStore()) is the persistent
+ * cold tier. With a store attached, a miss first tries to load the
+ * workload's significance-compressed segment from disk — a cold
+ * *process* then skips functional capture entirely — and fresh
+ * captures are written through so the next process benefits. A spill
+ * budget turns the RAM tier into an LRU cache over the store: when
+ * cached traces exceed the budget, the least recently used ready
+ * entries are dropped from RAM (they remain on disk), so suites much
+ * larger than memory still run.
+ *
  * Thread-safety: get() performs exactly one capture per workload no
  * matter how many threads race on the first touch (later callers
  * block on the winner's shared_future); different workloads capture
- * concurrently. captures() counts functional passes so tests can
- * assert the simulate-once property.
+ * concurrently. captures() counts functional passes and
+ * storeLoads()/storeSaves() count disk-tier traffic so tests can
+ * assert the simulate-once and capture-once-per-machine properties.
  */
 
 #ifndef SIGCOMP_ANALYSIS_TRACE_CACHE_H_
@@ -30,9 +42,27 @@
 
 #include "common/parallel.h"
 #include "cpu/trace_buffer.h"
+#include "store/trace_store.h"
 
 namespace sigcomp::analysis
 {
+
+/** Disk-tier configuration (see TraceCache::configureStore()). */
+struct StoreConfig
+{
+    /** Store directory; empty detaches the disk tier. */
+    std::string dir;
+    /**
+     * Soft cap on the RAM tier in bytes; 0 = unlimited. When cached
+     * traces exceed it, least-recently-used ready entries spill (are
+     * dropped from RAM; with a writable store attached they stay
+     * loadable from disk). The most recently touched trace is never
+     * spilled, so the budget degrades to one-workload-resident.
+     */
+    std::size_t spillBudgetBytes = 0;
+    /** Never write segments (CI replay of a shared/cached store). */
+    bool readOnly = false;
+};
 
 class TraceCache
 {
@@ -47,8 +77,10 @@ class TraceCache
     static TraceCache &global();
 
     /**
-     * The workload's trace, capturing it on first touch. @p workload
-     * must be a name workloads::Suite::build() accepts.
+     * The workload's trace: from RAM if hot, else loaded from the
+     * attached store, else captured on first touch (and written
+     * through to the store). @p workload must be a name
+     * workloads::Suite::build() accepts.
      */
     TracePtr get(const std::string &workload);
 
@@ -63,18 +95,38 @@ class TraceCache
     bool contains(const std::string &workload) const;
 
     /**
-     * Drop one workload's trace. Outstanding TracePtrs stay valid
-     * (shared ownership); the next get() recaptures. This is how
-     * profileSuite's opt-in evictAfterReplay keeps peak memory at
-     * one workload's footprint.
+     * Attach/retune/detach the disk tier. Idempotent: re-configuring
+     * with the same directory and mode only updates the spill
+     * budget, so every study driver can apply its StudyOptions
+     * unconditionally.
+     */
+    void configureStore(const StoreConfig &config);
+
+    /** Adjust the RAM budget without touching the store binding. */
+    void setSpillBudget(std::size_t bytes);
+
+    /** The attached disk tier, or nullptr. */
+    std::shared_ptr<const store::TraceStore> store() const;
+
+    /**
+     * Drop one workload's trace from RAM. Outstanding TracePtrs stay
+     * valid (shared ownership); the next get() reloads or recaptures.
+     * This is how profileSuite's opt-in evictAfterReplay keeps peak
+     * memory at one workload's footprint.
      */
     void evict(const std::string &workload);
 
-    /** Drop everything (tests and benchmarks). */
+    /** Drop all RAM entries (tests and benchmarks). Keeps the store. */
     void clear();
 
     /** Functional capture passes performed over this cache's life. */
     std::uint64_t captures() const { return captures_.load(); }
+
+    /** Traces served from the disk tier instead of capture. */
+    std::uint64_t storeLoads() const { return storeLoads_.load(); }
+
+    /** Segments written through to the disk tier. */
+    std::uint64_t storeSaves() const { return storeSaves_.load(); }
 
     /** Total heap footprint of the cached traces, in bytes. */
     std::size_t memoryBytes() const;
@@ -83,14 +135,34 @@ class TraceCache
      * Per-workload capture cap. The default (TraceBuffer's
      * defaultMaxInstrs) treats hitting the limit as fatal; any other
      * value allows truncated captures — the benchmark smoke mode.
+     * Store segments are keyed by this value: a segment captured
+     * under a different cap never replays. Changing the limit drops
+     * all RAM entries, so stale-limit traces never satisfy a get().
      */
     void setCaptureLimit(DWord max_instrs);
     DWord captureLimit() const { return limit_.load(); }
 
   private:
+    struct Entry
+    {
+        std::shared_future<TracePtr> future;
+        /** LRU recency (monotone ticks from useTick_). */
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Drop LRU ready entries until the RAM tier fits the budget. */
+    void enforceBudget(const std::string &keep);
+
+    std::size_t memoryBytesLocked() const;
+
     mutable std::mutex mu_;
-    std::map<std::string, std::shared_future<TracePtr>> entries_;
+    std::map<std::string, Entry> entries_;
+    std::shared_ptr<store::TraceStore> store_;
+    std::size_t spillBudget_ = 0;
+    std::uint64_t useTick_ = 0;
     std::atomic<std::uint64_t> captures_{0};
+    std::atomic<std::uint64_t> storeLoads_{0};
+    std::atomic<std::uint64_t> storeSaves_{0};
     std::atomic<DWord> limit_{cpu::TraceBuffer::defaultMaxInstrs};
 };
 

@@ -38,6 +38,14 @@ TraceBuffer::annexStoreIfAbsent(const std::string &key,
 }
 
 TraceBuffer
+TraceBuffer::makeForRebuild()
+{
+    TraceBuffer buf;
+    buf.annexes_ = std::make_shared<AnnexStore>();
+    return buf;
+}
+
+TraceBuffer
 TraceBuffer::capture(const isa::Program &program, DWord max_instrs,
                      bool allow_truncation)
 {

@@ -38,6 +38,11 @@
 #include "cpu/trace.h"
 #include "isa/program.h"
 
+namespace sigcomp::store
+{
+class TraceSerializer;
+}
+
 namespace sigcomp::cpu
 {
 
@@ -117,8 +122,17 @@ class TraceBuffer
 
   private:
     friend class TraceView;
+    /** Store-tier codec: serializes/rebuilds the private columns. */
+    friend class store::TraceSerializer;
 
     TraceBuffer() = default;
+
+    /**
+     * Empty buffer with an initialised annex store, ready for the
+     * store tier to fill in the recorded columns (AnnexStore is only
+     * defined in trace_buffer.cpp).
+     */
+    static TraceBuffer makeForRebuild();
 
     /** Program copy: keeps decode cache and data segment alive. */
     isa::Program program_;

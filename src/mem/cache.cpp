@@ -99,6 +99,19 @@ Cache::access(Addr addr, bool is_write)
     return out;
 }
 
+std::size_t
+Cache::wayIndexOf(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (lines_[base + w].valid && lines_[base + w].tag == tag)
+            return base + w;
+    SC_PANIC("wayIndexOf on a non-resident line");
+}
+
 bool
 Cache::contains(Addr addr) const
 {

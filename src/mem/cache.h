@@ -21,6 +21,8 @@
 namespace sigcomp::mem
 {
 
+class MemoryHierarchy;
+
 /** Static geometry and timing of one cache level. */
 struct CacheParams
 {
@@ -105,6 +107,9 @@ class Cache
     }
 
   private:
+    /** Same-line fetch fast path replicates hit bookkeeping inline. */
+    friend class MemoryHierarchy;
+
     struct Line
     {
         bool valid = false;
@@ -115,6 +120,12 @@ class Cache
 
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+
+    /**
+     * Index into lines_ of the way holding @p addr. Precondition:
+     * the line is resident (the caller just accessed it).
+     */
+    std::size_t wayIndexOf(Addr addr) const;
 
     CacheParams params_;
     unsigned numSets_;

@@ -54,6 +54,18 @@ Tlb::access(Addr addr)
     return false;
 }
 
+std::size_t
+Tlb::entryIndexOf(Addr addr) const
+{
+    const Addr vpn = addr >> params_.pageBits;
+    const std::size_t base =
+        static_cast<std::size_t>(vpn & (numSets_ - 1)) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (entries_[base + w].valid && entries_[base + w].vpn == vpn)
+            return base + w;
+    SC_PANIC("entryIndexOf on a non-resident page");
+}
+
 void
 Tlb::flush()
 {

@@ -15,6 +15,8 @@
 namespace sigcomp::mem
 {
 
+class MemoryHierarchy;
+
 /** TLB geometry and timing. */
 struct TlbParams
 {
@@ -58,12 +60,21 @@ class Tlb
     void clearStats() { stats_ = TlbStats(); }
 
   private:
+    /** Same-line fetch fast path replicates hit bookkeeping inline. */
+    friend class MemoryHierarchy;
+
     struct Entry
     {
         bool valid = false;
         Addr vpn = 0;
         Count lruStamp = 0;
     };
+
+    /**
+     * Index into entries_ of the entry mapping @p addr.
+     * Precondition: the page is resident (just accessed).
+     */
+    std::size_t entryIndexOf(Addr addr) const;
 
     TlbParams params_;
     unsigned numSets_;

@@ -1,0 +1,349 @@
+#include "store/codec.h"
+
+#include <array>
+
+#include "sigcomp/byte_pattern.h"
+
+namespace sigcomp::store
+{
+
+namespace
+{
+
+inline std::uint32_t
+zigzag(std::uint32_t prev, std::uint32_t v)
+{
+    const std::int32_t d =
+        static_cast<std::int32_t>(v - prev); // wrap-around delta
+    return (static_cast<std::uint32_t>(d) << 1) ^
+           static_cast<std::uint32_t>(d >> 31);
+}
+
+inline std::uint32_t
+unzigzag(std::uint32_t prev, std::uint32_t z)
+{
+    const std::uint32_t d = (z >> 1) ^ (~(z & 1) + 1);
+    return prev + d;
+}
+
+inline unsigned
+varintLen(std::uint32_t z)
+{
+    unsigned len = 1;
+    while (z >= 0x80u) {
+        z >>= 7;
+        ++len;
+    }
+    return len;
+}
+
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint32_t z)
+{
+    while (z >= 0x80u) {
+        out.push_back(static_cast<std::uint8_t>(z) | 0x80u);
+        z >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(z));
+}
+
+/** @return false on overrun or an over-long (>5 byte) varint. */
+inline bool
+getVarint(const std::uint8_t *bytes, std::size_t len, std::size_t &pos,
+          std::uint32_t &z)
+{
+    z = 0;
+    for (unsigned shift = 0; shift < 35; shift += 7) {
+        if (pos >= len)
+            return false;
+        const std::uint8_t b = bytes[pos++];
+        z |= static_cast<std::uint32_t>(b & 0x7Fu) << shift;
+        if ((b & 0x80u) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Per-block scratch for the Ext3 masks (classify once, use twice). */
+using MaskBlock = std::array<sig::ByteMask, codecBlockValues>;
+
+/** Exact SigPack payload size for a block: tag plane + packed bytes. */
+std::size_t
+sigPackSize(const MaskBlock &masks, std::size_t k)
+{
+    std::size_t bytes = (k + 1) / 2;
+    for (std::size_t i = 0; i < k; ++i)
+        bytes += sig::maskBytes(masks[i]);
+    return bytes;
+}
+
+void
+sigPackEncode(const std::uint32_t *vals, const MaskBlock &masks,
+              std::size_t k, std::vector<std::uint8_t> &out)
+{
+    // Tag plane first: two 4-bit Ext3 patterns per byte, value i in
+    // the low nibble for even i.
+    for (std::size_t i = 0; i < k; i += 2) {
+        std::uint8_t tags = masks[i];
+        if (i + 1 < k)
+            tags |= static_cast<std::uint8_t>(masks[i + 1] << 4);
+        out.push_back(tags);
+    }
+    // Then only the significant bytes of each value, low byte first.
+    for (std::size_t i = 0; i < k; ++i) {
+        const sig::ByteMask mask = masks[i];
+        for (unsigned b = 0; b < 4; ++b)
+            if (mask & (1u << b))
+                out.push_back(
+                    static_cast<std::uint8_t>(vals[i] >> (8 * b)));
+    }
+}
+
+/** Significant-byte count per 4-bit pattern (0 = illegal: bit 0 of a
+ * legal Ext3 pattern is always set). */
+constexpr std::uint8_t kNeed[16] = {0, 1, 0, 2, 0, 2, 0, 3,
+                                    0, 2, 0, 3, 0, 3, 0, 4};
+
+/**
+ * Branchless reconstruction constants per pattern: the packed
+ * little-endian bytes spread into their word positions as
+ *   v = (s & k0) | ((s & k8) << 8) | ((s & k16) << 16)
+ * and the extension bytes fill in closed form — every pattern has at
+ * most two runs of extension bytes, each governed by the sign of the
+ * stored byte directly below the run, so
+ *   v |= ((v >> sh1) & 1) * mul1;  v |= ((v >> sh2) & 1) * mul2;
+ * smears each governing sign across its run in one multiply.
+ */
+struct Spread
+{
+    Word k0, k8, k16;
+    unsigned sh1;
+    Word mul1;
+    unsigned sh2;
+    Word mul2;
+};
+
+constexpr Spread kSpread[16] = {
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x000000FFu, 0, 0, 7, 0xFFFFFF00u, 0, 0},              // eees
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x0000FFFFu, 0, 0, 15, 0xFFFF0000u, 0, 0},             // eess
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x000000FFu, 0x0000FF00u, 0, 7, 0x0000FF00u, 23,
+     0xFF000000u},                                          // eses
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x00FFFFFFu, 0, 0, 23, 0xFF000000u, 0, 0},             // esss
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x000000FFu, 0, 0x0000FF00u, 7, 0x00FFFF00u, 0, 0},    // sees
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x0000FFFFu, 0x00FF0000u, 0, 15, 0x00FF0000u, 0, 0},   // sess
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0x000000FFu, 0x00FFFF00u, 0, 7, 0x0000FF00u, 0, 0},    // sses
+    {0, 0, 0, 0, 0, 0, 0},                                  // illegal
+    {0xFFFFFFFFu, 0, 0, 0, 0, 0, 0},                        // ssss
+};
+
+/** Rebuild one word from its packed bytes @p s under pattern @p m. */
+inline Word
+sigReconstruct(Word s, unsigned m)
+{
+    const Spread &sp = kSpread[m];
+    Word v = (s & sp.k0) | ((s & sp.k8) << 8) | ((s & sp.k16) << 16);
+    v |= ((v >> sp.sh1) & 1u) * sp.mul1;
+    v |= ((v >> sp.sh2) & 1u) * sp.mul2;
+    return v;
+}
+
+/**
+ * SigPack decode. This is the store tier's hot loop (every operand
+ * and result word of every replayed trace): warm-store load has to
+ * beat functional recapture, so the per-value work is branchless and
+ * values are decoded two per tag byte to halve the serial
+ * offset-accumulation chain. An unpredictable branch per value (the
+ * obvious switch on the pattern) costs more than the whole
+ * reconstruction. The last few values, where an 8-byte lookahead
+ * would overrun the payload, fall back to a byte-at-a-time walk.
+ */
+bool
+sigPackDecode(const std::uint8_t *bytes, std::size_t len, std::size_t k,
+              std::uint32_t *dst)
+{
+    const std::size_t plane = (k + 1) / 2;
+    if (len < plane)
+        return false;
+    const std::uint8_t *data = bytes + plane;
+    const std::size_t payload = len - plane;
+
+    std::size_t off = 0;
+    std::size_t i = 0;
+    while (i + 2 <= k && off + 8 <= payload) {
+        const std::uint8_t tags = bytes[i >> 1];
+        const unsigned m0 = tags & 0x0Fu;
+        const unsigned m1 = tags >> 4;
+        const unsigned n0 = kNeed[m0];
+        const unsigned n1 = kNeed[m1];
+        if (n0 == 0 || n1 == 0)
+            return false;
+        dst[i] = sigReconstruct(getU32(data + off), m0);
+        dst[i + 1] = sigReconstruct(getU32(data + off + n0), m1);
+        off += n0 + n1;
+        i += 2;
+    }
+    // Safe byte-at-a-time tail.
+    for (; i < k; ++i) {
+        const std::uint8_t tags = bytes[i >> 1];
+        const unsigned mask = (i & 1) ? (tags >> 4) : (tags & 0x0Fu);
+        const unsigned need = kNeed[mask];
+        if (need == 0 || off + need > payload)
+            return false;
+        Word s = 0;
+        for (unsigned b = 0; b < need; ++b)
+            s |= static_cast<Word>(data[off + b]) << (8 * b);
+        dst[i] = sigReconstruct(s, mask);
+        off += need;
+    }
+    return off == payload;
+}
+
+} // namespace
+
+void
+encodeColumn32(const std::uint32_t *vals, std::size_t n,
+               std::vector<std::uint8_t> &out)
+{
+    std::uint32_t prev = 0;
+    MaskBlock masks;
+    for (std::size_t base = 0; base < n; base += codecBlockValues) {
+        const std::size_t k = std::min(codecBlockValues, n - base);
+        const std::uint32_t *block = vals + base;
+        for (std::size_t i = 0; i < k; ++i)
+            masks[i] = sig::classifyExt3(block[i]);
+
+        const std::size_t raw_size = 4 * k;
+        const std::size_t sig_size = sigPackSize(masks, k);
+        std::size_t delta_size = 0;
+        {
+            std::uint32_t p = prev;
+            for (std::size_t i = 0; i < k; ++i) {
+                delta_size += varintLen(zigzag(p, block[i]));
+                p = block[i];
+            }
+        }
+
+        BlockMode mode = BlockMode::Raw;
+        std::size_t best = raw_size;
+        if (sig_size < best) {
+            mode = BlockMode::SigPack;
+            best = sig_size;
+        }
+        if (delta_size < best) {
+            mode = BlockMode::DeltaVarint;
+            best = delta_size;
+        }
+
+        out.push_back(static_cast<std::uint8_t>(mode));
+        putU32(out, static_cast<std::uint32_t>(best));
+        switch (mode) {
+        case BlockMode::Raw:
+            for (std::size_t i = 0; i < k; ++i)
+                putU32(out, block[i]);
+            break;
+        case BlockMode::SigPack:
+            sigPackEncode(block, masks, k, out);
+            break;
+        case BlockMode::DeltaVarint: {
+            std::uint32_t p = prev;
+            for (std::size_t i = 0; i < k; ++i) {
+                putVarint(out, zigzag(p, block[i]));
+                p = block[i];
+            }
+            break;
+        }
+        }
+        prev = block[k - 1];
+    }
+
+    // Zero-length columns encode to zero bytes; nothing to do.
+}
+
+bool
+decodeColumn32(const std::uint8_t *bytes, std::size_t len, std::size_t n,
+               std::vector<std::uint32_t> &out)
+{
+    out.resize(n);
+    std::uint32_t *dst = out.data();
+    std::uint32_t prev = 0;
+    std::size_t produced = 0;
+    std::size_t pos = 0;
+    while (produced < n) {
+        const std::size_t k = std::min(codecBlockValues, n - produced);
+        if (pos + 5 > len)
+            return false;
+        const std::uint8_t mode = bytes[pos];
+        const std::size_t payload = getU32(bytes + pos + 1);
+        pos += 5;
+        if (payload > len - pos)
+            return false;
+        const std::uint8_t *p = bytes + pos;
+
+        switch (static_cast<BlockMode>(mode)) {
+        case BlockMode::Raw:
+            if (payload != 4 * k)
+                return false;
+            for (std::size_t i = 0; i < k; ++i)
+                dst[produced + i] = getU32(p + 4 * i);
+            break;
+        case BlockMode::SigPack:
+            if (!sigPackDecode(p, payload, k, dst + produced))
+                return false;
+            break;
+        case BlockMode::DeltaVarint: {
+            std::size_t vpos = 0;
+            for (std::size_t i = 0; i < k; ++i) {
+                std::uint32_t z;
+                // Fast path: local deltas are almost always one byte.
+                if (vpos < payload && bytes[pos + vpos] < 0x80u) {
+                    z = p[vpos++];
+                } else if (!getVarint(p, payload, vpos, z)) {
+                    return false;
+                }
+                prev = unzigzag(prev, z);
+                dst[produced + i] = prev;
+            }
+            if (vpos != payload)
+                return false;
+            break;
+        }
+        default:
+            return false;
+        }
+        pos += payload;
+        produced += k;
+        prev = dst[produced - 1];
+    }
+    return pos == len;
+}
+
+void
+encodeColumn64Raw(const std::uint64_t *vals, std::size_t n,
+                  std::vector<std::uint8_t> &out)
+{
+    out.reserve(out.size() + 8 * n);
+    for (std::size_t i = 0; i < n; ++i)
+        putU64(out, vals[i]);
+}
+
+bool
+decodeColumn64Raw(const std::uint8_t *bytes, std::size_t len,
+                  std::size_t n, std::vector<std::uint64_t> &out)
+{
+    if (len != 8 * n)
+        return false;
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(getU64(bytes + 8 * i));
+    return true;
+}
+
+} // namespace sigcomp::store

@@ -1,0 +1,661 @@
+#include "store/trace_store.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "store/codec.h"
+
+namespace sigcomp::store
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x52544353u; // 'SCTR' little-endian
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kDirEntryBytes = 32;
+constexpr std::uint32_t kFlagTruncated = 1u << 0;
+
+/**
+ * Column ids, fixed by the format (order = payload order). The
+ * operand columns (srcRs/srcRt) are deliberately NOT stored: the
+ * architectural register file is a pure function of the result
+ * stream and the decoded read/write flags, so load-time
+ * reconstruction (one register-replay pass) costs less than
+ * decoding two more significance-packed columns and shrinks the
+ * segments by ~40%.
+ */
+enum ColumnId : std::uint32_t
+{
+    ColDecIdx = 0,
+    ColResult = 1,
+    ColTaken = 2,
+    ColMemAddr = 3,
+    ColMemData = 4,
+    NumColumns = 5,
+};
+
+const char *
+columnName(std::uint32_t id)
+{
+    switch (id) {
+    case ColDecIdx: return "decIdx";
+    case ColResult: return "result";
+    case ColTaken: return "taken";
+    case ColMemAddr: return "memAddr";
+    case ColMemData: return "memData";
+    default: return "?";
+    }
+}
+
+bool
+fail(std::string *why, const std::string &reason)
+{
+    if (why != nullptr)
+        *why = reason;
+    return false;
+}
+
+/**
+ * Workload names become file stems; escape anything non-portable.
+ * Escaping alone would alias distinct names ("a/b" and "a b" both
+ * become "a_b"), and aliased segments silently clobber each other
+ * through the fingerprint check, so any escaped name also gets a
+ * hash of the raw name appended.
+ */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    bool escaped = name.empty();
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                        c == '_';
+        out.push_back(ok ? c : '_');
+        escaped |= !ok;
+    }
+    if (escaped) {
+        char suffix[12];
+        std::snprintf(suffix, sizeof(suffix), "-%08x",
+                      crc32(0, name.data(), name.size()));
+        out += suffix;
+    }
+    return out;
+}
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(static_cast<std::size_t>(size));
+    const std::size_t got =
+        size ? std::fread(out.data(), 1, out.size(), f) : 0;
+    std::fclose(f);
+    return got == out.size();
+}
+
+/** Parsed header + directory, offsets into the raw file bytes. */
+struct Segment
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t captureLimit = 0;
+    std::uint32_t programCrc = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t exitCode = 0;
+    std::uint32_t stopReason = 0;
+    std::uint32_t lastNextPc = 0;
+
+    struct Column
+    {
+        std::uint32_t id = 0;
+        std::uint64_t rawBytes = 0;
+        std::uint64_t encBytes = 0;
+        std::uint32_t payloadCrc = 0;
+        std::size_t payloadOffset = 0;
+    };
+    std::vector<Column> columns;
+};
+
+/**
+ * Parse and CRC-check header + directory (not payload contents).
+ * Fail-soft on every malformed input.
+ */
+bool
+parseSegment(const std::vector<std::uint8_t> &bytes, Segment &seg,
+             std::string *why)
+{
+    if (bytes.size() < kHeaderBytes)
+        return fail(why, "file shorter than header");
+    const std::uint8_t *h = bytes.data();
+    if (getU32(h) != kMagic)
+        return fail(why, "bad magic");
+    const std::uint32_t version = getU32(h + 4);
+    if (version != formatVersion)
+        return fail(why, "format version " + std::to_string(version) +
+                             " != " + std::to_string(formatVersion));
+    if (crc32(0, h, 60) != getU32(h + 60))
+        return fail(why, "header CRC mismatch");
+
+    seg.instructions = getU64(h + 8);
+    seg.memOps = getU64(h + 16);
+    seg.captureLimit = getU64(h + 24);
+    seg.programCrc = getU32(h + 32);
+    seg.flags = getU32(h + 36);
+    seg.exitCode = getU32(h + 40);
+    seg.stopReason = getU32(h + 44);
+    seg.lastNextPc = getU32(h + 48);
+    const std::uint32_t column_count = getU32(h + 52);
+    if (column_count != NumColumns)
+        return fail(why, "unexpected column count");
+
+    const std::size_t dir_bytes = column_count * kDirEntryBytes;
+    if (bytes.size() < kHeaderBytes + dir_bytes + 4)
+        return fail(why, "file shorter than column directory");
+    const std::uint8_t *dir = h + kHeaderBytes;
+    if (crc32(0, dir, dir_bytes) != getU32(dir + dir_bytes))
+        return fail(why, "directory CRC mismatch");
+
+    std::size_t offset = kHeaderBytes + dir_bytes + 4;
+    seg.columns.resize(column_count);
+    for (std::uint32_t c = 0; c < column_count; ++c) {
+        const std::uint8_t *e = dir + c * kDirEntryBytes;
+        Segment::Column &col = seg.columns[c];
+        col.id = getU32(e);
+        col.rawBytes = getU64(e + 8);
+        col.encBytes = getU64(e + 16);
+        col.payloadCrc = getU32(e + 24);
+        col.payloadOffset = offset;
+        if (col.id != c)
+            return fail(why, "column directory out of order");
+        if (col.encBytes > bytes.size() - offset)
+            return fail(why, "column payload overruns file");
+        offset += col.encBytes;
+    }
+    if (offset != bytes.size())
+        return fail(why, "trailing bytes after payloads");
+    return true;
+}
+
+/** CRC-check and decode one 32-bit column. */
+bool
+decodeCol32(const std::vector<std::uint8_t> &bytes,
+            const Segment::Column &col, std::size_t n,
+            std::vector<std::uint32_t> &out, std::string *why)
+{
+    const std::uint8_t *p = bytes.data() + col.payloadOffset;
+    const std::size_t len = static_cast<std::size_t>(col.encBytes);
+    if (col.rawBytes != 4 * static_cast<std::uint64_t>(n))
+        return fail(why, std::string(columnName(col.id)) +
+                             ": raw size mismatch");
+    if (crc32(0, p, len) != col.payloadCrc)
+        return fail(why,
+                    std::string(columnName(col.id)) + ": payload CRC");
+    if (!decodeColumn32(p, len, n, out))
+        return fail(why, std::string(columnName(col.id)) +
+                             ": malformed codec stream");
+    return true;
+}
+
+bool
+decodeCol64(const std::vector<std::uint8_t> &bytes,
+            const Segment::Column &col, std::size_t n,
+            std::vector<std::uint64_t> &out, std::string *why)
+{
+    const std::uint8_t *p = bytes.data() + col.payloadOffset;
+    const std::size_t len = static_cast<std::size_t>(col.encBytes);
+    if (col.rawBytes != 8 * static_cast<std::uint64_t>(n))
+        return fail(why, std::string(columnName(col.id)) +
+                             ": raw size mismatch");
+    if (crc32(0, p, len) != col.payloadCrc)
+        return fail(why,
+                    std::string(columnName(col.id)) + ": payload CRC");
+    if (!decodeColumn64Raw(p, len, n, out))
+        return fail(why, std::string(columnName(col.id)) +
+                             ": malformed raw stream");
+    return true;
+}
+
+} // namespace
+
+/**
+ * The one class allowed to touch TraceBuffer's private columns
+ * (befriended in cpu/trace_buffer.h): turns a buffer into segment
+ * bytes and segment bytes back into a buffer.
+ */
+class TraceSerializer
+{
+  public:
+    static std::vector<std::uint8_t>
+    serialize(const cpu::TraceBuffer &b, DWord capture_limit,
+              std::uint32_t program_crc)
+    {
+        const std::size_t n = b.decIdx_.size();
+
+        // Encode every payload first so the directory can record
+        // exact sizes and CRCs. srcRs_/srcRt_ are not written: the
+        // loader rebuilds them from the result column (see ColumnId).
+        std::vector<std::uint8_t> payloads[NumColumns];
+        std::uint64_t raw_bytes[NumColumns];
+        encode32(b.decIdx_, payloads[ColDecIdx], raw_bytes[ColDecIdx]);
+        encode32(b.result_v_, payloads[ColResult], raw_bytes[ColResult]);
+        encodeColumn64Raw(b.taken_.data(), b.taken_.size(),
+                          payloads[ColTaken]);
+        raw_bytes[ColTaken] = 8 * b.taken_.size();
+        encode32(b.memAddr_, payloads[ColMemAddr], raw_bytes[ColMemAddr]);
+        encode32(b.memData_, payloads[ColMemData], raw_bytes[ColMemData]);
+
+        std::vector<std::uint8_t> out;
+        out.reserve(kHeaderBytes + NumColumns * kDirEntryBytes + 4 +
+                    payloads[0].size() + payloads[1].size() +
+                    payloads[2].size() + payloads[3].size() +
+                    payloads[4].size());
+
+        // -- header ---------------------------------------------------
+        putU32(out, kMagic);
+        putU32(out, formatVersion);
+        putU64(out, n);
+        putU64(out, b.memAddr_.size());
+        putU64(out, capture_limit);
+        putU32(out, program_crc);
+        putU32(out, b.truncated() ? kFlagTruncated : 0);
+        putU32(out, b.result_.exitCode);
+        putU32(out, static_cast<std::uint32_t>(b.result_.reason));
+        putU32(out, b.lastNextPc_);
+        putU32(out, NumColumns);
+        putU32(out, 0); // reserved
+        putU32(out, crc32(0, out.data(), 60));
+
+        // -- column directory -----------------------------------------
+        const std::size_t dir_start = out.size();
+        for (std::uint32_t c = 0; c < NumColumns; ++c) {
+            putU32(out, c);
+            putU32(out, 0); // reserved
+            putU64(out, raw_bytes[c]);
+            putU64(out, payloads[c].size());
+            putU32(out, crc32(0, payloads[c].data(), payloads[c].size()));
+            putU32(out, 0); // reserved
+        }
+        putU32(out, crc32(0, out.data() + dir_start,
+                          NumColumns * kDirEntryBytes));
+
+        // -- payloads --------------------------------------------------
+        for (const auto &payload : payloads)
+            out.insert(out.end(), payload.begin(), payload.end());
+        return out;
+    }
+
+    /**
+     * Rebuild a TraceBuffer from parsed segment @p seg backed by
+     * @p bytes, binding it to @p program. Fail-soft: nullptr + reason
+     * on any inconsistency.
+     */
+    static std::shared_ptr<cpu::TraceBuffer>
+    deserialize(const std::vector<std::uint8_t> &bytes, const Segment &seg,
+                const isa::Program &program, std::string *why)
+    {
+        const std::size_t n = static_cast<std::size_t>(seg.instructions);
+        const std::size_t mem_ops = static_cast<std::size_t>(seg.memOps);
+
+        auto buf = std::make_shared<cpu::TraceBuffer>(
+            cpu::TraceBuffer::makeForRebuild());
+        buf->program_ = program;
+        buf->decoded_.reserve(program.text().size());
+        for (const isa::Instruction &inst : program.text())
+            buf->decoded_.push_back(isa::decode(inst));
+
+        if (!decodeCol32(bytes, seg.columns[ColDecIdx], n, buf->decIdx_,
+                         why) ||
+            !decodeCol32(bytes, seg.columns[ColResult], n,
+                         buf->result_v_, why) ||
+            !decodeCol64(bytes, seg.columns[ColTaken], (n + 63) / 64,
+                         buf->taken_, why) ||
+            !decodeCol32(bytes, seg.columns[ColMemAddr], mem_ops,
+                         buf->memAddr_, why) ||
+            !decodeCol32(bytes, seg.columns[ColMemData], mem_ops,
+                         buf->memData_, why)) {
+            return nullptr;
+        }
+
+        // One fused pass over the stream does three jobs:
+        //  - bounds-check every decode index (replay gathers through
+        //    them unchecked, so a wrong segment must die here,
+        //    softly);
+        //  - verify the memory-op count replay's load/store cursor
+        //    will consume;
+        //  - rebuild the srcRs/srcRt operand columns, which the
+        //    format omits: replaying the result stream through an
+        //    architectural register file reproduces them exactly
+        //    (registers start at reset state — zeros, $sp at
+        //    stackTop — and syscalls never write registers; the
+        //    round-trip tests pin this bit-for-bit).
+        const std::size_t text_size = buf->decoded_.size();
+        buf->srcRs_.resize(n);
+        buf->srcRt_.resize(n);
+        std::array<Word, isa::numRegs + 1> regs{}; // last = write sink
+        regs[isa::reg::sp] = isa::stackTop;
+        std::size_t seen_mem_ops = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t idx = buf->decIdx_[i];
+            if (idx >= text_size) {
+                fail(why, "decode index out of range");
+                return nullptr;
+            }
+            const isa::DecodedInstr &d = buf->decoded_[idx];
+            buf->srcRs_[i] = d.readsRs ? regs[d.inst.rs()] : 0;
+            buf->srcRt_[i] = d.readsRt ? regs[d.inst.rt()] : 0;
+            seen_mem_ops += (d.isLoad || d.isStore) ? 1 : 0;
+            regs[d.writesDest ? static_cast<unsigned>(d.dest)
+                              : isa::numRegs] = buf->result_v_[i];
+        }
+        if (seen_mem_ops != mem_ops) {
+            fail(why, "memory-op count inconsistent with program");
+            return nullptr;
+        }
+
+        buf->lastNextPc_ = seg.lastNextPc;
+        buf->result_.reason =
+            static_cast<cpu::StopReason>(seg.stopReason);
+        buf->result_.exitCode = seg.exitCode;
+        buf->result_.instructions = seg.instructions;
+        if (buf->result_.reason != cpu::StopReason::Exited &&
+            buf->result_.reason != cpu::StopReason::InstrLimit) {
+            fail(why, "segment records a failed capture");
+            return nullptr;
+        }
+        return buf;
+    }
+
+  private:
+    static void
+    encode32(const std::vector<std::uint32_t> &v,
+             std::vector<std::uint8_t> &out, std::uint64_t &raw_bytes)
+    {
+        raw_bytes = 4 * static_cast<std::uint64_t>(v.size());
+        encodeColumn32(v.data(), v.size(), out);
+    }
+};
+
+std::uint64_t
+SegmentInfo::rawBytes() const
+{
+    std::uint64_t total = 0;
+    for (const ColumnStat &c : columns)
+        total += c.rawBytes;
+    return total;
+}
+
+std::uint64_t
+SegmentInfo::encodedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const ColumnStat &c : columns)
+        total += c.encodedBytes;
+    return total;
+}
+
+TraceStore::TraceStore(std::string dir, bool read_only)
+    : dir_(std::move(dir)), readOnly_(read_only)
+{
+    if (!readOnly_) {
+        std::error_code ec;
+        fs::create_directories(dir_, ec);
+        SC_ASSERT(!ec, "cannot create trace store directory '", dir_,
+                  "': ", ec.message());
+    }
+}
+
+std::string
+TraceStore::segmentPath(const std::string &workload) const
+{
+    return (fs::path(dir_) / (sanitize(workload) + ".sctrace")).string();
+}
+
+std::uint32_t
+TraceStore::programFingerprint(const isa::Program &program)
+{
+    std::uint32_t crc = 0;
+    for (const isa::Instruction &inst : program.text()) {
+        const Word raw = inst.raw();
+        std::uint8_t le[4] = {static_cast<std::uint8_t>(raw),
+                              static_cast<std::uint8_t>(raw >> 8),
+                              static_cast<std::uint8_t>(raw >> 16),
+                              static_cast<std::uint8_t>(raw >> 24)};
+        crc = crc32(crc, le, 4);
+    }
+    const isa::DataSegment &data = program.data();
+    if (!data.bytes.empty())
+        crc = crc32(crc, data.bytes.data(), data.bytes.size());
+    std::vector<std::uint8_t> tail;
+    putU32(tail, data.base);
+    putU32(tail, program.entry());
+    crc = crc32(crc, tail.data(), tail.size());
+    return crc;
+}
+
+std::shared_ptr<cpu::TraceBuffer>
+TraceStore::load(const std::string &workload, const isa::Program &program,
+                 DWord capture_limit, std::string *why) const
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(segmentPath(workload), bytes)) {
+        fail(why, "no segment");
+        return nullptr;
+    }
+    Segment seg;
+    if (!parseSegment(bytes, seg, why))
+        return nullptr;
+    if (seg.programCrc != programFingerprint(program)) {
+        fail(why, "program fingerprint mismatch (workload changed)");
+        return nullptr;
+    }
+    if (seg.captureLimit != capture_limit) {
+        fail(why, "capture-limit mismatch");
+        return nullptr;
+    }
+    return TraceSerializer::deserialize(bytes, seg, program, why);
+}
+
+bool
+TraceStore::save(const std::string &workload,
+                 const cpu::TraceBuffer &trace, DWord capture_limit,
+                 std::string *why) const
+{
+    if (readOnly_)
+        return fail(why, "store is read-only");
+
+    const std::vector<std::uint8_t> bytes = TraceSerializer::serialize(
+        trace, capture_limit, programFingerprint(trace.program()));
+
+    // Unique per save, not just per process: two threads saving the
+    // same workload (global + local cache, prewarm races) must not
+    // truncate each other's in-progress temp file.
+    static std::atomic<std::uint64_t> save_seq{0};
+    const std::string path = segmentPath(workload);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+        std::to_string(save_seq.fetch_add(1));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return fail(why, "cannot open " + tmp);
+    const std::size_t wrote =
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fclose(f) == 0;
+    if (wrote != bytes.size() || !flushed) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return fail(why, "short write to " + tmp);
+    }
+    // Atomic publish: readers never observe a partial segment.
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return fail(why, "rename failed: " + ec.message());
+    }
+    return true;
+}
+
+bool
+TraceStore::contains(const std::string &workload) const
+{
+    std::error_code ec;
+    return fs::exists(segmentPath(workload), ec);
+}
+
+bool
+TraceStore::remove(const std::string &workload) const
+{
+    std::error_code ec;
+    return fs::remove(segmentPath(workload), ec);
+}
+
+std::vector<std::string>
+TraceStore::list() const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const fs::path &p = entry.path();
+        if (p.extension() == ".sctrace")
+            names.push_back(p.stem().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+TraceStore::info(const std::string &workload, SegmentInfo &out,
+                 std::string *why) const
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(segmentPath(workload), bytes))
+        return fail(why, "no segment");
+    Segment seg;
+    if (!parseSegment(bytes, seg, why))
+        return false;
+
+    out = SegmentInfo();
+    out.workload = workload;
+    out.path = segmentPath(workload);
+    out.instructions = seg.instructions;
+    out.fileBytes = bytes.size();
+    out.captureLimit = seg.captureLimit;
+    out.truncated = (seg.flags & kFlagTruncated) != 0;
+    for (const Segment::Column &col : seg.columns) {
+        out.columns.push_back(
+            {columnName(col.id), col.rawBytes, col.encBytes});
+    }
+    return true;
+}
+
+bool
+TraceStore::verify(const std::string &workload,
+                   const isa::Program *program, std::string *why) const
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(segmentPath(workload), bytes))
+        return fail(why, "no segment");
+    Segment seg;
+    if (!parseSegment(bytes, seg, why))
+        return false;
+    if (program != nullptr) {
+        if (seg.programCrc != programFingerprint(*program))
+            return fail(why, "program fingerprint mismatch");
+        return TraceSerializer::deserialize(bytes, seg, *program, why) !=
+               nullptr;
+    }
+    // No program: still decode every payload so CRC and codec damage
+    // is caught.
+    const std::size_t n = static_cast<std::size_t>(seg.instructions);
+    const std::size_t mem_ops = static_cast<std::size_t>(seg.memOps);
+    std::vector<std::uint32_t> v32;
+    std::vector<std::uint64_t> v64;
+    return decodeCol32(bytes, seg.columns[ColDecIdx], n, v32, why) &&
+           decodeCol32(bytes, seg.columns[ColResult], n, v32, why) &&
+           decodeCol64(bytes, seg.columns[ColTaken], (n + 63) / 64, v64,
+                       why) &&
+           decodeCol32(bytes, seg.columns[ColMemAddr], mem_ops, v32,
+                       why) &&
+           decodeCol32(bytes, seg.columns[ColMemData], mem_ops, v32, why);
+}
+
+std::uint64_t
+StoreStats::rawBytes() const
+{
+    std::uint64_t total = 0;
+    for (const ColumnStat &c : columns)
+        total += c.rawBytes;
+    return total;
+}
+
+std::uint64_t
+StoreStats::encodedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const ColumnStat &c : columns)
+        total += c.encodedBytes;
+    return total;
+}
+
+StoreStats
+aggregateStats(const TraceStore &store)
+{
+    StoreStats stats;
+    for (const std::string &name : store.list()) {
+        SegmentInfo info;
+        if (!store.info(name, info, nullptr))
+            continue;
+        ++stats.segments;
+        stats.instructions += info.instructions;
+        stats.fileBytes += info.fileBytes;
+        if (stats.columns.empty())
+            stats.columns.resize(info.columns.size());
+        for (std::size_t c = 0;
+             c < info.columns.size() && c < stats.columns.size(); ++c) {
+            stats.columns[c].name = info.columns[c].name;
+            stats.columns[c].rawBytes += info.columns[c].rawBytes;
+            stats.columns[c].encodedBytes += info.columns[c].encodedBytes;
+        }
+    }
+    return stats;
+}
+
+void
+writeColumnsJson(std::FILE *f, const std::vector<ColumnStat> &columns,
+                 const char *indent)
+{
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        std::fprintf(
+            f,
+            "%s{\"name\": \"%s\", \"raw_bytes\": %llu, "
+            "\"encoded_bytes\": %llu, \"ratio\": %.3f}%s\n",
+            indent, columns[c].name.c_str(),
+            static_cast<unsigned long long>(columns[c].rawBytes),
+            static_cast<unsigned long long>(columns[c].encodedBytes),
+            columns[c].ratio(), c + 1 < columns.size() ? "," : "");
+    }
+}
+
+} // namespace sigcomp::store

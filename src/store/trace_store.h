@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Persistent significance-compressed trace store: the disk tier
+ * behind analysis::TraceCache.
+ *
+ * PR 2 made functional simulation a once-per-process cost; the store
+ * makes it a once-per-*machine* cost. Each workload's TraceBuffer
+ * serializes into one segment file under the store directory,
+ * columns encoded with the significance-aware codecs of
+ * store/codec.h, so a cold process loads and replays instead of
+ * recapturing.
+ *
+ * Segment file format (version 1, all integers little-endian) — see
+ * README "Persistent trace store" for the full layout:
+ *
+ *   header (64 bytes, CRC-guarded):
+ *     magic 'SCTR', format version, instruction count, memory-op
+ *     count, capture limit, program fingerprint (CRC over text,
+ *     data segment and entry point), flags (truncated), stop
+ *     reason/exit code, lastNextPc, column count, header CRC;
+ *   column directory (one 32-byte entry per column + CRC):
+ *     column id, raw (decoded) bytes, encoded bytes, payload CRC;
+ *   column payloads, in directory order.
+ *
+ * Only five columns are stored (decode index, result, taken bits,
+ * memory address/data): the operand columns are rebuilt at load time
+ * by replaying the result stream through an architectural register
+ * file, which is cheaper than decoding them and shrinks segments by
+ * another ~40%.
+ *
+ * Integrity and versioning rules:
+ *  - load() is *fail-soft*: any mismatch — bad magic, foreign format
+ *    version, CRC failure (header, directory or payload), truncated
+ *    file, program fingerprint or capture-limit mismatch, malformed
+ *    codec stream — returns nullptr with a reason string; callers
+ *    recapture. A segment can never crash the process or yield a
+ *    trace that differs from live capture.
+ *  - save() writes to a temp file and renames into place, so readers
+ *    racing a writer only ever observe complete segments.
+ *  - the format version bumps on any layout/codec change; old
+ *    segments are simply recaptured (and `sigcomp_store gc` removes
+ *    them).
+ *
+ * Thread-safety: TraceStore is stateless between calls (all state is
+ * the filesystem); concurrent load/save/verify from any number of
+ * threads or processes is safe.
+ */
+
+#ifndef SIGCOMP_STORE_TRACE_STORE_H_
+#define SIGCOMP_STORE_TRACE_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/trace_buffer.h"
+#include "isa/program.h"
+
+namespace sigcomp::store
+{
+
+/** Bump on any incompatible change to the segment layout or codecs. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** Per-column size accounting for stats/compression-ratio reports. */
+struct ColumnStat
+{
+    std::string name;
+    std::uint64_t rawBytes = 0;
+    std::uint64_t encodedBytes = 0;
+
+    double
+    ratio() const
+    {
+        return encodedBytes
+                   ? static_cast<double>(rawBytes) /
+                         static_cast<double>(encodedBytes)
+                   : 0.0;
+    }
+};
+
+/** Decoded segment metadata (header + directory, no payloads). */
+struct SegmentInfo
+{
+    std::string workload;
+    std::string path;
+    std::uint64_t instructions = 0;
+    std::uint64_t fileBytes = 0;
+    std::uint64_t captureLimit = 0;
+    bool truncated = false;
+    std::vector<ColumnStat> columns;
+
+    std::uint64_t rawBytes() const;
+    std::uint64_t encodedBytes() const;
+};
+
+/**
+ * One directory of trace segments. Cheap value-ish handle: holds only
+ * the path and mode.
+ */
+class TraceStore
+{
+  public:
+    /**
+     * Open (and unless @p read_only, create) the store directory.
+     * Fatal only when a writable store's directory cannot be created;
+     * a missing read-only store simply contains nothing.
+     */
+    explicit TraceStore(std::string dir, bool read_only = false);
+
+    const std::string &dir() const { return dir_; }
+    bool readOnly() const { return readOnly_; }
+
+    /**
+     * Load @p workload's trace, rebuilt against @p program (the store
+     * persists only the dynamic columns; static program state is
+     * rebuilt by the workload registry and checked against the
+     * fingerprint). @p capture_limit must match the segment's capture
+     * parameters. Fail-soft: nullptr on any mismatch or corruption,
+     * with the reason in @p why when non-null.
+     */
+    std::shared_ptr<cpu::TraceBuffer>
+    load(const std::string &workload, const isa::Program &program,
+         DWord capture_limit, std::string *why = nullptr) const;
+
+    /**
+     * Persist @p trace as @p workload's segment (atomic
+     * replace-on-rename). @return false (reason in @p why) on I/O
+     * failure or when the store is read-only; never throws — a
+     * failed save only costs a later recapture.
+     */
+    bool save(const std::string &workload, const cpu::TraceBuffer &trace,
+              DWord capture_limit, std::string *why = nullptr) const;
+
+    /** True when a segment file for @p workload exists. */
+    bool contains(const std::string &workload) const;
+
+    /** Delete @p workload's segment. @return true when removed. */
+    bool remove(const std::string &workload) const;
+
+    /** Workload names of all segments present, sorted. */
+    std::vector<std::string> list() const;
+
+    /**
+     * Read a segment's header and column directory (CRC-checked, no
+     * payload decode). @return false on any corruption.
+     */
+    bool info(const std::string &workload, SegmentInfo &out,
+              std::string *why = nullptr) const;
+
+    /**
+     * Full integrity check: header, directory and payload CRCs plus
+     * codec decode; with @p program also the fingerprint.
+     */
+    bool verify(const std::string &workload,
+                const isa::Program *program = nullptr,
+                std::string *why = nullptr) const;
+
+    /** Segment path for @p workload (exists or not). */
+    std::string segmentPath(const std::string &workload) const;
+
+    /**
+     * Fingerprint binding a segment to the exact program it was
+     * captured from: CRC over the text words, data segment and entry
+     * point.
+     */
+    static std::uint32_t programFingerprint(const isa::Program &program);
+
+  private:
+    std::string dir_;
+    bool readOnly_;
+};
+
+/** Whole-store aggregation for ratio/stats reporting. */
+struct StoreStats
+{
+    std::size_t segments = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t fileBytes = 0;
+    /** Per-column totals summed across all readable segments. */
+    std::vector<ColumnStat> columns;
+
+    std::uint64_t rawBytes() const;
+    std::uint64_t encodedBytes() const;
+
+    double
+    totalRatio() const
+    {
+        return encodedBytes()
+                   ? static_cast<double>(rawBytes()) /
+                         static_cast<double>(encodedBytes())
+                   : 0.0;
+    }
+};
+
+/**
+ * Sum header/directory metadata over every readable segment in
+ * @p store (unreadable segments are skipped — they are recapture
+ * fodder, not an error here).
+ */
+StoreStats aggregateStats(const TraceStore &store);
+
+/**
+ * Emit @p columns as JSON objects
+ * `{"name", "raw_bytes", "encoded_bytes", "ratio"}`, one per line
+ * prefixed with @p indent, comma-separated — the shared body of the
+ * `sigcomp_store stats --json` and BENCH_suite.json reports.
+ */
+void writeColumnsJson(std::FILE *f,
+                      const std::vector<ColumnStat> &columns,
+                      const char *indent);
+
+} // namespace sigcomp::store
+
+#endif // SIGCOMP_STORE_TRACE_STORE_H_

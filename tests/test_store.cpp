@@ -1,0 +1,675 @@
+/**
+ * @file
+ * Persistent trace store tests: codec round trips, segment
+ * save/load field-exactness, fail-soft behaviour on every corruption
+ * mode (truncation, bit flips, version and fingerprint mismatches),
+ * the two-tier TraceCache (load-instead-of-capture, LRU spill,
+ * concurrent read-while-spill), and the acceptance property that
+ * store-replayed activity/CPI/profiler outputs are bit-identical to
+ * live capture across all three encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/trace_cache.h"
+#include "common/crc32.h"
+#include "pipeline/runner.h"
+#include "store/codec.h"
+#include "store/trace_store.h"
+#include "workloads/workload.h"
+
+namespace sigcomp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using analysis::StudyOptions;
+using analysis::TraceCache;
+using pipeline::Design;
+using store::TraceStore;
+
+/** Fresh per-test directory under the gtest temp root. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               (std::string("sigcomp-store-") + info->name());
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    dir() const
+    {
+        return dir_.string();
+    }
+
+    fs::path dir_;
+};
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- column codecs ---------------------------------------------------
+
+std::vector<std::uint32_t>
+codecRoundTrip(const std::vector<std::uint32_t> &vals)
+{
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(vals.data(), vals.size(), enc);
+    std::vector<std::uint32_t> dec;
+    EXPECT_TRUE(
+        store::decodeColumn32(enc.data(), enc.size(), vals.size(), dec));
+    return dec;
+}
+
+TEST(StoreCodec, RoundTripsRepresentativeStreams)
+{
+    // Empty.
+    EXPECT_TRUE(codecRoundTrip({}).empty());
+
+    // Small operand-like values (SigPack territory).
+    std::vector<std::uint32_t> small;
+    for (std::uint32_t i = 0; i < 10'000; ++i)
+        small.push_back(i % 251);
+    EXPECT_EQ(codecRoundTrip(small), small);
+
+    // Sequential decode-index-like values (DeltaVarint territory).
+    std::vector<std::uint32_t> seq;
+    for (std::uint32_t i = 0; i < 10'000; ++i)
+        seq.push_back(1000 + i + (i % 17 == 0 ? 40 : 0));
+    EXPECT_EQ(codecRoundTrip(seq), seq);
+
+    // Negatives / sign-extended values.
+    std::vector<std::uint32_t> neg;
+    for (std::uint32_t i = 0; i < 10'000; ++i)
+        neg.push_back(static_cast<std::uint32_t>(-static_cast<int>(i)));
+    EXPECT_EQ(codecRoundTrip(neg), neg);
+
+    // Full-entropy words (raw fallback; must not explode).
+    std::vector<std::uint32_t> wide;
+    std::uint32_t x = 0x12345678;
+    for (std::uint32_t i = 0; i < 10'000; ++i) {
+        x = x * 1664525u + 1013904223u;
+        wide.push_back(x);
+    }
+    EXPECT_EQ(codecRoundTrip(wide), wide);
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(wide.data(), wide.size(), enc);
+    // Worst case bounded: raw + one 5-byte header per 4096-value block.
+    EXPECT_LE(enc.size(),
+              4 * wide.size() +
+                  5 * (wide.size() / store::codecBlockValues + 1));
+}
+
+TEST(StoreCodec, SignificancePackingBeatsRawOnOperandMixes)
+{
+    std::vector<std::uint32_t> vals;
+    for (std::uint32_t i = 0; i < 100'000; ++i) {
+        if (i % 16 < 9)
+            vals.push_back(i % 100); // small positive
+        else if (i % 16 < 12)
+            vals.push_back(
+                static_cast<std::uint32_t>(-static_cast<int>(i % 256)));
+        else if (i % 16 < 14)
+            vals.push_back(0x1000 + i % 0x4000); // halfword-ish
+        else
+            vals.push_back(0x10000000u + i); // pointer-like
+    }
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(vals.data(), vals.size(), enc);
+    EXPECT_LT(enc.size(), 4 * vals.size() / 2)
+        << "significance packing should at least halve a Table-1-like "
+           "operand mix";
+    EXPECT_EQ(codecRoundTrip(vals), vals);
+}
+
+TEST(StoreCodec, DecodeFailsSoftOnMalformedStreams)
+{
+    std::vector<std::uint32_t> vals(5000, 7);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        vals[i] = static_cast<std::uint32_t>(3 * i);
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(vals.data(), vals.size(), enc);
+
+    std::vector<std::uint32_t> dec;
+    // Truncated at every interesting boundary.
+    for (const std::size_t len :
+         {std::size_t{0}, std::size_t{3}, enc.size() / 2, enc.size() - 1})
+        EXPECT_FALSE(
+            store::decodeColumn32(enc.data(), len, vals.size(), dec))
+            << "len=" << len;
+    // Wrong expected count.
+    EXPECT_FALSE(store::decodeColumn32(enc.data(), enc.size(),
+                                       vals.size() - 1, dec));
+    EXPECT_FALSE(store::decodeColumn32(enc.data(), enc.size(),
+                                       vals.size() + 1, dec));
+    // Unknown block mode.
+    std::vector<std::uint8_t> bad = enc;
+    bad[0] = 0x7F;
+    EXPECT_FALSE(
+        store::decodeColumn32(bad.data(), bad.size(), vals.size(), dec));
+}
+
+// ---- segment save/load ----------------------------------------------
+
+TEST_F(StoreTest, SegmentRoundTripIsFieldExact)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const auto captured = std::make_shared<cpu::TraceBuffer>(
+        cpu::TraceBuffer::capture(w.program));
+
+    const TraceStore ts(dir());
+    std::string why;
+    ASSERT_TRUE(ts.save("rawcaudio", *captured,
+                        cpu::TraceBuffer::defaultMaxInstrs, &why))
+        << why;
+    ASSERT_TRUE(ts.contains("rawcaudio"));
+
+    const auto loaded = ts.load(
+        "rawcaudio", w.program, cpu::TraceBuffer::defaultMaxInstrs, &why);
+    ASSERT_NE(loaded, nullptr) << why;
+    ASSERT_EQ(loaded->size(), captured->size());
+    EXPECT_EQ(loaded->runResult().instructions,
+              captured->runResult().instructions);
+    EXPECT_EQ(loaded->runResult().exitCode,
+              captured->runResult().exitCode);
+    EXPECT_FALSE(loaded->truncated());
+
+    // The replayed streams must match field for field.
+    struct Collect : cpu::TraceSink
+    {
+        void
+        retire(const cpu::DynInstr &di) override
+        {
+            instrs.push_back(di);
+        }
+        std::vector<cpu::DynInstr> instrs;
+    };
+    Collect a;
+    cpu::TraceView(*captured).replay(a);
+    Collect b;
+    cpu::TraceView(*loaded).replay(b);
+    ASSERT_EQ(a.instrs.size(), b.instrs.size());
+    for (std::size_t i = 0; i < a.instrs.size(); ++i) {
+        const cpu::DynInstr &x = a.instrs[i];
+        const cpu::DynInstr &y = b.instrs[i];
+        ASSERT_EQ(x.pc, y.pc) << i;
+        ASSERT_EQ(x.dec->inst.raw(), y.dec->inst.raw()) << i;
+        ASSERT_EQ(x.srcRs, y.srcRs) << i;
+        ASSERT_EQ(x.srcRt, y.srcRt) << i;
+        ASSERT_EQ(x.result, y.result) << i;
+        ASSERT_EQ(x.memAddr, y.memAddr) << i;
+        ASSERT_EQ(x.memData, y.memData) << i;
+        ASSERT_EQ(x.taken, y.taken) << i;
+        ASSERT_EQ(x.nextPc, y.nextPc) << i;
+    }
+
+    // The on-disk codec must actually compress the columns.
+    store::SegmentInfo info;
+    ASSERT_TRUE(ts.info("rawcaudio", info, &why)) << why;
+    EXPECT_EQ(info.instructions, captured->size());
+    EXPECT_LT(info.encodedBytes(), info.rawBytes() / 2)
+        << "significance compression should at least halve the trace";
+    EXPECT_TRUE(ts.verify("rawcaudio", &w.program, &why)) << why;
+}
+
+TEST_F(StoreTest, TruncatedCapturesRoundTripWithTheirLimit)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer t =
+        cpu::TraceBuffer::capture(w.program, 1000, true);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(ts.save("rawcaudio", t, 1000));
+
+    std::string why;
+    const auto loaded = ts.load("rawcaudio", w.program, 1000, &why);
+    ASSERT_NE(loaded, nullptr) << why;
+    EXPECT_TRUE(loaded->truncated());
+    EXPECT_EQ(loaded->size(), 1000u);
+
+    // A different capture limit must not replay this segment.
+    EXPECT_EQ(ts.load("rawcaudio", w.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr);
+    EXPECT_NE(why.find("capture-limit"), std::string::npos) << why;
+}
+
+TEST_F(StoreTest, LoadFailsSoftOnEveryCorruptionMode)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(ts.save("rawdaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+    const std::string path = ts.segmentPath("rawdaudio");
+    const std::vector<std::uint8_t> good = readAll(path);
+    ASSERT_GT(good.size(), 200u);
+
+    const auto loads = [&](const char *what) {
+        std::string why;
+        const auto p = ts.load("rawdaudio", w.program,
+                               cpu::TraceBuffer::defaultMaxInstrs, &why);
+        EXPECT_EQ(p, nullptr) << what << " should fail soft";
+        EXPECT_FALSE(ts.verify("rawdaudio", &w.program)) << what;
+        return why;
+    };
+
+    // Truncated segment (mid-payload and mid-header).
+    for (const std::size_t keep :
+         {good.size() / 2, std::size_t{80}, std::size_t{10}}) {
+        std::vector<std::uint8_t> cut(good.begin(),
+                                      good.begin() +
+                                          static_cast<long>(keep));
+        writeAll(path, cut);
+        loads("truncation");
+    }
+
+    // Flipped payload byte: the column CRC must catch it.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[bad.size() - 100] ^= 0x40;
+        writeAll(path, bad);
+        const std::string why = loads("payload bit flip");
+        EXPECT_NE(why.find("CRC"), std::string::npos) << why;
+    }
+
+    // Flipped header byte: the header CRC must catch it.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[9] ^= 0x01; // instruction count
+        writeAll(path, bad);
+        loads("header bit flip");
+    }
+
+    // Foreign format version with a *valid* header CRC: the version
+    // gate itself must reject it.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[4] = static_cast<std::uint8_t>(store::formatVersion + 1);
+        const std::uint32_t crc = crc32(0, bad.data(), 60);
+        bad[60] = static_cast<std::uint8_t>(crc);
+        bad[61] = static_cast<std::uint8_t>(crc >> 8);
+        bad[62] = static_cast<std::uint8_t>(crc >> 16);
+        bad[63] = static_cast<std::uint8_t>(crc >> 24);
+        writeAll(path, bad);
+        const std::string why = loads("version bump");
+        EXPECT_NE(why.find("version"), std::string::npos) << why;
+    }
+
+    // Wrong magic / empty file / no file.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[0] = 'X';
+        writeAll(path, bad);
+        loads("bad magic");
+        writeAll(path, {});
+        loads("empty file");
+        fs::remove(path);
+        std::string why;
+        EXPECT_EQ(ts.load("rawdaudio", w.program,
+                          cpu::TraceBuffer::defaultMaxInstrs, &why),
+                  nullptr);
+    }
+
+    // Restore the pristine bytes: everything must work again.
+    writeAll(path, good);
+    std::string why;
+    EXPECT_NE(ts.load("rawdaudio", w.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr)
+        << why;
+}
+
+TEST_F(StoreTest, FingerprintRejectsSegmentsFromOtherPrograms)
+{
+    const workloads::Workload a = workloads::Suite::build("rawcaudio");
+    const workloads::Workload b = workloads::Suite::build("rawdaudio");
+    const TraceStore ts(dir());
+    ASSERT_TRUE(ts.save("x", cpu::TraceBuffer::capture(a.program),
+                        cpu::TraceBuffer::defaultMaxInstrs));
+
+    // Same segment name, different program: the fingerprint must
+    // refuse (this is the "workload kernel was edited" staleness
+    // case).
+    std::string why;
+    EXPECT_EQ(ts.load("x", b.program, cpu::TraceBuffer::defaultMaxInstrs,
+                      &why),
+              nullptr);
+    EXPECT_NE(why.find("fingerprint"), std::string::npos) << why;
+    EXPECT_NE(ts.load("x", a.program, cpu::TraceBuffer::defaultMaxInstrs,
+                      &why),
+              nullptr)
+        << why;
+}
+
+TEST_F(StoreTest, EscapedSegmentNamesDoNotCollide)
+{
+    // "a/b" and "a b" both escape to "a_b"; the hash suffix must
+    // keep their segments distinct (aliased files would silently
+    // clobber each other through the fingerprint check).
+    const workloads::Workload a = workloads::Suite::build("rawcaudio");
+    const workloads::Workload b = workloads::Suite::build("rawdaudio");
+    const TraceStore ts(dir());
+    ASSERT_TRUE(ts.save("a/b", cpu::TraceBuffer::capture(a.program),
+                        cpu::TraceBuffer::defaultMaxInstrs));
+    ASSERT_TRUE(ts.save("a b", cpu::TraceBuffer::capture(b.program),
+                        cpu::TraceBuffer::defaultMaxInstrs));
+    EXPECT_NE(ts.segmentPath("a/b"), ts.segmentPath("a b"));
+    std::string why;
+    EXPECT_NE(ts.load("a/b", a.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr)
+        << why;
+    EXPECT_NE(ts.load("a b", b.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr)
+        << why;
+}
+
+TEST_F(StoreTest, ListInfoRemoveManageSegments)
+{
+    const TraceStore ts(dir());
+    EXPECT_TRUE(ts.list().empty());
+    for (const char *name : {"rawcaudio", "rawdaudio"}) {
+        const workloads::Workload w = workloads::Suite::build(name);
+        ASSERT_TRUE(ts.save(name,
+                            cpu::TraceBuffer::capture(w.program, 2000,
+                                                      true),
+                            2000));
+    }
+    EXPECT_EQ(ts.list(),
+              (std::vector<std::string>{"rawcaudio", "rawdaudio"}));
+    EXPECT_TRUE(ts.remove("rawcaudio"));
+    EXPECT_FALSE(ts.remove("rawcaudio"));
+    EXPECT_EQ(ts.list(), (std::vector<std::string>{"rawdaudio"}));
+}
+
+// ---- two-tier TraceCache --------------------------------------------
+
+TEST_F(StoreTest, CacheLoadsFromStoreInsteadOfRecapturing)
+{
+    TraceCache cache;
+    cache.configureStore({dir(), 0, false});
+
+    const TraceCache::TracePtr first = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_EQ(cache.storeSaves(), 1u);
+    EXPECT_EQ(cache.storeLoads(), 0u);
+
+    // Simulate a cold process: drop the RAM tier. The next get()
+    // must come from disk, not functional simulation.
+    cache.clear();
+    const TraceCache::TracePtr second = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 1u) << "store hit must skip capture";
+    EXPECT_EQ(cache.storeLoads(), 1u);
+    ASSERT_EQ(second->size(), first->size());
+    EXPECT_EQ(second->runResult().instructions,
+              first->runResult().instructions);
+
+    // A genuinely cold cache object (new process) rides the same
+    // segments.
+    TraceCache fresh;
+    fresh.configureStore({dir(), 0, true}); // read-only is enough
+    const TraceCache::TracePtr third = fresh.get("rawcaudio");
+    EXPECT_EQ(fresh.captures(), 0u);
+    EXPECT_EQ(fresh.storeLoads(), 1u);
+    EXPECT_EQ(third->size(), first->size());
+}
+
+TEST_F(StoreTest, CacheRecapturesOverCorruptOrStaleSegments)
+{
+    TraceCache cache;
+    cache.configureStore({dir(), 0, false});
+    cache.get("rawcaudio");
+    ASSERT_EQ(cache.storeSaves(), 1u);
+
+    // Corrupt the segment on disk; a cold get() must fall back to
+    // capture (fail soft) and overwrite with a good segment.
+    const TraceStore ts(dir());
+    const std::string path = ts.segmentPath("rawcaudio");
+    std::vector<std::uint8_t> bytes = readAll(path);
+    bytes.resize(bytes.size() / 3);
+    writeAll(path, bytes);
+
+    cache.clear();
+    const TraceCache::TracePtr t = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 2u);
+    EXPECT_EQ(cache.storeLoads(), 0u);
+    EXPECT_EQ(cache.storeSaves(), 2u) << "good segment rewritten";
+    EXPECT_GT(t->size(), 0u);
+
+    // And the rewritten segment serves the next cold process.
+    cache.clear();
+    cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 2u);
+    EXPECT_EQ(cache.storeLoads(), 1u);
+}
+
+TEST_F(StoreTest, ReadOnlyStoreNeverWrites)
+{
+    TraceCache cache;
+    cache.configureStore({dir(), 0, true});
+    cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_EQ(cache.storeSaves(), 0u);
+    EXPECT_TRUE(TraceStore(dir(), true).list().empty());
+}
+
+TEST_F(StoreTest, SpillBudgetBoundsRamAndReloadsFromDisk)
+{
+    TraceCache cache;
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic"};
+    // Find one workload's footprint to size the budget.
+    cache.configureStore({dir(), 0, false});
+    const std::size_t one = [&] {
+        cache.get(names[0]);
+        const std::size_t bytes = cache.memoryBytes();
+        return bytes;
+    }();
+    ASSERT_GT(one, 0u);
+
+    // Budget of ~1.5 workloads: after touching three, at most one
+    // spare can stay resident next to the most recent one.
+    cache.configureStore({dir(), one + one / 2, false});
+    for (const std::string &n : names)
+        cache.get(n);
+    EXPECT_LE(cache.memoryBytes(), one + one / 2);
+    EXPECT_LT(cache.memoryBytes(), 3 * one);
+
+    // A spilled workload comes back from disk, not capture.
+    const std::uint64_t captures = cache.captures();
+    std::size_t spilled = 0;
+    for (const std::string &n : names)
+        if (!cache.contains(n))
+            ++spilled;
+    EXPECT_GT(spilled, 0u);
+    for (const std::string &n : names)
+        EXPECT_GT(cache.get(n)->size(), 0u);
+    EXPECT_EQ(cache.captures(), captures)
+        << "reloads must come from the store";
+    EXPECT_GT(cache.storeLoads(), 0u);
+}
+
+TEST_F(StoreTest, ConcurrentReadWhileSpillFailsSoft)
+{
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic", "unepic"};
+    // Reference sizes from a plain cache.
+    std::map<std::string, std::size_t> want;
+    {
+        TraceCache ref;
+        ref.setCaptureLimit(20'000);
+        for (const std::string &n : names)
+            want[n] = ref.get(n)->size();
+    }
+
+    TraceCache cache;
+    cache.setCaptureLimit(20'000);
+    // A 1-byte budget forces a spill after every single get(): the
+    // most hostile read-while-spill interleaving possible.
+    cache.configureStore({dir(), 1, false});
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kRounds = 25;
+    std::vector<std::thread> threads;
+    std::atomic<bool> ok{true};
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (unsigned r = 0; r < kRounds; ++r) {
+                const std::string &n =
+                    names[(t + r) % names.size()];
+                const TraceCache::TracePtr p = cache.get(n);
+                if (p == nullptr || p->size() != want[n])
+                    ok = false;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_TRUE(ok.load())
+        << "a spilled-and-reloaded trace returned wrong data";
+    // Disk served the reloads; capture ran at most once per workload
+    // per miss burst (sanity: not once per get()).
+    EXPECT_GT(cache.storeLoads(), 0u);
+    EXPECT_LT(cache.captures(), kThreads * kRounds / 2);
+}
+
+// ---- acceptance: store-replay bit identity ---------------------------
+
+bool
+sameBits(const pipeline::BitPair &a, const pipeline::BitPair &b)
+{
+    return a.compressed == b.compressed && a.baseline == b.baseline;
+}
+
+bool
+sameActivity(const pipeline::ActivityTotals &a,
+             const pipeline::ActivityTotals &b)
+{
+    return sameBits(a.fetch, b.fetch) && sameBits(a.rfRead, b.rfRead) &&
+           sameBits(a.rfWrite, b.rfWrite) && sameBits(a.alu, b.alu) &&
+           sameBits(a.dcData, b.dcData) && sameBits(a.dcTag, b.dcTag) &&
+           sameBits(a.pcInc, b.pcInc) && sameBits(a.latch, b.latch);
+}
+
+class StoreBitIdentity : public ::testing::TestWithParam<sig::Encoding>
+{
+  protected:
+    void
+    TearDown() override
+    {
+        // Detach the store from the global cache so later tests (and
+        // other fixtures) see the plain two-tier-less behaviour.
+        TraceCache::global().configureStore({});
+        TraceCache::global().clear();
+        fs::remove_all(dir_);
+    }
+
+    fs::path dir_ = fs::path(::testing::TempDir()) /
+                    "sigcomp-store-bit-identity";
+};
+
+TEST_P(StoreBitIdentity, ActivityCpiAndProfilersMatchLiveCapture)
+{
+    const sig::Encoding enc = GetParam();
+    const std::string sdir = dir_.string();
+
+    StudyOptions direct_opt;
+    direct_opt.threads = 1;
+    direct_opt.useCache = false;
+
+    StudyOptions store_opt;
+    store_opt.storeDir = sdir;
+
+    // Live-capture reference.
+    const auto activity_live = analysis::runActivityStudy(enc, direct_opt);
+    const auto cpi_live = analysis::runCpiStudy(
+        pipeline::allDesigns(), analysis::suiteConfig(enc), direct_opt);
+    analysis::PatternProfiler pat_live;
+    analysis::InstrMixProfiler mix_live;
+    analysis::profileSuite({&pat_live, &mix_live}, direct_opt);
+
+    // Populate the store, then force every trace to come back off
+    // disk (cold RAM tier) for the replayed run.
+    TraceCache::global().clear();
+    (void)analysis::runActivityStudy(enc, store_opt);
+    const std::uint64_t captures = TraceCache::global().captures();
+    TraceCache::global().clear();
+
+    const auto activity_store =
+        analysis::runActivityStudy(enc, store_opt);
+    const auto cpi_store = analysis::runCpiStudy(
+        pipeline::allDesigns(), analysis::suiteConfig(enc), store_opt);
+    analysis::PatternProfiler pat_store;
+    analysis::InstrMixProfiler mix_store;
+    analysis::profileSuite({&pat_store, &mix_store}, store_opt);
+
+    EXPECT_EQ(TraceCache::global().captures(), captures)
+        << "the replayed run must not have recaptured anything";
+    EXPECT_GT(TraceCache::global().storeLoads(), 0u);
+
+    ASSERT_EQ(activity_store.size(), activity_live.size());
+    for (std::size_t i = 0; i < activity_live.size(); ++i) {
+        EXPECT_EQ(activity_store[i].benchmark,
+                  activity_live[i].benchmark);
+        EXPECT_TRUE(sameActivity(activity_store[i].activity,
+                                 activity_live[i].activity))
+            << activity_live[i].benchmark;
+    }
+    ASSERT_EQ(cpi_store.size(), cpi_live.size());
+    for (std::size_t i = 0; i < cpi_live.size(); ++i) {
+        EXPECT_TRUE(cpi_store[i].cpi == cpi_live[i].cpi)
+            << cpi_live[i].benchmark;
+        EXPECT_TRUE(cpi_store[i].stalls == cpi_live[i].stalls)
+            << cpi_live[i].benchmark;
+    }
+    EXPECT_EQ(pat_store.patterns().raw(), pat_live.patterns().raw());
+    EXPECT_EQ(mix_store.functFreq().raw(), mix_live.functFreq().raw());
+    EXPECT_EQ(mix_store.meanFetchBytes(), mix_live.meanFetchBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, StoreBitIdentity,
+                         ::testing::Values(sig::Encoding::Ext2,
+                                           sig::Encoding::Ext3,
+                                           sig::Encoding::Half1),
+                         [](const auto &info) {
+                             return sig::encodingName(info.param);
+                         });
+
+} // namespace
+} // namespace sigcomp

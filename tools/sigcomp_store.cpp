@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Operational CLI for the persistent significance-compressed trace
+ * store (store/trace_store.h).
+ *
+ * Usage: sigcomp_store <command> [--dir DIR] [options] [workload...]
+ *
+ *   prewarm   Capture and persist every suite workload (or only the
+ *             named ones) whose segment is missing or stale, so the
+ *             next simulator/bench/CI process starts warm.
+ *               --threads N     capture parallelism (0 = all cores)
+ *               --max-instrs N  capped captures (CI smoke segments)
+ *               --force         recapture even over valid segments
+ *   ls        One line per segment: instructions, file size,
+ *             compression ratio, capture parameters.
+ *   stats     Per-column compression ratios aggregated over the
+ *             whole store (the codec's report card).
+ *               --json PATH     also write machine-readable stats
+ *   verify    Full integrity check of every segment (header,
+ *             directory and payload CRCs, codec decode, program
+ *             fingerprint). Exit 1 if anything fails.
+ *   gc        Delete segments that can no longer replay: corrupt
+ *             files, foreign format versions, fingerprints that no
+ *             longer match the workload registry, unknown workloads,
+ *             and orphaned temp files.
+ *
+ * Default --dir is `trace-store` (the directory CI caches).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_cache.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "cpu/trace_buffer.h"
+#include "store/trace_store.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace sigcomp;
+using store::TraceStore;
+
+namespace fs = std::filesystem;
+
+struct Options
+{
+    std::string command;
+    std::string dir = "trace-store";
+    std::string jsonPath;
+    unsigned threads = 0;
+    DWord maxInstrs = 0; // 0 = uncapped
+    bool force = false;
+    std::vector<std::string> workloads;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sigcomp_store <prewarm|ls|stats|verify|gc> [--dir DIR]\n"
+        "                     [--threads N] [--max-instrs N] [--force]\n"
+        "                     [--json PATH] [workload...]\n");
+    return 2;
+}
+
+/** Workload names to operate on: explicit args or the whole suite. */
+std::vector<std::string>
+targetNames(const Options &opt)
+{
+    if (!opt.workloads.empty())
+        return opt.workloads;
+    return workloads::Suite::names();
+}
+
+bool
+isSuiteWorkload(const std::string &name)
+{
+    for (const std::string &n : workloads::Suite::names())
+        if (n == name)
+            return true;
+    for (const std::string &n : workloads::Suite::extraNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+double
+mb(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+int
+cmdPrewarm(const Options &opt)
+{
+    const DWord limit =
+        opt.maxInstrs ? opt.maxInstrs : cpu::TraceBuffer::defaultMaxInstrs;
+    const TraceStore ts(opt.dir);
+    const std::vector<std::string> names = targetNames(opt);
+
+    // Partition into fresh (skippable) and to-capture. --force must
+    // delete the existing segments first: the two-tier cache would
+    // otherwise serve a valid segment from disk instead of
+    // recapturing.
+    std::vector<std::string> work;
+    for (const std::string &name : names) {
+        if (opt.force)
+            ts.remove(name);
+        if (!opt.force && ts.contains(name)) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            std::string why;
+            // A segment only counts as warm when it would actually
+            // replay for these capture parameters.
+            store::SegmentInfo seg;
+            if (ts.verify(name, &w.program, &why) &&
+                ts.info(name, seg, nullptr) &&
+                seg.captureLimit == limit) {
+                std::printf("  %-12s warm (%llu instrs)\n", name.c_str(),
+                            static_cast<unsigned long long>(
+                                seg.instructions));
+                continue;
+            }
+        }
+        work.push_back(name);
+    }
+
+    // Capture-and-save rides the two-tier cache so the CLI exercises
+    // exactly the path the studies use.
+    analysis::TraceCache cache;
+    cache.setCaptureLimit(limit);
+    cache.configureStore({opt.dir, 0, false});
+    ParallelExecutor exec(opt.threads);
+    cache.prewarm(work, exec);
+
+    for (const std::string &name : work)
+        std::printf("  %-12s captured (%llu instrs)\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        cache.get(name)->runResult().instructions));
+    std::printf("prewarm: %zu captured, %zu already warm, store %s\n",
+                work.size(), names.size() - work.size(),
+                opt.dir.c_str());
+    return 0;
+}
+
+int
+cmdLs(const Options &opt)
+{
+    const TraceStore ts(opt.dir, /*read_only=*/true);
+    const std::vector<std::string> names = ts.list();
+    if (names.empty()) {
+        std::printf("store %s: empty\n", opt.dir.c_str());
+        return 0;
+    }
+    TextTable t({"workload", "instructions", "file MB", "raw MB", "ratio",
+                 "capture"});
+    for (const std::string &name : names) {
+        store::SegmentInfo info;
+        std::string why;
+        if (!ts.info(name, info, &why)) {
+            t.beginRow().cell(name).cell("corrupt: " + why).cell("").cell(
+                 "").cell("").cell("").endRow();
+            continue;
+        }
+        const double ratio =
+            info.encodedBytes()
+                ? static_cast<double>(info.rawBytes()) /
+                      static_cast<double>(info.encodedBytes())
+                : 0.0;
+        t.beginRow()
+            .cell(name)
+            .cell(info.instructions)
+            .cell(mb(info.fileBytes), 2)
+            .cell(mb(info.rawBytes()), 2)
+            .cell(ratio, 2)
+            .cell(info.truncated
+                      ? "capped@" + std::to_string(info.captureLimit)
+                      : "full")
+            .endRow();
+    }
+    std::printf("%s", t.toString().c_str());
+    return 0;
+}
+
+int
+cmdStats(const Options &opt)
+{
+    const store::StoreStats stats =
+        store::aggregateStats(TraceStore(opt.dir, /*read_only=*/true));
+
+    std::printf("store %s: %zu segments, %llu instructions, %.2f MB on "
+                "disk\n\n",
+                opt.dir.c_str(), stats.segments,
+                static_cast<unsigned long long>(stats.instructions),
+                mb(stats.fileBytes));
+    TextTable t({"column", "raw MB", "encoded MB", "ratio"});
+    for (const store::ColumnStat &c : stats.columns) {
+        t.beginRow()
+            .cell(c.name)
+            .cell(mb(c.rawBytes), 2)
+            .cell(mb(c.encodedBytes), 2)
+            .cell(c.ratio(), 2)
+            .endRow();
+    }
+    t.beginRow()
+        .cell("TOTAL")
+        .cell(mb(stats.rawBytes()), 2)
+        .cell(mb(stats.encodedBytes()), 2)
+        .cell(stats.totalRatio(), 2)
+        .endRow();
+    std::printf("%s", t.toString().c_str());
+
+    if (!opt.jsonPath.empty()) {
+        std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"schema\": \"sigcomp-store-stats-v1\",\n");
+        std::fprintf(f, "  \"dir\": \"%s\",\n", opt.dir.c_str());
+        std::fprintf(f, "  \"segments\": %zu,\n", stats.segments);
+        std::fprintf(f, "  \"instructions\": %llu,\n",
+                     static_cast<unsigned long long>(stats.instructions));
+        std::fprintf(f, "  \"file_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(stats.fileBytes));
+        std::fprintf(f, "  \"total_ratio\": %.3f,\n", stats.totalRatio());
+        std::fprintf(f, "  \"columns\": [\n");
+        store::writeColumnsJson(f, stats.columns, "    ");
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", opt.jsonPath.c_str());
+    }
+    return 0;
+}
+
+int
+cmdVerify(const Options &opt)
+{
+    const TraceStore ts(opt.dir, /*read_only=*/true);
+    const std::vector<std::string> names =
+        opt.workloads.empty() ? ts.list() : opt.workloads;
+    int failures = 0;
+    for (const std::string &name : names) {
+        std::string why;
+        bool ok;
+        if (isSuiteWorkload(name)) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            ok = ts.verify(name, &w.program, &why);
+        } else {
+            ok = ts.verify(name, nullptr, &why);
+            if (ok)
+                why = "integrity only (unknown workload)";
+        }
+        std::printf("  %-12s %s%s%s\n", name.c_str(), ok ? "OK" : "FAIL",
+                    why.empty() ? "" : " — ", why.c_str());
+        failures += ok ? 0 : 1;
+    }
+    if (failures != 0) {
+        std::fprintf(stderr, "verify: %d segment(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("verify: all %zu segment(s) OK\n", names.size());
+    return 0;
+}
+
+int
+cmdGc(const Options &opt)
+{
+    const TraceStore ts(opt.dir);
+    std::size_t removed = 0;
+
+    // Unverifiable or unreplayable segments.
+    for (const std::string &name : ts.list()) {
+        std::string why;
+        bool keep;
+        if (isSuiteWorkload(name)) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            keep = ts.verify(name, &w.program, &why);
+        } else {
+            keep = false;
+            why = "not a suite workload";
+        }
+        if (!keep) {
+            std::printf("  rm %-12s (%s)\n", name.c_str(), why.c_str());
+            ts.remove(name);
+            ++removed;
+        }
+    }
+
+    // Orphaned temp files from writers that died mid-save.
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(opt.dir, ec)) {
+        const std::string fname = entry.path().filename().string();
+        if (fname.find(".sctrace.tmp.") != std::string::npos) {
+            std::printf("  rm %s (orphaned temp)\n", fname.c_str());
+            fs::remove(entry.path(), ec);
+            ++removed;
+        }
+    }
+    std::printf("gc: removed %zu file(s), %zu segment(s) kept\n", removed,
+                ts.list().size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (argc < 2)
+        return usage();
+    opt.command = argv[1];
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir")
+            opt.dir = next();
+        else if (arg == "--threads")
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--max-instrs")
+            opt.maxInstrs = static_cast<DWord>(std::atoll(next()));
+        else if (arg == "--json")
+            opt.jsonPath = next();
+        else if (arg == "--force")
+            opt.force = true;
+        else if (!arg.empty() && arg[0] == '-')
+            return usage();
+        else
+            opt.workloads.push_back(arg);
+    }
+
+    if (opt.command == "prewarm")
+        return cmdPrewarm(opt);
+    if (opt.command == "ls")
+        return cmdLs(opt);
+    if (opt.command == "stats")
+        return cmdStats(opt);
+    if (opt.command == "verify")
+        return cmdVerify(opt);
+    if (opt.command == "gc")
+        return cmdGc(opt);
+    return usage();
+}
