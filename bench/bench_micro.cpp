@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+#include "common/crc32.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "cpu/functional_core.h"
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
@@ -16,6 +19,8 @@
 #include "sigcomp/compressed_word.h"
 #include "sigcomp/instr_compress.h"
 #include "sigcomp/serial_alu.h"
+#include "sigcomp/sig_kernels.h"
+#include "store/codec.h"
 #include "workloads/workload.h"
 
 namespace
@@ -36,32 +41,15 @@ BM_ClassifyExt3(benchmark::State &state)
 BENCHMARK(BM_ClassifyExt3);
 
 /**
- * Operand stream with the paper's Table-1 significance mix (~60%
- * 1-byte, ~20% 2-byte, rest wide/pointers/negatives, interleaved
- * unpredictably) — the distribution the classifiers actually see,
- * and the one where the scalar reference's data-dependent branches
- * mispredict.
+ * The shared Table-1 operand mix (bench/bench_util.h) at the classic
+ * per-call benchmark length — the distribution the classifiers
+ * actually see, and the one where the scalar reference's
+ * data-dependent branches mispredict.
  */
 std::vector<Word>
 operandMix()
 {
-    Rng rng(42);
-    std::vector<Word> vs(4096);
-    for (Word &v : vs) {
-        const Word r = rng.next32();
-        const unsigned sel = r & 15;
-        if (sel < 9)
-            v = r & 0x7f; // small positive
-        else if (sel < 11)
-            v = static_cast<Word>(-static_cast<SWord>(r & 0xff));
-        else if (sel < 13)
-            v = r & 0x7fff; // halfword-ish
-        else if (sel < 14)
-            v = 0x10000000u | (r & 0xffffff); // pointer-like
-        else
-            v = r; // wide
-    }
-    return vs;
+    return bench::operandMix(4096);
 }
 
 // Scalar reference classifiers vs the branchless production versions
@@ -137,6 +125,167 @@ BM_ClassifyHalfMixReference(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ClassifyHalfMixReference);
+
+// ---- batch significance kernels, per dispatch level ----------------
+//
+// Registered dynamically in main() for every level this CPU can run
+// (benchmark names carry the level: BM_ClassifyExt3Block/avx2 ...),
+// so one run shows the scalar reference next to each vector
+// implementation on the same operand mix. The per-word loops above
+// remain the per-call (non-batch) baseline.
+
+using KernelFn = void (*)(benchmark::State &);
+
+void
+benchClassifyExt3Block(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<sig::ByteMask> masks(vs.size());
+    for (auto _ : state) {
+        sig::classifyExt3Block(vs.data(), vs.size(), masks.data());
+        benchmark::DoNotOptimize(masks.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchClassifyExt2Block(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<sig::ByteMask> masks(vs.size());
+    for (auto _ : state) {
+        sig::classifyExt2Block(vs.data(), vs.size(), masks.data());
+        benchmark::DoNotOptimize(masks.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchClassifyHalfBlock(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<sig::HalfMask> masks(vs.size());
+    for (auto _ : state) {
+        sig::classifyHalfBlock(vs.data(), vs.size(), masks.data());
+        benchmark::DoNotOptimize(masks.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchSignificantBytesBlock(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<std::uint8_t> counts(vs.size());
+    for (auto _ : state) {
+        sig::significantBytesBlock(vs.data(), vs.size(), counts.data());
+        benchmark::DoNotOptimize(counts.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchPatternTallyBlock(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    for (auto _ : state) {
+        Count counts[16] = {};
+        sig::patternTallyBlock(vs.data(), vs.size(), counts);
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchSigPackEncode(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<std::uint8_t> out;
+    for (auto _ : state) {
+        out.clear();
+        store::encodeColumn32(vs.data(), vs.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchSigPackDecode(benchmark::State &state)
+{
+    const std::vector<Word> vs = operandMix();
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(vs.data(), vs.size(), enc);
+    std::vector<Word> back;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            store::decodeColumn32(enc.data(), enc.size(), vs.size(),
+                                  back));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(vs.size()));
+}
+
+void
+benchCrc32(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::uint8_t> buf(1 << 20);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.next32());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(0, buf.data(), buf.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(buf.size()));
+}
+
+/** Register one kernel benchmark per available dispatch level. */
+void
+registerKernelBenchmarks()
+{
+    struct Entry
+    {
+        const char *name;
+        KernelFn fn;
+    };
+    const Entry entries[] = {
+        {"BM_ClassifyExt3Block", &benchClassifyExt3Block},
+        {"BM_ClassifyExt2Block", &benchClassifyExt2Block},
+        {"BM_ClassifyHalfBlock", &benchClassifyHalfBlock},
+        {"BM_SignificantBytesBlock", &benchSignificantBytesBlock},
+        {"BM_PatternTallyBlock", &benchPatternTallyBlock},
+        {"BM_SigPackEncodeColumn", &benchSigPackEncode},
+        {"BM_SigPackDecodeColumn", &benchSigPackDecode},
+        {"BM_Crc32_1MiB", &benchCrc32},
+    };
+    for (const Entry &e : entries) {
+        for (const simd::SimdLevel level : simd::availableSimdLevels()) {
+            const std::string name = std::string(e.name) + "/" +
+                                     simd::simdLevelName(level);
+            KernelFn fn = e.fn;
+            benchmark::RegisterBenchmark(
+                name.c_str(), [fn, level](benchmark::State &st) {
+                    const simd::SimdLevel prev = simd::activeSimdLevel();
+                    simd::setSimdLevel(level);
+                    fn(st);
+                    simd::setSimdLevel(prev);
+                });
+        }
+    }
+}
 
 void
 BM_ChangedBlocks(benchmark::State &state)
@@ -303,4 +452,14 @@ BENCHMARK(BM_TraceReplayPipeline)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    registerKernelBenchmarks();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -33,10 +33,12 @@
  *                   (the CI regression gates)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,7 +46,12 @@
 #include "analysis/profilers.h"
 #include "analysis/trace_cache.h"
 #include "bench/bench_util.h"
+#include "common/crc32.h"
 #include "common/parallel.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "sigcomp/sig_kernels.h"
+#include "store/codec.h"
 #include "store/trace_store.h"
 #include "workloads/workload.h"
 
@@ -134,6 +141,95 @@ timePhase(const std::string &name, DWord instructions, int reps,
     std::printf("  %-28s %8.1f ms  %8.1f Minstr/s  (min of %d)\n",
                 name.c_str(), p.wallMs, p.mips(), reps);
     return p;
+}
+
+/**
+ * One kernel's throughput at the active level and pinned scalar, in
+ * millions of 32-bit words per second (the crc32 probe also consumes
+ * one word — 4 bytes — per "word", so multiply by 4 for bytes/s).
+ */
+struct KernelRate
+{
+    std::string name;
+    double simdMwords = 0.0;
+    double scalarMwords = 0.0;
+};
+
+/**
+ * Throughput of each batch significance kernel (and the codec and
+ * checksum built on them) over the Table-1-like operand mix, at the
+ * active dispatch level vs pinned-scalar — the per-kernel block of
+ * the schema-v3 JSON.
+ */
+std::vector<KernelRate>
+measureKernels()
+{
+    const std::vector<Word> vs = bench::operandMix(1 << 16);
+
+    std::vector<sig::ByteMask> masks(vs.size());
+    std::vector<std::uint8_t> enc;
+    store::encodeColumn32(vs.data(), vs.size(), enc);
+    std::vector<Word> back;
+
+    const auto rate = [&](auto &&fn) {
+        // Best of 5: wall time per full pass over the buffer.
+        double best = 1e300;
+        for (int r = 0; r < 5; ++r) {
+            const double t0 = nowSeconds();
+            fn();
+            best = std::min(best, nowSeconds() - t0);
+        }
+        return static_cast<double>(vs.size()) / best / 1e6;
+    };
+
+    struct Probe
+    {
+        const char *name;
+        std::function<void()> fn;
+    };
+    const Probe probes[] = {
+        {"classify_ext3_block",
+         [&] { sig::classifyExt3Block(vs.data(), vs.size(),
+                                      masks.data()); }},
+        {"classify_ext2_block",
+         [&] { sig::classifyExt2Block(vs.data(), vs.size(),
+                                      masks.data()); }},
+        {"classify_half_block",
+         [&] { sig::classifyHalfBlock(vs.data(), vs.size(),
+                                      masks.data()); }},
+        {"significant_bytes_block",
+         [&] { sig::significantBytesBlock(vs.data(), vs.size(),
+                                          masks.data()); }},
+        {"pattern_tally_block",
+         [&] {
+             Count counts[16] = {};
+             sig::patternTallyBlock(vs.data(), vs.size(), counts);
+         }},
+        {"sigpack_encode_column",
+         [&] {
+             enc.clear();
+             store::encodeColumn32(vs.data(), vs.size(), enc);
+         }},
+        {"sigpack_decode_column",
+         [&] { (void)store::decodeColumn32(enc.data(), enc.size(),
+                                           vs.size(), back); }},
+        {"crc32",
+         [&] { (void)crc32(0, vs.data(), 4 * vs.size()); }},
+    };
+
+    const simd::SimdLevel active = simd::activeSimdLevel();
+    std::vector<KernelRate> out;
+    for (const Probe &p : probes) {
+        KernelRate k;
+        k.name = p.name;
+        simd::setSimdLevel(active);
+        k.simdMwords = rate(p.fn);
+        simd::setSimdLevel(simd::SimdLevel::Scalar);
+        k.scalarMwords = rate(p.fn);
+        out.push_back(k);
+    }
+    simd::setSimdLevel(active);
+    return out;
 }
 
 /**
@@ -280,7 +376,8 @@ runAtThreads(unsigned threads, DWord max_instrs,
 
 void
 writeJson(const std::string &path, DWord max_instrs, DWord suite_instrs,
-          const std::string &store_dir, const std::vector<Run> &runs)
+          const std::string &store_dir, const std::vector<Run> &runs,
+          const std::vector<KernelRate> &kernels)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -288,11 +385,29 @@ writeJson(const std::string &path, DWord max_instrs, DWord suite_instrs,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v2\",\n");
+    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v3\",\n");
+    std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+                 simd::simdLevelName(simd::activeSimdLevel()));
     std::fprintf(f, "  \"max_instrs\": %llu,\n",
                  static_cast<unsigned long long>(max_instrs));
     std::fprintf(f, "  \"suite_instructions\": %llu,\n",
                  static_cast<unsigned long long>(suite_instrs));
+
+    // Per-kernel throughput: active dispatch level vs pinned scalar,
+    // in millions of 32-bit words per second over the operand mix.
+    std::fprintf(f, "  \"kernels\": [\n");
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelRate &k = kernels[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"mwords_per_s\": %.0f, "
+                     "\"scalar_mwords_per_s\": %.0f, "
+                     "\"speedup\": %.2f}%s\n",
+                     k.name.c_str(), k.simdMwords, k.scalarMwords,
+                     k.scalarMwords > 0.0 ? k.simdMwords / k.scalarMwords
+                                          : 0.0,
+                     i + 1 < kernels.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
 
     // Per-column compression ratios of the store the runs populated.
     if (!store_dir.empty()) {
@@ -412,6 +527,18 @@ main(int argc, char **argv)
     bench::banner("suite timing: capture vs cached replay vs trace store",
                   "engine baseline (no paper figure); "
                   "simulate-once architecture + persistent store tier");
+    std::printf("simd dispatch: %s (detected %s)\n",
+                simd::simdLevelName(simd::activeSimdLevel()),
+                simd::simdLevelName(simd::detectedSimdLevel()));
+
+    const std::vector<KernelRate> kernels = measureKernels();
+    for (const KernelRate &k : kernels) {
+        std::printf("  kernel %-24s %8.0f Mwords/s  (scalar %8.0f, "
+                    "%.2fx)\n",
+                    k.name.c_str(), k.simdMwords, k.scalarMwords,
+                    k.scalarMwords > 0.0 ? k.simdMwords / k.scalarMwords
+                                         : 0.0);
+    }
 
     TraceCache &cache = TraceCache::global();
     if (max_instrs != 0)
@@ -427,7 +554,7 @@ main(int argc, char **argv)
         runs.push_back(runAtThreads(threads, max_instrs, store_dir));
 
     const DWord suite_instrs = runs.front().phases.front().instructions;
-    writeJson(out, max_instrs, suite_instrs, store_dir, runs);
+    writeJson(out, max_instrs, suite_instrs, store_dir, runs, kernels);
 
     if (check) {
         for (const Run &run : runs) {

@@ -1,6 +1,7 @@
 #include "analysis/profilers.h"
 
 #include "common/logging.h"
+#include "sigcomp/sig_kernels.h"
 
 namespace sigcomp::analysis
 {
@@ -35,27 +36,60 @@ PatternProfiler::retireBlock(std::span<const cpu::DynInstr> block)
     // the per-operand map walks disappear from the hot loop while
     // the final counts — and therefore every accessor — are exactly
     // what per-instruction record() calls produce.
+    //
+    // Replay blocks carry the capture-time significance sidecars
+    // (DynInstr::sigTags), so the whole per-operand classification
+    // collapses to a histogram merge of precomputed tags: slot 0
+    // absorbs the nibbles of non-participating operands (a filled
+    // tag is never 0) and is discarded at the merge. Blocks without
+    // tags (direct execution, hand-built tests) gather their operand
+    // values and classify them with the fused batch kernel instead.
     Count counts[16] = {};
-    Count bytes = 0;
+    // One histogram per operand slot: repeated patterns are the norm
+    // (runs of small constants), and four disjoint count arrays keep
+    // the four increments per instruction off each other's
+    // store-to-load forwarding paths.
+    Count c_rs[16] = {}, c_rt[16] = {}, c_res[16] = {}, c_mem[16] = {};
+    // Room for 4 operands per instruction of a default replay block.
+    Word pending[4096];
+    std::size_t npend = 0;
     for (const cpu::DynInstr &di : block) {
-        const auto tally = [&](Word v) {
-            const sig::ByteMask m = sig::classifyExt3(v);
-            ++counts[m];
-            bytes += sig::maskBytes(m);
-        };
         const isa::DecodedInstr &dec = *di.dec;
-        if (dec.readsRs)
-            tally(di.srcRs);
-        if (dec.readsRt)
-            tally(di.srcRt);
-        if (dec.writesDest && dec.dest != isa::reg::zero)
-            tally(di.result);
-        if (dec.isLoad || dec.isStore)
-            tally(di.memData);
+        const unsigned t = di.sigTags;
+        if (t != 0) {
+            ++c_rs[dec.readsRs ? (t & 0xFu) : 0u];
+            ++c_rt[dec.readsRt ? ((t >> 4) & 0xFu) : 0u];
+            ++c_res[dec.writesDest && dec.dest != isa::reg::zero
+                        ? ((t >> 8) & 0xFu)
+                        : 0u];
+            ++c_mem[dec.isLoad || dec.isStore ? ((t >> 12) & 0xFu)
+                                              : 0u];
+        } else if (npend + 4 <= sizeof(pending) / sizeof(pending[0])) {
+            if (dec.readsRs)
+                pending[npend++] = di.srcRs;
+            if (dec.readsRt)
+                pending[npend++] = di.srcRt;
+            if (dec.writesDest && dec.dest != isa::reg::zero)
+                pending[npend++] = di.result;
+            if (dec.isLoad || dec.isStore)
+                pending[npend++] = di.memData;
+        } else {
+            // Oversized hand-built block: keep exact semantics.
+            retire(di);
+        }
     }
-    for (sig::ByteMask m = 1; m < 16; m = static_cast<sig::ByteMask>(m + 2))
-        if (counts[m] != 0)
+    if (npend != 0)
+        sig::patternTallyBlock(pending, npend, counts);
+    for (unsigned m = 1; m < 16; ++m)
+        counts[m] += c_rs[m] + c_rt[m] + c_res[m] + c_mem[m];
+    Count bytes = 0;
+    for (sig::ByteMask m = 1; m < 16;
+         m = static_cast<sig::ByteMask>(m + 2)) {
+        if (counts[m] != 0) {
             patterns_.record(m, counts[m]);
+            bytes += counts[m] * sig::maskBytes(m);
+        }
+    }
     totalBytes_ += bytes;
 }
 
@@ -218,6 +252,27 @@ PcProfiler::retire(const cpu::DynInstr &di)
 void
 PcProfiler::retireBlock(std::span<const cpu::DynInstr> block)
 {
+    // SWAR accumulation: the eight block sizes' per-instruction
+    // contributions live one byte per lane in the memo (changed8 /
+    // cycles8), so each instruction costs two 8-lane adds. A lane's
+    // per-instruction maximum is 32 (changed blocks at 1-bit
+    // granularity), so the packed sums flush into the wide per-size
+    // totals every 7 instructions — before any lane can carry into
+    // its neighbour.
+    Count changed_sum[8] = {};
+    Count cycles_sum[8] = {};
+    std::uint64_t changed_acc = 0;
+    std::uint64_t cycles_acc = 0;
+    unsigned pending = 0;
+    const auto flush = [&] {
+        for (unsigned i = 0; i < 8; ++i) {
+            changed_sum[i] += (changed_acc >> (8 * i)) & 0xFFu;
+            cycles_sum[i] += (cycles_acc >> (8 * i)) & 0xFFu;
+        }
+        changed_acc = 0;
+        cycles_acc = 0;
+        pending = 0;
+    };
     for (const cpu::DynInstr &di : block) {
         const bool redirect =
             di.dec->isControl && di.nextPc != di.pc + 4;
@@ -230,16 +285,29 @@ PcProfiler::retireBlock(std::span<const cpu::DynInstr> block)
         if (!e.valid || e.x != x) {
             e.x = x;
             e.valid = true;
+            e.changed8 = 0;
+            e.cycles8 = 0;
             for (unsigned b = 1; b <= 8; ++b) {
-                e.changed[b - 1] = static_cast<std::uint8_t>(
-                    sig::changedBlocksXor(x, b));
-                e.cycles[b - 1] = static_cast<std::uint8_t>(
-                    sig::PcActivityAccumulator::serialCyclesXor(x, b));
+                e.changed8 |= static_cast<std::uint64_t>(
+                                  sig::changedBlocksXor(x, b))
+                              << (8 * (b - 1));
+                e.cycles8 |=
+                    static_cast<std::uint64_t>(
+                        sig::PcActivityAccumulator::serialCyclesXor(x,
+                                                                    b))
+                    << (8 * (b - 1));
             }
         }
-        for (unsigned i = 0; i < 8; ++i)
-            accs_[i].applyUpdate(e.changed[i],
-                                 redirect ? 1 : e.cycles[i]);
+        changed_acc += e.changed8;
+        // A redirect loads the PC in parallel: one cycle per size.
+        cycles_acc += redirect ? 0x0101010101010101ull : e.cycles8;
+        if (++pending == 7)
+            flush();
+    }
+    flush();
+    for (unsigned i = 0; i < 8; ++i) {
+        accs_[i].applyUpdateBatch(block.size(), changed_sum[i],
+                                  cycles_sum[i]);
     }
 }
 

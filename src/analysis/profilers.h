@@ -175,13 +175,22 @@ class PcProfiler : public cpu::TraceSink
      * Direct-mapped memo of the pure per-difference-word update
      * quantities for all eight block sizes (block path only).
      */
-    struct PcMemoEntry
+    struct alignas(32) PcMemoEntry
     {
         Word x = 0;
         bool valid = false;
-        std::array<std::uint8_t, 8> changed{};
-        std::array<std::uint8_t, 8> cycles{};
+        /**
+         * changedBlocksXor / serialCyclesXor for block sizes 1..8,
+         * one byte per size, packed as u64 lanes so the block loop
+         * accumulates all eight sizes with one 8-lane SWAR add
+         * (per-lane maxima are 32, so sums flush to the wide
+         * accumulators every few instructions before a lane can
+         * carry into its neighbour).
+         */
+        std::uint64_t changed8 = 0;
+        std::uint64_t cycles8 = 0;
     };
+    /** 32-byte aligned so an entry never straddles cache lines. */
     std::array<PcMemoEntry, 512> memo_{};
 };
 

@@ -51,10 +51,24 @@ TraceCache::get(const std::string &workload)
             // load failure — missing, stale, corrupt — silently
             // falls through to recapture (the store is a cache, not
             // a source of truth).
+            bool legacy = false;
             if (store != nullptr)
-                trace = store->load(workload, w.program, limit);
+                trace = store->load(workload, w.program, limit, nullptr,
+                                    &legacy);
             if (trace != nullptr) {
                 storeLoads_.fetch_add(1);
+                // Write-through upgrade: a segment in an accepted
+                // older format replays fine, but re-saving it now
+                // (sidecar annex rebuilt during load) means every
+                // later process reads the current format.
+                if (legacy && !store->readOnly()) {
+                    std::string why;
+                    if (store->save(workload, *trace, limit, &why))
+                        storeSaves_.fetch_add(1);
+                    else
+                        SC_WARN("trace store: cannot upgrade '",
+                                workload, "': ", why);
+                }
             } else {
                 trace = std::make_shared<cpu::TraceBuffer>(
                     cpu::TraceBuffer::capture(w.program, limit, capped));

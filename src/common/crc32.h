@@ -45,18 +45,16 @@ crc32Tables()
     return tables;
 }
 
-} // namespace detail
-
 /**
- * Extend a running CRC-32 with @p len bytes. Start (and finish) with
- * @p crc = 0; chain calls to checksum discontiguous regions.
+ * Advance the raw (pre/post-complement) CRC state over @p len bytes:
+ * the slicing-by-8 core, shared by the public crc32() and by the
+ * vector path's head/tail handling.
  */
 inline std::uint32_t
-crc32(std::uint32_t crc, const void *data, std::size_t len)
+crc32UpdateScalar(std::uint32_t crc, const unsigned char *p,
+                  std::size_t len)
 {
-    const auto &t = detail::crc32Tables();
-    const auto *p = static_cast<const unsigned char *>(data);
-    crc = ~crc;
+    const auto &t = crc32Tables();
     // Eight bytes per step: the CRC of the first four folds through
     // tables 4-7 while tables 0-3 absorb the next four.
     while (len >= 8) {
@@ -73,6 +71,31 @@ crc32(std::uint32_t crc, const void *data, std::size_t len)
     }
     while (len-- > 0)
         crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    return crc;
+}
+
+/**
+ * Raw-state update for large buffers, PCLMULQDQ carry-less folding
+ * when the CPU has it (runtime-probed; SIGCOMP_FORCE_SCALAR pins it
+ * off) and the scalar core otherwise. Defined in crc32.cpp; always
+ * bit-identical to crc32UpdateScalar (pinned in test_simd).
+ */
+std::uint32_t crc32UpdateLarge(std::uint32_t crc,
+                               const unsigned char *p, std::size_t len);
+
+} // namespace detail
+
+/**
+ * Extend a running CRC-32 with @p len bytes. Start (and finish) with
+ * @p crc = 0; chain calls to checksum discontiguous regions.
+ */
+inline std::uint32_t
+crc32(std::uint32_t crc, const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    crc = ~crc;
+    crc = len >= 128 ? detail::crc32UpdateLarge(crc, p, len)
+                     : detail::crc32UpdateScalar(crc, p, len);
     return ~crc;
 }
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Runtime SIMD dispatch for the batch significance kernels.
+ *
+ * The library is built for a generic baseline (no -march flags), so
+ * vectorised kernels cannot be selected at compile time: each x86
+ * implementation is compiled with a per-function target attribute and
+ * chosen at runtime from CPUID. The active level is process-wide:
+ *
+ *  - detectedSimdLevel() — the best level this CPU supports, probed
+ *    once (AVX2 > SSSE3 > scalar on x86, NEON > scalar on aarch64).
+ *  - activeSimdLevel()   — the level the kernels actually dispatch
+ *    on. Defaults to the detected level; the SIGCOMP_FORCE_SCALAR
+ *    environment variable (any value but "0") pins it to Scalar
+ *    before the first kernel call, and setSimdLevel() moves it
+ *    anywhere up to the detected level (tests and benchmarks sweep
+ *    every available level to pin bit-identity and measure each
+ *    implementation).
+ *
+ * Every kernel is bit-identical across levels — the scalar
+ * implementation is the specification, vector levels are verified
+ * against it exhaustively in test_simd.cpp — so dispatch is purely a
+ * throughput decision and never changes results.
+ */
+
+#ifndef SIGCOMP_COMMON_SIMD_H_
+#define SIGCOMP_COMMON_SIMD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sigcomp::simd
+{
+
+/**
+ * Dispatch levels in increasing preference order within their
+ * architecture. Scalar is always available; NEON applies to aarch64
+ * builds, SSSE3/AVX2 to x86-64 builds.
+ */
+enum class SimdLevel : std::uint8_t
+{
+    Scalar = 0,
+    Neon = 1,
+    Ssse3 = 2,
+    Avx2 = 3,
+};
+
+/** Best level this CPU/build supports (probed once, cached). */
+SimdLevel detectedSimdLevel();
+
+/**
+ * The level the kernels dispatch on right now. First call resolves
+ * the SIGCOMP_FORCE_SCALAR override; thereafter only setSimdLevel()
+ * changes it.
+ */
+SimdLevel activeSimdLevel();
+
+/**
+ * Pin dispatch to @p level (clamped to detectedSimdLevel(); a level
+ * from a foreign architecture falls back to Scalar). Test/benchmark
+ * hook — call it from a single thread before fanning out work.
+ */
+void setSimdLevel(SimdLevel level);
+
+/** Lower-case level name ("scalar", "ssse3", "avx2", "neon"). */
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * Every level this process can actually run, in ascending order and
+ * always starting with Scalar — the sweep domain for equivalence
+ * tests and per-level benchmarks.
+ */
+std::vector<SimdLevel> availableSimdLevels();
+
+} // namespace sigcomp::simd
+
+#endif // SIGCOMP_COMMON_SIMD_H_

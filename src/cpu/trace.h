@@ -47,6 +47,28 @@ struct DynInstr
     /** Address of the next dynamic instruction. */
     Addr nextPc = 0;
 
+    /**
+     * Packed Ext3 significance tags of the operand values, one nibble
+     * each: srcRs | srcRt<<4 | result<<8 | memData<<12. Filled by
+     * trace replay from the capture-time sidecar columns (every legal
+     * tag has its low bit set, so a filled field is never 0 and 0
+     * means "not precomputed" — live simulation leaves it so, and
+     * consumers fall back to classifying the value). Tags are always
+     * exactly classifyExt3() of the corresponding value; consumers
+     * using them produce bit-identical results either way, just
+     * without the per-word classification.
+     */
+    std::uint16_t sigTags = 0;
+
+    /** Ext3 tag of srcRs when sigTags is filled. */
+    unsigned sigRs() const { return sigTags & 0xFu; }
+    /** Ext3 tag of srcRt when sigTags is filled. */
+    unsigned sigRt() const { return (sigTags >> 4) & 0xFu; }
+    /** Ext3 tag of result when sigTags is filled. */
+    unsigned sigRes() const { return (sigTags >> 8) & 0xFu; }
+    /** Ext3 tag of memData when sigTags is filled (loads/stores). */
+    unsigned sigMem() const { return (sigTags >> 12) & 0xFu; }
+
     const isa::Instruction &inst() const { return dec->inst; }
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "mem/main_memory.h"
+#include "sigcomp/sig_kernels.h"
 
 namespace sigcomp::cpu
 {
@@ -107,7 +108,30 @@ TraceBuffer::capture(const isa::Program &program, DWord max_instrs,
     buf.taken_.shrink_to_fit();
     buf.memAddr_.shrink_to_fit();
     buf.memData_.shrink_to_fit();
+    buf.fillSigSidecars();
     return buf;
+}
+
+void
+TraceBuffer::fillSigSidecars()
+{
+    const std::size_t n = decIdx_.size();
+    // Classify each value column in one batch pass, then pack the
+    // three per-instruction nibbles. Chunked so the scratch stays in
+    // L1 no matter how long the trace is.
+    sigRegs_.resize(n);
+    constexpr std::size_t chunk = 4096;
+    sig::ByteMask rs[chunk], rt[chunk], res[chunk];
+    for (std::size_t base = 0; base < n; base += chunk) {
+        const std::size_t k = std::min(chunk, n - base);
+        sig::classifyExt3Block(srcRs_.data() + base, k, rs);
+        sig::classifyExt3Block(srcRt_.data() + base, k, rt);
+        sig::classifyExt3Block(result_v_.data() + base, k, res);
+        sig::packSigTagsBlock(rs, rt, res, k, sigRegs_.data() + base);
+    }
+    sigMem_.resize(memData_.size());
+    sig::classifyExt3Block(memData_.data(), memData_.size(),
+                           sigMem_.data());
 }
 
 std::size_t
@@ -118,6 +142,7 @@ TraceBuffer::memoryBytes() const
     };
     std::size_t total = bytes(decIdx_) + bytes(srcRs_) + bytes(srcRt_) +
                         bytes(result_v_) + bytes(taken_) +
+                        bytes(sigRegs_) + bytes(sigMem_) +
                         bytes(memAddr_) + bytes(memData_) +
                         bytes(decoded_);
     std::lock_guard<std::mutex> lock(annexes_->mu);
@@ -135,6 +160,9 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
     const std::size_t n = b.size();
     std::vector<DynInstr> block(std::min(block_size, n));
 
+    // Older buffers (none today, but fail-soft) may lack sidecars;
+    // consumers treat sigTags == 0 as "classify it yourself".
+    const bool tags = b.sigRegs_.size() == n;
     std::size_t mem_cursor = 0;
     for (std::size_t base = 0; base < n;) {
         const std::size_t k = std::min(block.size(), n - base);
@@ -147,9 +175,16 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
             di.srcRs = b.srcRs_[i];
             di.srcRt = b.srcRt_[i];
             di.result = b.result_v_[i];
+            di.sigTags = tags ? b.sigRegs_[i] : 0;
             if (di.dec->isLoad || di.dec->isStore) {
                 di.memAddr = b.memAddr_[mem_cursor];
                 di.memData = b.memData_[mem_cursor];
+                if (tags) {
+                    di.sigTags = static_cast<std::uint16_t>(
+                        di.sigTags |
+                        (static_cast<std::uint16_t>(b.sigMem_[mem_cursor])
+                         << 12));
+                }
                 ++mem_cursor;
             } else {
                 di.memAddr = 0;

@@ -139,6 +139,13 @@ class TraceBuffer
     /** Decode cache, indexed by text word offset. */
     std::vector<isa::DecodedInstr> decoded_;
 
+    /**
+     * Fill the significance sidecar columns from the recorded value
+     * columns with the batch classify kernels (idempotent; called at
+     * the end of capture and after a store-tier rebuild).
+     */
+    void fillSigSidecars();
+
     // -- per retired instruction (dense) ------------------------------
     std::vector<std::uint32_t> decIdx_;
     std::vector<Word> srcRs_;
@@ -146,6 +153,20 @@ class TraceBuffer
     std::vector<Word> result_v_;
     /** Branch/jump outcome bits, 64 per word. */
     std::vector<std::uint64_t> taken_;
+
+    // -- capture-time significance sidecars ---------------------------
+    //
+    // Ext3 tags of the value columns, classified once per capture by
+    // the batch kernels (sigcomp/sig_kernels.h) and carried into
+    // every DynInstr at replay (DynInstr::sigTags), so replay
+    // consumers — the pattern profiler, the activity accounting, the
+    // store codec's SigPack encoder — merge precomputed tags instead
+    // of re-classifying the same words on every replay.
+
+    /** Packed per-instruction tags: srcRs | srcRt<<4 | result<<8. */
+    std::vector<std::uint16_t> sigRegs_;
+    /** memData tags, parallel to memAddr_/memData_. */
+    std::vector<std::uint8_t> sigMem_;
 
     // -- loads/stores only, in stream order (sparse) ------------------
     std::vector<Addr> memAddr_;

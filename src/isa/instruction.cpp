@@ -114,6 +114,7 @@ decodeSpecial(DecodedInstr &d)
         d.cls = InstrClass::IntAlu;
         d.dest = inst.rd();
         d.writesDest = true;
+        d.readsHilo = true;
         return;
       case Funct::Mthi:
       case Funct::Mtlo:
@@ -155,8 +156,80 @@ decodeSpecial(DecodedInstr &d)
 
 } // namespace
 
+namespace
+{
+
+/** Serial-ALU operation class of a decoded instruction (see AluOp). */
+AluOp
+aluOpOf(const DecodedInstr &d)
+{
+    switch (d.cls) {
+      case InstrClass::IntAlu:
+        if (d.format == Format::R) {
+            switch (d.inst.funct()) {
+              case Funct::Add:
+              case Funct::Addu: return AluOp::AddRR;
+              case Funct::Sub:
+              case Funct::Subu: return AluOp::SubRR;
+              case Funct::And: return AluOp::AndRR;
+              case Funct::Or: return AluOp::OrRR;
+              case Funct::Xor: return AluOp::XorRR;
+              case Funct::Nor: return AluOp::NorRR;
+              case Funct::Slt: return AluOp::SltRR;
+              case Funct::Sltu: return AluOp::SltuRR;
+              default: return AluOp::MoveHiLo; // mfhi/mflo/mthi/mtlo
+            }
+        }
+        switch (d.inst.opcode()) {
+          case Opcode::Addi:
+          case Opcode::Addiu: return AluOp::AddImm;
+          case Opcode::Slti: return AluOp::SltImm;
+          case Opcode::Sltiu: return AluOp::SltuImm;
+          case Opcode::Andi: return AluOp::AndImm;
+          case Opcode::Ori: return AluOp::OrImm;
+          case Opcode::Xori: return AluOp::XorImm;
+          default: return AluOp::Lui;
+        }
+      case InstrClass::Shift:
+        return AluOp::Shift;
+      case InstrClass::Mult:
+        return AluOp::Mult;
+      case InstrClass::Div:
+        return AluOp::Div;
+      case InstrClass::Load:
+      case InstrClass::Store:
+        return AluOp::MemAdd;
+      case InstrClass::Branch:
+        return (d.inst.opcode() == Opcode::Beq ||
+                d.inst.opcode() == Opcode::Bne)
+                   ? AluOp::CmpRR
+                   : AluOp::CmpRZero;
+      case InstrClass::Jump:
+      case InstrClass::JumpReg:
+      case InstrClass::Syscall:
+      case InstrClass::Nop:
+        break;
+    }
+    return AluOp::None;
+}
+
+DecodedInstr decodeFields(Instruction inst);
+
+} // namespace
+
 DecodedInstr
 decode(Instruction inst)
+{
+    DecodedInstr d = decodeFields(inst);
+    d.aluOp = aluOpOf(d);
+    return d;
+}
+
+namespace
+{
+
+DecodedInstr
+decodeFields(Instruction inst)
 {
     DecodedInstr d;
     d.inst = inst;
@@ -268,6 +341,8 @@ decode(Instruction inst)
     d.name = "unknown";
     return d;
 }
+
+} // namespace
 
 std::string
 disassemble(Instruction inst)

@@ -104,6 +104,39 @@ class Instruction
  * Fully decoded instruction metadata used by the functional core and
  * the pipeline models.
  */
+/**
+ * Which ALU operation (in the serial-ALU model's vocabulary) a
+ * static instruction performs, resolved once at decode so the
+ * per-dynamic-instruction pipeline loops dispatch on one dense enum
+ * instead of re-extracting opcode/funct fields every time.
+ */
+enum class AluOp : std::uint8_t
+{
+    None = 0,   ///< jumps, syscalls, nops: ALU idle
+    AddRR,      ///< add/addu rs+rt
+    SubRR,      ///< sub/subu rs-rt
+    AndRR,
+    OrRR,
+    XorRR,
+    NorRR,
+    SltRR,
+    SltuRR,
+    MoveHiLo,   ///< mfhi/mflo/mthi/mtlo pass-through
+    AddImm,     ///< addi/addiu rs+simm16
+    SltImm,
+    SltuImm,
+    AndImm,     ///< andi rs&imm16 (zero-extended)
+    OrImm,
+    XorImm,
+    Lui,        ///< result pass-through
+    Shift,
+    Mult,
+    Div,
+    MemAdd,     ///< load/store address generation rs+simm16
+    CmpRR,      ///< beq/bne compare
+    CmpRZero,   ///< blez/bgtz/bltz/bgez compare against zero
+};
+
 struct DecodedInstr
 {
     Instruction inst;
@@ -128,6 +161,10 @@ struct DecodedInstr
     bool isCondBranch = false;
     /** R-format instruction whose funct field selects the op. */
     bool usesFunct = false;
+    /** Reads HI/LO (mfhi/mflo): waits on mult/div results. */
+    bool readsHilo = false;
+    /** Serial-ALU operation class (see AluOp). */
+    AluOp aluOp = AluOp::None;
 
     /** Mnemonic, e.g. "addu". */
     std::string name;

@@ -55,7 +55,7 @@ class MemoryHierarchy
     explicit MemoryHierarchy(HierarchyParams params = HierarchyParams());
 
     /** Instruction-side access for the word at @p pc. */
-    MemOutcome instrFetch(Addr pc);
+    MemOutcome instrFetch(Addr pc);  // inline below
 
     /** Data-side access touching @p addr. */
     MemOutcome dataAccess(Addr addr, bool is_write);
@@ -95,6 +95,34 @@ class MemoryHierarchy
     std::size_t lastFetchWay_ = 0;   ///< index into l1i_.lines_
     std::size_t lastFetchPage_ = 0;  ///< index into itlb_.entries_
 };
+
+inline MemOutcome
+MemoryHierarchy::instrFetch(Addr pc)
+{
+    const Addr line = l1i_.lineAddr(pc);
+    if (line == lastFetchLine_) {
+        // Guaranteed L1-I and I-TLB hit (a 32-byte line never spans
+        // pages). Replicate the full path's hit bookkeeping exactly
+        // — tick, stats, LRU stamp — so every statistic and every
+        // future replacement decision is bit-identical to the
+        // unmemoized walk.
+        ++itlb_.tick_;
+        ++itlb_.stats_.accesses;
+        itlb_.entries_[lastFetchPage_].lruStamp = itlb_.tick_;
+        ++l1i_.tick_;
+        ++l1i_.stats_.reads;
+        l1i_.lines_[lastFetchWay_].lruStamp = l1i_.tick_;
+        return MemOutcome();
+    }
+
+    const MemOutcome out = accessThrough(l1i_, itlb_, pc, false);
+    // After the access the line and page are resident regardless of
+    // hit/miss; memoize their slots for the sequential-fetch run.
+    lastFetchLine_ = line;
+    lastFetchWay_ = l1i_.wayIndexOf(pc);
+    lastFetchPage_ = itlb_.entryIndexOf(pc);
+    return out;
+}
 
 } // namespace sigcomp::mem
 

@@ -141,6 +141,8 @@ class Baseline32 : public SharedReplayModel<Baseline32>
   public:
     explicit Baseline32(PipelineConfig config);
 
+    bool planIsPure() const override { return true; }
+
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
                     const InstrQuanta &q) override;
@@ -153,6 +155,8 @@ class ByteSerial : public SharedReplayModel<ByteSerial>
 
   public:
     explicit ByteSerial(PipelineConfig config);
+
+    bool planIsPure() const override { return true; }
 
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
@@ -167,6 +171,8 @@ class HalfwordSerial : public SharedReplayModel<HalfwordSerial>
   public:
     explicit HalfwordSerial(PipelineConfig config);
 
+    bool planIsPure() const override { return true; }
+
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
                     const InstrQuanta &q) override;
@@ -180,6 +186,8 @@ class ByteSemiParallel : public SharedReplayModel<ByteSemiParallel>
   public:
     explicit ByteSemiParallel(PipelineConfig config);
 
+    bool planIsPure() const override { return true; }
+
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
                     const InstrQuanta &q) override;
@@ -192,6 +200,8 @@ class ByteParallelSkewed : public SharedReplayModel<ByteParallelSkewed>
 
   public:
     explicit ByteParallelSkewed(PipelineConfig config);
+
+    bool planIsPure() const override { return true; }
 
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
@@ -207,6 +217,8 @@ class ByteParallelCompressed : public SharedReplayModel<ByteParallelCompressed>
   public:
     explicit ByteParallelCompressed(PipelineConfig config);
 
+    bool planIsPure() const override { return true; }
+
   protected:
     TimingPlan plan(const cpu::DynInstr &di,
                     const InstrQuanta &q) override;
@@ -219,6 +231,8 @@ class SkewedBypass : public SharedReplayModel<SkewedBypass>
 
   public:
     explicit SkewedBypass(PipelineConfig config);
+
+    bool planIsPure() const override { return true; }
 
   protected:
     TimingPlan plan(const cpu::DynInstr &di,

@@ -18,6 +18,28 @@ InOrderPipeline::InOrderPipeline(std::string name, PipelineConfig config)
       predictor_(config_.predictor, config_.phtEntries,
                  config_.btbEntries)
 {
+    // Per-Ext3-tag significance counts under this pipeline's
+    // encoding. The Ext3 pattern of a word determines every
+    // encoding's count exactly: Ext3 keeps the tagged bytes
+    // (popcount), Ext2 keeps the low-order run up to the highest
+    // tagged byte (bit_width), and Half1 keeps the upper halfword
+    // exactly when either of its bytes is tagged. Entry 0 (no tag)
+    // is never consulted — untagged operands classify on the spot.
+    for (unsigned m = 1; m < 16; ++m) {
+        unsigned bytes = 0;
+        switch (config_.encoding) {
+          case sig::Encoding::Ext3:
+            bytes = static_cast<unsigned>(std::popcount(m));
+            break;
+          case sig::Encoding::Ext2:
+            bytes = static_cast<unsigned>(std::bit_width(m));
+            break;
+          case sig::Encoding::Half1:
+            bytes = (m & 0b1100u) ? 4 : 2;
+            break;
+        }
+        tagBytes_[m] = static_cast<std::uint8_t>(bytes);
+    }
 }
 
 void
@@ -68,359 +90,6 @@ InOrderPipeline::applyStore(const cpu::DynInstr &di)
     }
 }
 
-namespace
-{
-
-/** Chunks of a value under an encoding. */
-unsigned
-chunksOf(Word v, sig::Encoding enc)
-{
-    return sig::significantBytesUnder(v, enc) / sig::chunkBytes(enc);
-}
-
-/** Chunks moved by a memory access of @p bytes with datum @p v. */
-unsigned
-memChunksOf(Word v, unsigned bytes, sig::Encoding enc)
-{
-    const unsigned cb = sig::chunkBytes(enc);
-    if (bytes <= cb)
-        return 1;
-    // Sub-word accesses compress within their own width: a halfword
-    // whose upper byte is a sign fill moves one byte.
-    Word extended = v;
-    if (bytes == 2)
-        extended = signExtend(v, 16);
-    const unsigned full = divCeil(bytes, cb);
-    return std::min(full, chunksOf(extended, enc));
-}
-
-} // namespace
-
-InstrQuanta
-InOrderPipeline::computeQuanta(const DynInstr &di)
-{
-    const sig::Encoding enc = config_.encoding;
-    const isa::DecodedInstr &dec = *di.dec;
-    InstrQuanta q;
-
-    // ---- fetch side -----------------------------------------------------
-    q.fetchBytes = fetchWidthAt(di.pc);
-    const mem::MemOutcome ifo = hierarchy_.instrFetch(di.pc);
-    q.ifExtra = ifo.extraLatency;
-
-    // ---- PC update ------------------------------------------------------
-    const unsigned block_bits = 8 * sig::chunkBytes(enc);
-    q.redirect = dec.isControl && di.nextPc != di.pc + 4;
-    q.pcChangedBlocks = sig::changedBlocks(di.pc, di.nextPc, block_bits);
-    if (!q.redirect) {
-        const int hi =
-            sig::highestChangedBlock(di.pc, di.nextPc, block_bits);
-        q.pcRippleExtra = hi > 0 ? static_cast<unsigned>(hi) : 0;
-    }
-
-    // ---- register sources -----------------------------------------------
-    if (dec.readsRs) {
-        ++q.numSrcRegs;
-        q.srcChunks = std::max(q.srcChunks, chunksOf(di.srcRs, enc));
-    }
-    if (dec.readsRt) {
-        ++q.numSrcRegs;
-        q.srcChunks = std::max(q.srcChunks, chunksOf(di.srcRt, enc));
-    }
-
-    // ---- ALU work ---------------------------------------------------------
-    const Word imm_s = static_cast<Word>(di.inst().simm16());
-    const Word imm_z = di.inst().imm16();
-    q.usesAlu = true;
-    switch (dec.cls) {
-      case InstrClass::IntAlu:
-        if (dec.format == isa::Format::R) {
-            switch (di.inst().funct()) {
-              case Funct::Add:
-              case Funct::Addu:
-                curAlu_ = alu_.add(di.srcRs, di.srcRt);
-                break;
-              case Funct::Sub:
-              case Funct::Subu:
-                curAlu_ = alu_.sub(di.srcRs, di.srcRt);
-                break;
-              case Funct::And:
-                curAlu_ = alu_.logic(di.srcRs, di.srcRt,
-                                     sig::LogicOp::And);
-                break;
-              case Funct::Or:
-                curAlu_ = alu_.logic(di.srcRs, di.srcRt,
-                                     sig::LogicOp::Or);
-                break;
-              case Funct::Xor:
-                curAlu_ = alu_.logic(di.srcRs, di.srcRt,
-                                     sig::LogicOp::Xor);
-                break;
-              case Funct::Nor:
-                curAlu_ = alu_.logic(di.srcRs, di.srcRt,
-                                     sig::LogicOp::Nor);
-                break;
-              case Funct::Slt:
-                curAlu_ = alu_.slt(di.srcRs, di.srcRt, false);
-                break;
-              case Funct::Sltu:
-                curAlu_ = alu_.slt(di.srcRs, di.srcRt, true);
-                break;
-              default: // mfhi/mflo/mthi/mtlo
-                curAlu_ = alu_.passThrough(
-                    dec.writesDest ? di.result : di.srcRs);
-                break;
-            }
-        } else {
-            switch (di.inst().opcode()) {
-              case Opcode::Addi:
-              case Opcode::Addiu:
-                curAlu_ = alu_.add(di.srcRs, imm_s);
-                break;
-              case Opcode::Slti:
-                curAlu_ = alu_.slt(di.srcRs, imm_s, false);
-                break;
-              case Opcode::Sltiu:
-                curAlu_ = alu_.slt(di.srcRs, imm_s, true);
-                break;
-              case Opcode::Andi:
-                curAlu_ = alu_.logic(di.srcRs, imm_z, sig::LogicOp::And);
-                break;
-              case Opcode::Ori:
-                curAlu_ = alu_.logic(di.srcRs, imm_z, sig::LogicOp::Or);
-                break;
-              case Opcode::Xori:
-                curAlu_ = alu_.logic(di.srcRs, imm_z, sig::LogicOp::Xor);
-                break;
-              default: // lui
-                curAlu_ = alu_.passThrough(di.result);
-                break;
-            }
-        }
-        break;
-      case InstrClass::Shift:
-        curAlu_ = alu_.shift(di.srcRt, di.result);
-        break;
-      case InstrClass::Mult:
-        curAlu_ = alu_.multDiv(di.srcRs, di.srcRt, 0);
-        q.isMult = true;
-        break;
-      case InstrClass::Div:
-        curAlu_ = alu_.multDiv(di.srcRs, di.srcRt, 0);
-        q.isDiv = true;
-        break;
-      case InstrClass::Load:
-      case InstrClass::Store:
-        curAlu_ = alu_.add(di.srcRs, imm_s); // address generation
-        break;
-      case InstrClass::Branch:
-        if (di.inst().opcode() == Opcode::Beq ||
-            di.inst().opcode() == Opcode::Bne) {
-            curAlu_ = alu_.sub(di.srcRs, di.srcRt);
-        } else {
-            curAlu_ = alu_.sub(di.srcRs, 0); // compare against zero
-        }
-        break;
-      case InstrClass::Jump:
-      case InstrClass::JumpReg:
-      case InstrClass::Syscall:
-      case InstrClass::Nop:
-        curAlu_ = sig::AluReport{};
-        curAlu_.workMask = 0;
-        curAlu_.workBytes = 0;
-        q.usesAlu = false;
-        break;
-    }
-    q.exChunks = q.usesAlu ? std::max(1u, curAlu_.workChunks()) : 0;
-    q.exWorkBytes = curAlu_.workBytes;
-
-    // ---- memory ------------------------------------------------------------
-    if (dec.isLoad || dec.isStore) {
-        const mem::MemOutcome dout =
-            hierarchy_.dataAccess(di.memAddr, dec.isStore);
-        q.memExtra = dout.extraLatency;
-        q.memAccessBytes = dec.memBytes;
-        q.memChunks = memChunksOf(di.memData, dec.memBytes,
-                                  config_.encoding);
-        curLatchBase_ = accountActivity(di, q, curAlu_, ifo, dout, true);
-    } else {
-        curLatchBase_ = accountActivity(di, q, curAlu_, ifo,
-                                        mem::MemOutcome{}, false);
-    }
-    addLatch(curLatchBase_, latchBoundaries(q));
-
-    // ---- result ------------------------------------------------------------
-    if (dec.writesDest && dec.dest != isa::reg::zero)
-        q.resChunks = chunksOf(di.result, config_.encoding);
-
-    return q;
-}
-
-Count
-InOrderPipeline::accountActivity(const DynInstr &di, const InstrQuanta &q,
-                                 const sig::AluReport &alu,
-                                 const mem::MemOutcome &ifetch,
-                                 const mem::MemOutcome &daccess,
-                                 bool has_mem)
-{
-    const sig::Encoding enc = config_.encoding;
-    const unsigned eb = sig::extensionBits(enc);
-    const unsigned cb = sig::chunkBytes(enc);
-    const isa::DecodedInstr &dec = *di.dec;
-
-    // Fetch: 3-4 bytes plus the fetch extension bit vs a full word.
-    activity_.fetch.add(8 * q.fetchBytes + 1, 32);
-    if (ifetch.l1Fill && program_) {
-        const unsigned line_words =
-            hierarchy_.l1i().params().lineBytes / wordBytes;
-        for (unsigned w = 0; w < line_words; ++w) {
-            const Addr a =
-                ifetch.fillLine + static_cast<Addr>(w * wordBytes);
-            unsigned fb = 4;
-            if (a >= program_->textStart() && a < program_->textEnd())
-                fb = fetchWidthAt(a);
-            activity_.fetch.add(8 * fb + 1 + ifillPermuteBits, 32);
-        }
-    }
-
-    // Register file reads.
-    if (dec.readsRs) {
-        activity_.rfRead.add(
-            8 * sig::significantBytesUnder(di.srcRs, enc) + eb, 32);
-    }
-    if (dec.readsRt) {
-        activity_.rfRead.add(
-            8 * sig::significantBytesUnder(di.srcRt, enc) + eb, 32);
-    }
-
-    // Register file write-back.
-    unsigned res_bytes = 0;
-    if (dec.writesDest && dec.dest != isa::reg::zero) {
-        res_bytes = sig::significantBytesUnder(di.result, enc);
-        activity_.rfWrite.add(8 * res_bytes + eb, 32);
-    }
-
-    // ALU datapath.
-    if (q.usesAlu)
-        activity_.alu.add(8 * alu.workBytes, 32);
-
-    // Data cache.
-    if (has_mem) {
-        activity_.dcData.add(8 * q.memChunks * cb + eb, 32);
-        activity_.dcTag.add(hierarchy_.l1d().tagBits(),
-                            hierarchy_.l1d().tagBits());
-        auto account_line = [&](Addr line) {
-            const unsigned line_words =
-                hierarchy_.l1d().params().lineBytes / wordBytes;
-            for (unsigned w = 0; w < line_words; ++w) {
-                const Word v = memory_ ? memory_->readWord(
-                                             line + w * wordBytes)
-                                       : 0;
-                activity_.dcData.add(
-                    8 * sig::significantBytesUnder(v, enc) + eb, 32);
-            }
-            activity_.dcTag.add(hierarchy_.l1d().tagBits(),
-                                hierarchy_.l1d().tagBits());
-        };
-        if (daccess.l1Fill)
-            account_line(daccess.fillLine);
-        if (daccess.writeback)
-            account_line(daccess.victimLine);
-    }
-
-    // PC increment.
-    const unsigned block_bits = 8 * cb;
-    activity_.pcInc.add(q.pcChangedBlocks * block_bits, 32);
-
-    // Latches: instruction + PC, operands, result/store data, and
-    // write-back value; returned unscaled — the caller applies the
-    // design-specific boundary scaling (addLatch), which is the only
-    // design-dependent piece of the whole accounting.
-    Count latch_c = 8 * q.fetchBytes + 1 +
-                    q.pcChangedBlocks * block_bits;
-    if (dec.readsRs)
-        latch_c += 8 * sig::significantBytesUnder(di.srcRs, enc) + eb;
-    if (dec.readsRt)
-        latch_c += 8 * sig::significantBytesUnder(di.srcRt, enc) + eb;
-    latch_c += 2 * (8 * res_bytes + eb * (res_bytes ? 1 : 0));
-    if (dec.isStore)
-        latch_c += 8 * q.memChunks * cb + eb;
-    return latch_c;
-}
-
-void
-InOrderPipeline::schedule(const DynInstr &di, const InstrQuanta &q,
-                          const TimingPlan &plan)
-{
-    const isa::DecodedInstr &dec = *di.dec;
-    std::array<Cycle, maxStages> start{};
-    std::array<Cycle, maxStages> end{};
-
-    // Operand readiness (forwarding network).
-    Cycle operand_ready = 0;
-    if (dec.readsRs)
-        operand_ready = std::max(operand_ready, regReady_[di.inst().rs()]);
-    if (dec.readsRt)
-        operand_ready = std::max(operand_ready, regReady_[di.inst().rt()]);
-    if (dec.format == isa::Format::R &&
-        (di.inst().funct() == Funct::Mfhi ||
-         di.inst().funct() == Funct::Mflo)) {
-        operand_ready = std::max(operand_ready, hiloReady_);
-    }
-
-    // Fetch.
-    const Cycle if_structural = prevEnd_[0];
-    start[0] = std::max(if_structural, redirectReady_);
-    if (redirectReady_ > if_structural)
-        stalls_.controlCycles += redirectReady_ - if_structural;
-    stalls_.icacheMissCycles += q.ifExtra;
-    end[0] = start[0] + plan.dur[0];
-
-    for (unsigned s = 1; s < plan.numStages; ++s) {
-        const Cycle flow = start[s - 1] + plan.lead[s - 1];
-        const Cycle structural = prevEnd_[s];
-        const Cycle hazard =
-            (s == plan.consumeStage) ? operand_ready : 0;
-        start[s] = std::max({flow, structural, hazard});
-        if (structural > flow && structural >= hazard)
-            stalls_.structuralCycles += structural - std::max(flow, hazard);
-        else if (hazard > flow && hazard > structural)
-            stalls_.dataHazardCycles += hazard - std::max(flow, structural);
-        end[s] = start[s] + plan.dur[s];
-    }
-    stalls_.dcacheMissCycles += q.memExtra;
-
-    // Publish scheduler state.
-    for (unsigned s = 0; s < plan.numStages; ++s)
-        prevEnd_[s] = end[s];
-    for (unsigned s = plan.numStages; s < maxStages; ++s)
-        prevEnd_[s] = 0;
-
-    if (dec.writesDest && dec.dest != isa::reg::zero) {
-        const unsigned rs =
-            dec.isLoad ? plan.loadReadyStage : plan.readyStage;
-        regReady_[dec.dest] = plan.streamForward
-                                  ? start[rs] + plan.lead[rs]
-                                  : end[rs];
-    }
-    if (dec.cls == InstrClass::Mult || dec.cls == InstrClass::Div)
-        hiloReady_ = end[plan.readyStage];
-    if (dec.isControl) {
-        const bool correct = predictor_.predictAndUpdate(
-            di.pc, di.taken, di.nextPc, dec.isCondBranch);
-        // A correct prediction keeps fetch on the right path: no
-        // redirect bubble. A wrong one redirects after resolution.
-        if (!correct)
-            redirectReady_ = end[plan.resolveStage];
-    }
-
-    lastCycle_ = std::max(lastCycle_, end[plan.numStages - 1]);
-    ++instructions_;
-    lastPc_ = di.pc;
-
-    if (observer_)
-        observer_(di, plan, start, end);
-}
 
 void
 InOrderPipeline::retire(const DynInstr &di)
@@ -429,10 +98,13 @@ InOrderPipeline::retire(const DynInstr &di)
               "pipeline '", name_, "' not bound to a program");
     if (replayMemory_ && di.dec->isStore)
         applyStore(di);
-    const InstrQuanta q = computeQuanta(di);
+    InstrQuanta q = computeQuanta(di);
+    const unsigned res_chunks = q.resChunks;
+    q.resChunks = 0;
+    addLatch(curLatchBase_, latchBoundaries(q));
+    q.resChunks = res_chunks;
     const TimingPlan p = plan(di, q);
-    SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
-              "bad stage count");
+    checkPlan(p);
     schedule(di, q, p);
 }
 
@@ -445,17 +117,32 @@ InOrderPipeline::retireBlock(std::span<const cpu::DynInstr> block)
     for (const DynInstr &di : block) {
         if (apply_stores && di.dec->isStore)
             applyStore(di);
-        const InstrQuanta q = computeQuanta(di);
+        InstrQuanta q = computeQuanta(di);
+        const unsigned res_chunks = q.resChunks;
+        q.resChunks = 0;
+        addLatch(curLatchBase_, latchBoundaries(q));
+        q.resChunks = res_chunks;
         const TimingPlan p = plan(di, q);
-        SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
-                  "bad stage count");
+        checkPlan(p);
         schedule(di, q, p);
     }
+}
+
+void
+InOrderPipeline::panicBadTimingPlan()
+{
+    SC_PANIC("bad timing plan: stage count outside [2, ", maxStages,
+             "] or a stage role index outside the plan's depth");
 }
 
 PipelineResult
 InOrderPipeline::result()
 {
+    if (adoptedResult_) {
+        PipelineResult r = *adoptedResult_;
+        r.name = name_;
+        return r;
+    }
     PipelineResult r;
     r.name = name_;
     r.instructions = instructions_;
@@ -506,12 +193,10 @@ InOrderPipeline::quantaKey() const
     return key;
 }
 
-namespace
-{
-
 /** a - b per category (activity accumulates monotonically). */
 ActivityTotals
-activityDelta(const ActivityTotals &a, const ActivityTotals &b)
+InOrderPipeline::activityDelta(const ActivityTotals &a,
+                               const ActivityTotals &b)
 {
     auto sub = [](const BitPair &x, const BitPair &y) {
         BitPair d;
@@ -531,27 +216,18 @@ activityDelta(const ActivityTotals &a, const ActivityTotals &b)
     return d;
 }
 
-} // namespace
-
 void
 InOrderPipeline::retireBlockRecord(std::span<const cpu::DynInstr> block,
                                    SharedQuanta &rec)
 {
-    SC_ASSERT(program_ != nullptr,
-              "pipeline '", name_, "' not bound to a program");
-    const ActivityTotals before = activity_;
-    const bool apply_stores = replayMemory_ != nullptr;
-    for (const DynInstr &di : block) {
-        if (apply_stores && di.dec->isStore)
-            applyStore(di);
-        const InstrQuanta q = computeQuanta(di);
-        rec.q.push_back(SharedQuanta::pack(q, curLatchBase_));
-        const TimingPlan p = plan(di, q);
-        SC_ASSERT(p.numStages >= 2 && p.numStages <= maxStages,
-                  "bad stage count");
-        schedule(di, q, p);
-    }
-    rec.blockDelta.push_back(activityDelta(activity_, before));
+    // Generic fallback: same body as the designs' devirtualised
+    // overrides, with the hooks dispatched virtually.
+    retireBlockRecordWith(
+        block, rec,
+        [this](const cpu::DynInstr &di, const InstrQuanta &q) {
+            return plan(di, q);
+        },
+        [this](const InstrQuanta &q) { return latchBoundaries(q); });
 }
 
 void
@@ -577,6 +253,12 @@ InOrderPipeline::adoptSharedStats(const SharedQuanta &rec)
     adoptedStats_.l1i = rec.l1i;
     adoptedStats_.l1d = rec.l1d;
     adoptedStats_.l2 = rec.l2;
+}
+
+void
+InOrderPipeline::adoptResult(const PipelineResult &r)
+{
+    adoptedResult_ = std::make_unique<PipelineResult>(r);
 }
 
 } // namespace sigcomp::pipeline

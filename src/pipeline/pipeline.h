@@ -328,10 +328,12 @@ class InOrderPipeline : public cpu::TraceSink
      * Full retirement of @p block (identical to retireBlock()) that
      * additionally appends the design-independent front half to
      * @p rec: one Packed entry per instruction plus one shared
-     * activity delta for the block.
+     * activity delta for the block. Virtual for the same reason as
+     * retireBlockShared(): SharedReplayModel overrides it so plan()
+     * and latchBoundaries() bind statically inside the loop.
      */
-    void retireBlockRecord(std::span<const cpu::DynInstr> block,
-                           SharedQuanta &rec);
+    virtual void retireBlockRecord(std::span<const cpu::DynInstr> block,
+                                   SharedQuanta &rec);
 
     /**
      * Consumer retirement from a SharedQuanta record produced by a
@@ -354,6 +356,38 @@ class InOrderPipeline : public cpu::TraceSink
      * (their own hierarchy was never driven).
      */
     void adoptSharedStats(const SharedQuanta &rec);
+
+    /**
+     * Adopt a complete memoised result: result() returns a copy of
+     * @p r (with this pipeline's name) instead of locally accumulated
+     * state. Used by replayPipelines() when a bit-identical earlier
+     * replay of the same design/configuration/trace already produced
+     * the result — the pipeline then skips the replay entirely.
+     */
+    void adoptResult(const PipelineResult &r);
+
+    /**
+     * True until the pipeline has consumed any instruction or adopted
+     * a result: the state in which a memoised result is exactly what
+     * a replay would produce, and in which a fresh full replay's
+     * result is safe to memoise.
+     */
+    bool pristine() const { return instructions_ == 0 && !adoptedResult_; }
+
+    /** An observer makes replays side-effectful: never memoise them. */
+    bool observed() const { return observer_ != nullptr; }
+
+    /**
+     * True when this pipeline's plan()/latchBoundaries() depend only
+     * on the constructor configuration and the per-instruction
+     * quanta — the precondition for memoising a full-trace replay
+     * result on the trace (replayPipelines). Defaults to false so a
+     * custom subclass with per-instance runtime state (a mock with a
+     * std::function plan, an adaptive design) can never adopt
+     * another instance's memoised result; the library's fixed
+     * designs override it to true.
+     */
+    virtual bool planIsPure() const { return false; }
 
     /** This pipeline's hierarchy (recording side of shared stats). */
     const mem::MemoryHierarchy &hierarchy() const { return hierarchy_; }
@@ -426,22 +460,79 @@ class InOrderPipeline : public cpu::TraceSink
             q.resChunks = res_chunks;
 
             const TimingPlan tp = plan_fn(di, q);
+            checkPlan(tp);
             schedule(di, q, tp);
         }
     }
 
+    /**
+     * The recording-pass body, parameterised like
+     * retireBlockSharedWith() so the design hooks inline into the
+     * loop (this is the heaviest pass of a CPI study: it runs the
+     * quanta front half AND schedules).
+     */
+    template <typename PlanFn, typename LatchFn>
+    void
+    retireBlockRecordWith(std::span<const cpu::DynInstr> block,
+                          SharedQuanta &rec, PlanFn &&plan_fn,
+                          LatchFn &&latch_fn)
+    {
+        SC_ASSERT(program_ != nullptr,
+                  "pipeline '", name_, "' not bound to a program");
+        const ActivityTotals before = activity_;
+        const bool apply_stores = replayMemory_ != nullptr;
+        // Pre-size the record for the block so the hot loop writes
+        // through a bare pointer (capacity was reserved up front).
+        const std::size_t rec_base = rec.q.size();
+        rec.q.resize(rec_base + block.size());
+        SharedQuanta::Packed *rq = rec.q.data() + rec_base;
+        for (const cpu::DynInstr &di : block) {
+            if (apply_stores && di.dec->isStore)
+                applyStore(di);
+            InstrQuanta q = computeQuanta(di);
+
+            // Latch accounting matches the consumer path exactly:
+            // latchBoundaries() runs before resChunks is filled in.
+            const unsigned res_chunks = q.resChunks;
+            q.resChunks = 0;
+            addLatch(curLatchBase_, latch_fn(q));
+            q.resChunks = res_chunks;
+
+            *rq++ = SharedQuanta::pack(q, curLatchBase_);
+            const TimingPlan p = plan_fn(di, q);
+            checkPlan(p);
+            schedule(di, q, p);
+        }
+        rec.blockDelta.push_back(activityDelta(activity_, before));
+    }
+
+    /** a - b per category (activity accumulates monotonically). */
+    static ActivityTotals activityDelta(const ActivityTotals &a,
+                                        const ActivityTotals &b);
+
   private:
+    /**
+     * The design-independent front half of one instruction's
+     * retirement. Does NOT account latches: every caller scales and
+     * adds them itself (addLatch) so the design hook can be bound
+     * statically in the devirtualised paths.
+     */
     InstrQuanta computeQuanta(const cpu::DynInstr &di);
 
     /**
      * Account every activity category except latches; returns the
      * instruction's latch bit count before control/boundary scaling
      * (the design-independent part of the latch formula).
+     * @p rs_bytes/@p rt_bytes/@p res_bytes are the operand values'
+     * significance counts under config_.encoding, computed once by
+     * computeQuanta() (from the sidecar tags when available).
      */
     Count accountActivity(const cpu::DynInstr &di, const InstrQuanta &q,
                           const sig::AluReport &alu,
                           const mem::MemOutcome &ifetch,
-                          const mem::MemOutcome &daccess, bool has_mem);
+                          const mem::MemOutcome &daccess, bool has_mem,
+                          unsigned rs_bytes, unsigned rt_bytes,
+                          unsigned res_bytes);
 
     /** Scale and account the latch activity of one instruction. */
     void
@@ -452,8 +543,135 @@ class InOrderPipeline : public cpu::TraceSink
         activity_.latch.add(latch_c, baselineLatchBits);
     }
 
-    void schedule(const cpu::DynInstr &di, const InstrQuanta &q,
-                  const TimingPlan &plan);
+    /** Cold out-of-line panic for the timing-plan validation. */
+    [[noreturn, gnu::cold, gnu::noinline]] static void
+    panicBadTimingPlan();
+
+    /**
+     * Validate a plan before scheduling it: stage count within
+     * bounds and every stage-role index inside the plan's depth
+     * (schedule()'s start/end arrays are only written up to
+     * numStages, so an out-of-range readyStage would read
+     * indeterminate cycles). Checked at every call site that feeds
+     * schedule() — kept out of schedule() itself so the scheduler
+     * stays within the inliner's budget in the replay loops.
+     */
+    static void
+    checkPlan(const TimingPlan &p)
+    {
+        const unsigned max_role =
+            std::max(std::max(p.consumeStage, p.resolveStage),
+                     std::max(p.readyStage, p.loadReadyStage));
+        if (p.numStages - 2 > maxStages - 2 ||
+            max_role >= p.numStages) [[unlikely]] {
+            panicBadTimingPlan();
+        }
+    }
+
+    /**
+     * The reservation-recurrence scheduler. Defined inline: it runs
+     * once per instruction per design on every replay path, and
+     * inlining it into the (CRTP-devirtualised) block loops keeps
+     * the scheduler state in registers across the loop instead of
+     * round-tripping through memory on an out-of-line call.
+     */
+    void
+    schedule(const cpu::DynInstr &di, const InstrQuanta &q,
+             const TimingPlan &plan)
+    {
+        // Validate the plan here, on every path that can reach the
+        // scheduler: the stage-role indexes must stay inside the
+        // plan's depth because start[]/end[] are only written up to
+        // numStages (deliberately uninitialised beyond it, see
+        // below), and a custom design's out-of-range readyStage must
+        // die loudly instead of publishing garbage cycles. The panic
+        // itself is out of line (cold, noinline) so the check stays
+        // a handful of fused compares and schedule() keeps inlining
+        // into the replay loops.
+        const isa::DecodedInstr &dec = *di.dec;
+        // Uninitialised on purpose (this runs once per instruction per
+        // design): only stages [0, numStages) are ever read below. The
+        // observer interface exposes the whole arrays, so zero the tail
+        // for it on that (cold) path only.
+        std::array<Cycle, maxStages> start;
+        std::array<Cycle, maxStages> end;
+        if (observer_) {
+            start.fill(0);
+            end.fill(0);
+        }
+
+        // Operand readiness (forwarding network).
+        Cycle operand_ready = 0;
+        if (dec.readsRs)
+            operand_ready = std::max(operand_ready, regReady_[di.inst().rs()]);
+        if (dec.readsRt)
+            operand_ready = std::max(operand_ready, regReady_[di.inst().rt()]);
+        if (dec.readsHilo)
+            operand_ready = std::max(operand_ready, hiloReady_);
+
+        // Fetch.
+        const Cycle if_structural = prevEnd_[0];
+        start[0] = std::max(if_structural, redirectReady_);
+        if (redirectReady_ > if_structural)
+            stalls_.controlCycles += redirectReady_ - if_structural;
+        stalls_.icacheMissCycles += q.ifExtra;
+        end[0] = start[0] + plan.dur[0];
+
+        for (unsigned s = 1; s < plan.numStages; ++s) {
+            const Cycle flow = start[s - 1] + plan.lead[s - 1];
+            const Cycle structural = prevEnd_[s];
+            const Cycle hazard =
+                (s == plan.consumeStage) ? operand_ready : 0;
+            start[s] = std::max({flow, structural, hazard});
+            // Stall attribution, branchless: the waits are data-dependent
+            // and unpredictable, so both deltas are computed and masked
+            // by their win condition instead of branched over.
+            const Cycle over_s = structural - std::max(flow, hazard);
+            const Cycle over_h = hazard - std::max(flow, structural);
+            stalls_.structuralCycles +=
+                over_s * (structural > flow && structural >= hazard);
+            stalls_.dataHazardCycles +=
+                over_h * (hazard > flow && hazard > structural);
+            end[s] = start[s] + plan.dur[s];
+        }
+        stalls_.dcacheMissCycles += q.memExtra;
+
+        // Publish scheduler state. Stages this design never reaches are
+        // zeroed only when a deeper plan preceded this one, so the
+        // common fixed-depth case publishes exactly numStages entries.
+        for (unsigned s = 0; s < plan.numStages; ++s)
+            prevEnd_[s] = end[s];
+        for (unsigned s = plan.numStages; s < prevNumStages_; ++s)
+            prevEnd_[s] = 0;
+        prevNumStages_ = plan.numStages;
+
+        if (dec.writesDest && dec.dest != isa::reg::zero) {
+            const unsigned rs =
+                dec.isLoad ? plan.loadReadyStage : plan.readyStage;
+            regReady_[dec.dest] = plan.streamForward
+                                      ? start[rs] + plan.lead[rs]
+                                      : end[rs];
+        }
+        if (dec.cls == isa::InstrClass::Mult ||
+            dec.cls == isa::InstrClass::Div)
+            hiloReady_ = end[plan.readyStage];
+        if (dec.isControl) {
+            const bool correct = predictor_.predictAndUpdate(
+                di.pc, di.taken, di.nextPc, dec.isCondBranch);
+            // A correct prediction keeps fetch on the right path: no
+            // redirect bubble. A wrong one redirects after resolution.
+            if (!correct)
+                redirectReady_ = end[plan.resolveStage];
+        }
+
+        lastCycle_ = std::max(lastCycle_, end[plan.numStages - 1]);
+        ++instructions_;
+        lastPc_ = di.pc;
+
+        if (observer_)
+            observer_(di, plan, start, end);
+    }
+
 
     /** Re-apply one trace store to the replay memory image. */
     void applyStore(const cpu::DynInstr &di);
@@ -472,6 +690,15 @@ class InOrderPipeline : public cpu::TraceSink
     BranchPredictor predictor_;
     ScheduleObserver observer_;
 
+    /**
+     * Significant bytes under config_.encoding per Ext3 sidecar tag
+     * (DynInstr::sigTags nibbles): every encoding's significance
+     * count is a pure function of the Ext3 pattern, so tagged
+     * replays look the count up instead of re-classifying the
+     * operand word (bit-identical either way; see computeQuanta()).
+     */
+    std::array<std::uint8_t, 16> tagBytes_{};
+
     const isa::Program *program_ = nullptr;
     const mem::MainMemory *memory_ = nullptr;
     /** Owned evolving memory image when bound via bindReplay(). */
@@ -485,6 +712,8 @@ class InOrderPipeline : public cpu::TraceSink
 
     // Scheduler state.
     std::array<Cycle, maxStages> prevEnd_{};
+    /** Depth of the previous plan (bounds the prevEnd_ tail zeroing). */
+    unsigned prevNumStages_ = maxStages;
     std::array<Cycle, isa::numRegs> regReady_{};
     Cycle hiloReady_ = 0;
     Cycle redirectReady_ = 0;
@@ -507,6 +736,8 @@ class InOrderPipeline : public cpu::TraceSink
         mem::CacheStats l1i, l1d, l2;
     };
     AdoptedStats adoptedStats_;
+    // Complete result adopted from a replay memo, if any.
+    std::unique_ptr<PipelineResult> adoptedResult_;
 
     friend struct PipelineTestPeek;
 };
@@ -541,7 +772,315 @@ class SharedReplayModel : public InOrderPipeline
                 return self->D::latchBoundaries(q);
             });
     }
+
+    void
+    retireBlockRecord(std::span<const cpu::DynInstr> block,
+                      SharedQuanta &rec) override
+    {
+        D *self = static_cast<D *>(this);
+        retireBlockRecordWith(
+            block, rec,
+            [self](const cpu::DynInstr &di, const InstrQuanta &q) {
+                return self->D::plan(di, q);
+            },
+            [self](const InstrQuanta &q) {
+                return self->D::latchBoundaries(q);
+            });
+    }
 };
+
+// ---- inline implementations of the per-instruction front half ----
+//
+// computeQuanta()/accountActivity() run once per instruction on
+// every full replay path; defining them here lets them inline into
+// the devirtualised record loops (retireBlockRecordWith) so the
+// whole front half fuses with scheduling instead of shuttling an
+// InstrQuanta through an out-of-line call per instruction.
+
+namespace quanta_detail
+{
+
+/** Chunks of a value under an encoding. */
+inline unsigned
+chunksOf(Word v, sig::Encoding enc)
+{
+    return sig::significantBytesUnder(v, enc) / sig::chunkBytes(enc);
+}
+
+/** Chunks moved by a memory access of @p bytes with datum @p v. */
+inline unsigned
+memChunksOf(Word v, unsigned bytes, sig::Encoding enc)
+{
+    const unsigned cb = sig::chunkBytes(enc);
+    if (bytes <= cb)
+        return 1;
+    // Sub-word accesses compress within their own width: a halfword
+    // whose upper byte is a sign fill moves one byte.
+    Word extended = v;
+    if (bytes == 2)
+        extended = signExtend(v, 16);
+    const unsigned full = divCeil(bytes, cb);
+    return std::min(full, chunksOf(extended, enc));
+}
+
+} // namespace quanta_detail
+
+inline InstrQuanta
+InOrderPipeline::computeQuanta(const cpu::DynInstr &di)
+{
+    const sig::Encoding enc = config_.encoding;
+    const isa::DecodedInstr &dec = *di.dec;
+    InstrQuanta q;
+
+    // Significance counts of the three register-file values, via the
+    // capture-time sidecar tags when the replay carries them (the
+    // per-tag tables are exact, see the constructor) and per-word
+    // classification when it doesn't (live simulation). Computed once
+    // here and shared with the activity accounting below, which used
+    // to classify the same words a second time.
+    const unsigned tags = di.sigTags;
+    unsigned rs_bytes, rt_bytes, res_bytes;
+    if (tags != 0) {
+        rs_bytes = tagBytes_[tags & 0xFu];
+        rt_bytes = tagBytes_[(tags >> 4) & 0xFu];
+        res_bytes = tagBytes_[(tags >> 8) & 0xFu];
+    } else {
+        rs_bytes = sig::significantBytesUnder(di.srcRs, enc);
+        rt_bytes = sig::significantBytesUnder(di.srcRt, enc);
+        res_bytes = sig::significantBytesUnder(di.result, enc);
+    }
+    const unsigned chunk_bytes = sig::chunkBytes(enc);
+
+    // ---- fetch side -----------------------------------------------------
+    q.fetchBytes = fetchWidthAt(di.pc);
+    const mem::MemOutcome ifo = hierarchy_.instrFetch(di.pc);
+    q.ifExtra = ifo.extraLatency;
+
+    // ---- PC update ------------------------------------------------------
+    const unsigned block_bits = 8 * chunk_bytes;
+    q.redirect = dec.isControl && di.nextPc != di.pc + 4;
+    q.pcChangedBlocks = sig::changedBlocks(di.pc, di.nextPc, block_bits);
+    if (!q.redirect) {
+        const int hi =
+            sig::highestChangedBlock(di.pc, di.nextPc, block_bits);
+        q.pcRippleExtra = hi > 0 ? static_cast<unsigned>(hi) : 0;
+    }
+
+    // ---- register sources -----------------------------------------------
+    if (dec.readsRs) {
+        ++q.numSrcRegs;
+        q.srcChunks = std::max(q.srcChunks, rs_bytes / chunk_bytes);
+    }
+    if (dec.readsRt) {
+        ++q.numSrcRegs;
+        q.srcChunks = std::max(q.srcChunks, rt_bytes / chunk_bytes);
+    }
+
+    // ---- ALU work ---------------------------------------------------------
+    // One flat dispatch on the decode-time AluOp memo instead of the
+    // class/format/funct/opcode cascade (same cases, same order of
+    // evaluation — aluOpOf() in isa/instruction.cpp is the mapping).
+    q.usesAlu = true;
+    switch (dec.aluOp) {
+      case isa::AluOp::AddRR:
+        curAlu_ = alu_.add(di.srcRs, di.srcRt);
+        break;
+      case isa::AluOp::SubRR:
+        curAlu_ = alu_.sub(di.srcRs, di.srcRt);
+        break;
+      case isa::AluOp::AndRR:
+        curAlu_ = alu_.logic(di.srcRs, di.srcRt, sig::LogicOp::And);
+        break;
+      case isa::AluOp::OrRR:
+        curAlu_ = alu_.logic(di.srcRs, di.srcRt, sig::LogicOp::Or);
+        break;
+      case isa::AluOp::XorRR:
+        curAlu_ = alu_.logic(di.srcRs, di.srcRt, sig::LogicOp::Xor);
+        break;
+      case isa::AluOp::NorRR:
+        curAlu_ = alu_.logic(di.srcRs, di.srcRt, sig::LogicOp::Nor);
+        break;
+      case isa::AluOp::SltRR:
+        curAlu_ = alu_.slt(di.srcRs, di.srcRt, false);
+        break;
+      case isa::AluOp::SltuRR:
+        curAlu_ = alu_.slt(di.srcRs, di.srcRt, true);
+        break;
+      case isa::AluOp::MoveHiLo:
+        curAlu_ = alu_.passThrough(dec.writesDest ? di.result
+                                                  : di.srcRs);
+        break;
+      case isa::AluOp::AddImm:
+        curAlu_ = alu_.add(di.srcRs,
+                           static_cast<Word>(di.inst().simm16()));
+        break;
+      case isa::AluOp::SltImm:
+        curAlu_ = alu_.slt(di.srcRs,
+                           static_cast<Word>(di.inst().simm16()), false);
+        break;
+      case isa::AluOp::SltuImm:
+        curAlu_ = alu_.slt(di.srcRs,
+                           static_cast<Word>(di.inst().simm16()), true);
+        break;
+      case isa::AluOp::AndImm:
+        curAlu_ = alu_.logic(di.srcRs, di.inst().imm16(),
+                             sig::LogicOp::And);
+        break;
+      case isa::AluOp::OrImm:
+        curAlu_ = alu_.logic(di.srcRs, di.inst().imm16(),
+                             sig::LogicOp::Or);
+        break;
+      case isa::AluOp::XorImm:
+        curAlu_ = alu_.logic(di.srcRs, di.inst().imm16(),
+                             sig::LogicOp::Xor);
+        break;
+      case isa::AluOp::Lui:
+        curAlu_ = alu_.passThrough(di.result);
+        break;
+      case isa::AluOp::Shift:
+        curAlu_ = alu_.shift(di.srcRt, di.result);
+        break;
+      case isa::AluOp::Mult:
+        curAlu_ = alu_.multDiv(di.srcRs, di.srcRt, 0);
+        q.isMult = true;
+        break;
+      case isa::AluOp::Div:
+        curAlu_ = alu_.multDiv(di.srcRs, di.srcRt, 0);
+        q.isDiv = true;
+        break;
+      case isa::AluOp::MemAdd: // address generation
+        curAlu_ = alu_.add(di.srcRs,
+                           static_cast<Word>(di.inst().simm16()));
+        break;
+      case isa::AluOp::CmpRR:
+        curAlu_ = alu_.sub(di.srcRs, di.srcRt);
+        break;
+      case isa::AluOp::CmpRZero:
+        curAlu_ = alu_.sub(di.srcRs, 0);
+        break;
+      case isa::AluOp::None:
+        curAlu_ = sig::AluReport{};
+        curAlu_.workMask = 0;
+        curAlu_.workBytes = 0;
+        q.usesAlu = false;
+        break;
+    }
+    q.exChunks = q.usesAlu ? std::max(1u, curAlu_.workChunks()) : 0;
+    q.exWorkBytes = curAlu_.workBytes;
+
+    // ---- memory ------------------------------------------------------------
+    if (dec.isLoad || dec.isStore) {
+        const mem::MemOutcome dout =
+            hierarchy_.dataAccess(di.memAddr, dec.isStore);
+        q.memExtra = dout.extraLatency;
+        q.memAccessBytes = dec.memBytes;
+        q.memChunks = quanta_detail::memChunksOf(di.memData, dec.memBytes,
+                                  config_.encoding);
+        curLatchBase_ = accountActivity(di, q, curAlu_, ifo, dout, true,
+                                        rs_bytes, rt_bytes, res_bytes);
+    } else {
+        curLatchBase_ =
+            accountActivity(di, q, curAlu_, ifo, mem::MemOutcome{},
+                            false, rs_bytes, rt_bytes, res_bytes);
+    }
+    // ---- result ------------------------------------------------------------
+    // (Latch accounting moved to the callers: they scale with the
+    // design's latchBoundaries() hook — statically bound in the
+    // devirtualised paths — against q with resChunks still zero.)
+    if (dec.writesDest && dec.dest != isa::reg::zero)
+        q.resChunks = res_bytes / chunk_bytes;
+
+    return q;
+}
+
+inline Count
+InOrderPipeline::accountActivity(const cpu::DynInstr &di, const InstrQuanta &q,
+                                 const sig::AluReport &alu,
+                                 const mem::MemOutcome &ifetch,
+                                 const mem::MemOutcome &daccess,
+                                 bool has_mem, unsigned rs_bytes,
+                                 unsigned rt_bytes, unsigned res_bytes)
+{
+    const sig::Encoding enc = config_.encoding;
+    const unsigned eb = sig::extensionBits(enc);
+    const unsigned cb = sig::chunkBytes(enc);
+    const isa::DecodedInstr &dec = *di.dec;
+
+    // Fetch: 3-4 bytes plus the fetch extension bit vs a full word.
+    activity_.fetch.add(8 * q.fetchBytes + 1, 32);
+    if (ifetch.l1Fill && program_) {
+        const unsigned line_words =
+            hierarchy_.l1i().params().lineBytes / wordBytes;
+        for (unsigned w = 0; w < line_words; ++w) {
+            const Addr a =
+                ifetch.fillLine + static_cast<Addr>(w * wordBytes);
+            unsigned fb = 4;
+            if (a >= program_->textStart() && a < program_->textEnd())
+                fb = fetchWidthAt(a);
+            activity_.fetch.add(8 * fb + 1 + ifillPermuteBits, 32);
+        }
+    }
+
+    // Register file reads.
+    if (dec.readsRs)
+        activity_.rfRead.add(8 * rs_bytes + eb, 32);
+    if (dec.readsRt)
+        activity_.rfRead.add(8 * rt_bytes + eb, 32);
+
+    // Register file write-back.
+    if (dec.writesDest && dec.dest != isa::reg::zero)
+        activity_.rfWrite.add(8 * res_bytes + eb, 32);
+    else
+        res_bytes = 0;
+
+    // ALU datapath.
+    if (q.usesAlu)
+        activity_.alu.add(8 * alu.workBytes, 32);
+
+    // Data cache.
+    if (has_mem) {
+        activity_.dcData.add(8 * q.memChunks * cb + eb, 32);
+        activity_.dcTag.add(hierarchy_.l1d().tagBits(),
+                            hierarchy_.l1d().tagBits());
+        auto account_line = [&](Addr line) {
+            const unsigned line_words =
+                hierarchy_.l1d().params().lineBytes / wordBytes;
+            for (unsigned w = 0; w < line_words; ++w) {
+                const Word v = memory_ ? memory_->readWord(
+                                             line + w * wordBytes)
+                                       : 0;
+                activity_.dcData.add(
+                    8 * sig::significantBytesUnder(v, enc) + eb, 32);
+            }
+            activity_.dcTag.add(hierarchy_.l1d().tagBits(),
+                                hierarchy_.l1d().tagBits());
+        };
+        if (daccess.l1Fill)
+            account_line(daccess.fillLine);
+        if (daccess.writeback)
+            account_line(daccess.victimLine);
+    }
+
+    // PC increment.
+    const unsigned block_bits = 8 * cb;
+    activity_.pcInc.add(q.pcChangedBlocks * block_bits, 32);
+
+    // Latches: instruction + PC, operands, result/store data, and
+    // write-back value; returned unscaled — the caller applies the
+    // design-specific boundary scaling (addLatch), which is the only
+    // design-dependent piece of the whole accounting.
+    Count latch_c = 8 * q.fetchBytes + 1 +
+                    q.pcChangedBlocks * block_bits;
+    if (dec.readsRs)
+        latch_c += 8 * rs_bytes + eb;
+    if (dec.readsRt)
+        latch_c += 8 * rt_bytes + eb;
+    latch_c += 2 * (8 * res_bytes + eb * (res_bytes ? 1 : 0));
+    if (dec.isStore)
+        latch_c += 8 * q.memChunks * cb + eb;
+    return latch_c;
+}
+
 
 } // namespace sigcomp::pipeline
 

@@ -54,6 +54,26 @@ namespace
 {
 
 /**
+ * Annex key of a pipeline's memoised full-trace PipelineResult.
+ * quantaKey() covers only what the design-independent quanta depend
+ * on, so everything else the *result* depends on is appended: the
+ * concrete type (custom designs may reuse a name), the design name,
+ * and the scheduling-side configuration (ALU occupancies, branch
+ * prediction) that plan()/schedule() consume.
+ */
+std::string
+resultKey(const InOrderPipeline &p)
+{
+    const PipelineConfig &c = p.config();
+    return "result:" + std::string(typeid(p).name()) + ":" + p.name() +
+           ":" + p.quantaKey() + ":" + std::to_string(c.multCycles) +
+           ":" + std::to_string(c.divCycles) + ":" +
+           std::to_string(static_cast<int>(c.predictor)) + ":" +
+           std::to_string(c.phtEntries) + ":" +
+           std::to_string(c.btbEntries);
+}
+
+/**
  * Orchestrates one same-key group of pipelines over a replay: the
  * first pipeline records the design-independent quanta (or, when a
  * previous replay of this trace already recorded them, everyone
@@ -154,13 +174,37 @@ replayPipelines(const cpu::TraceBuffer &trace,
                 const std::vector<InOrderPipeline *> &pipes,
                 const std::vector<cpu::TraceSink *> &extra_sinks)
 {
+    // A full-trace replay of a fresh pipeline is a pure function of
+    // (trace, design, configuration), so its complete PipelineResult
+    // is cached on the trace as an annex: a later replay of the same
+    // design — e.g. the activity study's byte-serial pipeline after a
+    // CPI study over all designs — adopts the memoised result and
+    // skips its replay entirely. Only fresh, unobserved pipelines
+    // participate (an already-fed pipeline accumulates; an observer
+    // makes the replay side-effectful).
+    std::vector<InOrderPipeline *> running;
+    running.reserve(pipes.size());
+    for (InOrderPipeline *p : pipes) {
+        if (p->planIsPure() && p->pristine() && !p->observed()) {
+            if (auto memo = std::static_pointer_cast<const PipelineResult>(
+                    trace.annexGet(resultKey(*p)))) {
+                p->adoptResult(*memo);
+                continue;
+            }
+        }
+        running.push_back(p);
+    }
+
     // Partition the pipelines into same-quanta-key groups, each fed
     // through one GroupReplaySink so the design-independent front
     // half runs once per group (and once per process per trace, via
     // the annex cache) instead of once per pipeline.
     std::vector<std::string> group_keys;
     std::vector<std::vector<InOrderPipeline *>> groups;
-    for (InOrderPipeline *p : pipes) {
+    std::vector<bool> was_pristine;
+    for (InOrderPipeline *p : running) {
+        const bool pristine =
+            p->planIsPure() && p->pristine() && !p->observed();
         p->bindReplay(trace.program());
         const std::string key = p->quantaKey();
         bool placed = false;
@@ -175,6 +219,7 @@ replayPipelines(const cpu::TraceBuffer &trace,
             group_keys.push_back(key);
             groups.push_back({p});
         }
+        was_pristine.push_back(pristine);
     }
 
     std::vector<std::unique_ptr<GroupReplaySink>> group_sinks;
@@ -189,9 +234,24 @@ replayPipelines(const cpu::TraceBuffer &trace,
     }
     sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
 
-    cpu::TraceView(trace).replay(sinks);
+    if (!sinks.empty())
+        cpu::TraceView(trace).replay(sinks);
     for (auto &gs : group_sinks)
         gs->finish(trace);
+
+    // Publish the replays just performed (first writer wins; racing
+    // replays are identical by determinism).
+    for (std::size_t i = 0; i < running.size(); ++i) {
+        if (!was_pristine[i])
+            continue;
+        InOrderPipeline *p = running[i];
+        auto memo = std::make_shared<PipelineResult>(p->result());
+        const std::size_t bytes =
+            sizeof(PipelineResult) + memo->name.size();
+        trace.annexStoreIfAbsent(resultKey(*p),
+                                 std::static_pointer_cast<void>(memo),
+                                 bytes);
+    }
 
     // Self-check/limit failures were already fatal at capture time
     // (deliberately truncated traces excepted), so the recorded

@@ -182,6 +182,19 @@ class PcActivityAccumulator
         cycles_ += cycles;
     }
 
+    /**
+     * applyUpdate() summed over @p updates updates — the batched PC
+     * profiler accumulates a whole replay block locally and lands it
+     * here in one call.
+     */
+    void
+    applyUpdateBatch(Count updates, Count changed_blocks, Count cycles)
+    {
+        updates_ += updates;
+        blocksChanged_ += changed_blocks;
+        cycles_ += cycles;
+    }
+
     unsigned blockBits() const { return blockBits_; }
     Count updates() const { return updates_; }
 

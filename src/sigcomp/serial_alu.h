@@ -126,6 +126,176 @@ class SerialAlu
     Encoding enc_;
 };
 
+// ---- inline implementations ----------------------------------------
+//
+// The ALU model runs for every executed instruction of every
+// recorded replay; defining it inline lets the per-design loops in
+// pipeline/ fold the classification and mask algebra into their own
+// code instead of calling out and copying AluReport around.
+
+inline AluReport
+SerialAlu::additive(Word a, Word b, Word result) const
+{
+    const unsigned n = chunksPerWord(enc_);
+    const unsigned cb = chunkBytes(enc_);
+    const std::uint8_t mask_a = maskUnder(a, enc_);
+    const std::uint8_t mask_b = maskUnder(b, enc_);
+
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+
+    // Branchless case derivation (this runs for every additive
+    // instruction of every recorded replay): chunk i of the result
+    // equals the sign fill of chunk i-1 exactly when the result's
+    // chunk-granular extension-chain mask has bit i clear, so the
+    // per-chunk walk with its compare collapses to mask algebra.
+    // Ext3/Half1's own significance mask *is* that chain; Ext2's
+    // prefix mask overstates it (a prefix keeps interior fill bytes),
+    // so it classifies the result per byte instead.
+    //   BothSig      = sig_a & sig_b
+    //   OneSig       = sig_a ^ sig_b
+    //   ExtException = neither & ext-chain bit set (fill mispredict)
+    //   ExtOnly      = neither & ext-chain bit clear
+    const std::uint8_t ext_r = enc_ == Encoding::Ext2
+                                   ? classifyExt3(result)
+                                   : rep.resultMask;
+    const std::uint8_t lanes =
+        static_cast<std::uint8_t>((1u << n) - 1);
+    const std::uint8_t sig = mask_a | mask_b;
+    const std::uint8_t both = mask_a & mask_b;
+    rep.workMask = static_cast<std::uint8_t>((sig | ext_r) & lanes);
+    rep.workBytes =
+        static_cast<unsigned>(std::popcount(rep.workMask)) * cb;
+    rep.sawException = (ext_r & static_cast<std::uint8_t>(~sig) &
+                        lanes) != 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned bit = 1u << i;
+        rep.cases[i] = (both & bit)    ? ByteCase::BothSig
+                       : (sig & bit)   ? ByteCase::OneSig
+                       : (ext_r & bit) ? ByteCase::ExtException
+                                       : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+inline AluReport
+SerialAlu::add(Word a, Word b) const
+{
+    return additive(a, b, a + b);
+}
+
+inline AluReport
+SerialAlu::sub(Word a, Word b) const
+{
+    return additive(a, b, a - b);
+}
+
+inline AluReport
+SerialAlu::logic(Word a, Word b, LogicOp op) const
+{
+    Word result = 0;
+    switch (op) {
+      case LogicOp::And: result = a & b; break;
+      case LogicOp::Or:  result = a | b; break;
+      case LogicOp::Xor: result = a ^ b; break;
+      case LogicOp::Nor: result = ~(a | b); break;
+    }
+
+    const unsigned n = chunksPerWord(enc_);
+    const unsigned cb = chunkBytes(enc_);
+    const std::uint8_t mask_a = maskUnder(a, enc_);
+    const std::uint8_t mask_b = maskUnder(b, enc_);
+
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = 0;
+
+    for (unsigned i = 0; i < n; ++i) {
+        const bool sig_a = mask_a & (1u << i);
+        const bool sig_b = mask_b & (1u << i);
+        // Bitwise ops on two fill chunks always yield the fill chunk
+        // of the result below, so the exception path cannot occur.
+        ByteCase c = ByteCase::ExtOnly;
+        if (sig_a && sig_b)
+            c = ByteCase::BothSig;
+        else if (sig_a || sig_b)
+            c = ByteCase::OneSig;
+        rep.cases[i] = c;
+        if (c != ByteCase::ExtOnly) {
+            rep.workMask |= static_cast<std::uint8_t>(1u << i);
+            rep.workBytes += cb;
+        }
+    }
+    return rep;
+}
+
+inline AluReport
+SerialAlu::slt(Word a, Word b, bool is_unsigned) const
+{
+    AluReport rep = additive(a, b, a - b);
+    const bool lt = is_unsigned
+                        ? a < b
+                        : static_cast<SWord>(a) < static_cast<SWord>(b);
+    rep.result = lt ? 1 : 0;
+    rep.resultMask = 0x1;
+    return rep;
+}
+
+inline AluReport
+SerialAlu::shift(Word src, Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = static_cast<std::uint8_t>(maskUnder(src, enc_) |
+                                             rep.resultMask);
+    rep.workBytes = static_cast<unsigned>(std::popcount(rep.workMask)) *
+                    chunkBytes(enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::OneSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+inline AluReport
+SerialAlu::multDiv(Word a, Word b, Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = static_cast<std::uint8_t>(maskUnder(a, enc_) |
+                                             maskUnder(b, enc_));
+    rep.workBytes = significantBytesUnder(a, enc_) +
+                    significantBytesUnder(b, enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::BothSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
+inline AluReport
+SerialAlu::passThrough(Word result) const
+{
+    AluReport rep;
+    rep.result = result;
+    rep.resultMask = maskUnder(result, enc_);
+    rep.workMask = rep.resultMask;
+    rep.workBytes = static_cast<unsigned>(std::popcount(rep.workMask)) *
+                    chunkBytes(enc_);
+    const unsigned n = chunksPerWord(enc_);
+    for (unsigned i = 0; i < n; ++i) {
+        rep.cases[i] = (rep.workMask & (1u << i)) ? ByteCase::OneSig
+                                                  : ByteCase::ExtOnly;
+    }
+    return rep;
+}
+
 } // namespace sigcomp::sig
 
 #endif // SIGCOMP_SIGCOMP_SERIAL_ALU_H_

@@ -4,12 +4,17 @@
 #include <array>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <filesystem>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <system_error>
 #include <unistd.h>
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "sigcomp/sig_kernels.h"
 #include "store/codec.h"
 
 namespace sigcomp::store
@@ -33,6 +38,12 @@ constexpr std::uint32_t kFlagTruncated = 1u << 0;
  * reconstruction (one register-replay pass) costs less than
  * decoding two more significance-packed columns and shrinks the
  * segments by ~40%.
+ *
+ * Version 2 appends the significance sidecar column (packed 4-bit
+ * Ext3 tags of the result and memData values, the capture-time
+ * sidecars of cpu/trace_buffer.h) and re-encodes the taken column as
+ * control-instruction-only bits; version-1 segments carry neither
+ * and are rebuilt at load.
  */
 enum ColumnId : std::uint32_t
 {
@@ -41,8 +52,14 @@ enum ColumnId : std::uint32_t
     ColTaken = 2,
     ColMemAddr = 3,
     ColMemData = 4,
-    NumColumns = 5,
+    ColSigTags = 5,
+    NumColumns = 6,
+    NumColumnsV1 = 5,
 };
+
+/** Taken-column submodes (first payload byte, version >= 2). */
+constexpr std::uint8_t kTakenFullPlane = 0;
+constexpr std::uint8_t kTakenControlOnly = 1;
 
 const char *
 columnName(std::uint32_t id)
@@ -53,6 +70,7 @@ columnName(std::uint32_t id)
     case ColTaken: return "taken";
     case ColMemAddr: return "memAddr";
     case ColMemData: return "memData";
+    case ColSigTags: return "sigTags";
     default: return "?";
     }
 }
@@ -94,29 +112,84 @@ sanitize(const std::string &name)
     return out;
 }
 
-bool
-readFile(const std::string &path, std::vector<std::uint8_t> &out)
+/**
+ * Read-only view of a segment file, memory-mapped so the column
+ * decoders stream straight out of the page cache instead of paying a
+ * read-then-decode copy of the whole file. Falls back to a heap read
+ * when mmap is unavailable (exotic filesystems); either way the view
+ * is plain (data, size) bytes.
+ */
+class MappedFile
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        return false;
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    if (size < 0) {
-        std::fclose(f);
-        return false;
+  public:
+    explicit MappedFile(const std::string &path)
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return;
+        struct stat st;
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            return;
+        }
+        size_ = static_cast<std::size_t>(st.st_size);
+        if (size_ == 0) {
+            ::close(fd);
+            ok_ = true; // empty file: valid, zero-length view
+            return;
+        }
+        void *m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) {
+            map_ = m;
+            ok_ = true;
+            ::close(fd);
+            return;
+        }
+        // Fallback: plain read into the heap.
+        heap_.resize(size_);
+        std::size_t got = 0;
+        while (got < size_) {
+            const ssize_t r =
+                ::read(fd, heap_.data() + got, size_ - got);
+            if (r <= 0)
+                break;
+            got += static_cast<std::size_t>(r);
+        }
+        ::close(fd);
+        ok_ = got == size_;
     }
-    std::fseek(f, 0, SEEK_SET);
-    out.resize(static_cast<std::size_t>(size));
-    const std::size_t got =
-        size ? std::fread(out.data(), 1, out.size(), f) : 0;
-    std::fclose(f);
-    return got == out.size();
-}
+
+    ~MappedFile()
+    {
+        if (map_ != nullptr)
+            ::munmap(map_, size_);
+    }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    bool ok() const { return ok_; }
+    std::size_t size() const { return size_; }
+
+    const std::uint8_t *
+    data() const
+    {
+        return map_ != nullptr
+                   ? static_cast<const std::uint8_t *>(map_)
+                   : heap_.data();
+    }
+
+  private:
+    void *map_ = nullptr;
+    std::size_t size_ = 0;
+    std::vector<std::uint8_t> heap_;
+    bool ok_ = false;
+};
 
 /** Parsed header + directory, offsets into the raw file bytes. */
 struct Segment
 {
+    std::uint32_t version = formatVersion;
     std::uint64_t instructions = 0;
     std::uint64_t memOps = 0;
     std::uint64_t captureLimit = 0;
@@ -142,21 +215,24 @@ struct Segment
  * Fail-soft on every malformed input.
  */
 bool
-parseSegment(const std::vector<std::uint8_t> &bytes, Segment &seg,
+parseSegment(const std::uint8_t *bytes, std::size_t size, Segment &seg,
              std::string *why)
 {
-    if (bytes.size() < kHeaderBytes)
+    if (size < kHeaderBytes)
         return fail(why, "file shorter than header");
-    const std::uint8_t *h = bytes.data();
+    const std::uint8_t *h = bytes;
     if (getU32(h) != kMagic)
         return fail(why, "bad magic");
     const std::uint32_t version = getU32(h + 4);
-    if (version != formatVersion)
+    if (version < formatVersionLegacy || version > formatVersion)
         return fail(why, "format version " + std::to_string(version) +
-                             " != " + std::to_string(formatVersion));
+                             " not in [" +
+                             std::to_string(formatVersionLegacy) + ", " +
+                             std::to_string(formatVersion) + "]");
     if (crc32(0, h, 60) != getU32(h + 60))
         return fail(why, "header CRC mismatch");
 
+    seg.version = version;
     seg.instructions = getU64(h + 8);
     seg.memOps = getU64(h + 16);
     seg.captureLimit = getU64(h + 24);
@@ -166,11 +242,13 @@ parseSegment(const std::vector<std::uint8_t> &bytes, Segment &seg,
     seg.stopReason = getU32(h + 44);
     seg.lastNextPc = getU32(h + 48);
     const std::uint32_t column_count = getU32(h + 52);
-    if (column_count != NumColumns)
+    const std::uint32_t want_columns =
+        version >= 2 ? NumColumns : NumColumnsV1;
+    if (column_count != want_columns)
         return fail(why, "unexpected column count");
 
     const std::size_t dir_bytes = column_count * kDirEntryBytes;
-    if (bytes.size() < kHeaderBytes + dir_bytes + 4)
+    if (size < kHeaderBytes + dir_bytes + 4)
         return fail(why, "file shorter than column directory");
     const std::uint8_t *dir = h + kHeaderBytes;
     if (crc32(0, dir, dir_bytes) != getU32(dir + dir_bytes))
@@ -188,22 +266,22 @@ parseSegment(const std::vector<std::uint8_t> &bytes, Segment &seg,
         col.payloadOffset = offset;
         if (col.id != c)
             return fail(why, "column directory out of order");
-        if (col.encBytes > bytes.size() - offset)
+        if (col.encBytes > size - offset)
             return fail(why, "column payload overruns file");
         offset += col.encBytes;
     }
-    if (offset != bytes.size())
+    if (offset != size)
         return fail(why, "trailing bytes after payloads");
     return true;
 }
 
 /** CRC-check and decode one 32-bit column. */
 bool
-decodeCol32(const std::vector<std::uint8_t> &bytes,
-            const Segment::Column &col, std::size_t n,
-            std::vector<std::uint32_t> &out, std::string *why)
+decodeCol32(const std::uint8_t *bytes, const Segment::Column &col,
+            std::size_t n, std::vector<std::uint32_t> &out,
+            std::string *why)
 {
-    const std::uint8_t *p = bytes.data() + col.payloadOffset;
+    const std::uint8_t *p = bytes + col.payloadOffset;
     const std::size_t len = static_cast<std::size_t>(col.encBytes);
     if (col.rawBytes != 4 * static_cast<std::uint64_t>(n))
         return fail(why, std::string(columnName(col.id)) +
@@ -218,11 +296,11 @@ decodeCol32(const std::vector<std::uint8_t> &bytes,
 }
 
 bool
-decodeCol64(const std::vector<std::uint8_t> &bytes,
-            const Segment::Column &col, std::size_t n,
-            std::vector<std::uint64_t> &out, std::string *why)
+decodeCol64(const std::uint8_t *bytes, const Segment::Column &col,
+            std::size_t n, std::vector<std::uint64_t> &out,
+            std::string *why)
 {
-    const std::uint8_t *p = bytes.data() + col.payloadOffset;
+    const std::uint8_t *p = bytes + col.payloadOffset;
     const std::size_t len = static_cast<std::size_t>(col.encBytes);
     if (col.rawBytes != 8 * static_cast<std::uint64_t>(n))
         return fail(why, std::string(columnName(col.id)) +
@@ -233,6 +311,48 @@ decodeCol64(const std::vector<std::uint8_t> &bytes,
     if (!decodeColumn64Raw(p, len, n, out))
         return fail(why, std::string(columnName(col.id)) +
                              ": malformed raw stream");
+    return true;
+}
+
+/** CRC-check a column and return its payload view. */
+bool
+columnPayload(const std::uint8_t *bytes, const Segment::Column &col,
+              const std::uint8_t *&p, std::size_t &len, std::string *why)
+{
+    p = bytes + col.payloadOffset;
+    len = static_cast<std::size_t>(col.encBytes);
+    if (crc32(0, p, len) != col.payloadCrc)
+        return fail(why,
+                    std::string(columnName(col.id)) + ": payload CRC");
+    return true;
+}
+
+/**
+ * Structural check of a v2 taken payload without expanding it (used
+ * by program-less verify). @return the consistency of the submode
+ * framing against the payload length.
+ */
+bool
+checkTakenPayload(const std::uint8_t *p, std::size_t len,
+                  std::uint64_t instructions, std::string *why)
+{
+    if (len < 1)
+        return fail(why, "taken: empty payload");
+    if (p[0] == kTakenFullPlane) {
+        const std::uint64_t words = (instructions + 63) / 64;
+        if (len != 1 + 8 * words)
+            return fail(why, "taken: full-plane length mismatch");
+        return true;
+    }
+    if (p[0] != kTakenControlOnly)
+        return fail(why, "taken: unknown submode");
+    if (len < 5)
+        return fail(why, "taken: truncated header");
+    const std::uint32_t nbits = getU32(p + 1);
+    if (nbits > instructions)
+        return fail(why, "taken: more bits than instructions");
+    if (len != 5 + 8 * ((static_cast<std::size_t>(nbits) + 63) / 64))
+        return fail(why, "taken: control-only length mismatch");
     return true;
 }
 
@@ -252,24 +372,52 @@ class TraceSerializer
     {
         const std::size_t n = b.decIdx_.size();
 
+        // Capture-time sidecar tags of the stored value columns: the
+        // SigPack encoder consumes them directly (no classify pass)
+        // and they persist as the sigTags column. Every buffer that
+        // reaches save() has them (capture and deserialize both
+        // fill), but compute them on the spot if one ever doesn't.
+        std::vector<std::uint8_t> res_tags(n);
+        std::vector<std::uint8_t> mem_tags;
+        if (b.sigRegs_.size() == n && b.sigMem_.size() == b.memData_.size()) {
+            for (std::size_t i = 0; i < n; ++i)
+                res_tags[i] =
+                    static_cast<std::uint8_t>((b.sigRegs_[i] >> 8) & 0xF);
+            mem_tags = b.sigMem_;
+        } else {
+            sig::classifyExt3Block(b.result_v_.data(), n,
+                                   res_tags.data());
+            mem_tags.resize(b.memData_.size());
+            sig::classifyExt3Block(b.memData_.data(), b.memData_.size(),
+                                   mem_tags.data());
+        }
+
         // Encode every payload first so the directory can record
         // exact sizes and CRCs. srcRs_/srcRt_ are not written: the
         // loader rebuilds them from the result column (see ColumnId).
         std::vector<std::uint8_t> payloads[NumColumns];
         std::uint64_t raw_bytes[NumColumns];
         encode32(b.decIdx_, payloads[ColDecIdx], raw_bytes[ColDecIdx]);
-        encode32(b.result_v_, payloads[ColResult], raw_bytes[ColResult]);
-        encodeColumn64Raw(b.taken_.data(), b.taken_.size(),
-                          payloads[ColTaken]);
+        encodeColumn32(b.result_v_.data(), n, payloads[ColResult],
+                       res_tags.data());
+        raw_bytes[ColResult] = 4 * static_cast<std::uint64_t>(n);
+        encodeTaken(b, payloads[ColTaken]);
         raw_bytes[ColTaken] = 8 * b.taken_.size();
         encode32(b.memAddr_, payloads[ColMemAddr], raw_bytes[ColMemAddr]);
-        encode32(b.memData_, payloads[ColMemData], raw_bytes[ColMemData]);
+        encodeColumn32(b.memData_.data(), b.memData_.size(),
+                       payloads[ColMemData], mem_tags.data());
+        raw_bytes[ColMemData] =
+            4 * static_cast<std::uint64_t>(b.memData_.size());
+        packNibbles(res_tags, payloads[ColSigTags]);
+        packNibbles(mem_tags, payloads[ColSigTags]);
+        raw_bytes[ColSigTags] = n + mem_tags.size();
 
         std::vector<std::uint8_t> out;
+        std::size_t total_payload = 0;
+        for (const auto &payload : payloads)
+            total_payload += payload.size();
         out.reserve(kHeaderBytes + NumColumns * kDirEntryBytes + 4 +
-                    payloads[0].size() + payloads[1].size() +
-                    payloads[2].size() + payloads[3].size() +
-                    payloads[4].size());
+                    total_payload);
 
         // -- header ---------------------------------------------------
         putU32(out, kMagic);
@@ -306,12 +454,12 @@ class TraceSerializer
     }
 
     /**
-     * Rebuild a TraceBuffer from parsed segment @p seg backed by
-     * @p bytes, binding it to @p program. Fail-soft: nullptr + reason
-     * on any inconsistency.
+     * Rebuild a TraceBuffer from parsed segment @p seg backed by the
+     * mapped file @p bytes, binding it to @p program. Fail-soft:
+     * nullptr + reason on any inconsistency.
      */
     static std::shared_ptr<cpu::TraceBuffer>
-    deserialize(const std::vector<std::uint8_t> &bytes, const Segment &seg,
+    deserialize(const std::uint8_t *bytes, const Segment &seg,
                 const isa::Program &program, std::string *why)
     {
         const std::size_t n = static_cast<std::size_t>(seg.instructions);
@@ -328,8 +476,6 @@ class TraceSerializer
                          why) ||
             !decodeCol32(bytes, seg.columns[ColResult], n,
                          buf->result_v_, why) ||
-            !decodeCol64(bytes, seg.columns[ColTaken], (n + 63) / 64,
-                         buf->taken_, why) ||
             !decodeCol32(bytes, seg.columns[ColMemAddr], mem_ops,
                          buf->memAddr_, why) ||
             !decodeCol32(bytes, seg.columns[ColMemData], mem_ops,
@@ -349,28 +495,122 @@ class TraceSerializer
         //    (registers start at reset state — zeros, $sp at
         //    stackTop — and syscalls never write registers; the
         //    round-trip tests pin this bit-for-bit).
+        // The replay pass below touches four small facts per static
+        // instruction; gather them into a 4-byte side table first so
+        // the per-dynamic-instruction loop streams through one dense
+        // array instead of striding across the (string-bearing)
+        // DecodedInstr records.
         const std::size_t text_size = buf->decoded_.size();
+        struct ReplayFacts
+        {
+            std::uint8_t rs, rt, dest;
+            /** bit 0 = load/store, bit 1 = control transfer. */
+            std::uint8_t flags;
+        };
+        std::vector<ReplayFacts> facts(text_size);
+        for (std::size_t t = 0; t < text_size; ++t) {
+            const isa::DecodedInstr &d = buf->decoded_[t];
+            facts[t] = {
+                static_cast<std::uint8_t>(d.readsRs ? d.inst.rs()
+                                                    : isa::numRegs),
+                static_cast<std::uint8_t>(d.readsRt ? d.inst.rt()
+                                                    : isa::numRegs),
+                static_cast<std::uint8_t>(
+                    d.writesDest ? static_cast<unsigned>(d.dest)
+                                 : isa::numRegs + 1),
+                static_cast<std::uint8_t>(
+                    (d.isLoad || d.isStore ? 1u : 0u) |
+                    (d.isControl ? 2u : 0u))};
+        }
+
+        // Taken bits: a version-2 control-only plane re-scatters
+        // inside the fused pass below (its decode indexes are
+        // bounds-checked there first); other forms expand up front.
+        std::vector<std::uint64_t> ctl_bits;
+        std::uint32_t ctl_nbits = 0;
+        bool scatter_taken = false;
+        if (!prepareTaken(bytes, seg, *buf, ctl_bits, ctl_nbits,
+                          scatter_taken, why))
+            return nullptr;
+        if (scatter_taken)
+            buf->taken_.assign((n + 63) / 64, 0);
+
         buf->srcRs_.resize(n);
         buf->srcRt_.resize(n);
-        std::array<Word, isa::numRegs + 1> regs{}; // last = write sink
+        // Registers plus a zero slot (reads of "no operand" land
+        // there) and a write sink (writes of "no destination").
+        std::array<Word, isa::numRegs + 2> regs{};
         regs[isa::reg::sp] = isa::stackTop;
         std::size_t seen_mem_ops = 0;
+        std::size_t ctl_cursor = 0;
         for (std::size_t i = 0; i < n; ++i) {
             const std::uint32_t idx = buf->decIdx_[i];
             if (idx >= text_size) {
                 fail(why, "decode index out of range");
                 return nullptr;
             }
-            const isa::DecodedInstr &d = buf->decoded_[idx];
-            buf->srcRs_[i] = d.readsRs ? regs[d.inst.rs()] : 0;
-            buf->srcRt_[i] = d.readsRt ? regs[d.inst.rt()] : 0;
-            seen_mem_ops += (d.isLoad || d.isStore) ? 1 : 0;
-            regs[d.writesDest ? static_cast<unsigned>(d.dest)
-                              : isa::numRegs] = buf->result_v_[i];
+            const ReplayFacts f = facts[idx];
+            buf->srcRs_[i] = regs[f.rs];
+            buf->srcRt_[i] = regs[f.rt];
+            seen_mem_ops += f.flags & 1u;
+            if (scatter_taken && (f.flags & 2u)) {
+                if (ctl_cursor >= ctl_nbits) {
+                    fail(why, "taken: fewer bits than control "
+                              "instructions");
+                    return nullptr;
+                }
+                buf->taken_[i / 64] |=
+                    ((ctl_bits[ctl_cursor / 64] >> (ctl_cursor % 64)) &
+                     1u)
+                    << (i % 64);
+                ++ctl_cursor;
+            }
+            regs[f.dest] = buf->result_v_[i];
         }
         if (seen_mem_ops != mem_ops) {
             fail(why, "memory-op count inconsistent with program");
             return nullptr;
+        }
+        if (scatter_taken && ctl_cursor != ctl_nbits) {
+            fail(why, "taken: control-instruction count mismatch");
+            return nullptr;
+        }
+
+        // Significance sidecars: version 2 persists the result and
+        // memData tag planes (trusted: CRC-guarded and written
+        // straight from the capture-time sidecars); the rs/rt tags
+        // always rebuild from the replayed operand columns with the
+        // batch kernels. Version-1 segments rebuild everything.
+        if (seg.version >= 2) {
+            const Segment::Column &col = seg.columns[ColSigTags];
+            const std::uint8_t *p;
+            std::size_t len;
+            if (!columnPayload(bytes, col, p, len, why))
+                return nullptr;
+            if (col.rawBytes !=
+                    static_cast<std::uint64_t>(n) + mem_ops ||
+                len != (n + 1) / 2 + (mem_ops + 1) / 2) {
+                fail(why, "sigTags: size mismatch");
+                return nullptr;
+            }
+            std::vector<std::uint8_t> res_tags(n);
+            if (!unpackNibbles(p, n, res_tags, why) ||
+                !unpackNibbles(p + (n + 1) / 2, mem_ops, buf->sigMem_,
+                               why)) {
+                return nullptr;
+            }
+            buf->sigRegs_.resize(n);
+            constexpr std::size_t chunk = 4096;
+            sig::ByteMask rs[chunk], rt[chunk];
+            for (std::size_t base = 0; base < n; base += chunk) {
+                const std::size_t k = std::min(chunk, n - base);
+                sig::classifyExt3Block(buf->srcRs_.data() + base, k, rs);
+                sig::classifyExt3Block(buf->srcRt_.data() + base, k, rt);
+                sig::packSigTagsBlock(rs, rt, res_tags.data() + base, k,
+                                      buf->sigRegs_.data() + base);
+            }
+        } else {
+            buf->fillSigSidecars();
         }
 
         buf->lastNextPc_ = seg.lastNextPc;
@@ -393,6 +633,134 @@ class TraceSerializer
     {
         raw_bytes = 4 * static_cast<std::uint64_t>(v.size());
         encodeColumn32(v.data(), v.size(), out);
+    }
+
+    /**
+     * Unpack @p n 4-bit tags from @p p, validating each is a legal
+     * Ext3 pattern (low bit set) — a malformed plane fails soft like
+     * any other codec damage.
+     */
+    static bool
+    unpackNibbles(const std::uint8_t *p, std::size_t n,
+                  std::vector<std::uint8_t> &out, std::string *why)
+    {
+        out.resize(n);
+        std::uint8_t *dst = out.data();
+        // Whole bytes carry two tags; legality (bit 0 of every legal
+        // Ext3 pattern is set) folds into one accumulated mask check.
+        std::uint8_t legal = 0x11;
+        std::size_t i = 0;
+        for (; i + 2 <= n; i += 2) {
+            const std::uint8_t b = p[i >> 1];
+            legal &= b;
+            dst[i] = b & 0xF;
+            dst[i + 1] = b >> 4;
+        }
+        if (legal != 0x11)
+            return fail(why, "sigTags: illegal pattern");
+        if (i < n) {
+            // Odd count: low nibble is the last tag, high must be 0.
+            const std::uint8_t b = p[i >> 1];
+            if ((b & 0x1) == 0 || (b >> 4) != 0)
+                return fail(why, "sigTags: trailing nibble garbage");
+            dst[i] = b & 0xF;
+        }
+        return true;
+    }
+
+    /**
+     * Decode the taken column as far as possible without walking the
+     * stream. Version 1 and the version-2 full-plane submode expand
+     * straight into @p buf.taken_; the control-only submode hands
+     * its filtered bits back in @p ctl_bits/@p ctl_nbits with
+     * @p scatter set — the caller re-scatters them inside its fused
+     * (bounds-checked) decode-index pass.
+     */
+    static bool
+    prepareTaken(const std::uint8_t *bytes, const Segment &seg,
+                 cpu::TraceBuffer &buf,
+                 std::vector<std::uint64_t> &ctl_bits,
+                 std::uint32_t &ctl_nbits, bool &scatter,
+                 std::string *why)
+    {
+        const std::size_t n = static_cast<std::size_t>(seg.instructions);
+        const std::size_t words = (n + 63) / 64;
+        const Segment::Column &col = seg.columns[ColTaken];
+        scatter = false;
+        if (seg.version < 2)
+            return decodeCol64(bytes, col, words, buf.taken_, why);
+
+        if (col.rawBytes != 8 * static_cast<std::uint64_t>(words))
+            return fail(why, "taken: raw size mismatch");
+        const std::uint8_t *p;
+        std::size_t len;
+        if (!columnPayload(bytes, col, p, len, why))
+            return false;
+        if (!checkTakenPayload(p, len, seg.instructions, why))
+            return false;
+        if (p[0] == kTakenFullPlane) {
+            if (!decodeColumn64Raw(p + 1, len - 1, words, buf.taken_))
+                return fail(why, "taken: malformed full plane");
+            return true;
+        }
+        ctl_nbits = getU32(p + 1);
+        if (!decodeColumn64Raw(p + 5, len - 5, (ctl_nbits + 63) / 64,
+                               ctl_bits)) {
+            return fail(why, "taken: malformed bit plane");
+        }
+        scatter = true;
+        return true;
+    }
+
+    /** Append @p tags packed two per byte (value i low nibble, even i). */
+    static void
+    packNibbles(const std::vector<std::uint8_t> &tags,
+                std::vector<std::uint8_t> &out)
+    {
+        const std::size_t n = tags.size();
+        out.reserve(out.size() + (n + 1) / 2);
+        std::size_t i = 0;
+        for (; i + 2 <= n; i += 2)
+            out.push_back(static_cast<std::uint8_t>(tags[i] |
+                                                    (tags[i + 1] << 4)));
+        if (i < n)
+            out.push_back(tags[i]);
+    }
+
+    /**
+     * Taken column, version-2 encoding: branch/jump outcome bits
+     * exist only at control instructions, so store one bit per
+     * *control* instruction (~6.7x smaller than the already-packed
+     * full plane) and let the loader re-scatter them along the
+     * decode-index stream. Verified while packing: if any non-control
+     * position unexpectedly carries a set bit, fall back to the raw
+     * full plane rather than lose it.
+     */
+    static void
+    encodeTaken(const cpu::TraceBuffer &b, std::vector<std::uint8_t> &out)
+    {
+        const std::size_t n = b.decIdx_.size();
+        std::vector<std::uint64_t> bits((n + 63) / 64 + 1, 0);
+        std::size_t nbits = 0;
+        bool fallback = false;
+        for (std::size_t i = 0; i < n && !fallback; ++i) {
+            const bool taken = (b.taken_[i / 64] >> (i % 64)) & 1;
+            if (b.decoded_[b.decIdx_[i]].isControl) {
+                if (taken)
+                    bits[nbits / 64] |= std::uint64_t{1} << (nbits % 64);
+                ++nbits;
+            } else {
+                fallback = taken;
+            }
+        }
+        if (fallback) {
+            out.push_back(kTakenFullPlane);
+            encodeColumn64Raw(b.taken_.data(), b.taken_.size(), out);
+            return;
+        }
+        out.push_back(kTakenControlOnly);
+        putU32(out, static_cast<std::uint32_t>(nbits));
+        encodeColumn64Raw(bits.data(), (nbits + 63) / 64, out);
     }
 };
 
@@ -455,15 +823,18 @@ TraceStore::programFingerprint(const isa::Program &program)
 
 std::shared_ptr<cpu::TraceBuffer>
 TraceStore::load(const std::string &workload, const isa::Program &program,
-                 DWord capture_limit, std::string *why) const
+                 DWord capture_limit, std::string *why,
+                 bool *legacy) const
 {
-    std::vector<std::uint8_t> bytes;
-    if (!readFile(segmentPath(workload), bytes)) {
+    if (legacy != nullptr)
+        *legacy = false;
+    const MappedFile file(segmentPath(workload));
+    if (!file.ok()) {
         fail(why, "no segment");
         return nullptr;
     }
     Segment seg;
-    if (!parseSegment(bytes, seg, why))
+    if (!parseSegment(file.data(), file.size(), seg, why))
         return nullptr;
     if (seg.programCrc != programFingerprint(program)) {
         fail(why, "program fingerprint mismatch (workload changed)");
@@ -473,7 +844,11 @@ TraceStore::load(const std::string &workload, const isa::Program &program,
         fail(why, "capture-limit mismatch");
         return nullptr;
     }
-    return TraceSerializer::deserialize(bytes, seg, program, why);
+    auto buf = TraceSerializer::deserialize(file.data(), seg, program,
+                                            why);
+    if (buf != nullptr && legacy != nullptr)
+        *legacy = seg.version != formatVersion;
+    return buf;
 }
 
 bool
@@ -549,18 +924,18 @@ bool
 TraceStore::info(const std::string &workload, SegmentInfo &out,
                  std::string *why) const
 {
-    std::vector<std::uint8_t> bytes;
-    if (!readFile(segmentPath(workload), bytes))
+    const MappedFile file(segmentPath(workload));
+    if (!file.ok())
         return fail(why, "no segment");
     Segment seg;
-    if (!parseSegment(bytes, seg, why))
+    if (!parseSegment(file.data(), file.size(), seg, why))
         return false;
 
     out = SegmentInfo();
     out.workload = workload;
     out.path = segmentPath(workload);
     out.instructions = seg.instructions;
-    out.fileBytes = bytes.size();
+    out.fileBytes = file.size();
     out.captureLimit = seg.captureLimit;
     out.truncated = (seg.flags & kFlagTruncated) != 0;
     for (const Segment::Column &col : seg.columns) {
@@ -574,11 +949,12 @@ bool
 TraceStore::verify(const std::string &workload,
                    const isa::Program *program, std::string *why) const
 {
-    std::vector<std::uint8_t> bytes;
-    if (!readFile(segmentPath(workload), bytes))
+    const MappedFile file(segmentPath(workload));
+    if (!file.ok())
         return fail(why, "no segment");
+    const std::uint8_t *bytes = file.data();
     Segment seg;
-    if (!parseSegment(bytes, seg, why))
+    if (!parseSegment(bytes, file.size(), seg, why))
         return false;
     if (program != nullptr) {
         if (seg.programCrc != programFingerprint(*program))
@@ -587,18 +963,32 @@ TraceStore::verify(const std::string &workload,
                nullptr;
     }
     // No program: still decode every payload so CRC and codec damage
-    // is caught.
+    // is caught. The taken and sigTags columns need the program to
+    // expand, so they get CRC plus structural framing checks here.
     const std::size_t n = static_cast<std::size_t>(seg.instructions);
     const std::size_t mem_ops = static_cast<std::size_t>(seg.memOps);
     std::vector<std::uint32_t> v32;
     std::vector<std::uint64_t> v64;
-    return decodeCol32(bytes, seg.columns[ColDecIdx], n, v32, why) &&
-           decodeCol32(bytes, seg.columns[ColResult], n, v32, why) &&
-           decodeCol64(bytes, seg.columns[ColTaken], (n + 63) / 64, v64,
-                       why) &&
-           decodeCol32(bytes, seg.columns[ColMemAddr], mem_ops, v32,
-                       why) &&
-           decodeCol32(bytes, seg.columns[ColMemData], mem_ops, v32, why);
+    if (!decodeCol32(bytes, seg.columns[ColDecIdx], n, v32, why) ||
+        !decodeCol32(bytes, seg.columns[ColResult], n, v32, why) ||
+        !decodeCol32(bytes, seg.columns[ColMemAddr], mem_ops, v32,
+                     why) ||
+        !decodeCol32(bytes, seg.columns[ColMemData], mem_ops, v32, why))
+        return false;
+    if (seg.version < 2) {
+        return decodeCol64(bytes, seg.columns[ColTaken], (n + 63) / 64,
+                           v64, why);
+    }
+    const std::uint8_t *p;
+    std::size_t len;
+    if (!columnPayload(bytes, seg.columns[ColTaken], p, len, why) ||
+        !checkTakenPayload(p, len, seg.instructions, why))
+        return false;
+    if (!columnPayload(bytes, seg.columns[ColSigTags], p, len, why))
+        return false;
+    if (len != (n + 1) / 2 + (mem_ops + 1) / 2)
+        return fail(why, "sigTags: size mismatch");
+    return true;
 }
 
 std::uint64_t

@@ -10,7 +10,7 @@
  * store/codec.h, so a cold process loads and replays instead of
  * recapturing.
  *
- * Segment file format (version 1, all integers little-endian) — see
+ * Segment file format (version 2, all integers little-endian) — see
  * README "Persistent trace store" for the full layout:
  *
  *   header (64 bytes, CRC-guarded):
@@ -22,24 +22,33 @@
  *     column id, raw (decoded) bytes, encoded bytes, payload CRC;
  *   column payloads, in directory order.
  *
- * Only five columns are stored (decode index, result, taken bits,
- * memory address/data): the operand columns are rebuilt at load time
- * by replaying the result stream through an architectural register
- * file, which is cheaper than decoding them and shrinks segments by
- * another ~40%.
+ * Six columns are stored (decode index, result, taken bits, memory
+ * address/data, significance sidecar): the operand columns are
+ * rebuilt at load time by replaying the result stream through an
+ * architectural register file, which is cheaper than decoding them
+ * and shrinks segments by another ~40%. Version 2 packs the taken
+ * column as one bit per *control* instruction (re-scattered along
+ * the decode-index stream at load) and persists the capture-time
+ * Ext3 tag planes of the result/memData columns as the sigTags
+ * sidecar annex, so warm loads rebuild TraceBuffer's significance
+ * sidecars without re-classifying stored values.
  *
  * Integrity and versioning rules:
- *  - load() is *fail-soft*: any mismatch — bad magic, foreign format
- *    version, CRC failure (header, directory or payload), truncated
- *    file, program fingerprint or capture-limit mismatch, malformed
- *    codec stream — returns nullptr with a reason string; callers
- *    recapture. A segment can never crash the process or yield a
- *    trace that differs from live capture.
+ *  - load() is *fail-soft*: any mismatch — bad magic, unacceptable
+ *    format version, CRC failure (header, directory or payload),
+ *    truncated file, program fingerprint or capture-limit mismatch,
+ *    malformed codec stream — returns nullptr with a reason string;
+ *    callers recapture. A segment can never crash the process or
+ *    yield a trace that differs from live capture.
+ *  - version-1 segments (no sidecar annex, raw taken plane) still
+ *    load, with the sidecars rebuilt by the batch kernels; load()
+ *    reports them via its `legacy` out-parameter so the cache's
+ *    write-through re-saves them in the current format (upgrade in
+ *    place). Anything else fails soft as above.
  *  - save() writes to a temp file and renames into place, so readers
  *    racing a writer only ever observe complete segments.
- *  - the format version bumps on any layout/codec change; old
- *    segments are simply recaptured (and `sigcomp_store gc` removes
- *    them).
+ *  - reads decode straight out of a read-only mmap of the segment
+ *    file; there is no read-then-decode copy of the payload bytes.
  *
  * Thread-safety: TraceStore is stateless between calls (all state is
  * the filesystem); concurrent load/save/verify from any number of
@@ -61,8 +70,18 @@
 namespace sigcomp::store
 {
 
-/** Bump on any incompatible change to the segment layout or codecs. */
-constexpr std::uint32_t formatVersion = 1;
+/**
+ * Current segment format. Bumped to 2 when the capture-time
+ * significance sidecar column and the control-only taken bit plane
+ * landed. Version-1 segments (no sidecar column, raw taken plane)
+ * still load — the sidecar is rebuilt with the batch kernels — and
+ * are transparently re-saved in the current format by the cache's
+ * write-through upgrade (see TraceCache). Anything else fails soft.
+ */
+constexpr std::uint32_t formatVersion = 2;
+
+/** Oldest format load() still accepts (sidecar-less segments). */
+constexpr std::uint32_t formatVersionLegacy = 1;
 
 /** Per-column size accounting for stats/compression-ratio reports. */
 struct ColumnStat
@@ -120,10 +139,17 @@ class TraceStore
      * fingerprint). @p capture_limit must match the segment's capture
      * parameters. Fail-soft: nullptr on any mismatch or corruption,
      * with the reason in @p why when non-null.
+     *
+     * Segments are decoded straight out of a read-only mapping of
+     * the file (no read-then-decode copy); @p legacy, when non-null,
+     * is set when the segment was an accepted older format — the
+     * caller should re-save the returned buffer to upgrade it in
+     * place (TraceCache's write-through does).
      */
     std::shared_ptr<cpu::TraceBuffer>
     load(const std::string &workload, const isa::Program &program,
-         DWord capture_limit, std::string *why = nullptr) const;
+         DWord capture_limit, std::string *why = nullptr,
+         bool *legacy = nullptr) const;
 
     /**
      * Persist @p trace as @p workload's segment (atomic

@@ -252,7 +252,7 @@ TEST(EngineDeathTest, TooManyStagesPanics)
                              tp.numStages = maxStages + 1;
                              return tp;
                          }),
-                 "bad stage count");
+                 "bad timing plan");
 }
 
 TEST(EngineDeathTest, TooFewStagesPanics)
@@ -264,7 +264,7 @@ TEST(EngineDeathTest, TooFewStagesPanics)
                              tp.numStages = 1;
                              return tp;
                          }),
-                 "bad stage count");
+                 "bad timing plan");
 }
 
 TEST(Engine, QuantaReportPlausibleForMixedProgram)

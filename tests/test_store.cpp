@@ -671,5 +671,227 @@ INSTANTIATE_TEST_SUITE_P(AllEncodings, StoreBitIdentity,
                              return sig::encodingName(info.param);
                          });
 
+// ---- legacy (version-1) segments -------------------------------------
+
+/**
+ * Rebuild a structurally valid version-1 segment (no sidecar column,
+ * raw taken plane) from a current segment file, using only the
+ * public codec/CRC helpers: the regression pin for the format
+ * version bump. Mirrors what a PR-3-era writer produced.
+ */
+std::vector<std::uint8_t>
+buildLegacyV1Segment(const std::vector<std::uint8_t> &v2,
+                     const isa::Program &program)
+{
+    using store::decodeColumn32;
+    using store::decodeColumn64Raw;
+    using store::encodeColumn32;
+    using store::encodeColumn64Raw;
+    using store::getU32;
+    using store::getU64;
+    using store::putU32;
+    using store::putU64;
+
+    const std::uint8_t *h = v2.data();
+    EXPECT_EQ(getU32(h + 4), store::formatVersion);
+    const std::size_t n = static_cast<std::size_t>(getU64(h + 8));
+    const std::size_t mem_ops = static_cast<std::size_t>(getU64(h + 16));
+
+    // Column directory (6 entries of 32 bytes at offset 64).
+    struct Col
+    {
+        std::uint64_t enc;
+        std::size_t off;
+    };
+    std::array<Col, 6> cols{};
+    std::size_t off = 64 + 6 * 32 + 4;
+    for (unsigned c = 0; c < 6; ++c) {
+        cols[c].enc = getU64(h + 64 + 32 * c + 16);
+        cols[c].off = off;
+        off += static_cast<std::size_t>(cols[c].enc);
+    }
+    EXPECT_EQ(off, v2.size());
+
+    std::vector<std::uint32_t> dec_idx, result, mem_addr, mem_data;
+    EXPECT_TRUE(decodeColumn32(h + cols[0].off, cols[0].enc, n, dec_idx));
+    EXPECT_TRUE(decodeColumn32(h + cols[1].off, cols[1].enc, n, result));
+    EXPECT_TRUE(decodeColumn32(h + cols[3].off, cols[3].enc, mem_ops,
+                               mem_addr));
+    EXPECT_TRUE(decodeColumn32(h + cols[4].off, cols[4].enc, mem_ops,
+                               mem_data));
+
+    // Re-expand the control-only taken bits to the full plane the v1
+    // format stored raw.
+    std::vector<std::uint64_t> taken((n + 63) / 64, 0);
+    const std::uint8_t *tp = h + cols[2].off;
+    if (tp[0] == 1) {
+        const std::uint32_t nbits = getU32(tp + 1);
+        std::vector<std::uint64_t> bits;
+        EXPECT_TRUE(decodeColumn64Raw(tp + 5, cols[2].enc - 5,
+                                      (nbits + 63) / 64, bits));
+        std::vector<isa::DecodedInstr> decoded;
+        decoded.reserve(program.text().size());
+        for (const isa::Instruction &inst : program.text())
+            decoded.push_back(isa::decode(inst));
+        std::size_t c = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!decoded[dec_idx[i]].isControl)
+                continue;
+            if ((bits[c / 64] >> (c % 64)) & 1)
+                taken[i / 64] |= std::uint64_t{1} << (i % 64);
+            ++c;
+        }
+        EXPECT_EQ(c, nbits);
+    } else {
+        EXPECT_TRUE(decodeColumn64Raw(tp + 1, cols[2].enc - 1,
+                                      taken.size(), taken));
+    }
+
+    std::vector<std::uint8_t> pay[5];
+    std::uint64_t raw[5];
+    encodeColumn32(dec_idx.data(), n, pay[0]);
+    raw[0] = 4 * static_cast<std::uint64_t>(n);
+    encodeColumn32(result.data(), n, pay[1]);
+    raw[1] = raw[0];
+    encodeColumn64Raw(taken.data(), taken.size(), pay[2]);
+    raw[2] = 8 * static_cast<std::uint64_t>(taken.size());
+    encodeColumn32(mem_addr.data(), mem_ops, pay[3]);
+    raw[3] = 4 * static_cast<std::uint64_t>(mem_ops);
+    encodeColumn32(mem_data.data(), mem_ops, pay[4]);
+    raw[4] = raw[3];
+
+    std::vector<std::uint8_t> out;
+    putU32(out, getU32(h)); // magic
+    putU32(out, store::formatVersionLegacy);
+    putU64(out, n);
+    putU64(out, mem_ops);
+    putU64(out, getU64(h + 24)); // capture limit
+    putU32(out, getU32(h + 32)); // program fingerprint
+    putU32(out, getU32(h + 36)); // flags
+    putU32(out, getU32(h + 40)); // exit code
+    putU32(out, getU32(h + 44)); // stop reason
+    putU32(out, getU32(h + 48)); // lastNextPc
+    putU32(out, 5);              // column count
+    putU32(out, 0);              // reserved
+    putU32(out, crc32(0, out.data(), 60));
+    const std::size_t dir_start = out.size();
+    for (std::uint32_t c = 0; c < 5; ++c) {
+        putU32(out, c);
+        putU32(out, 0);
+        putU64(out, raw[c]);
+        putU64(out, pay[c].size());
+        putU32(out, crc32(0, pay[c].data(), pay[c].size()));
+        putU32(out, 0);
+    }
+    putU32(out, crc32(0, out.data() + dir_start, 5 * 32));
+    for (const auto &p : pay)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+/** Field-for-field digest of a replayed stream (order-sensitive). */
+std::uint32_t
+replayDigest(const cpu::TraceBuffer &trace)
+{
+    struct DigestSink : cpu::TraceSink
+    {
+        std::uint32_t crc = 0;
+
+        void
+        retire(const cpu::DynInstr &di) override
+        {
+            const std::uint32_t fields[8] = {
+                di.pc,           di.srcRs,
+                di.srcRt,        di.result,
+                di.memAddr,      di.memData,
+                di.taken ? 1u : 0u, di.nextPc};
+            crc = crc32(crc, fields, sizeof(fields));
+        }
+    } sink;
+    cpu::TraceView(trace).replay(sink);
+    return sink.crc;
+}
+
+TEST_F(StoreTest, LegacyV1SegmentLoadsReplaysAndUpgrades)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(
+        ts.save("rawdaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+    const std::string path = ts.segmentPath("rawdaudio");
+    const std::vector<std::uint8_t> v2 = readAll(path);
+    const std::uint32_t reference = replayDigest(t);
+
+    // Replace the segment with its version-1 form.
+    writeAll(path, buildLegacyV1Segment(v2, w.program));
+
+    // It must still verify, load, and replay bit-identically — the
+    // sidecar annex is rebuilt during the load.
+    EXPECT_TRUE(ts.verify("rawdaudio", &w.program));
+    std::string why;
+    bool legacy = false;
+    const auto loaded =
+        ts.load("rawdaudio", w.program,
+                cpu::TraceBuffer::defaultMaxInstrs, &why, &legacy);
+    ASSERT_NE(loaded, nullptr) << why;
+    EXPECT_TRUE(legacy);
+    EXPECT_EQ(replayDigest(*loaded), reference);
+
+    // A cache load upgrades the segment in place (write-through
+    // re-save in the current format), and the upgraded segment loads
+    // as current from then on.
+    TraceCache &cache = TraceCache::global();
+    cache.setCaptureLimit(cpu::TraceBuffer::defaultMaxInstrs);
+    cache.configureStore({dir(), 0, false});
+    cache.clear();
+    const std::uint64_t captures = cache.captures();
+    const std::uint64_t saves = cache.storeSaves();
+    const auto via_cache = cache.get("rawdaudio");
+    EXPECT_EQ(cache.captures(), captures) << "must load, not recapture";
+    EXPECT_EQ(cache.storeSaves(), saves + 1) << "must upgrade-save";
+    EXPECT_EQ(replayDigest(*via_cache), reference);
+
+    const std::vector<std::uint8_t> upgraded = readAll(path);
+    ASSERT_GT(upgraded.size(), 64u);
+    EXPECT_EQ(store::getU32(upgraded.data() + 4), store::formatVersion);
+
+    // Second cold load: current format, no further upgrade saves.
+    cache.clear();
+    const std::uint64_t saves2 = cache.storeSaves();
+    const auto again = cache.get("rawdaudio");
+    EXPECT_EQ(cache.storeSaves(), saves2);
+    EXPECT_EQ(replayDigest(*again), reference);
+
+    cache.configureStore({});
+    cache.clear();
+}
+
+TEST_F(StoreTest, TakenColumnStoresControlBitsOnly)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(
+        ts.save("rawdaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+
+    store::SegmentInfo info;
+    ASSERT_TRUE(ts.info("rawdaudio", info));
+    ASSERT_EQ(info.columns.size(), 6u);
+    EXPECT_EQ(info.columns[2].name, "taken");
+    EXPECT_EQ(info.columns[5].name, "sigTags");
+    // One bit per *control* instruction beats the already-packed
+    // one-bit-per-instruction plane by the control-mix factor.
+    EXPECT_LT(info.columns[2].encodedBytes,
+              info.columns[2].rawBytes / 4);
+    EXPECT_GT(info.columns[2].ratio(), 4.0);
+    // Sidecar tags: two per byte against the one-per-byte raw count
+    // (each of the two planes may round up by one byte).
+    EXPECT_GE(2 * info.columns[5].encodedBytes,
+              info.columns[5].rawBytes);
+    EXPECT_LE(2 * info.columns[5].encodedBytes,
+              info.columns[5].rawBytes + 2);
+}
+
 } // namespace
 } // namespace sigcomp

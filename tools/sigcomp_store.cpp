@@ -37,6 +37,7 @@
 
 #include "analysis/trace_cache.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "cpu/trace_buffer.h"
 #include "store/trace_store.h"
@@ -225,8 +226,12 @@ cmdStats(const Options &opt)
                          opt.jsonPath.c_str());
             return 1;
         }
-        std::fprintf(f, "{\n  \"schema\": \"sigcomp-store-stats-v1\",\n");
+        std::fprintf(f, "{\n  \"schema\": \"sigcomp-store-stats-v2\",\n");
         std::fprintf(f, "  \"dir\": \"%s\",\n", opt.dir.c_str());
+        std::fprintf(f, "  \"format_version\": %u,\n",
+                     store::formatVersion);
+        std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+                     simd::simdLevelName(simd::activeSimdLevel()));
         std::fprintf(f, "  \"segments\": %zu,\n", stats.segments);
         std::fprintf(f, "  \"instructions\": %llu,\n",
                      static_cast<unsigned long long>(stats.instructions));
