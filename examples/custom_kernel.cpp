@@ -1,17 +1,18 @@
 /**
  * @file
  * Custom kernel: write a program in textual assembly, assemble it
- * with the text assembler, and race it across every pipeline design.
- * The kernel below is a saturating dot product over 16-bit samples —
- * edit it freely; the self-check pattern (assert via syscall 93)
- * keeps you honest.
+ * with the text assembler, register it as an ad-hoc Session
+ * workload, and race it across every pipeline design with one CPI
+ * study — the whole design space off a single replay of one
+ * captured trace. The kernel below is a saturating dot product over
+ * 16-bit samples — edit it freely; the self-check pattern (assert
+ * via syscall 93) keeps you honest.
  */
 
 #include <cstdio>
 
-#include "analysis/experiments.h"
+#include "analysis/session.h"
 #include "isa/text_assembler.h"
-#include "pipeline/runner.h"
 
 using namespace sigcomp;
 
@@ -57,17 +58,24 @@ main()
         isa::assembleText(kernelSource, "dotprod");
     std::printf("assembled %zu instructions\n", program.text().size());
 
+    // Ad-hoc programs become first-class session workloads: capture
+    // once, then every design replays the same trace in one pass.
+    analysis::Session session;
+    session.addWorkload("dotprod", program);
+    analysis::StudyPlan plan;
+    plan.workloads({"dotprod"})
+        .cpi(pipeline::allDesigns(), analysis::suiteConfig());
+    const analysis::SuiteReport report = session.run(plan);
+    const analysis::CpiStudyResult &study = report.cpi.front();
+
     std::printf("\n%-26s %10s %10s %8s\n", "design", "cycles", "CPI",
                 "vs base");
     double base_cpi = 0.0;
-    for (pipeline::Design d : pipeline::allDesigns()) {
-        auto pipe = pipeline::makePipeline(d, analysis::suiteConfig());
-        pipeline::runPipelines(program, {pipe.get()});
-        const pipeline::PipelineResult r = pipe->result();
-        if (d == pipeline::Design::Baseline32)
+    for (std::size_t d = 0; d < study.designs.size(); ++d) {
+        const pipeline::PipelineResult &r = study.results[0][d];
+        if (study.designs[d] == pipeline::Design::Baseline32)
             base_cpi = r.cpi();
-        std::printf("%-26s %10llu %10.3f %+7.1f%%\n",
-                    pipe->name().c_str(),
+        std::printf("%-26s %10llu %10.3f %+7.1f%%\n", r.name.c_str(),
                     static_cast<unsigned long long>(r.cycles), r.cpi(),
                     100.0 * (r.cpi() / base_cpi - 1.0));
     }

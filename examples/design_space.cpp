@@ -7,20 +7,21 @@
  *
  * Usage: design_space [workload] [--predict] [--store DIR]
  *
- * With --store, the workload's trace is loaded from (or on first run
- * saved to) the persistent trace store, so repeated explorer
- * invocations — a different workload flag, a different predictor —
- * skip functional simulation entirely: exactly the cold-process
- * reuse the store exists for.
+ * Built on the Session + StudyPlan API: one registered CPI study over
+ * all designs returns full PipelineResults (CPI, stalls, activity) in
+ * a single fused replay of the workload's trace, and the energy
+ * column is derived from the same pass. With --store, the trace is
+ * loaded from (or on first run saved to) the persistent trace store,
+ * so repeated explorer invocations — a different flag, a different
+ * predictor — skip functional simulation entirely.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "analysis/experiments.h"
+#include "analysis/session.h"
 #include "common/table.h"
-#include "pipeline/runner.h"
 #include "power/energy_model.h"
 #include "workloads/workload.h"
 
@@ -41,9 +42,6 @@ main(int argc, char **argv)
         else
             wl = argv[i];
     }
-    if (!store_dir.empty())
-        analysis::TraceCache::global().configureStore(
-            {store_dir, 0, false});
 
     const power::TechParams tech;
 
@@ -51,18 +49,14 @@ main(int argc, char **argv)
     if (predict)
         cfg.predictor = pipeline::PredictorKind::Bimodal;
 
-    // One cached trace feeds every design (captured at most once per
-    // process by the TraceCache; same-config designs share one
-    // quanta record during the replay).
-    const analysis::TraceCache::TracePtr trace =
-        analysis::TraceCache::global().get(wl);
-    std::vector<std::unique_ptr<pipeline::InOrderPipeline>> pipes;
-    std::vector<pipeline::InOrderPipeline *> raw;
-    for (Design d : pipeline::allDesigns()) {
-        pipes.push_back(pipeline::makePipeline(d, cfg));
-        raw.push_back(pipes.back().get());
-    }
-    pipeline::replayPipelines(*trace, raw);
+    // One Session (optionally store-backed), one plan, one fused
+    // replay pass: every design's full result comes back in a
+    // SuiteReport.
+    analysis::Session session({.storeDir = store_dir});
+    analysis::StudyPlan plan;
+    plan.workloads({wl}).cpi(pipeline::allDesigns(), cfg);
+    const analysis::SuiteReport report = session.run(plan);
+    const analysis::CpiStudyResult &study = report.cpi.front();
 
     std::printf("workload: %s   branch prediction: %s\n\n", wl.c_str(),
                 predict ? "bimodal" : "off (paper machines)");
@@ -71,11 +65,11 @@ main(int argc, char **argv)
                  "energy save %", "CPI x energy (rel)"});
     double base_cpi = 0.0;
     double base_ep = 0.0;
-    for (auto &p : pipes) {
-        const pipeline::PipelineResult r = p->result();
+    for (std::size_t d = 0; d < study.designs.size(); ++d) {
+        const pipeline::PipelineResult &r = study.results[0][d];
         const power::EnergyReport rep =
             power::buildEnergyReport(r.activity, tech);
-        const bool is_base = p->name() == "baseline32";
+        const bool is_base = r.name == "baseline32";
         const double energy =
             (is_base ? rep.totalBaselinePj : rep.totalCompressedPj) /
             static_cast<double>(r.instructions);
@@ -84,7 +78,7 @@ main(int argc, char **argv)
             base_ep = energy;
         }
         t.beginRow()
-            .cell(p->name())
+            .cell(r.name)
             .cell(r.cpi(), 3)
             .cell(100.0 * (r.cpi() / base_cpi - 1.0), 1)
             .cell(energy, 2)

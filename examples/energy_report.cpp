@@ -6,16 +6,17 @@
  *
  * Usage: energy_report [workload] [design] [vdd]
  * Defaults: rawcaudio byte-serial 1.8
+ *
+ * Built on the Session + StudyPlan energy study: one fused replay of
+ * the workload's cached trace produces the EnergyReport directly.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "analysis/experiments.h"
+#include "analysis/session.h"
 #include "common/table.h"
-#include "pipeline/runner.h"
-#include "power/energy_model.h"
 #include "workloads/workload.h"
 
 using namespace sigcomp;
@@ -36,20 +37,18 @@ main(int argc, char **argv)
         if (pipeline::designName(d) == ds)
             design = d;
 
-    // Replay the cached trace (captured once per process) instead of
-    // re-running functional simulation.
-    const analysis::TraceCache::TracePtr trace =
-        analysis::TraceCache::global().get(wl);
-    auto pipe = pipeline::makePipeline(design, analysis::suiteConfig());
-    pipeline::replayPipelines(*trace, {pipe.get()});
-    const pipeline::PipelineResult r = pipe->result();
-    const power::EnergyReport rep =
-        power::buildEnergyReport(r.activity, tech);
+    analysis::Session session;
+    analysis::StudyPlan plan;
+    plan.workloads({wl}).energy(tech, design);
+    const analysis::SuiteReport report = session.run(plan);
+    const analysis::EnergyStudyResult &study = report.energy.front();
+    const analysis::EnergyRow &row = study.rows.front();
+    const power::EnergyReport &rep = row.report;
 
     std::printf("workload: %s   design: %s   Vdd: %.2f V\n", wl.c_str(),
-                pipe->name().c_str(), tech.vdd);
+                pipeline::designName(design).c_str(), tech.vdd);
     std::printf("instructions: %llu\n\n",
-                static_cast<unsigned long long>(r.instructions));
+                static_cast<unsigned long long>(row.instructions));
 
     TextTable t({"structure", "compressed nJ", "baseline nJ",
                  "saving %"});
@@ -72,9 +71,9 @@ main(int argc, char **argv)
     std::printf("\nper-instruction: %.2f pJ compressed vs %.2f pJ "
                 "baseline\n",
                 rep.totalCompressedPj /
-                    static_cast<double>(r.instructions),
+                    static_cast<double>(row.instructions),
                 rep.totalBaselinePj /
-                    static_cast<double>(r.instructions));
+                    static_cast<double>(row.instructions));
     std::printf("bank-split ratio (section 2.4): %.3f\n",
                 power::bankSplitEnergyRatio(tech, 32, 32, 4));
     return 0;

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiments.h"
+#include "analysis/session.h"
 #include "isa/assembler.h"
 #include "pipeline/runner.h"
 
@@ -70,6 +70,14 @@ main(int argc, char **argv)
     cfg.memory.itlb.missPenalty = 0;
     cfg.memory.dtlb.missPenalty = 0;
 
+    // The demo program rides the Session as an ad-hoc workload:
+    // capture once, then replay through the observed pipeline. An
+    // observer makes the replay side-effectful, so it uses the
+    // runner directly on the session's trace rather than a StudyPlan.
+    analysis::Session session;
+    session.addWorkload("viz", program);
+    const analysis::TraceCache::TracePtr trace = session.trace("viz");
+
     auto pipe = pipeline::makePipeline(design, cfg);
     pipe->setScheduleObserver(
         [&](const cpu::DynInstr &di, const pipeline::TimingPlan &plan,
@@ -88,7 +96,7 @@ main(int argc, char **argv)
             }
             rows.push_back(std::move(row));
         });
-    pipeline::runPipelines(program, {pipe.get()});
+    pipeline::replayPipelines(*trace, {pipe.get()});
 
     std::printf("design: %s\n\n", pipe->name().c_str());
     std::size_t max_cells = 0;

@@ -9,15 +9,18 @@
  *   pipeline_explorer --list
  *
  * Defaults: rawcaudio byte-serial ext3.
+ *
+ * Built on the Session + StudyPlan API: one CPI study registering
+ * the chosen design next to the 32-bit baseline replays the cached
+ * trace once and returns both full PipelineResults.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "analysis/experiments.h"
+#include "analysis/session.h"
 #include "common/table.h"
-#include "pipeline/runner.h"
 #include "workloads/workload.h"
 
 using namespace sigcomp;
@@ -70,18 +73,20 @@ main(int argc, char **argv)
     const std::string ds = argc > 2 ? argv[2] : "byte-serial";
     const std::string en = argc > 3 ? argv[3] : "ext3";
 
-    const workloads::Workload w = workloads::Suite::build(wl);
     pipeline::PipelineConfig cfg =
         analysis::suiteConfig(parseEncoding(en));
-    auto pipe = pipeline::makePipeline(parseDesign(ds), cfg);
-    auto base = pipeline::makePipeline(Design::Baseline32, cfg);
-    pipeline::runPipelines(w.program, {pipe.get(), base.get()});
 
-    const pipeline::PipelineResult r = pipe->result();
-    const pipeline::PipelineResult rb = base->result();
+    analysis::Session session;
+    analysis::StudyPlan plan;
+    plan.workloads({wl}).cpi({parseDesign(ds), Design::Baseline32}, cfg);
+    const analysis::SuiteReport report = session.run(plan);
+    const analysis::CpiStudyResult &study = report.cpi.front();
+
+    const pipeline::PipelineResult &r = study.results[0][0];
+    const pipeline::PipelineResult &rb = study.results[0][1];
 
     std::printf("workload: %s   design: %s   encoding: %s\n",
-                wl.c_str(), pipe->name().c_str(), en.c_str());
+                wl.c_str(), r.name.c_str(), en.c_str());
     std::printf("instructions: %llu\n",
                 static_cast<unsigned long long>(r.instructions));
     std::printf("cycles:       %llu\n",

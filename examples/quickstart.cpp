@@ -7,14 +7,15 @@
  *  3. Assemble a tiny program, run it on the 32-bit baseline and the
  *     byte-serial pipeline, and compare CPI and activity.
  *  4. (with `quickstart --store DIR`) Ride the persistent trace
- *     store: the first run captures and saves a workload's trace,
- *     every later process loads it instead of re-simulating.
+ *     store through a Session: the first run captures and saves a
+ *     workload's trace, every later process loads it instead of
+ *     re-simulating.
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "analysis/trace_cache.h"
+#include "analysis/session.h"
 #include "isa/assembler.h"
 #include "pipeline/runner.h"
 #include "sigcomp/compressed_word.h"
@@ -93,10 +94,12 @@ main(int argc, char **argv)
     // --- 4. persistent trace store (opt-in) ---------------------------
     if (!store_dir.empty()) {
         std::printf("\n== trace store (%s) ==\n", store_dir.c_str());
-        analysis::TraceCache &cache = analysis::TraceCache::global();
-        cache.configureStore({store_dir, 0, false});
-        const auto trace = cache.get("rawcaudio");
-        const bool from_disk = cache.storeLoads() > 0;
+        // A Session is an isolated engine instance: its own trace
+        // cache, bound to the store directory for this walkthrough
+        // only.
+        analysis::Session session({.storeDir = store_dir});
+        const auto trace = session.trace("rawcaudio");
+        const bool from_disk = session.cache().storeLoads() > 0;
         std::printf("  rawcaudio: %llu instructions, %s\n",
                     static_cast<unsigned long long>(trace->size()),
                     from_disk

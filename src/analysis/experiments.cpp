@@ -1,6 +1,5 @@
 #include "analysis/experiments.h"
 
-#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -19,10 +18,10 @@ namespace
 {
 
 /**
- * Resolve a driver's threads parameter to an executor. A value of 0
- * routes to the shared pool; any other count gets a dedicated
- * (cheap: threads-1 spawned) executor so callers can pin a study to
- * a serial reference run.
+ * Resolve a driver's threads parameter to an executor for the
+ * uncached reference paths. A value of 0 routes to the shared pool;
+ * any other count gets a dedicated (cheap: threads-1 spawned)
+ * executor so callers can pin a study to a serial reference run.
  */
 class ExecutorHandle
 {
@@ -42,24 +41,20 @@ class ExecutorHandle
     std::unique_ptr<ParallelExecutor> owned_;
 };
 
-/** Capture all suite traces concurrently when fanning out helps. */
-void
-prewarmIfParallel(ParallelExecutor &exec,
-                  const std::vector<std::string> &names)
-{
-    if (exec.threadCount() > 1)
-        TraceCache::global().prewarm(names, exec);
-}
-
 /**
- * Bind the study's disk-tier options to the process-wide cache
+ * Bind the study's disk-tier options to the default session's cache
  * before it is touched. configureStore() is idempotent, so every
- * driver applies its options unconditionally; an empty storeDir
- * leaves the current binding alone.
+ * shim applies its options unconditionally; an empty storeDir leaves
+ * the current binding alone. readOnly without a storeDir is a
+ * configuration error (there is no store to be read-only of) and
+ * fatal rather than silently ignored.
  */
 void
 applyStoreOptions(const StudyOptions &opt)
 {
+    SC_ASSERT(!(opt.readOnly && opt.storeDir.empty()),
+              "StudyOptions.readOnly requires storeDir: a read-only "
+              "study needs a store to read from");
     if (!opt.useCache)
         return;
     if (!opt.storeDir.empty()) {
@@ -76,26 +71,19 @@ void
 profileSuite(const std::vector<cpu::TraceSink *> &sinks,
              const StudyOptions &opt)
 {
-    const std::vector<std::string> &names = workloads::Suite::names();
-    ExecutorHandle exec(opt.threads);
     applyStoreOptions(opt);
 
     if (opt.useCache) {
-        // Simulate-once path: capture on first touch (fanned out
-        // across cores when parallel), then replay sequentially in
-        // canonical suite order — the sinks observe exactly the
-        // serial retirement stream.
-        prewarmIfParallel(exec.get(), names);
-        for (const std::string &name : names) {
-            const TraceCache::TracePtr trace =
-                TraceCache::global().get(name);
-            cpu::TraceView(*trace).replay(sinks);
-            if (opt.evictAfterReplay)
-                TraceCache::global().evict(name);
-        }
+        StudyPlan plan;
+        plan.profile(sinks)
+            .threads(opt.threads)
+            .evictAfterReplay(opt.evictAfterReplay);
+        Session::defaultSession().run(plan);
         return;
     }
 
+    const std::vector<std::string> &names = workloads::Suite::names();
+    ExecutorHandle exec(opt.threads);
     if (exec.get().threadCount() <= 1) {
         // Direct-execution reference path: feed the sinks during
         // simulation, no buffering — the original engine.
@@ -128,29 +116,18 @@ profileSuite(const std::vector<cpu::TraceSink *> &sinks,
     }
 }
 
-const sig::InstrCompressor &
-suiteCompressor()
-{
-    static const sig::InstrCompressor compressor = [] {
-        InstrMixProfiler mix;
-        profileSuite({&mix});
-        return mix.buildCompressor();
-    }();
-    return compressor;
-}
-
-PipelineConfig
-suiteConfig(sig::Encoding enc)
-{
-    PipelineConfig cfg;
-    cfg.encoding = enc;
-    cfg.compressor = suiteCompressor();
-    return cfg;
-}
-
 std::vector<ActivityRow>
 runActivityStudy(sig::Encoding enc, const StudyOptions &opt)
 {
+    applyStoreOptions(opt);
+
+    if (opt.useCache) {
+        StudyPlan plan;
+        plan.activity(enc).threads(opt.threads);
+        SuiteReport rep = Session::defaultSession().run(plan);
+        return std::move(rep.activity.front().rows);
+    }
+
     const Design design = (enc == sig::Encoding::Half1)
                               ? Design::HalfwordSerial
                               : Design::ByteSerial;
@@ -162,20 +139,6 @@ runActivityStudy(sig::Encoding enc, const StudyOptions &opt)
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<ActivityRow> rows(names.size());
     ExecutorHandle exec(opt.threads);
-    applyStoreOptions(opt);
-
-    if (opt.useCache) {
-        prewarmIfParallel(exec.get(), names);
-        exec.get().parallelFor(names.size(), [&](std::size_t i) {
-            const TraceCache::TracePtr trace =
-                TraceCache::global().get(names[i]);
-            auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
-            pipeline::replayPipelines(*trace, {pipe.get()});
-            rows[i] = {names[i], pipe->result().activity};
-        });
-        return rows;
-    }
-
     exec.get().parallelFor(names.size(), [&](std::size_t i) {
         const workloads::Workload w = workloads::Suite::build(names[i]);
         auto pipe = pipeline::makePipeline(design, suiteConfig(enc));
@@ -185,26 +148,25 @@ runActivityStudy(sig::Encoding enc, const StudyOptions &opt)
     return rows;
 }
 
-pipeline::ActivityTotals
-sumActivity(const std::vector<ActivityRow> &rows)
-{
-    pipeline::ActivityTotals total;
-    for (const ActivityRow &r : rows)
-        total += r.activity;
-    return total;
-}
-
 std::vector<CpiRow>
 runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
             const StudyOptions &opt)
 {
+    applyStoreOptions(opt);
+
+    if (opt.useCache) {
+        StudyPlan plan;
+        plan.cpi(ds, cfg).threads(opt.threads);
+        return Session::defaultSession().run(plan).cpi.front().rows();
+    }
+
     const std::vector<std::string> &names = workloads::Suite::names();
     std::vector<CpiRow> rows(names.size());
     ExecutorHandle exec(opt.threads);
-    applyStoreOptions(opt);
-
-    auto assemble = [&](std::size_t i,
-                        const std::vector<pipeline::PipelineResult> &rs) {
+    exec.get().parallelFor(names.size(), [&](std::size_t i) {
+        const workloads::Workload w = workloads::Suite::build(names[i]);
+        const std::vector<pipeline::PipelineResult> rs =
+            pipeline::runDesigns(w.program, ds, cfg);
         CpiRow row;
         row.benchmark = names[i];
         for (std::size_t d = 0; d < ds.size(); ++d) {
@@ -212,36 +174,8 @@ runCpiStudy(const std::vector<Design> &ds, const PipelineConfig &cfg,
             row.stalls[ds[d]] = rs[d].stalls;
         }
         rows[i] = std::move(row);
-    };
-
-    if (opt.useCache) {
-        prewarmIfParallel(exec.get(), names);
-        exec.get().parallelFor(names.size(), [&](std::size_t i) {
-            const TraceCache::TracePtr trace =
-                TraceCache::global().get(names[i]);
-            assemble(i, pipeline::replayDesigns(*trace, ds, cfg));
-        });
-        return rows;
-    }
-
-    exec.get().parallelFor(names.size(), [&](std::size_t i) {
-        const workloads::Workload w = workloads::Suite::build(names[i]);
-        assemble(i, pipeline::runDesigns(w.program, ds, cfg));
     });
     return rows;
-}
-
-double
-meanCpi(const std::vector<CpiRow> &rows, Design d)
-{
-    if (rows.empty())
-        return 0.0;
-    double log_sum = 0.0;
-    for (const CpiRow &r : rows) {
-        // DesignTable::at() fatals with context when d is absent.
-        log_sum += std::log(r.cpi.at(d));
-    }
-    return std::exp(log_sum / static_cast<double>(rows.size()));
 }
 
 } // namespace sigcomp::analysis

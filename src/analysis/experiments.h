@@ -1,19 +1,20 @@
 /**
  * @file
- * Suite-level experiment drivers: everything the per-table/figure
- * bench binaries need, factored so tests can exercise the same
- * paths.
+ * Legacy suite-level experiment drivers, kept as **thin shims over
+ * the default Session** (analysis/session.h): each free function
+ * builds a one-study StudyPlan and runs it on
+ * Session::defaultSession(), so old callers transparently ride the
+ * fused-replay engine and share its cache with new StudyPlan code.
  *
- * All drivers are fed from the process-wide TraceCache by default:
- * each workload is functionally simulated exactly once per process
- * and every study — activity, CPI, profiling, any design, any
- * encoding — replays the shared immutable trace in batches (see
- * cpu/trace_buffer.h). Workload-level parallelism fans out across
- * cores with ParallelExecutor and results assemble in canonical
- * suite order, bit-identical to the direct-execution reference path
- * (StudyOptions{.threads = 1, .useCache = false}), which re-runs
- * functional simulation per study exactly as the original engine
- * did.
+ * Prefer the Session + StudyPlan API for new code — it runs any
+ * number of studies off ONE replay pass per workload trace and
+ * supports isolated per-tenant/per-test engine instances; these
+ * shims exist so the per-table/figure bench binaries and historical
+ * tests keep their original shapes.
+ *
+ * The bit-identity reference path survives unchanged:
+ * StudyOptions{.threads = 1, .useCache = false} re-runs functional
+ * simulation per study exactly as the original engine did.
  */
 
 #ifndef SIGCOMP_ANALYSIS_EXPERIMENTS_H_
@@ -23,6 +24,8 @@
 #include <vector>
 
 #include "analysis/profilers.h"
+#include "analysis/report.h"
+#include "analysis/session.h"
 #include "analysis/trace_cache.h"
 #include "pipeline/runner.h"
 #include "workloads/workload.h"
@@ -36,10 +39,11 @@ struct StudyOptions
     /** Workload-level parallelism: 0 = shared pool, 1 = serial. */
     unsigned threads = 0;
     /**
-     * Feed the study from the process-wide TraceCache (capture each
-     * workload at most once per process, replay thereafter). When
-     * false the driver re-runs functional simulation itself — the
-     * bit-identity reference and the pre-cache engine's behaviour.
+     * Feed the study from the default session's TraceCache (capture
+     * each workload at most once per process, replay thereafter).
+     * When false the driver re-runs functional simulation itself —
+     * the bit-identity reference and the pre-cache engine's
+     * behaviour.
      */
     bool useCache = true;
     /**
@@ -51,7 +55,7 @@ struct StudyOptions
     bool evictAfterReplay = false;
     /**
      * Persistent trace store directory (see store/trace_store.h).
-     * Non-empty attaches the disk tier to the process-wide
+     * Non-empty attaches the disk tier to the default session's
      * TraceCache before the study runs: cold processes load
      * significance-compressed segments instead of recapturing, and
      * fresh captures are written through. Empty (default) leaves the
@@ -61,32 +65,23 @@ struct StudyOptions
     /**
      * Soft cap on the RAM tier in bytes (0 = unlimited): above it,
      * least-recently-used traces spill out of RAM and are reloaded
-     * from the store on demand — suites far larger than memory.
-     * Applied whenever storeDir is set (or on its own when non-zero).
+     * from the store on demand — suites far larger than memory. A
+     * budget smaller than a single trace degrades (warned once) to
+     * keeping only the most recent workload resident. Applied
+     * whenever storeDir is set (or on its own when non-zero).
      */
     std::size_t spillBudgetBytes = 0;
-    /** With storeDir: never write segments (shared/CI-cached store). */
+    /**
+     * With storeDir: never write segments (shared/CI-cached store).
+     * Setting readOnly without storeDir is a configuration error
+     * and fatal — there is nothing to be read-only *of*.
+     */
     bool readOnly = false;
 };
 
-/**
- * Profile the whole suite once and build the funct-ranked
- * instruction compressor (the paper's Table 3 step). Cached after
- * the first call; the underlying traces land in the TraceCache and
- * are shared with every subsequent study.
- */
-const sig::InstrCompressor &suiteCompressor();
-
-/** Pipeline config with the suite-profiled compressor installed. */
-pipeline::PipelineConfig suiteConfig(
-    sig::Encoding enc = sig::Encoding::Ext3);
-
-/** One per-benchmark row of an activity study (Table 5/6). */
-struct ActivityRow
-{
-    std::string benchmark;
-    pipeline::ActivityTotals activity;
-};
+// suiteCompressor()/suiteConfig() live in analysis/session.h (the
+// Session layer owns them now); including this header keeps
+// providing them to legacy callers.
 
 /**
  * Tables 5/6: run every workload through the serial pipeline at the
@@ -106,20 +101,6 @@ runActivityStudy(sig::Encoding enc, unsigned threads = 0)
     return runActivityStudy(enc, opt);
 }
 
-/** Average savings across rows (the tables' AVG line). */
-pipeline::ActivityTotals sumActivity(const std::vector<ActivityRow> &rows);
-
-/**
- * One per-benchmark row of a CPI study (Figs 4/6/8/10). Dense
- * array-indexed per-design storage (pipeline::DesignTable).
- */
-struct CpiRow
-{
-    std::string benchmark;
-    pipeline::DesignTable<double> cpi;
-    pipeline::DesignTable<pipeline::StallBreakdown> stalls;
-};
-
 /**
  * Run every workload through the given designs (one shared trace per
  * workload, all designs fanned out over it). Threads/cache semantics
@@ -138,9 +119,6 @@ runCpiStudy(const std::vector<pipeline::Design> &ds,
     opt.threads = threads;
     return runCpiStudy(ds, cfg, opt);
 }
-
-/** Geometric-mean CPI of one design over a study. */
-double meanCpi(const std::vector<CpiRow> &rows, pipeline::Design d);
 
 /**
  * Run all suite workloads through profiler sinks only. The sinks are

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Structured results of a Session::run(StudyPlan) — per-study row
+ * types, the aggregate SuiteReport, and its uniform JSON
+ * serialization.
+ *
+ * The row types (ActivityRow, CpiRow) predate the Session API: they
+ * are the currency of the legacy free-function drivers in
+ * analysis/experiments.h, kept here so the fused and legacy paths
+ * return the same shapes and the bit-identity tests compare them
+ * directly.
+ */
+
+#ifndef SIGCOMP_ANALYSIS_REPORT_H_
+#define SIGCOMP_ANALYSIS_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pipeline/models.h"
+#include "pipeline/pipeline.h"
+#include "power/energy_model.h"
+#include "sigcomp/compressed_word.h"
+
+namespace sigcomp::analysis
+{
+
+/** One per-benchmark row of an activity study (Table 5/6). */
+struct ActivityRow
+{
+    std::string benchmark;
+    pipeline::ActivityTotals activity;
+};
+
+/** Summed activity across rows (the tables' AVG line). */
+pipeline::ActivityTotals sumActivity(const std::vector<ActivityRow> &rows);
+
+/**
+ * One per-benchmark row of a CPI study (Figs 4/6/8/10). Dense
+ * array-indexed per-design storage (pipeline::DesignTable).
+ */
+struct CpiRow
+{
+    std::string benchmark;
+    pipeline::DesignTable<double> cpi;
+    pipeline::DesignTable<pipeline::StallBreakdown> stalls;
+};
+
+/** Geometric-mean CPI of one design over a study. */
+double meanCpi(const std::vector<CpiRow> &rows, pipeline::Design d);
+
+/** Results of one registered activity study (one encoding). */
+struct ActivityStudyResult
+{
+    sig::Encoding encoding = sig::Encoding::Ext3;
+    std::vector<ActivityRow> rows;
+
+    /** The AVG line. */
+    pipeline::ActivityTotals total() const { return sumActivity(rows); }
+};
+
+/**
+ * Results of one registered CPI study: the full PipelineResult of
+ * every (workload, design) pair — CPI, stall breakdown, activity and
+ * cache statistics — so consumers that need more than the CPI figure
+ * (energy reports, explorer tables) read it from the same replay.
+ */
+struct CpiStudyResult
+{
+    std::vector<pipeline::Design> designs;
+    std::vector<std::string> benchmarks;
+    /** results[w][d] = designs[d] run over benchmarks[w]. */
+    std::vector<std::vector<pipeline::PipelineResult>> results;
+
+    /** Legacy row shape (what runCpiStudy returns). */
+    std::vector<CpiRow> rows() const;
+
+    /** Geometric-mean CPI of @p d across the benchmarks. */
+    double geomeanCpi(pipeline::Design d) const;
+};
+
+/** One per-benchmark row of an energy study. */
+struct EnergyRow
+{
+    std::string benchmark;
+    DWord instructions = 0;
+    power::EnergyReport report;
+};
+
+/** Results of one registered energy study (design x encoding). */
+struct EnergyStudyResult
+{
+    pipeline::Design design = pipeline::Design::ByteSerial;
+    sig::Encoding encoding = sig::Encoding::Ext3;
+    power::TechParams tech;
+    std::vector<EnergyRow> rows;
+    /** Energy of the summed activity (the model is linear). */
+    power::EnergyReport total;
+};
+
+/**
+ * Everything one Session::run produced, plus the engine accounting
+ * that backs the fused-pass guarantees (captures/replay passes/store
+ * loads performed by this run — a fresh trace with N studies
+ * registered contributes exactly one replay pass).
+ */
+struct SuiteReport
+{
+    std::vector<std::string> workloads;
+    unsigned threads = 0;
+    /** Sum of per-workload dynamic instruction counts (one pass). */
+    DWord instructions = 0;
+
+    std::vector<ActivityStudyResult> activity;
+    std::vector<CpiStudyResult> cpi;
+    std::vector<EnergyStudyResult> energy;
+    /** Number of caller profiler sinks fed by the pass. */
+    std::size_t profileSinks = 0;
+
+    // -- engine accounting for this run (deltas, not totals) ---------
+    std::uint64_t replayPasses = 0; ///< TraceView passes performed
+    std::uint64_t captures = 0;     ///< functional simulations performed
+    std::uint64_t storeLoads = 0;   ///< traces served from the disk tier
+    double wallMs = 0.0;
+
+    /**
+     * Serialize as JSON (schema "sigcomp-suite-report-v1", see README
+     * "Experiment API"). Stable key order, no trailing newline
+     * variance — diffable across runs.
+     */
+    void writeJson(std::FILE *f) const;
+
+    /** writeJson() into a string. */
+    std::string toJson() const;
+};
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_REPORT_H_

@@ -1,0 +1,270 @@
+#include "analysis/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "analysis/profilers.h"
+#include "common/logging.h"
+#include "pipeline/runner.h"
+#include "workloads/workload.h"
+
+namespace sigcomp::analysis
+{
+
+using pipeline::Design;
+using pipeline::InOrderPipeline;
+using pipeline::PipelineConfig;
+
+namespace
+{
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Session::Session(SessionConfig config) : config_(std::move(config))
+{
+    SC_ASSERT(!(config_.readOnly && config_.storeDir.empty()),
+              "SessionConfig.readOnly requires storeDir: a read-only "
+              "session needs a store to read from");
+    if (config_.threads != 0)
+        exec_ = std::make_unique<ParallelExecutor>(config_.threads);
+    if (!config_.storeDir.empty()) {
+        cache_.configureStore({config_.storeDir,
+                               config_.spillBudgetBytes,
+                               config_.readOnly});
+    } else if (config_.spillBudgetBytes != 0) {
+        cache_.setSpillBudget(config_.spillBudgetBytes);
+    }
+    if (config_.captureLimit != cpu::TraceBuffer::defaultMaxInstrs)
+        cache_.setCaptureLimit(config_.captureLimit);
+}
+
+Session &
+Session::defaultSession()
+{
+    static Session session;
+    return session;
+}
+
+// The legacy process-global cache IS the default session's cache, so
+// the free-function shims and direct TraceCache::global() users keep
+// sharing one instance.
+TraceCache &
+TraceCache::global()
+{
+    return Session::defaultSession().cache();
+}
+
+ParallelExecutor &
+Session::executor()
+{
+    return exec_ ? *exec_ : ParallelExecutor::global();
+}
+
+TraceCache::TracePtr
+Session::trace(const std::string &workload)
+{
+    return cache_.get(workload);
+}
+
+void
+Session::prewarm(const std::vector<std::string> &names)
+{
+    cache_.prewarm(names, executor());
+}
+
+void
+Session::addWorkload(const std::string &name, isa::Program program)
+{
+    cache_.registerProgram(name, std::move(program));
+}
+
+SuiteReport
+Session::run(const StudyPlan &plan)
+{
+    const double t0 = nowMs();
+    SuiteReport rep;
+    const std::vector<std::string> names =
+        plan.workloads_.empty() ? workloads::Suite::names()
+                                : plan.workloads_;
+    rep.workloads = names;
+    rep.profileSinks = plan.sinks_.size();
+
+    // Executor for this run: the plan's override or the session's.
+    std::unique_ptr<ParallelExecutor> scoped;
+    ParallelExecutor *exec = &executor();
+    if (plan.hasThreads_ && plan.threads_ != 0) {
+        scoped = std::make_unique<ParallelExecutor>(plan.threads_);
+        exec = scoped.get();
+    } else if (plan.hasThreads_) {
+        exec = &ParallelExecutor::global();
+    }
+    rep.threads = exec->threadCount();
+
+    if (!plan.hasStudies() || names.empty()) {
+        rep.wallMs = nowMs() - t0;
+        return rep;
+    }
+
+    // Force the one-time suite profiling pass before fanning out so
+    // the compressor's function-local static never constructs inside
+    // (or serialised by) the parallel region.
+    if (plan.needsSuiteConfig())
+        suiteCompressor();
+
+    const std::uint64_t captures0 = cache_.captures();
+    const std::uint64_t loads0 = cache_.storeLoads();
+
+    /**
+     * Per-workload results of the fused pass, harvested in the same
+     * canonical order the pipelines are built in: every CPI study's
+     * designs, then one pipeline per activity study, then one per
+     * energy study.
+     */
+    struct Harvest
+    {
+        std::vector<std::vector<pipeline::PipelineResult>> cpi;
+        std::vector<pipeline::PipelineResult> activity;
+        std::vector<pipeline::PipelineResult> energy;
+        DWord instructions = 0;
+        std::uint64_t replayDelta = 0;
+    };
+    std::vector<Harvest> harvest(names.size());
+
+    auto runOne = [&](std::size_t i) {
+        const TraceCache::TracePtr trace = cache_.get(names[i]);
+        const std::uint64_t replays0 = trace->replayCount();
+
+        // Build every study's pipelines over this trace. One
+        // replayPipelines call replays the trace exactly once:
+        // same-key pipelines share a quanta group, every group and
+        // every profiler sink is fed from the same materialised
+        // blocks.
+        std::vector<std::unique_ptr<InOrderPipeline>> owned;
+        std::vector<InOrderPipeline *> raw;
+        auto add = [&](Design d, const PipelineConfig &cfg) {
+            owned.push_back(pipeline::makePipeline(d, cfg));
+            raw.push_back(owned.back().get());
+        };
+        for (const StudyPlan::CpiSpec &s : plan.cpi_)
+            for (Design d : s.designs)
+                add(d, s.config);
+        for (sig::Encoding enc : plan.activity_) {
+            add(enc == sig::Encoding::Half1 ? Design::HalfwordSerial
+                                            : Design::ByteSerial,
+                suiteConfig(enc));
+        }
+        for (const StudyPlan::EnergySpec &e : plan.energy_)
+            add(e.design, suiteConfig(e.enc));
+
+        pipeline::replayPipelines(*trace, raw, plan.sinks_);
+
+        Harvest &h = harvest[i];
+        std::size_t cursor = 0;
+        h.cpi.resize(plan.cpi_.size());
+        for (std::size_t s = 0; s < plan.cpi_.size(); ++s)
+            for (std::size_t d = 0; d < plan.cpi_[s].designs.size(); ++d)
+                h.cpi[s].push_back(owned[cursor++]->result());
+        for (std::size_t s = 0; s < plan.activity_.size(); ++s)
+            h.activity.push_back(owned[cursor++]->result());
+        for (std::size_t s = 0; s < plan.energy_.size(); ++s)
+            h.energy.push_back(owned[cursor++]->result());
+        h.instructions = trace->runResult().instructions;
+        h.replayDelta = trace->replayCount() - replays0;
+
+        // Newly recorded SharedQuanta become part of the workload's
+        // segment so warm-store *processes* skip computeQuanta too.
+        cache_.persistAnnexes(names[i], *trace);
+        if (plan.evictAfterReplay_)
+            cache_.evict(names[i]);
+    };
+
+    // Shared profiler sinks must observe the serial retirement
+    // stream in workload order, so plans with profilers replay
+    // sequentially (capture still fans out via prewarm); plans with
+    // pipelines only fan whole workloads across the executor.
+    const bool parallel_replay =
+        plan.sinks_.empty() && exec->threadCount() > 1;
+    if (exec->threadCount() > 1)
+        cache_.prewarm(names, *exec);
+    if (parallel_replay) {
+        exec->parallelFor(names.size(), runOne);
+    } else {
+        for (std::size_t i = 0; i < names.size(); ++i)
+            runOne(i);
+    }
+
+    // ---- assemble the report in study registration order ----------
+    rep.cpi.resize(plan.cpi_.size());
+    for (std::size_t s = 0; s < plan.cpi_.size(); ++s) {
+        CpiStudyResult &st = rep.cpi[s];
+        st.designs = plan.cpi_[s].designs;
+        st.benchmarks = names;
+        st.results.resize(names.size());
+        for (std::size_t w = 0; w < names.size(); ++w)
+            st.results[w] = std::move(harvest[w].cpi[s]);
+    }
+    rep.activity.resize(plan.activity_.size());
+    for (std::size_t s = 0; s < plan.activity_.size(); ++s) {
+        ActivityStudyResult &st = rep.activity[s];
+        st.encoding = plan.activity_[s];
+        st.rows.resize(names.size());
+        for (std::size_t w = 0; w < names.size(); ++w)
+            st.rows[w] = {names[w], harvest[w].activity[s].activity};
+    }
+    rep.energy.resize(plan.energy_.size());
+    for (std::size_t s = 0; s < plan.energy_.size(); ++s) {
+        EnergyStudyResult &st = rep.energy[s];
+        st.design = plan.energy_[s].design;
+        st.encoding = plan.energy_[s].enc;
+        st.tech = plan.energy_[s].tech;
+        st.rows.resize(names.size());
+        pipeline::ActivityTotals sum;
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const pipeline::PipelineResult &r = harvest[w].energy[s];
+            st.rows[w] = {names[w], r.instructions,
+                          power::buildEnergyReport(r.activity, st.tech)};
+            sum += r.activity;
+        }
+        st.total = power::buildEnergyReport(sum, st.tech);
+    }
+    for (const Harvest &h : harvest) {
+        rep.instructions += h.instructions;
+        rep.replayPasses += h.replayDelta;
+    }
+    rep.captures = cache_.captures() - captures0;
+    rep.storeLoads = cache_.storeLoads() - loads0;
+    rep.wallMs = nowMs() - t0;
+    return rep;
+}
+
+const sig::InstrCompressor &
+suiteCompressor()
+{
+    static const sig::InstrCompressor compressor = [] {
+        InstrMixProfiler mix;
+        StudyPlan plan;
+        plan.profile({&mix});
+        Session::defaultSession().run(plan);
+        return mix.buildCompressor();
+    }();
+    return compressor;
+}
+
+PipelineConfig
+suiteConfig(sig::Encoding enc)
+{
+    PipelineConfig cfg;
+    cfg.encoding = enc;
+    cfg.compressor = suiteCompressor();
+    return cfg;
+}
+
+} // namespace sigcomp::analysis

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Session: an isolated experiment-engine instance — it owns a
+ * TraceCache (RAM + optional disk tier), a capture limit, and its
+ * parallelism — plus the fused StudyPlan executor.
+ *
+ * Before this API the engine state was a hidden process-global
+ * (TraceCache::global()), so two tenants, two tests, or two store
+ * bindings in one process stepped on each other, and every study
+ * call swept the suite's traces once more. A Session fixes both:
+ *
+ *  - **Isolation.** Each Session owns its cache, store binding,
+ *    spill budget and capture limit; any number coexist in one
+ *    process without cross-talk (per-tenant, per-test, per-store).
+ *  - **One fused replay pass.** Session::run(StudyPlan) executes
+ *    every registered study — activity, CPI, profiling, energy —
+ *    off a single batched replay of each workload trace (the
+ *    ZipLine-style touch-the-data-once discipline): each block is
+ *    materialised once and fans out to every pipeline group and
+ *    profiler sink through the existing retireBlock path. The
+ *    per-workload replay counters assert exactly one pass; results
+ *    are bit-identical to running the studies one at a time.
+ *
+ * The legacy free functions (analysis/experiments.h) are thin shims
+ * over defaultSession(), which wraps the process-wide cache.
+ */
+
+#ifndef SIGCOMP_ANALYSIS_SESSION_H_
+#define SIGCOMP_ANALYSIS_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/study_plan.h"
+#include "analysis/trace_cache.h"
+#include "common/parallel.h"
+
+namespace sigcomp::analysis
+{
+
+/** Construction-time configuration of a Session. */
+struct SessionConfig
+{
+    /**
+     * Workload-level parallelism: 0 = the shared process pool
+     * (bounded, recommended), otherwise a dedicated executor of this
+     * size (1 = serial reference).
+     */
+    unsigned threads = 0;
+    /** Persistent trace store directory; empty = RAM tiers only. */
+    std::string storeDir = {};
+    /** Soft RAM-tier cap in bytes (0 = unlimited); see TraceCache. */
+    std::size_t spillBudgetBytes = 0;
+    /**
+     * Never write segments. Only meaningful with storeDir — setting
+     * it without one is a configuration error and fatal.
+     */
+    bool readOnly = false;
+    /** Per-workload capture cap (see TraceCache::setCaptureLimit). */
+    DWord captureLimit = cpu::TraceBuffer::defaultMaxInstrs;
+};
+
+class Session
+{
+  public:
+    Session() : Session(SessionConfig{}) {}
+    explicit Session(SessionConfig config);
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * The process-wide default Session: the legacy free-function
+     * drivers execute on it, and TraceCache::global() is its cache.
+     */
+    static Session &defaultSession();
+
+    TraceCache &cache() { return cache_; }
+    const SessionConfig &config() const { return config_; }
+
+    /** This session's executor (owned, or the shared pool). */
+    ParallelExecutor &executor();
+
+    /** The workload's trace via this session's two-tier cache. */
+    TraceCache::TracePtr trace(const std::string &workload);
+
+    /** Capture/load every listed workload, fanned out. */
+    void prewarm(const std::vector<std::string> &names);
+
+    /**
+     * Register an ad-hoc program as a workload of this session
+     * (plan.workloads({name}) then runs studies over it).
+     */
+    void addWorkload(const std::string &name, isa::Program program);
+
+    /**
+     * Execute @p plan: one fused batched replay per workload feeding
+     * every registered study, assembled into a SuiteReport. Rows and
+     * totals are bit-identical to the legacy one-study-at-a-time
+     * drivers at any thread count. With profiler sinks registered
+     * the replays run sequentially in workload order (the sinks see
+     * the serial retirement stream); capture still fans out. After
+     * each pass the session write-backs newly derived SharedQuanta
+     * annexes to the attached store, so warm-store processes skip
+     * computeQuanta as well as capture.
+     */
+    SuiteReport run(const StudyPlan &plan);
+
+  private:
+    SessionConfig config_;
+    TraceCache cache_;
+    /** Only when config_.threads != 0 (else the shared pool). */
+    std::unique_ptr<ParallelExecutor> exec_;
+};
+
+/**
+ * Profile the whole suite once (on the default session) and build
+ * the funct-ranked instruction compressor (the paper's Table 3
+ * step). Process-wide and cached after the first call.
+ */
+const sig::InstrCompressor &suiteCompressor();
+
+/** Pipeline config with the suite-profiled compressor installed. */
+pipeline::PipelineConfig suiteConfig(
+    sig::Encoding enc = sig::Encoding::Ext3);
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_SESSION_H_

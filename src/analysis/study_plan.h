@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Declarative description of a suite experiment: which studies to
+ * run, over which workloads, at what parallelism. A StudyPlan is
+ * inert data — Session::run(plan) executes it with **one fused
+ * replay pass per workload trace** feeding every registered study
+ * (see analysis/session.h), so "N studies over M designs/encodings"
+ * costs one trace traversal, not N.
+ *
+ *   StudyPlan plan;
+ *   plan.cpi(pipeline::allDesigns(), analysis::suiteConfig())
+ *       .activity(sig::Encoding::Ext3)
+ *       .profile({&patterns, &mix})
+ *       .energy(power::TechParams{})
+ *       .workloads({"rawcaudio", "cjpeg"});
+ *   analysis::SuiteReport report = session.run(plan);
+ */
+
+#ifndef SIGCOMP_ANALYSIS_STUDY_PLAN_H_
+#define SIGCOMP_ANALYSIS_STUDY_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "cpu/trace.h"
+#include "pipeline/models.h"
+#include "pipeline/pipeline.h"
+#include "power/energy_model.h"
+#include "sigcomp/compressed_word.h"
+
+namespace sigcomp::analysis
+{
+
+class Session;
+
+class StudyPlan
+{
+  public:
+    /**
+     * Register an activity study (paper Tables 5/6): every workload
+     * through the serial pipeline at @p enc's granularity
+     * (Half1 -> halfword-serial, else byte-serial) with the
+     * suite-profiled compressor. Repeatable: one result per call, in
+     * call order.
+     */
+    StudyPlan &activity(sig::Encoding enc = sig::Encoding::Ext3);
+
+    /**
+     * Register a CPI study (paper Figs 4/6/8/10): every workload
+     * through each of @p designs built with @p config. Repeatable.
+     * The result carries full PipelineResults (CPI, stalls, activity,
+     * cache stats), so one registered study also serves energy and
+     * explorer consumers.
+     */
+    StudyPlan &cpi(std::vector<pipeline::Design> designs,
+                   pipeline::PipelineConfig config);
+
+    /**
+     * Register caller-owned profiler sinks (paper Tables 1-3). The
+     * sinks are shared and need not be thread-safe: a plan with
+     * profilers replays workloads sequentially in suite order, so
+     * the sinks observe exactly the serial retirement stream — in
+     * the same single pass that feeds the pipeline studies.
+     * Repeatable (appends).
+     */
+    StudyPlan &profile(std::vector<cpu::TraceSink *> sinks);
+
+    /**
+     * Register an energy study: per-workload Wattch-style energy of
+     * @p design at @p enc (suite-profiled compressor) under
+     * @p tech. Rides the same fused pass. Repeatable.
+     */
+    StudyPlan &energy(power::TechParams tech = power::TechParams{},
+                      pipeline::Design design =
+                          pipeline::Design::ByteSerial,
+                      sig::Encoding enc = sig::Encoding::Ext3);
+
+    /**
+     * Restrict the plan to these workloads, in this order (default:
+     * the full suite in canonical order). Names must be suite
+     * workloads or programs registered on the executing Session.
+     */
+    StudyPlan &workloads(std::vector<std::string> names);
+
+    /**
+     * Override the executing session's thread count for this run
+     * (0 = shared pool, 1 = serial). Replay-pass results are
+     * independent of the value; with profilers registered the replay
+     * itself is always sequential (capture still fans out).
+     */
+    StudyPlan &threads(unsigned n);
+
+    /**
+     * Drop each workload's cached trace right after its fused pass,
+     * so peak memory tails off at one workload's footprint.
+     */
+    StudyPlan &evictAfterReplay(bool on = true);
+
+    /** True when any study (or profiler sink) is registered. */
+    bool hasStudies() const;
+
+    /** True when any study needs the suite-profiled compressor. */
+    bool needsSuiteConfig() const
+    {
+        return !activity_.empty() || !energy_.empty();
+    }
+
+  private:
+    friend class Session;
+
+    struct CpiSpec
+    {
+        std::vector<pipeline::Design> designs;
+        pipeline::PipelineConfig config;
+    };
+    struct EnergySpec
+    {
+        power::TechParams tech;
+        pipeline::Design design;
+        sig::Encoding enc;
+    };
+
+    std::vector<sig::Encoding> activity_;
+    std::vector<CpiSpec> cpi_;
+    std::vector<EnergySpec> energy_;
+    std::vector<cpu::TraceSink *> sinks_;
+    std::vector<std::string> workloads_;
+    unsigned threads_ = 0;
+    bool hasThreads_ = false;
+    bool evictAfterReplay_ = false;
+};
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_STUDY_PLAN_H_

@@ -1,19 +1,28 @@
 #include "analysis/trace_cache.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/logging.h"
-#include "workloads/workload.h"
 
 namespace sigcomp::analysis
 {
 
-TraceCache &
-TraceCache::global()
+// TraceCache::global() is defined in session.cpp: it is the default
+// Session's cache, so the legacy free functions and the Session API
+// share one process-wide instance.
+
+void
+TraceCache::registerProgram(const std::string &workload,
+                            isa::Program program)
 {
-    static TraceCache cache;
-    return cache;
+    std::lock_guard<std::mutex> lock(mu_);
+    programs_.insert_or_assign(workload, std::move(program));
+    // A cached trace of the old program must not satisfy gets of the
+    // new one.
+    entries_.erase(workload);
 }
 
 TraceCache::TracePtr
@@ -23,6 +32,7 @@ TraceCache::get(const std::string &workload)
     std::promise<TracePtr> promise;
     bool capture_here = false;
     std::shared_ptr<store::TraceStore> store;
+    std::optional<workloads::Workload> registered;
 
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -31,7 +41,18 @@ TraceCache::get(const std::string &workload)
             future = promise.get_future().share();
             entries_.emplace(workload, Entry{future, ++useTick_});
             capture_here = true;
-            store = store_;
+            // Registered ad-hoc programs are strictly session-local:
+            // they never touch the disk tier, so a custom program
+            // shadowing a suite workload's name cannot clobber (or
+            // be satisfied by) that workload's shared segment. The
+            // program is resolved in the SAME critical section as
+            // the store decision, so a concurrent registerProgram()
+            // can never pair the ad-hoc program with the store.
+            auto pit = programs_.find(workload);
+            if (pit != programs_.end())
+                registered = workloads::Workload{workload, pit->second};
+            else
+                store = store_;
         } else {
             it->second.lastUse = ++useTick_;
             future = it->second.future;
@@ -45,7 +66,8 @@ TraceCache::get(const std::string &workload)
             const bool capped =
                 limit != cpu::TraceBuffer::defaultMaxInstrs;
             const workloads::Workload w =
-                workloads::Suite::build(workload);
+                registered ? std::move(*registered)
+                           : workloads::Suite::build(workload);
 
             // Disk tier first: a hit skips functional capture. Any
             // load failure — missing, stale, corrupt — silently
@@ -207,13 +229,66 @@ TraceCache::enforceBudget(const std::string &keep)
                 it->second.lastUse < victim->second.lastUse)
                 victim = it;
         }
-        if (victim == entries_.end())
-            return; // nothing spillable left: budget degrades softly
+        if (victim == entries_.end()) {
+            // Nothing spillable left, yet still over budget: the
+            // budget is smaller than the one trace just touched. The
+            // defined degradation is most-recent-resident — say so
+            // once instead of silently thrashing.
+            if (!budgetWarned_ && total > spillBudget_) {
+                budgetWarned_ = true;
+                SC_WARN("trace cache: spill budget (", spillBudget_,
+                        " bytes) is smaller than a single trace (",
+                        total, " bytes resident); degrading to one "
+                        "most-recently-used workload in RAM");
+            }
+            return;
+        }
         const std::size_t bytes =
             victim->second.future.get()->memoryBytes();
         total -= std::min(bytes, total);
         entries_.erase(victim);
+        spills_.fetch_add(1);
     }
+}
+
+void
+TraceCache::persistAnnexes(const std::string &workload,
+                           const cpu::TraceBuffer &trace)
+{
+    std::shared_ptr<store::TraceStore> store;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Session-local registered programs never persist (see get()).
+        if (programs_.find(workload) != programs_.end())
+            return;
+        store = store_;
+    }
+    if (store == nullptr || store->readOnly())
+        return;
+    // Compare exactly what a save would persist (canonical records,
+    // capped), so an ineligible record can't force no-op re-saves.
+    const std::vector<std::string> keys =
+        store::TraceStore::persistableAnnexKeys(trace);
+    if (keys.empty())
+        return;
+    // Only rewrite the segment when it is actually missing a record;
+    // repeated runs of the same plan must not keep re-encoding it.
+    const std::vector<std::string> disk = store->annexKeys(workload);
+    bool missing = false;
+    for (const std::string &key : keys) {
+        if (std::find(disk.begin(), disk.end(), key) == disk.end()) {
+            missing = true;
+            break;
+        }
+    }
+    if (!missing)
+        return;
+    std::string why;
+    if (store->save(workload, trace, limit_.load(), &why))
+        storeSaves_.fetch_add(1);
+    else
+        SC_WARN("trace store: cannot persist annexes for '", workload,
+                "': ", why);
 }
 
 void

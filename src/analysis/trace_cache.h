@@ -43,6 +43,7 @@
 #include "common/parallel.h"
 #include "cpu/trace_buffer.h"
 #include "store/trace_store.h"
+#include "workloads/workload.h"
 
 namespace sigcomp::analysis
 {
@@ -73,16 +74,33 @@ class TraceCache
     TraceCache(const TraceCache &) = delete;
     TraceCache &operator=(const TraceCache &) = delete;
 
-    /** The shared process-wide instance the experiment drivers use. */
+    /**
+     * The shared process-wide instance the legacy free-function
+     * drivers use — it is Session::defaultSession()'s cache (defined
+     * in session.cpp). Prefer owning a Session (and with it a
+     * private TraceCache) for isolated work.
+     */
     static TraceCache &global();
 
     /**
      * The workload's trace: from RAM if hot, else loaded from the
      * attached store, else captured on first touch (and written
-     * through to the store). @p workload must be a name
-     * workloads::Suite::build() accepts.
+     * through to the store). @p workload must be a name registered
+     * via registerProgram() or one workloads::Suite::build() accepts.
      */
     TracePtr get(const std::string &workload);
+
+    /**
+     * Register an ad-hoc program under @p workload, shadowing any
+     * suite workload of that name for this cache only (per-session
+     * custom kernels). Drops a cached trace of the same name so the
+     * next get() captures the new program. Registered programs are
+     * strictly RAM-resident: the disk tier is never read for them
+     * nor written with them, so shadowing a suite name cannot
+     * clobber that workload's shared store segment.
+     */
+    void registerProgram(const std::string &workload,
+                         isa::Program program);
 
     /**
      * Capture every listed workload that is not already cached,
@@ -128,6 +146,26 @@ class TraceCache
     /** Segments written through to the disk tier. */
     std::uint64_t storeSaves() const { return storeSaves_.load(); }
 
+    /**
+     * RAM-tier entries dropped by the spill budget. A budget smaller
+     * than a single trace is well-defined: it degrades to keeping
+     * only the most recently touched trace resident (warned once per
+     * cache), and every other get() reloads from the store — or,
+     * with no store attached, recaptures.
+     */
+    std::uint64_t spills() const { return spills_.load(); }
+
+    /**
+     * Persist @p workload's derived "quanta:" annexes (the
+     * SharedQuanta records replays published on @p trace) to the
+     * attached store by re-saving its segment in the annex-bearing
+     * format, so later *processes* skip computeQuanta too. No-op
+     * without a writable store or when the segment already carries
+     * every record. Session::run calls this after each fused pass.
+     */
+    void persistAnnexes(const std::string &workload,
+                        const cpu::TraceBuffer &trace);
+
     /** Total heap footprint of the cached traces, in bytes. */
     std::size_t memoryBytes() const;
 
@@ -157,12 +195,15 @@ class TraceCache
 
     mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
+    std::map<std::string, isa::Program> programs_;
     std::shared_ptr<store::TraceStore> store_;
     std::size_t spillBudget_ = 0;
     std::uint64_t useTick_ = 0;
+    bool budgetWarned_ = false;
     std::atomic<std::uint64_t> captures_{0};
     std::atomic<std::uint64_t> storeLoads_{0};
     std::atomic<std::uint64_t> storeSaves_{0};
+    std::atomic<std::uint64_t> spills_{0};
     std::atomic<DWord> limit_{cpu::TraceBuffer::defaultMaxInstrs};
 };
 

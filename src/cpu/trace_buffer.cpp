@@ -1,5 +1,6 @@
 #include "cpu/trace_buffer.h"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 
@@ -16,6 +17,8 @@ struct TraceBuffer::AnnexStore
     std::mutex mu;
     std::map<std::string, std::pair<std::shared_ptr<void>, std::size_t>>
         entries;
+    /** TraceView::replay() passes over the owning buffer. */
+    std::atomic<std::uint64_t> replays{0};
 };
 
 std::shared_ptr<void>
@@ -36,6 +39,24 @@ TraceBuffer::annexStoreIfAbsent(const std::string &key,
                   .emplace(key, std::make_pair(std::move(value), bytes))
                   .first;
     return it->second.first;
+}
+
+std::vector<std::string>
+TraceBuffer::annexKeys(const std::string &prefix) const
+{
+    std::vector<std::string> keys;
+    std::lock_guard<std::mutex> lock(annexes_->mu);
+    for (const auto &[key, entry] : annexes_->entries) {
+        if (key.compare(0, prefix.size(), prefix) == 0)
+            keys.push_back(key);
+    }
+    return keys;
+}
+
+std::uint64_t
+TraceBuffer::replayCount() const
+{
+    return annexes_->replays.load();
 }
 
 TraceBuffer
@@ -157,6 +178,7 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
 {
     SC_ASSERT(block_size > 0, "replay block size must be positive");
     const TraceBuffer &b = *buf_;
+    b.annexes_->replays.fetch_add(1);
     const std::size_t n = b.size();
     std::vector<DynInstr> block(std::min(block_size, n));
 

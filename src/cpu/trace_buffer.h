@@ -120,6 +120,21 @@ class TraceBuffer
                                              std::shared_ptr<void> value,
                                              std::size_t bytes) const;
 
+    /**
+     * All annex keys starting with @p prefix, sorted. Thread-safe.
+     * The store tier uses this to find the "quanta:" records worth
+     * persisting; Session tests use it to observe warm-loaded ones.
+     */
+    std::vector<std::string> annexKeys(const std::string &prefix) const;
+
+    /**
+     * Number of TraceView::replay() passes made over this buffer.
+     * This is the accounting behind the fused-plan acceptance
+     * property: Session::run() with N studies registered must leave
+     * this at exactly one per fresh trace, not N.
+     */
+    std::uint64_t replayCount() const;
+
   private:
     friend class TraceView;
     /** Store-tier codec: serializes/rebuilds the private columns. */

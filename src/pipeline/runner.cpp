@@ -179,18 +179,39 @@ replayPipelines(const cpu::TraceBuffer &trace,
     // is cached on the trace as an annex: a later replay of the same
     // design — e.g. the activity study's byte-serial pipeline after a
     // CPI study over all designs — adopts the memoised result and
-    // skips its replay entirely. Only fresh, unobserved pipelines
-    // participate (an already-fed pipeline accumulates; an observer
-    // makes the replay side-effectful).
+    // skips its replay entirely. The same purity dedupes *within*
+    // one call: when a fused study plan registers the same
+    // (design, configuration) twice — a CPI study over all designs
+    // next to an activity or energy study — only the first instance
+    // replays and every duplicate adopts its result afterwards.
+    // Only fresh, unobserved pipelines participate (an already-fed
+    // pipeline accumulates; an observer makes the replay
+    // side-effectful).
     std::vector<InOrderPipeline *> running;
     running.reserve(pipes.size());
+    std::vector<std::pair<InOrderPipeline *, InOrderPipeline *>>
+        followers; // (duplicate, its running leader)
+    std::vector<std::pair<std::string, InOrderPipeline *>> leaders;
     for (InOrderPipeline *p : pipes) {
         if (p->planIsPure() && p->pristine() && !p->observed()) {
+            const std::string key = resultKey(*p);
             if (auto memo = std::static_pointer_cast<const PipelineResult>(
-                    trace.annexGet(resultKey(*p)))) {
+                    trace.annexGet(key))) {
                 p->adoptResult(*memo);
                 continue;
             }
+            InOrderPipeline *leader = nullptr;
+            for (const auto &[lkey, lp] : leaders) {
+                if (lkey == key) {
+                    leader = lp;
+                    break;
+                }
+            }
+            if (leader != nullptr) {
+                followers.push_back({p, leader});
+                continue;
+            }
+            leaders.push_back({key, p});
         }
         running.push_back(p);
     }
@@ -252,6 +273,11 @@ replayPipelines(const cpu::TraceBuffer &trace,
                                  std::static_pointer_cast<void>(memo),
                                  bytes);
     }
+
+    // Duplicates adopt their leader's finalized result — identical
+    // by purity, without a second consumer pass.
+    for (auto &[follower, leader] : followers)
+        follower->adoptResult(leader->result());
 
     // Self-check/limit failures were already fatal at capture time
     // (deliberately truncated traces excepted), so the recorded

@@ -67,6 +67,26 @@ buildEnergyReport(const pipeline::ActivityTotals &activity,
     return rep;
 }
 
+void
+writeEnergyReportJson(std::FILE *f, const EnergyReport &rep)
+{
+    std::fprintf(f,
+                 "\"compressed_pj\": %.2f, \"baseline_pj\": %.2f, "
+                 "\"saving_percent\": %.2f, \"structures\": [",
+                 rep.totalCompressedPj, rep.totalBaselinePj,
+                 rep.savingPercent());
+    for (std::size_t s = 0; s < rep.structures.size(); ++s) {
+        const StructureEnergy &se = rep.structures[s];
+        std::fprintf(f,
+                     "%s{\"structure\": \"%s\", \"compressed_pj\": "
+                     "%.2f, \"baseline_pj\": %.2f, "
+                     "\"saving_percent\": %.2f}",
+                     s ? ", " : "", se.structure.c_str(),
+                     se.compressedPj, se.baselinePj, se.savingPercent());
+    }
+    std::fprintf(f, "]");
+}
+
 double
 bankSplitEnergyRatio(const TechParams &tech, unsigned rows,
                      unsigned bits_per_row, unsigned banks)

@@ -14,6 +14,8 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "cpu/trace_buffer.h"
+#include "pipeline/pipeline.h"
 #include "sigcomp/sig_kernels.h"
 #include "store/codec.h"
 
@@ -208,7 +210,23 @@ struct Segment
         std::size_t payloadOffset = 0;
     };
     std::vector<Column> columns;
+
+    /** Derived-record annexes (version >= 3). */
+    struct Annex
+    {
+        std::string key;
+        std::uint64_t rawBytes = 0;
+        std::uint64_t encBytes = 0;
+        std::uint32_t payloadCrc = 0;
+        std::size_t payloadOffset = 0;
+    };
+    std::vector<Annex> annexes;
 };
+
+/** Sanity cap on persisted annex records per segment. */
+constexpr std::uint32_t kMaxAnnexes = 256;
+/** Sanity cap on one annex key's length. */
+constexpr std::uint32_t kMaxAnnexKey = 4096;
 
 /**
  * Parse and CRC-check header + directory (not payload contents).
@@ -269,6 +287,48 @@ parseSegment(const std::uint8_t *bytes, std::size_t size, Segment &seg,
         if (col.encBytes > size - offset)
             return fail(why, "column payload overruns file");
         offset += col.encBytes;
+    }
+
+    // Annex section (version >= 3): count, variable-length entries,
+    // directory CRC, then the annex payloads.
+    if (version >= 3) {
+        const std::size_t dir_start = offset;
+        if (size - offset < 8)
+            return fail(why, "annex directory truncated");
+        const std::uint32_t count = getU32(bytes + offset);
+        offset += 4;
+        if (count > kMaxAnnexes)
+            return fail(why, "annex count implausible");
+        seg.annexes.resize(count);
+        for (std::uint32_t a = 0; a < count; ++a) {
+            Segment::Annex &ax = seg.annexes[a];
+            if (size - offset < 4)
+                return fail(why, "annex directory truncated");
+            const std::uint32_t key_len = getU32(bytes + offset);
+            offset += 4;
+            if (key_len == 0 || key_len > kMaxAnnexKey ||
+                size - offset < key_len + 20)
+                return fail(why, "annex directory truncated");
+            ax.key.assign(reinterpret_cast<const char *>(bytes + offset),
+                          key_len);
+            offset += key_len;
+            ax.rawBytes = getU64(bytes + offset);
+            ax.encBytes = getU64(bytes + offset + 8);
+            ax.payloadCrc = getU32(bytes + offset + 16);
+            offset += 20;
+        }
+        if (size - offset < 4)
+            return fail(why, "annex directory truncated");
+        if (crc32(0, bytes + dir_start, offset - dir_start) !=
+            getU32(bytes + offset))
+            return fail(why, "annex directory CRC mismatch");
+        offset += 4;
+        for (Segment::Annex &ax : seg.annexes) {
+            ax.payloadOffset = offset;
+            if (ax.encBytes > size - offset)
+                return fail(why, "annex payload overruns file");
+            offset += ax.encBytes;
+        }
     }
     if (offset != size)
         return fail(why, "trailing bytes after payloads");
@@ -356,6 +416,237 @@ checkTakenPayload(const std::uint8_t *p, std::size_t len,
     return true;
 }
 
+// ---- SharedQuanta annex codec ----------------------------------------
+//
+// A trace's "quanta:<key>" annexes (pipeline::SharedQuanta — the
+// design-independent per-instruction replay records, see
+// pipeline/pipeline.h) are pure derived data, expensive to recompute
+// (computeQuanta is the heaviest half of a replay), and canonical
+// per (trace, encoding, memory geometry, compressor), so version-3
+// segments persist them. Layout of one annex payload:
+//
+//   u64 instruction count (must match the segment header)
+//   u64 block-delta count (must be ceil(n / TraceView block size))
+//   six planes of n u32 values, each framed as u64 encoded length +
+//     encodeColumn32 stream — the 24-byte Packed record split into
+//     words so the significance codec sees its natural skew:
+//       w0 fetchBytes|srcChunks<<8|numSrcRegs<<16|exChunks<<24
+//       w1 exWorkBytes|memChunks<<8|memAccessBytes<<16|resChunks<<24
+//       w2 flags|pcChangedBlocks<<8|pcRippleExtra<<16
+//       w3 ifExtra   w4 memExtra   w5 latchBase
+//   per block delta: 16 raw u64 (8 activity stages x {compressed,
+//     baseline}; the latch pair is zero by construction)
+//   three CacheStats (l1i, l1d, l2): 6 raw u64 each
+//
+// Decoding validates every count against the segment header, so a
+// damaged annex fails the load softly like any other column damage.
+
+namespace
+{
+
+using pipeline::SharedQuanta;
+
+/** Block-delta count a canonical record must have for @p n instrs. */
+std::size_t
+canonicalBlocks(std::size_t n)
+{
+    return n == 0 ? 0
+                  : (n + cpu::TraceView::defaultBlockSize - 1) /
+                        cpu::TraceView::defaultBlockSize;
+}
+
+void
+putStats(std::vector<std::uint8_t> &out, const mem::CacheStats &s)
+{
+    putU64(out, s.reads);
+    putU64(out, s.writes);
+    putU64(out, s.readMisses);
+    putU64(out, s.writeMisses);
+    putU64(out, s.fills);
+    putU64(out, s.writebacks);
+}
+
+void
+getStats(const std::uint8_t *p, mem::CacheStats &s)
+{
+    s.reads = getU64(p);
+    s.writes = getU64(p + 8);
+    s.readMisses = getU64(p + 16);
+    s.writeMisses = getU64(p + 24);
+    s.fills = getU64(p + 32);
+    s.writebacks = getU64(p + 40);
+}
+
+/**
+ * The "quanta:" annex keys of @p b that a save would persist:
+ * canonical records only (per-instruction coverage and TraceView
+ * block structure), capped at kMaxAnnexes. The single source of
+ * truth shared by serialize() and persistableAnnexKeys(), so the
+ * cache's should-I-re-save comparison can never disagree with what
+ * a save would actually write.
+ */
+std::vector<std::string>
+eligibleQuantaKeys(const cpu::TraceBuffer &b)
+{
+    const std::size_t n = b.size();
+    std::vector<std::string> keys;
+    for (const std::string &key : b.annexKeys("quanta:")) {
+        const auto rec = std::static_pointer_cast<const SharedQuanta>(
+            b.annexGet(key));
+        if (rec == nullptr || rec->q.size() != n ||
+            rec->blockDelta.size() != canonicalBlocks(n))
+            continue;
+        keys.push_back(key);
+        if (keys.size() == kMaxAnnexes)
+            break;
+    }
+    return keys;
+}
+
+std::vector<std::uint8_t>
+encodeQuanta(const SharedQuanta &rec)
+{
+    const std::size_t n = rec.q.size();
+    std::vector<std::uint8_t> out;
+    putU64(out, n);
+    putU64(out, rec.blockDelta.size());
+
+    std::vector<std::uint32_t> plane(n);
+    std::vector<std::uint8_t> enc;
+    for (unsigned w = 0; w < 6; ++w) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const SharedQuanta::Packed &p = rec.q[i];
+            switch (w) {
+            case 0:
+                plane[i] = static_cast<std::uint32_t>(p.fetchBytes) |
+                           (static_cast<std::uint32_t>(p.srcChunks) << 8) |
+                           (static_cast<std::uint32_t>(p.numSrcRegs)
+                            << 16) |
+                           (static_cast<std::uint32_t>(p.exChunks) << 24);
+                break;
+            case 1:
+                plane[i] =
+                    static_cast<std::uint32_t>(p.exWorkBytes) |
+                    (static_cast<std::uint32_t>(p.memChunks) << 8) |
+                    (static_cast<std::uint32_t>(p.memAccessBytes) << 16) |
+                    (static_cast<std::uint32_t>(p.resChunks) << 24);
+                break;
+            case 2:
+                plane[i] =
+                    static_cast<std::uint32_t>(p.flags) |
+                    (static_cast<std::uint32_t>(p.pcChangedBlocks) << 8) |
+                    (static_cast<std::uint32_t>(p.pcRippleExtra) << 16);
+                break;
+            case 3: plane[i] = p.ifExtra; break;
+            case 4: plane[i] = p.memExtra; break;
+            default: plane[i] = p.latchBase; break;
+            }
+        }
+        enc.clear();
+        encodeColumn32(plane.data(), n, enc);
+        putU64(out, enc.size());
+        out.insert(out.end(), enc.begin(), enc.end());
+    }
+
+    for (const pipeline::ActivityTotals &a : rec.blockDelta) {
+        const pipeline::BitPair *pairs[] = {&a.fetch,  &a.rfRead,
+                                            &a.rfWrite, &a.alu,
+                                            &a.dcData, &a.dcTag,
+                                            &a.pcInc,  &a.latch};
+        for (const pipeline::BitPair *bp : pairs) {
+            putU64(out, bp->compressed);
+            putU64(out, bp->baseline);
+        }
+    }
+    putStats(out, rec.l1i);
+    putStats(out, rec.l1d);
+    putStats(out, rec.l2);
+    return out;
+}
+
+bool
+decodeQuanta(const std::uint8_t *bytes, std::size_t len, std::size_t n,
+             std::shared_ptr<SharedQuanta> &out, std::string *why)
+{
+    std::size_t off = 0;
+    auto need = [&](std::size_t k) { return len - off >= k; };
+    if (!need(16))
+        return fail(why, "quanta annex: truncated header");
+    if (getU64(bytes) != n)
+        return fail(why, "quanta annex: instruction count mismatch");
+    const std::uint64_t blocks = getU64(bytes + 8);
+    if (blocks != canonicalBlocks(n))
+        return fail(why, "quanta annex: non-canonical block count");
+    off = 16;
+
+    auto rec = std::make_shared<SharedQuanta>();
+    rec->q.resize(n);
+    std::vector<std::uint32_t> plane;
+    for (unsigned w = 0; w < 6; ++w) {
+        if (!need(8))
+            return fail(why, "quanta annex: truncated plane");
+        const std::uint64_t enc_len = getU64(bytes + off);
+        off += 8;
+        if (!need(enc_len))
+            return fail(why, "quanta annex: plane overruns payload");
+        if (!decodeColumn32(bytes + off, enc_len, n, plane))
+            return fail(why, "quanta annex: malformed plane stream");
+        off += enc_len;
+        for (std::size_t i = 0; i < n; ++i) {
+            SharedQuanta::Packed &p = rec->q[i];
+            const std::uint32_t v = plane[i];
+            switch (w) {
+            case 0:
+                p.fetchBytes = static_cast<std::uint8_t>(v);
+                p.srcChunks = static_cast<std::uint8_t>(v >> 8);
+                p.numSrcRegs = static_cast<std::uint8_t>(v >> 16);
+                p.exChunks = static_cast<std::uint8_t>(v >> 24);
+                break;
+            case 1:
+                p.exWorkBytes = static_cast<std::uint8_t>(v);
+                p.memChunks = static_cast<std::uint8_t>(v >> 8);
+                p.memAccessBytes = static_cast<std::uint8_t>(v >> 16);
+                p.resChunks = static_cast<std::uint8_t>(v >> 24);
+                break;
+            case 2:
+                if ((v >> 24) != 0)
+                    return fail(why, "quanta annex: flag plane garbage");
+                p.flags = static_cast<std::uint8_t>(v);
+                p.pcChangedBlocks = static_cast<std::uint8_t>(v >> 8);
+                p.pcRippleExtra = static_cast<std::uint8_t>(v >> 16);
+                p.pad = 0;
+                break;
+            case 3: p.ifExtra = v; break;
+            case 4: p.memExtra = v; break;
+            default: p.latchBase = v; break;
+            }
+        }
+    }
+
+    const std::size_t tail = blocks * 16 * 8 + 3 * 6 * 8;
+    if (len - off != tail)
+        return fail(why, "quanta annex: size mismatch");
+    rec->blockDelta.resize(blocks);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        pipeline::ActivityTotals &a = rec->blockDelta[b];
+        pipeline::BitPair *pairs[] = {&a.fetch,  &a.rfRead, &a.rfWrite,
+                                      &a.alu,    &a.dcData, &a.dcTag,
+                                      &a.pcInc,  &a.latch};
+        for (pipeline::BitPair *bp : pairs) {
+            bp->compressed = getU64(bytes + off);
+            bp->baseline = getU64(bytes + off + 8);
+            off += 16;
+        }
+    }
+    getStats(bytes + off, rec->l1i);
+    getStats(bytes + off + 48, rec->l1d);
+    getStats(bytes + off + 96, rec->l2);
+    out = std::move(rec);
+    return true;
+}
+
+} // namespace
+
 } // namespace
 
 /**
@@ -412,6 +703,28 @@ class TraceSerializer
         packNibbles(mem_tags, payloads[ColSigTags]);
         raw_bytes[ColSigTags] = n + mem_tags.size();
 
+        // Derived SharedQuanta records published on the buffer by
+        // replays: persist every canonical one, so warm-store
+        // processes skip computeQuanta. A buffer that has none (the
+        // capture-time write-through) serializes as the annex-less
+        // version-2 layout, byte-identical to the previous format.
+        struct AnnexPayload
+        {
+            std::string key;
+            std::uint64_t rawBytes = 0;
+            std::vector<std::uint8_t> bytes;
+        };
+        std::vector<AnnexPayload> annexes;
+        for (const std::string &key : eligibleQuantaKeys(b)) {
+            const auto rec = std::static_pointer_cast<const SharedQuanta>(
+                b.annexGet(key));
+            if (rec == nullptr)
+                continue; // raced away; next save picks it up
+            annexes.push_back({key, rec->bytes(), encodeQuanta(*rec)});
+        }
+        const std::uint32_t version =
+            annexes.empty() ? formatVersionNoAnnex : formatVersion;
+
         std::vector<std::uint8_t> out;
         std::size_t total_payload = 0;
         for (const auto &payload : payloads)
@@ -421,7 +734,7 @@ class TraceSerializer
 
         // -- header ---------------------------------------------------
         putU32(out, kMagic);
-        putU32(out, formatVersion);
+        putU32(out, version);
         putU64(out, n);
         putU64(out, b.memAddr_.size());
         putU64(out, capture_limit);
@@ -450,6 +763,23 @@ class TraceSerializer
         // -- payloads --------------------------------------------------
         for (const auto &payload : payloads)
             out.insert(out.end(), payload.begin(), payload.end());
+
+        // -- annex section (version 3 only) ----------------------------
+        if (!annexes.empty()) {
+            const std::size_t dir_start = out.size();
+            putU32(out, static_cast<std::uint32_t>(annexes.size()));
+            for (const AnnexPayload &ax : annexes) {
+                putU32(out, static_cast<std::uint32_t>(ax.key.size()));
+                out.insert(out.end(), ax.key.begin(), ax.key.end());
+                putU64(out, ax.rawBytes);
+                putU64(out, ax.bytes.size());
+                putU32(out, crc32(0, ax.bytes.data(), ax.bytes.size()));
+            }
+            putU32(out, crc32(0, out.data() + dir_start,
+                              out.size() - dir_start));
+            for (const AnnexPayload &ax : annexes)
+                out.insert(out.end(), ax.bytes.begin(), ax.bytes.end());
+        }
         return out;
     }
 
@@ -622,6 +952,28 @@ class TraceSerializer
             buf->result_.reason != cpu::StopReason::InstrLimit) {
             fail(why, "segment records a failed capture");
             return nullptr;
+        }
+
+        // Persisted SharedQuanta records (version >= 3): validated
+        // like any column — CRC plus full structural decode — and
+        // attached under their annex keys, so the first replay of a
+        // matching configuration runs every pipeline as a
+        // shared-quanta consumer instead of recomputing the front
+        // half. Damage fails the whole load softly (recapture).
+        for (const Segment::Annex &ax : seg.annexes) {
+            const std::uint8_t *p = bytes + ax.payloadOffset;
+            const std::size_t len =
+                static_cast<std::size_t>(ax.encBytes);
+            if (crc32(0, p, len) != ax.payloadCrc) {
+                fail(why, "annex '" + ax.key + "': payload CRC");
+                return nullptr;
+            }
+            std::shared_ptr<SharedQuanta> rec;
+            if (!decodeQuanta(p, len, n, rec, why))
+                return nullptr;
+            buf->annexStoreIfAbsent(
+                ax.key, std::static_pointer_cast<void>(rec),
+                rec->bytes());
         }
         return buf;
     }
@@ -846,8 +1198,12 @@ TraceStore::load(const std::string &workload, const isa::Program &program,
     }
     auto buf = TraceSerializer::deserialize(file.data(), seg, program,
                                             why);
+    // Only version 1 needs the write-through upgrade re-save: a
+    // version-2 segment IS the current annex-less layout (annexes
+    // are added separately by TraceCache::persistAnnexes when a
+    // study first derives them).
     if (buf != nullptr && legacy != nullptr)
-        *legacy = seg.version != formatVersion;
+        *legacy = seg.version < formatVersionNoAnnex;
     return buf;
 }
 
@@ -942,7 +1298,31 @@ TraceStore::info(const std::string &workload, SegmentInfo &out,
         out.columns.push_back(
             {columnName(col.id), col.rawBytes, col.encBytes});
     }
+    for (const Segment::Annex &ax : seg.annexes)
+        out.annexes.push_back({ax.key, ax.rawBytes, ax.encBytes});
     return true;
+}
+
+std::vector<std::string>
+TraceStore::persistableAnnexKeys(const cpu::TraceBuffer &trace)
+{
+    return eligibleQuantaKeys(trace);
+}
+
+std::vector<std::string>
+TraceStore::annexKeys(const std::string &workload) const
+{
+    const MappedFile file(segmentPath(workload));
+    if (!file.ok())
+        return {};
+    Segment seg;
+    if (!parseSegment(file.data(), file.size(), seg, nullptr))
+        return {};
+    std::vector<std::string> keys;
+    keys.reserve(seg.annexes.size());
+    for (const Segment::Annex &ax : seg.annexes)
+        keys.push_back(ax.key);
+    return keys;
 }
 
 bool
@@ -988,6 +1368,17 @@ TraceStore::verify(const std::string &workload,
         return false;
     if (len != (n + 1) / 2 + (mem_ops + 1) / 2)
         return fail(why, "sigTags: size mismatch");
+    // Annex payloads decode without a program: full CRC + structural
+    // check, same strictness as the columns.
+    for (const Segment::Annex &ax : seg.annexes) {
+        const std::uint8_t *ap = bytes + ax.payloadOffset;
+        const std::size_t alen = static_cast<std::size_t>(ax.encBytes);
+        if (crc32(0, ap, alen) != ax.payloadCrc)
+            return fail(why, "annex '" + ax.key + "': payload CRC");
+        std::shared_ptr<pipeline::SharedQuanta> rec;
+        if (!decodeQuanta(ap, alen, n, rec, why))
+            return false;
+    }
     return true;
 }
 

@@ -10,8 +10,8 @@
  * store/codec.h, so a cold process loads and replays instead of
  * recapturing.
  *
- * Segment file format (version 2, all integers little-endian) — see
- * README "Persistent trace store" for the full layout:
+ * Segment file format (versions 2/3, all integers little-endian) —
+ * see README "Persistent trace store" for the full layout:
  *
  *   header (64 bytes, CRC-guarded):
  *     magic 'SCTR', format version, instruction count, memory-op
@@ -20,7 +20,10 @@
  *     reason/exit code, lastNextPc, column count, header CRC;
  *   column directory (one 32-byte entry per column + CRC):
  *     column id, raw (decoded) bytes, encoded bytes, payload CRC;
- *   column payloads, in directory order.
+ *   column payloads, in directory order;
+ *   annex section (version 3 only, CRC-guarded directory): the
+ *     trace's derived SharedQuanta records keyed by quanta key, so
+ *     warm loads skip computeQuanta (see formatVersion below).
  *
  * Six columns are stored (decode index, result, taken bits, memory
  * address/data, significance sidecar): the operand columns are
@@ -71,14 +74,29 @@ namespace sigcomp::store
 {
 
 /**
- * Current segment format. Bumped to 2 when the capture-time
- * significance sidecar column and the control-only taken bit plane
- * landed. Version-1 segments (no sidecar column, raw taken plane)
- * still load — the sidecar is rebuilt with the batch kernels — and
- * are transparently re-saved in the current format by the cache's
+ * Newest segment format load() accepts. Version 2 added the
+ * capture-time significance sidecar column and the control-only
+ * taken bit plane; version 3 appends an **annex section** after the
+ * column payloads carrying the trace's derived SharedQuanta records
+ * ("quanta:<key>" annexes, see pipeline/pipeline.h), so a warm-store
+ * process skips computeQuanta as well as functional capture.
+ *
+ * The version written reflects the content: a segment with no
+ * annexes to persist is written as version 2 (byte-identical to the
+ * previous format), one with annexes as version 3 — so
+ * annex-oblivious consumers of existing stores see no change, and
+ * Session::run upgrades segments in place the first time it derives
+ * quanta for them (TraceCache::persistAnnexes).
+ *
+ * Version-1 segments (no sidecar column, raw taken plane) still
+ * load — the sidecar is rebuilt with the batch kernels — and are
+ * transparently re-saved in the current format by the cache's
  * write-through upgrade (see TraceCache). Anything else fails soft.
  */
-constexpr std::uint32_t formatVersion = 2;
+constexpr std::uint32_t formatVersion = 3;
+
+/** Format written for segments with no annex section. */
+constexpr std::uint32_t formatVersionNoAnnex = 2;
 
 /** Oldest format load() still accepts (sidecar-less segments). */
 constexpr std::uint32_t formatVersionLegacy = 1;
@@ -110,6 +128,12 @@ struct SegmentInfo
     std::uint64_t captureLimit = 0;
     bool truncated = false;
     std::vector<ColumnStat> columns;
+    /**
+     * Persisted derived-record annexes (version >= 3), one entry per
+     * record, named by annex key. Excluded from rawBytes()/
+     * encodedBytes(): those report the trace columns proper.
+     */
+    std::vector<ColumnStat> annexes;
 
     std::uint64_t rawBytes() const;
     std::uint64_t encodedBytes() const;
@@ -183,6 +207,24 @@ class TraceStore
     bool verify(const std::string &workload,
                 const isa::Program *program = nullptr,
                 std::string *why = nullptr) const;
+
+    /**
+     * Annex keys stored in @p workload's segment (empty for missing,
+     * damaged, or pre-annex segments). Cheap: header + directories
+     * only, no payload decode. TraceCache::persistAnnexes uses this
+     * to decide whether a re-save would add anything.
+     */
+    std::vector<std::string> annexKeys(const std::string &workload) const;
+
+    /**
+     * The "quanta:" annex keys of @p trace that save() would
+     * actually persist — canonical records only, capped at the
+     * format's per-segment annex limit. persistAnnexes compares
+     * THESE against annexKeys(), so an ineligible record can never
+     * cause endless no-op re-saves.
+     */
+    static std::vector<std::string>
+    persistableAnnexKeys(const cpu::TraceBuffer &trace);
 
     /** Segment path for @p workload (exists or not). */
     std::string segmentPath(const std::string &workload) const;

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * Session + StudyPlan API tests: the fused plan executes exactly one
+ * replay pass per workload trace while staying bit-identical to the
+ * legacy one-study-at-a-time drivers at every thread count, isolated
+ * Sessions don't cross-talk, ad-hoc workloads work, the
+ * StudyOptions/SessionConfig edge cases are well-defined, and the
+ * SuiteReport serializes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "analysis/profilers.h"
+#include "analysis/session.h"
+#include "isa/assembler.h"
+#include "store/trace_store.h"
+#include "workloads/workload.h"
+
+namespace sigcomp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using analysis::Session;
+using analysis::SessionConfig;
+using analysis::StudyOptions;
+using analysis::StudyPlan;
+using analysis::SuiteReport;
+using pipeline::Design;
+
+/** Fresh per-test directory under the gtest temp root. */
+class SessionStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+               (std::string("sigcomp-session-") + info->name());
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    dir(const char *suffix = "") const
+    {
+        std::string s = dir_.string();
+        s.append(suffix);
+        return s;
+    }
+
+    fs::path dir_;
+};
+
+void
+expectSameActivity(const pipeline::ActivityTotals &a,
+                   const pipeline::ActivityTotals &b)
+{
+    const auto pair = [](const pipeline::BitPair &x,
+                         const pipeline::BitPair &y, const char *what) {
+        EXPECT_EQ(x.compressed, y.compressed) << what;
+        EXPECT_EQ(x.baseline, y.baseline) << what;
+    };
+    pair(a.fetch, b.fetch, "fetch");
+    pair(a.rfRead, b.rfRead, "rfRead");
+    pair(a.rfWrite, b.rfWrite, "rfWrite");
+    pair(a.alu, b.alu, "alu");
+    pair(a.dcData, b.dcData, "dcData");
+    pair(a.dcTag, b.dcTag, "dcTag");
+    pair(a.pcInc, b.pcInc, "pcInc");
+    pair(a.latch, b.latch, "latch");
+}
+
+// ---- the fused-pass acceptance property ------------------------------
+
+TEST(SessionFused, OneReplayPassFeedsEveryStudy)
+{
+    // activity + CPI over the full design space + three profilers,
+    // all registered on one plan: each workload must be captured
+    // once and replayed exactly once.
+    Session session;
+    analysis::PatternProfiler pat;
+    analysis::InstrMixProfiler mix;
+    analysis::PcProfiler pc;
+    StudyPlan plan;
+    plan.cpi(pipeline::allDesigns(), analysis::suiteConfig())
+        .activity(sig::Encoding::Ext3)
+        .profile({&pat, &mix, &pc});
+    const SuiteReport rep = session.run(plan);
+
+    const std::size_t n = workloads::Suite::names().size();
+    EXPECT_EQ(rep.workloads.size(), n);
+    EXPECT_EQ(rep.captures, n);
+    EXPECT_EQ(rep.replayPasses, n) << "one fused pass per trace";
+    for (const std::string &name : workloads::Suite::names()) {
+        EXPECT_EQ(session.trace(name)->replayCount(), 1u) << name;
+    }
+
+    // Rows and totals must be bit-identical to the three legacy
+    // driver calls (serial reference runs on the default session).
+    const auto legacy_act = analysis::runActivityStudy(
+        sig::Encoding::Ext3, StudyOptions{.threads = 1});
+    const auto legacy_cpi =
+        analysis::runCpiStudy(pipeline::allDesigns(),
+                              analysis::suiteConfig(),
+                              StudyOptions{.threads = 1});
+    analysis::PatternProfiler lpat;
+    analysis::InstrMixProfiler lmix;
+    analysis::PcProfiler lpc;
+    analysis::profileSuite({&lpat, &lmix, &lpc},
+                           StudyOptions{.threads = 1});
+
+    ASSERT_EQ(rep.activity.size(), 1u);
+    ASSERT_EQ(rep.activity[0].rows.size(), legacy_act.size());
+    for (std::size_t i = 0; i < legacy_act.size(); ++i) {
+        EXPECT_EQ(rep.activity[0].rows[i].benchmark,
+                  legacy_act[i].benchmark);
+        expectSameActivity(rep.activity[0].rows[i].activity,
+                           legacy_act[i].activity);
+    }
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    const auto fused_rows = rep.cpi[0].rows();
+    ASSERT_EQ(fused_rows.size(), legacy_cpi.size());
+    for (std::size_t i = 0; i < legacy_cpi.size(); ++i) {
+        EXPECT_EQ(fused_rows[i].benchmark, legacy_cpi[i].benchmark);
+        EXPECT_TRUE(fused_rows[i].cpi == legacy_cpi[i].cpi)
+            << legacy_cpi[i].benchmark;
+        EXPECT_TRUE(fused_rows[i].stalls == legacy_cpi[i].stalls)
+            << legacy_cpi[i].benchmark;
+    }
+    EXPECT_EQ(pat.patterns().raw(), lpat.patterns().raw());
+    EXPECT_EQ(mix.functFreq().raw(), lmix.functFreq().raw());
+    EXPECT_EQ(mix.meanFetchBytes(), lmix.meanFetchBytes());
+    for (unsigned b = 1; b <= 8; ++b) {
+        EXPECT_EQ(pc.forBlockBits(b).activityBits(),
+                  lpc.forBlockBits(b).activityBits());
+        EXPECT_EQ(pc.forBlockBits(b).cycles(),
+                  lpc.forBlockBits(b).cycles());
+    }
+}
+
+class SessionThreads : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SessionThreads, FusedPlanIsThreadCountInvariant)
+{
+    // A pipelines-only plan fans whole workloads across the
+    // executor; a plan with profilers replays serially after a
+    // parallel prewarm. Either way every row must be bit-identical
+    // to the serial reference.
+    const unsigned threads = GetParam();
+    static const SuiteReport reference = [] {
+        Session s;
+        StudyPlan plan;
+        plan.cpi({Design::Baseline32, Design::ByteSerial,
+                  Design::SkewedBypass},
+                 analysis::suiteConfig())
+            .activity(sig::Encoding::Ext2)
+            .threads(1);
+        return s.run(plan);
+    }();
+
+    Session session;
+    analysis::PatternProfiler pat;
+    StudyPlan plan;
+    plan.cpi({Design::Baseline32, Design::ByteSerial,
+              Design::SkewedBypass},
+             analysis::suiteConfig())
+        .activity(sig::Encoding::Ext2)
+        .profile({&pat})
+        .threads(threads);
+    const SuiteReport rep = session.run(plan);
+
+    EXPECT_EQ(rep.replayPasses, rep.workloads.size());
+    const auto ref_rows = reference.cpi[0].rows();
+    const auto got_rows = rep.cpi[0].rows();
+    ASSERT_EQ(got_rows.size(), ref_rows.size());
+    for (std::size_t i = 0; i < ref_rows.size(); ++i) {
+        EXPECT_TRUE(got_rows[i].cpi == ref_rows[i].cpi)
+            << ref_rows[i].benchmark << " threads=" << threads;
+        EXPECT_TRUE(got_rows[i].stalls == ref_rows[i].stalls)
+            << ref_rows[i].benchmark << " threads=" << threads;
+    }
+    for (std::size_t i = 0; i < ref_rows.size(); ++i) {
+        expectSameActivity(rep.activity[0].rows[i].activity,
+                           reference.activity[0].rows[i].activity);
+    }
+    EXPECT_GT(pat.patterns().total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SessionThreads,
+                         ::testing::Values(1u, 4u, 8u),
+                         [](const auto &info) {
+                             std::string name = "t";
+                             name += std::to_string(info.param);
+                             return name;
+                         });
+
+// ---- isolation -------------------------------------------------------
+
+TEST_F(SessionStoreTest, ConcurrentSessionsDontCrossTalk)
+{
+    // Two sessions with different stores, budgets and capture
+    // limits, run concurrently: each sees only its own state.
+    SessionConfig c1;
+    c1.storeDir = dir("/a");
+    c1.captureLimit = 2000;
+    SessionConfig c2;
+    c2.storeDir = dir("/b");
+    c2.captureLimit = 3000;
+    Session s1(c1), s2(c2);
+
+    const std::vector<std::string> names = {"rawcaudio", "epic"};
+    std::thread t1([&] {
+        analysis::InstrMixProfiler mix;
+        StudyPlan plan;
+        plan.profile({&mix}).workloads(names).threads(2);
+        s1.run(plan);
+    });
+    std::thread t2([&] {
+        analysis::InstrMixProfiler mix;
+        StudyPlan plan;
+        plan.profile({&mix}).workloads(names).threads(2);
+        s2.run(plan);
+    });
+    t1.join();
+    t2.join();
+
+    EXPECT_EQ(s1.cache().captures(), names.size());
+    EXPECT_EQ(s2.cache().captures(), names.size());
+    for (const std::string &name : names) {
+        EXPECT_EQ(s1.trace(name)->size(), 2000u) << name;
+        EXPECT_EQ(s2.trace(name)->size(), 3000u) << name;
+    }
+    // Each store holds its own segments, keyed by its own limit.
+    const store::TraceStore ts1(dir("/a"), true);
+    const store::TraceStore ts2(dir("/b"), true);
+    for (const std::string &name : names) {
+        store::SegmentInfo i1, i2;
+        ASSERT_TRUE(ts1.info(name, i1)) << name;
+        ASSERT_TRUE(ts2.info(name, i2)) << name;
+        EXPECT_EQ(i1.captureLimit, 2000u);
+        EXPECT_EQ(i2.captureLimit, 3000u);
+    }
+}
+
+TEST_F(SessionStoreTest, WarmStoreSessionSkipsCaptureAndComputeQuanta)
+{
+    const std::string wl = "rawdaudio";
+    // First session: capture, study, and (via the post-pass annex
+    // write-back) persist the derived SharedQuanta.
+    {
+        Session s1(SessionConfig{.storeDir = dir()});
+        StudyPlan plan;
+        plan.workloads({wl}).cpi(
+            {Design::Baseline32, Design::ByteSerial},
+            analysis::suiteConfig());
+        const SuiteReport rep = s1.run(plan);
+        EXPECT_EQ(rep.captures, 1u);
+    }
+    // Second session, cold RAM: the segment must supply the trace
+    // AND the quanta record.
+    Session s2(SessionConfig{.storeDir = dir()});
+    StudyPlan plan;
+    plan.workloads({wl}).cpi({Design::Baseline32, Design::ByteSerial},
+                             analysis::suiteConfig());
+    const SuiteReport rep = s2.run(plan);
+    EXPECT_EQ(rep.captures, 0u) << "trace must come from the store";
+    EXPECT_EQ(rep.storeLoads, 1u);
+    EXPECT_FALSE(s2.trace(wl)->annexKeys("quanta:").empty())
+        << "warm load must restore the persisted quanta records";
+}
+
+// ---- edge cases (satellite: StudyOptions/SessionConfig) --------------
+
+using SessionDeathTest = SessionStoreTest;
+
+TEST_F(SessionDeathTest, ReadOnlyWithoutStoreDirIsFatal)
+{
+    SessionConfig cfg;
+    cfg.readOnly = true;
+    EXPECT_DEATH({ Session session(cfg); },
+                 "readOnly requires storeDir");
+}
+
+TEST_F(SessionDeathTest, StudyOptionsReadOnlyWithoutStoreDirIsFatal)
+{
+    analysis::InstrMixProfiler mix;
+    StudyOptions opt;
+    opt.readOnly = true;
+    EXPECT_DEATH(analysis::profileSuite({&mix}, opt),
+                 "readOnly requires storeDir");
+}
+
+TEST_F(SessionStoreTest, TinySpillBudgetDegradesToMruResident)
+{
+    // A budget smaller than any single trace: every get() spills the
+    // previous workload, the cache warns (once) and keeps only the
+    // most recent trace resident, and studies still complete with
+    // correct results.
+    SessionConfig cfg;
+    cfg.storeDir = dir();
+    cfg.spillBudgetBytes = 1;
+    Session session(cfg);
+
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic"};
+    analysis::InstrMixProfiler mix;
+    StudyPlan plan;
+    plan.profile({&mix}).workloads(names).threads(1);
+    session.run(plan);
+
+    EXPECT_GT(session.cache().spills(), 0u);
+    // At most the final workload's trace remains in RAM.
+    const std::size_t resident = session.cache().memoryBytes();
+    EXPECT_LE(resident, session.trace("epic")->memoryBytes());
+
+    // Pin correctness under spilling: the same plan on a fresh
+    // session with no budget gives identical tallies.
+    Session unbudgeted;
+    analysis::InstrMixProfiler mix2;
+    StudyPlan plan2;
+    plan2.profile({&mix2}).workloads(names).threads(1);
+    unbudgeted.run(plan2);
+    EXPECT_EQ(mix.functFreq().raw(), mix2.functFreq().raw());
+    EXPECT_EQ(mix.meanFetchBytes(), mix2.meanFetchBytes());
+}
+
+TEST(SessionEdge, SpillWithoutStoreRecaptures)
+{
+    // A spill budget with no disk tier is well-defined: spilled
+    // traces are simply recaptured on the next touch.
+    SessionConfig cfg;
+    cfg.spillBudgetBytes = 1;
+    Session session(cfg);
+    session.trace("rawcaudio");
+    EXPECT_EQ(session.cache().captures(), 1u);
+    session.trace("rawdaudio"); // spills rawcaudio
+    EXPECT_EQ(session.cache().captures(), 2u);
+    session.trace("rawcaudio"); // gone from RAM, no store: recapture
+    EXPECT_EQ(session.cache().captures(), 3u);
+    EXPECT_GT(session.cache().spills(), 0u);
+}
+
+// ---- ad-hoc workloads, energy, report ---------------------------------
+
+TEST(SessionAdHoc, RegisteredProgramRunsLikeASuiteWorkload)
+{
+    namespace reg = isa::reg;
+    isa::Assembler a;
+    a.label("main");
+    a.li(reg::t0, 40);
+    a.li(reg::t1, 2);
+    a.addu(reg::a0, reg::t0, reg::t1);
+    a.li(reg::a1, 42);
+    a.assertEq();
+    a.exitProgram();
+
+    Session session;
+    session.addWorkload("answer", a.finish("answer"));
+    StudyPlan plan;
+    plan.workloads({"answer"})
+        .cpi({Design::Baseline32, Design::ByteSerial},
+             analysis::suiteConfig());
+    const SuiteReport rep = session.run(plan);
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    ASSERT_EQ(rep.cpi[0].results.size(), 1u);
+    EXPECT_EQ(rep.workloads, std::vector<std::string>{"answer"});
+    EXPECT_GT(rep.cpi[0].results[0][0].instructions, 0u);
+    EXPECT_GE(rep.cpi[0].results[0][1].cycles,
+              rep.cpi[0].results[0][0].cycles);
+    EXPECT_EQ(session.trace("answer")->replayCount(), 1u);
+}
+
+TEST_F(SessionStoreTest, RegisteredProgramsNeverTouchTheStore)
+{
+    // An ad-hoc program shadowing a suite workload's name is
+    // session-local: it must neither clobber that workload's shared
+    // segment nor be satisfied by it.
+    {
+        Session suite_session(SessionConfig{.storeDir = dir()});
+        suite_session.trace("rawcaudio"); // writes the real segment
+    }
+    const store::TraceStore ts(dir(), /*read_only=*/true);
+    store::SegmentInfo before;
+    ASSERT_TRUE(ts.info("rawcaudio", before));
+
+    namespace reg = isa::reg;
+    isa::Assembler a;
+    a.label("main");
+    a.li(reg::a0, 1);
+    a.li(reg::a1, 1);
+    a.assertEq();
+    a.exitProgram();
+
+    Session session(SessionConfig{.storeDir = dir()});
+    session.addWorkload("rawcaudio", a.finish("shadow"));
+    const auto trace = session.trace("rawcaudio");
+    EXPECT_EQ(session.cache().captures(), 1u)
+        << "must capture the registered program, not load the segment";
+    EXPECT_EQ(session.cache().storeLoads(), 0u);
+    EXPECT_LT(trace->size(), 100u);
+
+    // A study (which write-backs annexes) must not persist it either.
+    StudyPlan plan;
+    plan.workloads({"rawcaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig());
+    session.run(plan);
+    store::SegmentInfo after;
+    ASSERT_TRUE(ts.info("rawcaudio", after));
+    EXPECT_EQ(after.instructions, before.instructions)
+        << "shared segment clobbered by a session-local program";
+    EXPECT_TRUE(ts.verify("rawcaudio", nullptr));
+}
+
+TEST(SessionEnergy, EnergyStudyMatchesDirectModel)
+{
+    Session session;
+    const power::TechParams tech;
+    StudyPlan plan;
+    plan.workloads({"rawcaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .energy(tech, Design::ByteSerial, sig::Encoding::Ext3);
+    const SuiteReport rep = session.run(plan);
+
+    ASSERT_EQ(rep.energy.size(), 1u);
+    const analysis::EnergyRow &row = rep.energy[0].rows.front();
+    // The energy study rides the same pass: its report must equal
+    // the model applied to the CPI study's activity for the same
+    // design and configuration.
+    const power::EnergyReport direct = power::buildEnergyReport(
+        rep.cpi[0].results[0][0].activity, tech);
+    EXPECT_EQ(row.report.totalCompressedPj, direct.totalCompressedPj);
+    EXPECT_EQ(row.report.totalBaselinePj, direct.totalBaselinePj);
+    EXPECT_EQ(rep.energy[0].total.totalCompressedPj,
+              direct.totalCompressedPj);
+    // Still one fused pass despite three registered studies.
+    EXPECT_EQ(rep.replayPasses, 1u);
+}
+
+TEST(SessionReport, JsonSerializesEveryStudySection)
+{
+    Session session;
+    analysis::PatternProfiler pat;
+    StudyPlan plan;
+    plan.workloads({"rawcaudio"})
+        .cpi({Design::Baseline32, Design::ByteSerial},
+             analysis::suiteConfig())
+        .activity(sig::Encoding::Ext3)
+        .energy()
+        .profile({&pat});
+    const SuiteReport rep = session.run(plan);
+
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workloads\": [\"rawcaudio\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"replay_passes\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"byte-serial\""), std::string::npos);
+    EXPECT_NE(json.find("\"encoding\": \"ext3\""), std::string::npos);
+    EXPECT_NE(json.find("\"saving\""), std::string::npos);
+    EXPECT_NE(json.find("\"compressed_pj\""), std::string::npos);
+    EXPECT_NE(json.find("\"profile_sinks\": 1"), std::string::npos);
+    // Balanced braces/brackets — cheap structural sanity.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SessionEdge, EmptyPlanTouchesNothing)
+{
+    Session session;
+    const SuiteReport rep = session.run(StudyPlan{});
+    EXPECT_EQ(rep.captures, 0u);
+    EXPECT_EQ(rep.replayPasses, 0u);
+    EXPECT_EQ(session.cache().captures(), 0u);
+    EXPECT_EQ(rep.instructions, 0u);
+}
+
+} // namespace
+} // namespace sigcomp

@@ -693,7 +693,8 @@ buildLegacyV1Segment(const std::vector<std::uint8_t> &v2,
     using store::putU64;
 
     const std::uint8_t *h = v2.data();
-    EXPECT_EQ(getU32(h + 4), store::formatVersion);
+    // A save with no derived annexes writes the annex-less layout.
+    EXPECT_EQ(getU32(h + 4), store::formatVersionNoAnnex);
     const std::size_t n = static_cast<std::size_t>(getU64(h + 8));
     const std::size_t mem_ops = static_cast<std::size_t>(getU64(h + 16));
 
@@ -854,7 +855,10 @@ TEST_F(StoreTest, LegacyV1SegmentLoadsReplaysAndUpgrades)
 
     const std::vector<std::uint8_t> upgraded = readAll(path);
     ASSERT_GT(upgraded.size(), 64u);
-    EXPECT_EQ(store::getU32(upgraded.data() + 4), store::formatVersion);
+    // The upgrade re-save carries no derived annexes, so it lands on
+    // the annex-less current layout.
+    EXPECT_EQ(store::getU32(upgraded.data() + 4),
+              store::formatVersionNoAnnex);
 
     // Second cold load: current format, no further upgrade saves.
     cache.clear();
@@ -891,6 +895,170 @@ TEST_F(StoreTest, TakenColumnStoresControlBitsOnly)
               info.columns[5].rawBytes);
     EXPECT_LE(2 * info.columns[5].encodedBytes,
               info.columns[5].rawBytes + 2);
+}
+
+// ---- SharedQuanta annexes (format version 3) -------------------------
+
+/**
+ * Replay a pipeline over @p trace so a "quanta:<key>" SharedQuanta
+ * record is published on it; returns that key.
+ */
+std::string
+publishQuanta(const cpu::TraceBuffer &trace)
+{
+    auto pipe = pipeline::makePipeline(Design::ByteSerial,
+                                       analysis::suiteConfig());
+    pipeline::replayPipelines(trace, {pipe.get()});
+    return pipe->quantaKey();
+}
+
+TEST_F(StoreTest, QuantaAnnexRoundTripsAndSkipsComputeQuanta)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    const std::string key = publishQuanta(t);
+    ASSERT_FALSE(t.annexKeys("quanta:").empty());
+
+    // Reference result: a fresh full replay on the captured trace.
+    auto ref_pipe = pipeline::makePipeline(Design::ByteSerial,
+                                           analysis::suiteConfig());
+    pipeline::replayPipelines(t, {ref_pipe.get()});
+    const pipeline::PipelineResult ref = ref_pipe->result();
+
+    // A buffer with quanta records saves in the annex-bearing format.
+    const TraceStore ts(dir());
+    ASSERT_TRUE(
+        ts.save("rawdaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+    const std::vector<std::uint8_t> bytes =
+        readAll(ts.segmentPath("rawdaudio"));
+    EXPECT_EQ(store::getU32(bytes.data() + 4), store::formatVersion);
+    EXPECT_EQ(ts.annexKeys("rawdaudio"),
+              std::vector<std::string>{key});
+    EXPECT_TRUE(ts.verify("rawdaudio", &w.program));
+    store::SegmentInfo info;
+    ASSERT_TRUE(ts.info("rawdaudio", info));
+    ASSERT_EQ(info.annexes.size(), 1u);
+    EXPECT_EQ(info.annexes[0].name, key);
+    EXPECT_GT(info.annexes[0].encodedBytes, 0u);
+
+    // A warm load restores the record, and a same-key pipeline then
+    // replays as a pure consumer: its own memory hierarchy is never
+    // driven (computeQuanta skipped wholesale), yet every result
+    // field — including the adopted cache stats — is bit-identical.
+    std::string why;
+    const auto loaded = ts.load("rawdaudio", w.program,
+                                cpu::TraceBuffer::defaultMaxInstrs,
+                                &why);
+    ASSERT_NE(loaded, nullptr) << why;
+    EXPECT_EQ(loaded->annexKeys("quanta:"),
+              std::vector<std::string>{key});
+
+    auto warm_pipe = pipeline::makePipeline(Design::ByteSerial,
+                                            analysis::suiteConfig());
+    pipeline::replayPipelines(*loaded, {warm_pipe.get()});
+    EXPECT_EQ(warm_pipe->hierarchy().l1i().stats().accesses(), 0u)
+        << "consumer replay must not recompute the quanta front half";
+    const pipeline::PipelineResult warm = warm_pipe->result();
+    EXPECT_EQ(warm.cycles, ref.cycles);
+    EXPECT_EQ(warm.instructions, ref.instructions);
+    EXPECT_TRUE(warm.stalls == ref.stalls);
+    EXPECT_EQ(warm.activity.latch.compressed,
+              ref.activity.latch.compressed);
+    EXPECT_EQ(warm.activity.fetch.compressed,
+              ref.activity.fetch.compressed);
+    EXPECT_EQ(warm.l1i.misses(), ref.l1i.misses());
+    EXPECT_EQ(warm.l1d.misses(), ref.l1d.misses());
+    EXPECT_EQ(warm.l2.misses(), ref.l2.misses());
+}
+
+TEST_F(StoreTest, CorruptQuantaAnnexFailsSoft)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    publishQuanta(t);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(
+        ts.save("rawcaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+
+    // Flip one byte in the annex payload region (the file tail).
+    std::vector<std::uint8_t> bytes =
+        readAll(ts.segmentPath("rawcaudio"));
+    bytes[bytes.size() - 5] ^= 0x40;
+    writeAll(ts.segmentPath("rawcaudio"), bytes);
+
+    std::string why;
+    EXPECT_FALSE(ts.verify("rawcaudio", &w.program, &why));
+    EXPECT_EQ(ts.load("rawcaudio", w.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr);
+    // The two-tier cache treats it like any other damage: recapture.
+    TraceCache cache;
+    cache.configureStore({dir(), 0, false});
+    const auto trace = cache.get("rawcaudio");
+    EXPECT_EQ(cache.captures(), 1u);
+    EXPECT_EQ(trace->size(), t.size());
+}
+
+TEST_F(StoreTest, SegmentTruncatedAtAnnexDirectoryCrcFailsSoft)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const cpu::TraceBuffer t = cpu::TraceBuffer::capture(w.program);
+    publishQuanta(t);
+    const TraceStore ts(dir());
+    ASSERT_TRUE(
+        ts.save("rawdaudio", t, cpu::TraceBuffer::defaultMaxInstrs));
+
+    // Compute the exact end of the annex directory entries (count +
+    // one entry, before its CRC word) from the on-disk layout, and
+    // truncate there: every per-entry bound still holds, so the
+    // next read is the directory CRC — which must be detected as
+    // truncation, not read past the end of the mapping.
+    std::vector<std::uint8_t> bytes =
+        readAll(ts.segmentPath("rawdaudio"));
+    std::size_t off = 64 + 6 * 32 + 4;
+    for (unsigned c = 0; c < 6; ++c)
+        off += static_cast<std::size_t>(
+            store::getU64(bytes.data() + 64 + 32 * c + 16));
+    const std::uint32_t key_len = store::getU32(bytes.data() + off + 4);
+    const std::size_t dir_end = off + 4 + 4 + key_len + 20;
+    ASSERT_LT(dir_end, bytes.size());
+    bytes.resize(dir_end);
+    writeAll(ts.segmentPath("rawdaudio"), bytes);
+
+    std::string why;
+    EXPECT_EQ(ts.load("rawdaudio", w.program,
+                      cpu::TraceBuffer::defaultMaxInstrs, &why),
+              nullptr);
+    EXPECT_NE(why.find("annex directory truncated"), std::string::npos)
+        << why;
+    EXPECT_FALSE(ts.verify("rawdaudio", &w.program));
+}
+
+TEST_F(StoreTest, PersistAnnexesUpgradesSegmentOnce)
+{
+    const workloads::Workload w = workloads::Suite::build("rawdaudio");
+    const TraceStore ts(dir());
+
+    TraceCache cache;
+    cache.configureStore({dir(), 0, false});
+    const auto trace = cache.get("rawdaudio");
+    // Write-through at capture has nothing derived yet.
+    EXPECT_EQ(store::getU32(readAll(ts.segmentPath("rawdaudio"))
+                                .data() +
+                            4),
+              store::formatVersionNoAnnex);
+    EXPECT_TRUE(ts.annexKeys("rawdaudio").empty());
+
+    const std::string key = publishQuanta(*trace);
+    const std::uint64_t saves = cache.storeSaves();
+    cache.persistAnnexes("rawdaudio", *trace);
+    EXPECT_EQ(cache.storeSaves(), saves + 1);
+    EXPECT_EQ(ts.annexKeys("rawdaudio"),
+              std::vector<std::string>{key});
+
+    // Idempotent: nothing new to add, no rewrite.
+    cache.persistAnnexes("rawdaudio", *trace);
+    EXPECT_EQ(cache.storeSaves(), saves + 1);
 }
 
 } // namespace

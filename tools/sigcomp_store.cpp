@@ -35,7 +35,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/trace_cache.h"
+#include "analysis/session.h"
 #include "common/parallel.h"
 #include "common/simd.h"
 #include "common/table.h"
@@ -134,18 +134,19 @@ cmdPrewarm(const Options &opt)
         work.push_back(name);
     }
 
-    // Capture-and-save rides the two-tier cache so the CLI exercises
-    // exactly the path the studies use.
-    analysis::TraceCache cache;
-    cache.setCaptureLimit(limit);
-    cache.configureStore({opt.dir, 0, false});
-    ParallelExecutor exec(opt.threads);
-    cache.prewarm(work, exec);
+    // Capture-and-save rides an isolated store-backed Session so the
+    // CLI exercises exactly the two-tier path the studies use.
+    analysis::SessionConfig scfg;
+    scfg.threads = opt.threads;
+    scfg.storeDir = opt.dir;
+    scfg.captureLimit = limit;
+    analysis::Session session(scfg);
+    session.prewarm(work);
 
     for (const std::string &name : work)
         std::printf("  %-12s captured (%llu instrs)\n", name.c_str(),
                     static_cast<unsigned long long>(
-                        cache.get(name)->runResult().instructions));
+                        session.trace(name)->runResult().instructions));
     std::printf("prewarm: %zu captured, %zu already warm, store %s\n",
                 work.size(), names.size() - work.size(),
                 opt.dir.c_str());
@@ -162,13 +163,13 @@ cmdLs(const Options &opt)
         return 0;
     }
     TextTable t({"workload", "instructions", "file MB", "raw MB", "ratio",
-                 "capture"});
+                 "annexes", "capture"});
     for (const std::string &name : names) {
         store::SegmentInfo info;
         std::string why;
         if (!ts.info(name, info, &why)) {
             t.beginRow().cell(name).cell("corrupt: " + why).cell("").cell(
-                 "").cell("").cell("").endRow();
+                 "").cell("").cell("").cell("").endRow();
             continue;
         }
         const double ratio =
@@ -182,6 +183,7 @@ cmdLs(const Options &opt)
             .cell(mb(info.fileBytes), 2)
             .cell(mb(info.rawBytes()), 2)
             .cell(ratio, 2)
+            .cell(info.annexes.size())
             .cell(info.truncated
                       ? "capped@" + std::to_string(info.captureLimit)
                       : "full")
