@@ -23,6 +23,16 @@
  *
  * The legacy free functions (analysis/experiments.h) are thin shims
  * over defaultSession(), which wraps the process-wide cache.
+ *
+ * Thread-safety: a Session holds no mutable state of its own beyond
+ * its TraceCache, which is internally synchronized (see
+ * trace_cache.h — every guarded member is thread-annotation-checked
+ * under Clang). trace()/prewarm()/addWorkload()/run() may be called
+ * from any number of threads on one Session; concurrent run() calls
+ * are safe but serialise on the shared executor's job queue.
+ * config() is immutable after construction. The TSan stress test
+ * (test_tsan_stress.cpp) exercises many Sessions over one shared
+ * read-only store while a budgeted session spills concurrently.
  */
 
 #ifndef SIGCOMP_ANALYSIS_SESSION_H_

@@ -18,7 +18,7 @@ void
 TraceCache::registerProgram(const std::string &workload,
                             isa::Program program)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     programs_.insert_or_assign(workload, std::move(program));
     // A cached trace of the old program must not satisfy gets of the
     // new one.
@@ -35,7 +35,7 @@ TraceCache::get(const std::string &workload)
     std::optional<workloads::Workload> registered;
 
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = entries_.find(workload);
         if (it == entries_.end()) {
             future = promise.get_future().share();
@@ -112,7 +112,7 @@ TraceCache::get(const std::string &workload)
             // entry so a later get() can retry, unblock any waiters
             // with the exception, and rethrow.
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 entries_.erase(workload);
             }
             promise.set_exception(std::current_exception());
@@ -136,14 +136,14 @@ TraceCache::prewarm(const std::vector<std::string> &names,
 bool
 TraceCache::contains(const std::string &workload) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return entries_.find(workload) != entries_.end();
 }
 
 void
 TraceCache::configureStore(const StoreConfig &config)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spillBudget_ = config.spillBudgetBytes;
     if (config.dir.empty()) {
         store_.reset();
@@ -159,28 +159,28 @@ TraceCache::configureStore(const StoreConfig &config)
 void
 TraceCache::setSpillBudget(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     spillBudget_ = bytes;
 }
 
 std::shared_ptr<const store::TraceStore>
 TraceCache::store() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return store_;
 }
 
 void
 TraceCache::evict(const std::string &workload)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.erase(workload);
 }
 
 void
 TraceCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     entries_.clear();
 }
 
@@ -200,14 +200,14 @@ TraceCache::memoryBytesLocked() const
 std::size_t
 TraceCache::memoryBytes() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return memoryBytesLocked();
 }
 
 void
 TraceCache::enforceBudget(const std::string &keep)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (spillBudget_ == 0)
         return;
     // Spill = drop from RAM. Everything that reaches the RAM tier
@@ -257,7 +257,7 @@ TraceCache::persistAnnexes(const std::string &workload,
 {
     std::shared_ptr<store::TraceStore> store;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         // Session-local registered programs never persist (see get()).
         if (programs_.find(workload) != programs_.end())
             return;
@@ -300,7 +300,7 @@ TraceCache::setCaptureLimit(DWord max_instrs)
         // under the old limit must not satisfy gets under the new
         // one (the store tier already rejects them by its header's
         // capture-limit field).
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         entries_.clear();
     }
 }

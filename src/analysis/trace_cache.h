@@ -36,11 +36,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 #include "cpu/trace_buffer.h"
 #include "store/trace_store.h"
 #include "workloads/workload.h"
@@ -189,17 +190,31 @@ class TraceCache
     };
 
     /** Drop LRU ready entries until the RAM tier fits the budget. */
-    void enforceBudget(const std::string &keep);
+    void enforceBudget(const std::string &keep) SIGCOMP_EXCLUDES(mu_);
 
-    std::size_t memoryBytesLocked() const;
+    std::size_t memoryBytesLocked() const SIGCOMP_REQUIRES(mu_);
 
-    mutable std::mutex mu_;
-    std::map<std::string, Entry> entries_;
-    std::map<std::string, isa::Program> programs_;
-    std::shared_ptr<store::TraceStore> store_;
-    std::size_t spillBudget_ = 0;
-    std::uint64_t useTick_ = 0;
-    bool budgetWarned_ = false;
+    /**
+     * Guards every map/tier field below. Held only for bookkeeping —
+     * never across capture, store I/O, or future.get() on a pending
+     * entry — so a slow capture can't stall unrelated workloads.
+     * Lock order: mu_ before TraceBuffer's annex mutex
+     * (memoryBytesLocked -> memoryBytes); never the reverse.
+     */
+    mutable Mutex mu_;
+    std::map<std::string, Entry> entries_ SIGCOMP_GUARDED_BY(mu_);
+    std::map<std::string, isa::Program> programs_ SIGCOMP_GUARDED_BY(mu_);
+    std::shared_ptr<store::TraceStore> store_ SIGCOMP_GUARDED_BY(mu_);
+    std::size_t spillBudget_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    std::uint64_t useTick_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    bool budgetWarned_ SIGCOMP_GUARDED_BY(mu_) = false;
+    /**
+     * Monotonic accounting counters — deliberately atomic rather
+     * than mu_-guarded: they are bumped on the capture/store-I/O
+     * paths that intentionally run outside the lock, and read by
+     * tests and reports while other threads are mid-get(). Pinned by
+     * the TSan counter-hammer test in test_tsan_stress.cpp.
+     */
     std::atomic<std::uint64_t> captures_{0};
     std::atomic<std::uint64_t> storeLoads_{0};
     std::atomic<std::uint64_t> storeSaves_{0};

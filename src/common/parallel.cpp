@@ -7,10 +7,11 @@
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace sigcomp
 {
@@ -31,14 +32,15 @@ struct Job
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
 
-    std::mutex error_mutex;
-    std::size_t error_index = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
+    Mutex error_mutex;
+    std::size_t error_index SIGCOMP_GUARDED_BY(error_mutex) =
+        std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error SIGCOMP_GUARDED_BY(error_mutex);
 
     void
     recordError(std::size_t index, std::exception_ptr e)
     {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (index < error_index) {
             error_index = index;
             error = std::move(e);
@@ -48,13 +50,14 @@ struct Job
 
 struct ExecutorState
 {
-    std::mutex mutex;
+    Mutex mutex;
     /** Signals workers that a job was published (or shutdown). */
     std::condition_variable work_ready;
     /** Signals job completion / retirement / slot-free transitions. */
     std::condition_variable work_done;
-    std::shared_ptr<Job> job;
-    bool shutdown = false;
+    std::shared_ptr<Job> job SIGCOMP_GUARDED_BY(mutex);
+    bool shutdown SIGCOMP_GUARDED_BY(mutex) = false;
+    /** Touched only by the owning ParallelExecutor's ctor/dtor. */
     std::vector<std::thread> workers;
 };
 
@@ -89,17 +92,16 @@ workerLoop(ExecutorState *state)
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(state->mutex);
-            state->work_ready.wait(lock, [&] {
-                return state->shutdown || state->job != nullptr;
-            });
+            UniqueLock lock(state->mutex);
+            while (!state->shutdown && state->job == nullptr)
+                state->work_ready.wait(lock.native());
             if (state->shutdown)
                 return;
             job = state->job;
         }
         drainJob(*job);
         {
-            std::unique_lock<std::mutex> lock(state->mutex);
+            UniqueLock lock(state->mutex);
             // Wake the submitter (it waits for done == n). Notifying
             // with the mutex held pairs with its locked predicate
             // check, so the final done increment is never missed.
@@ -107,9 +109,8 @@ workerLoop(ExecutorState *state)
             // Park until this job is retired so we never drain the
             // same job twice. Pointer comparison only; the submitter
             // may already have returned.
-            state->work_done.wait(lock, [&] {
-                return state->shutdown || state->job != job;
-            });
+            while (!state->shutdown && state->job == job)
+                state->work_done.wait(lock.native());
             if (state->shutdown)
                 return;
         }
@@ -130,7 +131,7 @@ ParallelExecutor::ParallelExecutor(unsigned threads)
 ParallelExecutor::~ParallelExecutor()
 {
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
+        MutexLock lock(state_->mutex);
         state_->shutdown = true;
     }
     state_->work_ready.notify_all();
@@ -199,10 +200,10 @@ ParallelExecutor::run(std::size_t n,
     job->body = &body;
 
     {
-        std::unique_lock<std::mutex> lock(state_->mutex);
+        UniqueLock lock(state_->mutex);
         // Serialise external submitters: one published job at a time.
-        state_->work_done.wait(
-            lock, [&] { return state_->job == nullptr; });
+        while (state_->job != nullptr)
+            state_->work_done.wait(lock.native());
         state_->job = job;
     }
     // A worker parked on work_done (waiting for the *previous* job's
@@ -215,16 +216,23 @@ ParallelExecutor::run(std::size_t n,
     detail::drainJob(*job);
 
     {
-        std::unique_lock<std::mutex> lock(state_->mutex);
-        state_->work_done.wait(lock, [&] {
-            return job->done.load(std::memory_order_acquire) == n;
-        });
+        UniqueLock lock(state_->mutex);
+        while (job->done.load(std::memory_order_acquire) != n)
+            state_->work_done.wait(lock.native());
         state_->job = nullptr; // retire: workers may re-arm
     }
     state_->work_done.notify_all();
 
-    if (job->error)
-        std::rethrow_exception(job->error);
+    // Every index has retired (done == n observed above), but take
+    // the error lock anyway: it is what the annotations promise, and
+    // it costs one uncontended acquire per job.
+    std::exception_ptr error;
+    {
+        MutexLock lock(job->error_mutex);
+        error = job->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace sigcomp

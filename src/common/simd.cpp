@@ -43,7 +43,10 @@ detected()
     return level;
 }
 
-std::atomic<SimdLevel> active{static_cast<SimdLevel>(0xFF)};
+/** Sentinel: SIGCOMP_FORCE_SCALAR not yet resolved. */
+constexpr SimdLevel kUnresolved = static_cast<SimdLevel>(0xFF);
+
+std::atomic<SimdLevel> active{kUnresolved};
 
 } // namespace
 
@@ -57,9 +60,20 @@ SimdLevel
 activeSimdLevel()
 {
     SimdLevel level = active.load(std::memory_order_relaxed);
-    if (level == static_cast<SimdLevel>(0xFF)) {
-        level = forceScalarEnv() ? SimdLevel::Scalar : detected();
-        active.store(level, std::memory_order_relaxed);
+    if (level == kUnresolved) {
+        // First kernel call resolves the SIGCOMP_FORCE_SCALAR
+        // override. compare_exchange, not a plain store: a
+        // setSimdLevel() pin racing this lazy resolution must stick —
+        // with a blind store, a concurrent first dispatch could
+        // silently undo the pin it had already observed as pending
+        // (found by the PR 6 concurrency audit; hammered by
+        // test_tsan_stress.cpp).
+        SimdLevel want =
+            forceScalarEnv() ? SimdLevel::Scalar : detected();
+        if (active.compare_exchange_strong(level, want,
+                                           std::memory_order_relaxed))
+            return want;
+        return level; // a concurrent pin (or resolver) won
     }
     return level;
 }

@@ -58,7 +58,12 @@ SimdLevel activeSimdLevel();
 /**
  * Pin dispatch to @p level (clamped to detectedSimdLevel(); a level
  * from a foreign architecture falls back to Scalar). Test/benchmark
- * hook — call it from a single thread before fanning out work.
+ * hook — prefer calling it from a single thread before fanning out
+ * work. Concurrent use is data-race-free: the level is one atomic,
+ * and a pin always sticks even against a racing first-dispatch
+ * resolution of SIGCOMP_FORCE_SCALAR (kernels already in flight
+ * finish on the level they loaded; results are level-independent by
+ * the bit-identity contract).
  */
 void setSimdLevel(SimdLevel level);
 

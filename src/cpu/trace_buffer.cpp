@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mem/main_memory.h"
 #include "sigcomp/sig_kernels.h"
 
@@ -14,9 +15,14 @@ namespace sigcomp::cpu
 /** Keyed type-erased annexes with their reported heap sizes. */
 struct TraceBuffer::AnnexStore
 {
-    std::mutex mu;
+    /**
+     * Guards the annex map only. Acquired after TraceCache::mu_
+     * (via memoryBytes() from the spill scan) — annex code must
+     * never call back into the cache while holding it.
+     */
+    Mutex mu;
     std::map<std::string, std::pair<std::shared_ptr<void>, std::size_t>>
-        entries;
+        entries SIGCOMP_GUARDED_BY(mu);
     /** TraceView::replay() passes over the owning buffer. */
     std::atomic<std::uint64_t> replays{0};
 };
@@ -24,7 +30,7 @@ struct TraceBuffer::AnnexStore
 std::shared_ptr<void>
 TraceBuffer::annexGet(const std::string &key) const
 {
-    std::lock_guard<std::mutex> lock(annexes_->mu);
+    MutexLock lock(annexes_->mu);
     auto it = annexes_->entries.find(key);
     return it == annexes_->entries.end() ? nullptr : it->second.first;
 }
@@ -34,7 +40,7 @@ TraceBuffer::annexStoreIfAbsent(const std::string &key,
                                 std::shared_ptr<void> value,
                                 std::size_t bytes) const
 {
-    std::lock_guard<std::mutex> lock(annexes_->mu);
+    MutexLock lock(annexes_->mu);
     auto it = annexes_->entries
                   .emplace(key, std::make_pair(std::move(value), bytes))
                   .first;
@@ -45,7 +51,7 @@ std::vector<std::string>
 TraceBuffer::annexKeys(const std::string &prefix) const
 {
     std::vector<std::string> keys;
-    std::lock_guard<std::mutex> lock(annexes_->mu);
+    MutexLock lock(annexes_->mu);
     for (const auto &[key, entry] : annexes_->entries) {
         if (key.compare(0, prefix.size(), prefix) == 0)
             keys.push_back(key);
@@ -166,7 +172,7 @@ TraceBuffer::memoryBytes() const
                         bytes(sigRegs_) + bytes(sigMem_) +
                         bytes(memAddr_) + bytes(memData_) +
                         bytes(decoded_);
-    std::lock_guard<std::mutex> lock(annexes_->mu);
+    MutexLock lock(annexes_->mu);
     for (const auto &[key, entry] : annexes_->entries)
         total += entry.second;
     return total;

@@ -27,6 +27,7 @@ namespace fs = std::filesystem;
 namespace
 {
 
+// sigcomp-lint: format-layout-begin
 constexpr std::uint32_t kMagic = 0x52544353u; // 'SCTR' little-endian
 constexpr std::size_t kHeaderBytes = 64;
 constexpr std::size_t kDirEntryBytes = 32;
@@ -62,6 +63,7 @@ enum ColumnId : std::uint32_t
 /** Taken-column submodes (first payload byte, version >= 2). */
 constexpr std::uint8_t kTakenFullPlane = 0;
 constexpr std::uint8_t kTakenControlOnly = 1;
+// sigcomp-lint: format-layout-end
 
 const char *
 columnName(std::uint32_t id)
@@ -201,6 +203,7 @@ struct Segment
     std::uint32_t stopReason = 0;
     std::uint32_t lastNextPc = 0;
 
+    // sigcomp-lint: format-layout-begin
     struct Column
     {
         std::uint32_t id = 0;
@@ -221,12 +224,15 @@ struct Segment
         std::size_t payloadOffset = 0;
     };
     std::vector<Annex> annexes;
+    // sigcomp-lint: format-layout-end
 };
 
+// sigcomp-lint: format-layout-begin
 /** Sanity cap on persisted annex records per segment. */
 constexpr std::uint32_t kMaxAnnexes = 256;
 /** Sanity cap on one annex key's length. */
 constexpr std::uint32_t kMaxAnnexKey = 4096;
+// sigcomp-lint: format-layout-end
 
 /**
  * Parse and CRC-check header + directory (not payload contents).
@@ -733,6 +739,7 @@ class TraceSerializer
                     total_payload);
 
         // -- header ---------------------------------------------------
+        // sigcomp-lint: format-layout-begin
         putU32(out, kMagic);
         putU32(out, version);
         putU64(out, n);
@@ -780,6 +787,7 @@ class TraceSerializer
             for (const AnnexPayload &ax : annexes)
                 out.insert(out.end(), ax.bytes.begin(), ax.bytes.end());
         }
+        // sigcomp-lint: format-layout-end
         return out;
     }
 

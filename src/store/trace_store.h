@@ -93,6 +93,10 @@ namespace sigcomp::store
  * transparently re-saved in the current format by the cache's
  * write-through upgrade (see TraceCache). Anything else fails soft.
  */
+// sigcomp-lint: format-layout-begin
+// Any change to the marked format-layout regions (here and in
+// trace_store.cpp) must bump formatVersion and refresh the pin:
+// `tools/sigcomp_lint --update-format-pin` (checked in CI).
 constexpr std::uint32_t formatVersion = 3;
 
 /** Format written for segments with no annex section. */
@@ -100,6 +104,7 @@ constexpr std::uint32_t formatVersionNoAnnex = 2;
 
 /** Oldest format load() still accepts (sidecar-less segments). */
 constexpr std::uint32_t formatVersionLegacy = 1;
+// sigcomp-lint: format-layout-end
 
 /** Per-column size accounting for stats/compression-ratio reports. */
 struct ColumnStat

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * ThreadSanitizer stress tests for the concurrency-correctness layer
+ * (PR 6). These run in every configuration — the interleavings they
+ * force are correctness tests in their own right — but their real
+ * job is under `-DSIGCOMP_SANITIZE=thread` in the tsan CI job, where
+ * TSan turns any unsynchronized access they provoke into a failure:
+ *
+ *  - many concurrent Sessions replaying out of ONE shared read-only
+ *    store directory while a budgeted writer session forces
+ *    spill/evict churn over the same segments (the sigcompd
+ *    multi-tenant shape from ROADMAP item 1);
+ *  - setSimdLevel() repinned concurrently with kernel dispatch
+ *    (regression for the lazy-resolution race fixed in
+ *    common/simd.cpp: a pin racing the first dispatch must stick);
+ *  - the TraceCache accounting counters read while gets, spills and
+ *    evictions run (they are documented lock-free atomics;
+ *    trace_cache.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/session.h"
+#include "analysis/study_plan.h"
+#include "analysis/trace_cache.h"
+#include "common/simd.h"
+#include "sigcomp/sig_kernels.h"
+#include "workloads/workload.h"
+
+namespace sigcomp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using analysis::Session;
+using analysis::SessionConfig;
+using analysis::StudyPlan;
+using analysis::SuiteReport;
+using pipeline::Design;
+
+/** Small but non-trivial traces: capture stays sub-second. */
+constexpr DWord kLimit = 5000;
+
+class TsanStressTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::path(::testing::TempDir()) /
+                (std::string("sigcomp-tsan-") + info->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TsanStressTest, ConcurrentSessionsOverSharedStoreWithSpillChurn)
+{
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic", "unepic"};
+    // Seed the shared store once (and derive + persist the quanta
+    // annexes) so every reader below can run fully warm.
+    {
+        Session seeder(SessionConfig{.storeDir = dir_,
+                                     .captureLimit = kLimit});
+        StudyPlan plan;
+        plan.workloads(names).cpi(
+            {Design::Baseline32, Design::ByteSerial},
+            pipeline::PipelineConfig{});
+        const SuiteReport rep = seeder.run(plan);
+        ASSERT_EQ(rep.captures, names.size());
+    }
+
+    // N tenant sessions replay out of the shared read-only store
+    // while one budgeted writer session churns the RAM tier: every
+    // get() it serves spills another entry, so disk loads, LRU
+    // bookkeeping and eviction constantly interleave with the
+    // readers' loads of the same segment files.
+    constexpr int kReaders = 4;
+    constexpr int kChurnRounds = 24;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            Session tenant(SessionConfig{.threads = 2,
+                                         .storeDir = dir_,
+                                         .readOnly = true,
+                                         .captureLimit = kLimit});
+            StudyPlan plan;
+            plan.workloads(names).cpi(
+                {r % 2 == 0 ? Design::Baseline32 : Design::ByteSerial},
+                pipeline::PipelineConfig{});
+            const SuiteReport rep = tenant.run(plan);
+            if (rep.captures != 0 || rep.storeLoads != names.size())
+                failures.fetch_add(1);
+        });
+    }
+    std::thread churn([&] {
+        // A budget far below one trace: the documented degradation
+        // keeps only the most recently used workload resident, so
+        // every round spills what the previous get loaded.
+        Session writer(SessionConfig{.storeDir = dir_,
+                                     .spillBudgetBytes = 4096,
+                                     .captureLimit = kLimit});
+        for (int round = 0; round < kChurnRounds; ++round) {
+            const std::string &name = names[round % names.size()];
+            if (writer.trace(name) == nullptr)
+                failures.fetch_add(1);
+            if (round % 3 == 0)
+                writer.cache().evict(name);
+        }
+        // Four workloads cycling through a sub-trace budget must
+        // have spilled; a zero here means the churn never happened
+        // and the test lost its point.
+        if (writer.cache().spills() == 0)
+            failures.fetch_add(1);
+    });
+    for (std::thread &t : readers)
+        t.join();
+    churn.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(TsanStressTest, SetSimdLevelSticksAgainstConcurrentDispatch)
+{
+    // Deterministic half of the regression: an explicit pin is
+    // never overridden by later dispatch resolution.
+    const simd::SimdLevel before = simd::activeSimdLevel();
+    simd::setSimdLevel(simd::SimdLevel::Scalar);
+    EXPECT_EQ(simd::activeSimdLevel(), simd::SimdLevel::Scalar);
+
+    // Probabilistic half, for TSan: hammer kernel dispatch from
+    // several threads while the main thread cycles the pin through
+    // every available level. The bit-identity contract makes every
+    // interleaving observable as a wrong result: whatever level a
+    // kernel call lands on, its output must equal the scalar
+    // reference.
+    std::vector<Word> input(1024);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = static_cast<Word>(i * 2654435761u);
+    std::vector<sig::ByteMask> reference(input.size());
+    sig::classifyExt3Block(input.data(), input.size(), reference.data());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> hammers;
+    for (int t = 0; t < 4; ++t) {
+        hammers.emplace_back([&] {
+            std::vector<sig::ByteMask> out(input.size());
+            while (!stop.load(std::memory_order_relaxed)) {
+                sig::classifyExt3Block(input.data(), input.size(),
+                                       out.data());
+                if (out != reference)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    const std::vector<simd::SimdLevel> levels =
+        simd::availableSimdLevels();
+    for (int round = 0; round < 400; ++round)
+        simd::setSimdLevel(levels[round % levels.size()]);
+    stop.store(true);
+    for (std::thread &t : hammers)
+        t.join();
+    EXPECT_EQ(mismatches.load(), 0);
+
+    simd::setSimdLevel(before); // leave dispatch as we found it
+}
+
+TEST_F(TsanStressTest, AccountingCountersAreReadableDuringChurn)
+{
+    Session session(SessionConfig{.storeDir = dir_,
+                                  .spillBudgetBytes = 4096,
+                                  .captureLimit = kLimit});
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic"};
+
+    std::atomic<bool> stop{false};
+    std::thread poller([&] {
+        // The counters are documented lock-free: reading them while
+        // gets/spills/evictions run must be race-free and monotone.
+        std::uint64_t last_captures = 0, last_spills = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            analysis::TraceCache &c = session.cache();
+            const std::uint64_t cap = c.captures();
+            const std::uint64_t sp = c.spills();
+            EXPECT_GE(cap, last_captures);
+            EXPECT_GE(sp, last_spills);
+            last_captures = cap;
+            last_spills = sp;
+            c.memoryBytes(); // locked scan racing the mutators
+            (void)c.storeLoads();
+            (void)c.storeSaves();
+        }
+    });
+    std::vector<std::thread> getters;
+    for (int t = 0; t < 3; ++t) {
+        getters.emplace_back([&, t] {
+            for (int round = 0; round < 12; ++round) {
+                const std::string &name =
+                    names[(t + round) % names.size()];
+                ASSERT_NE(session.trace(name), nullptr);
+                if (round % 4 == 3)
+                    session.cache().evict(name);
+            }
+        });
+    }
+    for (std::thread &t : getters)
+        t.join();
+    stop.store(true);
+    poller.join();
+}
+
+} // namespace
+} // namespace sigcomp
