@@ -83,12 +83,28 @@ writeActivityTotalsJson(std::FILE *f, const pipeline::ActivityTotals &a,
     std::fprintf(f, "\n%s}", indent);
 }
 
+/** Minimal JSON string escape (quotes, backslash, control bytes). */
+void
+writeJsonString(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            std::fprintf(f, "\\%c", c);
+        else if (static_cast<unsigned char>(c) < 0x20)
+            std::fprintf(f, "\\u%04x", c);
+        else
+            std::fputc(c, f);
+    }
+    std::fputc('"', f);
+}
+
 } // namespace
 
 void
 SuiteReport::writeJson(std::FILE *f) const
 {
-    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v1\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v2\",\n");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"workloads\": [");
     for (std::size_t i = 0; i < workloads.size(); ++i)
@@ -103,6 +119,18 @@ SuiteReport::writeJson(std::FILE *f) const
                  static_cast<unsigned long long>(replayPasses),
                  static_cast<unsigned long long>(captures),
                  static_cast<unsigned long long>(storeLoads), wallMs);
+    std::fprintf(f,
+                 "  \"health\": {\"store_load_failures\": %llu, "
+                 "\"quarantined_segments\": %llu, \"retries\": %llu, "
+                 "\"degradations\": [",
+                 static_cast<unsigned long long>(storeLoadFailures),
+                 static_cast<unsigned long long>(quarantinedSegments),
+                 static_cast<unsigned long long>(retries));
+    for (std::size_t i = 0; i < degradations.size(); ++i) {
+        std::fprintf(f, "%s", i ? ", " : "");
+        writeJsonString(f, degradations[i]);
+    }
+    std::fprintf(f, "]},\n");
 
     std::fprintf(f, "  \"activity\": [");
     for (std::size_t s = 0; s < activity.size(); ++s) {

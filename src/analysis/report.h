@@ -124,10 +124,21 @@ struct SuiteReport
     std::uint64_t storeLoads = 0;   ///< traces served from the disk tier
     double wallMs = 0.0;
 
+    // -- health accounting (fault handling during this run) ----------
+    // These report COST, never correctness: an injected or real I/O
+    // fault may bump every counter here while the study results above
+    // stay byte-identical to a fault-free run (pinned by
+    // tests/test_fault.cpp).
+    std::uint64_t storeLoadFailures = 0; ///< damaged/unreadable loads
+    std::uint64_t quarantinedSegments = 0; ///< corrupt segments set aside
+    std::uint64_t retries = 0; ///< transient-fault retries in the store
+    /** Degradation events in occurrence order (capped by the cache). */
+    std::vector<std::string> degradations;
+
     /**
-     * Serialize as JSON (schema "sigcomp-suite-report-v1", see README
-     * "Experiment API"). Stable key order, no trailing newline
-     * variance — diffable across runs.
+     * Serialize as JSON (schema "sigcomp-suite-report-v2", see README
+     * "Experiment API"; v2 added the "health" block). Stable key
+     * order, no trailing newline variance — diffable across runs.
      */
     void writeJson(std::FILE *f) const;
 

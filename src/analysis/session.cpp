@@ -38,7 +38,8 @@ Session::Session(SessionConfig config) : config_(std::move(config))
     if (!config_.storeDir.empty()) {
         cache_.configureStore({config_.storeDir,
                                config_.spillBudgetBytes,
-                               config_.readOnly});
+                               config_.readOnly, config_.durableSaves,
+                               config_.env});
     } else if (config_.spillBudgetBytes != 0) {
         cache_.setSpillBudget(config_.spillBudgetBytes);
     }
@@ -121,6 +122,10 @@ Session::run(const StudyPlan &plan)
 
     const std::uint64_t captures0 = cache_.captures();
     const std::uint64_t loads0 = cache_.storeLoads();
+    const std::uint64_t load_failures0 = cache_.storeLoadFailures();
+    const std::uint64_t quarantined0 = cache_.quarantinedSegments();
+    const std::uint64_t retries0 = cache_.storeRetries();
+    const std::size_t degradations0 = cache_.degradations().size();
 
     /**
      * Per-workload results of the fused pass, harvested in the same
@@ -241,6 +246,19 @@ Session::run(const StudyPlan &plan)
     }
     rep.captures = cache_.captures() - captures0;
     rep.storeLoads = cache_.storeLoads() - loads0;
+    // Health deltas: what fault handling cost THIS run. The study
+    // results above are already assembled — the counters can only
+    // describe recovery work, never change a row.
+    rep.storeLoadFailures = cache_.storeLoadFailures() - load_failures0;
+    rep.quarantinedSegments =
+        cache_.quarantinedSegments() - quarantined0;
+    rep.retries = cache_.storeRetries() - retries0;
+    const std::vector<std::string> events = cache_.degradations();
+    rep.degradations.assign(
+        events.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(degradations0, events.size())),
+        events.end());
     rep.wallMs = nowMs() - t0;
     return rep;
 }

@@ -70,6 +70,14 @@ struct SessionConfig
     bool readOnly = false;
     /** Per-workload capture cap (see TraceCache::setCaptureLimit). */
     DWord captureLimit = cpu::TraceBuffer::defaultMaxInstrs;
+    /** fsync-guard published segments (store::StoreOptions). */
+    bool durableSaves = true;
+    /**
+     * I/O seam handed to the store (nullptr = real filesystem). The
+     * fault-injection tests run whole sessions over a hostile Env;
+     * only the health counters may differ from a fault-free run.
+     */
+    Env *env = nullptr;
 };
 
 class Session

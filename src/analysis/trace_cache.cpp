@@ -70,27 +70,30 @@ TraceCache::get(const std::string &workload)
                            : workloads::Suite::build(workload);
 
             // Disk tier first: a hit skips functional capture. Any
-            // load failure — missing, stale, corrupt — silently
-            // falls through to recapture (the store is a cache, not
-            // a source of truth).
+            // load failure falls through to recapture (the store is
+            // a cache, not a source of truth) — ordinary misses
+            // silently, damage counted and quarantined so the
+            // write-through below heals the segment.
             bool legacy = false;
-            if (store != nullptr)
-                trace = store->load(workload, w.program, limit, nullptr,
-                                    &legacy);
+            if (store != nullptr) {
+                std::string why;
+                auto failure = store::LoadFailure::None;
+                trace = store->load(workload, w.program, limit, &why,
+                                    &legacy, &failure);
+                if (trace == nullptr &&
+                    failure != store::LoadFailure::Missing &&
+                    failure != store::LoadFailure::Stale)
+                    noteLoadFailure(*store, workload, failure, why);
+            }
             if (trace != nullptr) {
                 storeLoads_.fetch_add(1);
                 // Write-through upgrade: a segment in an accepted
                 // older format replays fine, but re-saving it now
                 // (sidecar annex rebuilt during load) means every
                 // later process reads the current format.
-                if (legacy && !store->readOnly()) {
-                    std::string why;
-                    if (store->save(workload, *trace, limit, &why))
-                        storeSaves_.fetch_add(1);
-                    else
-                        SC_WARN("trace store: cannot upgrade '",
-                                workload, "': ", why);
-                }
+                if (legacy && !store->readOnly())
+                    saveThrough(*store, workload, *trace, limit,
+                                "upgrade");
             } else {
                 trace = std::make_shared<cpu::TraceBuffer>(
                     cpu::TraceBuffer::capture(w.program, limit, capped));
@@ -98,14 +101,9 @@ TraceCache::get(const std::string &workload)
                 // Write-through so the *next* process skips capture.
                 // A failed save (full disk, races) costs nothing but
                 // a later recapture.
-                if (store != nullptr && !store->readOnly()) {
-                    std::string why;
-                    if (store->save(workload, *trace, limit, &why))
-                        storeSaves_.fetch_add(1);
-                    else
-                        SC_WARN("trace store: cannot save '", workload,
-                                "': ", why);
-                }
+                if (store != nullptr && !store->readOnly())
+                    saveThrough(*store, workload, *trace, limit,
+                                "save");
             }
         } catch (...) {
             // Don't poison the slot with a broken future: drop the
@@ -149,11 +147,22 @@ TraceCache::configureStore(const StoreConfig &config)
         store_.reset();
         return;
     }
+    Env &want_env =
+        config.env != nullptr ? *config.env : Env::posix();
     if (store_ != nullptr && store_->dir() == config.dir &&
-        store_->readOnly() == config.readOnly)
+        store_->readOnly() == config.readOnly &&
+        &store_->env() == &want_env)
         return;
-    store_ =
-        std::make_shared<store::TraceStore>(config.dir, config.readOnly);
+    store_ = std::make_shared<store::TraceStore>(
+        config.dir,
+        store::StoreOptions{.readOnly = config.readOnly,
+                            .durableSaves = config.durableSaves,
+                            .env = config.env});
+    // A fresh store binding starts with a clean write-degradation
+    // slate: the fault history of the old directory says nothing
+    // about the new one.
+    writesDegraded_.store(false);
+    transientSaveFailures_.store(0);
 }
 
 void
@@ -209,6 +218,15 @@ TraceCache::enforceBudget(const std::string &keep)
 {
     MutexLock lock(mu_);
     if (spillBudget_ == 0)
+        return;
+    // A store that turned unwritable mid-run can no longer back the
+    // RAM tier: entries captured after the degradation have no disk
+    // copy, so spilling them would cost a recapture per re-touch.
+    // Keep everything resident instead (graceful degradation trades
+    // memory for forward progress). Spill-without-store is different
+    // and stays enabled: there recapture-on-touch is the documented
+    // contract, not a degradation.
+    if (writesDegraded_.load() && store_ != nullptr)
         return;
     // Spill = drop from RAM. Everything that reaches the RAM tier
     // was already written through to (or loaded from) the store, so
@@ -283,12 +301,87 @@ TraceCache::persistAnnexes(const std::string &workload,
     }
     if (!missing)
         return;
+    saveThrough(*store, workload, trace, limit_.load(),
+                "persist annexes for");
+}
+
+std::uint64_t
+TraceCache::storeRetries() const
+{
+    MutexLock lock(mu_);
+    return store_ != nullptr ? store_->retries() : 0;
+}
+
+std::vector<std::string>
+TraceCache::degradations() const
+{
+    MutexLock lock(mu_);
+    return degradations_;
+}
+
+void
+TraceCache::recordDegradation(std::string event)
+{
+    MutexLock lock(mu_);
+    if (degradations_.size() < kMaxDegradations)
+        degradations_.push_back(std::move(event));
+}
+
+void
+TraceCache::noteLoadFailure(const store::TraceStore &store,
+                            const std::string &workload,
+                            store::LoadFailure failure,
+                            const std::string &why)
+{
+    storeLoadFailures_.fetch_add(1);
+    if (failure == store::LoadFailure::Corrupt && !store.readOnly()) {
+        std::string quarantined_path;
+        if (store.quarantine(workload, &quarantined_path)) {
+            quarantined_.fetch_add(1);
+            SC_WARN("trace store: quarantined corrupt segment '",
+                    workload, "' (", why, ") -> ", quarantined_path);
+            recordDegradation("quarantined '" + workload +
+                              "': " + why);
+            return;
+        }
+    }
+    SC_WARN("trace store: cannot load '", workload, "' (", why,
+            "); falling back to capture");
+    recordDegradation("load failed '" + workload + "': " + why);
+}
+
+bool
+TraceCache::saveThrough(const store::TraceStore &store,
+                        const std::string &workload,
+                        const cpu::TraceBuffer &trace, DWord limit,
+                        const char *what)
+{
+    // Once degraded, stop trying: each attempt re-serializes the
+    // whole trace just to fail at the first write.
+    if (writesDegraded_.load())
+        return false;
     std::string why;
-    if (store->save(workload, trace, limit_.load(), &why))
+    EnvFault fault = EnvFault::None;
+    if (store.save(workload, trace, limit, &why, &fault)) {
         storeSaves_.fetch_add(1);
-    else
-        SC_WARN("trace store: cannot persist annexes for '", workload,
-                "': ", why);
+        transientSaveFailures_.store(0);
+        return true;
+    }
+    SC_WARN("trace store: cannot ", what, " '", workload, "': ", why);
+    // Degradation policy: permanent fault classes disable writes at
+    // once; transient classes only after several *exhausted* retry
+    // rounds in a row (each store->save already retried internally).
+    bool degrade = true;
+    if (fault == EnvFault::Transient)
+        degrade = transientSaveFailures_.fetch_add(1) + 1 >= 3;
+    if (degrade && !writesDegraded_.exchange(true)) {
+        SC_WARN("trace store: writes disabled for this session (",
+                envFaultName(fault),
+                "); traces stay RAM-resident, spill-to-store off");
+        recordDegradation(std::string("store writes disabled (") +
+                          envFaultName(fault) + "): " + why);
+    }
+    return false;
 }
 
 void

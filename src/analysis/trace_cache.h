@@ -64,6 +64,10 @@ struct StoreConfig
     std::size_t spillBudgetBytes = 0;
     /** Never write segments (CI replay of a shared/cached store). */
     bool readOnly = false;
+    /** fsync-guard published segments (store::StoreOptions). */
+    bool durableSaves = true;
+    /** I/O seam handed to the store; nullptr = real filesystem. */
+    Env *env = nullptr;
 };
 
 class TraceCache
@@ -156,6 +160,46 @@ class TraceCache
      */
     std::uint64_t spills() const { return spills_.load(); }
 
+    // ---- health counters (SuiteReport v2 "health" block) -------------
+
+    /**
+     * Store loads that failed for a damaged or unreadable segment
+     * (LoadFailure::Corrupt/Io). Ordinary misses — no segment, stale
+     * capture parameters — don't count: they are the cache working
+     * as designed, not a fault.
+     */
+    std::uint64_t storeLoadFailures() const
+    {
+        return storeLoadFailures_.load();
+    }
+
+    /** Corrupt segments renamed aside (then healed by recapture). */
+    std::uint64_t quarantinedSegments() const
+    {
+        return quarantined_.load();
+    }
+
+    /** Transient-fault retries performed by the attached store. */
+    std::uint64_t storeRetries() const;
+
+    /**
+     * True once store writes were disabled mid-run: a permanent
+     * fault class (ENOSPC/EROFS-class) or repeated transient
+     * exhaustion on save. The session keeps running — captures stay
+     * RAM-resident and spill-to-store stops — it just loses the
+     * cross-process warm-start benefit.
+     */
+    bool storeWritesDegraded() const { return writesDegraded_.load(); }
+
+    /**
+     * Human-readable degradation events in occurrence order
+     * (quarantines, write-disable transitions, unreadable-store
+     * fallbacks), capped at kMaxDegradations.
+     */
+    std::vector<std::string> degradations() const;
+
+    static constexpr std::size_t kMaxDegradations = 100;
+
     /**
      * Persist @p workload's derived "quanta:" annexes (the
      * SharedQuanta records replays published on @p trace) to the
@@ -195,6 +239,30 @@ class TraceCache
     std::size_t memoryBytesLocked() const SIGCOMP_REQUIRES(mu_);
 
     /**
+     * Write-through save with failure classification: on success
+     * bumps storeSaves_, on failure warns and feeds the degradation
+     * policy (permanent fault, or repeated transient exhaustion,
+     * disables further writes). @p what labels the save kind in the
+     * warning ("save", "upgrade", "persist annexes for").
+     */
+    bool saveThrough(const store::TraceStore &store,
+                     const std::string &workload,
+                     const cpu::TraceBuffer &trace, DWord limit,
+                     const char *what) SIGCOMP_EXCLUDES(mu_);
+
+    /** Record a degradation event (capped at kMaxDegradations). */
+    void recordDegradation(std::string event) SIGCOMP_EXCLUDES(mu_);
+
+    /**
+     * Classify a failed store load: count it, quarantine corrupt
+     * segments on writable stores, record the degradation event.
+     */
+    void noteLoadFailure(const store::TraceStore &store,
+                         const std::string &workload,
+                         store::LoadFailure failure,
+                         const std::string &why) SIGCOMP_EXCLUDES(mu_);
+
+    /**
      * Guards every map/tier field below. Held only for bookkeeping —
      * never across capture, store I/O, or future.get() on a pending
      * entry — so a slow capture can't stall unrelated workloads.
@@ -220,6 +288,12 @@ class TraceCache
     std::atomic<std::uint64_t> storeSaves_{0};
     std::atomic<std::uint64_t> spills_{0};
     std::atomic<DWord> limit_{cpu::TraceBuffer::defaultMaxInstrs};
+    std::atomic<std::uint64_t> storeLoadFailures_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    /** Consecutive transient-exhausted save failures. */
+    std::atomic<unsigned> transientSaveFailures_{0};
+    std::atomic<bool> writesDegraded_{false};
+    std::vector<std::string> degradations_ SIGCOMP_GUARDED_BY(mu_);
 };
 
 } // namespace sigcomp::analysis

@@ -1,0 +1,393 @@
+#include "common/fault_env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+namespace sigcomp
+{
+
+namespace
+{
+
+/** xorshift64* step (same generator as common/rng.h, inlined so the
+ *  env owns its raw state word under mu_). */
+std::uint64_t
+xorshiftNext(std::uint64_t &state)
+{
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+}
+
+EnvStatus
+faultStatus(FaultKind kind, const char *op, const std::string &path)
+{
+    const std::string where =
+        std::string(op) + " '" + path + "': injected " +
+        faultKindName(kind);
+    switch (kind) {
+    case FaultKind::Eio:
+        return EnvStatus::error(EnvFault::Transient, where);
+    case FaultKind::Enospc:
+        return EnvStatus::error(EnvFault::NoSpace, where);
+    case FaultKind::Erofs:
+        return EnvStatus::error(EnvFault::ReadOnly, where);
+    case FaultKind::Crash:
+        return EnvStatus::error(EnvFault::Crashed, where);
+    case FaultKind::ShortRead:
+    case FaultKind::TornWrite:
+        // Silent kinds report success; this status is only used when
+        // the kind degrades to an error on a mismatched op.
+        return EnvStatus::error(EnvFault::Transient, where);
+    }
+    return EnvStatus::error(EnvFault::Other, where);
+}
+
+/** Truncated copy of a base FileView (the ShortRead payload). */
+class TruncatedView : public Env::FileView
+{
+  public:
+    TruncatedView(const Env::FileView &base, std::size_t n)
+        : bytes_(base.data(), base.data() + std::min(n, base.size()))
+    {}
+
+    const std::uint8_t *data() const override { return bytes_.data(); }
+    std::size_t size() const override { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::Eio: return "eio";
+    case FaultKind::Enospc: return "enospc";
+    case FaultKind::Erofs: return "erofs";
+    case FaultKind::ShortRead: return "short-read";
+    case FaultKind::TornWrite: return "torn-write";
+    case FaultKind::Crash: return "crash";
+    }
+    return "?";
+}
+
+/**
+ * Wraps a base WritableFile so its append/sync/close count as ops and
+ * can fault. A torn append (TornWrite, or Crash with a byte budget)
+ * forwards only the first k bytes to the base file.
+ */
+class FaultWritableFile : public Env::WritableFile
+{
+  public:
+    FaultWritableFile(std::unique_ptr<Env::WritableFile> base,
+                      FaultInjectingEnv &env, std::string path)
+        : base_(std::move(base)), env_(env), path_(std::move(path))
+    {}
+
+    EnvStatus
+    append(const void *data, std::size_t n) override
+    {
+        const auto d = env_.nextOp("append", path_, n);
+        if (!d.fault)
+            return base_->append(data, n);
+        const std::size_t keep =
+            std::min<std::size_t>(static_cast<std::size_t>(d.bytes), n);
+        switch (d.kind) {
+        case FaultKind::TornWrite:
+            // Silent tear: part of the payload lands, success is
+            // reported anyway — the fsync-less power-loss shape.
+            if (keep > 0)
+                base_->append(data, keep);
+            return EnvStatus::good();
+        case FaultKind::Crash:
+            if (keep > 0)
+                base_->append(data, keep);
+            base_->sync();
+            return d.status;
+        default:
+            return d.status;
+        }
+    }
+
+    EnvStatus
+    sync() override
+    {
+        const auto d = env_.nextOp("sync", path_, 0);
+        if (d.fault)
+            return d.status;
+        return base_->sync();
+    }
+
+    EnvStatus
+    close() override
+    {
+        const auto d = env_.nextOp("close", path_, 0);
+        if (d.fault) {
+            base_->close(); // release the fd either way
+            return d.status;
+        }
+        return base_->close();
+    }
+
+  private:
+    std::unique_ptr<Env::WritableFile> base_;
+    FaultInjectingEnv &env_;
+    std::string path_;
+};
+
+void
+FaultInjectingEnv::addFault(const FaultSpec &spec)
+{
+    MutexLock lock(mu_);
+    scripted_.emplace(spec.opIndex, spec);
+}
+
+void
+FaultInjectingEnv::enableRandomFaults(std::uint64_t seed,
+                                      unsigned per_mille,
+                                      bool include_crash)
+{
+    MutexLock lock(mu_);
+    random_ = true;
+    randomCrash_ = include_crash;
+    perMille_ = std::min(per_mille, 1000u);
+    seed_ = seed;
+    rngState_ = seed ? seed : 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t
+FaultInjectingEnv::opCount() const
+{
+    MutexLock lock(mu_);
+    return ops_;
+}
+
+std::uint64_t
+FaultInjectingEnv::faultsInjected() const
+{
+    MutexLock lock(mu_);
+    return injected_;
+}
+
+bool
+FaultInjectingEnv::crashed() const
+{
+    MutexLock lock(mu_);
+    return crashed_;
+}
+
+std::string
+FaultInjectingEnv::script() const
+{
+    MutexLock lock(mu_);
+    std::string out = "# sigcomp fault script\n";
+    if (random_) {
+        char line[96];
+        std::snprintf(line, sizeof line,
+                      "# seed %llu per-mille %u crash %d\n",
+                      static_cast<unsigned long long>(seed_), perMille_,
+                      randomCrash_ ? 1 : 0);
+        out += line;
+    }
+    for (const std::string &f : fired_) {
+        out += f;
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<std::string>
+FaultInjectingEnv::opLog() const
+{
+    MutexLock lock(mu_);
+    return log_;
+}
+
+FaultInjectingEnv::Decision
+FaultInjectingEnv::nextOp(const char *op, const std::string &path,
+                          std::uint64_t data_bytes)
+{
+    MutexLock lock(mu_);
+    const std::uint64_t index = ops_++;
+    if (log_.size() < kMaxLoggedOps)
+        log_.push_back(std::string(op) + " " + path);
+
+    Decision d;
+    if (crashed_) {
+        // The simulated process is dead; nothing succeeds any more.
+        d.fault = true;
+        d.kind = FaultKind::Crash;
+        d.bytes = 0;
+        d.status = faultStatus(FaultKind::Crash, op, path);
+        return d;
+    }
+
+    const auto it = scripted_.find(index);
+    if (it != scripted_.end()) {
+        d.fault = true;
+        d.kind = it->second.kind;
+        // data_bytes is 0 when the op's size is unknown at decision
+        // time (loadFile); the op clamps against the real size then.
+        d.bytes = data_bytes > 0 ? std::min(it->second.bytes, data_bytes)
+                                 : it->second.bytes;
+    } else if (random_ && perMille_ > 0 &&
+               xorshiftNext(rngState_) % 1000 < perMille_) {
+        const unsigned kinds = randomCrash_ ? 6 : 5;
+        d.fault = true;
+        d.kind = static_cast<FaultKind>(xorshiftNext(rngState_) % kinds);
+        d.bytes = data_bytes > 0
+                      ? xorshiftNext(rngState_) % data_bytes
+                      : 0;
+    }
+    if (!d.fault)
+        return d;
+
+    // Degrade data-bearing kinds on ops that carry no data stream:
+    // a short read of a rename makes no sense, so inject EIO there.
+    const bool is_append = std::string_view(op) == "append";
+    const bool is_load = std::string_view(op) == "load";
+    if (d.kind == FaultKind::TornWrite && !is_append)
+        d.kind = FaultKind::Eio;
+    if (d.kind == FaultKind::ShortRead && !is_load)
+        d.kind = FaultKind::Eio;
+
+    if (d.kind == FaultKind::Crash)
+        crashed_ = true;
+    ++injected_;
+    {
+        char line[64];
+        std::snprintf(line, sizeof line, "op %llu %s %llu ",
+                      static_cast<unsigned long long>(index),
+                      faultKindName(d.kind),
+                      static_cast<unsigned long long>(d.bytes));
+        fired_.push_back(std::string(line) + op + " " + path);
+    }
+    d.status = faultStatus(d.kind, op, path);
+    return d;
+}
+
+std::unique_ptr<Env::FileView>
+FaultInjectingEnv::loadFile(const std::string &path, EnvStatus *status)
+{
+    const auto d = nextOp("load", path, 0);
+    if (d.fault && d.kind != FaultKind::ShortRead) {
+        if (status != nullptr)
+            *status = d.status;
+        return nullptr;
+    }
+    EnvStatus st;
+    auto view = base_.loadFile(path, &st);
+    if (view == nullptr) {
+        if (status != nullptr)
+            *status = st;
+        return nullptr;
+    }
+    if (d.fault && d.kind == FaultKind::ShortRead) {
+        // Silent truncation: callers see a successful load of a
+        // shorter file, exactly like bit rot truncating the tail.
+        // Scripted faults pin the cut; random ones halve the file.
+        const std::size_t keep =
+            d.bytes > 0 ? std::min<std::size_t>(
+                              static_cast<std::size_t>(d.bytes),
+                              view->size())
+                        : view->size() / 2;
+        view = std::make_unique<TruncatedView>(*view, keep);
+    }
+    if (status != nullptr)
+        *status = EnvStatus::good();
+    return view;
+}
+
+std::unique_ptr<Env::WritableFile>
+FaultInjectingEnv::createFile(const std::string &path, EnvStatus *status)
+{
+    const auto d = nextOp("create", path, 0);
+    if (d.fault) {
+        if (status != nullptr)
+            *status = d.status;
+        return nullptr;
+    }
+    EnvStatus st;
+    auto base = base_.createFile(path, &st);
+    if (base == nullptr) {
+        if (status != nullptr)
+            *status = st;
+        return nullptr;
+    }
+    if (status != nullptr)
+        *status = EnvStatus::good();
+    return std::make_unique<FaultWritableFile>(std::move(base), *this,
+                                               path);
+}
+
+EnvStatus
+FaultInjectingEnv::renameFile(const std::string &from,
+                              const std::string &to)
+{
+    const auto d = nextOp("rename", from, 0);
+    if (d.fault)
+        return d.status;
+    return base_.renameFile(from, to);
+}
+
+EnvStatus
+FaultInjectingEnv::removeFile(const std::string &path)
+{
+    const auto d = nextOp("remove", path, 0);
+    if (d.fault)
+        return d.status;
+    return base_.removeFile(path);
+}
+
+bool
+FaultInjectingEnv::fileExists(const std::string &path)
+{
+    // Existence probes are not counted: they are cheap, read-only,
+    // and counting them would make crash-matrix op indices depend on
+    // incidental cache probing.
+    {
+        MutexLock lock(mu_);
+        if (crashed_)
+            return false;
+    }
+    return base_.fileExists(path);
+}
+
+EnvStatus
+FaultInjectingEnv::createDirs(const std::string &dir)
+{
+    const auto d = nextOp("mkdirs", dir, 0);
+    if (d.fault)
+        return d.status;
+    return base_.createDirs(dir);
+}
+
+std::vector<std::string>
+FaultInjectingEnv::listDir(const std::string &dir, EnvStatus *status)
+{
+    const auto d = nextOp("list", dir, 0);
+    if (d.fault) {
+        if (status != nullptr)
+            *status = d.status;
+        return {};
+    }
+    return base_.listDir(dir, status);
+}
+
+EnvStatus
+FaultInjectingEnv::syncDir(const std::string &dir)
+{
+    const auto d = nextOp("syncdir", dir, 0);
+    if (d.fault)
+        return d.status;
+    return base_.syncDir(dir);
+}
+
+} // namespace sigcomp

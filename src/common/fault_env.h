@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Deterministic fault-injecting Env: the robustness test harness
+ * behind the store/session fail-soft guarantees.
+ *
+ * Wraps any base Env (normally Env::posix()) and injects faults at
+ * exact operation indices — every Env call increments one global op
+ * counter — either from a script (addFault: "at op 17, ENOSPC") or
+ * from a seeded RNG sweep (enableRandomFaults: every op fails with
+ * probability p, fault class drawn uniformly). Both modes are fully
+ * deterministic: the same seed or script over the same call sequence
+ * injects the same faults, so a CI failure is reproducible from the
+ * one-line script() dump alone.
+ *
+ * Fault classes (FaultKind):
+ *
+ *   Eio        op fails with a Transient status (retryable)
+ *   Enospc     op fails with NoSpace (permanent: disk full)
+ *   Erofs      op fails with ReadOnly (permanent: store unwritable)
+ *   ShortRead  loadFile SILENTLY returns a truncated view (bit rot /
+ *              torn read; non-read ops degrade to Eio)
+ *   TornWrite  append SILENTLY writes only the first k bytes and
+ *              reports success (fsync-less power loss reordering;
+ *              non-append ops degrade to Eio)
+ *   Crash      the simulated process dies: the op writes at most k
+ *              bytes (torn) and this and every later op fails with
+ *              Crashed. Reopen the directory with a fresh Env to
+ *              model the post-crash restart.
+ *
+ * The crash-consistency matrix (tests/test_fault.cpp) runs one save
+ * to count its ops, then replays it once per op index with a Crash
+ * injected there, proving every intermediate on-disk state reopens
+ * as either the old segment, the new segment, or a soft failure.
+ *
+ * Thread-safety: all state is guarded by one mutex; the op order
+ * under concurrency is whatever the thread interleaving makes it, so
+ * deterministic matrices should drive the env single-threaded.
+ */
+
+#ifndef SIGCOMP_COMMON_FAULT_ENV_H_
+#define SIGCOMP_COMMON_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace sigcomp
+{
+
+/** What to inject when a fault fires (see file comment). */
+enum class FaultKind : std::uint8_t
+{
+    Eio = 0,
+    Enospc,
+    Erofs,
+    ShortRead,
+    TornWrite,
+    Crash,
+};
+
+/** Stable lowercase name of @p kind (scripts, logs). */
+const char *faultKindName(FaultKind kind);
+
+/** One scripted fault: fire @p kind when the op counter hits @p opIndex. */
+struct FaultSpec
+{
+    std::uint64_t opIndex = 0;
+    FaultKind kind = FaultKind::Eio;
+    /**
+     * Byte argument for the data-bearing kinds: the truncated view
+     * size (ShortRead), the bytes silently written (TornWrite), or
+     * the bytes written before dying (Crash during an append).
+     * Clamped to the op's actual size.
+     */
+    std::uint64_t bytes = 0;
+};
+
+class FaultInjectingEnv : public Env
+{
+  public:
+    explicit FaultInjectingEnv(Env &base) : base_(base) {}
+
+    /** Script one fault. Later specs at the same index are ignored. */
+    void addFault(const FaultSpec &spec);
+
+    /**
+     * Seeded random mode: every op faults with probability
+     * @p per_mille / 1000, class drawn uniformly from the enabled
+     * set (Crash only when @p include_crash). Deterministic per
+     * (seed, op sequence). Scripted faults still take precedence.
+     */
+    void enableRandomFaults(std::uint64_t seed, unsigned per_mille,
+                            bool include_crash = false);
+
+    /** Ops performed (or refused) so far. */
+    std::uint64_t opCount() const;
+
+    /** Faults actually fired so far. */
+    std::uint64_t faultsInjected() const;
+
+    /** True once a Crash fault fired; all later ops fail Crashed. */
+    bool crashed() const;
+
+    /**
+     * Human-readable, order-stable record of every fault fired —
+     * `op <index> <kind> <bytes> <operation> <path>` lines plus the
+     * seed header. A failing seeded CI run uploads this as the
+     * reproduction recipe.
+     */
+    std::string script() const;
+
+    /**
+     * The op-name sequence performed so far ("create", "append",
+     * "sync", "close", "rename", "syncdir", ...), capped at
+     * kMaxLoggedOps. Tests pin durability ordering (sync before
+     * rename) against it.
+     */
+    std::vector<std::string> opLog() const;
+
+    // ---- Env interface -------------------------------------------------
+    std::unique_ptr<FileView>
+    loadFile(const std::string &path, EnvStatus *status) override;
+    std::unique_ptr<WritableFile>
+    createFile(const std::string &path, EnvStatus *status) override;
+    EnvStatus renameFile(const std::string &from,
+                         const std::string &to) override;
+    EnvStatus removeFile(const std::string &path) override;
+    bool fileExists(const std::string &path) override;
+    EnvStatus createDirs(const std::string &dir) override;
+    std::vector<std::string>
+    listDir(const std::string &dir, EnvStatus *status) override;
+    EnvStatus syncDir(const std::string &dir) override;
+
+    static constexpr std::size_t kMaxLoggedOps = 100'000;
+
+  private:
+    friend class FaultWritableFile;
+
+    /** Outcome of the fault decision for one op. */
+    struct Decision
+    {
+        FaultKind kind = FaultKind::Eio;
+        std::uint64_t bytes = 0;
+        bool fault = false;
+        /** Error to return for the erroring kinds. */
+        EnvStatus status;
+    };
+
+    /**
+     * Count the op, record it, and decide whether a fault fires.
+     * @p dataBytes is the op's payload size (append/loadFile) used
+     * to clamp byte arguments and to draw random tear points.
+     */
+    Decision nextOp(const char *op, const std::string &path,
+                    std::uint64_t data_bytes);
+
+    Env &base_;
+    mutable Mutex mu_;
+    std::map<std::uint64_t, FaultSpec> scripted_ SIGCOMP_GUARDED_BY(mu_);
+    std::vector<std::string> log_ SIGCOMP_GUARDED_BY(mu_);
+    std::vector<std::string> fired_ SIGCOMP_GUARDED_BY(mu_);
+    std::uint64_t ops_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    std::uint64_t injected_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    bool crashed_ SIGCOMP_GUARDED_BY(mu_) = false;
+    bool random_ SIGCOMP_GUARDED_BY(mu_) = false;
+    bool randomCrash_ SIGCOMP_GUARDED_BY(mu_) = false;
+    unsigned perMille_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    std::uint64_t seed_ SIGCOMP_GUARDED_BY(mu_) = 0;
+    std::uint64_t rngState_ SIGCOMP_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace sigcomp
+
+#endif // SIGCOMP_COMMON_FAULT_ENV_H_

@@ -3,16 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fcntl.h>
-#include <filesystem>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <system_error>
+#include <thread>
 #include <unistd.h>
 
 #include "common/crc32.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "cpu/trace_buffer.h"
 #include "pipeline/pipeline.h"
@@ -21,8 +19,6 @@
 
 namespace sigcomp::store
 {
-
-namespace fs = std::filesystem;
 
 namespace
 {
@@ -115,80 +111,6 @@ sanitize(const std::string &name)
     }
     return out;
 }
-
-/**
- * Read-only view of a segment file, memory-mapped so the column
- * decoders stream straight out of the page cache instead of paying a
- * read-then-decode copy of the whole file. Falls back to a heap read
- * when mmap is unavailable (exotic filesystems); either way the view
- * is plain (data, size) bytes.
- */
-class MappedFile
-{
-  public:
-    explicit MappedFile(const std::string &path)
-    {
-        const int fd = ::open(path.c_str(), O_RDONLY);
-        if (fd < 0)
-            return;
-        struct stat st;
-        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-            ::close(fd);
-            return;
-        }
-        size_ = static_cast<std::size_t>(st.st_size);
-        if (size_ == 0) {
-            ::close(fd);
-            ok_ = true; // empty file: valid, zero-length view
-            return;
-        }
-        void *m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
-        if (m != MAP_FAILED) {
-            map_ = m;
-            ok_ = true;
-            ::close(fd);
-            return;
-        }
-        // Fallback: plain read into the heap.
-        heap_.resize(size_);
-        std::size_t got = 0;
-        while (got < size_) {
-            const ssize_t r =
-                ::read(fd, heap_.data() + got, size_ - got);
-            if (r <= 0)
-                break;
-            got += static_cast<std::size_t>(r);
-        }
-        ::close(fd);
-        ok_ = got == size_;
-    }
-
-    ~MappedFile()
-    {
-        if (map_ != nullptr)
-            ::munmap(map_, size_);
-    }
-
-    MappedFile(const MappedFile &) = delete;
-    MappedFile &operator=(const MappedFile &) = delete;
-
-    bool ok() const { return ok_; }
-    std::size_t size() const { return size_; }
-
-    const std::uint8_t *
-    data() const
-    {
-        return map_ != nullptr
-                   ? static_cast<const std::uint8_t *>(map_)
-                   : heap_.data();
-    }
-
-  private:
-    void *map_ = nullptr;
-    std::size_t size_ = 0;
-    std::vector<std::uint8_t> heap_;
-    bool ok_ = false;
-};
 
 /** Parsed header + directory, offsets into the raw file bytes. */
 struct Segment
@@ -1142,21 +1064,67 @@ SegmentInfo::encodedBytes() const
     return total;
 }
 
-TraceStore::TraceStore(std::string dir, bool read_only)
-    : dir_(std::move(dir)), readOnly_(read_only)
+TraceStore::TraceStore(std::string dir, const StoreOptions &options)
+    : dir_(std::move(dir)), readOnly_(options.readOnly),
+      durableSaves_(options.durableSaves),
+      transientRetries_(options.transientRetries),
+      retryBackoffMs_(options.retryBackoffMs),
+      env_(options.env != nullptr ? options.env : &Env::posix())
 {
-    if (!readOnly_) {
-        std::error_code ec;
-        fs::create_directories(dir_, ec);
-        SC_ASSERT(!ec, "cannot create trace store directory '", dir_,
-                  "': ", ec.message());
+    if (readOnly_)
+        return;
+    EnvStatus st;
+    for (unsigned attempt = 0;; ++attempt) {
+        st = env_->createDirs(dir_);
+        if (st.ok() || !st.transient() || attempt == transientRetries_)
+            break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
     }
+    if (!st.ok()) {
+        // Fail-soft: the store opens empty and unwritable rather than
+        // killing the process — sessions degrade to capture-only.
+        dirFailed_ = true;
+        SC_WARN("cannot create trace store directory '", dir_, "' (",
+                st.message, "); store degraded to capture-only");
+    }
+}
+
+void
+TraceStore::backoff(unsigned attempt) const
+{
+    if (retryBackoffMs_ == 0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::uint64_t{retryBackoffMs_}
+                                  << std::min(attempt, 10u)));
+}
+
+std::unique_ptr<Env::FileView>
+TraceStore::mapSegment(const std::string &path, EnvStatus *status) const
+{
+    EnvStatus st;
+    for (unsigned attempt = 0;; ++attempt) {
+        auto view = env_->loadFile(path, &st);
+        if (view != nullptr) {
+            if (status != nullptr)
+                *status = EnvStatus::good();
+            return view;
+        }
+        if (!st.transient() || attempt == transientRetries_)
+            break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+    }
+    if (status != nullptr)
+        *status = st;
+    return nullptr;
 }
 
 std::string
 TraceStore::segmentPath(const std::string &workload) const
 {
-    return (fs::path(dir_) / (sanitize(workload) + ".sctrace")).string();
+    return dir_ + "/" + sanitize(workload) + ".sctrace";
 }
 
 std::uint32_t
@@ -1183,104 +1151,228 @@ TraceStore::programFingerprint(const isa::Program &program)
 
 std::shared_ptr<cpu::TraceBuffer>
 TraceStore::load(const std::string &workload, const isa::Program &program,
-                 DWord capture_limit, std::string *why,
-                 bool *legacy) const
+                 DWord capture_limit, std::string *why, bool *legacy,
+                 LoadFailure *failure) const
 {
+    const auto classify = [&](LoadFailure f) {
+        if (failure != nullptr)
+            *failure = f;
+    };
+    classify(LoadFailure::None);
     if (legacy != nullptr)
         *legacy = false;
-    const MappedFile file(segmentPath(workload));
-    if (!file.ok()) {
-        fail(why, "no segment");
+    EnvStatus st;
+    const auto file = mapSegment(segmentPath(workload), &st);
+    if (file == nullptr) {
+        if (st.fault == EnvFault::NotFound) {
+            classify(LoadFailure::Missing);
+            fail(why, "no segment");
+        } else {
+            classify(LoadFailure::Io);
+            fail(why, "read failed: " + st.message);
+        }
         return nullptr;
     }
+    classify(LoadFailure::Corrupt); // until proven otherwise below
     Segment seg;
-    if (!parseSegment(file.data(), file.size(), seg, why))
+    if (!parseSegment(file->data(), file->size(), seg, why))
         return nullptr;
     if (seg.programCrc != programFingerprint(program)) {
+        classify(LoadFailure::Stale);
         fail(why, "program fingerprint mismatch (workload changed)");
         return nullptr;
     }
     if (seg.captureLimit != capture_limit) {
+        classify(LoadFailure::Stale);
         fail(why, "capture-limit mismatch");
         return nullptr;
     }
-    auto buf = TraceSerializer::deserialize(file.data(), seg, program,
+    auto buf = TraceSerializer::deserialize(file->data(), seg, program,
                                             why);
     // Only version 1 needs the write-through upgrade re-save: a
     // version-2 segment IS the current annex-less layout (annexes
     // are added separately by TraceCache::persistAnnexes when a
     // study first derives them).
-    if (buf != nullptr && legacy != nullptr)
-        *legacy = seg.version < formatVersionNoAnnex;
+    if (buf != nullptr) {
+        classify(LoadFailure::None);
+        if (legacy != nullptr)
+            *legacy = seg.version < formatVersionNoAnnex;
+    }
     return buf;
+}
+
+EnvFault
+TraceStore::saveOnce(const std::string &path,
+                     const std::vector<std::uint8_t> &bytes,
+                     std::string *why) const
+{
+    // Unique per save, not just per process: two threads saving the
+    // same workload (global + local cache, prewarm races) must not
+    // truncate each other's in-progress temp file.
+    static std::atomic<std::uint64_t> save_seq{0};
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid())) + "." +
+        std::to_string(save_seq.fetch_add(1));
+    EnvStatus st;
+    auto file = env_->createFile(tmp, &st);
+    if (file == nullptr) {
+        fail(why, st.message);
+        return st.fault;
+    }
+    st = file->append(bytes.data(), bytes.size());
+    // Durable saves fsync the temp file BEFORE the rename: without
+    // it, power loss can reorder the rename ahead of the data blocks
+    // and leave a published segment full of zeros.
+    if (st.ok() && durableSaves_)
+        st = file->sync();
+    const EnvStatus closed = file->close();
+    if (st.ok())
+        st = closed;
+    if (!st.ok()) {
+        env_->removeFile(tmp); // best effort; gc sweeps orphans
+        fail(why, st.message);
+        return st.fault;
+    }
+    // Atomic publish: readers never observe a partial segment.
+    st = env_->renameFile(tmp, path);
+    if (!st.ok()) {
+        env_->removeFile(tmp);
+        fail(why, "rename failed: " + st.message);
+        return st.fault;
+    }
+    if (durableSaves_) {
+        // The rename is already visible; a failed directory fsync
+        // only weakens crash durability, so warn instead of failing
+        // a save that readers can see.
+        const EnvStatus dir_st = env_->syncDir(dir_);
+        if (!dir_st.ok() && dir_st.fault != EnvFault::Crashed)
+            SC_WARN("trace store: directory fsync failed (",
+                    dir_st.message, ")");
+    }
+    return EnvFault::None;
 }
 
 bool
 TraceStore::save(const std::string &workload,
                  const cpu::TraceBuffer &trace, DWord capture_limit,
-                 std::string *why) const
+                 std::string *why, EnvFault *fault) const
 {
-    if (readOnly_)
+    if (fault != nullptr)
+        *fault = EnvFault::None;
+    if (readOnly_) {
+        if (fault != nullptr)
+            *fault = EnvFault::ReadOnly;
         return fail(why, "store is read-only");
+    }
+    if (dirFailed_) {
+        if (fault != nullptr)
+            *fault = EnvFault::Other;
+        return fail(why, "store directory unavailable");
+    }
 
     const std::vector<std::uint8_t> bytes = TraceSerializer::serialize(
         trace, capture_limit, programFingerprint(trace.program()));
 
-    // Unique per save, not just per process: two threads saving the
-    // same workload (global + local cache, prewarm races) must not
-    // truncate each other's in-progress temp file.
-    static std::atomic<std::uint64_t> save_seq{0};
     const std::string path = segmentPath(workload);
-    const std::string tmp =
-        path + ".tmp." +
+    std::string reason;
+    EnvFault f = EnvFault::None;
+    for (unsigned attempt = 0;; ++attempt) {
+        f = saveOnce(path, bytes, &reason);
+        if (f == EnvFault::None)
+            return true;
+        if (f != EnvFault::Transient || attempt == transientRetries_)
+            break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
+    }
+    if (fault != nullptr)
+        *fault = f;
+    return fail(why, reason);
+}
+
+bool
+TraceStore::quarantine(const std::string &workload,
+                       std::string *quarantined_path) const
+{
+    if (readOnly_)
+        return false;
+    const std::string path = segmentPath(workload);
+    if (!env_->fileExists(path))
+        return false;
+    // Unique destination: repeated corruption of the same workload
+    // must not overwrite earlier evidence.
+    static std::atomic<std::uint64_t> quar_seq{0};
+    const std::string dest =
+        path + ".quar." +
         std::to_string(static_cast<unsigned long>(::getpid())) + "." +
-        std::to_string(save_seq.fetch_add(1));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr)
-        return fail(why, "cannot open " + tmp);
-    const std::size_t wrote =
-        std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool flushed = std::fclose(f) == 0;
-    if (wrote != bytes.size() || !flushed) {
-        std::error_code ec;
-        fs::remove(tmp, ec);
-        return fail(why, "short write to " + tmp);
+        std::to_string(quar_seq.fetch_add(1));
+    EnvStatus st;
+    for (unsigned attempt = 0;; ++attempt) {
+        st = env_->renameFile(path, dest);
+        if (st.ok() || !st.transient() || attempt == transientRetries_)
+            break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff(attempt);
     }
-    // Atomic publish: readers never observe a partial segment.
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
-        return fail(why, "rename failed: " + ec.message());
-    }
+    if (!st.ok())
+        return false;
+    if (quarantined_path != nullptr)
+        *quarantined_path = dest;
     return true;
+}
+
+std::vector<std::string>
+TraceStore::quarantined() const
+{
+    std::vector<std::string> names;
+    for (const std::string &name : env_->listDir(dir_, nullptr)) {
+        if (name.find(".sctrace.quar.") != std::string::npos)
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::size_t
+TraceStore::cleanOrphanTemps() const
+{
+    if (readOnly_)
+        return 0;
+    std::size_t removed = 0;
+    for (const std::string &name : env_->listDir(dir_, nullptr)) {
+        if (name.find(".sctrace.tmp.") == std::string::npos)
+            continue;
+        if (env_->removeFile(dir_ + "/" + name).ok())
+            ++removed;
+    }
+    return removed;
 }
 
 bool
 TraceStore::contains(const std::string &workload) const
 {
-    std::error_code ec;
-    return fs::exists(segmentPath(workload), ec);
+    return env_->fileExists(segmentPath(workload));
 }
 
 bool
 TraceStore::remove(const std::string &workload) const
 {
-    std::error_code ec;
-    return fs::remove(segmentPath(workload), ec);
+    return env_->removeFile(segmentPath(workload)).ok();
 }
 
 std::vector<std::string>
 TraceStore::list() const
 {
+    // listDir returns sorted names; temp (".sctrace.tmp.*") and
+    // quarantine (".sctrace.quar.*") files don't END with the
+    // extension, so only published segments qualify.
+    static constexpr char ext[] = ".sctrace";
+    static constexpr std::size_t ext_len = sizeof(ext) - 1;
     std::vector<std::string> names;
-    std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
-        const fs::path &p = entry.path();
-        if (p.extension() == ".sctrace")
-            names.push_back(p.stem().string());
+    for (const std::string &name : env_->listDir(dir_, nullptr)) {
+        if (name.size() > ext_len && name.ends_with(ext))
+            names.push_back(name.substr(0, name.size() - ext_len));
     }
-    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -1288,18 +1380,18 @@ bool
 TraceStore::info(const std::string &workload, SegmentInfo &out,
                  std::string *why) const
 {
-    const MappedFile file(segmentPath(workload));
-    if (!file.ok())
+    const auto file = mapSegment(segmentPath(workload), nullptr);
+    if (file == nullptr)
         return fail(why, "no segment");
     Segment seg;
-    if (!parseSegment(file.data(), file.size(), seg, why))
+    if (!parseSegment(file->data(), file->size(), seg, why))
         return false;
 
     out = SegmentInfo();
     out.workload = workload;
     out.path = segmentPath(workload);
     out.instructions = seg.instructions;
-    out.fileBytes = file.size();
+    out.fileBytes = file->size();
     out.captureLimit = seg.captureLimit;
     out.truncated = (seg.flags & kFlagTruncated) != 0;
     for (const Segment::Column &col : seg.columns) {
@@ -1320,11 +1412,11 @@ TraceStore::persistableAnnexKeys(const cpu::TraceBuffer &trace)
 std::vector<std::string>
 TraceStore::annexKeys(const std::string &workload) const
 {
-    const MappedFile file(segmentPath(workload));
-    if (!file.ok())
+    const auto file = mapSegment(segmentPath(workload), nullptr);
+    if (file == nullptr)
         return {};
     Segment seg;
-    if (!parseSegment(file.data(), file.size(), seg, nullptr))
+    if (!parseSegment(file->data(), file->size(), seg, nullptr))
         return {};
     std::vector<std::string> keys;
     keys.reserve(seg.annexes.size());
@@ -1337,12 +1429,12 @@ bool
 TraceStore::verify(const std::string &workload,
                    const isa::Program *program, std::string *why) const
 {
-    const MappedFile file(segmentPath(workload));
-    if (!file.ok())
+    const auto file = mapSegment(segmentPath(workload), nullptr);
+    if (file == nullptr)
         return fail(why, "no segment");
-    const std::uint8_t *bytes = file.data();
+    const std::uint8_t *bytes = file->data();
     Segment seg;
-    if (!parseSegment(bytes, file.size(), seg, why))
+    if (!parseSegment(bytes, file->size(), seg, why))
         return false;
     if (program != nullptr) {
         if (seg.programCrc != programFingerprint(*program))

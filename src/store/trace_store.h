@@ -48,24 +48,39 @@
  *    reports them via its `legacy` out-parameter so the cache's
  *    write-through re-saves them in the current format (upgrade in
  *    place). Anything else fails soft as above.
- *  - save() writes to a temp file and renames into place, so readers
- *    racing a writer only ever observe complete segments.
+ *  - save() writes to a temp file, fsyncs it and the directory
+ *    (StoreOptions::durableSaves) and renames into place, so readers
+ *    racing a writer only ever observe complete segments and a
+ *    committed segment survives power loss.
  *  - reads decode straight out of a read-only mmap of the segment
  *    file; there is no read-then-decode copy of the payload bytes.
  *
- * Thread-safety: TraceStore is stateless between calls (all state is
- * the filesystem); concurrent load/save/verify from any number of
- * threads or processes is safe.
+ * Fault handling (see README "Failure model"): every byte of store
+ * I/O goes through a sigcomp::Env (common/env.h), so the same code
+ * path runs over the real filesystem and under the fault-injecting
+ * test Env. Transient faults (EINTR/EIO-class) are retried a bounded
+ * number of times with backoff; permanent faults (ENOSPC, EROFS)
+ * fail the one operation softly and are classified for the caller
+ * (save's EnvFault out-param, load's LoadFailure out-param) so the
+ * cache can degrade instead of abort. Corrupt segments can be
+ * quarantined — renamed aside, preserving the evidence while letting
+ * a recapture re-save heal the store in place.
+ *
+ * Thread-safety: TraceStore is stateless between calls apart from
+ * lock-free counters (all real state is the filesystem); concurrent
+ * load/save/verify from any number of threads or processes is safe.
  */
 
 #ifndef SIGCOMP_STORE_TRACE_STORE_H_
 #define SIGCOMP_STORE_TRACE_STORE_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/types.h"
 #include "cpu/trace_buffer.h"
 #include "isa/program.h"
@@ -144,22 +159,81 @@ struct SegmentInfo
     std::uint64_t encodedBytes() const;
 };
 
+/** Open-time and fault-policy knobs for a TraceStore. */
+struct StoreOptions
+{
+    bool readOnly = false;
+
+    /**
+     * fsync the temp file and parent directory around the publishing
+     * rename, so a committed segment survives power loss. Defaults
+     * on; a scratch store (bench cold phases, tests) can turn it off
+     * and keep only the atomic-replace guarantee.
+     */
+    bool durableSaves = true;
+
+    /** Whole-operation retries for Transient-class faults. */
+    unsigned transientRetries = 2;
+
+    /** Sleep between transient retries (doubles per attempt). */
+    unsigned retryBackoffMs = 1;
+
+    /** I/O seam; nullptr means the real filesystem (Env::posix()). */
+    Env *env = nullptr;
+};
+
+/** Why a load() returned nullptr, classified for recovery policy. */
+enum class LoadFailure : std::uint8_t
+{
+    None = 0,
+    /** No segment on disk: the ordinary cold-store miss. */
+    Missing,
+    /**
+     * A valid segment for different capture parameters or program
+     * (fingerprint/capture-limit mismatch): not damage, the next
+     * write-through save simply replaces it.
+     */
+    Stale,
+    /**
+     * CRC/codec/structural damage: quarantine() preserves the bytes
+     * and a recapture heals the store.
+     */
+    Corrupt,
+    /** The read itself failed (EIO-class) after retries. */
+    Io,
+};
+
 /**
- * One directory of trace segments. Cheap value-ish handle: holds only
- * the path and mode.
+ * One directory of trace segments. Cheap handle: holds only the
+ * path, the fault policy, and lock-free counters.
  */
 class TraceStore
 {
   public:
     /**
-     * Open (and unless @p read_only, create) the store directory.
-     * Fatal only when a writable store's directory cannot be created;
-     * a missing read-only store simply contains nothing.
+     * Open (and unless read-only, create) the store directory.
+     * Fail-soft when a writable store's directory cannot be created:
+     * the store opens empty and every save reports the failure; a
+     * missing read-only store simply contains nothing.
      */
-    explicit TraceStore(std::string dir, bool read_only = false);
+    explicit TraceStore(std::string dir, const StoreOptions &options);
+
+    explicit TraceStore(std::string dir, bool read_only = false)
+        : TraceStore(std::move(dir),
+                     StoreOptions{.readOnly = read_only})
+    {}
 
     const std::string &dir() const { return dir_; }
     bool readOnly() const { return readOnly_; }
+
+    /** The I/O seam this store runs over (never null). */
+    Env &env() const { return *env_; }
+
+    /** Transient-fault retries performed over this handle's lifetime. */
+    std::uint64_t retries() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Load @p workload's trace, rebuilt against @p program (the store
@@ -174,20 +248,48 @@ class TraceStore
      * is set when the segment was an accepted older format — the
      * caller should re-save the returned buffer to upgrade it in
      * place (TraceCache's write-through does).
+     *
+     * @p failure, when non-null, classifies a nullptr return for the
+     * caller's recovery policy (see LoadFailure).
      */
     std::shared_ptr<cpu::TraceBuffer>
     load(const std::string &workload, const isa::Program &program,
          DWord capture_limit, std::string *why = nullptr,
-         bool *legacy = nullptr) const;
+         bool *legacy = nullptr, LoadFailure *failure = nullptr) const;
 
     /**
      * Persist @p trace as @p workload's segment (atomic
-     * replace-on-rename). @return false (reason in @p why) on I/O
-     * failure or when the store is read-only; never throws — a
-     * failed save only costs a later recapture.
+     * replace-on-rename, fsync-guarded under durableSaves, transient
+     * faults retried per StoreOptions). @return false (reason in
+     * @p why, fault class in @p fault) on I/O failure or when the
+     * store is read-only; never throws — a failed save only costs a
+     * later recapture. @p fault lets the caller tell a retryable
+     * hiccup from a permanently unwritable store.
      */
     bool save(const std::string &workload, const cpu::TraceBuffer &trace,
-              DWord capture_limit, std::string *why = nullptr) const;
+              DWord capture_limit, std::string *why = nullptr,
+              EnvFault *fault = nullptr) const;
+
+    /**
+     * Move @p workload's (presumed damaged) segment aside to a
+     * `.quar.<pid>.<seq>` sibling: the bytes survive for post-mortem,
+     * list()/load() no longer see the segment, and the next capture
+     * re-saves a healthy one. @return true when a segment was
+     * renamed; @p quarantined_path receives the new path.
+     */
+    bool quarantine(const std::string &workload,
+                    std::string *quarantined_path = nullptr) const;
+
+    /** Quarantined segment files present (filenames, sorted). */
+    std::vector<std::string> quarantined() const;
+
+    /**
+     * Remove orphaned `<segment>.tmp.*` files left by writers that
+     * died between create and rename. Safe against live writers only
+     * in the same sense as gc: don't run it while another process is
+     * actively saving. @return the number of files removed.
+     */
+    std::size_t cleanOrphanTemps() const;
 
     /** True when a segment file for @p workload exists. */
     bool contains(const std::string &workload) const;
@@ -242,8 +344,27 @@ class TraceStore
     static std::uint32_t programFingerprint(const isa::Program &program);
 
   private:
+    /** One save attempt; returns the fault class (None on success). */
+    EnvFault saveOnce(const std::string &path,
+                      const std::vector<std::uint8_t> &bytes,
+                      std::string *why) const;
+
+    /** Read a whole segment file, retrying transient faults. */
+    std::unique_ptr<Env::FileView>
+    mapSegment(const std::string &path, EnvStatus *status) const;
+
+    /** Sleep before transient retry @p attempt (doubling backoff). */
+    void backoff(unsigned attempt) const;
+
     std::string dir_;
     bool readOnly_;
+    bool durableSaves_;
+    unsigned transientRetries_;
+    unsigned retryBackoffMs_;
+    Env *env_;
+    /** Set when the writable store's directory could not be created. */
+    bool dirFailed_ = false;
+    mutable std::atomic<std::uint64_t> retries_{0};
 };
 
 /** Whole-store aggregation for ratio/stats reporting. */

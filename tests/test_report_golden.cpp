@@ -1,7 +1,7 @@
 /**
  * @file
  * SuiteReport JSON golden-file tests: the byte contract of schema
- * "sigcomp-suite-report-v1" (open item since PR 5, prerequisite for
+ * "sigcomp-suite-report-v2" (open item since PR 5, prerequisite for
  * the sigcompd service of ROADMAP item 1 — once a daemon answers
  * with this JSON, its bytes are a wire format, not an
  * implementation detail).
@@ -140,6 +140,13 @@ makeSyntheticReport()
     rep.storeLoads = 1;
     rep.wallMs = 1.5;
     rep.profileSinks = 1;
+    // v2 health block, with an escaping-hostile degradation event so
+    // the JSON string escaper's bytes are part of the pin.
+    rep.storeLoadFailures = 2;
+    rep.quarantinedSegments = 1;
+    rep.retries = 3;
+    rep.degradations = {"quarantined 'alpha': header CRC mismatch",
+                        "load failed \"beta\": path\\with\\slashes"};
 
     ActivityStudyResult act;
     act.encoding = sig::Encoding::Ext3;
@@ -207,7 +214,7 @@ TEST(SuiteReportGolden, SchemaStringIsPinned)
     // re-versioned schema must be a deliberate act (README, goldens
     // and sigcomp_lint's README cross-check all move together).
     const std::string json = makeSyntheticReport().toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v2\""),
               std::string::npos);
 }
 

@@ -468,7 +468,7 @@ TEST(SessionReport, JsonSerializesEveryStudySection)
     const SuiteReport rep = session.run(plan);
 
     const std::string json = rep.toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"workloads\": [\"rawcaudio\"]"),
               std::string::npos);

@@ -23,6 +23,13 @@
  *             files, foreign format versions, fingerprints that no
  *             longer match the workload registry, unknown workloads,
  *             and orphaned temp files.
+ *   doctor    Heal the store in place: verify every segment,
+ *             quarantine (rename aside) the damaged ones so the next
+ *             run recaptures them, sweep orphaned temp files, and
+ *             emit a machine-readable report
+ *             (schema "sigcomp-store-doctor-v1", --json PATH or
+ *             stdout). Exit 1 only when a repair action itself
+ *             failed — found-and-quarantined damage is a success.
  *
  * Default --dir is `trace-store` (the directory CI caches).
  */
@@ -30,7 +37,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,8 +55,6 @@ namespace
 using namespace sigcomp;
 using store::TraceStore;
 
-namespace fs = std::filesystem;
-
 struct Options
 {
     std::string command;
@@ -67,9 +71,9 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: sigcomp_store <prewarm|ls|stats|verify|gc> [--dir DIR]\n"
-        "                     [--threads N] [--max-instrs N] [--force]\n"
-        "                     [--json PATH] [workload...]\n");
+        "usage: sigcomp_store <prewarm|ls|stats|verify|gc|doctor>\n"
+        "                     [--dir DIR] [--threads N] [--max-instrs N]\n"
+        "                     [--force] [--json PATH] [workload...]\n");
     return 2;
 }
 
@@ -304,18 +308,118 @@ cmdGc(const Options &opt)
     }
 
     // Orphaned temp files from writers that died mid-save.
-    std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(opt.dir, ec)) {
-        const std::string fname = entry.path().filename().string();
-        if (fname.find(".sctrace.tmp.") != std::string::npos) {
-            std::printf("  rm %s (orphaned temp)\n", fname.c_str());
-            fs::remove(entry.path(), ec);
-            ++removed;
-        }
-    }
+    const std::size_t temps = ts.cleanOrphanTemps();
+    if (temps != 0)
+        std::printf("  rm %zu orphaned temp file(s)\n", temps);
+    removed += temps;
     std::printf("gc: removed %zu file(s), %zu segment(s) kept\n", removed,
                 ts.list().size());
     return 0;
+}
+
+/** Minimal JSON string escape (quotes, backslash, control bytes). */
+void
+printJsonString(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            std::fprintf(f, "\\%c", c);
+        else if (static_cast<unsigned char>(c) < 0x20)
+            std::fprintf(f, "\\u%04x", c);
+        else
+            std::fputc(c, f);
+    }
+    std::fputc('"', f);
+}
+
+int
+cmdDoctor(const Options &opt)
+{
+    const TraceStore ts(opt.dir);
+
+    struct Finding
+    {
+        std::string workload;
+        std::string why;
+        std::string quarantinedAs; // empty = quarantine failed
+    };
+    std::vector<Finding> findings;
+    std::size_t healthy = 0;
+    std::size_t failed_actions = 0;
+
+    // 1. Verify every segment; quarantine what cannot replay. Unlike
+    // gc this never deletes: the damaged bytes stay on disk for
+    // post-mortems while the store heals through recapture.
+    const std::vector<std::string> names = ts.list();
+    for (const std::string &name : names) {
+        std::string why;
+        bool ok;
+        if (isSuiteWorkload(name)) {
+            const workloads::Workload w = workloads::Suite::build(name);
+            ok = ts.verify(name, &w.program, &why);
+        } else {
+            ok = ts.verify(name, nullptr, &why);
+        }
+        if (ok) {
+            std::printf("  %-12s OK\n", name.c_str());
+            ++healthy;
+            continue;
+        }
+        Finding f{name, why, {}};
+        if (ts.quarantine(name, &f.quarantinedAs)) {
+            std::printf("  %-12s quarantined -> %s (%s)\n", name.c_str(),
+                        f.quarantinedAs.c_str(), why.c_str());
+        } else {
+            ++failed_actions;
+            std::printf("  %-12s FAIL, quarantine failed (%s)\n",
+                        name.c_str(), why.c_str());
+        }
+        findings.push_back(std::move(f));
+    }
+
+    // 2. Sweep temp files orphaned by writers that died mid-save.
+    const std::size_t temps = ts.cleanOrphanTemps();
+    const std::size_t quar_files = ts.quarantined().size();
+    std::printf("doctor: %zu healthy, %zu quarantined, %zu orphaned "
+                "temp(s) removed, %zu quarantine file(s) on disk\n",
+                healthy, findings.size() - failed_actions, temps,
+                quar_files);
+
+    // 3. The report: machine-readable outcome of every action.
+    std::FILE *f = stdout;
+    if (!opt.jsonPath.empty()) {
+        f = std::fopen(opt.jsonPath.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", opt.jsonPath.c_str());
+            return 1;
+        }
+    }
+    std::fprintf(f, "{\n  \"schema\": \"sigcomp-store-doctor-v1\",\n");
+    std::fprintf(f, "  \"dir\": ");
+    printJsonString(f, opt.dir);
+    std::fprintf(f, ",\n  \"segments\": %zu,\n", names.size());
+    std::fprintf(f, "  \"healthy\": %zu,\n", healthy);
+    std::fprintf(f, "  \"quarantined\": [");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        std::fprintf(f, "%s\n    {\"workload\": ", i ? "," : "");
+        printJsonString(f, findings[i].workload);
+        std::fprintf(f, ", \"why\": ");
+        printJsonString(f, findings[i].why);
+        std::fprintf(f, ", \"quarantined_as\": ");
+        printJsonString(f, findings[i].quarantinedAs);
+        std::fprintf(f, ", \"ok\": %s}",
+                     findings[i].quarantinedAs.empty() ? "false" : "true");
+    }
+    std::fprintf(f, "%s],\n", findings.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"orphan_temps_removed\": %zu,\n", temps);
+    std::fprintf(f, "  \"quarantine_files\": %zu,\n", quar_files);
+    std::fprintf(f, "  \"failed_actions\": %zu\n}\n", failed_actions);
+    if (f != stdout) {
+        std::fclose(f);
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return failed_actions == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -364,5 +468,7 @@ main(int argc, char **argv)
         return cmdVerify(opt);
     if (opt.command == "gc")
         return cmdGc(opt);
+    if (opt.command == "doctor")
+        return cmdDoctor(opt);
     return usage();
 }
