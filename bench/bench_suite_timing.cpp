@@ -33,7 +33,9 @@
  *                   AND (single-threaded records) the fused
  *                   StudyPlan pass is no slower than the same
  *                   studies run sequentially, within a 5% noise
- *                   margin (the CI regression gates)
+ *                   margin, AND default-mode telemetry costs no
+ *                   more than 2% over runtime-disabled telemetry
+ *                   (the CI regression gates)
  */
 
 #include <algorithm>
@@ -53,6 +55,7 @@
 #include "common/crc32.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/simd.h"
 #include "sigcomp/sig_kernels.h"
 #include "store/codec.h"
@@ -97,9 +100,11 @@ struct Run
     std::vector<Phase> phases;
     double multiSpeedup = 0.0;
     double fusedSpeedup = 0.0;
+    double telemetryOverhead = 0.0;
     bool replayFaster = false;
     bool storeReplayFaster = false;
     bool fusedNotSlower = false;
+    bool telemetryOverheadOk = true;
     bool hasStore = false;
 
     const Phase *
@@ -437,6 +442,51 @@ runAtThreads(unsigned threads, DWord max_instrs,
                     fused.wallMs, seq.wallMs, run.fusedSpeedup);
     }
 
+    // Phase 10: telemetry overhead — the default mode (counter,
+    // gauge and histogram recording all live; tracing inactive, as
+    // every normal run is) vs runtime-disabled recording, over the
+    // cached replay pass. Interleaved repetitions with min-of-each
+    // for the same noise-rejection reason as the fused gate above;
+    // the 2% ratio + 2 ms absolute floor absorbs timer granularity
+    // on the short capped smoke runs CI gates with.
+    {
+        cache.clear();
+        cache.prewarm(names, exec);
+        const bool was_enabled = telemetry::enabled();
+        Phase on;
+        on.name = "replay_telemetry_on";
+        on.instructions = suite_instrs;
+        on.wallMs = 1e300;
+        Phase off;
+        off.name = "replay_telemetry_off";
+        off.instructions = suite_instrs;
+        off.wallMs = 1e300;
+        for (int r = 0; r < 5; ++r) {
+            telemetry::setEnabled(true);
+            double t0 = nowSeconds();
+            runProfilers(StudyOptions{.threads = threads});
+            on.wallMs = std::min(on.wallMs, (nowSeconds() - t0) * 1e3);
+            telemetry::setEnabled(false);
+            t0 = nowSeconds();
+            runProfilers(StudyOptions{.threads = threads});
+            off.wallMs = std::min(off.wallMs, (nowSeconds() - t0) * 1e3);
+        }
+        telemetry::setEnabled(was_enabled);
+        std::printf("  %-28s %8.1f ms  %8.1f Minstr/s  (min of 5)\n",
+                    on.name.c_str(), on.wallMs, on.mips());
+        std::printf("  %-28s %8.1f ms  %8.1f Minstr/s  (min of 5)\n",
+                    off.name.c_str(), off.wallMs, off.mips());
+        run.phases.push_back(on);
+        run.phases.push_back(off);
+        run.telemetryOverhead = on.wallMs / off.wallMs;
+        run.telemetryOverheadOk = on.wallMs <= off.wallMs * 1.02 + 2.0;
+        std::printf("\n  telemetry on vs off: %.1f ms vs %.1f ms "
+                    "(%.3fx, %s)\n",
+                    on.wallMs, off.wallMs, run.telemetryOverhead,
+                    run.telemetryOverheadOk ? "within the 2% gate"
+                                            : "OVER the 2% gate");
+    }
+
     const Phase *replay = run.find("cached_replay_profilers");
     const Phase *recap = run.find("recapture_profilers");
     run.replayFaster = replay->wallMs < recap->wallMs;
@@ -464,7 +514,7 @@ writeJson(const std::string &path, DWord max_instrs, DWord suite_instrs,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v4\",\n");
+    std::fprintf(f, "  \"schema\": \"sigcomp-suite-bench-v5\",\n");
     std::fprintf(f, "  \"simd_level\": \"%s\",\n",
                  simd::simdLevelName(simd::activeSimdLevel()));
     std::fprintf(f, "  \"max_instrs\": %llu,\n",
@@ -534,6 +584,12 @@ writeJson(const std::string &path, DWord max_instrs, DWord suite_instrs,
                 std::fprintf(f, "      \"fused_not_slower\": %s,\n",
                              run.fusedNotSlower ? "true" : "false");
             }
+        }
+        if (run.telemetryOverhead > 0.0) {
+            std::fprintf(f, "      \"telemetry_overhead\": %.3f,\n",
+                         run.telemetryOverhead);
+            std::fprintf(f, "      \"telemetry_overhead_ok\": %s,\n",
+                         run.telemetryOverheadOk ? "true" : "false");
         }
         if (run.hasStore) {
             std::fprintf(f, "      \"store_replay_faster\": %s,\n",
@@ -667,6 +723,14 @@ main(int argc, char **argv)
                              "FAIL (threads=%u): fused StudyPlan pass "
                              "is slower than sequential studies\n",
                              run.threads);
+                return 1;
+            }
+            if (!run.telemetryOverheadOk) {
+                std::fprintf(stderr,
+                             "FAIL (threads=%u): telemetry recording "
+                             "costs more than 2%% over disabled mode "
+                             "(%.3fx)\n",
+                             run.threads, run.telemetryOverhead);
                 return 1;
             }
         }

@@ -99,12 +99,66 @@ writeJsonString(std::FILE *f, const std::string &s)
     std::fputc('"', f);
 }
 
+/**
+ * The run's metrics delta, on ONE line: the fault tests strip the
+ * telemetry block line-wise to compare study bytes across runs whose
+ * engine work differs, so it must never wrap. Counters and histogram
+ * bucket shapes only — no wall times (Nanos-unit metrics) and no
+ * gauges, so the block is deterministic for a fixed plan and can be
+ * golden-pinned. Zero-valued metrics are elided: the block describes
+ * what this run did, and a disabled-telemetry run (histograms off)
+ * then differs from an enabled one only by the histograms it lacks.
+ */
+void
+writeTelemetryJson(std::FILE *f, const telemetry::Snapshot &snap)
+{
+    std::fprintf(f, "  \"telemetry\": {\"counters\": {");
+    bool first = true;
+    for (const telemetry::SnapshotMetric &m : snap.metrics) {
+        if (m.kind != telemetry::Kind::Counter || m.value == 0 ||
+            m.unit == telemetry::Unit::Nanos)
+            continue;
+        std::fprintf(f, "%s", first ? "" : ", ");
+        writeJsonString(f, m.name);
+        std::fprintf(f, ": %llu",
+                     static_cast<unsigned long long>(m.value));
+        first = false;
+    }
+    std::fprintf(f, "}, \"histograms\": [");
+    first = true;
+    for (const telemetry::SnapshotMetric &m : snap.metrics) {
+        if (m.kind != telemetry::Kind::Histogram || m.count == 0 ||
+            m.unit == telemetry::Unit::Nanos)
+            continue;
+        std::fprintf(f, "%s{\"name\": ", first ? "" : ", ");
+        writeJsonString(f, m.name);
+        std::fprintf(f,
+                     ", \"unit\": \"%s\", \"count\": %llu, "
+                     "\"sum\": %llu, \"buckets\": [",
+                     telemetry::unitName(m.unit),
+                     static_cast<unsigned long long>(m.count),
+                     static_cast<unsigned long long>(m.sum));
+        // Sparse [bit_width, samples] pairs of the non-empty buckets.
+        bool bfirst = true;
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+            if (m.buckets[b] == 0)
+                continue;
+            std::fprintf(f, "%s[%zu, %llu]", bfirst ? "" : ", ", b,
+                         static_cast<unsigned long long>(m.buckets[b]));
+            bfirst = false;
+        }
+        std::fprintf(f, "]}");
+        first = false;
+    }
+    std::fprintf(f, "]},\n");
+}
+
 } // namespace
 
 void
 SuiteReport::writeJson(std::FILE *f) const
 {
-    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v2\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v3\",\n");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"workloads\": [");
     for (std::size_t i = 0; i < workloads.size(); ++i)
@@ -131,6 +185,7 @@ SuiteReport::writeJson(std::FILE *f) const
         writeJsonString(f, degradations[i]);
     }
     std::fprintf(f, "]},\n");
+    writeTelemetryJson(f, telemetry);
 
     std::fprintf(f, "  \"activity\": [");
     for (std::size_t s = 0; s < activity.size(); ++s) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "pipeline/models.h"
 #include "pipeline/pipeline.h"
 #include "power/energy_model.h"
@@ -136,9 +137,19 @@ struct SuiteReport
     std::vector<std::string> degradations;
 
     /**
-     * Serialize as JSON (schema "sigcomp-suite-report-v2", see README
-     * "Experiment API"; v2 added the "health" block). Stable key
-     * order, no trailing newline variance — diffable across runs.
+     * This run's full metrics delta off the session's telemetry
+     * registry (the engine/health scalars above are views into it).
+     * Serialized as the `telemetry` block: counters and histogram
+     * bucket shapes only — deterministic and golden-pinnable; wall
+     * times (Nanos-unit metrics) and gauges are excluded.
+     */
+    telemetry::Snapshot telemetry;
+
+    /**
+     * Serialize as JSON (schema "sigcomp-suite-report-v3", see README
+     * "Experiment API"; v2 added the "health" block, v3 the
+     * "telemetry" block). Stable key order, no trailing newline
+     * variance — diffable across runs.
      */
     void writeJson(std::FILE *f) const;
 

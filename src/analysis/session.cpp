@@ -5,6 +5,7 @@
 
 #include "analysis/profilers.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "pipeline/runner.h"
 #include "workloads/workload.h"
 
@@ -90,6 +91,36 @@ Session::addWorkload(const std::string &name, isa::Program program)
 SuiteReport
 Session::run(const StudyPlan &plan)
 {
+    // A plan-level trace file opens its own tracing window unless the
+    // process is already tracing (SIGCOMP_TRACE), in which case this
+    // run just contributes spans to the ambient session.
+    const bool started_tracing =
+        !plan.traceFile_.empty() && !telemetry::tracingActive();
+    if (started_tracing)
+        telemetry::startTracing();
+
+    SuiteReport rep;
+    {
+        SIGCOMP_SPAN("session.run");
+        rep = runStudies(plan);
+    }
+    // The root span must close before the buffers are serialised,
+    // or the trace would miss its own enclosing interval.
+    if (!plan.traceFile_.empty()) {
+        if (started_tracing)
+            telemetry::stopTracing();
+        std::string why;
+        if (!telemetry::writeTrace(plan.traceFile_, &why)) {
+            SC_WARN("failed to write trace file '", plan.traceFile_,
+                    "': ", why);
+        }
+    }
+    return rep;
+}
+
+SuiteReport
+Session::runStudies(const StudyPlan &plan)
+{
     const double t0 = nowMs();
     SuiteReport rep;
     const std::vector<std::string> names =
@@ -120,11 +151,10 @@ Session::run(const StudyPlan &plan)
     if (plan.needsSuiteConfig())
         suiteCompressor();
 
-    const std::uint64_t captures0 = cache_.captures();
-    const std::uint64_t loads0 = cache_.storeLoads();
-    const std::uint64_t load_failures0 = cache_.storeLoadFailures();
-    const std::uint64_t quarantined0 = cache_.quarantinedSegments();
-    const std::uint64_t retries0 = cache_.storeRetries();
+    // One metrics system: the baseline snapshot of the cache's
+    // registry (engine accounting, health counters, store I/O) is
+    // diffed against the post-run state to yield this run's deltas.
+    const telemetry::Snapshot tele0 = cache_.metrics().snapshot();
     const std::size_t degradations0 = cache_.degradations().size();
 
     /**
@@ -144,6 +174,9 @@ Session::run(const StudyPlan &plan)
     std::vector<Harvest> harvest(names.size());
 
     auto runOne = [&](std::size_t i) {
+        // One span per workload's fused pass; on a parallel plan
+        // these land on the per-worker tracks.
+        SIGCOMP_SPAN("session.replay");
         const TraceCache::TracePtr trace = cache_.get(names[i]);
         const std::uint64_t replays0 = trace->replayCount();
 
@@ -244,15 +277,18 @@ Session::run(const StudyPlan &plan)
         rep.instructions += h.instructions;
         rep.replayPasses += h.replayDelta;
     }
-    rep.captures = cache_.captures() - captures0;
-    rep.storeLoads = cache_.storeLoads() - loads0;
-    // Health deltas: what fault handling cost THIS run. The study
-    // results above are already assembled — the counters can only
-    // describe recovery work, never change a row.
-    rep.storeLoadFailures = cache_.storeLoadFailures() - load_failures0;
+    // Health + accounting deltas: what THIS run cost. The study
+    // results above are already assembled — the metrics can only
+    // describe engine/recovery work, never change a row.
+    rep.telemetry =
+        telemetry::Snapshot::delta(tele0, cache_.metrics().snapshot());
+    rep.captures = rep.telemetry.value("cache.captures");
+    rep.storeLoads = rep.telemetry.value("cache.store_loads");
+    rep.storeLoadFailures =
+        rep.telemetry.value("cache.store_load_failures");
     rep.quarantinedSegments =
-        cache_.quarantinedSegments() - quarantined0;
-    rep.retries = cache_.storeRetries() - retries0;
+        rep.telemetry.value("cache.quarantined_segments");
+    rep.retries = rep.telemetry.value("store.retries");
     const std::vector<std::string> events = cache_.degradations();
     rep.degradations.assign(
         events.begin() +

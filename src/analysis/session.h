@@ -123,10 +123,19 @@ class Session
      * each pass the session write-backs newly derived SharedQuanta
      * annexes to the attached store, so warm-store processes skip
      * computeQuanta as well as capture.
+     *
+     * The run is instrumented end to end (see common/telemetry.h):
+     * the report's `telemetry` block is this run's metrics delta,
+     * and plan.traceFile() additionally writes a Chrome trace-event
+     * profile. Telemetry is a pure side channel — study rows are
+     * bit-identical with it on, off, or compiled out.
      */
     SuiteReport run(const StudyPlan &plan);
 
   private:
+    /** run() minus the tracing window/export wrapper. */
+    SuiteReport runStudies(const StudyPlan &plan);
+
     SessionConfig config_;
     TraceCache cache_;
     /** Only when config_.threads != 0 (else the shared pool). */

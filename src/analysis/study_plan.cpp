@@ -51,6 +51,13 @@ StudyPlan::threads(unsigned n)
 }
 
 StudyPlan &
+StudyPlan::traceFile(std::string path)
+{
+    traceFile_ = std::move(path);
+    return *this;
+}
+
+StudyPlan &
 StudyPlan::evictAfterReplay(bool on)
 {
     evictAfterReplay_ = on;

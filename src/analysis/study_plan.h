@@ -96,6 +96,14 @@ class StudyPlan
      */
     StudyPlan &evictAfterReplay(bool on = true);
 
+    /**
+     * Write a Chrome trace-event JSON profile of this run to @p path
+     * (chrome://tracing / Perfetto loadable; same format as the
+     * SIGCOMP_TRACE env var). Telemetry is a pure side channel:
+     * study results are bit-identical with and without it.
+     */
+    StudyPlan &traceFile(std::string path);
+
     /** True when any study (or profiler sink) is registered. */
     bool hasStudies() const;
 
@@ -125,6 +133,7 @@ class StudyPlan
     std::vector<EnergySpec> energy_;
     std::vector<cpu::TraceSink *> sinks_;
     std::vector<std::string> workloads_;
+    std::string traceFile_;
     unsigned threads_ = 0;
     bool hasThreads_ = false;
     bool evictAfterReplay_ = false;

@@ -86,7 +86,7 @@ TraceCache::get(const std::string &workload)
                     noteLoadFailure(*store, workload, failure, why);
             }
             if (trace != nullptr) {
-                storeLoads_.fetch_add(1);
+                storeLoads_.inc();
                 // Write-through upgrade: a segment in an accepted
                 // older format replays fine, but re-saving it now
                 // (sidecar annex rebuilt during load) means every
@@ -95,9 +95,14 @@ TraceCache::get(const std::string &workload)
                     saveThrough(*store, workload, *trace, limit,
                                 "upgrade");
             } else {
-                trace = std::make_shared<cpu::TraceBuffer>(
-                    cpu::TraceBuffer::capture(w.program, limit, capped));
-                captures_.fetch_add(1);
+                {
+                    SIGCOMP_SPAN("cache.capture");
+                    trace = std::make_shared<cpu::TraceBuffer>(
+                        cpu::TraceBuffer::capture(w.program, limit,
+                                                  capped));
+                }
+                captures_.inc();
+                captureInstrs_.record(trace->size());
                 // Write-through so the *next* process skips capture.
                 // A failed save (full disk, races) costs nothing but
                 // a later recapture.
@@ -157,7 +162,11 @@ TraceCache::configureStore(const StoreConfig &config)
         config.dir,
         store::StoreOptions{.readOnly = config.readOnly,
                             .durableSaves = config.durableSaves,
-                            .env = config.env});
+                            .env = config.env,
+                            // Store retry/byte metrics land in this
+                            // cache's namespace, so the per-run
+                            // report delta sees them.
+                            .registry = &metrics_});
     // A fresh store binding starts with a clean write-degradation
     // slate: the fault history of the old directory says nothing
     // about the new one.
@@ -182,8 +191,10 @@ TraceCache::store() const
 void
 TraceCache::evict(const std::string &workload)
 {
+    SIGCOMP_SPAN("cache.evict");
     MutexLock lock(mu_);
-    entries_.erase(workload);
+    if (entries_.erase(workload) != 0)
+        evictions_.inc();
 }
 
 void
@@ -261,11 +272,12 @@ TraceCache::enforceBudget(const std::string &keep)
             }
             return;
         }
+        SIGCOMP_SPAN("cache.spill");
         const std::size_t bytes =
             victim->second.future.get()->memoryBytes();
         total -= std::min(bytes, total);
         entries_.erase(victim);
-        spills_.fetch_add(1);
+        spills_.inc();
     }
 }
 
@@ -333,11 +345,11 @@ TraceCache::noteLoadFailure(const store::TraceStore &store,
                             store::LoadFailure failure,
                             const std::string &why)
 {
-    storeLoadFailures_.fetch_add(1);
+    storeLoadFailures_.inc();
     if (failure == store::LoadFailure::Corrupt && !store.readOnly()) {
         std::string quarantined_path;
         if (store.quarantine(workload, &quarantined_path)) {
-            quarantined_.fetch_add(1);
+            quarantined_.inc();
             SC_WARN("trace store: quarantined corrupt segment '",
                     workload, "' (", why, ") -> ", quarantined_path);
             recordDegradation("quarantined '" + workload +
@@ -363,7 +375,7 @@ TraceCache::saveThrough(const store::TraceStore &store,
     std::string why;
     EnvFault fault = EnvFault::None;
     if (store.save(workload, trace, limit, &why, &fault)) {
-        storeSaves_.fetch_add(1);
+        storeSaves_.inc();
         transientSaveFailures_.store(0);
         return true;
     }

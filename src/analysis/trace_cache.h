@@ -41,6 +41,7 @@
 
 #include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "common/thread_annotations.h"
 #include "cpu/trace_buffer.h"
 #include "store/trace_store.h"
@@ -142,14 +143,24 @@ class TraceCache
     /** Drop all RAM entries (tests and benchmarks). Keeps the store. */
     void clear();
 
+    /**
+     * This cache's private metric namespace (one registry per
+     * cache = per Session): the accounting and health counters
+     * below, the capture-size histogram, and — through the store
+     * binding — the attached TraceStore's retry/byte metrics.
+     * Session::run snapshots it around a plan to build the
+     * SuiteReport telemetry block.
+     */
+    telemetry::Registry &metrics() { return metrics_; }
+
     /** Functional capture passes performed over this cache's life. */
-    std::uint64_t captures() const { return captures_.load(); }
+    std::uint64_t captures() const { return captures_.value(); }
 
     /** Traces served from the disk tier instead of capture. */
-    std::uint64_t storeLoads() const { return storeLoads_.load(); }
+    std::uint64_t storeLoads() const { return storeLoads_.value(); }
 
     /** Segments written through to the disk tier. */
-    std::uint64_t storeSaves() const { return storeSaves_.load(); }
+    std::uint64_t storeSaves() const { return storeSaves_.value(); }
 
     /**
      * RAM-tier entries dropped by the spill budget. A budget smaller
@@ -158,7 +169,7 @@ class TraceCache
      * cache), and every other get() reloads from the store — or,
      * with no store attached, recaptures.
      */
-    std::uint64_t spills() const { return spills_.load(); }
+    std::uint64_t spills() const { return spills_.value(); }
 
     // ---- health counters (SuiteReport v2 "health" block) -------------
 
@@ -170,13 +181,13 @@ class TraceCache
      */
     std::uint64_t storeLoadFailures() const
     {
-        return storeLoadFailures_.load();
+        return storeLoadFailures_.value();
     }
 
     /** Corrupt segments renamed aside (then healed by recapture). */
     std::uint64_t quarantinedSegments() const
     {
-        return quarantined_.load();
+        return quarantined_.value();
     }
 
     /** Transient-fault retries performed by the attached store. */
@@ -277,19 +288,31 @@ class TraceCache
     std::uint64_t useTick_ SIGCOMP_GUARDED_BY(mu_) = 0;
     bool budgetWarned_ SIGCOMP_GUARDED_BY(mu_) = false;
     /**
-     * Monotonic accounting counters — deliberately atomic rather
-     * than mu_-guarded: they are bumped on the capture/store-I/O
-     * paths that intentionally run outside the lock, and read by
-     * tests and reports while other threads are mid-get(). Pinned by
-     * the TSan counter-hammer test in test_tsan_stress.cpp.
+     * The cache's metric namespace. Declared before the handle
+     * references below (they bind to slots inside it). Accounting
+     * and health counters live here — deliberately lock-free
+     * handles rather than mu_-guarded fields: they are bumped on
+     * the capture/store-I/O paths that intentionally run outside
+     * the lock, and read by tests and reports while other threads
+     * are mid-get(). Pinned by the TSan counter-hammer test in
+     * test_tsan_stress.cpp. Eager registration in the member
+     * initializers keeps the metric set (and so the report
+     * telemetry block's shape) identical across runs.
      */
-    std::atomic<std::uint64_t> captures_{0};
-    std::atomic<std::uint64_t> storeLoads_{0};
-    std::atomic<std::uint64_t> storeSaves_{0};
-    std::atomic<std::uint64_t> spills_{0};
+    telemetry::Registry metrics_;
+    telemetry::Counter &captures_ = metrics_.counter("cache.captures");
+    telemetry::Counter &storeLoads_ = metrics_.counter("cache.store_loads");
+    telemetry::Counter &storeSaves_ = metrics_.counter("cache.store_saves");
+    telemetry::Counter &spills_ = metrics_.counter("cache.spills");
+    telemetry::Counter &evictions_ = metrics_.counter("cache.evictions");
+    telemetry::Counter &storeLoadFailures_ =
+        metrics_.counter("cache.store_load_failures");
+    telemetry::Counter &quarantined_ =
+        metrics_.counter("cache.quarantined_segments");
+    /** Retired-instruction count of each functional capture. */
+    telemetry::Histogram &captureInstrs_ =
+        metrics_.histogram("cache.capture_instructions");
     std::atomic<DWord> limit_{cpu::TraceBuffer::defaultMaxInstrs};
-    std::atomic<std::uint64_t> storeLoadFailures_{0};
-    std::atomic<std::uint64_t> quarantined_{0};
     /** Consecutive transient-exhausted save failures. */
     std::atomic<unsigned> transientSaveFailures_{0};
     std::atomic<bool> writesDegraded_{false};

@@ -1,10 +1,62 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace sigcomp
 {
+
+namespace
+{
+
+/** -1 = not yet resolved from SIGCOMP_LOG. */
+std::atomic<int> g_log_level{-1};
+
+int
+resolveLevel()
+{
+    const char *env = std::getenv("SIGCOMP_LOG");
+    if (env == nullptr || *env == '\0')
+        return static_cast<int>(LogLevel::Info);
+    const std::string v(env);
+    if (v == "quiet")
+        return static_cast<int>(LogLevel::Quiet);
+    if (v == "warn")
+        return static_cast<int>(LogLevel::Warn);
+    if (v == "info")
+        return static_cast<int>(LogLevel::Info);
+    // An unrecognised value must not silently silence diagnostics:
+    // fall back to Info and say so once (prints because the level is
+    // already resolved to Info at this point).
+    std::fprintf(stderr,
+                 "warn: SIGCOMP_LOG='%s' not one of quiet|warn|info; "
+                 "using info\n",
+                 env);
+    return static_cast<int>(LogLevel::Info);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int level = g_log_level.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = resolveLevel();
+        // A concurrent first call resolves the same env value; either
+        // store wins with the same result.
+        g_log_level.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
@@ -25,12 +77,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

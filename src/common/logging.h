@@ -8,6 +8,11 @@
  *            (bad configuration, malformed program); exits cleanly.
  * warn()   — something works but not as well as it should.
  * inform() — neutral status for the user.
+ *
+ * warn()/inform() respect a process log level: SIGCOMP_LOG=quiet
+ * silences both, =warn keeps warnings only, =info (the default)
+ * keeps both. panic()/fatal() always print — suppressing the
+ * message that explains an abort helps nobody.
  */
 
 #ifndef SIGCOMP_COMMON_LOGGING_H_
@@ -20,6 +25,16 @@
 
 namespace sigcomp
 {
+
+/** Verbosity floor for SC_WARN/SC_INFORM (ordered: each level
+ * includes the ones below it). */
+enum class LogLevel : int { Quiet = 0, Warn = 1, Info = 2 };
+
+/** Current level: setLogLevel() if called, else SIGCOMP_LOG, else Info. */
+LogLevel logLevel();
+
+/** Override the level programmatically (wins over SIGCOMP_LOG). */
+void setLogLevel(LogLevel level);
 
 namespace detail
 {

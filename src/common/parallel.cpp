@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "common/telemetry.h"
 #include "common/thread_annotations.h"
 
 namespace sigcomp
@@ -71,24 +72,47 @@ thread_local bool inside_worker = false;
 void
 drainJob(Job &job)
 {
+    // Process-registry handles: the executor is a process-wide
+    // component (there is one global pool plus short-lived scoped
+    // ones), so its metrics don't belong to any one Session's
+    // namespace. Function-local statics bind once.
+    static telemetry::Gauge &queue_depth =
+        telemetry::Registry::process().gauge("executor.queue_depth");
+    static telemetry::Histogram &task_nanos =
+        telemetry::Registry::process().histogram("executor.task_nanos",
+                                                 telemetry::Unit::Nanos);
     for (;;) {
         const std::size_t i =
             job.next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= job.n)
+        if (i >= job.n) {
+            queue_depth.set(0);
             return;
-        try {
-            (*job.body)(i);
-        } catch (...) {
-            job.recordError(i, std::current_exception());
         }
+        // Unclaimed indices remaining after this claim.
+        queue_depth.set(static_cast<std::int64_t>(job.n - i - 1));
+        const bool timed = telemetry::enabled();
+        const std::uint64_t t0 = timed ? telemetry::detail::spanClockNanos()
+                                       : 0;
+        {
+            SIGCOMP_SPAN("executor.task");
+            try {
+                (*job.body)(i);
+            } catch (...) {
+                job.recordError(i, std::current_exception());
+            }
+        }
+        if (timed)
+            task_nanos.record(telemetry::detail::spanClockNanos() - t0);
         job.done.fetch_add(1, std::memory_order_acq_rel);
     }
 }
 
 void
-workerLoop(ExecutorState *state)
+workerLoop(ExecutorState *state, unsigned index)
 {
     inside_worker = true;
+    // Per-worker trace track (the submitting thread keeps its own).
+    telemetry::setThreadName("executor-worker-" + std::to_string(index));
     for (;;) {
         std::shared_ptr<Job> job;
         {
@@ -125,7 +149,7 @@ ParallelExecutor::ParallelExecutor(unsigned threads)
       state_(new detail::ExecutorState)
 {
     for (unsigned i = 1; i < thread_count_; ++i)
-        state_->workers.emplace_back(detail::workerLoop, state_);
+        state_->workers.emplace_back(detail::workerLoop, state_, i);
 }
 
 ParallelExecutor::~ParallelExecutor()

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/mutex.h"
+#include "common/telemetry.h"
 #include "common/thread_annotations.h"
 #include "mem/main_memory.h"
 #include "sigcomp/sig_kernels.h"
@@ -193,6 +194,9 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
     const bool tags = b.sigRegs_.size() == n;
     std::size_t mem_cursor = 0;
     for (std::size_t base = 0; base < n;) {
+        // One span per materialized block batch: the unit the fused
+        // replay loop will eventually pipeline (ROADMAP item 3).
+        SIGCOMP_SPAN("replay.block");
         const std::size_t k = std::min(block.size(), n - base);
         for (std::size_t j = 0; j < k; ++j) {
             const std::size_t i = base + j;

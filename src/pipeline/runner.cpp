@@ -1,6 +1,7 @@
 #include "pipeline/runner.h"
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace sigcomp::pipeline
 {
@@ -117,7 +118,13 @@ class GroupReplaySink : public cpu::TraceSink
             for (InOrderPipeline *p : pipes_)
                 p->retireBlockShared(block, *cached_, base_, blockIndex_);
         } else {
-            pipes_.front()->retireBlockRecord(block, *recording_);
+            {
+                // The design-independent front half: computed once
+                // per group by the recording leader, shared by the
+                // rest.
+                SIGCOMP_SPAN("quanta.compute");
+                pipes_.front()->retireBlockRecord(block, *recording_);
+            }
             for (std::size_t i = 1; i < pipes_.size(); ++i) {
                 pipes_[i]->retireBlockShared(block, *recording_, base_,
                                              blockIndex_);
@@ -255,8 +262,10 @@ replayPipelines(const cpu::TraceBuffer &trace,
     }
     sinks.insert(sinks.end(), extra_sinks.begin(), extra_sinks.end());
 
-    if (!sinks.empty())
+    if (!sinks.empty()) {
+        SIGCOMP_SPAN("replay.pass");
         cpu::TraceView(trace).replay(sinks);
+    }
     for (auto &gs : group_sinks)
         gs->finish(trace);
 

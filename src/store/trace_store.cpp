@@ -269,6 +269,7 @@ decodeCol32(const std::uint8_t *bytes, const Segment::Column &col,
             std::size_t n, std::vector<std::uint32_t> &out,
             std::string *why)
 {
+    SIGCOMP_SPAN("codec.decode_column");
     const std::uint8_t *p = bytes + col.payloadOffset;
     const std::size_t len = static_cast<std::size_t>(col.encBytes);
     if (col.rawBytes != 4 * static_cast<std::uint64_t>(n))
@@ -288,6 +289,7 @@ decodeCol64(const std::uint8_t *bytes, const Segment::Column &col,
             std::size_t n, std::vector<std::uint64_t> &out,
             std::string *why)
 {
+    SIGCOMP_SPAN("codec.decode_column");
     const std::uint8_t *p = bytes + col.payloadOffset;
     const std::size_t len = static_cast<std::size_t>(col.encBytes);
     if (col.rawBytes != 8 * static_cast<std::uint64_t>(n))
@@ -616,19 +618,39 @@ class TraceSerializer
         // loader rebuilds them from the result column (see ColumnId).
         std::vector<std::uint8_t> payloads[NumColumns];
         std::uint64_t raw_bytes[NumColumns];
-        encode32(b.decIdx_, payloads[ColDecIdx], raw_bytes[ColDecIdx]);
-        encodeColumn32(b.result_v_.data(), n, payloads[ColResult],
-                       res_tags.data());
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            encode32(b.decIdx_, payloads[ColDecIdx],
+                     raw_bytes[ColDecIdx]);
+        }
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            encodeColumn32(b.result_v_.data(), n, payloads[ColResult],
+                           res_tags.data());
+        }
         raw_bytes[ColResult] = 4 * static_cast<std::uint64_t>(n);
-        encodeTaken(b, payloads[ColTaken]);
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            encodeTaken(b, payloads[ColTaken]);
+        }
         raw_bytes[ColTaken] = 8 * b.taken_.size();
-        encode32(b.memAddr_, payloads[ColMemAddr], raw_bytes[ColMemAddr]);
-        encodeColumn32(b.memData_.data(), b.memData_.size(),
-                       payloads[ColMemData], mem_tags.data());
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            encode32(b.memAddr_, payloads[ColMemAddr],
+                     raw_bytes[ColMemAddr]);
+        }
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            encodeColumn32(b.memData_.data(), b.memData_.size(),
+                           payloads[ColMemData], mem_tags.data());
+        }
         raw_bytes[ColMemData] =
             4 * static_cast<std::uint64_t>(b.memData_.size());
-        packNibbles(res_tags, payloads[ColSigTags]);
-        packNibbles(mem_tags, payloads[ColSigTags]);
+        {
+            SIGCOMP_SPAN("codec.encode_column");
+            packNibbles(res_tags, payloads[ColSigTags]);
+            packNibbles(mem_tags, payloads[ColSigTags]);
+        }
         raw_bytes[ColSigTags] = n + mem_tags.size();
 
         // Derived SharedQuanta records published on the buffer by
@@ -1069,7 +1091,15 @@ TraceStore::TraceStore(std::string dir, const StoreOptions &options)
       durableSaves_(options.durableSaves),
       transientRetries_(options.transientRetries),
       retryBackoffMs_(options.retryBackoffMs),
-      env_(options.env != nullptr ? options.env : &Env::posix())
+      env_(options.env != nullptr ? options.env : &Env::posix()),
+      metrics_(options.registry != nullptr
+                   ? *options.registry
+                   : telemetry::Registry::process()),
+      retriesMetric_(metrics_.counter("store.retries")),
+      loadBytes_(metrics_.histogram("store.load_bytes",
+                                    telemetry::Unit::Bytes)),
+      saveBytes_(metrics_.histogram("store.save_bytes",
+                                    telemetry::Unit::Bytes))
 {
     if (readOnly_)
         return;
@@ -1079,6 +1109,7 @@ TraceStore::TraceStore(std::string dir, const StoreOptions &options)
         if (st.ok() || !st.transient() || attempt == transientRetries_)
             break;
         retries_.fetch_add(1, std::memory_order_relaxed);
+        retriesMetric_.inc();
         backoff(attempt);
     }
     if (!st.ok()) {
@@ -1095,6 +1126,9 @@ TraceStore::backoff(unsigned attempt) const
 {
     if (retryBackoffMs_ == 0)
         return;
+    // Waiting out a transient fault is invisible to a wall-clock
+    // profile without this span — retry storms look like slow I/O.
+    SIGCOMP_SPAN("store.retry_wait");
     std::this_thread::sleep_for(
         std::chrono::milliseconds(std::uint64_t{retryBackoffMs_}
                                   << std::min(attempt, 10u)));
@@ -1114,6 +1148,7 @@ TraceStore::mapSegment(const std::string &path, EnvStatus *status) const
         if (!st.transient() || attempt == transientRetries_)
             break;
         retries_.fetch_add(1, std::memory_order_relaxed);
+        retriesMetric_.inc();
         backoff(attempt);
     }
     if (status != nullptr)
@@ -1154,6 +1189,7 @@ TraceStore::load(const std::string &workload, const isa::Program &program,
                  DWord capture_limit, std::string *why, bool *legacy,
                  LoadFailure *failure) const
 {
+    SIGCOMP_SPAN("store.load");
     const auto classify = [&](LoadFailure f) {
         if (failure != nullptr)
             *failure = f;
@@ -1173,6 +1209,7 @@ TraceStore::load(const std::string &workload, const isa::Program &program,
         }
         return nullptr;
     }
+    loadBytes_.record(file->size());
     classify(LoadFailure::Corrupt); // until proven otherwise below
     Segment seg;
     if (!parseSegment(file->data(), file->size(), seg, why))
@@ -1258,6 +1295,7 @@ TraceStore::save(const std::string &workload,
                  const cpu::TraceBuffer &trace, DWord capture_limit,
                  std::string *why, EnvFault *fault) const
 {
+    SIGCOMP_SPAN("store.save");
     if (fault != nullptr)
         *fault = EnvFault::None;
     if (readOnly_) {
@@ -1273,6 +1311,7 @@ TraceStore::save(const std::string &workload,
 
     const std::vector<std::uint8_t> bytes = TraceSerializer::serialize(
         trace, capture_limit, programFingerprint(trace.program()));
+    saveBytes_.record(bytes.size());
 
     const std::string path = segmentPath(workload);
     std::string reason;
@@ -1284,6 +1323,7 @@ TraceStore::save(const std::string &workload,
         if (f != EnvFault::Transient || attempt == transientRetries_)
             break;
         retries_.fetch_add(1, std::memory_order_relaxed);
+        retriesMetric_.inc();
         backoff(attempt);
     }
     if (fault != nullptr)
@@ -1313,6 +1353,7 @@ TraceStore::quarantine(const std::string &workload,
         if (st.ok() || !st.transient() || attempt == transientRetries_)
             break;
         retries_.fetch_add(1, std::memory_order_relaxed);
+        retriesMetric_.inc();
         backoff(attempt);
     }
     if (!st.ok())

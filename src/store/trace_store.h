@@ -81,6 +81,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/telemetry.h"
 #include "common/types.h"
 #include "cpu/trace_buffer.h"
 #include "isa/program.h"
@@ -180,6 +181,14 @@ struct StoreOptions
 
     /** I/O seam; nullptr means the real filesystem (Env::posix()). */
     Env *env = nullptr;
+
+    /**
+     * Metric namespace for store.retries / store.load_bytes /
+     * store.save_bytes; nullptr means the process-wide registry.
+     * TraceCache passes its own so per-Session report deltas see
+     * the store traffic of that session only.
+     */
+    telemetry::Registry *registry = nullptr;
 };
 
 /** Why a load() returned nullptr, classified for recovery policy. */
@@ -365,6 +374,15 @@ class TraceStore
     /** Set when the writable store's directory could not be created. */
     bool dirFailed_ = false;
     mutable std::atomic<std::uint64_t> retries_{0};
+    /**
+     * Telemetry handles (StoreOptions::registry). retriesMetric_
+     * mirrors retries_ — the atomic stays the per-handle accessor
+     * retries() reads; the counter feeds the registry snapshot.
+     */
+    telemetry::Registry &metrics_;
+    telemetry::Counter &retriesMetric_;
+    telemetry::Histogram &loadBytes_;
+    telemetry::Histogram &saveBytes_;
 };
 
 /** Whole-store aggregation for ratio/stats reporting. */

@@ -570,9 +570,10 @@ TEST_F(FaultTest, PersistAnnexesFailureLeavesSegmentBitIdentical)
 
 /**
  * The report's study payload with the run-variant accounting
- * stripped: drop the engine and health lines (wall clock, retry and
- * degradation counts legitimately differ under faults), keep every
- * study byte.
+ * stripped: drop the engine, health and telemetry lines (wall clock,
+ * retry and degradation counts legitimately differ under faults),
+ * keep every study byte. The telemetry block is emitted on one line
+ * precisely so this filter can drop it whole.
  */
 std::string
 studyBytes(const SuiteReport &rep)
@@ -582,7 +583,8 @@ studyBytes(const SuiteReport &rep)
     std::string line;
     while (std::getline(in, line)) {
         if (line.find("\"engine\"") != std::string::npos ||
-            line.find("\"health\"") != std::string::npos)
+            line.find("\"health\"") != std::string::npos ||
+            line.find("\"telemetry\"") != std::string::npos)
             continue;
         out << line << '\n';
     }

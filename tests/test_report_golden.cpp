@@ -1,7 +1,7 @@
 /**
  * @file
  * SuiteReport JSON golden-file tests: the byte contract of schema
- * "sigcomp-suite-report-v2" (open item since PR 5, prerequisite for
+ * "sigcomp-suite-report-v3" (open item since PR 5, prerequisite for
  * the sigcompd service of ROADMAP item 1 — once a daemon answers
  * with this JSON, its bytes are a wire format, not an
  * implementation detail).
@@ -28,6 +28,7 @@
 
 #include "analysis/session.h"
 #include "analysis/study_plan.h"
+#include "common/telemetry.h"
 #include "power/energy_model.h"
 
 namespace sigcomp
@@ -148,6 +149,47 @@ makeSyntheticReport()
     rep.degradations = {"quarantined 'alpha': header CRC mismatch",
                         "load failed \"beta\": path\\with\\slashes"};
 
+    // v3 telemetry block, hand-built so the writer's bytes — sparse
+    // bucket pairs, unit names, and the elision of gauges, Nanos
+    // metrics and zero-valued entries — are all part of the pin.
+    auto metric = [&rep](const char *name, telemetry::Kind kind,
+                         telemetry::Unit unit) -> telemetry::SnapshotMetric & {
+        telemetry::SnapshotMetric m;
+        m.name = name;
+        m.kind = kind;
+        m.unit = unit;
+        rep.telemetry.metrics.push_back(std::move(m));
+        return rep.telemetry.metrics.back();
+    };
+    metric("cache.captures", telemetry::Kind::Counter,
+           telemetry::Unit::Count)
+        .value = 1;
+    {
+        telemetry::SnapshotMetric &h =
+            metric("cache.capture_instructions", telemetry::Kind::Histogram,
+                   telemetry::Unit::Count);
+        h.count = 2;
+        h.sum = 3000;
+        h.buckets = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+    }
+    metric("cache.spills", telemetry::Kind::Counter,
+           telemetry::Unit::Count)
+        .value = 0; // elided: zero-valued
+    metric("executor.queue_depth", telemetry::Kind::Gauge,
+           telemetry::Unit::Count)
+        .gauge = 4; // elided: gauge
+    {
+        telemetry::SnapshotMetric &h =
+            metric("executor.task_nanos", telemetry::Kind::Histogram,
+                   telemetry::Unit::Nanos);
+        h.count = 7; // elided: wall time
+        h.sum = 123456;
+        h.buckets = {0, 0, 0, 1, 6};
+    }
+    metric("store.retries", telemetry::Kind::Counter,
+           telemetry::Unit::Count)
+        .value = 3;
+
     ActivityStudyResult act;
     act.encoding = sig::Encoding::Ext3;
     act.rows = {{"alpha", makeActivity(10000)},
@@ -214,7 +256,7 @@ TEST(SuiteReportGolden, SchemaStringIsPinned)
     // re-versioned schema must be a deliberate act (README, goldens
     // and sigcomp_lint's README cross-check all move together).
     const std::string json = makeSyntheticReport().toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v2\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v3\""),
               std::string::npos);
 }
 

@@ -468,11 +468,15 @@ TEST(SessionReport, JsonSerializesEveryStudySection)
     const SuiteReport rep = session.run(plan);
 
     const std::string json = rep.toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v2\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v3\""),
               std::string::npos);
     EXPECT_NE(json.find("\"workloads\": [\"rawcaudio\"]"),
               std::string::npos);
     EXPECT_NE(json.find("\"replay_passes\": 1"), std::string::npos);
+    // v3: the run's metrics delta rides along as a telemetry block.
+    EXPECT_NE(json.find("\"telemetry\": {\"counters\": {"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cache.captures\": "), std::string::npos);
     EXPECT_NE(json.find("\"byte-serial\""), std::string::npos);
     EXPECT_NE(json.find("\"encoding\": \"ext3\""), std::string::npos);
     EXPECT_NE(json.find("\"saving\""), std::string::npos);
