@@ -1,0 +1,1138 @@
+#include "analysis/plan_json.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "mem/hierarchy.h"
+
+namespace sigcomp::analysis
+{
+
+namespace
+{
+
+constexpr char kSchemaId[] = "sigcomp-study-plan-v1";
+
+// ---- enum name lookups (inverses of the *Name() helpers) ------------
+
+bool
+lookupEncoding(const std::string &name, sig::Encoding *out)
+{
+    for (sig::Encoding e : {sig::Encoding::Ext2, sig::Encoding::Ext3,
+                            sig::Encoding::Half1}) {
+        if (sig::encodingName(e) == name) {
+            *out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+lookupDesign(const std::string &name, pipeline::Design *out)
+{
+    for (pipeline::Design d : pipeline::allDesigns()) {
+        if (pipeline::designName(d) == name) {
+            *out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+lookupPredictor(const std::string &name, pipeline::PredictorKind *out)
+{
+    for (pipeline::PredictorKind k :
+         {pipeline::PredictorKind::None, pipeline::PredictorKind::NotTaken,
+          pipeline::PredictorKind::Bimodal}) {
+        if (pipeline::predictorName(k) == name) {
+            *out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+// ---- shared value validation (parser AND serializer) ----------------
+// The serializer enforces the same caps the parser does, so the
+// round-trip guarantee is unconditional: any document it emits, the
+// parser accepts.
+
+bool
+asciiClean(const std::string &s)
+{
+    for (const char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u >= 0x80)
+            return false;
+    }
+    return true;
+}
+
+bool
+techInRange(const power::TechParams &t)
+{
+    const double fields[] = {t.bitLineFf,     t.wordLineFfPerBit,
+                             t.senseAmpFf,    t.latchFfPerBit,
+                             t.logicFfPerBit, t.clockFfPerBit};
+    if (!std::isfinite(t.vdd) || t.vdd <= 0.0 || t.vdd > kMaxPlanVdd)
+        return false;
+    for (const double v : fields) {
+        if (!std::isfinite(v) || v < 0.0 || v > 1e9)
+            return false;
+    }
+    return true;
+}
+
+bool
+cyclesInRange(unsigned v)
+{
+    return v >= 1 && v <= kMaxPlanOpCycles;
+}
+
+bool
+predictorEntriesInRange(unsigned v)
+{
+    return v >= 1 && v <= kMaxPlanPredictorEntries &&
+           std::has_single_bit(v);
+}
+
+bool
+rankingInRange(const std::vector<std::uint8_t> &ranking)
+{
+    if (ranking.size() > kMaxPlanRankingEntries)
+        return false;
+    bool seen[64] = {};
+    for (const std::uint8_t v : ranking) {
+        if (v >= 64 || seen[v])
+            return false;
+        seen[v] = true;
+    }
+    return true;
+}
+
+bool
+cacheParamsEqual(const mem::CacheParams &a, const mem::CacheParams &b)
+{
+    return a.name == b.name && a.sizeBytes == b.sizeBytes &&
+           a.assoc == b.assoc && a.lineBytes == b.lineBytes &&
+           a.hitLatency == b.hitLatency;
+}
+
+bool
+tlbParamsEqual(const mem::TlbParams &a, const mem::TlbParams &b)
+{
+    return a.name == b.name && a.entries == b.entries &&
+           a.assoc == b.assoc && a.pageBits == b.pageBits &&
+           a.missPenalty == b.missPenalty;
+}
+
+bool
+hierarchyEqual(const mem::HierarchyParams &a,
+               const mem::HierarchyParams &b)
+{
+    return cacheParamsEqual(a.l1i, b.l1i) &&
+           cacheParamsEqual(a.l1d, b.l1d) &&
+           cacheParamsEqual(a.l2, b.l2) &&
+           a.memoryPenalty == b.memoryPenalty &&
+           tlbParamsEqual(a.itlb, b.itlb) &&
+           tlbParamsEqual(a.dtlb, b.dtlb);
+}
+
+// ---- the reader -----------------------------------------------------
+
+/**
+ * Character-level cursor with first-failure capture. Every parse_*
+ * method returns false once failed; callers bail out on false, so
+ * the recorded error is always the FIRST one in input order.
+ */
+class Reader
+{
+  public:
+    Reader(std::string_view s, PlanError *error)
+        : s_(s), error_(error)
+    {}
+
+    bool failed() const { return failed_; }
+
+    bool
+    fail(PlanErrorKind kind, std::size_t offset, std::string message)
+    {
+        if (!failed_) {
+            failed_ = true;
+            if (error_ != nullptr)
+                *error_ = {kind, offset, std::move(message)};
+        }
+        return false;
+    }
+
+    std::size_t pos() const { return pos_; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    /** Next non-ws char without consuming; '\0' at end. */
+    char
+    peek()
+    {
+        skipWs();
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    bool
+    consume(char c, const char *what)
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            return fail(PlanErrorKind::Syntax, pos_,
+                        std::string("unexpected end of input, "
+                                    "expected '") +
+                            c + "' " + what);
+        }
+        if (s_[pos_] != c) {
+            return fail(PlanErrorKind::Syntax, pos_,
+                        std::string("expected '") + c + "' " + what +
+                            ", got '" + s_[pos_] + "'");
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= s_.size();
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ >= s_.size() || s_[pos_] != '"') {
+            return fail(PlanErrorKind::BadType, pos_,
+                        "expected a string");
+        }
+        ++pos_;
+        std::string v;
+        for (;;) {
+            if (pos_ >= s_.size()) {
+                return fail(PlanErrorKind::Syntax, pos_,
+                            "unterminated string");
+            }
+            const char c = s_[pos_];
+            const auto u = static_cast<unsigned char>(c);
+            if (c == '"') {
+                ++pos_;
+                break;
+            }
+            if (u < 0x20) {
+                return fail(PlanErrorKind::Syntax, pos_,
+                            "unescaped control byte in string");
+            }
+            if (u >= 0x80) {
+                return fail(PlanErrorKind::Unsupported, pos_,
+                            "non-ASCII bytes are not supported");
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) {
+                    return fail(PlanErrorKind::Syntax, pos_,
+                                "unterminated escape");
+                }
+                const char e = s_[pos_++];
+                switch (e) {
+                case '"': v.push_back('"'); break;
+                case '\\': v.push_back('\\'); break;
+                case '/': v.push_back('/'); break;
+                case 'b': v.push_back('\b'); break;
+                case 'f': v.push_back('\f'); break;
+                case 'n': v.push_back('\n'); break;
+                case 'r': v.push_back('\r'); break;
+                case 't': v.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) {
+                        return fail(PlanErrorKind::Syntax, pos_,
+                                    "truncated \\u escape");
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_ + static_cast<
+                                                std::size_t>(i)];
+                        unsigned d;
+                        if (h >= '0' && h <= '9')
+                            d = static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            d = static_cast<unsigned>(h - 'a') + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            d = static_cast<unsigned>(h - 'A') + 10;
+                        else
+                            return fail(PlanErrorKind::Syntax,
+                                        pos_ + static_cast<
+                                                  std::size_t>(i),
+                                        "bad \\u escape digit");
+                        code = code * 16 + d;
+                    }
+                    if (code >= 0x80) {
+                        return fail(PlanErrorKind::Unsupported, pos_,
+                                    "non-ASCII \\u escape is not "
+                                    "supported");
+                    }
+                    pos_ += 4;
+                    v.push_back(static_cast<char>(code));
+                    break;
+                }
+                default:
+                    return fail(PlanErrorKind::Syntax, pos_ - 1,
+                                "unknown escape");
+                }
+                continue;
+            }
+            v.push_back(c);
+            ++pos_;
+        }
+        if (v.size() > kMaxPlanStringBytes) {
+            return fail(PlanErrorKind::OutOfRange, start,
+                        "string longer than " +
+                            std::to_string(kMaxPlanStringBytes) +
+                            " bytes");
+        }
+        *out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseBool(bool *out)
+    {
+        skipWs();
+        if (s_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            *out = true;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            *out = false;
+            return true;
+        }
+        return fail(PlanErrorKind::BadType, pos_,
+                    "expected true or false");
+    }
+
+    /** The raw characters of one number token (JSON grammar-ish). */
+    bool
+    numberToken(std::string *token, std::size_t *start)
+    {
+        skipWs();
+        *start = pos_;
+        std::size_t p = pos_;
+        auto isNumChar = [&](char c) {
+            return (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                   c == '.' || c == 'e' || c == 'E';
+        };
+        while (p < s_.size() && isNumChar(s_[p]))
+            ++p;
+        if (p == pos_) {
+            return fail(PlanErrorKind::BadType, pos_,
+                        "expected a number");
+        }
+        token->assign(s_.substr(pos_, p - pos_));
+        pos_ = p;
+        return true;
+    }
+
+    /** Non-negative integer with an inclusive cap. */
+    bool
+    parseU64(std::uint64_t *out, std::uint64_t max, const char *what)
+    {
+        std::string tok;
+        std::size_t start = 0;
+        if (!numberToken(&tok, &start))
+            return false;
+        if (tok.find_first_of(".eE") != std::string::npos) {
+            return fail(PlanErrorKind::BadType, start,
+                        std::string(what) + " must be an integer");
+        }
+        if (tok[0] == '-' || tok[0] == '+') {
+            return fail(PlanErrorKind::OutOfRange, start,
+                        std::string(what) +
+                            " must be a non-negative integer");
+        }
+        std::uint64_t v = 0;
+        for (const char c : tok) {
+            if (c < '0' || c > '9') {
+                return fail(PlanErrorKind::Syntax, start,
+                            "malformed integer");
+            }
+            const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+            if (v > (max - d) / 10) {
+                return fail(PlanErrorKind::OutOfRange, start,
+                            std::string(what) + " exceeds its cap (" +
+                                std::to_string(max) + ")");
+            }
+            v = v * 10 + d;
+        }
+        *out = v;
+        return true;
+    }
+
+    bool
+    parseDouble(double *out, const char *what)
+    {
+        std::string tok;
+        std::size_t start = 0;
+        if (!numberToken(&tok, &start))
+            return false;
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || end == tok.c_str()) {
+            return fail(PlanErrorKind::Syntax, start,
+                        "malformed number");
+        }
+        // Underflow to a subnormal is fine (strtod returns the
+        // nearest value); only non-finite results are refused, so
+        // everything the %.17g writer emits parses back.
+        if (!std::isfinite(v)) {
+            return fail(PlanErrorKind::OutOfRange, start,
+                        std::string(what) + " is out of range");
+        }
+        *out = v;
+        return true;
+    }
+
+    /**
+     * Drive one object: "{" key:value... "}" with duplicate-key
+     * rejection. @p field consumes the value of each key (offset =
+     * where the key token started) and returns false on failure.
+     */
+    template <typename FieldFn>
+    bool
+    parseObject(FieldFn &&field)
+    {
+        if (!consume('{', "to open an object"))
+            return false;
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        std::vector<std::string> seen;
+        for (;;) {
+            skipWs();
+            const std::size_t key_off = pos_;
+            std::string key;
+            if (!parseString(&key)) {
+                // A non-string key is a syntax problem, not a type
+                // problem with a known field's value.
+                if (error_ != nullptr &&
+                    error_->kind == PlanErrorKind::BadType)
+                    error_->kind = PlanErrorKind::Syntax;
+                return false;
+            }
+            if (std::find(seen.begin(), seen.end(), key) !=
+                seen.end()) {
+                return fail(PlanErrorKind::Syntax, key_off,
+                            "duplicate key \"" + key + "\"");
+            }
+            seen.push_back(key);
+            if (!consume(':', "after an object key"))
+                return false;
+            if (!field(key, key_off))
+                return false;
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail(PlanErrorKind::Syntax, pos_,
+                        "expected ',' or '}' in object");
+        }
+    }
+
+    /** Drive one array with an element cap. */
+    template <typename ElemFn>
+    bool
+    parseArray(std::size_t max, const char *what, ElemFn &&elem)
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ >= s_.size() || s_[pos_] != '[') {
+            return fail(PlanErrorKind::BadType, pos_,
+                        std::string("expected an array ") + what);
+        }
+        ++pos_;
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        std::size_t count = 0;
+        for (;;) {
+            if (++count > max) {
+                return fail(PlanErrorKind::OutOfRange, start,
+                            std::string(what) + " has more than " +
+                                std::to_string(max) + " entries");
+            }
+            if (!elem())
+                return false;
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail(PlanErrorKind::Syntax, pos_,
+                        "expected ',' or ']' in array");
+        }
+    }
+
+  private:
+    std::string_view s_;
+    PlanError *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+// ---- schema-specific parsers ----------------------------------------
+
+bool
+parseEncodingField(Reader &r, sig::Encoding *out)
+{
+    const std::size_t off = r.pos();
+    std::string name;
+    if (!r.parseString(&name))
+        return false;
+    if (!lookupEncoding(name, out)) {
+        return r.fail(PlanErrorKind::OutOfRange, off,
+                      "unknown encoding \"" + name +
+                          "\" (want ext2, ext3 or half1)");
+    }
+    return true;
+}
+
+bool
+parseDesignField(Reader &r, pipeline::Design *out)
+{
+    const std::size_t off = r.pos();
+    std::string name;
+    if (!r.parseString(&name))
+        return false;
+    if (!lookupDesign(name, out)) {
+        return r.fail(PlanErrorKind::OutOfRange, off,
+                      "unknown design \"" + name + "\"");
+    }
+    return true;
+}
+
+bool
+parseActivityStudy(Reader &r, StudyPlan *plan)
+{
+    bool saw_encoding = false;
+    sig::Encoding enc = sig::Encoding::Ext3;
+    const std::size_t obj_off = r.pos();
+    const bool ok = r.parseObject([&](const std::string &key,
+                                      std::size_t key_off) {
+        if (key == "encoding") {
+            saw_encoding = true;
+            return parseEncodingField(r, &enc);
+        }
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown activity key \"" + key + "\"");
+    });
+    if (!ok)
+        return false;
+    if (!saw_encoding) {
+        return r.fail(PlanErrorKind::Syntax, obj_off,
+                      "activity study is missing \"encoding\"");
+    }
+    plan->activity(enc);
+    return true;
+}
+
+bool
+parsePipelineConfig(Reader &r, pipeline::PipelineConfig *out)
+{
+    pipeline::PipelineConfig cfg;
+    return r.parseObject([&](const std::string &key,
+                             std::size_t key_off) -> bool {
+        if (key == "encoding")
+            return parseEncodingField(r, &cfg.encoding);
+        if (key == "mult_cycles" || key == "div_cycles") {
+            std::uint64_t v = 0;
+            if (!r.parseU64(&v, kMaxPlanOpCycles, key.c_str()))
+                return false;
+            if (!cyclesInRange(static_cast<unsigned>(v))) {
+                return r.fail(PlanErrorKind::OutOfRange, key_off,
+                              key + " must be in [1, " +
+                                  std::to_string(kMaxPlanOpCycles) +
+                                  "]");
+            }
+            (key == "mult_cycles" ? cfg.multCycles : cfg.divCycles) =
+                static_cast<unsigned>(v);
+            return true;
+        }
+        if (key == "predictor") {
+            const std::size_t off = r.pos();
+            std::string name;
+            if (!r.parseString(&name))
+                return false;
+            if (!lookupPredictor(name, &cfg.predictor)) {
+                return r.fail(PlanErrorKind::OutOfRange, off,
+                              "unknown predictor \"" + name +
+                                  "\" (want none, not-taken or "
+                                  "bimodal)");
+            }
+            return true;
+        }
+        if (key == "pht_entries" || key == "btb_entries") {
+            std::uint64_t v = 0;
+            if (!r.parseU64(&v, kMaxPlanPredictorEntries, key.c_str()))
+                return false;
+            if (!predictorEntriesInRange(static_cast<unsigned>(v))) {
+                return r.fail(PlanErrorKind::OutOfRange, key_off,
+                              key + " must be a power of two in [1, " +
+                                  std::to_string(
+                                      kMaxPlanPredictorEntries) +
+                                  "]");
+            }
+            (key == "pht_entries" ? cfg.phtEntries : cfg.btbEntries) =
+                static_cast<unsigned>(v);
+            return true;
+        }
+        if (key == "compressor_ranking") {
+            std::vector<std::uint8_t> ranking;
+            const bool ok = r.parseArray(
+                kMaxPlanRankingEntries, "compressor_ranking", [&] {
+                    std::uint64_t v = 0;
+                    if (!r.parseU64(&v, 63, "funct value"))
+                        return false;
+                    ranking.push_back(static_cast<std::uint8_t>(v));
+                    return true;
+                });
+            if (!ok)
+                return false;
+            if (!rankingInRange(ranking)) {
+                return r.fail(PlanErrorKind::OutOfRange, key_off,
+                              "compressor_ranking entries must be "
+                              "unique 6-bit funct values");
+            }
+            cfg.compressor = sig::InstrCompressor(ranking);
+            return true;
+        }
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown config key \"" + key + "\"");
+    }) && (*out = std::move(cfg), true);
+}
+
+bool
+parseCpiStudy(Reader &r, StudyPlan *plan)
+{
+    std::vector<pipeline::Design> designs;
+    pipeline::PipelineConfig cfg;
+    const bool ok = r.parseObject([&](const std::string &key,
+                                      std::size_t key_off) -> bool {
+        if (key == "designs") {
+            return r.parseArray(kMaxPlanDesigns, "designs", [&] {
+                pipeline::Design d = pipeline::Design::ByteSerial;
+                if (!parseDesignField(r, &d))
+                    return false;
+                designs.push_back(d);
+                return true;
+            });
+        }
+        if (key == "config")
+            return parsePipelineConfig(r, &cfg);
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown cpi key \"" + key + "\"");
+    });
+    if (!ok)
+        return false;
+    plan->cpi(std::move(designs), std::move(cfg));
+    return true;
+}
+
+bool
+parseTechParams(Reader &r, power::TechParams *out)
+{
+    power::TechParams t;
+    const std::size_t obj_off = r.pos();
+    const bool ok = r.parseObject([&](const std::string &key,
+                                      std::size_t key_off) -> bool {
+        struct
+        {
+            const char *name;
+            double *slot;
+        } fields[] = {
+            {"vdd", &t.vdd},
+            {"bit_line_ff", &t.bitLineFf},
+            {"word_line_ff_per_bit", &t.wordLineFfPerBit},
+            {"sense_amp_ff", &t.senseAmpFf},
+            {"latch_ff_per_bit", &t.latchFfPerBit},
+            {"logic_ff_per_bit", &t.logicFfPerBit},
+            {"clock_ff_per_bit", &t.clockFfPerBit},
+        };
+        for (const auto &f : fields) {
+            if (key == f.name)
+                return r.parseDouble(f.slot, f.name);
+        }
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown tech key \"" + key + "\"");
+    });
+    if (!ok)
+        return false;
+    if (!techInRange(t)) {
+        return r.fail(PlanErrorKind::OutOfRange, obj_off,
+                      "tech parameters out of range (vdd in (0, " +
+                          std::to_string(kMaxPlanVdd) +
+                          "]; capacitances in [0, 1e9] fF)");
+    }
+    *out = t;
+    return true;
+}
+
+bool
+parseEnergyStudy(Reader &r, StudyPlan *plan)
+{
+    pipeline::Design design = pipeline::Design::ByteSerial;
+    sig::Encoding enc = sig::Encoding::Ext3;
+    power::TechParams tech;
+    const bool ok = r.parseObject([&](const std::string &key,
+                                      std::size_t key_off) -> bool {
+        if (key == "design")
+            return parseDesignField(r, &design);
+        if (key == "encoding")
+            return parseEncodingField(r, &enc);
+        if (key == "tech")
+            return parseTechParams(r, &tech);
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown energy key \"" + key + "\"");
+    });
+    if (!ok)
+        return false;
+    plan->energy(tech, design, enc);
+    return true;
+}
+
+/** Bracket-depth pre-scan: the cheap whole-document nesting cap. */
+bool
+depthWithinCap(std::string_view json)
+{
+    std::size_t depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : json) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[') {
+            if (++depth > kMaxPlanJsonDepth)
+                return false;
+        } else if (c == '}' || c == ']') {
+            if (depth > 0)
+                --depth;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+planErrorKindName(PlanErrorKind k)
+{
+    switch (k) {
+    case PlanErrorKind::None: return "none";
+    case PlanErrorKind::Syntax: return "syntax";
+    case PlanErrorKind::UnknownField: return "unknown-field";
+    case PlanErrorKind::BadType: return "bad-type";
+    case PlanErrorKind::OutOfRange: return "out-of-range";
+    case PlanErrorKind::Unsupported: return "unsupported";
+    }
+    return "?";
+}
+
+std::string
+PlanError::render() const
+{
+    return planErrorKindName(kind) + " at byte " +
+           std::to_string(offset) + ": " + message;
+}
+
+bool
+parsePlanJson(std::string_view json, StudyPlan *out, PlanError *error)
+{
+    SC_ASSERT(out != nullptr, "parsePlanJson needs an output plan");
+    Reader r(json, error);
+    if (json.size() > kMaxPlanJsonBytes) {
+        return r.fail(PlanErrorKind::OutOfRange, 0,
+                      "document larger than " +
+                          std::to_string(kMaxPlanJsonBytes) +
+                          " bytes");
+    }
+    if (!depthWithinCap(json)) {
+        return r.fail(PlanErrorKind::OutOfRange, 0,
+                      "nesting deeper than " +
+                          std::to_string(kMaxPlanJsonDepth) +
+                          " levels");
+    }
+
+    StudyPlan plan;
+    bool saw_schema = false;
+    const bool ok = r.parseObject([&](const std::string &key,
+                                      std::size_t key_off) -> bool {
+        if (key == "schema") {
+            const std::size_t off = r.pos();
+            std::string id;
+            if (!r.parseString(&id))
+                return false;
+            if (id != kSchemaId) {
+                return r.fail(PlanErrorKind::Unsupported, off,
+                              "unsupported schema \"" + id +
+                                  "\" (this build reads \"" +
+                                  kSchemaId + "\")");
+            }
+            saw_schema = true;
+            return true;
+        }
+        if (key == "workloads") {
+            std::vector<std::string> names;
+            const bool arr_ok = r.parseArray(
+                kMaxPlanWorkloads, "workloads", [&] {
+                    std::string name;
+                    if (!r.parseString(&name))
+                        return false;
+                    names.push_back(std::move(name));
+                    return true;
+                });
+            if (!arr_ok)
+                return false;
+            if (!names.empty())
+                plan.workloads(std::move(names));
+            return true;
+        }
+        if (key == "threads") {
+            std::uint64_t v = 0;
+            if (!r.parseU64(&v, kMaxPlanThreads, "threads"))
+                return false;
+            plan.threads(static_cast<unsigned>(v));
+            return true;
+        }
+        if (key == "evict_after_replay") {
+            bool v = false;
+            if (!r.parseBool(&v))
+                return false;
+            plan.evictAfterReplay(v);
+            return true;
+        }
+        if (key == "deadline_ms") {
+            std::uint64_t v = 0;
+            if (!r.parseU64(&v, kMaxPlanDeadlineMs, "deadline_ms"))
+                return false;
+            plan.deadlineMs(v);
+            return true;
+        }
+        if (key == "activity") {
+            return r.parseArray(kMaxPlanStudies, "activity",
+                                [&] { return parseActivityStudy(r, &plan); });
+        }
+        if (key == "cpi") {
+            return r.parseArray(kMaxPlanStudies, "cpi",
+                                [&] { return parseCpiStudy(r, &plan); });
+        }
+        if (key == "energy") {
+            return r.parseArray(kMaxPlanStudies, "energy",
+                                [&] { return parseEnergyStudy(r, &plan); });
+        }
+        return r.fail(PlanErrorKind::UnknownField, key_off,
+                      "unknown plan key \"" + key + "\"");
+    });
+    if (!ok)
+        return false;
+    if (!r.atEnd()) {
+        return r.fail(PlanErrorKind::Syntax, r.pos(),
+                      "trailing content after the plan object");
+    }
+    if (!saw_schema) {
+        return r.fail(PlanErrorKind::Unsupported, 0,
+                      std::string("missing required \"schema\" key "
+                                  "(want \"") +
+                          kSchemaId + "\")");
+    }
+    *out = std::move(plan);
+    return true;
+}
+
+namespace
+{
+
+void
+writeJsonStringTo(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            std::fprintf(f, "\\%c", c);
+        else
+            std::fputc(c, f);
+    }
+    std::fputc('"', f);
+}
+
+/** %.17g round-trips every finite IEEE-754 double through strtod. */
+void
+writeDouble(std::FILE *f, double v)
+{
+    std::fprintf(f, "%.17g", v);
+}
+
+bool
+serializeFail(PlanError *error, PlanErrorKind kind, std::string msg)
+{
+    if (error != nullptr)
+        *error = {kind, 0, std::move(msg)};
+    return false;
+}
+
+} // namespace
+
+bool
+writePlanJson(const StudyPlan &plan, std::string *out, PlanError *error)
+{
+    SC_ASSERT(out != nullptr, "writePlanJson needs an output string");
+    // Process-local state the v1 wire cannot express. Refusing here
+    // is what makes the round-trip guarantee unconditional.
+    if (!plan.sinks_.empty()) {
+        return serializeFail(error, PlanErrorKind::Unsupported,
+                             "profiler sinks are process-local "
+                             "pointers and cannot be serialized");
+    }
+    if (!plan.traceFile_.empty()) {
+        return serializeFail(error, PlanErrorKind::Unsupported,
+                             "trace-file paths are process-local and "
+                             "cannot be serialized");
+    }
+    if (plan.cancel_.canStop()) {
+        return serializeFail(error, PlanErrorKind::Unsupported,
+                             "cancellation tokens are runtime handles "
+                             "and cannot be serialized (use "
+                             "deadline_ms for a portable budget)");
+    }
+    for (const StudyPlan::CpiSpec &s : plan.cpi_) {
+        if (!hierarchyEqual(s.config.memory, mem::HierarchyParams{})) {
+            return serializeFail(error, PlanErrorKind::Unsupported,
+                                 "custom memory hierarchies are not "
+                                 "expressible in " +
+                                     std::string(kSchemaId));
+        }
+        if (!cyclesInRange(s.config.multCycles) ||
+            !cyclesInRange(s.config.divCycles) ||
+            !predictorEntriesInRange(s.config.phtEntries) ||
+            !predictorEntriesInRange(s.config.btbEntries) ||
+            !rankingInRange(s.config.compressor.ranking())) {
+            return serializeFail(error, PlanErrorKind::OutOfRange,
+                                 "cpi config value outside the wire "
+                                 "caps");
+        }
+    }
+    if (plan.workloads_.size() > kMaxPlanWorkloads ||
+        plan.activity_.size() > kMaxPlanStudies ||
+        plan.cpi_.size() > kMaxPlanStudies ||
+        plan.energy_.size() > kMaxPlanStudies) {
+        return serializeFail(error, PlanErrorKind::OutOfRange,
+                             "plan exceeds a wire count cap");
+    }
+    for (const StudyPlan::CpiSpec &s : plan.cpi_) {
+        if (s.designs.size() > kMaxPlanDesigns) {
+            return serializeFail(error, PlanErrorKind::OutOfRange,
+                                 "cpi designs exceed the wire cap");
+        }
+    }
+    for (const std::string &w : plan.workloads_) {
+        if (w.size() > kMaxPlanStringBytes || !asciiClean(w)) {
+            return serializeFail(error, PlanErrorKind::OutOfRange,
+                                 "workload name \"" + w +
+                                     "\" is not wire-clean (ASCII, "
+                                     "<= " +
+                                     std::to_string(
+                                         kMaxPlanStringBytes) +
+                                     " bytes)");
+        }
+    }
+    for (const StudyPlan::EnergySpec &e : plan.energy_) {
+        if (!techInRange(e.tech)) {
+            return serializeFail(error, PlanErrorKind::OutOfRange,
+                                 "energy tech parameters outside the "
+                                 "wire caps");
+        }
+    }
+    if (plan.hasThreads_ && plan.threads_ > kMaxPlanThreads) {
+        return serializeFail(error, PlanErrorKind::OutOfRange,
+                             "threads exceeds the wire cap");
+    }
+    if (plan.hasDeadline_ && plan.deadlineMs_ > kMaxPlanDeadlineMs) {
+        return serializeFail(error, PlanErrorKind::OutOfRange,
+                             "deadline_ms exceeds the wire cap");
+    }
+
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *f = open_memstream(&buf, &len);
+    SC_ASSERT(f != nullptr, "open_memstream failed");
+
+    std::fprintf(f, "{\n  \"schema\": \"%s\",\n", kSchemaId);
+    std::fprintf(f, "  \"workloads\": [");
+    for (std::size_t i = 0; i < plan.workloads_.size(); ++i) {
+        std::fprintf(f, "%s", i ? ", " : "");
+        writeJsonStringTo(f, plan.workloads_[i]);
+    }
+    std::fprintf(f, "],\n");
+    if (plan.hasThreads_)
+        std::fprintf(f, "  \"threads\": %u,\n", plan.threads_);
+    std::fprintf(f, "  \"evict_after_replay\": %s,\n",
+                 plan.evictAfterReplay_ ? "true" : "false");
+    if (plan.hasDeadline_) {
+        std::fprintf(f, "  \"deadline_ms\": %llu,\n",
+                     static_cast<unsigned long long>(plan.deadlineMs_));
+    }
+    std::fprintf(f, "  \"activity\": [");
+    for (std::size_t i = 0; i < plan.activity_.size(); ++i) {
+        std::fprintf(f, "%s{\"encoding\": \"%s\"}", i ? ", " : "",
+                     sig::encodingName(plan.activity_[i]).c_str());
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"cpi\": [");
+    for (std::size_t i = 0; i < plan.cpi_.size(); ++i) {
+        const StudyPlan::CpiSpec &s = plan.cpi_[i];
+        std::fprintf(f, "%s\n    {\"designs\": [", i ? "," : "");
+        for (std::size_t d = 0; d < s.designs.size(); ++d) {
+            std::fprintf(f, "%s\"%s\"", d ? ", " : "",
+                         pipeline::designName(s.designs[d]).c_str());
+        }
+        std::fprintf(f,
+                     "],\n     \"config\": {\"encoding\": \"%s\", "
+                     "\"mult_cycles\": %u, \"div_cycles\": %u, "
+                     "\"predictor\": \"%s\", \"pht_entries\": %u, "
+                     "\"btb_entries\": %u, \"compressor_ranking\": [",
+                     sig::encodingName(s.config.encoding).c_str(),
+                     s.config.multCycles, s.config.divCycles,
+                     pipeline::predictorName(s.config.predictor).c_str(),
+                     s.config.phtEntries, s.config.btbEntries);
+        const std::vector<std::uint8_t> &rank =
+            s.config.compressor.ranking();
+        for (std::size_t j = 0; j < rank.size(); ++j)
+            std::fprintf(f, "%s%u", j ? ", " : "", rank[j]);
+        std::fprintf(f, "]}}");
+    }
+    std::fprintf(f, "%s],\n", plan.cpi_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"energy\": [");
+    for (std::size_t i = 0; i < plan.energy_.size(); ++i) {
+        const StudyPlan::EnergySpec &e = plan.energy_[i];
+        std::fprintf(f,
+                     "%s\n    {\"design\": \"%s\", \"encoding\": "
+                     "\"%s\",\n     \"tech\": {\"vdd\": ",
+                     i ? "," : "",
+                     pipeline::designName(e.design).c_str(),
+                     sig::encodingName(e.enc).c_str());
+        writeDouble(f, e.tech.vdd);
+        const struct
+        {
+            const char *name;
+            double v;
+        } caps[] = {
+            {"bit_line_ff", e.tech.bitLineFf},
+            {"word_line_ff_per_bit", e.tech.wordLineFfPerBit},
+            {"sense_amp_ff", e.tech.senseAmpFf},
+            {"latch_ff_per_bit", e.tech.latchFfPerBit},
+            {"logic_ff_per_bit", e.tech.logicFfPerBit},
+            {"clock_ff_per_bit", e.tech.clockFfPerBit},
+        };
+        for (const auto &c : caps) {
+            std::fprintf(f, ", \"%s\": ", c.name);
+            writeDouble(f, c.v);
+        }
+        std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "%s]\n}\n", plan.energy_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    out->assign(buf, len);
+    std::free(buf);
+    return true;
+}
+
+bool
+planEquals(const StudyPlan &a, const StudyPlan &b)
+{
+    auto configEqual = [](const pipeline::PipelineConfig &x,
+                          const pipeline::PipelineConfig &y) {
+        return x.encoding == y.encoding &&
+               hierarchyEqual(x.memory, y.memory) &&
+               x.multCycles == y.multCycles &&
+               x.divCycles == y.divCycles &&
+               x.compressor.ranking() == y.compressor.ranking() &&
+               x.predictor == y.predictor &&
+               x.phtEntries == y.phtEntries &&
+               x.btbEntries == y.btbEntries;
+    };
+    if (a.activity_ != b.activity_)
+        return false;
+    if (a.cpi_.size() != b.cpi_.size())
+        return false;
+    for (std::size_t i = 0; i < a.cpi_.size(); ++i) {
+        if (a.cpi_[i].designs != b.cpi_[i].designs ||
+            !configEqual(a.cpi_[i].config, b.cpi_[i].config))
+            return false;
+    }
+    if (a.energy_.size() != b.energy_.size())
+        return false;
+    for (std::size_t i = 0; i < a.energy_.size(); ++i) {
+        const StudyPlan::EnergySpec &x = a.energy_[i];
+        const StudyPlan::EnergySpec &y = b.energy_[i];
+        const bool tech_equal =
+            x.tech.vdd == y.tech.vdd &&
+            x.tech.bitLineFf == y.tech.bitLineFf &&
+            x.tech.wordLineFfPerBit == y.tech.wordLineFfPerBit &&
+            x.tech.senseAmpFf == y.tech.senseAmpFf &&
+            x.tech.latchFfPerBit == y.tech.latchFfPerBit &&
+            x.tech.logicFfPerBit == y.tech.logicFfPerBit &&
+            x.tech.clockFfPerBit == y.tech.clockFfPerBit;
+        if (!tech_equal || x.design != y.design || x.enc != y.enc)
+            return false;
+    }
+    // The cancel token is deliberately NOT compared: it is a runtime
+    // handle to live process state, not plan data.
+    return a.sinks_ == b.sinks_ && a.workloads_ == b.workloads_ &&
+           a.traceFile_ == b.traceFile_ && a.threads_ == b.threads_ &&
+           a.hasThreads_ == b.hasThreads_ &&
+           a.evictAfterReplay_ == b.evictAfterReplay_ &&
+           a.deadlineMs_ == b.deadlineMs_ &&
+           a.hasDeadline_ == b.hasDeadline_;
+}
+
+} // namespace sigcomp::analysis

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Wire codec for StudyPlan: the serving-grade plan ingestion seam.
+ *
+ * A SuiteReport travels OUT of the engine as JSON (analysis/report.h);
+ * this is the inverse direction — a StudyPlan travelling IN, schema
+ * "sigcomp-study-plan-v1". Unlike the report serializer, the parser
+ * faces UNTRUSTED input: it is strict (exact schema, no unknown
+ * fields, no duplicate keys, hard caps on every count, string length
+ * and nesting depth), classifies every failure into the PlanErrorKind
+ * taxonomy with the byte offset where it was detected, and never
+ * aborts the process — SC_ASSERT is for internal invariants, not for
+ * other people's bytes.
+ *
+ * Round-trip guarantee (pinned by tests/test_plan_json.cpp and the
+ * fuzz harness): for any plan P that writePlanJson accepts,
+ * parsePlanJson(writePlanJson(P)) succeeds and the result satisfies
+ * planEquals with P. Plans carrying process-local state — profiler
+ * sink pointers, a trace-file path, a live cancellation token, or a
+ * non-default memory hierarchy (not wire-expressible in v1) — are
+ * refused by the SERIALIZER with Unsupported, so nothing that parses
+ * was lossy to write.
+ *
+ * Wire shape (stable key order as emitted):
+ *
+ *   {
+ *     "schema": "sigcomp-study-plan-v1",
+ *     "workloads": ["rawcaudio", ...],        // [] = full suite
+ *     "threads": 4,                           // only when overridden
+ *     "evict_after_replay": false,
+ *     "deadline_ms": 5000,                    // only when set
+ *     "activity": [{"encoding": "ext3"}, ...],
+ *     "cpi": [{"designs": ["byte-serial", ...],
+ *              "config": {"encoding": "ext3", "mult_cycles": 4,
+ *                         "div_cycles": 12, "predictor": "none",
+ *                         "pht_entries": 512, "btb_entries": 128,
+ *                         "compressor_ranking": [42, ...]}}, ...],
+ *     "energy": [{"design": "byte-serial", "encoding": "ext3",
+ *                 "tech": {"vdd": 1.8, ...}}, ...]
+ *   }
+ *
+ * Doubles are emitted with %.17g and parsed with strtod, so every
+ * IEEE-754 value round-trips bit-exactly.
+ */
+
+#ifndef SIGCOMP_ANALYSIS_PLAN_JSON_H_
+#define SIGCOMP_ANALYSIS_PLAN_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analysis/study_plan.h"
+
+namespace sigcomp::analysis
+{
+
+/**
+ * Failure taxonomy of plan ingestion. Every enum value is exercised
+ * by tests/test_plan_json.cpp (enforced by sigcomp_lint's
+ * error-taxonomy check).
+ */
+enum class PlanErrorKind : std::uint8_t
+{
+    None = 0,
+    /** Malformed JSON: bad token, truncation, duplicate key, NaN. */
+    Syntax,
+    /** Well-formed JSON carrying a key the schema does not define. */
+    UnknownField,
+    /** A known key holding the wrong JSON type. */
+    BadType,
+    /** A value outside its documented cap (counts, lengths, ranges). */
+    OutOfRange,
+    /**
+     * Valid but not expressible: unknown schema version, non-ASCII
+     * text, or (on serialize) process-local plan state — profiler
+     * sinks, trace files, live cancel tokens, custom hierarchies.
+     */
+    Unsupported,
+};
+
+/** Canonical lower-case name ("syntax", "unknown-field", ...). */
+std::string planErrorKindName(PlanErrorKind k);
+
+/** One classified ingestion failure with its location. */
+struct PlanError
+{
+    PlanErrorKind kind = PlanErrorKind::None;
+    /** Byte offset into the input where the failure was detected
+     * (0 for serialize-side and whole-input failures). */
+    std::size_t offset = 0;
+    std::string message;
+
+    /** "\<kind\> at byte \<offset\>: \<message\>" for logs. */
+    std::string render() const;
+};
+
+// ---- hard caps (all enforced with OutOfRange) -----------------------
+/** Whole-document size cap. */
+constexpr std::size_t kMaxPlanJsonBytes = 1 << 20;
+/** Bracket/brace nesting cap (the v1 grammar needs only 5). */
+constexpr std::size_t kMaxPlanJsonDepth = 12;
+/** Cap on any single string value. */
+constexpr std::size_t kMaxPlanStringBytes = 128;
+/** Cap on the workloads array. */
+constexpr std::size_t kMaxPlanWorkloads = 256;
+/** Cap on each study array (activity/cpi/energy). */
+constexpr std::size_t kMaxPlanStudies = 32;
+/** Cap on one CPI study's designs array. */
+constexpr std::size_t kMaxPlanDesigns = 32;
+/** Cap on compressor_ranking entries (funct values are 6-bit). */
+constexpr std::size_t kMaxPlanRankingEntries = 64;
+/** Cap on the threads override. */
+constexpr std::uint64_t kMaxPlanThreads = 1024;
+/** Cap on deadline_ms (~11.5 days; anything longer is a typo). */
+constexpr std::uint64_t kMaxPlanDeadlineMs = 1000000000;
+/** Cap on mult_cycles/div_cycles. */
+constexpr std::uint64_t kMaxPlanOpCycles = 1000;
+/** Cap on pht_entries/btb_entries (must also be powers of two). */
+constexpr std::uint64_t kMaxPlanPredictorEntries = 1 << 20;
+/** Cap on tech.vdd in volts (exclusive of 0 below). */
+constexpr double kMaxPlanVdd = 20.0;
+
+/**
+ * Parse one plan document. On success returns true and assigns a
+ * freshly built plan to @p out (previous contents replaced). On
+ * failure returns false, leaves @p out untouched, and fills
+ * @p error (when non-null) with the FIRST failure in input order.
+ */
+bool parsePlanJson(std::string_view json, StudyPlan *out,
+                   PlanError *error);
+
+/**
+ * Serialize @p plan. Returns false with Unsupported when the plan
+ * carries state the v1 wire cannot express (profiler sinks, a trace
+ * file, a live cancel token, a non-default memory hierarchy); @p out
+ * is untouched on failure.
+ */
+bool writePlanJson(const StudyPlan &plan, std::string *out,
+                   PlanError *error);
+
+/**
+ * Semantic plan equality — the round-trip oracle. Compares every
+ * plan field including builder-tracking flags (hasThreads, deadline)
+ * and the compressor ranking, EXCEPT the cancellation token, which
+ * is a process-local runtime handle, not plan data.
+ */
+bool planEquals(const StudyPlan &a, const StudyPlan &b);
+
+} // namespace sigcomp::analysis
+
+#endif // SIGCOMP_ANALYSIS_PLAN_JSON_H_

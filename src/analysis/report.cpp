@@ -158,7 +158,7 @@ writeTelemetryJson(std::FILE *f, const telemetry::Snapshot &snap)
 void
 SuiteReport::writeJson(std::FILE *f) const
 {
-    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v3\",\n");
+    std::fprintf(f, "{\n  \"schema\": \"sigcomp-suite-report-v4\",\n");
     std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"workloads\": [");
     for (std::size_t i = 0; i < workloads.size(); ++i)
@@ -173,13 +173,23 @@ SuiteReport::writeJson(std::FILE *f) const
                  static_cast<unsigned long long>(replayPasses),
                  static_cast<unsigned long long>(captures),
                  static_cast<unsigned long long>(storeLoads), wallMs);
+    // The health block stays on ONE line (degradations included):
+    // the fault tests strip it line-wise to compare study bytes
+    // across runs whose recovery work differs. v4 appends the
+    // request-lifecycle outcome here — same line, same reason.
     std::fprintf(f,
                  "  \"health\": {\"store_load_failures\": %llu, "
                  "\"quarantined_segments\": %llu, \"retries\": %llu, "
-                 "\"degradations\": [",
+                 "\"cancelled\": %s, \"deadline_exceeded\": %s, "
+                 "\"rejected\": %s, \"reject_reason\": ",
                  static_cast<unsigned long long>(storeLoadFailures),
                  static_cast<unsigned long long>(quarantinedSegments),
-                 static_cast<unsigned long long>(retries));
+                 static_cast<unsigned long long>(retries),
+                 cancelled ? "true" : "false",
+                 deadlineExceeded ? "true" : "false",
+                 rejected ? "true" : "false");
+    writeJsonString(f, rejectReason);
+    std::fprintf(f, ", \"degradations\": [");
     for (std::size_t i = 0; i < degradations.size(); ++i) {
         std::fprintf(f, "%s", i ? ", " : "");
         writeJsonString(f, degradations[i]);

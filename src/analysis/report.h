@@ -136,6 +136,21 @@ struct SuiteReport
     /** Degradation events in occurrence order (capped by the cache). */
     std::vector<std::string> degradations;
 
+    // -- request-lifecycle outcome (v4) -------------------------------
+    // A partial or refused run is an OUTCOME, not an exception: the
+    // rows present are exact (each harvested workload completed its
+    // full fused pass), only coverage shrinks. Exactly one of
+    // cancelled/deadlineExceeded is set on a stopped run; rejected
+    // runs carry no rows at all.
+    /** Plan stopped early by an external CancelToken. */
+    bool cancelled = false;
+    /** Plan stopped early by its deadlineMs() budget. */
+    bool deadlineExceeded = false;
+    /** Plan refused admission (limits in SessionConfig); no rows. */
+    bool rejected = false;
+    /** Human-readable admission refusal reason (empty otherwise). */
+    std::string rejectReason;
+
     /**
      * This run's full metrics delta off the session's telemetry
      * registry (the engine/health scalars above are views into it).
@@ -146,10 +161,11 @@ struct SuiteReport
     telemetry::Snapshot telemetry;
 
     /**
-     * Serialize as JSON (schema "sigcomp-suite-report-v3", see README
+     * Serialize as JSON (schema "sigcomp-suite-report-v4", see README
      * "Experiment API"; v2 added the "health" block, v3 the
-     * "telemetry" block). Stable key order, no trailing newline
-     * variance — diffable across runs.
+     * "telemetry" block, v4 the request-lifecycle outcome fields in
+     * "health"). Stable key order, no trailing newline variance —
+     * diffable across runs.
      */
     void writeJson(std::FILE *f) const;
 

@@ -1,5 +1,6 @@
 #include "analysis/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -88,9 +89,127 @@ Session::addWorkload(const std::string &name, isa::Program program)
     cache_.registerProgram(name, std::move(program));
 }
 
+std::size_t
+Session::estimatePlanMemory(const StudyPlan &plan) const
+{
+    // Upper-bound bytes one retired instruction costs in the SoA
+    // trace columns (decode index, operand/result values, taken bit,
+    // significance sidecars, memory address/data). Deliberately
+    // generous: admission must never under-estimate.
+    constexpr std::size_t kBytesPerInstr = 48;
+    const std::size_t n = plan.workloads_.empty()
+                              ? workloads::Suite::names().size()
+                              : plan.workloads_.size();
+    const std::size_t resident = plan.evictAfterReplay_ ? 1 : n;
+    const std::size_t per_trace =
+        static_cast<std::size_t>(cache_.captureLimit()) * kBytesPerInstr;
+    std::size_t total = resident * per_trace;
+    // A spill budget caps the steady-state RAM tier at budget + the
+    // one trace currently being captured/replayed.
+    if (config_.spillBudgetBytes != 0)
+        total = std::min(total, config_.spillBudgetBytes + per_trace);
+    return total;
+}
+
+Session::Admission
+Session::admitPlan(const StudyPlan &plan, const CancelToken &token,
+                   std::string *why)
+{
+    // Memory gate first: a plan over the budget would never fit, so
+    // queueing it only delays the refusal.
+    if (config_.admissionMemoryBudgetBytes != 0) {
+        const std::size_t need = estimatePlanMemory(plan);
+        if (need > config_.admissionMemoryBudgetBytes) {
+            *why = "estimated trace memory " + std::to_string(need) +
+                   " bytes exceeds the session's admission budget (" +
+                   std::to_string(config_.admissionMemoryBudgetBytes) +
+                   " bytes); shrink the plan (fewer workloads, "
+                   "evictAfterReplay, lower capture limit) or raise "
+                   "the budget";
+            rejected_.inc();
+            return Admission::Rejected;
+        }
+    }
+    if (config_.maxConcurrentPlans == 0) {
+        admitted_.inc();
+        return Admission::Admitted;
+    }
+    UniqueLock lock(admissionMu_);
+    if (runningPlans_ < config_.maxConcurrentPlans) {
+        ++runningPlans_;
+        admitted_.inc();
+        return Admission::Admitted;
+    }
+    if (queuedPlans_ >= config_.maxQueuedPlans) {
+        *why = "session at capacity: " +
+               std::to_string(runningPlans_) + " plans running, " +
+               std::to_string(queuedPlans_) + " queued (limits: " +
+               std::to_string(config_.maxConcurrentPlans) +
+               " running, " + std::to_string(config_.maxQueuedPlans) +
+               " queued)";
+        rejected_.inc();
+        return Admission::Rejected;
+    }
+    ++queuedPlans_;
+    queueDepth_.set(static_cast<std::int64_t>(queuedPlans_));
+    // Bounded wait for a slot, polling the plan's own token: a
+    // deadline that expires in the queue turns into a partial
+    // (empty) report, not a rejection — the caller asked for time,
+    // not for a place in line.
+    while (runningPlans_ >= config_.maxConcurrentPlans) {
+        if (token.stopRequested()) {
+            --queuedPlans_;
+            queueDepth_.set(static_cast<std::int64_t>(queuedPlans_));
+            return Admission::Stopped;
+        }
+        admissionCv_.wait_for(lock.native(),
+                              std::chrono::milliseconds(2));
+    }
+    --queuedPlans_;
+    queueDepth_.set(static_cast<std::int64_t>(queuedPlans_));
+    ++runningPlans_;
+    admitted_.inc();
+    return Admission::Admitted;
+}
+
+void
+Session::releaseSlot()
+{
+    if (config_.maxConcurrentPlans == 0)
+        return;
+    {
+        MutexLock lock(admissionMu_);
+        --runningPlans_;
+    }
+    admissionCv_.notify_all();
+}
+
 SuiteReport
 Session::run(const StudyPlan &plan)
 {
+    // The run's effective stop signal: the plan's external token (if
+    // any) min-combined with its deadline budget. Both are carried
+    // by value in one CancelToken.
+    CancelToken token = plan.cancel_;
+    if (plan.hasDeadline_) {
+        token = token.withDeadlineAfter(
+            std::chrono::milliseconds(plan.deadlineMs_));
+    }
+
+    std::string why;
+    const Admission verdict = admitPlan(plan, token, &why);
+    if (verdict == Admission::Rejected) {
+        SuiteReport rep;
+        rep.workloads = plan.workloads_.empty()
+                            ? workloads::Suite::names()
+                            : plan.workloads_;
+        rep.profileSinks = plan.sinks_.size();
+        rep.rejected = true;
+        rep.rejectReason = why;
+        SC_WARN("session: plan rejected: ", why);
+        return rep;
+    }
+
     // A plan-level trace file opens its own tracing window unless the
     // process is already tracing (SIGCOMP_TRACE), in which case this
     // run just contributes spans to the ambient session.
@@ -100,10 +219,20 @@ Session::run(const StudyPlan &plan)
         telemetry::startTracing();
 
     SuiteReport rep;
-    {
+    try {
         SIGCOMP_SPAN("session.run");
-        rep = runStudies(plan);
+        // A token that fired in the queue (Stopped) still runs the
+        // study executor: with the token already hot it performs no
+        // engine work and assembles the empty partial report with
+        // the right outcome flags.
+        rep = runStudies(plan, token);
+    } catch (...) {
+        if (verdict == Admission::Admitted)
+            releaseSlot();
+        throw;
     }
+    if (verdict == Admission::Admitted)
+        releaseSlot();
     // The root span must close before the buffers are serialised,
     // or the trace would miss its own enclosing interval.
     if (!plan.traceFile_.empty()) {
@@ -119,9 +248,27 @@ Session::run(const StudyPlan &plan)
 }
 
 SuiteReport
-Session::runStudies(const StudyPlan &plan)
+Session::runStudies(const StudyPlan &plan, const CancelToken &token)
 {
     const double t0 = nowMs();
+    // Hot-path convention: nullptr = uncancellable, so a plain plan
+    // pays no per-block token polls at all.
+    const CancelToken *cancel = token.canStop() ? &token : nullptr;
+    // The run's outcome flags, evaluated at assembly time (the
+    // deadline may fire at any point). An explicit cancel wins.
+    auto stampOutcome = [&](SuiteReport &r) {
+        switch (token.reason()) {
+        case CancelReason::Cancelled:
+            r.cancelled = true;
+            break;
+        case CancelReason::DeadlineExceeded:
+            r.deadlineExceeded = true;
+            break;
+        case CancelReason::None:
+            break;
+        }
+    };
+
     SuiteReport rep;
     const std::vector<std::string> names =
         plan.workloads_.empty() ? workloads::Suite::names()
@@ -141,14 +288,18 @@ Session::runStudies(const StudyPlan &plan)
     rep.threads = exec->threadCount();
 
     if (!plan.hasStudies() || names.empty()) {
+        stampOutcome(rep);
         rep.wallMs = nowMs() - t0;
         return rep;
     }
 
     // Force the one-time suite profiling pass before fanning out so
     // the compressor's function-local static never constructs inside
-    // (or serialised by) the parallel region.
-    if (plan.needsSuiteConfig())
+    // (or serialised by) the parallel region. A plan that arrives
+    // already stopped (deadlineMs(0), a pre-fired token) skips it:
+    // the deterministic empty partial report must cost no engine
+    // work at any thread count.
+    if (plan.needsSuiteConfig() && !cancelRequested(cancel))
         suiteCompressor();
 
     // One metrics system: the baseline snapshot of the cache's
@@ -170,6 +321,12 @@ Session::runStudies(const StudyPlan &plan)
         std::vector<pipeline::PipelineResult> energy;
         DWord instructions = 0;
         std::uint64_t replayDelta = 0;
+        /**
+         * True when this workload's whole fused pass ran. A stopped
+         * run assembles rows ONLY from completed harvests — a
+         * partial report's coverage shrinks; its rows never do.
+         */
+        bool completed = false;
     };
     std::vector<Harvest> harvest(names.size());
 
@@ -177,7 +334,23 @@ Session::runStudies(const StudyPlan &plan)
         // One span per workload's fused pass; on a parallel plan
         // these land on the per-worker tracks.
         SIGCOMP_SPAN("session.replay");
-        const TraceCache::TracePtr trace = cache_.get(names[i]);
+        if (cancelRequested(cancel))
+            return;
+        TraceCache::TracePtr trace;
+        for (;;) {
+            try {
+                trace = cache_.get(names[i], cancel);
+                break;
+            } catch (const CancelledError &) {
+                // Ours, or a concurrent plan's: a cancelled capture
+                // unblocks every waiter on that workload with
+                // CancelledError. If OUR token is live the trace is
+                // still wanted — retry (this call becomes the new
+                // capture winner). If ours fired, wind down.
+                if (cancelRequested(cancel))
+                    return;
+            }
+        }
         const std::uint64_t replays0 = trace->replayCount();
 
         // Build every study's pipelines over this trace. One
@@ -202,7 +375,14 @@ Session::runStudies(const StudyPlan &plan)
         for (const StudyPlan::EnergySpec &e : plan.energy_)
             add(e.design, suiteConfig(e.enc));
 
-        pipeline::replayPipelines(*trace, raw, plan.sinks_);
+        try {
+            pipeline::replayPipelines(*trace, raw, plan.sinks_, cancel);
+        } catch (const CancelledError &) {
+            // Aborted mid-replay: nothing was published on the trace
+            // and nothing is harvested for this workload. The partial
+            // report simply doesn't cover it.
+            return;
+        }
 
         Harvest &h = harvest[i];
         std::size_t cursor = 0;
@@ -216,10 +396,11 @@ Session::runStudies(const StudyPlan &plan)
             h.energy.push_back(owned[cursor++]->result());
         h.instructions = trace->runResult().instructions;
         h.replayDelta = trace->replayCount() - replays0;
+        h.completed = true;
 
         // Newly recorded SharedQuanta become part of the workload's
         // segment so warm-store *processes* skip computeQuanta too.
-        cache_.persistAnnexes(names[i], *trace);
+        cache_.persistAnnexes(names[i], *trace, cancel);
         if (plan.evictAfterReplay_)
             cache_.evict(names[i]);
     };
@@ -230,32 +411,51 @@ Session::runStudies(const StudyPlan &plan)
     // pipelines only fan whole workloads across the executor.
     const bool parallel_replay =
         plan.sinks_.empty() && exec->threadCount() > 1;
-    if (exec->threadCount() > 1)
-        cache_.prewarm(names, *exec);
+    if (exec->threadCount() > 1 && !cancelRequested(cancel))
+        cache_.prewarm(names, *exec, cancel);
     if (parallel_replay) {
-        exec->parallelFor(names.size(), runOne);
+        exec->parallelFor(names.size(), runOne, cancel);
     } else {
-        for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (cancelRequested(cancel))
+                break;
             runOne(i);
+        }
     }
 
     // ---- assemble the report in study registration order ----------
+    // A stopped run covers the completed workloads only: every row
+    // present is the exact full-pass result (bit-identical to an
+    // unstopped run's row for that workload); incomplete workloads
+    // contribute nothing, not partial numbers.
+    std::vector<std::size_t> done;
+    done.reserve(names.size());
+    for (std::size_t w = 0; w < names.size(); ++w)
+        if (harvest[w].completed)
+            done.push_back(w);
+    std::vector<std::string> done_names;
+    done_names.reserve(done.size());
+    for (std::size_t w : done)
+        done_names.push_back(names[w]);
+
     rep.cpi.resize(plan.cpi_.size());
     for (std::size_t s = 0; s < plan.cpi_.size(); ++s) {
         CpiStudyResult &st = rep.cpi[s];
         st.designs = plan.cpi_[s].designs;
-        st.benchmarks = names;
-        st.results.resize(names.size());
-        for (std::size_t w = 0; w < names.size(); ++w)
-            st.results[w] = std::move(harvest[w].cpi[s]);
+        st.benchmarks = done_names;
+        st.results.resize(done.size());
+        for (std::size_t r = 0; r < done.size(); ++r)
+            st.results[r] = std::move(harvest[done[r]].cpi[s]);
     }
     rep.activity.resize(plan.activity_.size());
     for (std::size_t s = 0; s < plan.activity_.size(); ++s) {
         ActivityStudyResult &st = rep.activity[s];
         st.encoding = plan.activity_[s];
-        st.rows.resize(names.size());
-        for (std::size_t w = 0; w < names.size(); ++w)
-            st.rows[w] = {names[w], harvest[w].activity[s].activity};
+        st.rows.resize(done.size());
+        for (std::size_t r = 0; r < done.size(); ++r) {
+            st.rows[r] = {done_names[r],
+                          harvest[done[r]].activity[s].activity};
+        }
     }
     rep.energy.resize(plan.energy_.size());
     for (std::size_t s = 0; s < plan.energy_.size(); ++s) {
@@ -263,13 +463,15 @@ Session::runStudies(const StudyPlan &plan)
         st.design = plan.energy_[s].design;
         st.encoding = plan.energy_[s].enc;
         st.tech = plan.energy_[s].tech;
-        st.rows.resize(names.size());
+        st.rows.resize(done.size());
         pipeline::ActivityTotals sum;
-        for (std::size_t w = 0; w < names.size(); ++w) {
-            const pipeline::PipelineResult &r = harvest[w].energy[s];
-            st.rows[w] = {names[w], r.instructions,
-                          power::buildEnergyReport(r.activity, st.tech)};
-            sum += r.activity;
+        for (std::size_t r = 0; r < done.size(); ++r) {
+            const pipeline::PipelineResult &pr =
+                harvest[done[r]].energy[s];
+            st.rows[r] = {done_names[r], pr.instructions,
+                          power::buildEnergyReport(pr.activity,
+                                                   st.tech)};
+            sum += pr.activity;
         }
         st.total = power::buildEnergyReport(sum, st.tech);
     }
@@ -277,6 +479,7 @@ Session::runStudies(const StudyPlan &plan)
         rep.instructions += h.instructions;
         rep.replayPasses += h.replayDelta;
     }
+    stampOutcome(rep);
     // Health + accounting deltas: what THIS run cost. The study
     // results above are already assembled — the metrics can only
     // describe engine/recovery work, never change a row.

@@ -38,6 +38,7 @@
 #ifndef SIGCOMP_ANALYSIS_SESSION_H_
 #define SIGCOMP_ANALYSIS_SESSION_H_
 
+#include <condition_variable>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,7 +46,10 @@
 #include "analysis/report.h"
 #include "analysis/study_plan.h"
 #include "analysis/trace_cache.h"
+#include "common/cancel.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
+#include "common/thread_annotations.h"
 
 namespace sigcomp::analysis
 {
@@ -78,6 +82,27 @@ struct SessionConfig
      * only the health counters may differ from a fault-free run.
      */
     Env *env = nullptr;
+
+    // ---- admission control (serving mode; 0 disables each limit) ----
+    /**
+     * Plans executing concurrently on this Session. A plan arriving
+     * at capacity waits in the bounded queue below (or is rejected
+     * when the queue is full too). 0 = unlimited (library mode).
+     */
+    unsigned maxConcurrentPlans = 0;
+    /**
+     * Plans allowed to wait for a slot when at capacity; one past
+     * the queue is rejected-with-reason immediately. Meaningful only
+     * with maxConcurrentPlans set. 0 = no queue (reject at capacity).
+     */
+    unsigned maxQueuedPlans = 0;
+    /**
+     * Upper bound on a single plan's estimated peak trace memory
+     * (see Session::estimatePlanMemory). A plan estimating above it
+     * is rejected-with-reason up front instead of OOMing mid-run.
+     * 0 = unlimited.
+     */
+    std::size_t admissionMemoryBudgetBytes = 0;
 };
 
 class Session
@@ -129,17 +154,75 @@ class Session
      * and plan.traceFile() additionally writes a Chrome trace-event
      * profile. Telemetry is a pure side channel — study rows are
      * bit-identical with it on, off, or compiled out.
+     *
+     * Request lifecycle (serving mode): a plan carrying a deadline
+     * (StudyPlan::deadlineMs) or a cancellation token
+     * (StudyPlan::cancel) stops at the next block boundary once it
+     * fires and returns a PARTIAL report — rows only for workloads
+     * whose fused pass completed, cancelled/deadlineExceeded set —
+     * with the trace store left consistent (saves are atomic and a
+     * cancelled plan stops writing rather than writing less). With
+     * admission limits configured (SessionConfig) a plan may instead
+     * be refused up front: rejected + rejectReason set, no rows, no
+     * engine work performed.
      */
     SuiteReport run(const StudyPlan &plan);
 
+    /**
+     * Worst-case peak trace memory of @p plan under this session's
+     * capture limit: resident-trace count (1 with evictAfterReplay,
+     * else the workload count) x the capture limit's per-trace
+     * footprint, clamped by the spill budget when one is set. An
+     * upper bound for admission — real traces are usually much
+     * smaller than the cap.
+     */
+    std::size_t estimatePlanMemory(const StudyPlan &plan) const;
+
   private:
+    /** Admission verdict for one arriving plan. */
+    enum class Admission
+    {
+        Admitted, ///< slot held; caller must releaseSlot()
+        Rejected, ///< over a limit; reject-with-reason, no slot
+        Stopped,  ///< plan's token fired while queued; no slot
+    };
+
     /** run() minus the tracing window/export wrapper. */
-    SuiteReport runStudies(const StudyPlan &plan);
+    SuiteReport runStudies(const StudyPlan &plan,
+                           const CancelToken &token);
+
+    /**
+     * Gate one plan through the admission limits; blocks in the
+     * bounded queue while at capacity (polling @p token).
+     */
+    Admission admitPlan(const StudyPlan &plan, const CancelToken &token,
+                        std::string *why) SIGCOMP_EXCLUDES(admissionMu_);
+
+    /** Release an Admitted plan's slot and wake one queued waiter. */
+    void releaseSlot() SIGCOMP_EXCLUDES(admissionMu_);
 
     SessionConfig config_;
     TraceCache cache_;
     /** Only when config_.threads != 0 (else the shared pool). */
     std::unique_ptr<ParallelExecutor> exec_;
+
+    /** Guards the admission counts; never held across a plan. */
+    mutable Mutex admissionMu_;
+    std::condition_variable admissionCv_;
+    unsigned runningPlans_ SIGCOMP_GUARDED_BY(admissionMu_) = 0;
+    unsigned queuedPlans_ SIGCOMP_GUARDED_BY(admissionMu_) = 0;
+    /**
+     * Admission telemetry in the session's (= cache's) namespace.
+     * The counters move before the run's baseline snapshot is taken,
+     * and the gauge is excluded from report serialization, so the
+     * report telemetry block of an admitted plan is unchanged.
+     */
+    telemetry::Gauge &queueDepth_ =
+        cache_.metrics().gauge("session.admission_queue_depth");
+    telemetry::Counter &admitted_ =
+        cache_.metrics().counter("session.plans_admitted");
+    telemetry::Counter &rejected_ =
+        cache_.metrics().counter("session.plans_rejected");
 };
 
 /**

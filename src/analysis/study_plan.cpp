@@ -58,6 +58,21 @@ StudyPlan::traceFile(std::string path)
 }
 
 StudyPlan &
+StudyPlan::deadlineMs(std::uint64_t ms)
+{
+    deadlineMs_ = ms;
+    hasDeadline_ = true;
+    return *this;
+}
+
+StudyPlan &
+StudyPlan::cancel(CancelToken token)
+{
+    cancel_ = std::move(token);
+    return *this;
+}
+
+StudyPlan &
 StudyPlan::evictAfterReplay(bool on)
 {
     evictAfterReplay_ = on;

@@ -19,9 +19,11 @@
 #ifndef SIGCOMP_ANALYSIS_STUDY_PLAN_H_
 #define SIGCOMP_ANALYSIS_STUDY_PLAN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "cpu/trace.h"
 #include "pipeline/models.h"
 #include "pipeline/pipeline.h"
@@ -32,6 +34,7 @@ namespace sigcomp::analysis
 {
 
 class Session;
+struct PlanError;
 
 class StudyPlan
 {
@@ -104,6 +107,24 @@ class StudyPlan
      */
     StudyPlan &traceFile(std::string path);
 
+    /**
+     * Give the run at most @p ms milliseconds of wall clock. An
+     * expired deadline stops the plan at the next replay-block /
+     * capture-stride boundary; the executing Session returns a
+     * partial SuiteReport with deadlineExceeded set instead of
+     * throwing. 0 means "already expired" (useful in tests for a
+     * deterministic empty partial report).
+     */
+    StudyPlan &deadlineMs(std::uint64_t ms);
+
+    /**
+     * Attach an external cancellation token (from a CancelSource the
+     * caller keeps). Firing it stops the run at the next boundary;
+     * the Session returns a partial report with cancelled set.
+     * Combines with deadlineMs(): whichever fires first wins.
+     */
+    StudyPlan &cancel(CancelToken token);
+
     /** True when any study (or profiler sink) is registered. */
     bool hasStudies() const;
 
@@ -115,6 +136,12 @@ class StudyPlan
 
   private:
     friend class Session;
+    // The wire codec (analysis/plan_json.h) reads private state to
+    // serialize and to compare round-trip results; it builds parsed
+    // plans through the public API only.
+    friend bool writePlanJson(const StudyPlan &plan, std::string *out,
+                              PlanError *error);
+    friend bool planEquals(const StudyPlan &a, const StudyPlan &b);
 
     struct CpiSpec
     {
@@ -137,6 +164,10 @@ class StudyPlan
     unsigned threads_ = 0;
     bool hasThreads_ = false;
     bool evictAfterReplay_ = false;
+    std::uint64_t deadlineMs_ = 0;
+    bool hasDeadline_ = false;
+    /** Runtime handle, not plan data: planEquals() ignores it. */
+    CancelToken cancel_;
 };
 
 } // namespace sigcomp::analysis

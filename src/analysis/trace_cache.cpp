@@ -26,7 +26,7 @@ TraceCache::registerProgram(const std::string &workload,
 }
 
 TraceCache::TracePtr
-TraceCache::get(const std::string &workload)
+TraceCache::get(const std::string &workload, const CancelToken *cancel)
 {
     std::shared_future<TracePtr> future;
     std::promise<TracePtr> promise;
@@ -93,13 +93,13 @@ TraceCache::get(const std::string &workload)
                 // later process reads the current format.
                 if (legacy && !store->readOnly())
                     saveThrough(*store, workload, *trace, limit,
-                                "upgrade");
+                                "upgrade", cancel);
             } else {
                 {
                     SIGCOMP_SPAN("cache.capture");
                     trace = std::make_shared<cpu::TraceBuffer>(
                         cpu::TraceBuffer::capture(w.program, limit,
-                                                  capped));
+                                                  capped, cancel));
                 }
                 captures_.inc();
                 captureInstrs_.record(trace->size());
@@ -108,7 +108,7 @@ TraceCache::get(const std::string &workload)
                 // a later recapture.
                 if (store != nullptr && !store->readOnly())
                     saveThrough(*store, workload, *trace, limit,
-                                "save");
+                                "save", cancel);
             }
         } catch (...) {
             // Don't poison the slot with a broken future: drop the
@@ -130,10 +130,21 @@ TraceCache::get(const std::string &workload)
 
 void
 TraceCache::prewarm(const std::vector<std::string> &names,
-                    ParallelExecutor &exec)
+                    ParallelExecutor &exec, const CancelToken *cancel)
 {
-    exec.parallelFor(names.size(),
-                     [&](std::size_t i) { get(names[i]); });
+    exec.parallelFor(
+        names.size(),
+        [&](std::size_t i) {
+            // Best-effort: a cancelled capture here is not an error —
+            // the caller is winding down to a partial report and each
+            // workload it still assembles re-gets (and re-checks the
+            // token) itself. Other exceptions propagate as usual.
+            try {
+                get(names[i], cancel);
+            } catch (const CancelledError &) {
+            }
+        },
+        cancel);
 }
 
 bool
@@ -283,8 +294,11 @@ TraceCache::enforceBudget(const std::string &keep)
 
 void
 TraceCache::persistAnnexes(const std::string &workload,
-                           const cpu::TraceBuffer &trace)
+                           const cpu::TraceBuffer &trace,
+                           const CancelToken *cancel)
 {
+    if (cancelRequested(cancel))
+        return;
     std::shared_ptr<store::TraceStore> store;
     {
         MutexLock lock(mu_);
@@ -314,7 +328,7 @@ TraceCache::persistAnnexes(const std::string &workload,
     if (!missing)
         return;
     saveThrough(*store, workload, trace, limit_.load(),
-                "persist annexes for");
+                "persist annexes for", cancel);
 }
 
 std::uint64_t
@@ -366,18 +380,31 @@ bool
 TraceCache::saveThrough(const store::TraceStore &store,
                         const std::string &workload,
                         const cpu::TraceBuffer &trace, DWord limit,
-                        const char *what)
+                        const char *what, const CancelToken *cancel)
 {
     // Once degraded, stop trying: each attempt re-serializes the
     // whole trace just to fail at the first write.
     if (writesDegraded_.load())
         return false;
+    // A cancelled plan stops writing; it does not start new segment
+    // writes. (The store's own atomic-replace discipline covers the
+    // mid-save case — see store.save's cancel handling.)
+    if (cancelRequested(cancel))
+        return false;
     std::string why;
     EnvFault fault = EnvFault::None;
-    if (store.save(workload, trace, limit, &why, &fault)) {
+    if (store.save(workload, trace, limit, &why, &fault, cancel)) {
         storeSaves_.inc();
         transientSaveFailures_.store(0);
         return true;
+    }
+    // A save whose retry rounds were cut short by cancellation says
+    // nothing about the store's health: don't let it trip the
+    // degradation policy of a session that may keep running.
+    if (cancelRequested(cancel)) {
+        SC_WARN("trace store: ", what, " '", workload,
+                "' abandoned by cancellation: ", why);
+        return false;
     }
     SC_WARN("trace store: cannot ", what, " '", workload, "': ", why);
     // Degradation policy: permanent fault classes disable writes at

@@ -93,8 +93,16 @@ class TraceCache
      * attached store, else captured on first touch (and written
      * through to the store). @p workload must be a name registered
      * via registerProgram() or one workloads::Suite::build() accepts.
+     *
+     * @p cancel (optional) bounds a capture performed by this call:
+     * once the token fires, the functional pass stops at the next
+     * poll stride and the call throws CancelledError. The slot is
+     * not poisoned — the entry is dropped and a later get() (with a
+     * live token) retries; concurrent waiters on the same workload
+     * observe the same CancelledError and may likewise retry.
      */
-    TracePtr get(const std::string &workload);
+    TracePtr get(const std::string &workload,
+                 const CancelToken *cancel = nullptr);
 
     /**
      * Register an ad-hoc program under @p workload, shadowing any
@@ -111,9 +119,13 @@ class TraceCache
     /**
      * Capture every listed workload that is not already cached,
      * fanned out across @p exec. Returns once all are available.
+     * With a fired @p cancel, remaining workloads are skipped and
+     * individual cancelled captures are swallowed (the caller is
+     * about to assemble a partial result; prewarm is best-effort).
      */
     void prewarm(const std::vector<std::string> &names,
-                 ParallelExecutor &exec);
+                 ParallelExecutor &exec,
+                 const CancelToken *cancel = nullptr);
 
     /** True when the workload's trace is cached (or being captured). */
     bool contains(const std::string &workload) const;
@@ -218,9 +230,12 @@ class TraceCache
      * format, so later *processes* skip computeQuanta too. No-op
      * without a writable store or when the segment already carries
      * every record. Session::run calls this after each fused pass.
+     * A fired @p cancel skips the save entirely (a cancelled plan
+     * must stop writing, not start a fresh segment rewrite).
      */
     void persistAnnexes(const std::string &workload,
-                        const cpu::TraceBuffer &trace);
+                        const cpu::TraceBuffer &trace,
+                        const CancelToken *cancel = nullptr);
 
     /** Total heap footprint of the cached traces, in bytes. */
     std::size_t memoryBytes() const;
@@ -254,12 +269,18 @@ class TraceCache
      * bumps storeSaves_, on failure warns and feeds the degradation
      * policy (permanent fault, or repeated transient exhaustion,
      * disables further writes). @p what labels the save kind in the
-     * warning ("save", "upgrade", "persist annexes for").
+     * warning ("save", "upgrade", "persist annexes for"). A fired
+     * @p cancel skips the save before it starts; a token that fires
+     * *during* a failing save suppresses the degradation accounting
+     * (a cancellation-truncated retry round says nothing about the
+     * store's health).
      */
     bool saveThrough(const store::TraceStore &store,
                      const std::string &workload,
                      const cpu::TraceBuffer &trace, DWord limit,
-                     const char *what) SIGCOMP_EXCLUDES(mu_);
+                     const char *what,
+                     const CancelToken *cancel = nullptr)
+        SIGCOMP_EXCLUDES(mu_);
 
     /** Record a degradation event (capped at kMaxDegradations). */
     void recordDegradation(std::string event) SIGCOMP_EXCLUDES(mu_);

@@ -30,6 +30,8 @@ struct Job
 {
     std::size_t n = 0;
     const std::function<void(std::size_t)> *body = nullptr;
+    /** Cooperative stop: fired -> remaining indices retire unrun. */
+    const CancelToken *cancel = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
 
@@ -90,6 +92,13 @@ drainJob(Job &job)
         }
         // Unclaimed indices remaining after this claim.
         queue_depth.set(static_cast<std::int64_t>(job.n - i - 1));
+        // Cancelled jobs drain fast: claim and retire without
+        // running the body. The done count still reaches n, so the
+        // submitter's completion wait is unchanged.
+        if (cancelRequested(job.cancel)) {
+            job.done.fetch_add(1, std::memory_order_acq_rel);
+            continue;
+        }
         const bool timed = telemetry::enabled();
         const std::uint64_t t0 = timed ? telemetry::detail::spanClockNanos()
                                        : 0;
@@ -195,7 +204,8 @@ ParallelExecutor::defaultThreadCount()
 
 void
 ParallelExecutor::run(std::size_t n,
-                      const std::function<void(std::size_t)> &body)
+                      const std::function<void(std::size_t)> &body,
+                      const CancelToken *cancel)
 {
     if (n == 0)
         return;
@@ -207,6 +217,8 @@ ParallelExecutor::run(std::size_t n,
     if (thread_count_ <= 1 || n == 1 || detail::inside_worker) {
         std::exception_ptr first_error;
         for (std::size_t i = 0; i < n; ++i) {
+            if (cancelRequested(cancel))
+                break;
             try {
                 body(i);
             } catch (...) {
@@ -222,6 +234,7 @@ ParallelExecutor::run(std::size_t n,
     auto job = std::make_shared<detail::Job>();
     job->n = n;
     job->body = &body;
+    job->cancel = cancel;
 
     {
         UniqueLock lock(state_->mutex);

@@ -18,6 +18,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace sigcomp
 {
 
@@ -71,13 +73,23 @@ class ParallelExecutor
      */
     static unsigned defaultThreadCount();
 
-    /** Invoke fn(i) for i in [0, n), blocking until all complete. */
+    /**
+     * Invoke fn(i) for i in [0, n), blocking until all complete.
+     *
+     * @p cancel (optional) is polled as each index is claimed: once
+     * the token fires, remaining indices are skipped (claimed and
+     * retired without running the body) so the call returns at task
+     * granularity instead of draining the queue. Skipping creates
+     * holes — only cancellation-aware callers that track per-index
+     * completion themselves should pass a token.
+     */
     template <typename Fn>
     void
-    parallelFor(std::size_t n, Fn &&fn)
+    parallelFor(std::size_t n, Fn &&fn,
+                const CancelToken *cancel = nullptr)
     {
         std::function<void(std::size_t)> body(std::ref(fn));
-        run(n, body);
+        run(n, body, cancel);
     }
 
     /**
@@ -97,7 +109,8 @@ class ParallelExecutor
     }
 
   private:
-    void run(std::size_t n, const std::function<void(std::size_t)> &body);
+    void run(std::size_t n, const std::function<void(std::size_t)> &body,
+             const CancelToken *cancel = nullptr);
 
     unsigned thread_count_;
     detail::ExecutorState *state_;

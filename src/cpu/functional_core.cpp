@@ -347,11 +347,21 @@ FunctionalCore::step(DynInstr &out)
 }
 
 RunResult
-FunctionalCore::run(TraceSink *sink, DWord max_instrs)
+FunctionalCore::run(TraceSink *sink, DWord max_instrs,
+                    const CancelToken *cancel)
 {
+    // Poll granularity: cheap enough to vanish in the interpreter
+    // loop, fine enough that a cancelled capture stops in ~microseconds.
+    constexpr DWord cancel_stride = 4096;
     DWord count = 0;
     DynInstr di;
     while (count < max_instrs) {
+        if (cancel != nullptr && count % cancel_stride == 0 &&
+            cancel->stopRequested()) {
+            pendingResult_.reason = StopReason::Cancelled;
+            pendingResult_.instructions = count;
+            return pendingResult_;
+        }
         const bool more = step(di);
         ++count;
         if (sink)

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "cpu/trace.h"
 #include "isa/program.h"
 #include "mem/main_memory.h"
@@ -26,6 +27,7 @@ enum class StopReason
     Exited,          ///< program executed the Exit syscall
     AssertFailed,    ///< in-program AssertEq syscall failed
     InstrLimit,      ///< maxInstrs reached
+    Cancelled,       ///< the run's CancelToken fired
 };
 
 /** Result of a functional run. */
@@ -58,13 +60,18 @@ class FunctionalCore
     FunctionalCore(const isa::Program &program, mem::MainMemory &memory);
 
     /**
-     * Run until exit/assert/instruction limit.
+     * Run until exit/assert/instruction limit/cancellation.
      *
      * @param sink optional per-instruction consumer
      * @param max_instrs safety limit
+     * @param cancel optional cooperative stop: polled every few
+     *   thousand instructions; when it fires the run returns
+     *   StopReason::Cancelled at that boundary (the core can resume,
+     *   but trace capture treats it as an aborted capture).
      */
     RunResult run(TraceSink *sink = nullptr,
-                  DWord max_instrs = 100'000'000);
+                  DWord max_instrs = 100'000'000,
+                  const CancelToken *cancel = nullptr);
 
     /** Execute exactly one instruction (single-step for tests). */
     bool step(DynInstr &out);

@@ -76,7 +76,7 @@ TraceBuffer::makeForRebuild()
 
 TraceBuffer
 TraceBuffer::capture(const isa::Program &program, DWord max_instrs,
-                     bool allow_truncation)
+                     bool allow_truncation, const CancelToken *cancel)
 {
     TraceBuffer buf;
     buf.annexes_ = std::make_shared<AnnexStore>();
@@ -116,7 +116,12 @@ TraceBuffer::capture(const isa::Program &program, DWord max_instrs,
     mem::MainMemory memory;
     FunctionalCore core(program, memory);
     Recorder recorder(buf);
-    buf.result_ = core.run(&recorder, max_instrs);
+    buf.result_ = core.run(&recorder, max_instrs, cancel);
+
+    // A cancelled capture has recorded a prefix, not a trace: throw
+    // instead of returning so no caller can cache or replay it.
+    if (buf.result_.reason == StopReason::Cancelled)
+        throw CancelledError();
 
     SC_ASSERT(buf.result_.reason != StopReason::AssertFailed,
               "program '", program.name(),
@@ -179,9 +184,10 @@ TraceBuffer::memoryBytes() const
     return total;
 }
 
-void
+bool
 TraceView::replay(const std::vector<TraceSink *> &sinks,
-                  std::size_t block_size) const
+                  std::size_t block_size,
+                  const CancelToken *cancel) const
 {
     SC_ASSERT(block_size > 0, "replay block size must be positive");
     const TraceBuffer &b = *buf_;
@@ -194,6 +200,10 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
     const bool tags = b.sigRegs_.size() == n;
     std::size_t mem_cursor = 0;
     for (std::size_t base = 0; base < n;) {
+        // Cancellation granularity is the block: a token that fires
+        // during block k stops the replay before block k+1.
+        if (cancel != nullptr && cancel->stopRequested())
+            return false;
         // One span per materialized block batch: the unit the fused
         // replay loop will eventually pipeline (ROADMAP item 3).
         SIGCOMP_SPAN("replay.block");
@@ -233,6 +243,7 @@ TraceView::replay(const std::vector<TraceSink *> &sinks,
             s->retireBlock(span);
         base += k;
     }
+    return true;
 }
 
 } // namespace sigcomp::cpu

@@ -62,10 +62,16 @@ class TraceBuffer
      * hitting @p max_instrs unless @p allow_truncation is set
      * (truncated traces replay fine and are used by the capped
      * benchmark smoke runs).
+     *
+     * @p cancel (optional) aborts the capture cooperatively: a
+     * cancelled capture throws CancelledError — a partial recording
+     * must never be mistaken for a trace, so there is nothing to
+     * return. The cache layer catches it and leaves no entry behind.
      */
     static TraceBuffer capture(const isa::Program &program,
                                DWord max_instrs = defaultMaxInstrs,
-                               bool allow_truncation = false);
+                               bool allow_truncation = false,
+                               const CancelToken *cancel = nullptr);
 
     /** Number of retired instructions recorded. */
     std::size_t size() const { return decIdx_.size(); }
@@ -222,15 +228,23 @@ class TraceView
      * is built, so one materialisation amortises over all sinks (a
      * seven-design CPI study decodes the stream once, not seven
      * times).
+     *
+     * @p cancel is polled once per block: a fired token stops the
+     * replay before the next block (the cancellation-granularity
+     * guarantee) and the call returns false. Sinks fed a partial
+     * stream hold partial state — callers must discard them.
+     *
+     * @return true when the whole trace was replayed.
      */
-    void replay(const std::vector<TraceSink *> &sinks,
-                std::size_t block_size = defaultBlockSize) const;
+    bool replay(const std::vector<TraceSink *> &sinks,
+                std::size_t block_size = defaultBlockSize,
+                const CancelToken *cancel = nullptr) const;
 
     /** Convenience: replay into a single sink. */
-    void
+    bool
     replay(TraceSink &sink, std::size_t block_size = defaultBlockSize) const
     {
-        replay(std::vector<TraceSink *>{&sink}, block_size);
+        return replay(std::vector<TraceSink *>{&sink}, block_size);
     }
 
   private:

@@ -179,7 +179,8 @@ class GroupReplaySink : public cpu::TraceSink
 cpu::RunResult
 replayPipelines(const cpu::TraceBuffer &trace,
                 const std::vector<InOrderPipeline *> &pipes,
-                const std::vector<cpu::TraceSink *> &extra_sinks)
+                const std::vector<cpu::TraceSink *> &extra_sinks,
+                const CancelToken *cancel)
 {
     // A full-trace replay of a fresh pipeline is a pure function of
     // (trace, design, configuration), so its complete PipelineResult
@@ -264,7 +265,16 @@ replayPipelines(const cpu::TraceBuffer &trace,
 
     if (!sinks.empty()) {
         SIGCOMP_SPAN("replay.pass");
-        cpu::TraceView(trace).replay(sinks);
+        const bool completed = cpu::TraceView(trace).replay(
+            sinks, cpu::TraceView::defaultBlockSize, cancel);
+        if (!completed) {
+            // Aborted pass: every group sink holds a partial quanta
+            // record and every pipeline partial counts. Publishing
+            // any of it (finish(), the result memos, follower
+            // adoption) would poison the trace's annex cache with
+            // prefix state, so unwind instead of returning.
+            throw CancelledError();
+        }
     }
     for (auto &gs : group_sinks)
         gs->finish(trace);

@@ -71,12 +71,20 @@ runDesigns(const isa::Program &program, const std::vector<Design> &designs,
  * so results are bit-identical to a live run of the same program.
  * The trace must outlive the pipelines' result() calls.
  *
+ * @p cancel aborts cooperatively at the next replay-block boundary.
+ * An aborted replay throws CancelledError after suppressing every
+ * publication side effect — no SharedQuanta record, no memoised
+ * PipelineResult, no follower adoption — so a partial pass can never
+ * poison the trace's annex cache; the pipelines hold partial state
+ * and must be discarded by the caller.
+ *
  * @return the functional run result recorded at capture.
  */
 cpu::RunResult
 replayPipelines(const cpu::TraceBuffer &trace,
                 const std::vector<InOrderPipeline *> &pipes,
-                const std::vector<cpu::TraceSink *> &extra_sinks = {});
+                const std::vector<cpu::TraceSink *> &extra_sinks = {},
+                const CancelToken *cancel = nullptr);
 
 /** Replay equivalent of runDesigns(): one trace, many designs. */
 std::vector<PipelineResult>

@@ -1293,7 +1293,8 @@ TraceStore::saveOnce(const std::string &path,
 bool
 TraceStore::save(const std::string &workload,
                  const cpu::TraceBuffer &trace, DWord capture_limit,
-                 std::string *why, EnvFault *fault) const
+                 std::string *why, EnvFault *fault,
+                 const CancelToken *cancel) const
 {
     SIGCOMP_SPAN("store.save");
     if (fault != nullptr)
@@ -1322,6 +1323,14 @@ TraceStore::save(const std::string &workload,
             return true;
         if (f != EnvFault::Transient || attempt == transientRetries_)
             break;
+        // A cancel arriving while a transient fault is being retried
+        // abandons the save: each attempt was atomic (complete
+        // rename or ignorable temp), so the previously published
+        // segment — if any — is still bit-identical on disk.
+        if (cancelRequested(cancel)) {
+            reason = "save cancelled after transient fault: " + reason;
+            break;
+        }
         retries_.fetch_add(1, std::memory_order_relaxed);
         retriesMetric_.inc();
         backoff(attempt);

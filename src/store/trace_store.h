@@ -274,10 +274,18 @@ class TraceStore
      * store is read-only; never throws — a failed save only costs a
      * later recapture. @p fault lets the caller tell a retryable
      * hiccup from a permanently unwritable store.
+     *
+     * @p cancel is polled between transient-fault retry attempts: a
+     * fired token abandons the save instead of retrying. Atomicity
+     * is unaffected — each attempt either publishes a complete
+     * segment via rename or leaves only an ignorable temp, so a
+     * cancelled save leaves any previously published segment
+     * bit-identical on disk.
      */
     bool save(const std::string &workload, const cpu::TraceBuffer &trace,
               DWord capture_limit, std::string *why = nullptr,
-              EnvFault *fault = nullptr) const;
+              EnvFault *fault = nullptr,
+              const CancelToken *cancel = nullptr) const;
 
     /**
      * Move @p workload's (presumed damaged) segment aside to a

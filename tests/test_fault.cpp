@@ -31,6 +31,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +40,7 @@
 #include "analysis/session.h"
 #include "analysis/study_plan.h"
 #include "analysis/trace_cache.h"
+#include "common/cancel.h"
 #include "common/fault_env.h"
 #include "cpu/trace_buffer.h"
 #include "pipeline/runner.h"
@@ -724,6 +727,303 @@ TEST_F(FaultTest, HealthCountersFlowIntoSuiteReport)
     EXPECT_EQ(clean.storeLoadFailures, 0u);
     EXPECT_EQ(clean.quarantinedSegments, 0u);
     EXPECT_TRUE(clean.degradations.empty());
+}
+
+// ---- the fault taxonomy, end to end ----------------------------------
+
+TEST_F(FaultTest, EnvFaultTaxonomyIsPinnedAndRouted)
+{
+    // The names are wire/log surface (scripts, degradation strings).
+    EXPECT_STREQ(envFaultName(EnvFault::None), "none");
+    EXPECT_STREQ(envFaultName(EnvFault::NotFound), "not-found");
+    EXPECT_STREQ(envFaultName(EnvFault::Transient), "transient");
+    EXPECT_STREQ(envFaultName(EnvFault::NoSpace), "no-space");
+    EXPECT_STREQ(envFaultName(EnvFault::ReadOnly), "read-only");
+    EXPECT_STREQ(envFaultName(EnvFault::Crashed), "crashed");
+    EXPECT_STREQ(envFaultName(EnvFault::Other), "other");
+
+    // Routing: each injected kind surfaces as its documented class,
+    // and an ordinary miss stays NotFound (a miss, not damage).
+    FaultInjectingEnv env(Env::posix());
+    ASSERT_TRUE(env.createDirs(dir()).ok());
+    EnvStatus st;
+    EXPECT_EQ(env.loadFile(dir() + "/missing", &st), nullptr);
+    EXPECT_EQ(st.fault, EnvFault::NotFound);
+    env.addFault({env.opCount(), FaultKind::Eio, 0});
+    EXPECT_EQ(env.loadFile(dir() + "/missing", &st), nullptr);
+    EXPECT_EQ(st.fault, EnvFault::Transient);
+    EXPECT_TRUE(st.transient());
+    env.addFault({env.opCount(), FaultKind::Enospc, 0});
+    EXPECT_EQ(env.syncDir(dir()).fault, EnvFault::NoSpace);
+    env.addFault({env.opCount(), FaultKind::Erofs, 0});
+    EXPECT_EQ(env.createDirs(dir()).fault, EnvFault::ReadOnly);
+}
+
+// ---- listDir / syncDir fault coverage --------------------------------
+
+TEST_F(FaultTest, ListDirFaultFailsSoftAcrossStoreSurfaces)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer t =
+        cpu::TraceBuffer::capture(w.program, 2000, true);
+    {
+        const TraceStore seed(dir());
+        ASSERT_TRUE(seed.save("rawcaudio", t, 2000));
+    }
+    FaultInjectingEnv env(Env::posix());
+    const TraceStore ts(dir(), fastOptions(&env, /*retries=*/0));
+
+    // Every directory-scan surface fails soft — empty, not thrown —
+    // and recovers on the next (unfaulted) call.
+    env.addFault({env.opCount(), FaultKind::Eio, 0});
+    EXPECT_TRUE(ts.list().empty()) << "a faulted scan must read empty";
+    EXPECT_EQ(ts.list(), std::vector<std::string>{"rawcaudio"});
+
+    env.addFault({env.opCount(), FaultKind::Erofs, 0});
+    EXPECT_TRUE(ts.quarantined().empty());
+
+    env.addFault({env.opCount(), FaultKind::Eio, 0});
+    EXPECT_EQ(ts.cleanOrphanTemps(), 0u)
+        << "an unscannable directory has nothing sweepable";
+
+    // The ops were really injected at the listDir seam.
+    EXPECT_GE(env.faultsInjected(), 3u);
+    EXPECT_NE(env.script().find(" list "), std::string::npos)
+        << env.script();
+}
+
+TEST_F(FaultTest, SyncDirFaultWeakensDurabilityButNeverTheSave)
+{
+    const workloads::Workload w = workloads::Suite::build("rawcaudio");
+    const cpu::TraceBuffer t =
+        cpu::TraceBuffer::capture(w.program, 2000, true);
+
+    // Dry run: locate the directory-fsync op inside one durable save.
+    std::uint64_t syncdir_at = 0;
+    {
+        FaultInjectingEnv env(Env::posix());
+        const TraceStore ts(dir() + "/dry", fastOptions(&env));
+        ASSERT_TRUE(ts.save("rawcaudio", t, 2000));
+        const std::vector<std::string> ops = env.opLog();
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            if (ops[i].substr(0, ops[i].find(' ')) == "syncdir")
+                syncdir_at = i;
+        }
+        ASSERT_GT(syncdir_at, 0u) << "durable save must fsync the dir";
+    }
+
+    // The rename already published the segment; a failed directory
+    // fsync (any class) only weakens crash durability — the save
+    // still reports success and the segment loads bit-clean.
+    for (const FaultKind kind : {FaultKind::Eio, FaultKind::Enospc}) {
+        SCOPED_TRACE(faultKindName(kind));
+        const std::string d =
+            dir() + "/" + faultKindName(kind);
+        FaultInjectingEnv env(Env::posix());
+        env.addFault({syncdir_at, kind, 0});
+        const TraceStore ts(d, fastOptions(&env));
+        EXPECT_TRUE(ts.save("rawcaudio", t, 2000));
+        EXPECT_EQ(env.faultsInjected(), 1u);
+        EXPECT_NE(env.script().find("syncdir"), std::string::npos)
+            << env.script();
+        std::string why;
+        EXPECT_NE(ts.load("rawcaudio", w.program, 2000, &why), nullptr)
+            << why;
+    }
+}
+
+// ---- cancellation under transient faults -----------------------------
+
+/**
+ * Fires a CancelSource the moment the wrapped FaultInjectingEnv's op
+ * counter crosses @p at — "the cancel arrives while I/O op N is in
+ * flight". WritableFile ops bump the same counter, so a threshold
+ * crossed mid-write fires on the next directory-level call.
+ */
+class CancelAtOpEnv : public Env
+{
+  public:
+    CancelAtOpEnv(FaultInjectingEnv &base, CancelSource &src,
+                  std::uint64_t at)
+        : base_(base), src_(src), at_(at)
+    {}
+
+    std::unique_ptr<FileView>
+    loadFile(const std::string &path, EnvStatus *status) override
+    {
+        poll();
+        auto v = base_.loadFile(path, status);
+        poll();
+        return v;
+    }
+    std::unique_ptr<WritableFile>
+    createFile(const std::string &path, EnvStatus *status) override
+    {
+        poll();
+        auto f = base_.createFile(path, status);
+        poll();
+        return f;
+    }
+    EnvStatus
+    renameFile(const std::string &from, const std::string &to) override
+    {
+        poll();
+        const EnvStatus st = base_.renameFile(from, to);
+        poll();
+        return st;
+    }
+    EnvStatus
+    removeFile(const std::string &path) override
+    {
+        poll();
+        const EnvStatus st = base_.removeFile(path);
+        poll();
+        return st;
+    }
+    bool
+    fileExists(const std::string &path) override
+    {
+        poll();
+        const bool b = base_.fileExists(path);
+        poll();
+        return b;
+    }
+    EnvStatus
+    createDirs(const std::string &dir) override
+    {
+        poll();
+        const EnvStatus st = base_.createDirs(dir);
+        poll();
+        return st;
+    }
+    std::vector<std::string>
+    listDir(const std::string &dir, EnvStatus *status) override
+    {
+        poll();
+        auto names = base_.listDir(dir, status);
+        poll();
+        return names;
+    }
+    EnvStatus
+    syncDir(const std::string &dir) override
+    {
+        poll();
+        const EnvStatus st = base_.syncDir(dir);
+        poll();
+        return st;
+    }
+
+  private:
+    void
+    poll()
+    {
+        if (!src_.cancelled() && base_.opCount() >= at_)
+            src_.cancel();
+    }
+
+    FaultInjectingEnv &base_;
+    CancelSource &src_;
+    std::uint64_t at_;
+};
+
+SuiteReport
+runCancellable(const std::string &store_dir, Env *env,
+               CancelToken token)
+{
+    SessionConfig cfg;
+    cfg.threads = 1;
+    cfg.storeDir = store_dir;
+    cfg.captureLimit = 20'000;
+    cfg.env = env;
+    Session session(cfg);
+    pipeline::PipelineConfig pcfg;
+    StudyPlan plan;
+    plan.workloads({"rawcaudio", "rawdaudio"})
+        .threads(1)
+        .cancel(std::move(token))
+        .cpi({Design::Baseline32, Design::ByteSerial}, pcfg);
+    return session.run(plan);
+}
+
+TEST_F(FaultTest, CancelMidSaveUnderTransientFaultsLeavesSegmentsBitIdentical)
+{
+    // A committed segment has exactly two legitimate byte states,
+    // both deterministic functions of the (deterministic) capture:
+    // the write-through save alone, or that save plus the replay's
+    // annex write-back (itself an atomic whole-segment rewrite).
+    std::map<std::string, std::vector<std::uint8_t>> base_bytes;
+    {
+        const std::string d = dir() + "/base";
+        TraceCache cache;
+        cache.setCaptureLimit(20'000);
+        analysis::StoreConfig scfg;
+        scfg.dir = d;
+        cache.configureStore(scfg);
+        for (const char *name : {"rawcaudio", "rawdaudio"}) {
+            ASSERT_NE(cache.get(name), nullptr);
+            base_bytes[name] =
+                readAll(TraceStore(d).segmentPath(name));
+            ASSERT_FALSE(base_bytes[name].empty());
+        }
+    }
+    std::map<std::string, std::vector<std::uint8_t>> full_bytes;
+    {
+        const std::string d = dir() + "/full";
+        (void)runPlan(d, nullptr);
+        const TraceStore ref(d);
+        for (const std::string &name : ref.list())
+            full_bytes[name] = readAll(ref.segmentPath(name));
+        ASSERT_EQ(full_bytes.size(), 2u);
+    }
+
+    // Count one full run's env ops to bound the cancel sweep.
+    std::uint64_t total_ops = 0;
+    {
+        FaultInjectingEnv count(Env::posix());
+        (void)runPlan(dir() + "/count", &count);
+        total_ops = count.opCount();
+    }
+    ASSERT_GT(total_ops, 0u);
+
+    // Sweep the cancel point across the run under a transient-fault
+    // drizzle. Faults land 7 ops apart, so every whole-operation
+    // retry (the very next op) succeeds — the storm is survivable by
+    // design; what is under test is the state it leaves behind.
+    int cancelled_runs = 0;
+    const std::uint64_t step = total_ops / 6 + 1;
+    for (std::uint64_t at = 0; at < total_ops; at += step) {
+        SCOPED_TRACE("cancel at op " + std::to_string(at));
+        const std::string d = dir() + "/c" + std::to_string(at);
+        FaultInjectingEnv env(Env::posix());
+        for (std::uint64_t op = 0; op < total_ops * 2; op += 7)
+            env.addFault({op, FaultKind::Eio, 0});
+        CancelSource source;
+        CancelAtOpEnv cenv(env, source, at);
+        const SuiteReport rep =
+            runCancellable(d, &cenv, source.token());
+        cancelled_runs += rep.cancelled ? 1 : 0;
+
+        // Wherever the cancel landed: leftovers are sweepable,
+        // nothing needs quarantine, and every committed segment is
+        // bit-identical to one of the two legitimate states.
+        const TraceStore ts(d);
+        (void)ts.cleanOrphanTemps();
+        EXPECT_TRUE(ts.quarantined().empty());
+        for (const std::string &name : ts.list()) {
+            ASSERT_EQ(base_bytes.count(name), 1u) << name;
+            const std::vector<std::uint8_t> got =
+                readAll(ts.segmentPath(name));
+            EXPECT_TRUE(got == base_bytes[name] ||
+                        got == full_bytes[name])
+                << name << ": a committed segment diverged from "
+                << "every clean-run byte state";
+            const workloads::Workload w =
+                workloads::Suite::build(name);
+            EXPECT_TRUE(ts.verify(name, &w.program)) << name;
+        }
+    }
+    EXPECT_GT(cancelled_runs, 0)
+        << "the sweep must land at least one mid-run cancellation";
 }
 
 } // namespace

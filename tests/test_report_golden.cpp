@@ -1,7 +1,7 @@
 /**
  * @file
  * SuiteReport JSON golden-file tests: the byte contract of schema
- * "sigcomp-suite-report-v3" (open item since PR 5, prerequisite for
+ * "sigcomp-suite-report-v4" (open item since PR 5, prerequisite for
  * the sigcompd service of ROADMAP item 1 — once a daemon answers
  * with this JSON, its bytes are a wire format, not an
  * implementation detail).
@@ -148,6 +148,12 @@ makeSyntheticReport()
     rep.retries = 3;
     rep.degradations = {"quarantined 'alpha': header CRC mismatch",
                         "load failed \"beta\": path\\with\\slashes"};
+    // v4 request-lifecycle outcome: a deadline-expired, admission-
+    // refused combination is synthetic (a real run sets one), but it
+    // pins the bytes of every field incl. the escaped reason string.
+    rep.deadlineExceeded = true;
+    rep.rejected = true;
+    rep.rejectReason = "estimate 96 bytes > budget \"64\"";
 
     // v3 telemetry block, hand-built so the writer's bytes — sparse
     // bucket pairs, unit names, and the elision of gauges, Nanos
@@ -256,7 +262,7 @@ TEST(SuiteReportGolden, SchemaStringIsPinned)
     // re-versioned schema must be a deliberate act (README, goldens
     // and sigcomp_lint's README cross-check all move together).
     const std::string json = makeSyntheticReport().toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v3\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v4\""),
               std::string::npos);
 }
 

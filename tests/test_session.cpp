@@ -11,7 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <future>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -468,8 +472,13 @@ TEST(SessionReport, JsonSerializesEveryStudySection)
     const SuiteReport rep = session.run(plan);
 
     const std::string json = rep.toJson();
-    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v3\""),
+    EXPECT_NE(json.find("\"schema\": \"sigcomp-suite-report-v4\""),
               std::string::npos);
+    // v4: the health line carries the request-lifecycle outcome.
+    EXPECT_NE(json.find("\"cancelled\": false"), std::string::npos);
+    EXPECT_NE(json.find("\"deadline_exceeded\": false"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rejected\": false"), std::string::npos);
     EXPECT_NE(json.find("\"workloads\": [\"rawcaudio\"]"),
               std::string::npos);
     EXPECT_NE(json.find("\"replay_passes\": 1"), std::string::npos);
@@ -497,6 +506,450 @@ TEST(SessionEdge, EmptyPlanTouchesNothing)
     EXPECT_EQ(rep.replayPasses, 0u);
     EXPECT_EQ(session.cache().captures(), 0u);
     EXPECT_EQ(rep.instructions, 0u);
+}
+
+// ---- request lifecycle: deadlines, cancellation, admission -----------
+
+/**
+ * Report bytes with the run-shape lines stripped: "threads" names the
+ * executor width under test, and the engine/telemetry lines count
+ * work the executor sees (queued-then-skipped tasks differ by thread
+ * count on a stopped run). Everything else — every study row and the
+ * health outcome — must be bit-identical.
+ */
+std::string
+lifecycleBytes(const SuiteReport &rep)
+{
+    const std::string json = rep.toJson();
+    std::string kept;
+    std::size_t start = 0;
+    while (start < json.size()) {
+        std::size_t end = json.find('\n', start);
+        if (end == std::string::npos)
+            end = json.size();
+        const std::string_view line(json.data() + start, end - start);
+        if (line.find("\"threads\"") == std::string_view::npos &&
+            line.find("\"engine\"") == std::string_view::npos &&
+            line.find("\"telemetry\"") == std::string_view::npos) {
+            kept.append(line);
+            kept.push_back('\n');
+        }
+        start = end + 1;
+    }
+    return kept;
+}
+
+/** One representative plan for the stopped-run tests. */
+StudyPlan
+lifecyclePlan(unsigned threads)
+{
+    StudyPlan plan;
+    plan.workloads({"rawcaudio", "rawdaudio"})
+        .cpi({Design::Baseline32, Design::ByteSerial},
+             analysis::suiteConfig())
+        .activity(sig::Encoding::Ext3)
+        .threads(threads);
+    return plan;
+}
+
+class SessionDeadline : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SessionDeadline, PreExpiredDeadlineIsDeterministicAtAnyWidth)
+{
+    // deadlineMs(0) is "already expired": the run must cost no
+    // engine work and assemble the SAME empty partial report at
+    // every thread count — the deterministic floor of the
+    // partial-result contract.
+    static const std::string reference = [] {
+        Session s;
+        const SuiteReport rep =
+            s.run(lifecyclePlan(1).deadlineMs(0));
+        return lifecycleBytes(rep);
+    }();
+
+    Session session;
+    const SuiteReport rep =
+        session.run(lifecyclePlan(GetParam()).deadlineMs(0));
+
+    EXPECT_TRUE(rep.deadlineExceeded);
+    EXPECT_FALSE(rep.cancelled);
+    EXPECT_FALSE(rep.rejected);
+    EXPECT_EQ(rep.captures, 0u) << "no engine work on an expired plan";
+    EXPECT_EQ(rep.replayPasses, 0u);
+    EXPECT_EQ(session.cache().captures(), 0u);
+    // The requested coverage is still reported; the rows are empty.
+    EXPECT_EQ(rep.workloads.size(), 2u);
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    EXPECT_TRUE(rep.cpi[0].benchmarks.empty());
+    ASSERT_EQ(rep.activity.size(), 1u);
+    EXPECT_TRUE(rep.activity[0].rows.empty());
+    EXPECT_EQ(lifecycleBytes(rep), reference)
+        << "stopped-run bytes must not depend on the thread count";
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SessionDeadline,
+                         ::testing::Values(1u, 4u, 8u),
+                         [](const auto &info) {
+                             std::string name = "t";
+                             name += std::to_string(info.param);
+                             return name;
+                         });
+
+TEST(SessionLifecycle, PreFiredTokenYieldsCancelledEmptyPartial)
+{
+    CancelSource source;
+    source.cancel();
+    Session session;
+    const SuiteReport rep =
+        session.run(lifecyclePlan(1).cancel(source.token()));
+    EXPECT_TRUE(rep.cancelled);
+    EXPECT_FALSE(rep.deadlineExceeded)
+        << "an explicit cancel wins over any deadline";
+    EXPECT_EQ(rep.captures, 0u);
+    EXPECT_EQ(session.cache().captures(), 0u);
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    EXPECT_TRUE(rep.cpi[0].benchmarks.empty());
+}
+
+/**
+ * Fires its CancelSource during retireBlock() once it has seen
+ * @p cancelAt blocks, then counts every block it is still shown:
+ * the replay loop polls the token at block boundaries, so the count
+ * after the trigger bounds the stop latency in blocks.
+ */
+class CancellingSink : public cpu::TraceSink
+{
+  public:
+    CancellingSink(CancelSource *source, std::size_t cancelAt)
+        : source_(source), cancelAt_(cancelAt)
+    {}
+
+    void
+    retire(const cpu::DynInstr &) override
+    {}
+
+    void
+    retireBlock(std::span<const cpu::DynInstr>) override
+    {
+        ++blocks_;
+        if (blocks_ == cancelAt_)
+            source_->cancel();
+        else if (blocks_ > cancelAt_)
+            ++blocksAfterCancel_;
+    }
+
+    std::size_t blocksAfterCancel() const { return blocksAfterCancel_; }
+
+  private:
+    CancelSource *source_;
+    std::size_t cancelAt_;
+    std::size_t blocks_ = 0;
+    std::size_t blocksAfterCancel_ = 0;
+};
+
+TEST(SessionLifecycle, CancelMidRunStopsAtBlockBoundaryWithExactRows)
+{
+    // 3000-instruction captures are 3 replay blocks each. The sink
+    // cancels on the FIRST block of the second workload: the first
+    // workload's row must survive bit-identical, the second must
+    // vanish entirely (no partial numbers), the third must never
+    // start, and the replay must stop within one block.
+    SessionConfig cfg;
+    cfg.captureLimit = 3000;
+    const std::vector<std::string> names = {"rawcaudio", "rawdaudio",
+                                            "epic"};
+
+    Session reference_session(cfg);
+    StudyPlan reference;
+    reference.workloads(names)
+        .cpi({Design::Baseline32, Design::ByteSerial},
+             analysis::suiteConfig())
+        .threads(1);
+    const SuiteReport full = reference_session.run(reference);
+    ASSERT_EQ(full.cpi[0].benchmarks.size(), 3u);
+
+    Session session(cfg);
+    CancelSource source;
+    CancellingSink sink(&source, /*cancelAt=*/4); // wl0: 3 blocks
+    StudyPlan plan;
+    plan.workloads(names)
+        .cpi({Design::Baseline32, Design::ByteSerial},
+             analysis::suiteConfig())
+        .profile({&sink})
+        .cancel(source.token())
+        .threads(1);
+    const SuiteReport rep = session.run(plan);
+
+    EXPECT_TRUE(rep.cancelled);
+    EXPECT_LE(sink.blocksAfterCancel(), 1u)
+        << "replay must stop at the next block boundary";
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    ASSERT_EQ(rep.cpi[0].benchmarks,
+              std::vector<std::string>{"rawcaudio"});
+    // The surviving row is the exact full-pass result.
+    const auto got = rep.cpi[0].rows();
+    const auto want = full.cpi[0].rows();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].benchmark, "rawcaudio");
+    EXPECT_EQ(want[0].benchmark, "rawcaudio");
+    EXPECT_TRUE(got[0].cpi == want[0].cpi);
+    EXPECT_TRUE(got[0].stalls == want[0].stalls);
+    // Only the second workload's capture was wasted; the third never
+    // started.
+    EXPECT_EQ(rep.captures, 2u);
+    EXPECT_EQ(rep.replayPasses, 1u);
+}
+
+TEST_F(SessionStoreTest, CancelledRunLeavesStoreClean)
+{
+    // A cancellation arriving mid-plan must leave every written
+    // segment bit-valid: the durable-save discipline means a cancel
+    // can only stop saves from HAPPENING, never truncate one.
+    SessionConfig cfg;
+    cfg.storeDir = dir();
+    cfg.captureLimit = 3000;
+    Session session(cfg);
+    CancelSource source;
+    CancellingSink sink(&source, /*cancelAt=*/4);
+    StudyPlan plan;
+    plan.workloads({"rawcaudio", "rawdaudio", "epic"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .profile({&sink})
+        .cancel(source.token())
+        .threads(1);
+    const SuiteReport rep = session.run(plan);
+    EXPECT_TRUE(rep.cancelled);
+
+    // The doctor's checks, via the library: every segment verifies,
+    // nothing was quarantined, no orphan temps were left behind.
+    store::TraceStore ts(dir(), /*read_only=*/false);
+    const std::vector<std::string> segments = ts.list();
+    EXPECT_FALSE(segments.empty());
+    for (const std::string &name : segments)
+        EXPECT_TRUE(ts.verify(name, nullptr)) << name;
+    EXPECT_TRUE(ts.quarantined().empty());
+    EXPECT_EQ(ts.cleanOrphanTemps(), 0u)
+        << "a cancelled run must not leave temp files";
+
+    // And a fresh session loads them without repair work.
+    SessionConfig cfg2;
+    cfg2.storeDir = dir();
+    cfg2.captureLimit = 3000;
+    Session warm(cfg2);
+    StudyPlan replayed;
+    replayed.workloads({"rawcaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .threads(1);
+    const SuiteReport again = warm.run(replayed);
+    EXPECT_EQ(again.captures, 0u);
+    EXPECT_EQ(again.storeLoads, 1u);
+    EXPECT_EQ(again.storeLoadFailures, 0u);
+}
+
+TEST_F(SessionStoreTest, MidRunDeadlineLeavesStoreClean)
+{
+    // Same invariant under a wall-clock deadline, which can land in
+    // ANY phase (capture, save, replay): wherever it strikes, the
+    // store must come out consistent.
+    SessionConfig cfg;
+    cfg.storeDir = dir();
+    Session session(cfg);
+    StudyPlan plan;
+    plan.cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .deadlineMs(25)
+        .threads(2);
+    const SuiteReport rep = session.run(plan);
+    EXPECT_TRUE(rep.deadlineExceeded || rep.cpi[0].benchmarks.size() ==
+                                            rep.workloads.size());
+
+    store::TraceStore ts(dir(), /*read_only=*/false);
+    for (const std::string &name : ts.list())
+        EXPECT_TRUE(ts.verify(name, nullptr)) << name;
+    EXPECT_TRUE(ts.quarantined().empty());
+    EXPECT_EQ(ts.cleanOrphanTemps(), 0u);
+}
+
+/** Blocks inside its first retireBlock() until released. */
+class BlockingSink : public cpu::TraceSink
+{
+  public:
+    void
+    retire(const cpu::DynInstr &) override
+    {}
+
+    void
+    retireBlock(std::span<const cpu::DynInstr>) override
+    {
+        if (!entered_.exchange(true)) {
+            started_.set_value();
+            release_.get_future().wait();
+        }
+    }
+
+    /** Resolves once the owning plan is replaying (slot held). */
+    void waitUntilRunning() { started_.get_future().wait(); }
+
+    void release() { release_.set_value(); }
+
+  private:
+    std::atomic<bool> entered_{false};
+    std::promise<void> started_;
+    std::promise<void> release_;
+};
+
+TEST(SessionAdmission, MemoryBudgetRejectsOversizedPlanUpFront)
+{
+    // The default capture limit estimates gigabytes per trace; a
+    // 64 MiB budget must refuse the plan before ANY engine work.
+    SessionConfig cfg;
+    cfg.admissionMemoryBudgetBytes = 64u << 20;
+    Session session(cfg);
+    StudyPlan plan;
+    plan.workloads({"rawcaudio", "rawdaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig());
+    EXPECT_GT(session.estimatePlanMemory(plan),
+              cfg.admissionMemoryBudgetBytes);
+
+    const SuiteReport rep = session.run(plan);
+    EXPECT_TRUE(rep.rejected);
+    EXPECT_NE(rep.rejectReason.find("admission budget"),
+              std::string::npos)
+        << rep.rejectReason;
+    EXPECT_FALSE(rep.cancelled);
+    EXPECT_EQ(session.cache().captures(), 0u) << "no engine work";
+    EXPECT_EQ(rep.workloads.size(), 2u) << "coverage still reported";
+    EXPECT_TRUE(rep.cpi.empty() || rep.cpi[0].benchmarks.empty());
+    const std::string json = rep.toJson();
+    EXPECT_NE(json.find("\"rejected\": true"), std::string::npos);
+
+    // evictAfterReplay caps the resident estimate at one trace, and
+    // a small capture limit shrinks it below the budget: the SAME
+    // plan shape becomes admissible — the reject message's advice.
+    SessionConfig small;
+    small.captureLimit = 3000;
+    small.admissionMemoryBudgetBytes = 64u << 20;
+    Session admits(small);
+    StudyPlan shrunk;
+    shrunk.workloads({"rawcaudio", "rawdaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .evictAfterReplay();
+    EXPECT_LT(admits.estimatePlanMemory(shrunk),
+              admits.estimatePlanMemory(plan));
+    const SuiteReport ok = admits.run(shrunk);
+    EXPECT_FALSE(ok.rejected);
+    ASSERT_EQ(ok.cpi.size(), 1u);
+    EXPECT_EQ(ok.cpi[0].benchmarks.size(), 2u);
+}
+
+TEST(SessionAdmission, AtCapacityRejectsWhenQueueIsFull)
+{
+    SessionConfig cfg;
+    cfg.captureLimit = 2000;
+    cfg.maxConcurrentPlans = 1;
+    cfg.maxQueuedPlans = 0;
+    Session session(cfg);
+
+    BlockingSink blocker;
+    std::thread holder([&] {
+        StudyPlan plan;
+        plan.workloads({"rawcaudio"}).profile({&blocker}).threads(1);
+        const SuiteReport rep = session.run(plan);
+        EXPECT_FALSE(rep.rejected);
+    });
+    blocker.waitUntilRunning(); // the slot is now provably held
+
+    StudyPlan plan;
+    plan.workloads({"rawdaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .threads(1);
+    const SuiteReport rep = session.run(plan);
+    EXPECT_TRUE(rep.rejected);
+    EXPECT_NE(rep.rejectReason.find("capacity"), std::string::npos)
+        << rep.rejectReason;
+    EXPECT_EQ(session.cache()
+                  .metrics()
+                  .counter("session.plans_rejected")
+                  .value(),
+              1u);
+
+    blocker.release();
+    holder.join();
+    EXPECT_EQ(session.cache()
+                  .metrics()
+                  .counter("session.plans_admitted")
+                  .value(),
+              1u)
+        << "only the holder was ever admitted";
+}
+
+TEST(SessionAdmission, QueuedPlanDeadlineExpiresIntoEmptyPartial)
+{
+    // A deadline that runs out IN the queue is an outcome for the
+    // caller, not a rejection: they asked for time, not for a place
+    // in line.
+    SessionConfig cfg;
+    cfg.captureLimit = 2000;
+    cfg.maxConcurrentPlans = 1;
+    cfg.maxQueuedPlans = 4;
+    Session session(cfg);
+
+    BlockingSink blocker;
+    std::thread holder([&] {
+        StudyPlan plan;
+        plan.workloads({"rawcaudio"}).profile({&blocker}).threads(1);
+        session.run(plan);
+    });
+    blocker.waitUntilRunning();
+
+    StudyPlan plan;
+    plan.workloads({"rawdaudio"})
+        .cpi({Design::ByteSerial}, analysis::suiteConfig())
+        .deadlineMs(30)
+        .threads(1);
+    const SuiteReport rep = session.run(plan);
+    EXPECT_FALSE(rep.rejected);
+    EXPECT_TRUE(rep.deadlineExceeded);
+    ASSERT_EQ(rep.cpi.size(), 1u);
+    EXPECT_TRUE(rep.cpi[0].benchmarks.empty());
+
+    blocker.release();
+    holder.join();
+}
+
+TEST(SessionAdmission, QueuedPlanRunsWhenTheSlotFrees)
+{
+    SessionConfig cfg;
+    cfg.captureLimit = 2000;
+    cfg.maxConcurrentPlans = 1;
+    cfg.maxQueuedPlans = 4;
+    Session session(cfg);
+
+    BlockingSink blocker;
+    std::thread holder([&] {
+        StudyPlan plan;
+        plan.workloads({"rawcaudio"}).profile({&blocker}).threads(1);
+        session.run(plan);
+    });
+    blocker.waitUntilRunning();
+
+    std::thread queued([&] {
+        StudyPlan plan;
+        plan.workloads({"rawdaudio"})
+            .cpi({Design::ByteSerial}, analysis::suiteConfig())
+            .threads(1);
+        const SuiteReport rep = session.run(plan);
+        EXPECT_FALSE(rep.rejected);
+        ASSERT_EQ(rep.cpi.size(), 1u);
+        EXPECT_EQ(rep.cpi[0].benchmarks.size(), 1u)
+            << "a queued plan must run to completion once admitted";
+    });
+    // Let the queued plan reach the wait loop, then free the slot.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    blocker.release();
+    holder.join();
+    queued.join();
 }
 
 } // namespace
