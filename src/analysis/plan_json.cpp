@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sha256.h"
 #include "mem/hierarchy.h"
 
 namespace sigcomp::analysis
@@ -1133,6 +1134,23 @@ planEquals(const StudyPlan &a, const StudyPlan &b)
            a.evictAfterReplay_ == b.evictAfterReplay_ &&
            a.deadlineMs_ == b.deadlineMs_ &&
            a.hasDeadline_ == b.hasDeadline_;
+}
+
+bool
+planFingerprint(const StudyPlan &plan, std::string *hex,
+                PlanError *error)
+{
+    SC_ASSERT(hex != nullptr, "planFingerprint needs an output string");
+    // The token is a runtime handle, not plan content (planEquals
+    // ignores it too) — drop it so a daemon-attached disconnect
+    // token does not change the fingerprint.
+    StudyPlan canonical = plan;
+    canonical.cancel_ = CancelToken{};
+    std::string json;
+    if (!writePlanJson(canonical, &json, error))
+        return false;
+    *hex = Sha256::hex(json);
+    return true;
 }
 
 } // namespace sigcomp::analysis

@@ -142,6 +142,8 @@ class StudyPlan
     friend bool writePlanJson(const StudyPlan &plan, std::string *out,
                               PlanError *error);
     friend bool planEquals(const StudyPlan &a, const StudyPlan &b);
+    friend bool planFingerprint(const StudyPlan &plan, std::string *hex,
+                                PlanError *error);
 
     struct CpiSpec
     {

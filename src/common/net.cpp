@@ -1,0 +1,354 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace sigcomp::net
+{
+
+namespace
+{
+
+/** Map errno to the shared Env fault taxonomy. */
+EnvFault
+classifyErrno(int err)
+{
+    switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+        return EnvFault::Transient;
+    case ECONNREFUSED:
+    case ENOENT:
+        return EnvFault::NotFound;
+    case EACCES:
+    case EPERM:
+        return EnvFault::ReadOnly;
+    default:
+        return EnvFault::Other;
+    }
+}
+
+EnvStatus
+errnoStatus(const char *op, int err)
+{
+    return EnvStatus::error(classifyErrno(err),
+                            std::string(op) + ": " +
+                                std::strerror(err));
+}
+
+// ------------------------------------------------------------------
+// POSIX TCP transport. The only raw-socket code in the repo: the
+// serving layer sees Conn/Listener only (enforced by sigcomp_lint's
+// env-seam check over src/server/).
+// ------------------------------------------------------------------
+
+class PosixConn final : public Conn
+{
+  public:
+    explicit PosixConn(int fd) : fd_(fd) {}
+
+    ~PosixConn() override { closeConn(); }
+
+    EnvStatus
+    read(void *buf, std::size_t n, std::size_t *got) override
+    {
+        *got = 0;
+        for (;;) {
+            const ssize_t r =
+                ::recv(fd_.load(std::memory_order_relaxed), buf, n, 0);
+            if (r >= 0) {
+                *got = static_cast<std::size_t>(r);
+                return EnvStatus::good();
+            }
+            if (errno == EINTR)
+                continue;
+            return errnoStatus("recv", errno);
+        }
+    }
+
+    EnvStatus
+    writeAll(const void *buf, std::size_t n) override
+    {
+        const char *p = static_cast<const char *>(buf);
+        while (n > 0) {
+            // MSG_NOSIGNAL: a peer that hung up must surface as
+            // EPIPE, not kill the daemon with SIGPIPE.
+            const ssize_t w = ::send(fd_.load(std::memory_order_relaxed),
+                                     p, n, MSG_NOSIGNAL);
+            if (w > 0) {
+                p += w;
+                n -= static_cast<std::size_t>(w);
+                continue;
+            }
+            if (w < 0 && errno == EINTR)
+                continue;
+            return errnoStatus("send", errno);
+        }
+        return EnvStatus::good();
+    }
+
+    bool
+    peerClosed() override
+    {
+        char probe;
+        const ssize_t r = ::recv(fd_.load(std::memory_order_relaxed),
+                                 &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+        if (r == 0)
+            return true; // orderly EOF, nothing pending
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                      errno == EINTR)) {
+            return false; // alive, just quiet
+        }
+        return r < 0; // hard error: treat as gone
+    }
+
+    void
+    closeConn() override
+    {
+        // Atomic swap: the disconnect watcher may probe peerClosed()
+        // concurrently; it sees either the live fd or -1 (EBADF →
+        // "gone"), never a recycled descriptor number.
+        const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+  private:
+    std::atomic<int> fd_;
+};
+
+class PosixListener final : public Listener
+{
+  public:
+    PosixListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+    ~PosixListener() override
+    {
+        stopListening();
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    std::unique_ptr<Conn>
+    acceptConn(EnvStatus *status) override
+    {
+        for (;;) {
+            const int client = ::accept(fd_, nullptr, nullptr);
+            if (client >= 0) {
+                if (stopped_.load(std::memory_order_acquire)) {
+                    ::close(client);
+                    if (status != nullptr)
+                        *status = EnvStatus::good();
+                    return nullptr;
+                }
+                return std::make_unique<PosixConn>(client);
+            }
+            if (errno == EINTR)
+                continue;
+            if (status != nullptr) {
+                *status = stopped_.load(std::memory_order_acquire)
+                              ? EnvStatus::good()
+                              : errnoStatus("accept", errno);
+            }
+            return nullptr;
+        }
+    }
+
+    void
+    stopListening() override
+    {
+        if (!stopped_.exchange(true, std::memory_order_acq_rel)) {
+            // shutdown() unblocks a concurrent accept() with EINVAL
+            // while leaving the fd itself for the destructor, so a
+            // racing acceptConn never touches a recycled fd number.
+            ::shutdown(fd_, SHUT_RDWR);
+        }
+    }
+
+    std::uint16_t port() const override { return port_; }
+
+  private:
+    int fd_;
+    std::uint16_t port_;
+    std::atomic<bool> stopped_{false};
+};
+
+// ------------------------------------------------------------------
+// In-process memory transport.
+// ------------------------------------------------------------------
+
+/** One direction of the pipe: a byte queue + writer-closed flag. */
+struct MemoryStream
+{
+    Mutex mu;
+    std::condition_variable cv;
+    std::string buf SIGCOMP_GUARDED_BY(mu);
+    bool writerClosed SIGCOMP_GUARDED_BY(mu) = false;
+    bool readerClosed SIGCOMP_GUARDED_BY(mu) = false;
+};
+
+class MemoryConn final : public Conn
+{
+  public:
+    MemoryConn(std::shared_ptr<MemoryStream> in,
+               std::shared_ptr<MemoryStream> out)
+        : in_(std::move(in)), out_(std::move(out))
+    {}
+
+    ~MemoryConn() override { closeConn(); }
+
+    EnvStatus
+    read(void *buf, std::size_t n, std::size_t *got) override
+    {
+        *got = 0;
+        UniqueLock lock(in_->mu);
+        while (in_->buf.empty() && !in_->writerClosed &&
+               !in_->readerClosed) {
+            in_->cv.wait(lock.native());
+        }
+        if (in_->buf.empty())
+            return EnvStatus::good(); // EOF (or own close): 0 bytes
+        const std::size_t take = std::min(n, in_->buf.size());
+        std::memcpy(buf, in_->buf.data(), take);
+        in_->buf.erase(0, take);
+        *got = take;
+        return EnvStatus::good();
+    }
+
+    EnvStatus
+    writeAll(const void *buf, std::size_t n) override
+    {
+        MutexLock lock(out_->mu);
+        if (out_->writerClosed || out_->readerClosed) {
+            return EnvStatus::error(EnvFault::Other,
+                                    "memory conn: peer closed");
+        }
+        out_->buf.append(static_cast<const char *>(buf), n);
+        out_->cv.notify_all();
+        return EnvStatus::good();
+    }
+
+    bool
+    peerClosed() override
+    {
+        // Mirror the TCP probe: the peer is "gone" once it can no
+        // longer send us anything AND everything it sent was read.
+        MutexLock lock(in_->mu);
+        return in_->writerClosed && in_->buf.empty();
+    }
+
+    void
+    closeConn() override
+    {
+        {
+            MutexLock lock(out_->mu);
+            out_->writerClosed = true;
+            out_->cv.notify_all();
+        }
+        {
+            MutexLock lock(in_->mu);
+            in_->readerClosed = true;
+            in_->cv.notify_all();
+        }
+    }
+
+  private:
+    std::shared_ptr<MemoryStream> in_;
+    std::shared_ptr<MemoryStream> out_;
+};
+
+} // namespace
+
+std::unique_ptr<Listener>
+listenTcp(const std::string &addr, std::uint16_t port, std::string *why)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why != nullptr)
+            *why = std::string("socket: ") + std::strerror(errno);
+        return nullptr;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+        if (why != nullptr)
+            *why = "bad IPv4 address '" + addr + "'";
+        ::close(fd);
+        return nullptr;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        if (why != nullptr) {
+            *why = std::string("bind/listen ") + addr + ":" +
+                   std::to_string(port) + ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return nullptr;
+    }
+    socklen_t len = sizeof(sa);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&sa), &len) != 0) {
+        if (why != nullptr)
+            *why = std::string("getsockname: ") + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<PosixListener>(fd, ntohs(sa.sin_port));
+}
+
+std::unique_ptr<Conn>
+connectTcp(const std::string &addr, std::uint16_t port, std::string *why)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why != nullptr)
+            *why = std::string("socket: ") + std::strerror(errno);
+        return nullptr;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+        if (why != nullptr)
+            *why = "bad IPv4 address '" + addr + "'";
+        ::close(fd);
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        if (why != nullptr) {
+            *why = std::string("connect ") + addr + ":" +
+                   std::to_string(port) + ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<PosixConn>(fd);
+}
+
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>>
+memoryConnPair()
+{
+    auto a = std::make_shared<MemoryStream>();
+    auto b = std::make_shared<MemoryStream>();
+    return {std::make_unique<MemoryConn>(a, b),
+            std::make_unique<MemoryConn>(b, a)};
+}
+
+} // namespace sigcomp::net

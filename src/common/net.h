@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The socket seam: every byte the serving layer (src/server/) moves
+ * over a network connection goes through a sigcomp::net::Conn, the
+ * byte-stream sibling of the sigcomp::Env filesystem seam
+ * (common/env.h).
+ *
+ * Raw socket syscalls (socket/bind/listen/accept/recv/send/...) live
+ * ONLY in net.cpp — sigcomp_lint's env-seam check rejects them
+ * anywhere in src/server/ — so the daemon's request path runs
+ * unchanged over three transports:
+ *
+ *   - loopback/real TCP (listenTcp/connectTcp) in production and the
+ *     CI daemon smoke job,
+ *   - an in-process memory pipe (memoryConnPair) in the unit and
+ *     TSan concurrency tests — deterministic, no ports, no sandbox
+ *     friction,
+ *   - and, because every operation reports the same EnvStatus fault
+ *     taxonomy as Env, fault-injection wrappers can interpose the
+ *     seam the way FaultInjectingEnv interposes file I/O.
+ *
+ * Connections are blocking byte streams. peerClosed() is the one
+ * non-blocking probe: the daemon's disconnect watcher polls it to
+ * cancel in-flight plan runs whose client has hung up (wired into
+ * CancelSource, see server/daemon.h).
+ *
+ * Thread-safety: one Conn endpoint is used by one thread at a time,
+ * EXCEPT peerClosed(), which the watcher thread may call
+ * concurrently with the owner's read/write — implementations keep
+ * that probe safe (the POSIX probe is a MSG_PEEK on an fd the owner
+ * holds open; the memory pipe takes its internal lock).
+ */
+
+#ifndef SIGCOMP_COMMON_NET_H_
+#define SIGCOMP_COMMON_NET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/env.h"
+
+namespace sigcomp::net
+{
+
+/** One established bidirectional byte-stream connection. */
+class Conn
+{
+  public:
+    virtual ~Conn() = default;
+
+    /**
+     * Blocking read of up to @p n bytes into @p buf. On success
+     * *got > 0; *got == 0 with an ok() status means orderly EOF (the
+     * peer finished sending). Transient faults (EINTR) are retried
+     * internally; anything else reports through the EnvStatus.
+     */
+    virtual EnvStatus read(void *buf, std::size_t n,
+                           std::size_t *got) = 0;
+
+    /** Blocking write of exactly @p n bytes (short writes resumed). */
+    virtual EnvStatus writeAll(const void *buf, std::size_t n) = 0;
+
+    /**
+     * Has the peer hung up? Non-blocking, callable from a thread
+     * other than the reader/writer (the daemon's disconnect
+     * watcher). True only once all sent bytes have been consumed —
+     * a closed peer with unread data still counts as live input.
+     */
+    virtual bool peerClosed() = 0;
+
+    /** Close both directions. Idempotent; destructor closes too. */
+    virtual void closeConn() = 0;
+};
+
+/** A listening server socket handing out accepted Conns. */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+
+    /**
+     * Block until a client connects. nullptr after stopListening()
+     * (orderly shutdown, status ok) or on a non-transient accept
+     * fault (status set).
+     */
+    virtual std::unique_ptr<Conn> acceptConn(EnvStatus *status) = 0;
+
+    /**
+     * Unblock any acceptConn() in flight and refuse further
+     * connections. Callable from another thread (the daemon's
+     * signal-wait thread); idempotent.
+     */
+    virtual void stopListening() = 0;
+
+    /** The bound port (resolves port 0 to the kernel's choice). */
+    virtual std::uint16_t port() const = 0;
+};
+
+/**
+ * Listen on @p addr:@p port (TCP, SO_REUSEADDR; port 0 picks an
+ * ephemeral port — read it back via port()). @p addr is a dotted
+ * IPv4 address; "127.0.0.1" serves loopback only, "0.0.0.0" all
+ * interfaces. nullptr + @p why on failure.
+ */
+std::unique_ptr<Listener> listenTcp(const std::string &addr,
+                                    std::uint16_t port,
+                                    std::string *why = nullptr);
+
+/** Connect to @p addr:@p port. nullptr + @p why on failure. */
+std::unique_ptr<Conn> connectTcp(const std::string &addr,
+                                 std::uint16_t port,
+                                 std::string *why = nullptr);
+
+/**
+ * An in-process connected pair: bytes written to .first are read
+ * from .second and vice versa, with Conn's exact blocking/EOF/
+ * peerClosed semantics. The test transport: deterministic, no
+ * sockets, safe under TSan and sandboxes.
+ */
+std::pair<std::unique_ptr<Conn>, std::unique_ptr<Conn>>
+memoryConnPair();
+
+} // namespace sigcomp::net
+
+#endif // SIGCOMP_COMMON_NET_H_

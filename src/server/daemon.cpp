@@ -1,0 +1,533 @@
+#include "server/daemon.h"
+
+#include <chrono>
+
+#include "analysis/plan_json.h"
+#include "common/logging.h"
+#include "common/sha256.h"
+#include "store/trace_store.h"
+
+namespace sigcomp::server
+{
+
+namespace
+{
+
+constexpr const char *kStatsSchemaId = "sigcomp-daemon-stats-v1";
+constexpr const char *kErrorSchemaId = "sigcomp-daemon-error-v1";
+
+/** How many times a follower retries after its leader died bodiless. */
+constexpr int kMaxJoinAttempts = 100;
+
+bool
+validTenant(std::string_view tenant)
+{
+    if (tenant.empty() || tenant.size() > 64)
+        return false;
+    for (char c : tenant) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** JSON string escape for the error/stats writers (ASCII payloads). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cacheMaxEntries, config_.cacheMaxBytes,
+             &registry_),
+      storeFingerprint_(computeStoreFingerprint(config_)),
+      requests_(registry_.counter("daemon.requests")),
+      httpErrors_(registry_.counter("daemon.http_errors")),
+      planErrors_(registry_.counter("daemon.plan_errors")),
+      runs_(registry_.counter("daemon.runs")),
+      dedupeJoins_(registry_.counter("daemon.dedupe_joins")),
+      disconnectCancels_(
+          registry_.counter("daemon.disconnect_cancels")),
+      activeConns_(registry_.gauge("daemon.active_connections")),
+      tenantsGauge_(registry_.gauge("daemon.tenants"))
+{
+    watcher_ = std::thread([this] { watchLoop(); });
+}
+
+Daemon::~Daemon()
+{
+    requestStop();
+    if (watcher_.joinable())
+        watcher_.join();
+}
+
+void
+Daemon::requestStop()
+{
+    MutexLock lock(watchMu_);
+    stop_ = true;
+    watchCv_.notify_all();
+}
+
+bool
+Daemon::stopRequested() const
+{
+    MutexLock lock(watchMu_);
+    return stop_;
+}
+
+std::string
+Daemon::computeStoreFingerprint(const DaemonConfig &config)
+{
+    if (config.storeDir.empty())
+        return "none";
+    store::StoreOptions options;
+    options.readOnly = true;
+    options.env = config.env;
+    const store::TraceStore store(config.storeDir, options);
+    Sha256 h;
+    for (const std::string &workload : store.list()) {
+        store::SegmentInfo info;
+        if (!store.info(workload, info))
+            continue; // unreadable segments don't identify content
+        h.update(workload);
+        h.update(":");
+        h.update(std::to_string(info.fileBytes));
+        h.update(":");
+        h.update(std::to_string(info.instructions));
+        h.update(":");
+        h.update(std::to_string(info.captureLimit));
+        h.update("\n");
+    }
+    return h.hexDigest();
+}
+
+analysis::Session &
+Daemon::tenantSession(const std::string &tenant)
+{
+    MutexLock lock(tenantsMu_);
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        analysis::SessionConfig sc;
+        sc.threads = config_.threads;
+        sc.storeDir = config_.storeDir;
+        sc.spillBudgetBytes = config_.spillBudgetBytes;
+        // readOnly without a storeDir is a Session configuration
+        // error; a store-less daemon serves RAM-only sessions.
+        sc.readOnly = config_.readOnly && !config_.storeDir.empty();
+        sc.captureLimit = config_.captureLimit;
+        sc.env = config_.env;
+        sc.maxConcurrentPlans = config_.maxConcurrentPlans;
+        sc.maxQueuedPlans = config_.maxQueuedPlans;
+        sc.admissionMemoryBudgetBytes =
+            config_.admissionMemoryBudgetBytes;
+        it = tenants_
+                 .emplace(tenant, std::make_unique<analysis::Session>(
+                                      std::move(sc)))
+                 .first;
+        tenantsGauge_.set(static_cast<std::int64_t>(tenants_.size()));
+    }
+    return *it->second;
+}
+
+// ------------------------------------------------------------------
+// Disconnect watcher
+// ------------------------------------------------------------------
+
+std::uint64_t
+Daemon::watchConn(const std::shared_ptr<net::Conn> &conn,
+                  std::shared_ptr<InflightRun> run)
+{
+    MutexLock lock(watchMu_);
+    const std::uint64_t id = nextWatchId_++;
+    watches_.push_back(WatchEntry{id, conn, std::move(run)});
+    return id;
+}
+
+void
+Daemon::unwatchConn(std::uint64_t id)
+{
+    MutexLock lock(watchMu_);
+    for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+        if (it->id == id) {
+            watches_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Daemon::watchLoop()
+{
+    for (;;) {
+        std::vector<WatchEntry> snapshot;
+        {
+            UniqueLock lock(watchMu_);
+            if (stop_)
+                return;
+            watchCv_.wait_for(
+                lock.native(),
+                std::chrono::milliseconds(config_.watchIntervalMs));
+            if (stop_)
+                return;
+            snapshot.assign(watches_.begin(), watches_.end());
+        }
+        for (WatchEntry &entry : snapshot) {
+            const std::shared_ptr<net::Conn> conn = entry.conn.lock();
+            const bool gone =
+                conn == nullptr || conn->peerClosed();
+            if (!gone)
+                continue;
+            // This client no longer wants the result. Cancel the
+            // run only once NOBODY wants it: a joined follower must
+            // not lose its answer to the leader's dead socket.
+            bool fireCancel = false;
+            {
+                MutexLock lock(entry.run->mu);
+                if (!entry.run->done) {
+                    if (entry.run->interest > 0)
+                        --entry.run->interest;
+                    fireCancel = entry.run->interest == 0;
+                }
+            }
+            if (fireCancel) {
+                entry.run->cancel.cancel();
+                disconnectCancels_.inc();
+            }
+            unwatchConn(entry.id);
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Serving
+// ------------------------------------------------------------------
+
+void
+Daemon::serve(net::Listener &listener)
+{
+    std::vector<std::thread> handlers;
+    for (;;) {
+        EnvStatus status = EnvStatus::good();
+        std::unique_ptr<net::Conn> accepted =
+            listener.acceptConn(&status);
+        if (accepted == nullptr) {
+            if (!status.ok())
+                SC_WARN("sigcompd: accept failed: %s",
+                        status.message.c_str());
+            break;
+        }
+        if (stopRequested())
+            break;
+        std::shared_ptr<net::Conn> conn = std::move(accepted);
+        handlers.emplace_back(
+            [this, conn] { serveConn(conn); });
+    }
+    for (std::thread &t : handlers)
+        t.join();
+}
+
+void
+Daemon::serveConn(std::shared_ptr<net::Conn> conn)
+{
+    activeConns_.set(
+        activeConnCount_.fetch_add(1, std::memory_order_relaxed) + 1);
+    requests_.inc();
+
+    HttpRequestParser parser;
+    HttpRequestParser::Status status =
+        HttpRequestParser::Status::NeedMore;
+    char buf[4096];
+    while (status == HttpRequestParser::Status::NeedMore) {
+        std::size_t got = 0;
+        const EnvStatus rs = conn->read(buf, sizeof(buf), &got);
+        if (!rs.ok() || got == 0) {
+            // Transport fault or EOF before a complete request:
+            // nobody is listening for a reply.
+            status = HttpRequestParser::Status::Error;
+            httpErrors_.inc();
+            conn->closeConn();
+            activeConns_.set(activeConnCount_.fetch_sub(
+                                 1, std::memory_order_relaxed) -
+                             1);
+            return;
+        }
+        status = parser.consume(std::string_view(buf, got));
+    }
+
+    if (status == HttpRequestParser::Status::Error) {
+        httpErrors_.inc();
+        respondError(conn, parser.errorStatusCode(),
+                     httpErrorKindName(parser.error().kind),
+                     parser.error().render());
+    } else {
+        handleRequest(conn, parser.request());
+    }
+    conn->closeConn();
+    activeConns_.set(
+        activeConnCount_.fetch_sub(1, std::memory_order_relaxed) - 1);
+}
+
+void
+Daemon::handleRequest(const std::shared_ptr<net::Conn> &conn,
+                      const HttpRequest &request)
+{
+    if (request.target == "/healthz") {
+        if (request.method != "GET") {
+            respondError(conn, 405, "unsupported-method",
+                         "/healthz serves GET only");
+            return;
+        }
+        respond(conn, 200, "text/plain", "ok\n");
+        return;
+    }
+    if (request.target == "/statsz") {
+        if (request.method != "GET") {
+            respondError(conn, 405, "unsupported-method",
+                         "/statsz serves GET only");
+            return;
+        }
+        respond(conn, 200, "application/json", statszJson());
+        return;
+    }
+    if (request.target == "/v1/run") {
+        if (request.method != "POST") {
+            respondError(conn, 405, "unsupported-method",
+                         "/v1/run serves POST only");
+            return;
+        }
+        handleRun(conn, request);
+        return;
+    }
+    respondError(conn, 404, "not-found",
+                 "unknown target '" + request.target + "'");
+}
+
+void
+Daemon::handleRun(const std::shared_ptr<net::Conn> &conn,
+                  const HttpRequest &request)
+{
+    std::string tenant = "default";
+    if (const std::string *h = request.header("x-sigcomp-tenant");
+        h != nullptr) {
+        tenant = *h;
+    }
+    if (!validTenant(tenant)) {
+        respondError(conn, 400, "bad-tenant",
+                     "tenant must match [a-z0-9_-]{1,64}");
+        return;
+    }
+
+    analysis::StudyPlan plan;
+    analysis::PlanError planError;
+    if (!analysis::parsePlanJson(request.body, &plan, &planError)) {
+        planErrors_.inc();
+        respondError(conn, 400,
+                     analysis::planErrorKindName(planError.kind),
+                     planError.render());
+        return;
+    }
+    std::string fingerprint;
+    if (!analysis::planFingerprint(plan, &fingerprint, &planError)) {
+        planErrors_.inc();
+        respondError(conn, 400,
+                     analysis::planErrorKindName(planError.kind),
+                     planError.render());
+        return;
+    }
+    const std::string cacheKey = fingerprint + ":" + storeFingerprint_;
+
+    std::string body;
+    const int status = runPlan(conn, tenant, plan, cacheKey, &body);
+    if (status == 0) {
+        respondError(conn, 503, "busy",
+                     "in-flight dedupe retry limit exceeded");
+        return;
+    }
+    respond(conn, status, "application/json", body);
+}
+
+int
+Daemon::runPlan(const std::shared_ptr<net::Conn> &conn,
+                const std::string &tenant,
+                const analysis::StudyPlan &plan,
+                const std::string &cacheKey, std::string *body)
+{
+    if (cache_.lookup(cacheKey, body))
+        return 200;
+
+    for (int attempt = 0; attempt < kMaxJoinAttempts; ++attempt) {
+        std::shared_ptr<InflightRun> run;
+        bool leader = false;
+        {
+            MutexLock lock(inflightMu_);
+            const auto it = inflight_.find(cacheKey);
+            if (it != inflight_.end()) {
+                run = it->second;
+            } else {
+                run = std::make_shared<InflightRun>();
+                inflight_.emplace(cacheKey, run);
+                leader = true;
+            }
+        }
+
+        if (!leader) {
+            dedupeJoins_.inc();
+            {
+                MutexLock lock(run->mu);
+                if (!run->done)
+                    ++run->interest;
+            }
+            const std::uint64_t watchId = watchConn(conn, run);
+            int status = 0;
+            bool got = false;
+            {
+                UniqueLock lock(run->mu);
+                while (!run->done)
+                    run->cv.wait(lock.native());
+                if (!run->body.empty()) {
+                    *body = run->body;
+                    status = run->status;
+                    got = true;
+                }
+            }
+            unwatchConn(watchId);
+            if (got)
+                return status;
+            // The leader finished without producing bytes (its
+            // client vanished and the run was cancelled before this
+            // join registered interest). Try again — the cache or a
+            // fresh leadership will answer.
+            continue;
+        }
+
+        {
+            MutexLock lock(run->mu);
+            run->interest = 1;
+        }
+        const std::uint64_t watchId = watchConn(conn, run);
+        runs_.inc();
+
+        analysis::StudyPlan execPlan = plan;
+        CancelToken token = run->cancel.token();
+        if (config_.defaultDeadlineMs != 0) {
+            token = token.withDeadlineAfter(std::chrono::milliseconds(
+                config_.defaultDeadlineMs));
+        }
+        execPlan.cancel(token);
+
+        const analysis::SuiteReport report =
+            tenantSession(tenant).run(execPlan);
+        const std::string json = report.toJson();
+        const bool complete =
+            !(report.cancelled || report.deadlineExceeded ||
+              report.rejected);
+        const int status = report.rejected ? 503 : 200;
+
+        if (complete)
+            cache_.insert(cacheKey, json);
+        {
+            // Unpublish BEFORE waking followers: a request arriving
+            // after this point starts fresh (and hits the cache).
+            MutexLock lock(inflightMu_);
+            inflight_.erase(cacheKey);
+        }
+        {
+            MutexLock lock(run->mu);
+            run->done = true;
+            run->cacheable = complete;
+            run->status = status;
+            run->body = json;
+            run->cv.notify_all();
+        }
+        unwatchConn(watchId);
+        *body = json;
+        return status;
+    }
+    return 0;
+}
+
+void
+Daemon::respond(const std::shared_ptr<net::Conn> &conn, int status,
+                std::string_view contentType, std::string_view body)
+{
+    const std::string wire =
+        httpResponse(status, "", contentType, body);
+    // A failed write means the client hung up; the watcher (or the
+    // close below) already handles that — nothing to do here.
+    (void)conn->writeAll(wire.data(), wire.size());
+}
+
+void
+Daemon::respondError(const std::shared_ptr<net::Conn> &conn,
+                     int status, std::string_view kind,
+                     std::string_view message)
+{
+    std::string body;
+    body += "{\n  \"schema\": \"";
+    body += kErrorSchemaId;
+    body += "\",\n  \"status\": ";
+    body += std::to_string(status);
+    body += ",\n  \"kind\": \"";
+    body += jsonEscape(kind);
+    body += "\",\n  \"message\": \"";
+    body += jsonEscape(message);
+    body += "\"\n}\n";
+    respond(conn, status, "application/json", body);
+}
+
+std::string
+Daemon::statszJson() const
+{
+    std::string out;
+    out += "{\n  \"schema\": \"";
+    out += kStatsSchemaId;
+    out += "\",\n  \"store_fingerprint\": \"";
+    out += jsonEscape(storeFingerprint_);
+    out += "\",\n  \"tenants\": ";
+    {
+        MutexLock lock(tenantsMu_);
+        out += std::to_string(tenants_.size());
+    }
+    out += ",\n  \"metrics\": {";
+    const telemetry::Snapshot snap = registry_.snapshot();
+    bool first = true;
+    for (const telemetry::SnapshotMetric &m : snap.metrics) {
+        if (m.kind == telemetry::Kind::Histogram)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        out += jsonEscape(m.name);
+        out += "\": ";
+        out += m.kind == telemetry::Kind::Counter
+                   ? std::to_string(m.value)
+                   : std::to_string(m.gauge);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"active_requests\": ";
+    out += std::to_string(
+        activeConnCount_.load(std::memory_order_relaxed));
+    out += "\n}\n";
+    return out;
+}
+
+} // namespace sigcomp::server

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * sigcompd's core: a multi-tenant experiment-serving daemon over the
+ * socket seam (common/net.h).
+ *
+ * One Daemon owns:
+ *
+ *  - a per-tenant map of analysis::Session instances, all bound to
+ *    ONE shared read-only trace store directory — tenants share the
+ *    captured data (it is immutable) while keeping their own RAM
+ *    tier, executor, telemetry namespace and admission limits,
+ *  - an in-flight run table deduplicating identical work: requests
+ *    whose (plan fingerprint, store fingerprint) key matches a run
+ *    already executing JOIN it and receive the leader's exact bytes
+ *    instead of re-running the engine,
+ *  - a bounded LRU ReportCache over the same key, so repeating an
+ *    experiment against unchanged data is a lookup, not a replay
+ *    (the engine is deterministic: the cached bytes are what a
+ *    fresh run would produce, wall time aside),
+ *  - a disconnect watcher thread cancelling a run's CancelSource
+ *    once every client interested in it has hung up — a dead
+ *    client's plan stops at the next block boundary and frees its
+ *    admission slot instead of burning the engine for nobody.
+ *
+ * Protocol (HTTP/1.1, one request per connection, see server/http.h):
+ *
+ *   POST /v1/run    body: sigcomp-study-plan-v1 JSON
+ *                   reply: sigcomp-suite-report-v4 JSON (200; 503
+ *                   with the same report shape when admission
+ *                   rejected), errors: sigcomp-daemon-error-v1
+ *   GET  /healthz   "ok" once serving
+ *   GET  /statsz    sigcomp-daemon-stats-v1 JSON: store fingerprint,
+ *                   tenant count, and every daemon.* metric
+ *
+ * The optional X-Sigcomp-Tenant header ([a-z0-9_-], <= 64 bytes,
+ * default "default") selects the tenant session.
+ *
+ * Thread model: serve() accepts and hands each connection to its own
+ * handler thread; serveConn() is also directly callable (the tests
+ * drive it over memoryConnPair with no sockets involved). All shared
+ * state is mutex-guarded and annotated; the TSan concurrency test
+ * hammers one Daemon from many client threads.
+ */
+
+#ifndef SIGCOMP_SERVER_DAEMON_H_
+#define SIGCOMP_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/session.h"
+#include "common/cancel.h"
+#include "common/mutex.h"
+#include "common/net.h"
+#include "common/telemetry.h"
+#include "server/http.h"
+#include "server/report_cache.h"
+
+namespace sigcomp::server
+{
+
+/** Construction-time configuration of a Daemon. */
+struct DaemonConfig
+{
+    /**
+     * Shared trace store directory, opened read-only by every tenant
+     * session (prewarm it with sigcomp_store first). Empty = RAM-only
+     * sessions (unit tests; capture happens on demand).
+     */
+    std::string storeDir;
+    /**
+     * Open the store read-only (the serving default: tenants share
+     * segments, nobody mutates them). Tests flip it to exercise the
+     * cancelled-writer path. Ignored without a storeDir.
+     */
+    bool readOnly = true;
+    /** Per-tenant session parallelism (0 = shared process pool). */
+    unsigned threads = 0;
+    /** Per-tenant RAM-tier spill budget (0 = unlimited). */
+    std::size_t spillBudgetBytes = 0;
+    /** Per-tenant capture cap (must match the prewarmed store's). */
+    DWord captureLimit = cpu::TraceBuffer::defaultMaxInstrs;
+    /** Per-tenant admission limits (see SessionConfig). */
+    unsigned maxConcurrentPlans = 2;
+    unsigned maxQueuedPlans = 8;
+    std::size_t admissionMemoryBudgetBytes = 0;
+    /** Report-cache bounds. */
+    std::size_t cacheMaxEntries = 64;
+    std::size_t cacheMaxBytes = std::size_t{64} << 20;
+    /**
+     * Deadline applied to every accepted plan on top of its own
+     * deadline_ms — deadlines min-combine, so whichever is tighter
+     * fires first. 0 = none.
+     */
+    std::uint64_t defaultDeadlineMs = 0;
+    /** Disconnect-watcher poll interval. */
+    unsigned watchIntervalMs = 20;
+    /** I/O seam handed to every tenant store (nullptr = real fs). */
+    Env *env = nullptr;
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Accept-and-dispatch loop: one handler thread per connection,
+     * until requestStop() (or a hard listener fault). Joins every
+     * handler before returning, so the caller may destroy the
+     * listener afterwards.
+     */
+    void serve(net::Listener &listener);
+
+    /**
+     * Handle exactly one request on @p conn, reply, and close it.
+     * The public seam the tests call directly over memory conns.
+     * Shared ownership because the disconnect watcher holds a weak
+     * reference while a run is in flight.
+     */
+    void serveConn(std::shared_ptr<net::Conn> conn);
+
+    /** Ask serve() and the watcher to wind down. Thread-safe. */
+    void requestStop();
+    bool stopRequested() const;
+
+    /** The daemon.* metric namespace (/statsz's source). */
+    telemetry::Registry &metrics() { return registry_; }
+
+    /**
+     * SHA-256 hex over the store's segment inventory (workload name,
+     * file bytes, instruction count, capture limit per segment) —
+     * "none" without a store. Half of every cache/dedupe key: a
+     * re-captured store invalidates all cached reports.
+     */
+    const std::string &storeFingerprint() const
+    {
+        return storeFingerprint_;
+    }
+
+    /** The tenant's session, created on first use. */
+    analysis::Session &tenantSession(const std::string &tenant)
+        SIGCOMP_EXCLUDES(tenantsMu_);
+
+    /** The /statsz body (schema "sigcomp-daemon-stats-v1"). */
+    std::string statszJson() const;
+
+  private:
+    /**
+     * One deduplicated plan execution. The leader runs the engine;
+     * followers wait on cv. `interest` counts clients that still
+     * want the bytes — the watcher fires `cancel` only when it
+     * reaches zero, so one client hanging up never cancels a run
+     * another client is waiting for.
+     */
+    struct InflightRun
+    {
+        Mutex mu;
+        std::condition_variable cv;
+        bool done SIGCOMP_GUARDED_BY(mu) = false;
+        bool cacheable SIGCOMP_GUARDED_BY(mu) = false;
+        int status SIGCOMP_GUARDED_BY(mu) = 0;
+        std::string body SIGCOMP_GUARDED_BY(mu);
+        unsigned interest SIGCOMP_GUARDED_BY(mu) = 0;
+        CancelSource cancel;
+    };
+
+    /** A connection the watcher polls while its run is in flight. */
+    struct WatchEntry
+    {
+        std::uint64_t id = 0;
+        std::weak_ptr<net::Conn> conn;
+        std::shared_ptr<InflightRun> run;
+    };
+
+    /** Dispatch one parsed request to its route. */
+    void handleRequest(const std::shared_ptr<net::Conn> &conn,
+                       const HttpRequest &request);
+    void handleRun(const std::shared_ptr<net::Conn> &conn,
+                   const HttpRequest &request);
+    /** Execute (or join/cache-hit) the plan; returns status+body. */
+    int runPlan(const std::shared_ptr<net::Conn> &conn,
+                const std::string &tenant,
+                const analysis::StudyPlan &plan,
+                const std::string &cacheKey, std::string *body);
+    void respond(const std::shared_ptr<net::Conn> &conn, int status,
+                 std::string_view contentType, std::string_view body);
+    /** sigcomp-daemon-error-v1 reply. */
+    void respondError(const std::shared_ptr<net::Conn> &conn,
+                      int status, std::string_view kind,
+                      std::string_view message);
+
+    std::uint64_t watchConn(const std::shared_ptr<net::Conn> &conn,
+                            std::shared_ptr<InflightRun> run)
+        SIGCOMP_EXCLUDES(watchMu_);
+    void unwatchConn(std::uint64_t id) SIGCOMP_EXCLUDES(watchMu_);
+    /** Watcher thread body: poll peerClosed, cancel orphaned runs. */
+    void watchLoop();
+
+    static std::string computeStoreFingerprint(
+        const DaemonConfig &config);
+
+    const DaemonConfig config_;
+    telemetry::Registry registry_;
+    ReportCache cache_;
+    std::string storeFingerprint_;
+
+    mutable Mutex tenantsMu_;
+    std::map<std::string, std::unique_ptr<analysis::Session>>
+        tenants_ SIGCOMP_GUARDED_BY(tenantsMu_);
+
+    mutable Mutex inflightMu_;
+    std::map<std::string, std::shared_ptr<InflightRun>>
+        inflight_ SIGCOMP_GUARDED_BY(inflightMu_);
+
+    mutable Mutex watchMu_;
+    std::condition_variable watchCv_;
+    std::list<WatchEntry> watches_ SIGCOMP_GUARDED_BY(watchMu_);
+    std::uint64_t nextWatchId_ SIGCOMP_GUARDED_BY(watchMu_) = 1;
+    bool stop_ SIGCOMP_GUARDED_BY(watchMu_) = false;
+    std::thread watcher_;
+
+    /** Live serveConn count, mirrored into the gauge. */
+    std::atomic<int> activeConnCount_{0};
+
+    telemetry::Counter &requests_;
+    telemetry::Counter &httpErrors_;
+    telemetry::Counter &planErrors_;
+    telemetry::Counter &runs_;
+    telemetry::Counter &dedupeJoins_;
+    telemetry::Counter &disconnectCancels_;
+    telemetry::Gauge &activeConns_;
+    telemetry::Gauge &tenantsGauge_;
+};
+
+} // namespace sigcomp::server
+
+#endif // SIGCOMP_SERVER_DAEMON_H_

@@ -1,0 +1,386 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sigcomp::server
+{
+
+namespace
+{
+
+bool
+isTokenChar(char c)
+{
+    // RFC 9110 tchar, the characters legal in methods/header names.
+    static constexpr std::string_view kExtra = "!#$%&'*+-.^_`|~";
+    const unsigned char u = static_cast<unsigned char>(c);
+    return std::isalnum(u) != 0 ||
+           kExtra.find(c) != std::string_view::npos;
+}
+
+bool
+isPrintableAscii(char c)
+{
+    const unsigned char u = static_cast<unsigned char>(c);
+    return u >= 0x20 && u < 0x7F;
+}
+
+char
+asciiLower(char c)
+{
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                  : c;
+}
+
+/** Strict decimal parse for Content-Length: digits only, capped. */
+bool
+parseContentLength(std::string_view s, std::size_t *out)
+{
+    if (s.empty() || s.size() > 10)
+        return false;
+    std::size_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::size_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+const char *
+reasonFor(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 411:
+        return "Length Required";
+    case 413:
+        return "Payload Too Large";
+    case 501:
+        return "Not Implemented";
+    case 503:
+        return "Service Unavailable";
+    case 505:
+        return "HTTP Version Not Supported";
+    default:
+        return "Error";
+    }
+}
+
+} // namespace
+
+const char *
+httpErrorKindName(HttpErrorKind k)
+{
+    switch (k) {
+    case HttpErrorKind::None:
+        return "none";
+    case HttpErrorKind::Syntax:
+        return "syntax";
+    case HttpErrorKind::TooLarge:
+        return "too-large";
+    case HttpErrorKind::UnsupportedMethod:
+        return "unsupported-method";
+    case HttpErrorKind::UnsupportedVersion:
+        return "unsupported-version";
+    case HttpErrorKind::UnsupportedEncoding:
+        return "unsupported-encoding";
+    }
+    return "none";
+}
+
+std::string
+HttpError::render() const
+{
+    return std::string(httpErrorKindName(kind)) + " at byte " +
+           std::to_string(offset) + ": " + message;
+}
+
+const std::string *
+HttpRequest::header(std::string_view name) const
+{
+    for (const auto &[key, value] : headers) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+HttpRequestParser::Status
+HttpRequestParser::fail(HttpErrorKind kind, std::size_t offset,
+                        std::string message)
+{
+    phase_ = Phase::Failed;
+    error_.kind = kind;
+    error_.offset = offset;
+    error_.message = std::move(message);
+    buf_.clear();
+    return Status::Error;
+}
+
+HttpRequestParser::Status
+HttpRequestParser::consume(std::string_view bytes)
+{
+    if (phase_ == Phase::Failed)
+        return Status::Error;
+    if (phase_ == Phase::Complete) {
+        if (bytes.empty())
+            return Status::Done;
+        return fail(HttpErrorKind::Syntax, base_ + buf_.size(),
+                    "bytes after complete request (no pipelining)");
+    }
+    buf_.append(bytes);
+    return parseBuffered();
+}
+
+HttpRequestParser::Status
+HttpRequestParser::parseBuffered()
+{
+    // Line phases: split on CRLF, rejecting bare LF / bare CR early
+    // so a malformed prefix never waits forever for "more bytes".
+    while (phase_ == Phase::RequestLine || phase_ == Phase::Headers) {
+        const std::size_t lf = buf_.find('\n');
+        const std::size_t searched =
+            (lf == std::string::npos) ? buf_.size() : lf + 1;
+        const std::size_t cap = (phase_ == Phase::RequestLine)
+                                    ? kMaxRequestLineBytes
+                                    : kMaxHeaderLineBytes;
+        if (lf == std::string::npos) {
+            if (buf_.size() > cap) {
+                return fail(HttpErrorKind::TooLarge, base_ + cap,
+                            phase_ == Phase::RequestLine
+                                ? "request line exceeds cap"
+                                : "header line exceeds cap");
+            }
+            return Status::NeedMore;
+        }
+        if (lf + 1 > cap) {
+            return fail(HttpErrorKind::TooLarge, base_ + cap,
+                        phase_ == Phase::RequestLine
+                            ? "request line exceeds cap"
+                            : "header line exceeds cap");
+        }
+        if (lf == 0 || buf_[lf - 1] != '\r') {
+            return fail(HttpErrorKind::Syntax, base_ + lf,
+                        "bare LF (CRLF required)");
+        }
+        const std::string_view line(buf_.data(), lf - 1);
+        const std::size_t lineOffset = base_;
+        if (const std::size_t cr = line.find('\r');
+            cr != std::string_view::npos) {
+            return fail(HttpErrorKind::Syntax, lineOffset + cr,
+                        "stray CR inside line");
+        }
+        if (phase_ == Phase::RequestLine) {
+            if (!parseRequestLine(line, lineOffset))
+                return Status::Error;
+            phase_ = Phase::Headers;
+        } else if (line.empty()) {
+            if (!finishHeaders(lineOffset))
+                return Status::Error;
+            phase_ = Phase::Body;
+        } else if (!parseHeaderLine(line, lineOffset)) {
+            return Status::Error;
+        }
+        buf_.erase(0, searched);
+        base_ += searched;
+    }
+
+    if (phase_ == Phase::Body) {
+        if (buf_.size() < contentLength_)
+            return Status::NeedMore;
+        request_.body = buf_.substr(0, contentLength_);
+        const std::string_view extra(buf_.data() + contentLength_,
+                                     buf_.size() - contentLength_);
+        if (!extra.empty()) {
+            return fail(HttpErrorKind::Syntax,
+                        base_ + contentLength_,
+                        "bytes after complete request (no pipelining)");
+        }
+        base_ += buf_.size();
+        buf_.clear();
+        phase_ = Phase::Complete;
+    }
+    return Status::Done;
+}
+
+bool
+HttpRequestParser::parseRequestLine(std::string_view line,
+                                    std::size_t offset)
+{
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0) {
+        fail(HttpErrorKind::Syntax, offset,
+             "request line is not 'METHOD target HTTP/x.y'");
+        return false;
+    }
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1 ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+        fail(HttpErrorKind::Syntax, offset,
+             "request line is not 'METHOD target HTTP/x.y'");
+        return false;
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target =
+        line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (!std::all_of(method.begin(), method.end(), isTokenChar)) {
+        fail(HttpErrorKind::Syntax, offset, "malformed method token");
+        return false;
+    }
+    if (target[0] != '/' ||
+        !std::all_of(target.begin(), target.end(),
+                     isPrintableAscii)) {
+        fail(HttpErrorKind::Syntax, offset + sp1 + 1,
+             "request target must be a printable absolute path");
+        return false;
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+        fail(HttpErrorKind::UnsupportedVersion, offset + sp2 + 1,
+             "only HTTP/1.1 and HTTP/1.0 are served");
+        return false;
+    }
+    if (method != "GET" && method != "POST") {
+        fail(HttpErrorKind::UnsupportedMethod, offset,
+             "only GET and POST are served");
+        return false;
+    }
+    request_.method = method;
+    request_.target = target;
+    request_.version = version;
+    return true;
+}
+
+bool
+HttpRequestParser::parseHeaderLine(std::string_view line,
+                                   std::size_t offset)
+{
+    if (request_.headers.size() >= kMaxHeaders) {
+        fail(HttpErrorKind::TooLarge, offset, "too many headers");
+        return false;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+        fail(HttpErrorKind::Syntax, offset,
+             "header is not 'name: value'");
+        return false;
+    }
+    std::string name(line.substr(0, colon));
+    if (!std::all_of(name.begin(), name.end(), isTokenChar)) {
+        fail(HttpErrorKind::Syntax, offset, "malformed header name");
+        return false;
+    }
+    std::transform(name.begin(), name.end(), name.begin(),
+                   asciiLower);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() &&
+           (value.front() == ' ' || value.front() == '\t'))
+        value.remove_prefix(1);
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\t'))
+        value.remove_suffix(1);
+    if (!std::all_of(value.begin(), value.end(), isPrintableAscii)) {
+        fail(HttpErrorKind::Syntax, offset + colon + 1,
+             "non-printable bytes in header value");
+        return false;
+    }
+    for (const auto &[key, existing] : request_.headers) {
+        (void)existing;
+        if (key == name) {
+            // Duplicates of framing-relevant headers are a classic
+            // request-smuggling vector; reject all duplicates.
+            fail(HttpErrorKind::Syntax, offset,
+                 "duplicate header '" + name + "'");
+            return false;
+        }
+    }
+    request_.headers.emplace_back(std::move(name),
+                                  std::string(value));
+    return true;
+}
+
+bool
+HttpRequestParser::finishHeaders(std::size_t offset)
+{
+    if (request_.header("transfer-encoding") != nullptr) {
+        fail(HttpErrorKind::UnsupportedEncoding, offset,
+             "Transfer-Encoding is not served "
+             "(use Content-Length)");
+        return false;
+    }
+    if (const std::string *cl = request_.header("content-length");
+        cl != nullptr) {
+        if (!parseContentLength(*cl, &contentLength_)) {
+            fail(HttpErrorKind::Syntax, offset,
+                 "malformed Content-Length '" + *cl + "'");
+            return false;
+        }
+        if (contentLength_ > kMaxBodyBytes) {
+            fail(HttpErrorKind::TooLarge, offset,
+                 "Content-Length " + *cl + " exceeds cap " +
+                     std::to_string(kMaxBodyBytes));
+            return false;
+        }
+        sawContentLength_ = true;
+    } else if (request_.method == "POST") {
+        fail(HttpErrorKind::UnsupportedEncoding, offset,
+             "POST requires Content-Length");
+        return false;
+    }
+    return true;
+}
+
+int
+HttpRequestParser::errorStatusCode() const
+{
+    switch (error_.kind) {
+    case HttpErrorKind::None:
+    case HttpErrorKind::Syntax:
+        return 400;
+    case HttpErrorKind::TooLarge:
+        return 413;
+    case HttpErrorKind::UnsupportedMethod:
+        return 405;
+    case HttpErrorKind::UnsupportedVersion:
+        return 505;
+    case HttpErrorKind::UnsupportedEncoding:
+        // 411 when the length is missing, 501 when an encoding we do
+        // not implement was requested.
+        return sawContentLength_ ||
+                       request_.header("transfer-encoding") != nullptr
+                   ? 501
+                   : 411;
+    }
+    return 400;
+}
+
+std::string
+httpResponse(int status, std::string_view reason,
+             std::string_view contentType, std::string_view body)
+{
+    std::string out;
+    out.reserve(body.size() + 128);
+    out += "HTTP/1.1 ";
+    out += std::to_string(status);
+    out += ' ';
+    out += reason.empty() ? reasonFor(status) : std::string(reason);
+    out += "\r\nContent-Type: ";
+    out += contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace sigcomp::server

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 request framing for sigcompd — the daemon's
+ * untrusted-bytes surface, built in the same strict style as the
+ * plan JSON parser (analysis/plan_json.h): exact grammar, hard caps
+ * on every length and count, a classified error taxonomy with the
+ * byte offset where the failure was detected, and no process abort
+ * on any input (SC_ASSERT is for internal invariants, not for other
+ * people's bytes). Fuzzed by tests/fuzz_http_request.cpp.
+ *
+ * Deliberately NOT a general HTTP implementation. Supported:
+ *
+ *   - GET and POST, request-target as an absolute path
+ *     ("/v1/run", "/healthz", "/statsz"; printable ASCII, no spaces),
+ *   - HTTP/1.1 and HTTP/1.0, CRLF line endings only,
+ *   - headers as `token: value` with ASCII values, names
+ *     case-normalized to lowercase, duplicate names rejected,
+ *   - POST bodies framed by exactly one Content-Length.
+ *
+ * Everything else — chunked transfer coding, continuation lines,
+ * pipelining, upgrade — is rejected with a classified error; the
+ * daemon answers one request per connection and closes (the client
+ * is sigcomp_client or curl, not a browser).
+ *
+ * The parser is incremental: feed whatever the socket produced with
+ * consume(); it buffers internally and reports NeedMore/Done/Error.
+ * Identical bytes yield identical outcomes regardless of chunking
+ * (pinned by the fuzz harness).
+ */
+
+#ifndef SIGCOMP_SERVER_HTTP_H_
+#define SIGCOMP_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sigcomp::server
+{
+
+/**
+ * Failure taxonomy of HTTP request framing. Every enumerator is
+ * exercised by tests/test_server.cpp (enforced by sigcomp_lint's
+ * error-taxonomy check).
+ */
+enum class HttpErrorKind : std::uint8_t
+{
+    None = 0,
+    /** Malformed framing: bad request line, bare LF, control bytes,
+     * malformed or duplicate header, bad Content-Length. */
+    Syntax,
+    /** A cap exceeded: request line, header count/size, body size. */
+    TooLarge,
+    /** A method other than GET or POST (answer 405). */
+    UnsupportedMethod,
+    /** An HTTP version other than 1.1/1.0 (answer 505). */
+    UnsupportedVersion,
+    /** Body framing we do not speak: Transfer-Encoding present, or a
+     * POST without Content-Length (answer 501/411). */
+    UnsupportedEncoding,
+};
+
+/** Canonical lower-case name ("syntax", "too-large", ...). */
+const char *httpErrorKindName(HttpErrorKind k);
+
+/** One classified framing failure with its location. */
+struct HttpError
+{
+    HttpErrorKind kind = HttpErrorKind::None;
+    /** Byte offset into the request stream where detected. */
+    std::size_t offset = 0;
+    std::string message;
+
+    /** "\<kind\> at byte \<offset\>: \<message\>" for logs. */
+    std::string render() const;
+};
+
+// ---- hard caps (all enforced with TooLarge) -------------------------
+/** Request line (method + target + version + CRLF). */
+constexpr std::size_t kMaxRequestLineBytes = 1024;
+/** One header line including CRLF. */
+constexpr std::size_t kMaxHeaderLineBytes = 1024;
+/** Header count. */
+constexpr std::size_t kMaxHeaders = 64;
+/** Body size — the plan JSON cap plus framing slack. */
+constexpr std::size_t kMaxBodyBytes = (1u << 20) + 4096;
+
+/** A parsed request. Header names are lowercase. */
+struct HttpRequest
+{
+    std::string method;
+    std::string target;
+    std::string version;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of header @p name (lowercase); nullptr when absent. */
+    const std::string *header(std::string_view name) const;
+};
+
+/** Incremental strict request parser (see file comment). */
+class HttpRequestParser
+{
+  public:
+    enum class Status : std::uint8_t
+    {
+        NeedMore, ///< valid so far; feed more bytes
+        Done,     ///< request() is complete
+        Error,    ///< error() says why; the connection is poisoned
+    };
+
+    /**
+     * Feed the next chunk. Once Done or Error is returned the
+     * parser stays in that state (extra bytes after a complete
+     * request are a Syntax error: no pipelining).
+     */
+    Status consume(std::string_view bytes);
+
+    /** The parsed request (valid once consume returned Done). */
+    const HttpRequest &request() const { return request_; }
+
+    /** The first failure (valid once consume returned Error). */
+    const HttpError &error() const { return error_; }
+
+    /**
+     * The HTTP status code conventionally answering error(): 400,
+     * 413, 405, 505 or 501.
+     */
+    int errorStatusCode() const;
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        RequestLine,
+        Headers,
+        Body,
+        Complete,
+        Failed,
+    };
+
+    Status fail(HttpErrorKind kind, std::size_t offset,
+                std::string message);
+    Status parseBuffered();
+    bool parseRequestLine(std::string_view line, std::size_t offset);
+    bool parseHeaderLine(std::string_view line, std::size_t offset);
+    /** Header section finished: decide body framing. */
+    bool finishHeaders(std::size_t offset);
+
+    Phase phase_ = Phase::RequestLine;
+    std::string buf_;
+    /** Stream offset of buf_[0] (consumed bytes are dropped). */
+    std::size_t base_ = 0;
+    std::size_t contentLength_ = 0;
+    bool sawContentLength_ = false;
+    HttpRequest request_;
+    HttpError error_;
+};
+
+/**
+ * Serialize one response: status line, Content-Type/Content-Length/
+ * Connection: close headers, then @p body. @p reason must be a
+ * printable ASCII phrase.
+ */
+std::string httpResponse(int status, std::string_view reason,
+                         std::string_view contentType,
+                         std::string_view body);
+
+} // namespace sigcomp::server
+
+#endif // SIGCOMP_SERVER_HTTP_H_

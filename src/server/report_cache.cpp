@@ -1,0 +1,89 @@
+#include "server/report_cache.h"
+
+namespace sigcomp::server
+{
+
+ReportCache::ReportCache(std::size_t maxEntries, std::size_t maxBytes,
+                         telemetry::Registry *registry)
+    : maxEntries_(maxEntries), maxBytes_(maxBytes),
+      hits_(registry->counter("daemon.report_cache_hits")),
+      misses_(registry->counter("daemon.report_cache_misses")),
+      insertions_(registry->counter("daemon.report_cache_insertions")),
+      evictions_(registry->counter("daemon.report_cache_evictions")),
+      entriesGauge_(registry->gauge("daemon.report_cache_entries")),
+      bytesGauge_(registry->gauge("daemon.report_cache_bytes",
+                                  telemetry::Unit::Bytes))
+{}
+
+bool
+ReportCache::lookup(const std::string &key, std::string *body)
+{
+    MutexLock lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        misses_.inc();
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *body = it->second->body;
+    hits_.inc();
+    return true;
+}
+
+void
+ReportCache::insert(const std::string &key, const std::string &body)
+{
+    MutexLock lock(mu_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+        // Deterministic engine: a refresh carries the same bytes
+        // modulo wall time. Keep the newer ones and re-account.
+        bytes_ -= it->second->body.size();
+        bytes_ += body.size();
+        it->second->body = body;
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, body});
+        index_.emplace(key, lru_.begin());
+        bytes_ += body.size();
+        insertions_.inc();
+    }
+    evictToCaps();
+    publishGauges();
+}
+
+void
+ReportCache::evictToCaps()
+{
+    while (!lru_.empty() &&
+           ((maxEntries_ != 0 && lru_.size() > maxEntries_) ||
+            (maxBytes_ != 0 && bytes_ > maxBytes_))) {
+        const Entry &victim = lru_.back();
+        bytes_ -= victim.body.size();
+        index_.erase(victim.key);
+        lru_.pop_back();
+        evictions_.inc();
+    }
+}
+
+void
+ReportCache::publishGauges()
+{
+    entriesGauge_.set(static_cast<std::int64_t>(lru_.size()));
+    bytesGauge_.set(static_cast<std::int64_t>(bytes_));
+}
+
+std::size_t
+ReportCache::entries() const
+{
+    MutexLock lock(mu_);
+    return lru_.size();
+}
+
+std::size_t
+ReportCache::bytes() const
+{
+    MutexLock lock(mu_);
+    return bytes_;
+}
+
+} // namespace sigcomp::server

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Content-addressed report cache for sigcompd.
+ *
+ * Key = the plan fingerprint (SHA-256 over the canonical wire form,
+ * analysis/plan_json.h) combined with the trace-store fingerprint
+ * (SHA-256 over the store's segment inventory), so a hit is provably
+ * "same experiment over the same data": the engine is deterministic
+ * in everything but wall time, and wall time is carried inside the
+ * cached bytes unchanged — byte-identical replies are the contract
+ * the CI smoke job diffs on.
+ *
+ * The cache is tenant-agnostic on purpose: tenants share one
+ * read-only trace store, so a report leaks nothing a tenant could
+ * not compute itself by submitting the same plan.
+ *
+ * Bounded two ways — entry count and total cached bytes — with LRU
+ * eviction; both appear in /statsz via the daemon.* metrics
+ * (report_cache_hits / _misses / _insertions / _evictions counters,
+ * _entries / _bytes gauges) registered on the daemon's telemetry
+ * registry.
+ */
+
+#ifndef SIGCOMP_SERVER_REPORT_CACHE_H_
+#define SIGCOMP_SERVER_REPORT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/telemetry.h"
+
+namespace sigcomp::server
+{
+
+/** Bounded, thread-safe LRU cache of serialized suite reports. */
+class ReportCache
+{
+  public:
+    /**
+     * @p registry outlives the cache and hosts the daemon.* metrics.
+     * Caps of 0 disable the corresponding bound check... which no
+     * caller wants; the daemon always passes both.
+     */
+    ReportCache(std::size_t maxEntries, std::size_t maxBytes,
+                telemetry::Registry *registry);
+
+    /**
+     * Look up @p key. On a hit, copies the cached bytes into @p body,
+     * promotes the entry to most-recently-used and counts a hit;
+     * counts a miss otherwise.
+     */
+    bool lookup(const std::string &key, std::string *body)
+        SIGCOMP_EXCLUDES(mu_);
+
+    /**
+     * Insert (or refresh) @p key -> @p body, then evict from the LRU
+     * tail until both caps hold again. A body alone exceeding the
+     * byte cap is not cached.
+     */
+    void insert(const std::string &key, const std::string &body)
+        SIGCOMP_EXCLUDES(mu_);
+
+    std::size_t entries() const SIGCOMP_EXCLUDES(mu_);
+    std::size_t bytes() const SIGCOMP_EXCLUDES(mu_);
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string body;
+    };
+
+    void evictToCaps() SIGCOMP_REQUIRES(mu_);
+    void publishGauges() SIGCOMP_REQUIRES(mu_);
+
+    const std::size_t maxEntries_;
+    const std::size_t maxBytes_;
+
+    mutable Mutex mu_;
+    /** Front = most recently used. */
+    std::list<Entry> lru_ SIGCOMP_GUARDED_BY(mu_);
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        index_ SIGCOMP_GUARDED_BY(mu_);
+    std::size_t bytes_ SIGCOMP_GUARDED_BY(mu_) = 0;
+
+    telemetry::Counter &hits_;
+    telemetry::Counter &misses_;
+    telemetry::Counter &insertions_;
+    telemetry::Counter &evictions_;
+    telemetry::Gauge &entriesGauge_;
+    telemetry::Gauge &bytesGauge_;
+};
+
+} // namespace sigcomp::server
+
+#endif // SIGCOMP_SERVER_REPORT_CACHE_H_

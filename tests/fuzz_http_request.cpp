@@ -1,0 +1,126 @@
+/**
+ * @file
+ * libFuzzer harness for the daemon's HTTP request parser — the
+ * byte-stream half of sigcompd's untrusted surface (built only under
+ * -DSIGCOMP_FUZZ=ON, which requires Clang).
+ *
+ * Properties enforced per input:
+ *
+ *  - the parser never crashes, hangs, or trips ASan, whatever the
+ *    bytes;
+ *  - every rejection is classified (kind != None), located inside
+ *    the input, and maps to a defined HTTP status;
+ *  - chunking invariance: feeding the same bytes in input-derived
+ *    chunk sizes yields the same outcome, error kind, and parsed
+ *    request as a one-shot parse — the parser's behaviour depends
+ *    on the bytes, never on how the socket happened to frame them.
+ *
+ * Seed corpus: the smoke requests the CI job writes (a valid GET and
+ * a POST of the golden plan). Run locally:
+ *
+ *   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+ *         -DSIGCOMP_FUZZ=ON
+ *   cmake --build build-fuzz -j --target fuzz_http_request
+ *   ./build-fuzz/tests/fuzz_http_request -max_total_time=300 corpus
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "server/http.h"
+
+using sigcomp::server::HttpErrorKind;
+using sigcomp::server::HttpRequestParser;
+
+namespace
+{
+
+/** Outcome of one complete feed, whatever the chunking. */
+struct Outcome
+{
+    HttpRequestParser::Status status =
+        HttpRequestParser::Status::NeedMore;
+    HttpErrorKind kind = HttpErrorKind::None;
+    std::size_t offset = 0;
+    int httpStatus = 0;
+    std::string method;
+    std::string target;
+    std::string body;
+    std::size_t headerCount = 0;
+
+    bool
+    operator==(const Outcome &o) const
+    {
+        return status == o.status && kind == o.kind &&
+               offset == o.offset && httpStatus == o.httpStatus &&
+               method == o.method && target == o.target &&
+               body == o.body && headerCount == o.headerCount;
+    }
+};
+
+Outcome
+capture(const HttpRequestParser &p, HttpRequestParser::Status st)
+{
+    Outcome out;
+    out.status = st;
+    if (st == HttpRequestParser::Status::Error) {
+        out.kind = p.error().kind;
+        out.offset = p.error().offset;
+        out.httpStatus = p.errorStatusCode();
+    } else if (st == HttpRequestParser::Status::Done) {
+        out.method = p.request().method;
+        out.target = p.request().target;
+        out.body = p.request().body;
+        out.headerCount = p.request().headers.size();
+    }
+    return out;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string_view bytes(
+        reinterpret_cast<const char *>(data), size);
+
+    // One-shot parse.
+    HttpRequestParser oneShot;
+    const Outcome reference =
+        capture(oneShot, oneShot.consume(bytes));
+
+    if (reference.status == HttpRequestParser::Status::Error) {
+        // A rejection must be classified, located and mapped.
+        if (reference.kind == HttpErrorKind::None ||
+            reference.offset > size)
+            __builtin_trap();
+        switch (reference.httpStatus) {
+        case 400:
+        case 405:
+        case 411:
+        case 413:
+        case 501:
+        case 505:
+            break;
+        default:
+            __builtin_trap();
+        }
+    }
+
+    // Chunked re-parse: stride derived from the input so the fuzzer
+    // explores the chunking dimension too. Must match byte for byte.
+    const std::size_t stride = size == 0 ? 1 : (data[0] % 7) + 1;
+    HttpRequestParser chunked;
+    HttpRequestParser::Status st = HttpRequestParser::Status::NeedMore;
+    for (std::size_t i = 0; i < size; i += stride) {
+        st = chunked.consume(bytes.substr(i, stride));
+        if (st == HttpRequestParser::Status::Error)
+            break;
+        // Done mid-stream with bytes left: the next consume must
+        // flag the trailing bytes exactly like the one-shot did.
+    }
+    if (!(capture(chunked, st) == reference))
+        __builtin_trap();
+    return 0;
+}

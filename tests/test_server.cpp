@@ -1,0 +1,751 @@
+/**
+ * @file
+ * Serving-layer tests: the SHA-256 primitive, the strict HTTP
+ * request parser (every HttpErrorKind pinned), the bounded LRU
+ * report cache, plan fingerprinting, and the Daemon end to end over
+ * the in-process memory transport — routing, tenancy, the
+ * content-addressed cache (two identical POSTs: second is a byte-
+ * identical cache hit costing zero engine work), in-flight dedupe
+ * under concurrent clients (TSan shard), disconnect cancellation
+ * freeing the admission slot, and thread-count bit-identity of the
+ * served report rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "analysis/plan_json.h"
+#include "analysis/session.h"
+#include "common/net.h"
+#include "common/sha256.h"
+#include "isa/assembler.h"
+#include "server/daemon.h"
+#include "server/http.h"
+#include "server/report_cache.h"
+#include "store/trace_store.h"
+
+namespace sigcomp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+using analysis::StudyPlan;
+using pipeline::Design;
+using server::Daemon;
+using server::DaemonConfig;
+using server::HttpErrorKind;
+using server::HttpRequestParser;
+using server::ReportCache;
+
+// ---- SHA-256 ---------------------------------------------------------
+
+TEST(Sha256, FipsVectors)
+{
+    // FIPS 180-4 / NIST CAVP reference digests.
+    EXPECT_EQ(Sha256::hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(Sha256::hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(Sha256::hex("abcdbcdecdefdefgefghfghighijhijk"
+                          "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ChunkingInvariant)
+{
+    // Same bytes, any update() granularity, same digest — including
+    // splits straddling the 64-byte block boundary.
+    const std::string msg(150, 'x');
+    const std::string oneShot = Sha256::hex(msg);
+    for (std::size_t split : {1u, 63u, 64u, 65u, 127u, 128u}) {
+        Sha256 h;
+        h.update(std::string_view(msg).substr(0, split));
+        h.update(std::string_view(msg).substr(split));
+        EXPECT_EQ(h.hexDigest(), oneShot) << "split at " << split;
+    }
+}
+
+// ---- HTTP parser -----------------------------------------------------
+
+/** One-shot parse helper. */
+HttpRequestParser::Status
+parseAll(std::string_view bytes, HttpRequestParser *parser)
+{
+    return parser->consume(bytes);
+}
+
+TEST(HttpParser, ParsesGetRequest)
+{
+    HttpRequestParser p;
+    EXPECT_EQ(p.error().kind, HttpErrorKind::None);
+    const auto st = parseAll("GET /healthz HTTP/1.1\r\n"
+                             "Host: sigcompd\r\n\r\n",
+                             &p);
+    ASSERT_EQ(st, HttpRequestParser::Status::Done);
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().target, "/healthz");
+    EXPECT_EQ(p.request().version, "HTTP/1.1");
+    ASSERT_NE(p.request().header("host"), nullptr);
+    EXPECT_EQ(*p.request().header("host"), "sigcompd");
+    EXPECT_TRUE(p.request().body.empty());
+}
+
+TEST(HttpParser, ParsesPostBodyAndNormalizesHeaders)
+{
+    HttpRequestParser p;
+    const auto st =
+        parseAll("POST /v1/run HTTP/1.1\r\n"
+                 "X-Sigcomp-Tenant:  alice \r\n"
+                 "Content-Length: 4\r\n\r\nbody",
+                 &p);
+    ASSERT_EQ(st, HttpRequestParser::Status::Done);
+    EXPECT_EQ(p.request().body, "body");
+    // Names lowercase, OWS stripped from values.
+    ASSERT_NE(p.request().header("x-sigcomp-tenant"), nullptr);
+    EXPECT_EQ(*p.request().header("x-sigcomp-tenant"), "alice");
+    EXPECT_EQ(p.request().header("absent"), nullptr);
+}
+
+TEST(HttpParser, IncrementalFeedMatchesOneShot)
+{
+    const std::string wire = "POST /v1/run HTTP/1.1\r\n"
+                             "Content-Length: 11\r\n\r\nhello world";
+    for (std::size_t chunk : {1u, 2u, 7u}) {
+        HttpRequestParser p;
+        HttpRequestParser::Status st =
+            HttpRequestParser::Status::NeedMore;
+        for (std::size_t i = 0; i < wire.size(); i += chunk) {
+            ASSERT_NE(st, HttpRequestParser::Status::Error);
+            st = p.consume(
+                std::string_view(wire).substr(i, chunk));
+        }
+        ASSERT_EQ(st, HttpRequestParser::Status::Done)
+            << "chunk " << chunk;
+        EXPECT_EQ(p.request().body, "hello world");
+    }
+}
+
+TEST(HttpParser, SyntaxErrors)
+{
+    const struct
+    {
+        const char *wire;
+        const char *what;
+    } kCases[] = {
+        {"GET /x\r\n\r\n", "request line missing version"},
+        {"GET  /x HTTP/1.1\r\n\r\n", "double space"},
+        {"GET /x HTTP/1.1\nHost: a\r\n\r\n", "bare LF"},
+        {"GET /x HTTP/1.1\r\nno-colon\r\n\r\n", "malformed header"},
+        {"GET /x HTTP/1.1\r\nA: 1\r\nA: 2\r\n\r\n",
+         "duplicate header"},
+        {"POST /x HTTP/1.1\r\nContent-Length: 2x\r\n\r\nab",
+         "malformed Content-Length"},
+        {"GET \x01 HTTP/1.1\r\n\r\n", "control byte in target"},
+        {"GET /x HTTP/1.1\r\n\r\nextra", "bytes after request"},
+    };
+    for (const auto &c : kCases) {
+        HttpRequestParser p;
+        EXPECT_EQ(parseAll(c.wire, &p),
+                  HttpRequestParser::Status::Error)
+            << c.what;
+        EXPECT_EQ(p.error().kind, HttpErrorKind::Syntax) << c.what;
+        EXPECT_EQ(p.errorStatusCode(), 400) << c.what;
+    }
+}
+
+TEST(HttpParser, TooLargeErrors)
+{
+    {
+        HttpRequestParser p;
+        std::string line = "GET /";
+        line.append(server::kMaxRequestLineBytes, 'a');
+        line += " HTTP/1.1\r\n\r\n";
+        EXPECT_EQ(parseAll(line, &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::TooLarge);
+        EXPECT_EQ(p.errorStatusCode(), 413);
+    }
+    {
+        HttpRequestParser p;
+        std::string wire = "GET /x HTTP/1.1\r\n";
+        for (std::size_t i = 0; i <= server::kMaxHeaders; ++i) {
+            wire += 'h';
+            wire += std::to_string(i);
+            wire += ": v\r\n";
+        }
+        wire += "\r\n";
+        EXPECT_EQ(parseAll(wire, &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::TooLarge);
+    }
+    {
+        HttpRequestParser p;
+        const std::string wire =
+            "POST /x HTTP/1.1\r\nContent-Length: " +
+            std::to_string(server::kMaxBodyBytes + 1) + "\r\n\r\n";
+        EXPECT_EQ(parseAll(wire, &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::TooLarge);
+    }
+}
+
+TEST(HttpParser, UnsupportedMethodVersionEncoding)
+{
+    {
+        HttpRequestParser p;
+        EXPECT_EQ(parseAll("PUT /x HTTP/1.1\r\n\r\n", &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::UnsupportedMethod);
+        EXPECT_EQ(p.errorStatusCode(), 405);
+    }
+    {
+        HttpRequestParser p;
+        EXPECT_EQ(parseAll("GET /x HTTP/2.0\r\n\r\n", &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::UnsupportedVersion);
+        EXPECT_EQ(p.errorStatusCode(), 505);
+    }
+    {
+        // Transfer-Encoding: we do not implement it -> 501.
+        HttpRequestParser p;
+        EXPECT_EQ(parseAll("POST /x HTTP/1.1\r\n"
+                           "Transfer-Encoding: chunked\r\n\r\n",
+                           &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::UnsupportedEncoding);
+        EXPECT_EQ(p.errorStatusCode(), 501);
+    }
+    {
+        // POST without any length framing -> 411.
+        HttpRequestParser p;
+        EXPECT_EQ(parseAll("POST /x HTTP/1.1\r\n\r\n", &p),
+                  HttpRequestParser::Status::Error);
+        EXPECT_EQ(p.error().kind, HttpErrorKind::UnsupportedEncoding);
+        EXPECT_EQ(p.errorStatusCode(), 411);
+    }
+}
+
+TEST(HttpParser, ErrorRenderNamesTheKind)
+{
+    HttpRequestParser p;
+    parseAll("PUT /x HTTP/1.1\r\n\r\n", &p);
+    EXPECT_NE(p.error().render().find("unsupported-method"),
+              std::string::npos);
+}
+
+// ---- report cache ----------------------------------------------------
+
+std::uint64_t
+metricValue(telemetry::Registry &reg, const std::string &name)
+{
+    return reg.snapshot().value(name);
+}
+
+TEST(ReportCacheTest, HitMissAndCounters)
+{
+    telemetry::Registry reg;
+    ReportCache cache(4, 1 << 20, &reg);
+    std::string body;
+    EXPECT_FALSE(cache.lookup("k1", &body));
+    cache.insert("k1", "report-bytes");
+    ASSERT_TRUE(cache.lookup("k1", &body));
+    EXPECT_EQ(body, "report-bytes");
+    EXPECT_EQ(metricValue(reg, "daemon.report_cache_hits"), 1u);
+    EXPECT_EQ(metricValue(reg, "daemon.report_cache_misses"), 1u);
+    EXPECT_EQ(metricValue(reg, "daemon.report_cache_insertions"), 1u);
+    EXPECT_EQ(cache.entries(), 1u);
+    EXPECT_EQ(cache.bytes(), body.size());
+}
+
+TEST(ReportCacheTest, LruEvictionByEntryCount)
+{
+    telemetry::Registry reg;
+    ReportCache cache(2, 1 << 20, &reg);
+    cache.insert("a", "A");
+    cache.insert("b", "B");
+    std::string body;
+    ASSERT_TRUE(cache.lookup("a", &body)); // a is now most-recent
+    cache.insert("c", "C");                // evicts b, the LRU tail
+    EXPECT_TRUE(cache.lookup("a", &body));
+    EXPECT_FALSE(cache.lookup("b", &body));
+    EXPECT_TRUE(cache.lookup("c", &body));
+    EXPECT_EQ(metricValue(reg, "daemon.report_cache_evictions"), 1u);
+}
+
+TEST(ReportCacheTest, ByteBudgetEvictsAndOversizedBodyIsNotCached)
+{
+    telemetry::Registry reg;
+    ReportCache cache(16, 10, &reg);
+    cache.insert("a", "12345");
+    cache.insert("b", "12345");
+    EXPECT_EQ(cache.bytes(), 10u);
+    cache.insert("c", "123"); // pushes over 10 bytes: evicts LRU "a"
+    std::string body;
+    EXPECT_FALSE(cache.lookup("a", &body));
+    EXPECT_LE(cache.bytes(), 10u);
+    // A body alone exceeding the budget must not stick.
+    cache.insert("huge", std::string(64, 'x'));
+    EXPECT_FALSE(cache.lookup("huge", &body));
+}
+
+// ---- plan fingerprint ------------------------------------------------
+
+StudyPlan
+cpiPlan(std::vector<std::string> workloads)
+{
+    // Named config: the braced temporary trips a gcc-12
+    // maybe-uninitialized false positive under -Werror.
+    pipeline::PipelineConfig config;
+    StudyPlan plan;
+    plan.workloads(std::move(workloads))
+        .cpi({Design::Baseline32}, config);
+    return plan;
+}
+
+TEST(PlanFingerprint, ContentAddressedAndTokenBlind)
+{
+    std::string fpA;
+    std::string fpB;
+    analysis::PlanError error;
+    ASSERT_TRUE(analysis::planFingerprint(cpiPlan({"rawcaudio"}),
+                                          &fpA, &error));
+    EXPECT_EQ(fpA.size(), 64u);
+
+    // Same content, fresh object: same fingerprint.
+    ASSERT_TRUE(analysis::planFingerprint(cpiPlan({"rawcaudio"}),
+                                          &fpB, &error));
+    EXPECT_EQ(fpA, fpB);
+
+    // A live cancel token is a runtime handle, not content.
+    CancelSource source;
+    StudyPlan tokened = cpiPlan({"rawcaudio"});
+    tokened.cancel(source.token());
+    ASSERT_TRUE(analysis::planFingerprint(tokened, &fpB, &error));
+    EXPECT_EQ(fpA, fpB);
+
+    // Different content: different fingerprint.
+    ASSERT_TRUE(analysis::planFingerprint(cpiPlan({"rawdaudio"}),
+                                          &fpB, &error));
+    EXPECT_NE(fpA, fpB);
+
+    // The fingerprint IS the digest of the canonical wire bytes.
+    std::string wire;
+    ASSERT_TRUE(analysis::writePlanJson(cpiPlan({"rawcaudio"}), &wire,
+                                        &error));
+    EXPECT_EQ(fpA, Sha256::hex(wire));
+}
+
+TEST(PlanFingerprint, RefusesUnserializablePlans)
+{
+    StudyPlan plan = cpiPlan({"rawcaudio"});
+    plan.traceFile("/tmp/trace.json");
+    std::string fp;
+    analysis::PlanError error;
+    EXPECT_FALSE(analysis::planFingerprint(plan, &fp, &error));
+    EXPECT_EQ(error.kind, analysis::PlanErrorKind::Unsupported);
+    EXPECT_TRUE(fp.empty());
+}
+
+// ---- daemon end-to-end over memory conns -----------------------------
+
+/** Serve one raw request through @p daemon; return status + body. */
+int
+exchange(Daemon &daemon, const std::string &request, std::string *body,
+         std::string *fullResponse = nullptr)
+{
+    auto [serverEnd, clientEnd] = net::memoryConnPair();
+    std::shared_ptr<net::Conn> server(std::move(serverEnd));
+    std::thread handler(
+        [&daemon, server] { daemon.serveConn(server); });
+    EXPECT_TRUE(
+        clientEnd->writeAll(request.data(), request.size()).ok());
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        std::size_t got = 0;
+        if (!clientEnd->read(buf, sizeof(buf), &got).ok() || got == 0)
+            break;
+        response.append(buf, got);
+    }
+    handler.join();
+    if (fullResponse != nullptr)
+        *fullResponse = response;
+    const std::size_t blank = response.find("\r\n\r\n");
+    if (response.compare(0, 5, "HTTP/") != 0 ||
+        blank == std::string::npos) {
+        return -1;
+    }
+    *body = response.substr(blank + 4);
+    return std::atoi(response.c_str() + response.find(' ') + 1);
+}
+
+std::string
+postPlanRequest(const StudyPlan &plan, const std::string &tenant = "")
+{
+    std::string json;
+    analysis::PlanError error;
+    EXPECT_TRUE(analysis::writePlanJson(plan, &json, &error))
+        << error.render();
+    std::string req = "POST /v1/run HTTP/1.1\r\n";
+    if (!tenant.empty())
+        req += "X-Sigcomp-Tenant: " + tenant + "\r\n";
+    req += "Content-Length: " + std::to_string(json.size()) +
+           "\r\n\r\n" + json;
+    return req;
+}
+
+/** RAM-only daemon with a capped capture: fast unit-test engine. */
+DaemonConfig
+testConfig()
+{
+    DaemonConfig config;
+    config.storeDir.clear();
+    config.captureLimit = 20000;
+    config.watchIntervalMs = 5;
+    return config;
+}
+
+TEST(DaemonRoutes, HealthStatsAndErrors)
+{
+    Daemon daemon(testConfig());
+    std::string body;
+
+    EXPECT_EQ(exchange(daemon, "GET /healthz HTTP/1.1\r\n\r\n", &body),
+              200);
+    EXPECT_EQ(body, "ok\n");
+
+    EXPECT_EQ(exchange(daemon, "GET /statsz HTTP/1.1\r\n\r\n", &body),
+              200);
+    EXPECT_NE(body.find("sigcomp-daemon-stats-v1"), std::string::npos);
+    EXPECT_NE(body.find("\"daemon.report_cache_hits\": 0"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"store_fingerprint\": \"none\""),
+              std::string::npos);
+
+    EXPECT_EQ(exchange(daemon, "GET /nope HTTP/1.1\r\n\r\n", &body),
+              404);
+    EXPECT_NE(body.find("sigcomp-daemon-error-v1"), std::string::npos);
+
+    EXPECT_EQ(
+        exchange(daemon,
+                 "POST /healthz HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                 &body),
+        405);
+
+    // Framing errors answer with the parser's classified status.
+    EXPECT_EQ(exchange(daemon, "PUT /x HTTP/1.1\r\n\r\n", &body), 405);
+    EXPECT_NE(body.find("unsupported-method"), std::string::npos);
+
+    // Bad plan JSON: a classified sigcomp-daemon-error-v1 reply.
+    EXPECT_EQ(exchange(daemon,
+                       "POST /v1/run HTTP/1.1\r\n"
+                       "Content-Length: 9\r\n\r\nnot json!",
+                       &body),
+              400);
+    EXPECT_NE(body.find("syntax"), std::string::npos);
+    EXPECT_EQ(metricValue(daemon.metrics(), "daemon.plan_errors"), 1u);
+
+    // Bad tenant.
+    StudyPlan plan = cpiPlan({"rawcaudio"});
+    EXPECT_EQ(exchange(daemon, postPlanRequest(plan, "NOT_VALID!"),
+                       &body),
+              400);
+    EXPECT_NE(body.find("bad-tenant"), std::string::npos);
+}
+
+TEST(DaemonCache, SecondIdenticalPostIsAByteIdenticalFreeHit)
+{
+    Daemon daemon(testConfig());
+    const std::string request = postPlanRequest(cpiPlan({"rawcaudio"}));
+
+    std::string first;
+    ASSERT_EQ(exchange(daemon, request, &first), 200);
+    EXPECT_NE(first.find("sigcomp-suite-report-v4"), std::string::npos);
+
+    const std::uint64_t capturesAfterFirst =
+        daemon.tenantSession("default").cache().captures();
+    EXPECT_EQ(capturesAfterFirst, 1u);
+
+    std::string second;
+    ASSERT_EQ(exchange(daemon, request, &second), 200);
+
+    // The whole point: byte-identical INCLUDING wall_ms (the bytes
+    // came from the cache, not a re-run), and zero new engine work.
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(daemon.tenantSession("default").cache().captures(),
+              capturesAfterFirst);
+    EXPECT_EQ(
+        metricValue(daemon.metrics(), "daemon.report_cache_hits"), 1u);
+    EXPECT_EQ(metricValue(daemon.metrics(), "daemon.runs"), 1u);
+}
+
+TEST(DaemonCache, DistinctPlansAndTenantsShareTheCache)
+{
+    Daemon daemon(testConfig());
+    std::string bodyA;
+    std::string bodyB;
+    ASSERT_EQ(exchange(daemon,
+                       postPlanRequest(cpiPlan({"rawcaudio"}), "alice"),
+                       &bodyA),
+              200);
+    // Same plan from another tenant: cache hit (content-addressed;
+    // tenants share the immutable store, so nothing leaks).
+    ASSERT_EQ(exchange(daemon,
+                       postPlanRequest(cpiPlan({"rawcaudio"}), "bob"),
+                       &bodyB),
+              200);
+    EXPECT_EQ(bodyA, bodyB);
+    EXPECT_EQ(
+        metricValue(daemon.metrics(), "daemon.report_cache_hits"), 1u);
+    // bob's session never ran the engine.
+    EXPECT_EQ(daemon.tenantSession("bob").cache().captures(), 0u);
+
+    // A different plan misses.
+    ASSERT_EQ(exchange(daemon,
+                       postPlanRequest(cpiPlan({"rawdaudio"}), "bob"),
+                       &bodyB),
+              200);
+    EXPECT_NE(bodyA, bodyB);
+    EXPECT_EQ(metricValue(daemon.metrics(), "daemon.runs"), 2u);
+}
+
+/** The report body minus its thread-count-dependent lines (the
+ * test_session lifecycleBytes idiom, applied to served bytes). */
+std::string
+servedRowBytes(const std::string &body)
+{
+    std::string kept;
+    std::size_t start = 0;
+    while (start < body.size()) {
+        std::size_t end = body.find('\n', start);
+        if (end == std::string::npos)
+            end = body.size();
+        const std::string_view line(body.data() + start, end - start);
+        if (line.find("\"threads\"") == std::string_view::npos &&
+            line.find("\"engine\"") == std::string_view::npos &&
+            line.find("\"telemetry\"") == std::string_view::npos) {
+            kept.append(line);
+            kept.push_back('\n');
+        }
+        start = end + 1;
+    }
+    return kept;
+}
+
+TEST(DaemonDeterminism, ServedRowsAreThreadCountInvariant)
+{
+    Daemon daemon(testConfig());
+    StudyPlan serial = cpiPlan({"rawcaudio", "rawdaudio"});
+    serial.threads(1);
+    StudyPlan wide = cpiPlan({"rawcaudio", "rawdaudio"});
+    wide.threads(4);
+
+    std::string bodySerial;
+    std::string bodyWide;
+    ASSERT_EQ(exchange(daemon, postPlanRequest(serial), &bodySerial),
+              200);
+    ASSERT_EQ(exchange(daemon, postPlanRequest(wide), &bodyWide), 200);
+    EXPECT_NE(bodySerial, bodyWide) << "distinct plans, distinct keys";
+    EXPECT_EQ(servedRowBytes(bodySerial), servedRowBytes(bodyWide))
+        << "study rows served by the daemon must not depend on the "
+           "thread count";
+}
+
+// ---- concurrency: dedupe + cache under parallel clients --------------
+
+TEST(DaemonConcurrency, ParallelIdenticalPlansDedupeToOneRunEach)
+{
+    Daemon daemon(testConfig());
+    const std::string reqA =
+        postPlanRequest(cpiPlan({"rawcaudio"}));
+    const std::string reqB =
+        postPlanRequest(cpiPlan({"rawdaudio"}));
+
+    constexpr int kClientsPerPlan = 4;
+    std::vector<std::string> bodiesA(kClientsPerPlan);
+    std::vector<std::string> bodiesB(kClientsPerPlan);
+    std::vector<int> statusA(kClientsPerPlan, 0);
+    std::vector<int> statusB(kClientsPerPlan, 0);
+    {
+        std::vector<std::thread> clients;
+        for (int i = 0; i < kClientsPerPlan; ++i) {
+            clients.emplace_back([&, i] {
+                statusA[i] = exchange(daemon, reqA, &bodiesA[i]);
+            });
+            clients.emplace_back([&, i] {
+                statusB[i] = exchange(daemon, reqB, &bodiesB[i]);
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+
+    for (int i = 0; i < kClientsPerPlan; ++i) {
+        EXPECT_EQ(statusA[i], 200);
+        EXPECT_EQ(statusB[i], 200);
+        // Dedupe-joined and cache-hit responses alike must be the
+        // leader's exact bytes.
+        EXPECT_EQ(bodiesA[i], bodiesA[0]) << "client " << i;
+        EXPECT_EQ(bodiesB[i], bodiesB[0]) << "client " << i;
+    }
+    EXPECT_NE(bodiesA[0], bodiesB[0]);
+
+    // Exactly one engine run per distinct plan; every other client
+    // either joined the in-flight run or hit the report cache.
+    telemetry::Registry &reg = daemon.metrics();
+    EXPECT_EQ(metricValue(reg, "daemon.runs"), 2u);
+    EXPECT_EQ(metricValue(reg, "daemon.dedupe_joins") +
+                  metricValue(reg, "daemon.report_cache_hits"),
+              2u * kClientsPerPlan - 2u);
+}
+
+// ---- disconnect cancellation -----------------------------------------
+
+/** A program that spins long enough for the watcher to act. */
+isa::Program
+spinProgram()
+{
+    namespace reg = isa::reg;
+    isa::Assembler a;
+    a.label("main");
+    a.li(reg::t0, 0);
+    a.li(reg::t1, 1);
+    a.label("loop");
+    a.addu(reg::t0, reg::t0, reg::t1);
+    a.j("loop");
+    return a.finish("spin");
+}
+
+/** A trivial program: load, compare, exit — a few instructions. */
+isa::Program
+tinyProgram()
+{
+    namespace reg = isa::reg;
+    isa::Assembler a;
+    a.label("main");
+    a.li(reg::a0, 7);
+    a.li(reg::a1, 7);
+    a.assertEq();
+    a.exitProgram();
+    return a.finish("tiny");
+}
+
+TEST(DaemonDisconnect, HangupCancelsTheRunAndFreesTheSlot)
+{
+    DaemonConfig config = testConfig();
+    // The spin workload runs to the capture cap; make that far
+    // longer than the watcher needs to notice the hangup.
+    config.captureLimit = 200u * 1000u * 1000u;
+    config.maxConcurrentPlans = 1;
+    config.maxQueuedPlans = 0; // reject (not queue) at capacity
+    Daemon daemon(config);
+    daemon.tenantSession("default").addWorkload("spin", spinProgram());
+    daemon.tenantSession("default").addWorkload("tiny", tinyProgram());
+
+    const std::string request = postPlanRequest(cpiPlan({"spin"}));
+
+    auto [serverEnd, clientEnd] = net::memoryConnPair();
+    std::shared_ptr<net::Conn> server(std::move(serverEnd));
+    std::thread handler(
+        [&daemon, server] { daemon.serveConn(server); });
+    ASSERT_TRUE(
+        clientEnd->writeAll(request.data(), request.size()).ok());
+    // Give the daemon a moment to start the run, then hang up.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    clientEnd->closeConn();
+    handler.join(); // returns once the cancelled run unwinds
+
+    // The watcher increments the counter right after firing the
+    // cancel; give its store a moment to land.
+    for (int i = 0; i < 200; ++i) {
+        if (metricValue(daemon.metrics(),
+                        "daemon.disconnect_cancels") != 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(
+        metricValue(daemon.metrics(), "daemon.disconnect_cancels"),
+        1u);
+
+    // The dead client's admission slot (maxConcurrentPlans = 1!) and
+    // in-flight entry are gone: a fresh request sails through.
+    std::string body;
+    EXPECT_EQ(exchange(daemon, postPlanRequest(cpiPlan({"tiny"})),
+                       &body),
+              200)
+        << "slot not freed after disconnect cancellation";
+}
+
+TEST(DaemonDisconnect, CancelledWriterLeavesStoreDoctorClean)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "sigcomp-daemon-store";
+    fs::remove_all(dir);
+
+    DaemonConfig config = testConfig();
+    config.storeDir = dir.string();
+    config.readOnly = false; // exercise the cancelled-writer path
+    // Long enough that the hangup usually lands mid-capture (ad-hoc
+    // programs never persist, so a REAL suite workload is the only
+    // way to put a writer in the cancel's path).
+    config.captureLimit = 5u * 1000u * 1000u;
+    Daemon daemon(config);
+
+    const std::string request =
+        postPlanRequest(cpiPlan({"rawcaudio"}));
+    auto [serverEnd, clientEnd] = net::memoryConnPair();
+    std::shared_ptr<net::Conn> server(std::move(serverEnd));
+    std::thread handler(
+        [&daemon, server] { daemon.serveConn(server); });
+    ASSERT_TRUE(
+        clientEnd->writeAll(request.data(), request.size()).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    clientEnd->closeConn();
+    handler.join();
+
+    // Whatever the cancel interrupted, the store holds no damage: no
+    // partial segments (saves are atomic), no orphaned temp files,
+    // and everything present verifies.
+    const store::TraceStore ts(dir.string());
+    EXPECT_EQ(ts.cleanOrphanTemps(), 0u);
+    for (const std::string &name : ts.list())
+        EXPECT_TRUE(ts.verify(name, nullptr)) << name;
+    fs::remove_all(dir);
+}
+
+// The full EnvFault taxonomy is pinned by test_fault.cpp; the server
+// transport reports through the same EnvStatus values, pinned here
+// for the memory transport's peer-closed path.
+TEST(NetMemoryConn, PeerCloseSemantics)
+{
+    auto [a, b] = net::memoryConnPair();
+    ASSERT_TRUE(a->writeAll("ping", 4).ok());
+    char buf[8];
+    std::size_t got = 0;
+    ASSERT_TRUE(b->read(buf, sizeof(buf), &got).ok());
+    EXPECT_EQ(std::string(buf, got), "ping");
+    EXPECT_FALSE(a->peerClosed());
+
+    b->closeConn();
+    // Writes to a closed peer fault with the Env taxonomy.
+    const EnvStatus st = a->writeAll("x", 1);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.fault, EnvFault::Other);
+    EXPECT_TRUE(a->peerClosed());
+    // Reads see orderly EOF.
+    EXPECT_TRUE(a->read(buf, sizeof(buf), &got).ok());
+    EXPECT_EQ(got, 0u);
+}
+
+} // namespace
+} // namespace sigcomp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * sigcompd — the experiment-serving daemon (server/daemon.h) as an
+ * operational binary.
+ *
+ * Usage: sigcompd [--dir DIR] [--addr A] [--port P] [options]
+ *
+ *   --dir DIR               trace store served to every tenant
+ *                           (default trace-store; prewarm it with
+ *                           `sigcomp_store prewarm` first)
+ *   --addr A                bind address (default 127.0.0.1)
+ *   --port P                bind port (default 8642; 0 = ephemeral,
+ *                           the chosen port is printed)
+ *   --threads N             per-tenant session parallelism
+ *   --max-instrs N          capture limit (must match the prewarm)
+ *   --max-concurrent N      per-tenant concurrent plans (default 2)
+ *   --max-queued N          per-tenant admission queue (default 8)
+ *   --cache-entries N       report cache entry cap (default 64)
+ *   --cache-bytes N         report cache byte cap (default 64 MiB)
+ *   --default-deadline-ms N deadline applied to every plan (0 = off)
+ *   --no-warm               skip the suite-compressor warmup (plans
+ *                           needing it then pay it on first use)
+ *
+ * Prints "sigcompd: serving on <addr>:<port>" once accepting (the CI
+ * smoke job waits for it), then serves until SIGTERM/SIGINT, shuts
+ * down cleanly (drains handler threads) and exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "analysis/session.h"
+#include "common/net.h"
+#include "server/daemon.h"
+
+namespace
+{
+
+using namespace sigcomp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sigcompd [--dir DIR] [--addr A] [--port P]\n"
+        "                [--threads N] [--max-instrs N]\n"
+        "                [--max-concurrent N] [--max-queued N]\n"
+        "                [--cache-entries N] [--cache-bytes N]\n"
+        "                [--default-deadline-ms N] [--no-warm]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    server::DaemonConfig config;
+    config.storeDir = "trace-store";
+    std::string addr = "127.0.0.1";
+    unsigned port = 8642;
+    bool warm = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir")
+            config.storeDir = next();
+        else if (arg == "--addr")
+            addr = next();
+        else if (arg == "--port")
+            port = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--threads")
+            config.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--max-instrs")
+            config.captureLimit = static_cast<DWord>(std::atoll(next()));
+        else if (arg == "--max-concurrent")
+            config.maxConcurrentPlans =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--max-queued")
+            config.maxQueuedPlans =
+                static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--cache-entries")
+            config.cacheMaxEntries =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--cache-bytes")
+            config.cacheMaxBytes =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (arg == "--default-deadline-ms")
+            config.defaultDeadlineMs =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        else if (arg == "--no-warm")
+            warm = false;
+        else
+            return usage();
+    }
+    if (port > 65535)
+        return usage();
+
+    // Block the shutdown signals BEFORE any thread exists so every
+    // thread inherits the mask and only the dedicated sigwait thread
+    // ever sees them — no async-signal-safety tightrope.
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    sigaddset(&sigs, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+    if (warm) {
+        // The one-time full-suite profile behind plans that need the
+        // funct-ranked compressor (activity/energy studies). Paying
+        // it here keeps it out of every request's deadline budget.
+        std::printf("sigcompd: warming suite compressor...\n");
+        std::fflush(stdout);
+        (void)analysis::suiteCompressor();
+    }
+
+    server::Daemon daemon(config);
+
+    std::string why;
+    std::unique_ptr<net::Listener> listener =
+        net::listenTcp(addr, static_cast<std::uint16_t>(port), &why);
+    if (listener == nullptr) {
+        std::fprintf(stderr, "sigcompd: %s\n", why.c_str());
+        return 1;
+    }
+
+    std::thread signalThread([&] {
+        int sig = 0;
+        sigwait(&sigs, &sig);
+        std::printf("sigcompd: received %s, shutting down\n",
+                    sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        std::fflush(stdout);
+        daemon.requestStop();
+        listener->stopListening();
+    });
+
+    std::printf("sigcompd: store %s (fingerprint %.12s), serving on "
+                "%s:%u\n",
+                config.storeDir.c_str(),
+                daemon.storeFingerprint().c_str(), addr.c_str(),
+                static_cast<unsigned>(listener->port()));
+    std::fflush(stdout);
+
+    daemon.serve(*listener);
+
+    // serve() can also end on a listener fault; make a SIGTERM
+    // process-pending (raise() would pin it to this thread, where it
+    // is blocked) so the sigwait thread always wakes and joins.
+    kill(getpid(), SIGTERM);
+    signalThread.join();
+
+    std::printf("sigcompd: shutdown complete\n");
+    return 0;
+}
